@@ -1,0 +1,64 @@
+// Command benchrunner regenerates the reconstructed evaluation of the
+// paper: every table and figure (E1–E8 in DESIGN.md), printed as aligned
+// text tables and series.
+//
+// Usage:
+//
+//	benchrunner [-exp all|E1|E2|...|E8] [-bits 512] [-quick]
+//
+// Absolute numbers are those of this Go reproduction on the local machine;
+// the claims under test are the relative shapes (baseline vs improved),
+// per EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"xvtpm/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: all, or one of E1..E10")
+	bits := flag.Int("bits", 512, "RSA modulus size for all TPM keys")
+	quick := flag.Bool("quick", false, "reduced repetitions (smoke run)")
+	flag.Parse()
+
+	cfg := experiments.Config{RSABits: *bits, Quick: *quick, Out: os.Stdout}
+	runners := map[string]func() error{
+		"E1":  func() error { _, err := experiments.E1PerCommand(cfg); return err },
+		"E2":  func() error { _, err := experiments.E2Scalability(cfg); return err },
+		"E3":  func() error { _, err := experiments.E3InstanceCreation(cfg); return err },
+		"E4":  func() error { _, err := experiments.E4AttackMatrix(cfg); return err },
+		"E5":  func() error { _, err := experiments.E5PolicyCost(cfg); return err },
+		"E6":  func() error { _, err := experiments.E6Migration(cfg); return err },
+		"E7":  func() error { _, err := experiments.E7ExposureWindow(cfg); return err },
+		"E8":  func() error { _, err := experiments.E8StorageOverhead(cfg); return err },
+		"E9":  func() error { _, err := experiments.E9FloodControl(cfg); return err },
+		"E10": func() error { _, err := experiments.E10Recovery(cfg); return err },
+	}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10"}
+
+	want := strings.ToUpper(*exp)
+	if want == "ALL" {
+		fmt.Printf("xvtpm reconstructed evaluation (bits=%d quick=%v)\n\n", *bits, *quick)
+		for _, id := range order {
+			if err := runners[id](); err != nil {
+				fmt.Fprintf(os.Stderr, "%s failed: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	run, ok := runners[want]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all or E1..E10)\n", *exp)
+		os.Exit(2)
+	}
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "%s failed: %v\n", want, err)
+		os.Exit(1)
+	}
+}

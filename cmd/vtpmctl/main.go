@@ -1,0 +1,366 @@
+// Command vtpmctl is an interactive management console for a simulated
+// host: the xm/vtpm-manager front-end of this reproduction. It boots one
+// host and accepts commands on stdin to create guests, drive their vTPMs,
+// edit the access-control policy at runtime and inspect the audit log.
+//
+// Usage:
+//
+//	vtpmctl [-mode improved] [-bits 512] [-script "cmd; cmd; ..."]
+//
+// Commands: help, create <name>, list, extend <name> <pcr> <text>,
+// suspend/resume <name>, ratelimit <name> <n>, anchor, verify-audit,
+// pcrread <name> <pcr>, random <name> <n>, deny <name> <group>,
+// allow <name> <group>, audit [n], checkpoint <name>, destroy <name>, quit.
+package main
+
+import (
+	"bufio"
+	"crypto/sha1"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"xvtpm"
+	"xvtpm/internal/core"
+)
+
+type console struct {
+	host   *xvtpm.Host
+	guests map[string]*xvtpm.Guest
+	out    *bufio.Writer
+}
+
+func (c *console) printf(format string, args ...interface{}) {
+	fmt.Fprintf(c.out, format, args...)
+}
+
+func (c *console) guest(name string) (*xvtpm.Guest, bool) {
+	g, ok := c.guests[name]
+	if !ok {
+		c.printf("no guest %q (try 'list')\n", name)
+	}
+	return g, ok
+}
+
+func groupByName(s string) (core.Group, bool) {
+	for _, g := range []core.Group{
+		core.GroupAdmin, core.GroupPCR, core.GroupAttest, core.GroupSealing,
+		core.GroupKeys, core.GroupOwnership, core.GroupNV, core.GroupRandom,
+	} {
+		if string(g) == s {
+			return g, true
+		}
+	}
+	return "", false
+}
+
+func (c *console) policyRule(name, groupName string, effect core.Effect) {
+	g, ok := c.guest(name)
+	if !ok {
+		return
+	}
+	ig, isImproved := c.host.ImprovedGuard()
+	if !isImproved {
+		c.printf("the baseline guard has no policy to edit — that is its weakness\n")
+		return
+	}
+	group, ok := groupByName(groupName)
+	if !ok {
+		c.printf("unknown group %q (admin, pcr, attest, sealing, keys, ownership, nv, random)\n", groupName)
+		return
+	}
+	ig.Policy().Prepend(core.Rule{
+		Identity: g.Dom.Launch(), Instance: g.Instance, Group: group, Effect: effect,
+	})
+	c.printf("%s %s for %s (rule prepended, %d rules total)\n", effect, group, name, ig.Policy().Len())
+}
+
+func (c *console) handle(line string) bool {
+	fields := strings.Fields(line)
+	if len(fields) == 0 {
+		return true
+	}
+	switch fields[0] {
+	case "help":
+		c.printf("commands: create <name> | list | extend <name> <pcr> <text> | pcrread <name> <pcr>\n")
+		c.printf("          random <name> <n> | deny <name> <group> | allow <name> <group>\n")
+		c.printf("          audit [n] | anchor | verify-audit | ratelimit <name> <n> | stats\n")
+		c.printf("          suspend <name> | resume <name> | checkpoint <name> | destroy <name> | quit\n")
+	case "create":
+		if len(fields) != 2 {
+			c.printf("usage: create <name>\n")
+			break
+		}
+		name := fields[1]
+		if _, exists := c.guests[name]; exists {
+			c.printf("guest %q already exists\n", name)
+			break
+		}
+		g, err := c.host.CreateGuest(xvtpm.GuestConfig{Name: name, Kernel: []byte("vmlinuz-" + name)})
+		if err != nil {
+			c.printf("create: %v\n", err)
+			break
+		}
+		c.guests[name] = g
+		c.printf("guest %q: dom%d, vtpm instance %d, launch %.16s…\n",
+			name, g.Dom.ID(), g.Instance, g.Dom.Launch().String())
+	case "list":
+		if len(c.guests) == 0 {
+			c.printf("(no guests)\n")
+		}
+		for name, g := range c.guests {
+			c.printf("%-12s dom%-3d instance %-3d state %v\n", name, g.Dom.ID(), g.Instance, g.Dom.State())
+		}
+	case "extend":
+		if len(fields) != 4 {
+			c.printf("usage: extend <name> <pcr> <text>\n")
+			break
+		}
+		g, ok := c.guest(fields[1])
+		if !ok {
+			break
+		}
+		pcr, err := strconv.Atoi(fields[2])
+		if err != nil {
+			c.printf("bad pcr %q\n", fields[2])
+			break
+		}
+		v, err := g.TPM.Extend(uint32(pcr), sha1.Sum([]byte(fields[3])))
+		if err != nil {
+			c.printf("extend: %v\n", err)
+			break
+		}
+		c.printf("PCR%d = %x\n", pcr, v)
+	case "pcrread":
+		if len(fields) != 3 {
+			c.printf("usage: pcrread <name> <pcr>\n")
+			break
+		}
+		g, ok := c.guest(fields[1])
+		if !ok {
+			break
+		}
+		pcr, err := strconv.Atoi(fields[2])
+		if err != nil {
+			c.printf("bad pcr %q\n", fields[2])
+			break
+		}
+		v, err := g.TPM.PCRRead(uint32(pcr))
+		if err != nil {
+			c.printf("pcrread: %v\n", err)
+			break
+		}
+		c.printf("PCR%d = %x\n", pcr, v)
+	case "random":
+		if len(fields) != 3 {
+			c.printf("usage: random <name> <n>\n")
+			break
+		}
+		g, ok := c.guest(fields[1])
+		if !ok {
+			break
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n <= 0 || n > 64 {
+			c.printf("bad count %q (1..64)\n", fields[2])
+			break
+		}
+		b, err := g.TPM.GetRandom(n)
+		if err != nil {
+			c.printf("random: %v\n", err)
+			break
+		}
+		c.printf("%x\n", b)
+	case "deny":
+		if len(fields) != 3 {
+			c.printf("usage: deny <name> <group>\n")
+			break
+		}
+		c.policyRule(fields[1], fields[2], core.Deny)
+	case "allow":
+		if len(fields) != 3 {
+			c.printf("usage: allow <name> <group>\n")
+			break
+		}
+		c.policyRule(fields[1], fields[2], core.Allow)
+	case "audit":
+		ig, isImproved := c.host.ImprovedGuard()
+		if !isImproved {
+			c.printf("the baseline guard keeps no audit log\n")
+			break
+		}
+		n := 10
+		if len(fields) == 2 {
+			if v, err := strconv.Atoi(fields[1]); err == nil {
+				n = v
+			}
+		}
+		recs := ig.Audit().Records()
+		c.printf("%d records, chain ok: %v\n", len(recs), ig.Audit().Verify() == nil)
+		if len(recs) > n {
+			recs = recs[len(recs)-n:]
+		}
+		for _, r := range recs {
+			c.printf("  #%-4d inst=%-3d ordinal=%#-6x %-5s %s\n", r.Seq, r.Instance, r.Ordinal, r.Decision, r.Reason)
+		}
+	case "stats":
+		st := c.host.Stats()
+		c.printf("mode=%s guests=%d instances=%d stored-blobs=%d hw-commands=%d\n",
+			st.Mode, st.Guests, st.Instances, st.StoredBlobs, st.HWCommands)
+		if st.Mode.String() == "improved" {
+			c.printf("audit: %d records, chain ok: %v\n", st.AuditRecords, st.AuditVerifies)
+		}
+		for name, g := range c.guests {
+			c.printf("  %-12s cpu=%dus\n", name, g.Dom.CPUNanos()/1000)
+		}
+	case "ratelimit":
+		if len(fields) != 3 {
+			c.printf("usage: ratelimit <name> <cmds-per-second> (0 clears)\n")
+			break
+		}
+		g, ok := c.guest(fields[1])
+		if !ok {
+			break
+		}
+		ig, isImproved := c.host.ImprovedGuard()
+		if !isImproved {
+			c.printf("the baseline guard has no flood control\n")
+			break
+		}
+		n, err := strconv.Atoi(fields[2])
+		if err != nil || n < 0 {
+			c.printf("bad rate %q\n", fields[2])
+			break
+		}
+		ig.SetRateLimitFor(g.Instance, n)
+		if n == 0 {
+			c.printf("rate limit cleared for %s\n", fields[1])
+		} else {
+			c.printf("%s limited to %d commands/s\n", fields[1], n)
+		}
+	case "anchor":
+		if err := c.host.EnableAuditAnchor(); err != nil {
+			c.printf("anchor: %v\n", err)
+			break
+		}
+		v, err := c.host.AnchorAudit()
+		if err != nil {
+			c.printf("anchor: %v\n", err)
+			break
+		}
+		c.printf("audit head anchored in hardware TPM (anchor counter %d)\n", v)
+	case "verify-audit":
+		if err := c.host.VerifyAuditAgainstAnchor(); err != nil {
+			c.printf("verify-audit: %v\n", err)
+			break
+		}
+		c.printf("audit log matches the hardware anchor\n")
+	case "checkpoint":
+		if len(fields) != 2 {
+			c.printf("usage: checkpoint <name>\n")
+			break
+		}
+		g, ok := c.guest(fields[1])
+		if !ok {
+			break
+		}
+		if err := c.host.Manager.Checkpoint(g.Instance); err != nil {
+			c.printf("checkpoint: %v\n", err)
+			break
+		}
+		c.printf("instance %d persisted\n", g.Instance)
+	case "suspend":
+		if len(fields) != 2 {
+			c.printf("usage: suspend <name>\n")
+			break
+		}
+		g, ok := c.guest(fields[1])
+		if !ok {
+			break
+		}
+		handle, err := c.host.SuspendGuest(g)
+		if err != nil {
+			c.printf("suspend: %v\n", err)
+			break
+		}
+		delete(c.guests, fields[1])
+		c.printf("guest %q suspended (resume with: resume %s)\n", fields[1], handle)
+	case "resume":
+		if len(fields) != 2 {
+			c.printf("usage: resume <name>\n")
+			break
+		}
+		g, err := c.host.ResumeGuest(fields[1])
+		if err != nil {
+			c.printf("resume: %v\n", err)
+			break
+		}
+		c.guests[fields[1]] = g
+		c.printf("guest %q resumed: dom%d, instance %d\n", fields[1], g.Dom.ID(), g.Instance)
+	case "destroy":
+		if len(fields) != 2 {
+			c.printf("usage: destroy <name>\n")
+			break
+		}
+		g, ok := c.guest(fields[1])
+		if !ok {
+			break
+		}
+		if err := c.host.DestroyGuest(g); err != nil {
+			c.printf("destroy: %v\n", err)
+			break
+		}
+		delete(c.guests, fields[1])
+		c.printf("guest %q destroyed\n", fields[1])
+	case "quit", "exit":
+		return false
+	default:
+		c.printf("unknown command %q (try 'help')\n", fields[0])
+	}
+	return true
+}
+
+func main() {
+	modeFlag := flag.String("mode", "improved", "access-control guard: baseline or improved")
+	bits := flag.Int("bits", 512, "RSA modulus size")
+	script := flag.String("script", "", "semicolon-separated commands to run instead of stdin")
+	flag.Parse()
+
+	mode := xvtpm.ModeImproved
+	if *modeFlag == "baseline" {
+		mode = xvtpm.ModeBaseline
+	}
+	host, err := xvtpm.NewHost(xvtpm.HostConfig{Name: "ctl-host", Mode: mode, RSABits: *bits})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "boot: %v\n", err)
+		os.Exit(1)
+	}
+	defer host.Close()
+
+	c := &console{host: host, guests: make(map[string]*xvtpm.Guest), out: bufio.NewWriter(os.Stdout)}
+	defer c.out.Flush()
+	c.printf("vtpmctl: host up (%s mode). Type 'help'.\n", mode)
+
+	if *script != "" {
+		for _, line := range strings.Split(*script, ";") {
+			c.printf("> %s\n", strings.TrimSpace(line))
+			if !c.handle(line) {
+				break
+			}
+			c.out.Flush()
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	c.printf("> ")
+	c.out.Flush()
+	for sc.Scan() {
+		if !c.handle(sc.Text()) {
+			break
+		}
+		c.printf("> ")
+		c.out.Flush()
+	}
+}

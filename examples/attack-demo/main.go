@@ -1,0 +1,63 @@
+// Attack demo: the paper's headline scenario, side by side. A dump-capable
+// host attacker (the abstract's "CPU and memory dump software") goes after
+// a guest's vTPM secrets on two otherwise identical hosts — one running the
+// stock Xen vTPM access control, one running the improved design — and the
+// full six-attack matrix is printed for both.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xvtpm"
+	"xvtpm/internal/attack"
+)
+
+var hostCtr int
+
+func factory(mode xvtpm.Mode) attack.HostFactory {
+	return func() (*xvtpm.Host, *xvtpm.Guest, *xvtpm.Host, error) {
+		hostCtr++
+		h, err := xvtpm.NewHost(xvtpm.HostConfig{
+			Name: fmt.Sprintf("demo-%s-%d", mode, hostCtr), Mode: mode, RSABits: 512,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		g, err := h.CreateGuest(xvtpm.GuestConfig{Name: "victim-vm", Kernel: []byte("victim-kernel")})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		hostCtr++
+		peer, err := xvtpm.NewHost(xvtpm.HostConfig{
+			Name: fmt.Sprintf("demo-peer-%s-%d", mode, hostCtr), Mode: mode, RSABits: 512,
+		})
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		return h, g, peer, nil
+	}
+}
+
+func main() {
+	fmt.Println("The victim guest seals a secret through its vTPM; the attacker holds")
+	fmt.Println("dom0 privileges (memory dumps, state files, the migration channel).")
+	fmt.Println()
+	for _, mode := range []xvtpm.Mode{xvtpm.ModeBaseline, xvtpm.ModeImproved} {
+		fmt.Printf("=== host running %s access control ===\n", mode)
+		results, err := attack.RunMatrix(factory(mode))
+		if err != nil {
+			log.Fatalf("attack run: %v", err)
+		}
+		wins := 0
+		for _, r := range results {
+			fmt.Printf("  %s\n", r)
+			if r.Succeeded {
+				wins++
+			}
+		}
+		fmt.Printf("  → attacker won %d of %d attacks\n\n", wins, len(results))
+	}
+	fmt.Println("Summary: every attack that succeeds against the stock design is")
+	fmt.Println("blocked by the improved access control — the paper's claim.")
+}

@@ -1,0 +1,105 @@
+// Remote attestation: a verifier off the host decides whether a guest runs
+// the software it claims. The guest enrolls an attestation identity key
+// (AIK) with a privacy CA — proving via ActivateIdentity that the AIK lives
+// in its vTPM — then answers a challenge with a quote over its PCRs. The
+// verifier accepts the honest state and rejects the state after tampering.
+package main
+
+import (
+	"crypto/sha1"
+	"errors"
+	"fmt"
+	"log"
+
+	"xvtpm"
+	"xvtpm/internal/attest"
+	"xvtpm/internal/tpm"
+)
+
+func auth(s string) (a [tpm.AuthSize]byte) {
+	h := sha1.Sum([]byte(s))
+	copy(a[:], h[:])
+	return a
+}
+
+func main() {
+	host, err := xvtpm.NewHost(xvtpm.HostConfig{
+		Name: "attest-host", Mode: xvtpm.ModeImproved, RSABits: 512,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer host.Close()
+	guest, err := host.CreateGuest(xvtpm.GuestConfig{
+		Name: "web-vm", Kernel: []byte("vmlinuz-web"),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The EK public key is readable only before ownership; the cloud
+	// provider records it at provisioning time, as EK certificates are on
+	// real hardware.
+	ekPub, err := guest.TPM.ReadPubek()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ownerAuth, srkAuth, aikAuth := auth("owner"), auth("srk"), auth("aik")
+	if _, err := guest.TPM.TakeOwnership(ownerAuth, srkAuth); err != nil {
+		log.Fatal(err)
+	}
+
+	// The guest measures its boot chain.
+	var expected = map[int][tpm.DigestSize]byte{}
+	for pcr, stage := range map[int]string{0: "firmware", 1: "bootloader", 2: "kernel"} {
+		v, err := guest.TPM.Extend(uint32(pcr), sha1.Sum([]byte(stage)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		expected[pcr] = v
+	}
+	fmt.Println("guest measured firmware, bootloader and kernel")
+
+	// AIK enrollment with the privacy CA.
+	ca, err := attest.NewPrivacyCA(512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert, aikHandle, err := attest.Enroll(guest.TPM, ca, ekPub, ownerAuth, srkAuth, aikAuth, "web-vm-aik")
+	if err != nil {
+		log.Fatalf("enrollment: %v", err)
+	}
+	fmt.Println("AIK enrolled: privacy CA verified TPM residency and issued a certificate")
+
+	// The verifier pins the CA key and the reference measurements.
+	verifier := attest.NewVerifier(ca.PublicKey(), expected)
+
+	// Round 1: honest state.
+	nonce, err := verifier.Challenge()
+	if err != nil {
+		log.Fatal(err)
+	}
+	quote, err := guest.TPM.Quote(aikHandle, aikAuth, nonce, tpm.NewPCRSelection(0, 1, 2))
+	if err != nil {
+		log.Fatalf("quote: %v", err)
+	}
+	if err := verifier.VerifyQuote(cert, nonce, quote); err != nil {
+		log.Fatalf("honest quote rejected: %v", err)
+	}
+	fmt.Println("round 1: verifier ACCEPTS — measurements match the reference")
+
+	// Round 2: the kernel is tampered with (PCR 2 drifts).
+	if _, err := guest.TPM.Extend(2, sha1.Sum([]byte("hot-patched-kernel"))); err != nil {
+		log.Fatal(err)
+	}
+	nonce2, _ := verifier.Challenge()
+	quote2, err := guest.TPM.Quote(aikHandle, aikAuth, nonce2, tpm.NewPCRSelection(0, 1, 2))
+	if err != nil {
+		log.Fatal(err)
+	}
+	err = verifier.VerifyQuote(cert, nonce2, quote2)
+	if !errors.Is(err, attest.ErrWrongPCRs) {
+		log.Fatalf("tampered quote outcome: %v", err)
+	}
+	fmt.Println("round 2: verifier REJECTS — PCR 2 no longer matches (tamper detected)")
+}

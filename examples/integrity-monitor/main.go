@@ -1,0 +1,127 @@
+// Integrity monitor: the full runtime-integrity story over the vTPM. An
+// IMA-style agent in the guest measures every file it "loads" into PCR 10
+// and keeps a measurement list; a remote verifier obtains an AIK-signed
+// quote over that PCR, replays the list against it, and judges each entry
+// against a reference database — detecting both an undeclared binary and an
+// attempt to hide it from the list.
+package main
+
+import (
+	"crypto/sha1"
+	"errors"
+	"fmt"
+	"log"
+
+	"xvtpm"
+	"xvtpm/internal/attest"
+	"xvtpm/internal/ima"
+	"xvtpm/internal/tpm"
+)
+
+func auth(s string) (a [tpm.AuthSize]byte) {
+	h := sha1.Sum([]byte(s))
+	copy(a[:], h[:])
+	return a
+}
+
+func main() {
+	host, err := xvtpm.NewHost(xvtpm.HostConfig{
+		Name: "integrity-host", Mode: xvtpm.ModeImproved, RSABits: 512,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer host.Close()
+	guest, err := host.CreateGuest(xvtpm.GuestConfig{Name: "app-vm", Kernel: []byte("vmlinuz-app")})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ekPub, err := guest.TPM.ReadPubek()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ownerAuth, srkAuth, aikAuth := auth("owner"), auth("srk"), auth("aik")
+	if _, err := guest.TPM.TakeOwnership(ownerAuth, srkAuth); err != nil {
+		log.Fatal(err)
+	}
+	ca, err := attest.NewPrivacyCA(512)
+	if err != nil {
+		log.Fatal(err)
+	}
+	cert, aikHandle, err := attest.Enroll(guest.TPM, ca, ekPub, ownerAuth, srkAuth, aikAuth, "app-vm")
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Boot: the IMA agent measures everything the guest loads.
+	agent := ima.NewAgent(guest.TPM)
+	system := map[string][]byte{
+		"/sbin/init":    []byte("init v2.88"),
+		"/usr/bin/appd": []byte("application daemon build 4711"),
+		"/etc/appd.yml": []byte("listen: :8443"),
+	}
+	refDB := ima.ReferenceDB{}
+	for path, content := range system {
+		if _, err := agent.Measure(path, content); err != nil {
+			log.Fatal(err)
+		}
+		refDB[path] = sha1.Sum(content)
+	}
+	fmt.Printf("guest measured %d files into PCR %d\n", len(system), ima.MeasurementPCR)
+
+	verify := func(label string) []string {
+		verifier := attest.NewVerifier(ca.PublicKey(), nil) // PCR values judged via the list
+		nonce, err := verifier.Challenge()
+		if err != nil {
+			log.Fatal(err)
+		}
+		quote, err := guest.TPM.Quote(aikHandle, aikAuth, nonce, tpm.NewPCRSelection(ima.MeasurementPCR))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := verifier.VerifyQuote(cert, nonce, quote); err != nil {
+			log.Fatalf("%s: quote invalid: %v", label, err)
+		}
+		_, vals, err := tpm.ParseQuoteComposite(quote.Composite)
+		if err != nil || len(vals) != 1 {
+			log.Fatalf("%s: composite: %v", label, err)
+		}
+		list, err := ima.Unmarshal(ima.Marshal(agent.List())) // as transported
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := ima.VerifyList(list, vals[0]); err != nil {
+			if errors.Is(err, ima.ErrAggregateMismatch) {
+				log.Fatalf("%s: measurement list tampered or incomplete: %v", label, err)
+			}
+			log.Fatal(err)
+		}
+		return refDB.Judge(list)
+	}
+
+	if v := verify("round 1"); v != nil {
+		log.Fatalf("clean system flagged: %v", v)
+	}
+	fmt.Println("round 1: quote verified, list replays to PCR, all files known — system HEALTHY")
+
+	// A rootkit is loaded. An honest kernel measures it before execution.
+	if _, err := agent.Measure("/tmp/.hidden/rootkit.ko", []byte("malicious module")); err != nil {
+		log.Fatal(err)
+	}
+	violations := verify("round 2")
+	if len(violations) != 1 || violations[0] != "/tmp/.hidden/rootkit.ko" {
+		log.Fatalf("rootkit not flagged: %v", violations)
+	}
+	fmt.Printf("round 2: verifier flags unknown measurement: %v — system COMPROMISED\n", violations)
+
+	// The attacker tries to hide by presenting a list without the rootkit
+	// entry: the replay no longer matches the quoted PCR.
+	honest := agent.List()
+	scrubbed := honest[:len(honest)-1]
+	pcr, _ := guest.TPM.PCRRead(ima.MeasurementPCR)
+	if err := ima.VerifyList(scrubbed, pcr); !errors.Is(err, ima.ErrAggregateMismatch) {
+		log.Fatalf("scrubbed list not detected: %v", err)
+	}
+	fmt.Println("round 3: scrubbed measurement list detected (replay ≠ quoted PCR) — hiding fails")
+}

@@ -1,0 +1,114 @@
+// Key migration: move a single migratable key between two guests' vTPMs —
+// the fine-grained alternative to migrating a whole VM. A key created
+// migratable carries a migration secret; the source vTPM's owner authorizes
+// the destination SRK with a ticket only that vTPM can mint, and the key's
+// private material is re-wrapped for the destination without ever existing
+// in plaintext outside a TPM. Non-migratable keys refuse the whole dance.
+package main
+
+import (
+	"crypto/sha1"
+	"fmt"
+	"log"
+
+	"xvtpm"
+	"xvtpm/internal/tpm"
+)
+
+func auth(s string) (a [tpm.AuthSize]byte) {
+	h := sha1.Sum([]byte(s))
+	copy(a[:], h[:])
+	return a
+}
+
+func main() {
+	host, err := xvtpm.NewHost(xvtpm.HostConfig{
+		Name: "keymig-host", Mode: xvtpm.ModeImproved, RSABits: 512,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer host.Close()
+
+	alice, err := host.CreateGuest(xvtpm.GuestConfig{Name: "alice-vm", Kernel: []byte("vmlinuz-a")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := host.CreateGuest(xvtpm.GuestConfig{Name: "bob-vm", Kernel: []byte("vmlinuz-b")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Session reuse keeps the many authorized commands below cheap.
+	alice.TPM.EnableSessionCache()
+	bob.TPM.EnableSessionCache()
+
+	aOwner, aSRK := auth("alice-owner"), auth("alice-srk")
+	bOwner, bSRK := auth("bob-owner"), auth("bob-srk")
+	if _, err := alice.TPM.TakeOwnership(aOwner, aSRK); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := bob.TPM.TakeOwnership(bOwner, bSRK); err != nil {
+		log.Fatal(err)
+	}
+
+	// Alice creates a migratable signing key.
+	keyAuth, migAuth := auth("service-key"), auth("migration-secret")
+	blob, err := alice.TPM.CreateWrapKeyMigratable(tpm.KHSRK, aSRK, keyAuth, migAuth, tpm.KeyParams{
+		Usage: tpm.KeyUsageSigning, Scheme: tpm.SSRSASSAPKCS1v15SHA1, Bits: 512, Flags: tpm.FlagMigratable,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	h, err := alice.TPM.LoadKey2(tpm.KHSRK, aSRK, blob)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pub, err := alice.TPM.GetPubKey(h, keyAuth)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alice created a migratable service key")
+
+	// Bob publishes his SRK public key as the migration target; Alice's
+	// vTPM owner authorizes it.
+	bobSRKPub, err := bob.TPM.GetPubKey(tpm.KHSRK, bSRK)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ticket, err := alice.TPM.AuthorizeMigrationKey(aOwner, bobSRKPub)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("alice's vTPM owner authorized bob's SRK as a migration target")
+
+	migrated, err := alice.TPM.CreateMigrationBlob(tpm.KHSRK, aSRK, migAuth, blob, ticket)
+	if err != nil {
+		log.Fatal(err)
+	}
+	bobHandle, err := bob.TPM.LoadKey2(tpm.KHSRK, bSRK, migrated)
+	if err != nil {
+		log.Fatal(err)
+	}
+	digest := sha1.Sum([]byte("signed by bob after migration"))
+	sig, err := bob.TPM.Sign(bobHandle, keyAuth, digest)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := tpm.VerifySHA1(pub, digest[:], sig); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("bob loaded the migrated key and signed with it — same key material")
+
+	// A non-migratable key refuses the same protocol.
+	nmBlob, err := alice.TPM.CreateWrapKey(tpm.KHSRK, aSRK, keyAuth, tpm.KeyParams{
+		Usage: tpm.KeyUsageSigning, Scheme: tpm.SSRSASSAPKCS1v15SHA1, Bits: 512,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := alice.TPM.CreateMigrationBlob(tpm.KHSRK, aSRK, migAuth, nmBlob, ticket); err != nil {
+		fmt.Println("non-migratable key refused migration:", err)
+	} else {
+		log.Fatal("BUG: non-migratable key migrated")
+	}
+}

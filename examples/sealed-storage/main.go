@@ -1,0 +1,93 @@
+// Sealed storage: bind an application secret to the guest's measured boot
+// state, then show that the secret is only released while the measurements
+// match — after a simulated rootkit extends the PCR, unsealing fails.
+//
+// This is the canonical TPM use case the paper's server scenario (guests
+// holding credentials on a consolidated host) depends on.
+package main
+
+import (
+	"crypto/sha1"
+	"fmt"
+	"log"
+
+	"xvtpm"
+	"xvtpm/internal/tpm"
+)
+
+func auth(s string) (a [tpm.AuthSize]byte) {
+	h := sha1.Sum([]byte(s))
+	copy(a[:], h[:])
+	return a
+}
+
+func main() {
+	host, err := xvtpm.NewHost(xvtpm.HostConfig{
+		Name: "sealing-host", Mode: xvtpm.ModeImproved, RSABits: 512,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer host.Close()
+	guest, err := host.CreateGuest(xvtpm.GuestConfig{
+		Name: "db-vm", Kernel: []byte("vmlinuz-db")},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ownerAuth, srkAuth, dataAuth := auth("owner"), auth("srk"), auth("data")
+	if _, err := guest.TPM.TakeOwnership(ownerAuth, srkAuth); err != nil {
+		log.Fatal(err)
+	}
+
+	// Boot-time measurements: the guest's init chain extends PCR 12 with
+	// each stage it loads.
+	for _, stage := range []string{"initrd", "dbd-binary", "dbd-config"} {
+		if _, err := guest.TPM.Extend(12, sha1.Sum([]byte(stage))); err != nil {
+			log.Fatal(err)
+		}
+	}
+	trusted, err := guest.TPM.PCRRead(12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trusted boot state: PCR12 = %x\n", trusted)
+
+	// Seal the database key *to that state*: the blob names PCR 12's
+	// current composite as its release condition.
+	sel := tpm.NewPCRSelection(12)
+	pcrInfo := &tpm.PCRInfo{
+		Selection:       sel,
+		DigestAtRelease: tpm.CompositeHash(sel, [][tpm.DigestSize]byte{trusted}),
+	}
+	dbKey := []byte("AES-key-for-database-files-0123")
+	blob, err := guest.TPM.Seal(tpm.KHSRK, srkAuth, dataAuth, pcrInfo, dbKey)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("database key sealed to PCR12 (%d-byte blob)\n", len(blob))
+
+	// While the state matches, the key is released.
+	got, err := guest.TPM.Unseal(tpm.KHSRK, srkAuth, dataAuth, blob)
+	if err != nil {
+		log.Fatalf("unseal in trusted state: %v", err)
+	}
+	fmt.Printf("trusted state: unsealed %q\n", got)
+
+	// A rootkit loads: its measurement lands in PCR 12 (an honest
+	// measured-boot chain extends everything it runs).
+	if _, err := guest.TPM.Extend(12, sha1.Sum([]byte("evil-rootkit.ko"))); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rootkit measured into PCR12…")
+
+	if _, err := guest.TPM.Unseal(tpm.KHSRK, srkAuth, dataAuth, blob); err != nil {
+		if tpm.IsTPMError(err, tpm.RCWrongPCRVal) {
+			fmt.Println("unseal refused: PCR state no longer matches (TPM_WRONGPCRVAL) — the key stays protected")
+			return
+		}
+		log.Fatalf("unexpected unseal error: %v", err)
+	}
+	log.Fatal("BUG: unseal succeeded in tampered state")
+}

@@ -1,0 +1,3 @@
+module xvtpm
+
+go 1.22

@@ -1,0 +1,105 @@
+// Package attack implements the attacker models of the paper's threat
+// analysis and the scripted scenarios behind the attack-resistance matrix
+// (experiment E4, reconstructed Table 2).
+//
+// Each scenario models a capability a host-side attacker on a consolidated
+// 2010-era Xen server realistically holds — dump-capable dom0 access is the
+// capability the paper's abstract names explicitly — and reports whether
+// the attack succeeded against the host's configured access-control guard.
+// The expectation the evaluation checks: every scenario succeeds against
+// the baseline guard and is blocked by the improved one.
+package attack
+
+import (
+	"bytes"
+	"fmt"
+
+	"xvtpm/internal/tpm"
+	"xvtpm/internal/vtpm"
+	"xvtpm/internal/xen"
+)
+
+// Kind names one attack scenario.
+type Kind string
+
+// The six attack scenarios of the matrix.
+const (
+	KindMemDump      Kind = "mem-dump"      // dump dom0 / guest memory, scan for secrets
+	KindRingSpoof    Kind = "ring-spoof"    // inject commands claiming a victim's identity
+	KindReplay       Kind = "replay"        // re-inject captured ring traffic
+	KindStateTheft   Kind = "state-theft"   // copy vTPM state files off the host
+	KindMigIntercept Kind = "mig-intercept" // observe the migration channel (passive)
+	KindMigTamper    Kind = "mig-tamper"    // modify vTPM state in transit (active)
+)
+
+// Kinds lists all scenarios in matrix order.
+var Kinds = []Kind{KindMemDump, KindRingSpoof, KindReplay, KindStateTheft, KindMigIntercept, KindMigTamper}
+
+// Result is one cell of the attack matrix.
+type Result struct {
+	Kind      Kind
+	Guard     string // guard under attack ("baseline"/"improved")
+	Succeeded bool   // true means the attacker got what they came for
+	Detail    string // human-readable evidence
+}
+
+// String renders one result row.
+func (r Result) String() string {
+	outcome := "BLOCKED"
+	if r.Succeeded {
+		outcome = "SUCCEEDED"
+	}
+	return fmt.Sprintf("%-14s vs %-9s %-9s %s", r.Kind, r.Guard, outcome, r.Detail)
+}
+
+// Probe is a byte pattern whose presence in attacker-visible data counts as
+// a leak.
+type Probe struct {
+	Name    string
+	Pattern []byte
+}
+
+// StateMagicProbe matches serialized plaintext TPM state (which carries the
+// instance's EK, SRK and owner secrets).
+var StateMagicProbe = Probe{Name: "tpm-state-blob", Pattern: []byte(tpm.StateMagic)}
+
+// ScanBytes reports which probes appear in data.
+func ScanBytes(data []byte, probes []Probe) []string {
+	var found []string
+	for _, p := range probes {
+		if len(p.Pattern) > 0 && bytes.Contains(data, p.Pattern) {
+			found = append(found, p.Name)
+		}
+	}
+	return found
+}
+
+// DumpAndScan takes a core dump of target (requires the dom0 capability the
+// attacker holds) and scans it for the probes.
+func DumpAndScan(hv *xen.Hypervisor, target xen.DomID, probes []Probe) ([]string, error) {
+	img, err := hv.DumpCore(xen.Dom0, target)
+	if err != nil {
+		return nil, err
+	}
+	return ScanBytes(img, probes), nil
+}
+
+// ScanStore reads every blob in a vTPM state store (the dom0 filesystem
+// surface) and reports probe hits per blob name.
+func ScanStore(store vtpm.Store, probes []Probe) (map[string][]string, error) {
+	names, err := store.List()
+	if err != nil {
+		return nil, err
+	}
+	hits := make(map[string][]string)
+	for _, name := range names {
+		blob, err := store.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		if f := ScanBytes(blob, probes); len(f) > 0 {
+			hits[name] = f
+		}
+	}
+	return hits, nil
+}

@@ -1,0 +1,375 @@
+package attest
+
+import (
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"xvtpm/internal/ima"
+	"xvtpm/internal/tpm"
+)
+
+// Networked attestation: the verifier/privacy-CA side runs as a service a
+// fleet of guests talks to over TCP. The protocol is four request types on
+// a fresh connection each (2010-era request/response, no session state on
+// the wire):
+//
+//	ENRL: ekPub, aikPub            → encCred              (CA challenge)
+//	PROV: aikPub, credential       → certificate          (CA issue)
+//	CHAL: (empty)                  → nonce                (verifier)
+//	ATTS: cert, nonce, quote, ml   → verdict              (verifier)
+//
+// Messages are length-prefixed (u32) with a 4-byte type tag; every field is
+// in the tpm wire style. The measurement list rides with the quote and is
+// judged against the server's reference database (ima semantics).
+
+// Protocol message types.
+var (
+	msgEnroll = [4]byte{'E', 'N', 'R', 'L'}
+	msgProve  = [4]byte{'P', 'R', 'O', 'V'}
+	msgChal   = [4]byte{'C', 'H', 'A', 'L'}
+	msgAttest = [4]byte{'A', 'T', 'T', 'S'}
+	msgOK     = [4]byte{'O', 'K', 'A', 'Y'}
+	msgErr    = [4]byte{'E', 'R', 'R', 'R'}
+)
+
+// maxProtoMessage bounds one protocol message.
+const maxProtoMessage = 1 << 20
+
+// ErrRemote wraps a failure reported by the attestation service.
+var ErrRemote = errors.New("attest: service refused")
+
+// writeFrame sends one typed, length-prefixed message.
+func writeFrame(w io.Writer, typ [4]byte, body []byte) error {
+	hdr := tpm.NewWriter()
+	hdr.Raw(typ[:])
+	hdr.U32(uint32(len(body)))
+	if _, err := w.Write(hdr.Bytes()); err != nil {
+		return err
+	}
+	if len(body) == 0 {
+		return nil
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// readFrame receives one message.
+func readFrame(r io.Reader) (typ [4]byte, body []byte, err error) {
+	var hdr [8]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return typ, nil, err
+	}
+	copy(typ[:], hdr[:4])
+	n := tpm.NewReader(hdr[4:]).U32()
+	if n > maxProtoMessage {
+		return typ, nil, fmt.Errorf("attest: %d-byte frame exceeds cap", n)
+	}
+	body = make([]byte, n)
+	if n > 0 {
+		if _, err := io.ReadFull(r, body); err != nil {
+			return typ, nil, err
+		}
+	}
+	return typ, body, nil
+}
+
+// Service is the verifier + privacy-CA daemon.
+type Service struct {
+	ca       *PrivacyCA
+	verifier *Verifier
+	refDB    ima.ReferenceDB
+
+	mu     sync.Mutex
+	closed bool
+	l      net.Listener
+}
+
+// NewService assembles a daemon: its CA, a verifier pinning that CA, and a
+// reference database of approved measurements.
+func NewService(bits int, refDB ima.ReferenceDB) (*Service, error) {
+	ca, err := NewPrivacyCA(bits)
+	if err != nil {
+		return nil, err
+	}
+	db := make(ima.ReferenceDB, len(refDB))
+	for k, v := range refDB {
+		db[k] = v
+	}
+	return &Service{
+		ca:       ca,
+		verifier: NewVerifier(ca.PublicKey(), nil),
+		refDB:    db,
+	}, nil
+}
+
+// CAPublicKey exposes the CA key for out-of-band pinning.
+func (s *Service) CAPublicKey() *rsa.PublicKey { return s.ca.PublicKey() }
+
+// AddReference registers an approved measurement.
+func (s *Service) AddReference(path string, hash [tpm.DigestSize]byte) {
+	s.mu.Lock()
+	s.refDB[path] = hash
+	s.mu.Unlock()
+}
+
+// Serve accepts connections until the listener closes. One request per
+// connection.
+func (s *Service) Serve(l net.Listener) error {
+	s.mu.Lock()
+	s.l = l
+	s.mu.Unlock()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		go s.handle(conn)
+	}
+}
+
+// Close stops the service.
+func (s *Service) Close() {
+	s.mu.Lock()
+	s.closed = true
+	l := s.l
+	s.mu.Unlock()
+	if l != nil {
+		l.Close()
+	}
+}
+
+// handle serves one request.
+func (s *Service) handle(conn net.Conn) {
+	defer conn.Close()
+	typ, body, err := readFrame(conn)
+	if err != nil {
+		return
+	}
+	resp, err := s.dispatch(typ, body)
+	if err != nil {
+		writeFrame(conn, msgErr, []byte(err.Error())) //nolint:errcheck // best effort
+		return
+	}
+	writeFrame(conn, msgOK, resp) //nolint:errcheck // best effort
+}
+
+// dispatch routes one request.
+func (s *Service) dispatch(typ [4]byte, body []byte) ([]byte, error) {
+	switch typ {
+	case msgEnroll:
+		r := tpm.NewReader(body)
+		ekPub, err := tpm.UnmarshalPublicKey(r.B32())
+		if err != nil {
+			return nil, err
+		}
+		aikPub, err := tpm.UnmarshalPublicKey(r.B32())
+		if err != nil {
+			return nil, err
+		}
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		encCred, err := s.ca.Challenge(ekPub, aikPub)
+		if err != nil {
+			return nil, err
+		}
+		w := tpm.NewWriter()
+		w.B32(encCred)
+		return w.Bytes(), nil
+	case msgProve:
+		r := tpm.NewReader(body)
+		aikPub, err := tpm.UnmarshalPublicKey(r.B32())
+		if err != nil {
+			return nil, err
+		}
+		cred := r.B32()
+		if err := r.Err(); err != nil {
+			return nil, err
+		}
+		cert, err := s.ca.Issue(aikPub, cred)
+		if err != nil {
+			return nil, err
+		}
+		w := tpm.NewWriter()
+		w.B32(cert.AIKPub)
+		w.B32(cert.Sig)
+		return w.Bytes(), nil
+	case msgChal:
+		nonce, err := s.verifier.Challenge()
+		if err != nil {
+			return nil, err
+		}
+		return nonce[:], nil
+	case msgAttest:
+		return s.handleAttest(body)
+	default:
+		return nil, fmt.Errorf("attest: unknown request %q", typ[:])
+	}
+}
+
+// handleAttest validates one quote + measurement list.
+func (s *Service) handleAttest(body []byte) ([]byte, error) {
+	r := tpm.NewReader(body)
+	cert := &AIKCert{AIKPub: r.B32(), Sig: r.B32()}
+	var nonce [tpm.NonceSize]byte
+	copy(nonce[:], r.Raw(tpm.NonceSize))
+	quote := &tpm.QuoteResult{Composite: r.B32(), Signature: r.B32()}
+	mlBytes := r.B32()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if err := s.verifier.VerifyQuote(cert, nonce, quote); err != nil {
+		return nil, err
+	}
+	// The quote must cover the measurement PCR; replay the list against it.
+	sel, vals, err := tpm.ParseQuoteComposite(quote.Composite)
+	if err != nil {
+		return nil, err
+	}
+	var mlPCR [tpm.DigestSize]byte
+	found := false
+	for i, idx := range sel.Indices() {
+		if idx == ima.MeasurementPCR && i < len(vals) {
+			mlPCR = vals[i]
+			found = true
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("attest: quote does not cover PCR %d", ima.MeasurementPCR)
+	}
+	entries, err := ima.Unmarshal(mlBytes)
+	if err != nil {
+		return nil, err
+	}
+	if err := ima.VerifyList(entries, mlPCR); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	violations := s.refDB.Judge(entries)
+	s.mu.Unlock()
+	w := tpm.NewWriter()
+	w.U32(uint32(len(violations)))
+	for _, v := range violations {
+		w.B16([]byte(v))
+	}
+	return w.Bytes(), nil
+}
+
+// roundTrip dials, sends one request, and returns the OK body.
+func roundTrip(addr string, typ [4]byte, body []byte) ([]byte, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, typ, body); err != nil {
+		return nil, err
+	}
+	rtyp, rbody, err := readFrame(conn)
+	if err != nil {
+		return nil, err
+	}
+	if rtyp == msgErr {
+		return nil, fmt.Errorf("%w: %s", ErrRemote, rbody)
+	}
+	if rtyp != msgOK {
+		return nil, fmt.Errorf("attest: unexpected response %q", rtyp[:])
+	}
+	return rbody, nil
+}
+
+// Agent is the guest-side client of the attestation service.
+type Agent struct {
+	Addr      string
+	TPM       *tpm.Client
+	IMA       *ima.Agent
+	OwnerAuth [tpm.AuthSize]byte
+	SRKAuth   [tpm.AuthSize]byte
+	AIKAuth   [tpm.AuthSize]byte
+
+	cert      *AIKCert
+	aikHandle uint32
+}
+
+// EnrollRemote performs AIK enrollment against the service: MakeIdentity,
+// ENRL, ActivateIdentity, PROV. ekPub must have been captured before
+// ownership.
+func (a *Agent) EnrollRemote(ekPub *rsa.PublicKey) error {
+	blob, aikPub, err := a.TPM.MakeIdentity(a.OwnerAuth, a.AIKAuth, []byte("agent-aik"))
+	if err != nil {
+		return err
+	}
+	a.aikHandle, err = a.TPM.LoadKey2(tpm.KHSRK, a.SRKAuth, blob)
+	if err != nil {
+		return err
+	}
+	req := tpm.NewWriter()
+	req.B32(tpm.MarshalPublicKey(ekPub))
+	req.B32(tpm.MarshalPublicKey(aikPub))
+	resp, err := roundTrip(a.Addr, msgEnroll, req.Bytes())
+	if err != nil {
+		return err
+	}
+	encCred := tpm.NewReader(resp).B32()
+	cred, err := a.TPM.ActivateIdentity(a.aikHandle, a.OwnerAuth, encCred)
+	if err != nil {
+		return err
+	}
+	req = tpm.NewWriter()
+	req.B32(tpm.MarshalPublicKey(aikPub))
+	req.B32(cred)
+	resp, err = roundTrip(a.Addr, msgProve, req.Bytes())
+	if err != nil {
+		return err
+	}
+	r := tpm.NewReader(resp)
+	a.cert = &AIKCert{AIKPub: r.B32(), Sig: r.B32()}
+	return r.Err()
+}
+
+// AttestRemote runs one challenge round: CHAL, Quote over the measurement
+// PCR, ATTS with the measurement list. It returns the service's violation
+// verdict (empty = healthy).
+func (a *Agent) AttestRemote() ([]string, error) {
+	if a.cert == nil {
+		return nil, errors.New("attest: agent not enrolled")
+	}
+	nonceBytes, err := roundTrip(a.Addr, msgChal, nil)
+	if err != nil {
+		return nil, err
+	}
+	var nonce [tpm.NonceSize]byte
+	copy(nonce[:], nonceBytes)
+	quote, err := a.TPM.Quote(a.aikHandle, a.AIKAuth, nonce, tpm.NewPCRSelection(ima.MeasurementPCR))
+	if err != nil {
+		return nil, err
+	}
+	req := tpm.NewWriter()
+	req.B32(a.cert.AIKPub)
+	req.B32(a.cert.Sig)
+	req.Raw(nonce[:])
+	req.B32(quote.Composite)
+	req.B32(quote.Signature)
+	req.B32(ima.Marshal(a.IMA.List()))
+	resp, err := roundTrip(a.Addr, msgAttest, req.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	r := tpm.NewReader(resp)
+	n := r.U32()
+	var violations []string
+	for i := uint32(0); i < n && r.Err() == nil; i++ {
+		violations = append(violations, string(r.B16()))
+	}
+	return violations, r.Err()
+}

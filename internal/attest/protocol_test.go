@@ -1,0 +1,190 @@
+package attest
+
+import (
+	"crypto/sha1"
+	"errors"
+	"net"
+	"testing"
+
+	"xvtpm/internal/ima"
+	"xvtpm/internal/tpm"
+)
+
+// startService runs a Service on a loopback listener.
+func startService(t *testing.T, refDB ima.ReferenceDB) (*Service, string) {
+	t.Helper()
+	svc, err := NewService(testBits, refDB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go svc.Serve(l) //nolint:errcheck // exits on Close
+	t.Cleanup(svc.Close)
+	return svc, l.Addr().String()
+}
+
+// newAgent builds a guest TPM + IMA agent wired to the service address.
+func newAgentRig(t *testing.T, addr, seed string) (*Agent, *tpm.Client) {
+	t.Helper()
+	eng, err := tpm.New(tpm.Config{RSABits: testBits, Seed: []byte(seed)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := tpm.NewClient(tpm.DirectTransport{TPM: eng}, nil)
+	if err := cli.Startup(tpm.STClear); err != nil {
+		t.Fatal(err)
+	}
+	ekPub, err := cli.ReadPubek()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.TakeOwnership(ownerAuth, srkAuth); err != nil {
+		t.Fatal(err)
+	}
+	a := &Agent{
+		Addr: addr, TPM: cli, IMA: ima.NewAgent(cli),
+		OwnerAuth: ownerAuth, SRKAuth: srkAuth, AIKAuth: aikAuth,
+	}
+	if err := a.EnrollRemote(ekPub); err != nil {
+		t.Fatalf("EnrollRemote: %v", err)
+	}
+	return a, cli
+}
+
+func TestServiceFullAttestationOverTCP(t *testing.T) {
+	refDB := ima.ReferenceDB{
+		"/sbin/init":   sha1.Sum([]byte("init-ok")),
+		"/usr/bin/app": sha1.Sum([]byte("app-ok")),
+	}
+	_, addr := startService(t, refDB)
+	agent, _ := newAgentRig(t, addr, "svc1")
+	if _, err := agent.IMA.Measure("/sbin/init", []byte("init-ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := agent.IMA.Measure("/usr/bin/app", []byte("app-ok")); err != nil {
+		t.Fatal(err)
+	}
+	violations, err := agent.AttestRemote()
+	if err != nil {
+		t.Fatalf("AttestRemote: %v", err)
+	}
+	if len(violations) != 0 {
+		t.Fatalf("healthy agent flagged: %v", violations)
+	}
+	// A rogue binary is measured: the next round flags it, by name.
+	if _, err := agent.IMA.Measure("/tmp/rogue", []byte("evil")); err != nil {
+		t.Fatal(err)
+	}
+	violations, err = agent.AttestRemote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(violations) != 1 || violations[0] != "/tmp/rogue" {
+		t.Fatalf("violations = %v", violations)
+	}
+}
+
+func TestServiceRejectsUnenrolledCredential(t *testing.T) {
+	svc, addr := startService(t, nil)
+	_ = svc
+	eng, _ := tpm.New(tpm.Config{RSABits: testBits, Seed: []byte("rogue")})
+	cli := tpm.NewClient(tpm.DirectTransport{TPM: eng}, nil)
+	cli.Startup(tpm.STClear)
+	cli.TakeOwnership(ownerAuth, srkAuth)
+	blob, aikPub, err := cli.MakeIdentity(ownerAuth, aikAuth, []byte("x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = blob
+	// PROV with a guessed credential (no ENRL round) must be refused.
+	req := tpm.NewWriter()
+	req.B32(tpm.MarshalPublicKey(aikPub))
+	req.B32([]byte("guessed-credential-bytes"))
+	if _, err := roundTrip(addr, msgProve, req.Bytes()); !errors.Is(err, ErrRemote) {
+		t.Fatalf("err = %v, want ErrRemote", err)
+	}
+}
+
+func TestServiceRejectsScrubbedMeasurementList(t *testing.T) {
+	refDB := ima.ReferenceDB{"/sbin/init": sha1.Sum([]byte("init-ok"))}
+	_, addr := startService(t, refDB)
+	agent, _ := newAgentRig(t, addr, "svc2")
+	agent.IMA.Measure("/sbin/init", []byte("init-ok"))
+	agent.IMA.Measure("/tmp/rootkit", []byte("evil"))
+	// The agent lies: it presents a scrubbed list. The server replays the
+	// list against the quoted PCR and refuses.
+	honest := agent.IMA
+	scrubbed := ima.NewAgent(agent.TPM)
+	// Re-measure only the clean file into the *scrubbed list object* —
+	// note the PCR already contains both measurements, so the replay fails.
+	agent.IMA = scrubbed
+	if _, err := agent.TPM.PCRRead(ima.MeasurementPCR); err != nil {
+		t.Fatal(err)
+	}
+	_, err := agent.AttestRemote()
+	if !errors.Is(err, ErrRemote) {
+		t.Fatalf("scrubbed list err = %v", err)
+	}
+	agent.IMA = honest
+	if v, err := agent.AttestRemote(); err != nil || len(v) != 1 {
+		t.Fatalf("honest retry: %v %v", v, err)
+	}
+}
+
+func TestServiceRejectsNonceReuseOverTCP(t *testing.T) {
+	_, addr := startService(t, nil)
+	agent, _ := newAgentRig(t, addr, "svc3")
+	if _, err := agent.AttestRemote(); err != nil {
+		t.Fatal(err)
+	}
+	// Hand-roll a replay: fetch a nonce, attest twice with the same one.
+	nonceBytes, err := roundTrip(addr, msgChal, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nonce [tpm.NonceSize]byte
+	copy(nonce[:], nonceBytes)
+	quote, err := agent.TPM.Quote(agent.aikHandle, aikAuth, nonce, tpm.NewPCRSelection(ima.MeasurementPCR))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req := tpm.NewWriter()
+	req.B32(agent.cert.AIKPub)
+	req.B32(agent.cert.Sig)
+	req.Raw(nonce[:])
+	req.B32(quote.Composite)
+	req.B32(quote.Signature)
+	req.B32(ima.Marshal(agent.IMA.List()))
+	if _, err := roundTrip(addr, msgAttest, req.Bytes()); err != nil {
+		t.Fatalf("first use: %v", err)
+	}
+	if _, err := roundTrip(addr, msgAttest, req.Bytes()); !errors.Is(err, ErrRemote) {
+		t.Fatalf("replayed attestation err = %v", err)
+	}
+}
+
+func TestServiceGarbageFrames(t *testing.T) {
+	_, addr := startService(t, nil)
+	// Unknown type.
+	if _, err := roundTrip(addr, [4]byte{'W', 'H', 'A', 'T'}, []byte("x")); !errors.Is(err, ErrRemote) {
+		t.Fatalf("unknown type err = %v", err)
+	}
+	// Garbage body on a known type.
+	if _, err := roundTrip(addr, msgEnroll, []byte{1, 2, 3}); !errors.Is(err, ErrRemote) {
+		t.Fatalf("garbage body err = %v", err)
+	}
+	// Raw garbage bytes on the socket must not kill the service.
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn.Write([]byte("not a frame at all"))
+	conn.Close()
+	// Service still answers.
+	if _, err := roundTrip(addr, msgChal, nil); err != nil {
+		t.Fatalf("service dead after garbage: %v", err)
+	}
+}

@@ -1,0 +1,135 @@
+package core
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"xvtpm/internal/vtpm"
+	"xvtpm/internal/xen"
+)
+
+// AuditRecord is one access-control decision in the hash-chained log.
+type AuditRecord struct {
+	Seq      uint64
+	Instance vtpm.InstanceID
+	Identity xen.LaunchDigest
+	Ordinal  uint32
+	Decision Effect
+	Reason   string
+	Prev     [sha256.Size]byte
+	Hash     [sha256.Size]byte
+}
+
+// digest computes a record's chained hash.
+func (r *AuditRecord) digest() [sha256.Size]byte {
+	h := sha256.New()
+	var b [8]byte
+	binary.BigEndian.PutUint64(b[:], r.Seq)
+	h.Write(b[:])
+	binary.BigEndian.PutUint32(b[:4], uint32(r.Instance))
+	h.Write(b[:4])
+	h.Write(r.Identity[:])
+	binary.BigEndian.PutUint32(b[:4], r.Ordinal)
+	h.Write(b[:4])
+	h.Write([]byte{byte(r.Decision)})
+	h.Write([]byte(r.Reason))
+	h.Write(r.Prev[:])
+	var out [sha256.Size]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// AuditLog is an append-only, hash-chained decision log: each record's hash
+// covers its content and its predecessor's hash, so any after-the-fact edit
+// or truncation-in-the-middle is detectable from the head hash alone.
+type AuditLog struct {
+	mu      sync.Mutex
+	records []AuditRecord
+	head    [sha256.Size]byte
+}
+
+// NewAuditLog creates an empty log.
+func NewAuditLog() *AuditLog { return &AuditLog{} }
+
+// Append records one decision and returns its sequence number.
+func (l *AuditLog) Append(inst vtpm.InstanceID, id xen.LaunchDigest, ordinal uint32, decision Effect, reason string) uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	r := AuditRecord{
+		Seq:      uint64(len(l.records) + 1),
+		Instance: inst,
+		Identity: id,
+		Ordinal:  ordinal,
+		Decision: decision,
+		Reason:   reason,
+		Prev:     l.head,
+	}
+	r.Hash = r.digest()
+	l.records = append(l.records, r)
+	l.head = r.Hash
+	return r.Seq
+}
+
+// Len returns the record count.
+func (l *AuditLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Head returns the chain head hash.
+func (l *AuditLog) Head() [sha256.Size]byte {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.head
+}
+
+// Records returns a copy of all records.
+func (l *AuditLog) Records() []AuditRecord {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]AuditRecord(nil), l.records...)
+}
+
+// Verify walks the chain and reports the first inconsistency, if any.
+func (l *AuditLog) Verify() error {
+	l.mu.Lock()
+	records := append([]AuditRecord(nil), l.records...)
+	head := l.head
+	l.mu.Unlock()
+	var prev [sha256.Size]byte
+	for i := range records {
+		r := &records[i]
+		if r.Prev != prev {
+			return fmt.Errorf("core: audit record %d: broken chain link", r.Seq)
+		}
+		if r.digest() != r.Hash {
+			return fmt.Errorf("core: audit record %d: content does not match hash", r.Seq)
+		}
+		prev = r.Hash
+	}
+	if head != prev {
+		return fmt.Errorf("core: audit head does not match last record")
+	}
+	return nil
+}
+
+// VerifyTail checks records against an externally held head hash — a
+// verifier that saved the head earlier can detect both tampering and
+// truncation.
+func VerifyTail(records []AuditRecord, head [sha256.Size]byte) error {
+	var prev [sha256.Size]byte
+	for i := range records {
+		r := &records[i]
+		if r.Prev != prev || r.digest() != r.Hash {
+			return fmt.Errorf("core: audit record %d invalid", r.Seq)
+		}
+		prev = r.Hash
+	}
+	if prev != head {
+		return fmt.Errorf("core: audit chain does not end at the attested head")
+	}
+	return nil
+}

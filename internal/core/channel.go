@@ -1,0 +1,183 @@
+package core
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/sha256"
+	"crypto/subtle"
+	"encoding/binary"
+	"fmt"
+	"sync"
+
+	"xvtpm/internal/vtpm"
+)
+
+// The authenticated command channel. Every request a guest frontend sends
+// carries a strictly increasing sequence number and is encrypted and MACed
+// under a per-(instance, identity) channel key derived from the platform
+// master secret. The key is installed into the frontend by the domain
+// builder — the same trusted path that measures the guest — so a dom0
+// component that later turns hostile holds neither the key nor any way to
+// mint one.
+//
+// Envelope wire format (all big-endian):
+//
+//	dir(1) ∥ seq(8) ∥ ct(len-41) ∥ mac(32)
+//
+// where ct = AES-128-CTR(encKey, IV = trunc16(HMAC(key, "iv" ∥ dir ∥ seq)))
+// over the TPM command, and mac = HMAC-SHA256(macKey, dir ∥ seq ∥ ct). The
+// IV is derived, not random: sequence numbers never repeat within a channel
+// (strictly monotonic, enforced), so the keystream never repeats, and the
+// envelope stays as small as possible for the 4 KiB ring slots.
+const (
+	chanDirRequest  byte = 0x00
+	chanDirResponse byte = 0x01
+	chanMacSize          = sha256.Size
+	chanHeaderSize       = 1 + 8
+	chanOverhead         = chanHeaderSize + chanMacSize
+)
+
+// ChannelKeySize is the channel key length.
+const ChannelKeySize = 32
+
+// ChannelKey is one per-(instance, identity) channel secret.
+type ChannelKey [ChannelKeySize]byte
+
+// deriveChanKeys expands the channel key into cipher and MAC keys.
+func deriveChanKeys(key ChannelKey) (encKey, macKey []byte) {
+	h := hmac.New(sha256.New, key[:])
+	h.Write([]byte("enc"))
+	encKey = h.Sum(nil)[:16]
+	h = hmac.New(sha256.New, key[:])
+	h.Write([]byte("mac"))
+	macKey = h.Sum(nil)
+	return encKey, macKey
+}
+
+// chanIV derives the CTR IV for one direction and sequence number.
+func chanIV(key ChannelKey, dir byte, seq uint64) []byte {
+	h := hmac.New(sha256.New, key[:])
+	h.Write([]byte("iv"))
+	h.Write([]byte{dir})
+	var s [8]byte
+	binary.BigEndian.PutUint64(s[:], seq)
+	h.Write(s[:])
+	return h.Sum(nil)[:aes.BlockSize]
+}
+
+// sealEnvelope builds one channel envelope.
+func sealEnvelope(key ChannelKey, dir byte, seq uint64, msg []byte) ([]byte, error) {
+	encKey, macKey := deriveChanKeys(key)
+	block, err := aes.NewCipher(encKey)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, chanHeaderSize+len(msg)+chanMacSize)
+	out[0] = dir
+	binary.BigEndian.PutUint64(out[1:], seq)
+	cipher.NewCTR(block, chanIV(key, dir, seq)).XORKeyStream(out[chanHeaderSize:chanHeaderSize+len(msg)], msg)
+	mac := hmac.New(sha256.New, macKey)
+	mac.Write(out[:chanHeaderSize+len(msg)])
+	copy(out[chanHeaderSize+len(msg):], mac.Sum(nil))
+	return out, nil
+}
+
+// openEnvelope authenticates and decrypts one channel envelope, returning
+// its direction, sequence number and plaintext.
+func openEnvelope(key ChannelKey, payload []byte) (dir byte, seq uint64, msg []byte, err error) {
+	if len(payload) < chanOverhead {
+		return 0, 0, nil, fmt.Errorf("%w: envelope of %d bytes", vtpm.ErrBadChannel, len(payload))
+	}
+	encKey, macKey := deriveChanKeys(key)
+	body := payload[:len(payload)-chanMacSize]
+	mac := hmac.New(sha256.New, macKey)
+	mac.Write(body)
+	if subtle.ConstantTimeCompare(mac.Sum(nil), payload[len(payload)-chanMacSize:]) != 1 {
+		return 0, 0, nil, vtpm.ErrBadChannel
+	}
+	dir = body[0]
+	seq = binary.BigEndian.Uint64(body[1:9])
+	block, err := aes.NewCipher(encKey)
+	if err != nil {
+		return 0, 0, nil, err
+	}
+	msg = make([]byte, len(body)-chanHeaderSize)
+	cipher.NewCTR(block, chanIV(key, dir, seq)).XORKeyStream(msg, body[chanHeaderSize:])
+	return dir, seq, msg, nil
+}
+
+// guestCodec is the frontend half of the channel: it implements
+// vtpm.GuestCodec for one guest.
+type guestCodec struct {
+	key ChannelKey
+
+	mu      sync.Mutex
+	nextSeq uint64
+	lastSeq uint64 // sequence of the request awaiting its response
+}
+
+// NewGuestCodec builds the frontend codec for a channel key. Exported for
+// the attack harness, which needs a codec with a wrong key.
+func NewGuestCodec(key ChannelKey) vtpm.GuestCodec {
+	return &guestCodec{key: key, nextSeq: 1}
+}
+
+// EncodeRequest implements vtpm.GuestCodec.
+func (g *guestCodec) EncodeRequest(cmd []byte) ([]byte, error) {
+	g.mu.Lock()
+	seq := g.nextSeq
+	g.nextSeq++
+	g.lastSeq = seq
+	g.mu.Unlock()
+	return sealEnvelope(g.key, chanDirRequest, seq, cmd)
+}
+
+// DecodeResponse implements vtpm.GuestCodec: the response must carry the
+// sequence number of the request just sent.
+func (g *guestCodec) DecodeResponse(payload []byte) ([]byte, error) {
+	dir, seq, msg, err := openEnvelope(g.key, payload)
+	if err != nil {
+		return nil, err
+	}
+	g.mu.Lock()
+	want := g.lastSeq
+	g.mu.Unlock()
+	if dir != chanDirResponse || seq != want {
+		return nil, fmt.Errorf("%w: response dir %d seq %d, want %d", vtpm.ErrBadChannel, dir, seq, want)
+	}
+	return msg, nil
+}
+
+// serverChannel is the manager-side half: it verifies request envelopes and
+// enforces strict sequence monotonicity (the anti-replay window).
+type serverChannel struct {
+	key ChannelKey
+
+	mu      sync.Mutex
+	lastSeq uint64
+}
+
+// open verifies one request envelope and returns the command and its
+// sequence number.
+func (s *serverChannel) open(payload []byte) (cmd []byte, seq uint64, err error) {
+	dir, seq, msg, err := openEnvelope(s.key, payload)
+	if err != nil {
+		return nil, 0, err
+	}
+	if dir != chanDirRequest {
+		return nil, 0, fmt.Errorf("%w: reflected envelope", vtpm.ErrBadChannel)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if seq <= s.lastSeq {
+		return nil, 0, fmt.Errorf("%w: seq %d, last %d", vtpm.ErrReplay, seq, s.lastSeq)
+	}
+	s.lastSeq = seq
+	return msg, seq, nil
+}
+
+// seal builds the response envelope for a verified request.
+func (s *serverChannel) seal(resp []byte, seq uint64) ([]byte, error) {
+	return sealEnvelope(s.key, chanDirResponse, seq, resp)
+}

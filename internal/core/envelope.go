@@ -1,0 +1,68 @@
+package core
+
+import (
+	"crypto/aes"
+	"crypto/cipher"
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/sha256"
+	"crypto/subtle"
+	"fmt"
+	"io"
+
+	"xvtpm/internal/vtpm"
+)
+
+// State envelopes: AES-128-CTR with a random IV plus HMAC-SHA256
+// (encrypt-then-MAC), used for vTPM state at rest, the in-memory mirror and
+// migration payloads. Unlike the command channel there is no sequence
+// discipline here, so the IV is random.
+const (
+	stateIVSize   = aes.BlockSize
+	stateMacSize  = sha256.Size
+	stateOverhead = stateIVSize + stateMacSize
+)
+
+// stateSeal encrypts and authenticates plaintext under key.
+func stateSeal(key, plaintext []byte) ([]byte, error) {
+	encKey, macKey := deriveStateKeys(key)
+	block, err := aes.NewCipher(encKey)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, stateIVSize+len(plaintext)+stateMacSize)
+	if _, err := io.ReadFull(rand.Reader, out[:stateIVSize]); err != nil {
+		return nil, err
+	}
+	cipher.NewCTR(block, out[:stateIVSize]).XORKeyStream(out[stateIVSize:stateIVSize+len(plaintext)], plaintext)
+	mac := hmac.New(sha256.New, macKey)
+	mac.Write(out[:stateIVSize+len(plaintext)])
+	copy(out[stateIVSize+len(plaintext):], mac.Sum(nil))
+	return out, nil
+}
+
+// stateOpen reverses stateSeal.
+func stateOpen(key, envelope []byte) ([]byte, error) {
+	if len(envelope) < stateOverhead {
+		return nil, fmt.Errorf("%w: envelope of %d bytes", vtpm.ErrStateSealed, len(envelope))
+	}
+	encKey, macKey := deriveStateKeys(key)
+	body := envelope[:len(envelope)-stateMacSize]
+	mac := hmac.New(sha256.New, macKey)
+	mac.Write(body)
+	if subtle.ConstantTimeCompare(mac.Sum(nil), envelope[len(envelope)-stateMacSize:]) != 1 {
+		return nil, vtpm.ErrStateSealed
+	}
+	block, err := aes.NewCipher(encKey)
+	if err != nil {
+		return nil, err
+	}
+	pt := make([]byte, len(body)-stateIVSize)
+	cipher.NewCTR(block, body[:stateIVSize]).XORKeyStream(pt, body[stateIVSize:])
+	return pt, nil
+}
+
+// deriveStateKeys expands a state key into cipher and MAC keys.
+func deriveStateKeys(key []byte) (encKey, macKey []byte) {
+	return deriveBytes(key, "state-enc")[:16], deriveBytes(key, "state-mac")
+}

@@ -1,0 +1,51 @@
+package core_test
+
+import (
+	"fmt"
+
+	"xvtpm/internal/core"
+	"xvtpm/internal/tpm"
+	"xvtpm/internal/xen"
+)
+
+// ExamplePolicy shows the rule model: first match wins, default deny, with
+// a specific deny shadowing a broader allow.
+func ExamplePolicy() {
+	guest := xen.MeasureLaunch([]byte("kernel"), nil, "")
+	p := core.NewPolicy(
+		// The guest may not clear ownership...
+		core.Rule{Identity: guest, Instance: 1, Ordinal: tpm.OrdOwnerClear, Effect: core.Deny},
+		// ...but gets the rest of the ownership group, and sealing.
+		core.Rule{Identity: guest, Instance: 1, Group: core.GroupOwnership, Effect: core.Allow},
+		core.Rule{Identity: guest, Instance: 1, Group: core.GroupSealing, Effect: core.Allow},
+	)
+	fmt.Println("TakeOwnership:", p.Evaluate(guest, 1, tpm.OrdTakeOwnership))
+	fmt.Println("OwnerClear:  ", p.Evaluate(guest, 1, tpm.OrdOwnerClear))
+	fmt.Println("Seal:        ", p.Evaluate(guest, 1, tpm.OrdSeal))
+	fmt.Println("Extend:      ", p.Evaluate(guest, 1, tpm.OrdExtend))
+	other := xen.MeasureLaunch([]byte("other-kernel"), nil, "")
+	fmt.Println("foreign Seal:", p.Evaluate(other, 1, tpm.OrdSeal))
+	// Output:
+	// TakeOwnership: allow
+	// OwnerClear:   deny
+	// Seal:         allow
+	// Extend:       deny
+	// foreign Seal: deny
+}
+
+// ExampleAuditLog shows the hash chain detecting tampering.
+func ExampleAuditLog() {
+	l := core.NewAuditLog()
+	l.Append(1, xen.LaunchDigest{}, tpm.OrdExtend, core.Allow, "")
+	l.Append(1, xen.LaunchDigest{}, tpm.OrdSeal, core.Deny, "policy")
+	fmt.Println("records:", l.Len())
+	fmt.Println("chain ok:", l.Verify() == nil)
+
+	records := l.Records()
+	records[0].Decision = core.Deny // tamper
+	fmt.Println("tampered ok:", core.VerifyTail(records, l.Head()) == nil)
+	// Output:
+	// records: 2
+	// chain ok: true
+	// tampered ok: false
+}

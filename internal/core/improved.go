@@ -1,0 +1,186 @@
+package core
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"xvtpm/internal/tpm"
+	"xvtpm/internal/vtpm"
+	"xvtpm/internal/xen"
+)
+
+// ImprovedGuard is the paper's contribution: the improved access-control
+// layer for the Xen vTPM subsystem. See the package comment for the design.
+type ImprovedGuard struct {
+	keys   *PlatformKeys
+	policy *Policy
+	audit  *AuditLog
+
+	mu       sync.Mutex
+	channels map[vtpm.InstanceID]*serverChannel
+
+	// Flood control (see ratelimit.go); zero disables. rateOverride maps
+	// individual instances to their own limits.
+	ratePerSecond int
+	rateOverride  map[vtpm.InstanceID]int
+	buckets       map[vtpm.InstanceID]*tokenBucket
+}
+
+// NewImprovedGuard assembles the improved controller from its platform keys
+// and policy. The audit log is created fresh.
+func NewImprovedGuard(keys *PlatformKeys, policy *Policy) *ImprovedGuard {
+	return &ImprovedGuard{
+		keys:     keys,
+		policy:   policy,
+		audit:    NewAuditLog(),
+		channels: make(map[vtpm.InstanceID]*serverChannel),
+		buckets:  make(map[vtpm.InstanceID]*tokenBucket),
+	}
+}
+
+// Name implements vtpm.Guard.
+func (g *ImprovedGuard) Name() string { return "improved" }
+
+// Policy returns the guard's policy for runtime administration.
+func (g *ImprovedGuard) Policy() *Policy { return g.policy }
+
+// Audit returns the guard's decision log.
+func (g *ImprovedGuard) Audit() *AuditLog { return g.audit }
+
+// channelFor returns (creating if needed) the server channel for an
+// instance, keyed by the instance's *bound* identity — not by anything the
+// caller claims.
+func (g *ImprovedGuard) channelFor(inst vtpm.InstanceInfo) *serverChannel {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	ch, ok := g.channels[inst.ID]
+	if !ok {
+		ch = &serverChannel{key: g.keys.ChannelKeyFor(inst.ID, inst.BoundLaunch)}
+		g.channels[inst.ID] = ch
+	}
+	return ch
+}
+
+// ResetChannel discards an instance's channel state (on rebind after
+// migration, when a fresh codec with a fresh sequence space is issued).
+func (g *ImprovedGuard) ResetChannel(id vtpm.InstanceID) {
+	g.mu.Lock()
+	delete(g.channels, id)
+	g.mu.Unlock()
+}
+
+// AdmitCommand implements vtpm.Guard. The claimed origin is deliberately
+// ignored for authentication: only possession of the channel key — which
+// the domain builder installed into the measured guest and nowhere else —
+// admits a command. Policy is then evaluated against the instance's bound
+// identity.
+func (g *ImprovedGuard) AdmitCommand(inst vtpm.InstanceInfo, claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest, payload []byte) ([]byte, vtpm.ResponseFinisher, error) {
+	if err := g.admitRate(inst.ID, time.Now()); err != nil {
+		g.audit.Append(inst.ID, inst.BoundLaunch, 0, Deny, "rate")
+		return nil, nil, err
+	}
+	ch := g.channelFor(inst)
+	cmd, seq, err := ch.open(payload)
+	if err != nil {
+		g.audit.Append(inst.ID, inst.BoundLaunch, 0, Deny, "channel: "+err.Error())
+		return nil, nil, err
+	}
+	ordinal := ordinalOf(cmd)
+	if g.policy.Evaluate(inst.BoundLaunch, inst.ID, ordinal) != Allow {
+		g.audit.Append(inst.ID, inst.BoundLaunch, ordinal, Deny, "policy")
+		return nil, nil, fmt.Errorf("%w: ordinal %#x for instance %d", vtpm.ErrDenied, ordinal, inst.ID)
+	}
+	g.audit.Append(inst.ID, inst.BoundLaunch, ordinal, Allow, "")
+	finish := func(resp []byte) ([]byte, error) {
+		return ch.seal(resp, seq)
+	}
+	return cmd, finish, nil
+}
+
+// EncoderFor implements vtpm.Guard: issue the guest codec for an instance's
+// bound identity. Issuing a codec resets the server-side sequence window,
+// pairing it with the fresh client window.
+func (g *ImprovedGuard) EncoderFor(inst vtpm.InstanceInfo) (vtpm.GuestCodec, error) {
+	if inst.BoundLaunch == (xen.LaunchDigest{}) {
+		return nil, vtpm.ErrNotBound
+	}
+	g.ResetChannel(inst.ID)
+	return NewGuestCodec(g.keys.ChannelKeyFor(inst.ID, inst.BoundLaunch)), nil
+}
+
+// ProtectState implements vtpm.Guard: envelope the state under the
+// instance's derived key.
+func (g *ImprovedGuard) ProtectState(inst vtpm.InstanceInfo, state []byte) ([]byte, error) {
+	return stateSeal(g.keys.InstanceKey(inst.ID), state)
+}
+
+// RecoverState implements vtpm.Guard.
+func (g *ImprovedGuard) RecoverState(inst vtpm.InstanceInfo, blob []byte) ([]byte, error) {
+	return stateOpen(g.keys.InstanceKey(inst.ID), blob)
+}
+
+// Migration envelope wire form: encKek(B32) ∥ stateEnvelope(B32), where
+// encKek is a fresh key-encryption key OAEP-bound to the destination host's
+// TPM-resident bind key.
+
+// ExportState implements vtpm.Guard.
+func (g *ImprovedGuard) ExportState(inst vtpm.InstanceInfo, state []byte, destEK *rsa.PublicKey) ([]byte, error) {
+	if destEK == nil {
+		return nil, fmt.Errorf("%w: improved guard requires a destination bind key", vtpm.ErrStateSealed)
+	}
+	kek := make([]byte, 32)
+	if _, err := io.ReadFull(rand.Reader, kek); err != nil {
+		return nil, err
+	}
+	encKek, err := tpm.BindEncrypt(nil, destEK, kek[:16])
+	if err != nil {
+		return nil, fmt.Errorf("core: binding migration kek: %w", err)
+	}
+	// OAEP under small test moduli caps the message size, so bind 16 bytes
+	// of the KEK and derive the envelope key from them.
+	env, err := stateSeal(deriveBytes(kek[:16], "migration"), state)
+	if err != nil {
+		return nil, err
+	}
+	w := tpm.NewWriter()
+	w.B32(encKek)
+	w.B32(env)
+	return w.Bytes(), nil
+}
+
+// ImportState implements vtpm.Guard: the KEK is recovered inside the
+// hardware TPM via TPM_UnBind, so the bind private key never exists in host
+// memory.
+func (g *ImprovedGuard) ImportState(blob []byte) ([]byte, error) {
+	r := tpm.NewReader(blob)
+	encKek := r.B32()
+	env := r.B32()
+	if err := r.Err(); err != nil {
+		return nil, fmt.Errorf("%w: %v", vtpm.ErrStateSealed, err)
+	}
+	kek, err := g.keys.UnbindMigrationKek(encKek)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", vtpm.ErrStateSealed, err)
+	}
+	return stateOpen(deriveBytes(kek, "migration"), env)
+}
+
+// MigrationIdentity implements vtpm.Guard.
+func (g *ImprovedGuard) MigrationIdentity() *rsa.PublicKey { return g.keys.MigrationPub() }
+
+// RetainsPlaintext implements vtpm.Guard: the improved manager scrubs
+// exchange buffers immediately.
+func (g *ImprovedGuard) RetainsPlaintext() bool { return false }
+
+// ordinalOf extracts the ordinal from a marshaled TPM command.
+func ordinalOf(cmd []byte) uint32 {
+	if len(cmd) < 10 {
+		return 0
+	}
+	return binary.BigEndian.Uint32(cmd[6:10])
+}

@@ -1,0 +1,184 @@
+package core
+
+import (
+	"crypto/hmac"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha1"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"xvtpm/internal/tpm"
+	"xvtpm/internal/vtpm"
+	"xvtpm/internal/xen"
+)
+
+// PlatformKeys anchors the improved design's key material in the host's
+// hardware TPM:
+//
+//   - a 32-byte master secret, held only sealed to the hardware TPM under
+//     the platform boot PCRs: a host that boots modified management software
+//     cannot unseal it;
+//   - per-instance state keys and per-(instance, identity) channel keys,
+//     derived from the master by HMAC — nothing per-guest needs storing;
+//   - a migration bind key whose private half exists only wrapped under the
+//     hardware SRK; inbound migration envelopes are opened by TPM_UnBind
+//     inside the hardware TPM.
+type PlatformKeys struct {
+	hw        *tpm.Client
+	ownerAuth [tpm.AuthSize]byte
+	srkAuth   [tpm.AuthSize]byte
+	bindAuth  [tpm.AuthSize]byte
+
+	master       []byte // unsealed working copy (see SECURITY note below)
+	sealedMaster []byte
+	bindBlob     []byte // bind key wrapped under the hardware SRK
+	bindPub      *rsa.PublicKey
+}
+
+// SECURITY note: the unsealed master lives in the manager's Go heap, which
+// this simulation's dump attacker cannot see (the dump model covers domain
+// pages and the manager's arena). On real hardware the equivalent working
+// copy would be held in locked kernel memory; the design point being
+// evaluated is that nothing *derived-at-rest* — state files, mirrors, ring
+// traffic, migration envelopes — is ever plaintext, which is exactly what
+// the dump attacker exercises.
+
+// platformPCRs are the boot-measurement registers the master is sealed to.
+var platformPCRs = []int{0, 1, 2}
+
+// SetupPlatformKeys provisions a host's hardware TPM on first boot: take
+// ownership, measure the platform into the boot PCRs, generate and seal the
+// master secret, and create the migration bind key.
+func SetupPlatformKeys(hw *tpm.Client, platformMeasurement []byte, ownerAuth, srkAuth [tpm.AuthSize]byte) (*PlatformKeys, error) {
+	if _, err := hw.TakeOwnership(ownerAuth, srkAuth); err != nil {
+		return nil, fmt.Errorf("core: owning hardware TPM: %w", err)
+	}
+	meas := sha1.Sum(platformMeasurement)
+	vals := make([][tpm.DigestSize]byte, 0, len(platformPCRs))
+	for _, idx := range platformPCRs {
+		v, err := hw.Extend(uint32(idx), meas)
+		if err != nil {
+			return nil, fmt.Errorf("core: measuring platform: %w", err)
+		}
+		vals = append(vals, v)
+	}
+	master := make([]byte, 32)
+	if _, err := io.ReadFull(rand.Reader, master); err != nil {
+		return nil, err
+	}
+	sel := tpm.NewPCRSelection(platformPCRs...)
+	info := &tpm.PCRInfo{Selection: sel, DigestAtRelease: tpm.CompositeHash(sel, vals)}
+	sealed, err := hw.Seal(tpm.KHSRK, srkAuth, srkAuth, info, master)
+	if err != nil {
+		return nil, fmt.Errorf("core: sealing master: %w", err)
+	}
+	pk := &PlatformKeys{
+		hw:           hw,
+		ownerAuth:    ownerAuth,
+		srkAuth:      srkAuth,
+		master:       master,
+		sealedMaster: sealed,
+	}
+	copy(pk.bindAuth[:], deriveBytes(master, "bind-key-auth")[:tpm.AuthSize])
+	blob, err := hw.CreateWrapKey(tpm.KHSRK, srkAuth, pk.bindAuth, tpm.KeyParams{
+		Usage: tpm.KeyUsageBind, Scheme: tpm.ESRSAESOAEP,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("core: creating bind key: %w", err)
+	}
+	h, err := hw.LoadKey2(tpm.KHSRK, srkAuth, blob)
+	if err != nil {
+		return nil, err
+	}
+	pub, err := hw.GetPubKey(h, pk.bindAuth)
+	if err != nil {
+		return nil, err
+	}
+	hw.FlushKey(h) //nolint:errcheck // handle cleanup
+	pk.bindBlob = blob
+	pk.bindPub = pub
+	return pk, nil
+}
+
+// ReopenPlatformKeys revives platform keys after a manager restart by
+// unsealing the master from the hardware TPM. It fails if the platform PCRs
+// no longer match the sealed state (a modified boot).
+func ReopenPlatformKeys(hw *tpm.Client, sealedMaster, bindBlob []byte, ownerAuth, srkAuth [tpm.AuthSize]byte) (*PlatformKeys, error) {
+	master, err := hw.Unseal(tpm.KHSRK, srkAuth, srkAuth, sealedMaster)
+	if err != nil {
+		return nil, fmt.Errorf("core: unsealing master: %w", err)
+	}
+	pk := &PlatformKeys{
+		hw:           hw,
+		ownerAuth:    ownerAuth,
+		srkAuth:      srkAuth,
+		master:       master,
+		sealedMaster: sealedMaster,
+		bindBlob:     bindBlob,
+	}
+	copy(pk.bindAuth[:], deriveBytes(master, "bind-key-auth")[:tpm.AuthSize])
+	if bindBlob != nil {
+		h, err := hw.LoadKey2(tpm.KHSRK, srkAuth, bindBlob)
+		if err != nil {
+			return nil, err
+		}
+		pub, err := hw.GetPubKey(h, pk.bindAuth)
+		if err != nil {
+			return nil, err
+		}
+		hw.FlushKey(h) //nolint:errcheck // handle cleanup
+		pk.bindPub = pub
+	}
+	return pk, nil
+}
+
+// SealedMaster returns the sealed master blob (persisted by the platform).
+func (pk *PlatformKeys) SealedMaster() []byte { return pk.sealedMaster }
+
+// BindBlob returns the wrapped migration bind key (persisted alongside).
+func (pk *PlatformKeys) BindBlob() []byte { return pk.bindBlob }
+
+// MigrationPub returns the public half of the migration bind key.
+func (pk *PlatformKeys) MigrationPub() *rsa.PublicKey { return pk.bindPub }
+
+// deriveBytes derives labeled key material from a secret.
+func deriveBytes(secret []byte, label string, extra ...[]byte) []byte {
+	h := hmac.New(sha256.New, secret)
+	h.Write([]byte(label))
+	for _, e := range extra {
+		h.Write(e)
+	}
+	return h.Sum(nil)
+}
+
+// InstanceKey derives the state-envelope key for one instance.
+func (pk *PlatformKeys) InstanceKey(id vtpm.InstanceID) []byte {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(id))
+	return deriveBytes(pk.master, "instance-state", b[:])
+}
+
+// ChannelKeyFor derives the command-channel key for one (instance,
+// identity) pair.
+func (pk *PlatformKeys) ChannelKeyFor(id vtpm.InstanceID, launch xen.LaunchDigest) ChannelKey {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(id))
+	var key ChannelKey
+	copy(key[:], deriveBytes(pk.master, "channel", b[:], launch[:]))
+	return key
+}
+
+// UnbindMigrationKek opens a migration key-encryption-key that was
+// OAEP-encrypted to this host's bind key, by loading the wrapped bind key
+// into the hardware TPM and running TPM_UnBind there.
+func (pk *PlatformKeys) UnbindMigrationKek(encKek []byte) ([]byte, error) {
+	h, err := pk.hw.LoadKey2(tpm.KHSRK, pk.srkAuth, pk.bindBlob)
+	if err != nil {
+		return nil, fmt.Errorf("core: loading bind key: %w", err)
+	}
+	defer pk.hw.FlushKey(h) //nolint:errcheck // handle cleanup
+	return pk.hw.UnBind(h, pk.bindAuth, encKek)
+}

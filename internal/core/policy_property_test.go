@@ -1,0 +1,126 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"xvtpm/internal/tpm"
+	"xvtpm/internal/vtpm"
+	"xvtpm/internal/xen"
+)
+
+// referenceEvaluate is an independent, obviously-correct implementation of
+// the policy semantics (first match wins, default deny) that the property
+// tests compare the real engine against.
+func referenceEvaluate(rules []Rule, id xen.LaunchDigest, inst vtpm.InstanceID, ordinal uint32) Effect {
+	for _, r := range rules {
+		idOK := r.Identity == AnyIdentity || r.Identity == id
+		instOK := r.Instance == AnyInstance || r.Instance == inst
+		var selOK bool
+		switch {
+		case r.Ordinal != 0:
+			selOK = r.Ordinal == ordinal
+		case r.Group != "":
+			selOK = r.Group == GroupOf(ordinal)
+		default:
+			selOK = true
+		}
+		if idOK && instOK && selOK {
+			return r.Effect
+		}
+	}
+	return Deny
+}
+
+// randomRules builds a reproducible random rule list.
+func randomRules(rng *rand.Rand, n int, ids []xen.LaunchDigest, ordinals []uint32) []Rule {
+	groups := []Group{"", GroupAdmin, GroupPCR, GroupAttest, GroupSealing, GroupKeys, GroupOwnership, GroupNV, GroupRandom}
+	rules := make([]Rule, 0, n)
+	for i := 0; i < n; i++ {
+		var r Rule
+		if rng.Intn(3) > 0 {
+			r.Identity = ids[rng.Intn(len(ids))]
+		}
+		if rng.Intn(3) > 0 {
+			r.Instance = vtpm.InstanceID(rng.Intn(4))
+		}
+		switch rng.Intn(3) {
+		case 0:
+			r.Ordinal = ordinals[rng.Intn(len(ordinals))]
+		case 1:
+			r.Group = groups[rng.Intn(len(groups))]
+		}
+		if rng.Intn(2) == 0 {
+			r.Effect = Allow
+		}
+		rules = append(rules, r)
+	}
+	return rules
+}
+
+// TestPolicyMatchesReferenceEvaluator fuzzes rule lists and request tuples
+// and demands bit-identical decisions from the engine (cached and uncached)
+// and the reference implementation.
+func TestPolicyMatchesReferenceEvaluator(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	ids := []xen.LaunchDigest{
+		AnyIdentity, // zero identity also occurs as a *request* subject
+		launchOf("a"), launchOf("b"), launchOf("c"),
+	}
+	ordinals := []uint32{
+		tpm.OrdExtend, tpm.OrdPCRRead, tpm.OrdSeal, tpm.OrdUnseal, tpm.OrdQuote,
+		tpm.OrdGetRandom, tpm.OrdTakeOwnership, tpm.OrdNVWriteValue, tpm.OrdOIAP,
+		tpm.OrdCreateCounter, 0xDEAD0001, // unknown ordinal maps to admin group
+	}
+	for trial := 0; trial < 200; trial++ {
+		rules := randomRules(rng, rng.Intn(12), ids, ordinals)
+		pCached := NewPolicy(rules...)
+		pUncached := NewPolicy(rules...)
+		pUncached.SetCache(false)
+		for q := 0; q < 40; q++ {
+			id := ids[rng.Intn(len(ids))]
+			inst := vtpm.InstanceID(rng.Intn(4))
+			ord := ordinals[rng.Intn(len(ordinals))]
+			want := referenceEvaluate(rules, id, inst, ord)
+			if got := pUncached.Evaluate(id, inst, ord); got != want {
+				t.Fatalf("trial %d: uncached %v, reference %v (rules %+v, q=(%x,%d,%#x))",
+					trial, got, want, rules, id[:4], inst, ord)
+			}
+			// Ask the cached engine twice: cold and warm paths must agree.
+			if got := pCached.Evaluate(id, inst, ord); got != want {
+				t.Fatalf("trial %d: cached-cold %v, reference %v", trial, got, want)
+			}
+			if got := pCached.Evaluate(id, inst, ord); got != want {
+				t.Fatalf("trial %d: cached-warm %v, reference %v", trial, got, want)
+			}
+		}
+	}
+}
+
+// TestPolicySerializationPreservesSemantics fuzzes round trips through the
+// binary form.
+func TestPolicySerializationPreservesSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ids := []xen.LaunchDigest{launchOf("x"), launchOf("y")}
+	ordinals := []uint32{tpm.OrdExtend, tpm.OrdSeal, tpm.OrdSign, tpm.OrdGetRandom}
+	for trial := 0; trial < 100; trial++ {
+		rules := randomRules(rng, rng.Intn(10), ids, ordinals)
+		p := NewPolicy(rules...)
+		blob, err := p.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, err := UnmarshalPolicy(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 30; i++ {
+			id := ids[rng.Intn(len(ids))]
+			inst := vtpm.InstanceID(rng.Intn(3))
+			ord := ordinals[rng.Intn(len(ordinals))]
+			if p.Evaluate(id, inst, ord) != q.Evaluate(id, inst, ord) {
+				t.Fatalf("trial %d: decision drift after round trip", trial)
+			}
+		}
+	}
+}

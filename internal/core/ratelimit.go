@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"xvtpm/internal/vtpm"
+)
+
+// Flood control: a misbehaving or compromised guest can monopolize the
+// manager (and the RSA-heavy instance engine) by spraying commands — a
+// denial-of-service against co-resident guests that the stock design has no
+// answer to. The improved guard can enforce a per-instance token bucket:
+// each admitted command spends one token; buckets refill at the configured
+// rate and cap at one second of burst.
+
+// tokenBucket is a classic token bucket with lazy refill.
+type tokenBucket struct {
+	mu       sync.Mutex
+	rate     float64 // tokens per second
+	capacity float64
+	tokens   float64
+	last     time.Time
+}
+
+// bucketBurstWindow is how much burst a bucket holds: 100 ms worth of the
+// configured rate (at least one command). A full second of burst would let
+// a flooder defeat the limiter on sub-second timescales.
+const bucketBurstWindow = 0.1
+
+func newTokenBucket(perSecond int, now time.Time) *tokenBucket {
+	r := float64(perSecond)
+	cap := r * bucketBurstWindow
+	if cap < 1 {
+		cap = 1
+	}
+	return &tokenBucket{rate: r, capacity: cap, tokens: cap, last: now}
+}
+
+// take spends one token if available. When refused, wait is how long until
+// the next token accrues — the tarpit interval.
+func (b *tokenBucket) take(now time.Time) (ok bool, wait time.Duration) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	elapsed := now.Sub(b.last).Seconds()
+	if elapsed > 0 {
+		b.tokens += elapsed * b.rate
+		if b.tokens > b.capacity {
+			b.tokens = b.capacity
+		}
+		b.last = now
+	}
+	if b.tokens < 1 {
+		deficit := 1 - b.tokens
+		return false, time.Duration(deficit / b.rate * float64(time.Second))
+	}
+	b.tokens--
+	return true, 0
+}
+
+// SetRateLimit enables (perSecond > 0) or disables (perSecond <= 0) the
+// default per-instance command rate limit. Existing buckets are discarded;
+// per-instance overrides are kept.
+func (g *ImprovedGuard) SetRateLimit(perSecond int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ratePerSecond = perSecond
+	g.buckets = make(map[vtpm.InstanceID]*tokenBucket)
+}
+
+// SetRateLimitFor sets (perSecond > 0) or clears (perSecond <= 0) a rate
+// limit for one instance, overriding the default — the handle an
+// administrator uses to throttle one misbehaving guest without touching the
+// others.
+func (g *ImprovedGuard) SetRateLimitFor(id vtpm.InstanceID, perSecond int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.rateOverride == nil {
+		g.rateOverride = make(map[vtpm.InstanceID]int)
+	}
+	if perSecond <= 0 {
+		delete(g.rateOverride, id)
+	} else {
+		g.rateOverride[id] = perSecond
+	}
+	delete(g.buckets, id)
+}
+
+// admitRate enforces the rate limit for one instance; nil error when
+// admitted.
+func (g *ImprovedGuard) admitRate(id vtpm.InstanceID, now time.Time) error {
+	g.mu.Lock()
+	rate := g.ratePerSecond
+	if override, ok := g.rateOverride[id]; ok {
+		rate = override
+	}
+	if rate <= 0 {
+		g.mu.Unlock()
+		return nil
+	}
+	b, ok := g.buckets[id]
+	if !ok {
+		b = newTokenBucket(rate, now)
+		g.buckets[id] = b
+	}
+	g.mu.Unlock()
+	if ok, wait := b.take(now); !ok {
+		// Tarpit: the refusal itself is delayed by the token interval. The
+		// ring protocol serializes the guest's commands on their responses,
+		// so this delay is backpressure on exactly the flooding instance —
+		// a cheap instant rejection would let it spin at full speed and
+		// still monopolize the host's CPU.
+		if wait > 0 {
+			time.Sleep(wait)
+		}
+		return fmt.Errorf("%w: instance %d over %d cmd/s", vtpm.ErrThrottled, id, rate)
+	}
+	return nil
+}

@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"xvtpm"
+	"xvtpm/internal/metrics"
+	"xvtpm/internal/vtpm"
+)
+
+// E10Row is one row of the recovery-time table.
+type E10Row struct {
+	Instances int
+	Baseline  time.Duration
+	Improved  time.Duration
+}
+
+// E10Recovery is an extension experiment: vTPM manager crash-recovery time.
+// After a manager restart the instances are revived from the state store
+// (ReviveAll); the improved guard additionally pays envelope authentication
+// and decryption per instance. Measured is the full revive time as a
+// function of instance count, per guard.
+func E10Recovery(cfg Config) ([]E10Row, error) {
+	counts := []int{4, 16, 64}
+	if cfg.Quick {
+		counts = []int{2, 4}
+	}
+	times := make(map[xvtpm.Mode]map[int]time.Duration)
+	for _, mode := range Modes {
+		times[mode] = make(map[int]time.Duration)
+		for _, n := range counts {
+			h, err := newHost(cfg, mode, func(hc *xvtpm.HostConfig) {
+				hc.Dom0Pages = 65536
+			})
+			if err != nil {
+				return nil, err
+			}
+			ids := make([]vtpm.InstanceID, 0, n)
+			for i := 0; i < n; i++ {
+				id, err := h.Manager.CreateInstance()
+				if err != nil {
+					return nil, err
+				}
+				ids = append(ids, id)
+			}
+			// "Crash": forget the live engines, keep the store blobs.
+			blobs := make(map[vtpm.InstanceID][]byte, n)
+			for _, id := range ids {
+				name := fmt.Sprintf("vtpm-%08d.state", id)
+				b, err := h.Store.Get(name)
+				if err != nil {
+					return nil, err
+				}
+				blobs[id] = b
+				if err := h.Manager.DestroyInstance(id); err != nil {
+					return nil, err
+				}
+				if err := h.Store.Put(name, b); err != nil {
+					return nil, err
+				}
+			}
+			start := time.Now()
+			revived, err := h.Manager.ReviveAll()
+			if err != nil {
+				return nil, fmt.Errorf("E10 revive on %s: %w", mode, err)
+			}
+			elapsed := time.Since(start)
+			if len(revived) != n {
+				return nil, fmt.Errorf("E10: revived %d of %d", len(revived), n)
+			}
+			times[mode][n] = elapsed
+			h.Close()
+		}
+	}
+	rows := make([]E10Row, 0, len(counts))
+	for _, n := range counts {
+		rows = append(rows, E10Row{
+			Instances: n,
+			Baseline:  times[xvtpm.ModeBaseline][n],
+			Improved:  times[xvtpm.ModeImproved][n],
+		})
+	}
+	if cfg.Out != nil {
+		tbl := make([][]string, 0, len(rows))
+		for _, r := range rows {
+			perB := time.Duration(0)
+			perI := time.Duration(0)
+			if r.Instances > 0 {
+				perB = r.Baseline / time.Duration(r.Instances)
+				perI = r.Improved / time.Duration(r.Instances)
+			}
+			tbl = append(tbl, []string{
+				fmt.Sprintf("%d", r.Instances),
+				metrics.Micros(r.Baseline),
+				metrics.Micros(r.Improved),
+				metrics.Micros(perB),
+				metrics.Micros(perI),
+			})
+		}
+		metrics.Table(cfg.Out, "E10 (extension) — manager crash-recovery time (µs)",
+			[]string{"instances", "baseline-total", "improved-total", "baseline/inst", "improved/inst"}, tbl)
+	}
+	return rows, nil
+}

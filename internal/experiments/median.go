@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"sort"
+	"time"
+
+	"xvtpm"
+)
+
+// medianPhases aggregates migration runs by taking the per-field median —
+// single migrations are microsecond-scale and noisy on a shared machine.
+func medianPhases(mode xvtpm.Mode, runs []E6Phases) E6Phases {
+	pick := func(get func(E6Phases) time.Duration) time.Duration {
+		vals := make([]time.Duration, len(runs))
+		for i, r := range runs {
+			vals[i] = get(r)
+		}
+		sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+		return vals[len(vals)/2]
+	}
+	out := E6Phases{
+		Mode:     mode,
+		Suspend:  pick(func(p E6Phases) time.Duration { return p.Suspend }),
+		Transfer: pick(func(p E6Phases) time.Duration { return p.Transfer }),
+		Resume:   pick(func(p E6Phases) time.Duration { return p.Resume }),
+		Total:    pick(func(p E6Phases) time.Duration { return p.Total }),
+	}
+	if len(runs) > 0 {
+		out.WireBytes = runs[len(runs)/2].WireBytes
+	}
+	return out
+}

@@ -1,0 +1,45 @@
+package ima_test
+
+import (
+	"crypto/sha1"
+	"fmt"
+	"log"
+
+	"xvtpm/internal/ima"
+	"xvtpm/internal/tpm"
+)
+
+// Example shows the measure → quote → replay → judge pipeline.
+func Example() {
+	eng, err := tpm.New(tpm.Config{RSABits: 512, Seed: []byte("ima-example")})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cli := tpm.NewClient(tpm.DirectTransport{TPM: eng}, nil)
+	if err := cli.Startup(tpm.STClear); err != nil {
+		log.Fatal(err)
+	}
+
+	agent := ima.NewAgent(cli)
+	db := ima.ReferenceDB{"/sbin/init": sha1.Sum([]byte("init v1"))}
+	if _, err := agent.Measure("/sbin/init", []byte("init v1")); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := agent.Measure("/tmp/rootkit", []byte("evil")); err != nil {
+		log.Fatal(err)
+	}
+
+	pcr, err := cli.PCRRead(ima.MeasurementPCR)
+	if err != nil {
+		log.Fatal(err)
+	}
+	list := agent.List()
+	fmt.Println("list replays to PCR:", ima.VerifyList(list, pcr) == nil)
+	fmt.Println("violations:", db.Judge(list))
+	// Hiding the rootkit entry breaks the replay.
+	fmt.Println("scrubbed list replays:", ima.VerifyList(list[:1], pcr) == nil)
+	// Output:
+	// list replays to PCR: true
+	// violations: [/tmp/rootkit]
+	// scrubbed list replays: false
+}

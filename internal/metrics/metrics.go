@@ -1,0 +1,205 @@
+// Package metrics provides the small measurement toolkit the benchmark
+// harness uses: latency recorders with percentile summaries, throughput
+// accounting, and fixed-width table/series printers that render the
+// reconstructed tables and figures of the evaluation.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Recorder accumulates latency samples.
+type Recorder struct {
+	mu      sync.Mutex
+	samples []time.Duration
+	sorted  bool
+}
+
+// NewRecorder creates an empty recorder.
+func NewRecorder() *Recorder { return &Recorder{} }
+
+// Add records one sample.
+func (r *Recorder) Add(d time.Duration) {
+	r.mu.Lock()
+	r.samples = append(r.samples, d)
+	r.sorted = false
+	r.mu.Unlock()
+}
+
+// Time runs fn and records its duration.
+func (r *Recorder) Time(fn func()) {
+	start := time.Now()
+	fn()
+	r.Add(time.Since(start))
+}
+
+// Count returns the sample count.
+func (r *Recorder) Count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.samples)
+}
+
+func (r *Recorder) ensureSortedLocked() {
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) by nearest-rank.
+func (r *Recorder) Percentile(p float64) time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.ensureSortedLocked()
+	rank := int(math.Ceil(p/100*float64(len(r.samples)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(r.samples) {
+		rank = len(r.samples) - 1
+	}
+	return r.samples[rank]
+}
+
+// Mean returns the arithmetic mean.
+func (r *Recorder) Mean() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, s := range r.samples {
+		total += s
+	}
+	return total / time.Duration(len(r.samples))
+}
+
+// Min returns the smallest sample.
+func (r *Recorder) Min() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.ensureSortedLocked()
+	return r.samples[0]
+}
+
+// Max returns the largest sample.
+func (r *Recorder) Max() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.ensureSortedLocked()
+	return r.samples[len(r.samples)-1]
+}
+
+// Summary is a one-line digest of a recorder.
+type Summary struct {
+	Count          int
+	Mean, P50, P99 time.Duration
+	Min, Max       time.Duration
+}
+
+// Summarize computes the digest.
+func (r *Recorder) Summarize() Summary {
+	return Summary{
+		Count: r.Count(),
+		Mean:  r.Mean(),
+		P50:   r.Percentile(50),
+		P99:   r.Percentile(99),
+		Min:   r.Min(),
+		Max:   r.Max(),
+	}
+}
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X float64
+	Y float64
+}
+
+// Series is one labeled curve of a figure.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Table renders rows under headers with fixed-width columns.
+func Table(w io.Writer, title string, headers []string, rows [][]string) {
+	widths := make([]int, len(headers))
+	for i, h := range headers {
+		widths[i] = len(h)
+	}
+	for _, row := range rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if title != "" {
+		fmt.Fprintf(w, "%s\n", title)
+	}
+	var b strings.Builder
+	for i, h := range headers {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], h)
+	}
+	fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	b.Reset()
+	for i := range headers {
+		b.WriteString(strings.Repeat("-", widths[i]) + "  ")
+	}
+	fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	for _, row := range rows {
+		b.Reset()
+		for i, cell := range row {
+			width := 0
+			if i < len(widths) {
+				width = widths[i]
+			}
+			fmt.Fprintf(&b, "%-*s  ", width, cell)
+		}
+		fmt.Fprintln(w, strings.TrimRight(b.String(), " "))
+	}
+	fmt.Fprintln(w)
+}
+
+// PrintSeries renders a figure's series as aligned columns of (x, y) pairs,
+// one block per series — the textual equivalent of the paper's plots.
+func PrintSeries(w io.Writer, title, xLabel, yLabel string, series []Series) {
+	fmt.Fprintf(w, "%s\n", title)
+	for _, s := range series {
+		fmt.Fprintf(w, "  series %q (%s → %s)\n", s.Name, xLabel, yLabel)
+		for _, p := range s.Points {
+			fmt.Fprintf(w, "    %12.2f  %14.3f\n", p.X, p.Y)
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// Micros renders a duration in microseconds with two decimals.
+func Micros(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Nanoseconds())/1e3)
+}
+
+// Ratio renders b/a as a percentage-overhead string ("+12.3%").
+func Ratio(a, b time.Duration) string {
+	if a == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", (float64(b)/float64(a)-1)*100)
+}

@@ -1,0 +1,117 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder()
+	if r.Count() != 0 || r.Mean() != 0 || r.Min() != 0 || r.Max() != 0 || r.Percentile(50) != 0 {
+		t.Fatal("empty recorder not zero-valued")
+	}
+	for _, ms := range []int{5, 1, 3, 2, 4} {
+		r.Add(time.Duration(ms) * time.Millisecond)
+	}
+	if r.Count() != 5 {
+		t.Fatalf("count = %d", r.Count())
+	}
+	if r.Min() != time.Millisecond || r.Max() != 5*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", r.Min(), r.Max())
+	}
+	if r.Mean() != 3*time.Millisecond {
+		t.Fatalf("mean = %v", r.Mean())
+	}
+	if r.Percentile(50) != 3*time.Millisecond {
+		t.Fatalf("p50 = %v", r.Percentile(50))
+	}
+	if r.Percentile(100) != 5*time.Millisecond {
+		t.Fatalf("p100 = %v", r.Percentile(100))
+	}
+}
+
+func TestRecorderTime(t *testing.T) {
+	r := NewRecorder()
+	r.Time(func() { time.Sleep(time.Millisecond) })
+	if r.Count() != 1 || r.Percentile(50) < time.Millisecond {
+		t.Fatalf("timed sample = %v", r.Percentile(50))
+	}
+}
+
+func TestPercentileWithinBounds(t *testing.T) {
+	f := func(raw []uint16, p uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		r := NewRecorder()
+		for _, v := range raw {
+			r.Add(time.Duration(v))
+		}
+		pct := float64(p%100) + 1
+		got := r.Percentile(pct)
+		return got >= r.Min() && got <= r.Max()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	r := NewRecorder()
+	for i := 1; i <= 100; i++ {
+		r.Add(time.Duration(i) * time.Microsecond)
+	}
+	s := r.Summarize()
+	if s.Count != 100 || s.P50 != 50*time.Microsecond || s.P99 != 99*time.Microsecond {
+		t.Fatalf("summary = %+v", s)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var buf bytes.Buffer
+	Table(&buf, "T1 — demo", []string{"op", "latency"}, [][]string{
+		{"Extend", "12.3"},
+		{"Seal", "450.1"},
+	})
+	out := buf.String()
+	for _, want := range []string{"T1 — demo", "op", "latency", "Extend", "450.1", "---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: both data rows start their second column at the same
+	// offset.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 4 {
+		t.Fatalf("unexpected line count: %d", len(lines))
+	}
+}
+
+func TestPrintSeries(t *testing.T) {
+	var buf bytes.Buffer
+	PrintSeries(&buf, "F1 — demo", "guests", "cmds/s", []Series{
+		{Name: "baseline", Points: []Point{{X: 1, Y: 100}, {X: 2, Y: 190}}},
+		{Name: "improved", Points: []Point{{X: 1, Y: 90}}},
+	})
+	out := buf.String()
+	for _, want := range []string{"F1 — demo", "baseline", "improved", "190.000"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("series output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMicrosAndRatio(t *testing.T) {
+	if Micros(1500*time.Nanosecond) != "1.50" {
+		t.Fatalf("Micros = %s", Micros(1500*time.Nanosecond))
+	}
+	if Ratio(100, 112) != "+12.0%" {
+		t.Fatalf("Ratio = %s", Ratio(100, 112))
+	}
+	if Ratio(0, 5) != "n/a" {
+		t.Fatalf("Ratio(0) = %s", Ratio(0, 5))
+	}
+}

@@ -1,0 +1,383 @@
+// Package ring implements the shared-memory request/response ring used by the
+// vTPM split driver, modeled after Xen's tpmif ring protocol.
+//
+// The ring lives inside a caller-supplied byte region, which in this codebase
+// is a run of guest memory pages shared with the backend through the grant
+// table. Keeping the actual request and response bytes inside that region is
+// deliberate: it is what makes the ring contents visible to the memory-dump
+// attacker model, exactly as they would be on real hardware.
+//
+// The layout mirrors the single-ring in-place scheme used by Xen's TPM
+// front/backend: a request is written into slot (reqProd mod numSlots) and the
+// backend later overwrites the same slot with the response. Producer indices
+// are stored in the shared header; consumer indices are private to each end,
+// as in the real protocol.
+package ring
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+
+	"xvtpm/internal/xen"
+)
+
+// Shared-header field offsets within the region. All fields are little-endian,
+// matching the x86 guests the original system ran on.
+const (
+	offReqProd  = 0
+	offRspProd  = 4
+	offNumSlots = 8
+	offSlotSize = 12
+	headerSize  = 16
+)
+
+// Per-slot header: status(1) pad(3) id(8) length(4).
+const slotHeaderSize = 16
+
+// Slot status values stored in shared memory.
+const (
+	slotFree     = 0
+	slotRequest  = 1
+	slotResponse = 2
+)
+
+// Errors returned by ring operations.
+var (
+	ErrClosed      = errors.New("ring: closed")
+	ErrTooLarge    = errors.New("ring: payload exceeds slot size")
+	ErrOutOfOrder  = errors.New("ring: response enqueued out of order")
+	ErrUnknownID   = errors.New("ring: response id does not match pending request")
+	ErrBadRegion   = errors.New("ring: region too small for requested geometry")
+	ErrBadGeometry = errors.New("ring: slot count must be a power of two")
+)
+
+// Ring is one shared request/response ring connecting a frontend (guest) and a
+// backend (driver domain). Both ends hold the same *Ring; the role split is
+// purely in which methods each end calls.
+type Ring struct {
+	mu       sync.Mutex
+	notFull  sync.Cond // frontend waits here for a free slot
+	haveReq  sync.Cond // backend waits here for a request
+	haveRsp  sync.Cond // frontend waits here for a response
+	region   []byte
+	numSlots uint32
+	slotSize uint32
+
+	// Private consumer indices (not in shared memory, per the Xen protocol).
+	reqCons uint32
+	rspCons uint32
+
+	nextID uint64
+	closed bool
+
+	// onRequest and onResponse, when non-nil, are invoked (outside the ring
+	// lock) after a request or response is published. Drivers use them to
+	// send event-channel notifications.
+	onRequest  func()
+	onResponse func()
+}
+
+// Geometry describes a ring's slot layout.
+type Geometry struct {
+	NumSlots uint32 // must be a power of two
+	SlotSize uint32 // max payload bytes per slot
+}
+
+// RegionSize returns the number of bytes of shared memory the geometry needs.
+func (g Geometry) RegionSize() int {
+	return headerSize + int(g.NumSlots)*(slotHeaderSize+int(g.SlotSize))
+}
+
+// registry maps initialized ring regions (by the identity of their first
+// byte) to their Ring. On real hardware the two ends of a ring coordinate
+// through memory barriers on the shared page; in Go, separate Ring structs
+// over the same bytes would be a data race, so Attach resolves a mapped
+// region back to the one Ring that owns its synchronization state. Only a
+// party holding the mapped bytes — i.e. one that passed the grant-table
+// check — can attach.
+var (
+	registryMu sync.Mutex
+	registry   = make(map[*byte]*Ring)
+)
+
+// Init formats region for the given geometry and returns a Ring over it.
+// The region is typically a run of grant-mapped guest pages.
+func Init(region []byte, g Geometry) (*Ring, error) {
+	if g.NumSlots == 0 || g.NumSlots&(g.NumSlots-1) != 0 {
+		return nil, ErrBadGeometry
+	}
+	if len(region) < g.RegionSize() {
+		return nil, fmt.Errorf("%w: have %d, need %d", ErrBadRegion, len(region), g.RegionSize())
+	}
+	xen.BeginMemWrite()
+	for i := range region[:g.RegionSize()] {
+		region[i] = 0
+	}
+	binary.LittleEndian.PutUint32(region[offNumSlots:], g.NumSlots)
+	binary.LittleEndian.PutUint32(region[offSlotSize:], g.SlotSize)
+	xen.EndMemWrite()
+	r := &Ring{region: region, numSlots: g.NumSlots, slotSize: g.SlotSize}
+	r.notFull.L = &r.mu
+	r.haveReq.L = &r.mu
+	r.haveRsp.L = &r.mu
+	registryMu.Lock()
+	registry[&region[0]] = r
+	registryMu.Unlock()
+	return r, nil
+}
+
+// Attach resolves a mapped ring region to its live Ring. The region must
+// alias memory previously passed to Init (any view with the same first
+// byte).
+func Attach(region []byte) (*Ring, error) {
+	if len(region) == 0 {
+		return nil, ErrBadRegion
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	r, ok := registry[&region[0]]
+	if !ok {
+		return nil, fmt.Errorf("%w: region not an initialized ring", ErrBadRegion)
+	}
+	return r, nil
+}
+
+// OnRequest registers a callback fired after each request is published.
+func (r *Ring) OnRequest(fn func()) { r.mu.Lock(); r.onRequest = fn; r.mu.Unlock() }
+
+// OnResponse registers a callback fired after each response is published.
+func (r *Ring) OnResponse(fn func()) { r.mu.Lock(); r.onResponse = fn; r.mu.Unlock() }
+
+// Close shuts the ring down. Blocked and future operations fail with ErrClosed.
+func (r *Ring) Close() {
+	registryMu.Lock()
+	delete(registry, &r.region[0])
+	registryMu.Unlock()
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.notFull.Broadcast()
+	r.haveReq.Broadcast()
+	r.haveRsp.Broadcast()
+}
+
+// Closed reports whether Close has been called.
+func (r *Ring) Closed() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.closed
+}
+
+func (r *Ring) reqProd() uint32 { return binary.LittleEndian.Uint32(r.region[offReqProd:]) }
+func (r *Ring) rspProd() uint32 { return binary.LittleEndian.Uint32(r.region[offRspProd:]) }
+func (r *Ring) setReqProd(v uint32) {
+	binary.LittleEndian.PutUint32(r.region[offReqProd:], v)
+}
+func (r *Ring) setRspProd(v uint32) {
+	binary.LittleEndian.PutUint32(r.region[offRspProd:], v)
+}
+
+func (r *Ring) slot(idx uint32) []byte {
+	stride := slotHeaderSize + int(r.slotSize)
+	off := headerSize + int(idx&(r.numSlots-1))*stride
+	return r.region[off : off+stride]
+}
+
+func writeSlot(s []byte, status byte, id uint64, payload []byte) {
+	s[0] = status
+	binary.LittleEndian.PutUint64(s[4:], id)
+	binary.LittleEndian.PutUint32(s[12:], uint32(len(payload)))
+	copy(s[slotHeaderSize:], payload)
+	// Zeroize the slot tail so stale bytes from a previous, possibly larger,
+	// message never linger in shared memory.
+	for i := slotHeaderSize + len(payload); i < len(s); i++ {
+		s[i] = 0
+	}
+}
+
+func readSlot(s []byte) (status byte, id uint64, payload []byte) {
+	status = s[0]
+	id = binary.LittleEndian.Uint64(s[4:])
+	n := binary.LittleEndian.Uint32(s[12:])
+	if int(n) > len(s)-slotHeaderSize {
+		n = uint32(len(s) - slotHeaderSize)
+	}
+	payload = make([]byte, n)
+	copy(payload, s[slotHeaderSize:slotHeaderSize+int(n)])
+	return status, id, payload
+}
+
+// EnqueueRequest publishes a request on the ring, blocking while the ring is
+// full. It returns the request ID the response will carry.
+func (r *Ring) EnqueueRequest(payload []byte) (uint64, error) {
+	if uint32(len(payload)) > r.slotSize {
+		return 0, fmt.Errorf("%w: %d > %d", ErrTooLarge, len(payload), r.slotSize)
+	}
+	r.mu.Lock()
+	for !r.closed && r.reqProd()-r.rspCons >= r.numSlots {
+		r.notFull.Wait()
+	}
+	if r.closed {
+		r.mu.Unlock()
+		return 0, ErrClosed
+	}
+	r.nextID++
+	id := r.nextID
+	prod := r.reqProd()
+	xen.BeginMemWrite()
+	writeSlot(r.slot(prod), slotRequest, id, payload)
+	r.setReqProd(prod + 1)
+	xen.EndMemWrite()
+	cb := r.onRequest
+	r.mu.Unlock()
+	r.haveReq.Signal()
+	if cb != nil {
+		cb()
+	}
+	return id, nil
+}
+
+// DequeueRequest removes the oldest unprocessed request, blocking until one is
+// available. The backend calls this.
+func (r *Ring) DequeueRequest() (uint64, []byte, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for !r.closed && r.reqCons == r.reqProd() {
+		r.haveReq.Wait()
+	}
+	if r.closed {
+		return 0, nil, ErrClosed
+	}
+	status, id, payload := readSlot(r.slot(r.reqCons))
+	if status != slotRequest {
+		return 0, nil, fmt.Errorf("ring: slot %d has status %d, want request", r.reqCons, status)
+	}
+	r.reqCons++
+	return id, payload, nil
+}
+
+// TryDequeueRequest is the non-blocking variant of DequeueRequest; ok is false
+// when no request is pending.
+func (r *Ring) TryDequeueRequest() (id uint64, payload []byte, ok bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, nil, false, ErrClosed
+	}
+	if r.reqCons == r.reqProd() {
+		return 0, nil, false, nil
+	}
+	status, id, payload := readSlot(r.slot(r.reqCons))
+	if status != slotRequest {
+		return 0, nil, false, fmt.Errorf("ring: slot %d has status %d, want request", r.reqCons, status)
+	}
+	r.reqCons++
+	return id, payload, true, nil
+}
+
+// TryDequeueResponse is the non-blocking variant of DequeueResponse; ok is
+// false when no response is pending.
+func (r *Ring) TryDequeueResponse() (id uint64, payload []byte, ok bool, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return 0, nil, false, ErrClosed
+	}
+	if r.rspCons == r.rspProd() {
+		return 0, nil, false, nil
+	}
+	s := r.slot(r.rspCons)
+	status, id, payload := readSlot(s)
+	if status != slotResponse {
+		return 0, nil, false, fmt.Errorf("ring: slot %d has status %d, want response", r.rspCons, status)
+	}
+	xen.BeginMemWrite()
+	for i := range s {
+		s[i] = 0
+	}
+	xen.EndMemWrite()
+	r.rspCons++
+	r.notFull.Signal()
+	return id, payload, true, nil
+}
+
+// EnqueueResponse publishes the response for request id, overwriting the slot
+// the request occupied. Responses must be produced in request order, which the
+// serial TPM command model guarantees.
+func (r *Ring) EnqueueResponse(id uint64, payload []byte) error {
+	if uint32(len(payload)) > r.slotSize {
+		return fmt.Errorf("%w: %d > %d", ErrTooLarge, len(payload), r.slotSize)
+	}
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return ErrClosed
+	}
+	prod := r.rspProd()
+	if prod >= r.reqCons {
+		r.mu.Unlock()
+		return ErrOutOfOrder
+	}
+	s := r.slot(prod)
+	_, slotID, _ := readSlot(s)
+	if slotID != id {
+		r.mu.Unlock()
+		return fmt.Errorf("%w: slot holds %d, got %d", ErrUnknownID, slotID, id)
+	}
+	xen.BeginMemWrite()
+	writeSlot(s, slotResponse, id, payload)
+	r.setRspProd(prod + 1)
+	xen.EndMemWrite()
+	cb := r.onResponse
+	r.mu.Unlock()
+	r.haveRsp.Signal()
+	if cb != nil {
+		cb()
+	}
+	return nil
+}
+
+// DequeueResponse removes the oldest unconsumed response, blocking until one
+// is available. The frontend calls this.
+func (r *Ring) DequeueResponse() (uint64, []byte, error) {
+	r.mu.Lock()
+	for !r.closed && r.rspCons == r.rspProd() {
+		r.haveRsp.Wait()
+	}
+	if r.closed {
+		r.mu.Unlock()
+		return 0, nil, ErrClosed
+	}
+	s := r.slot(r.rspCons)
+	status, id, payload := readSlot(s)
+	if status != slotResponse {
+		r.mu.Unlock()
+		return 0, nil, fmt.Errorf("ring: slot %d has status %d, want response", r.rspCons, status)
+	}
+	// Free the slot: zeroize so completed exchanges do not linger in shared
+	// memory for a dump to harvest.
+	xen.BeginMemWrite()
+	for i := range s {
+		s[i] = 0
+	}
+	xen.EndMemWrite()
+	r.rspCons++
+	r.mu.Unlock()
+	r.notFull.Signal()
+	return id, payload, nil
+}
+
+// Pending returns the number of published-but-unconsumed requests and
+// responses. It exists for tests and metrics.
+func (r *Ring) Pending() (requests, responses int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return int(r.reqProd() - r.reqCons), int(r.rspProd() - r.rspCons)
+}
+
+// Geometry reports the ring's slot layout.
+func (r *Ring) Geometry() Geometry {
+	return Geometry{NumSlots: r.numSlots, SlotSize: r.slotSize}
+}

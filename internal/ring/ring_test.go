@@ -1,0 +1,381 @@
+package ring
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func newTestRing(t *testing.T, g Geometry) *Ring {
+	t.Helper()
+	region := make([]byte, g.RegionSize())
+	r, err := Init(region, g)
+	if err != nil {
+		t.Fatalf("Init: %v", err)
+	}
+	return r
+}
+
+func TestInitRejectsBadGeometry(t *testing.T) {
+	cases := []Geometry{
+		{NumSlots: 0, SlotSize: 64},
+		{NumSlots: 3, SlotSize: 64},
+		{NumSlots: 6, SlotSize: 64},
+	}
+	for _, g := range cases {
+		if _, err := Init(make([]byte, 1<<16), g); !errors.Is(err, ErrBadGeometry) {
+			t.Errorf("Init(%+v) err = %v, want ErrBadGeometry", g, err)
+		}
+	}
+}
+
+func TestInitRejectsShortRegion(t *testing.T) {
+	g := Geometry{NumSlots: 4, SlotSize: 128}
+	if _, err := Init(make([]byte, g.RegionSize()-1), g); !errors.Is(err, ErrBadRegion) {
+		t.Fatalf("err = %v, want ErrBadRegion", err)
+	}
+}
+
+func TestRoundTripSingle(t *testing.T) {
+	r := newTestRing(t, Geometry{NumSlots: 4, SlotSize: 256})
+	id, err := r.EnqueueRequest([]byte("hello tpm"))
+	if err != nil {
+		t.Fatalf("EnqueueRequest: %v", err)
+	}
+	gotID, payload, err := r.DequeueRequest()
+	if err != nil {
+		t.Fatalf("DequeueRequest: %v", err)
+	}
+	if gotID != id || string(payload) != "hello tpm" {
+		t.Fatalf("got (%d, %q), want (%d, %q)", gotID, payload, id, "hello tpm")
+	}
+	if err := r.EnqueueResponse(id, []byte("resp")); err != nil {
+		t.Fatalf("EnqueueResponse: %v", err)
+	}
+	rid, rp, err := r.DequeueResponse()
+	if err != nil {
+		t.Fatalf("DequeueResponse: %v", err)
+	}
+	if rid != id || string(rp) != "resp" {
+		t.Fatalf("got (%d, %q), want (%d, %q)", rid, rp, id, "resp")
+	}
+}
+
+func TestPayloadTooLarge(t *testing.T) {
+	r := newTestRing(t, Geometry{NumSlots: 2, SlotSize: 8})
+	if _, err := r.EnqueueRequest(make([]byte, 9)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("EnqueueRequest err = %v, want ErrTooLarge", err)
+	}
+	if err := r.EnqueueResponse(1, make([]byte, 9)); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("EnqueueResponse err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestResponseWithoutRequestFails(t *testing.T) {
+	r := newTestRing(t, Geometry{NumSlots: 2, SlotSize: 32})
+	if err := r.EnqueueResponse(1, []byte("x")); !errors.Is(err, ErrOutOfOrder) {
+		t.Fatalf("err = %v, want ErrOutOfOrder", err)
+	}
+}
+
+func TestResponseWrongIDFails(t *testing.T) {
+	r := newTestRing(t, Geometry{NumSlots: 2, SlotSize: 32})
+	id, _ := r.EnqueueRequest([]byte("a"))
+	if _, _, err := r.DequeueRequest(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EnqueueResponse(id+7, []byte("x")); !errors.Is(err, ErrUnknownID) {
+		t.Fatalf("err = %v, want ErrUnknownID", err)
+	}
+}
+
+func TestBlockingWhenFullThenDrain(t *testing.T) {
+	r := newTestRing(t, Geometry{NumSlots: 2, SlotSize: 32})
+	for i := 0; i < 2; i++ {
+		if _, err := r.EnqueueRequest([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	done := make(chan error, 1)
+	go func() {
+		_, err := r.EnqueueRequest([]byte{9})
+		done <- err
+	}()
+	// Drain one full exchange to free a slot.
+	id, _, err := r.DequeueRequest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EnqueueResponse(id, []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.DequeueResponse(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("blocked enqueue returned %v", err)
+	}
+}
+
+func TestCloseUnblocksWaiters(t *testing.T) {
+	r := newTestRing(t, Geometry{NumSlots: 2, SlotSize: 32})
+	errs := make(chan error, 2)
+	go func() { _, _, err := r.DequeueRequest(); errs <- err }()
+	go func() { _, _, err := r.DequeueResponse(); errs <- err }()
+	r.Close()
+	for i := 0; i < 2; i++ {
+		if err := <-errs; !errors.Is(err, ErrClosed) {
+			t.Fatalf("waiter err = %v, want ErrClosed", err)
+		}
+	}
+	if _, err := r.EnqueueRequest([]byte("x")); !errors.Is(err, ErrClosed) {
+		t.Fatalf("post-close enqueue err = %v, want ErrClosed", err)
+	}
+	if !r.Closed() {
+		t.Fatal("Closed() = false after Close")
+	}
+}
+
+func TestTryDequeueRequest(t *testing.T) {
+	r := newTestRing(t, Geometry{NumSlots: 2, SlotSize: 32})
+	if _, _, ok, err := r.TryDequeueRequest(); ok || err != nil {
+		t.Fatalf("empty ring: ok=%v err=%v", ok, err)
+	}
+	id, _ := r.EnqueueRequest([]byte("q"))
+	gid, p, ok, err := r.TryDequeueRequest()
+	if err != nil || !ok || gid != id || string(p) != "q" {
+		t.Fatalf("got (%d,%q,%v,%v)", gid, p, ok, err)
+	}
+}
+
+func TestNotifyCallbacks(t *testing.T) {
+	r := newTestRing(t, Geometry{NumSlots: 2, SlotSize: 32})
+	var reqN, rspN int
+	r.OnRequest(func() { reqN++ })
+	r.OnResponse(func() { rspN++ })
+	id, _ := r.EnqueueRequest([]byte("a"))
+	r.DequeueRequest()
+	r.EnqueueResponse(id, []byte("b"))
+	r.DequeueResponse()
+	if reqN != 1 || rspN != 1 {
+		t.Fatalf("callbacks fired req=%d rsp=%d, want 1 and 1", reqN, rspN)
+	}
+}
+
+func TestSlotZeroizedAfterResponseConsumed(t *testing.T) {
+	r := newTestRing(t, Geometry{NumSlots: 2, SlotSize: 64})
+	secret := []byte("super-secret-auth-value")
+	id, _ := r.EnqueueRequest(secret)
+	region := r.region
+	if !bytes.Contains(region, secret) {
+		t.Fatal("request bytes should be visible in shared memory while in flight")
+	}
+	r.DequeueRequest()
+	r.EnqueueResponse(id, []byte("fine"))
+	r.DequeueResponse()
+	if bytes.Contains(region, secret) {
+		t.Fatal("request bytes still present in shared memory after exchange completed")
+	}
+	if bytes.Contains(region, []byte("fine")) {
+		t.Fatal("response bytes still present in shared memory after exchange completed")
+	}
+}
+
+func TestManyExchangesWrapIndices(t *testing.T) {
+	r := newTestRing(t, Geometry{NumSlots: 4, SlotSize: 16})
+	for i := 0; i < 1000; i++ {
+		want := []byte(fmt.Sprintf("m%04d", i))
+		id, err := r.EnqueueRequest(want)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gid, p, err := r.DequeueRequest()
+		if err != nil || gid != id || !bytes.Equal(p, want) {
+			t.Fatalf("i=%d: (%d,%q,%v)", i, gid, p, err)
+		}
+		if err := r.EnqueueResponse(id, p); err != nil {
+			t.Fatal(err)
+		}
+		rid, rp, err := r.DequeueResponse()
+		if err != nil || rid != id || !bytes.Equal(rp, want) {
+			t.Fatalf("i=%d: response (%d,%q,%v)", i, rid, rp, err)
+		}
+	}
+}
+
+func TestConcurrentFrontBack(t *testing.T) {
+	r := newTestRing(t, Geometry{NumSlots: 8, SlotSize: 32})
+	const n = 500
+	var wg sync.WaitGroup
+	wg.Add(2)
+	// Backend: echo every request.
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			id, p, err := r.DequeueRequest()
+			if err != nil {
+				t.Errorf("backend: %v", err)
+				return
+			}
+			if err := r.EnqueueResponse(id, p); err != nil {
+				t.Errorf("backend: %v", err)
+				return
+			}
+		}
+	}()
+	// Frontend consumer.
+	got := make(map[uint64][]byte, n)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			id, p, err := r.DequeueResponse()
+			if err != nil {
+				t.Errorf("frontend: %v", err)
+				return
+			}
+			got[id] = p
+		}
+	}()
+	sent := make(map[uint64][]byte, n)
+	for i := 0; i < n; i++ {
+		msg := []byte(fmt.Sprintf("msg-%d", i))
+		id, err := r.EnqueueRequest(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sent[id] = msg
+	}
+	wg.Wait()
+	if len(got) != n {
+		t.Fatalf("got %d responses, want %d", len(got), n)
+	}
+	for id, p := range sent {
+		if !bytes.Equal(got[id], p) {
+			t.Fatalf("id %d: got %q want %q", id, got[id], p)
+		}
+	}
+}
+
+// TestPropertyEchoPreservesPayloads is a property-based check: any sequence of
+// payloads within slot size echoes back intact and in order.
+func TestPropertyEchoPreservesPayloads(t *testing.T) {
+	g := Geometry{NumSlots: 8, SlotSize: 128}
+	f := func(msgs [][]byte) bool {
+		r, err := Init(make([]byte, g.RegionSize()), g)
+		if err != nil {
+			return false
+		}
+		for _, m := range msgs {
+			if len(m) > int(g.SlotSize) {
+				m = m[:g.SlotSize]
+			}
+			id, err := r.EnqueueRequest(m)
+			if err != nil {
+				return false
+			}
+			gid, p, err := r.DequeueRequest()
+			if err != nil || gid != id || !bytes.Equal(p, m) {
+				return false
+			}
+			if err := r.EnqueueResponse(id, p); err != nil {
+				return false
+			}
+			rid, rp, err := r.DequeueResponse()
+			if err != nil || rid != id || !bytes.Equal(rp, m) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAttachResolvesSameRing(t *testing.T) {
+	g := Geometry{NumSlots: 4, SlotSize: 64}
+	region := make([]byte, g.RegionSize())
+	r, err := Init(region, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any view sharing the first byte resolves to the same Ring.
+	attached, err := Attach(region[:1])
+	if err != nil {
+		t.Fatalf("Attach: %v", err)
+	}
+	if attached != r {
+		t.Fatal("Attach returned a different Ring")
+	}
+	if attached.Geometry() != g {
+		t.Fatalf("geometry = %+v", attached.Geometry())
+	}
+	// Foreign regions are refused.
+	if _, err := Attach(make([]byte, 64)); !errors.Is(err, ErrBadRegion) {
+		t.Fatalf("foreign attach err = %v", err)
+	}
+	if _, err := Attach(nil); !errors.Is(err, ErrBadRegion) {
+		t.Fatalf("nil attach err = %v", err)
+	}
+	// Closing deregisters.
+	r.Close()
+	if _, err := Attach(region); !errors.Is(err, ErrBadRegion) {
+		t.Fatalf("attach after close err = %v", err)
+	}
+}
+
+func TestTryDequeueResponseAndPending(t *testing.T) {
+	r := newTestRing(t, Geometry{NumSlots: 4, SlotSize: 32})
+	if _, _, ok, err := r.TryDequeueResponse(); ok || err != nil {
+		t.Fatalf("empty: ok=%v err=%v", ok, err)
+	}
+	id, _ := r.EnqueueRequest([]byte("q"))
+	if reqs, rsps := r.Pending(); reqs != 1 || rsps != 0 {
+		t.Fatalf("pending = %d/%d", reqs, rsps)
+	}
+	r.DequeueRequest()
+	r.EnqueueResponse(id, []byte("a"))
+	if reqs, rsps := r.Pending(); reqs != 0 || rsps != 1 {
+		t.Fatalf("pending = %d/%d", reqs, rsps)
+	}
+	gid, p, ok, err := r.TryDequeueResponse()
+	if err != nil || !ok || gid != id || string(p) != "a" {
+		t.Fatalf("got (%d,%q,%v,%v)", gid, p, ok, err)
+	}
+	// Closed ring refuses.
+	r.Close()
+	if _, _, _, err := r.TryDequeueResponse(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("closed err = %v", err)
+	}
+}
+
+func BenchmarkRingRoundTrip(b *testing.B) {
+	g := Geometry{NumSlots: 8, SlotSize: 4096}
+	r, err := Init(make([]byte, g.RegionSize()), g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		id, err := r.EnqueueRequest(payload)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gid, p, err := r.DequeueRequest()
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = gid
+		if err := r.EnqueueResponse(id, p); err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := r.DequeueResponse(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,300 @@
+package tpm
+
+// Administrative, session and utility ordinals: Startup, self-test, OIAP,
+// OSAP, handle management, randomness, capabilities and EK access.
+
+func init() {
+	register(OrdStartup, cmdStartup)
+	register(OrdSaveState, cmdSaveState)
+	register(OrdSelfTestFull, cmdSelfTestFull)
+	register(OrdContinueSelfTest, cmdSelfTestFull)
+	register(OrdGetTestResult, cmdGetTestResult)
+	register(OrdOIAP, cmdOIAP)
+	register(OrdOSAP, cmdOSAP)
+	register(OrdTerminateHandle, cmdTerminateHandle)
+	register(OrdFlushSpecific, cmdFlushSpecific)
+	register(OrdGetRandom, cmdGetRandom)
+	register(OrdStirRandom, cmdStirRandom)
+	register(OrdGetCapability, cmdGetCapability)
+	register(OrdReadPubek, cmdReadPubek)
+	register(OrdForceClear, cmdForceClear)
+	register(OrdResetLockValue, cmdResetLockValue)
+}
+
+// cmdResetLockValue clears the dictionary-attack lockout under owner
+// authorization — the only authorized command that works while the lockout
+// is latched.
+func cmdResetLockValue(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	if !t.owned {
+		return nil, RCNoSRK
+	}
+	if rc := ctx.requireAuth(1); rc != RCSuccess {
+		return nil, rc
+	}
+	if rc := ctx.verifyAuth(0, t.ownerAuth[:]); rc != RCSuccess {
+		return nil, rc
+	}
+	t.authFailCount = 0
+	t.lockedOut = false
+	return nil, RCSuccess
+}
+
+// cmdStartup brings the TPM into an operational state. ST_CLEAR resets
+// volatile state (PCRs, sessions, loaded keys); ST_STATE would resume a saved
+// state, which the vTPM manager performs out-of-band via RestoreState, so it
+// behaves as a plain start here.
+func cmdStartup(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	st := ctx.params.U16()
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	if t.started {
+		return nil, RCInvalidPostInit
+	}
+	switch st {
+	case STClear:
+		t.pcrs = [NumPCRs][DigestSize]byte{}
+		t.sessions = make(map[uint32]*session)
+		t.keys = make(map[uint32]*loadedKey)
+	case STState, STDeactivated:
+		// State resume is handled by RestoreState before Startup.
+	default:
+		return nil, RCBadParameter
+	}
+	t.started = true
+	return nil, RCSuccess
+}
+
+// cmdSaveState acknowledges a save request; actual persistence is the
+// owner's (vTPM manager's) job via SaveState on the Go API.
+func cmdSaveState(ctx *cmdContext) (*Writer, uint32) {
+	return nil, RCSuccess
+}
+
+// cmdSelfTestFull always passes: the engine's "hardware" is the Go runtime.
+func cmdSelfTestFull(ctx *cmdContext) (*Writer, uint32) {
+	ctx.t.testResult = RCSuccess
+	return nil, RCSuccess
+}
+
+// cmdGetTestResult reports the last self-test outcome.
+func cmdGetTestResult(ctx *cmdContext) (*Writer, uint32) {
+	w := NewWriter()
+	w.B32([]byte{byte(ctx.t.testResult)})
+	return w, RCSuccess
+}
+
+// cmdOIAP opens an Object-Independent Authorization Protocol session.
+func cmdOIAP(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	if len(t.sessions) >= maxSessions {
+		return nil, RCResources
+	}
+	h := t.allocSession()
+	s := &session{typ: sessOIAP, nonceEven: t.randNonce()}
+	t.sessions[h] = s
+	w := NewWriter()
+	w.U32(h)
+	w.Raw(s.nonceEven[:])
+	return w, RCSuccess
+}
+
+// cmdOSAP opens an Object-Specific Authorization Protocol session bound to
+// one entity. The shared secret is HMAC(entityAuth, nonceEvenOSAP ∥
+// nonceOddOSAP), computed independently by both sides.
+func cmdOSAP(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	entityType := ctx.params.U16()
+	entityValue := ctx.params.U32()
+	nonceOddOSAP := ctx.params.Raw(NonceSize)
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	if len(t.sessions) >= maxSessions {
+		return nil, RCResources
+	}
+	var entityAuth []byte
+	switch entityType {
+	case ETOwner:
+		if !t.owned {
+			return nil, RCNoSRK
+		}
+		entityAuth = t.ownerAuth[:]
+	case ETSRK:
+		if t.srk == nil {
+			return nil, RCNoSRK
+		}
+		entityAuth = t.srk.usageAuth[:]
+	case ETKeyHandle:
+		k, ok := t.keyByHandle(entityValue)
+		if !ok {
+			return nil, RCBadKeyHandle
+		}
+		entityAuth = k.usageAuth[:]
+	default:
+		return nil, RCBadParameter
+	}
+	h := t.allocSession()
+	nonceEvenOSAP := t.randNonce()
+	s := &session{
+		typ:          sessOSAP,
+		nonceEven:    t.randNonce(),
+		entityType:   entityType,
+		entityValue:  entityValue,
+		sharedSecret: hmacSHA1(entityAuth, nonceEvenOSAP[:], nonceOddOSAP),
+	}
+	t.sessions[h] = s
+	w := NewWriter()
+	w.U32(h)
+	w.Raw(s.nonceEven[:])
+	w.Raw(nonceEvenOSAP[:])
+	return w, RCSuccess
+}
+
+// cmdTerminateHandle discards a session.
+func cmdTerminateHandle(ctx *cmdContext) (*Writer, uint32) {
+	h := ctx.params.U32()
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	if _, ok := ctx.t.sessions[h]; !ok {
+		return nil, RCInvalidAuthHandle
+	}
+	delete(ctx.t.sessions, h)
+	return nil, RCSuccess
+}
+
+// cmdFlushSpecific evicts a key or session by handle.
+func cmdFlushSpecific(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	h := ctx.params.U32()
+	rt := ctx.params.U32()
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	switch rt {
+	case RTKey:
+		if _, ok := t.keys[h]; !ok {
+			return nil, RCBadKeyHandle
+		}
+		delete(t.keys, h)
+	case RTAuth:
+		if _, ok := t.sessions[h]; !ok {
+			return nil, RCInvalidAuthHandle
+		}
+		delete(t.sessions, h)
+	default:
+		return nil, RCBadParameter
+	}
+	return nil, RCSuccess
+}
+
+// maxRandomBytes caps one GetRandom response, as hardware does.
+const maxRandomBytes = 4096
+
+// cmdGetRandom returns up to maxRandomBytes of DRBG output.
+func cmdGetRandom(ctx *cmdContext) (*Writer, uint32) {
+	n := ctx.params.U32()
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	if n > maxRandomBytes {
+		n = maxRandomBytes
+	}
+	w := NewWriter()
+	w.B32(ctx.t.randBytes(int(n)))
+	return w, RCSuccess
+}
+
+// cmdStirRandom mixes caller entropy into the DRBG.
+func cmdStirRandom(ctx *cmdContext) (*Writer, uint32) {
+	data := ctx.params.B32()
+	if ctx.params.Err() != nil || len(data) > 256 {
+		return nil, RCBadParameter
+	}
+	ctx.t.rng.Reseed(data)
+	return nil, RCSuccess
+}
+
+// cmdGetCapability reports a subset of TPM properties.
+func cmdGetCapability(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	area := ctx.params.U32()
+	sub := ctx.params.B32()
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	resp := NewWriter()
+	switch area {
+	case CapOrd:
+		if len(sub) != 4 {
+			return nil, RCBadParameter
+		}
+		ord := NewReader(sub).U32()
+		if _, ok := dispatch[ord]; ok {
+			resp.U8(1)
+		} else {
+			resp.U8(0)
+		}
+	case CapVersion:
+		resp.Raw([]byte{1, 2, 0, 0})
+	case CapProperty:
+		if len(sub) != 4 {
+			return nil, RCBadParameter
+		}
+		prop := NewReader(sub).U32()
+		switch prop {
+		case PropPCRCount:
+			resp.U32(NumPCRs)
+		case PropManufacturer:
+			resp.Raw([]byte(Manufacturer))
+		case PropKeySlots:
+			resp.U32(maxKeySlots)
+		case PropOwner:
+			if t.owned {
+				resp.U8(1)
+			} else {
+				resp.U8(0)
+			}
+		case PropMaxNVSize:
+			resp.U32(maxNVSize)
+		default:
+			return nil, RCBadIndex
+		}
+	case CapHandle:
+		resp.U32(uint32(len(t.keys)))
+	default:
+		return nil, RCBadIndex
+	}
+	w := NewWriter()
+	w.B32(resp.Bytes())
+	return w, RCSuccess
+}
+
+// cmdReadPubek returns the endorsement public key. Real TPMs restrict this
+// after ownership; the vTPM manager relies on it pre-ownership only, and the
+// restriction is preserved.
+func cmdReadPubek(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	if t.owned {
+		return nil, RCDisabled
+	}
+	w := NewWriter()
+	w.B32(marshalPublicKey(&t.ek.PublicKey))
+	return w, RCSuccess
+}
+
+// cmdForceClear wipes ownership, keys and NV state (physical-presence clear).
+func cmdForceClear(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	t.owned = false
+	t.ownerAuth = [AuthSize]byte{}
+	t.srk = nil
+	t.tpmProof = [AuthSize]byte{}
+	t.keys = make(map[uint32]*loadedKey)
+	t.sessions = make(map[uint32]*session)
+	t.nv = make(map[uint32]*nvArea)
+	return nil, RCSuccess
+}

@@ -1,0 +1,132 @@
+package tpm
+
+import (
+	"crypto/sha1"
+	"testing"
+)
+
+// mkSigner creates and loads a signing key.
+func mkSigner(t *testing.T, cli *Client) uint32 {
+	t.Helper()
+	blob, err := cli.CreateWrapKey(KHSRK, srkAuth, keyAuth, KeyParams{
+		Usage: KeyUsageSigning, Scheme: SSRSASSAPKCS1v15SHA1, Bits: testBits,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cli.LoadKey2(KHSRK, srkAuth, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestContextSaveLoadRoundTrip(t *testing.T) {
+	_, cli := newOwnedTPM(t, "ctx1")
+	h := mkSigner(t, cli)
+	pub, err := cli.GetPubKey(h, keyAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := cli.SaveContext(h)
+	if err != nil {
+		t.Fatalf("SaveContext: %v", err)
+	}
+	// The slot is freed: the old handle no longer works.
+	digest := sha1.Sum([]byte("m"))
+	if _, err := cli.Sign(h, keyAuth, digest); !IsTPMError(err, RCBadKeyHandle) {
+		t.Fatalf("evicted handle err = %v", err)
+	}
+	h2, err := cli.LoadContext(blob)
+	if err != nil {
+		t.Fatalf("LoadContext: %v", err)
+	}
+	sig, err := cli.Sign(h2, keyAuth, digest)
+	if err != nil {
+		t.Fatalf("sign after reload: %v", err)
+	}
+	if err := VerifySHA1(pub, digest[:], sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContextMultiplexesBeyondSlotLimit(t *testing.T) {
+	// With contexts, a resource manager can juggle more keys than slots.
+	_, cli := newOwnedTPM(t, "ctx2")
+	blob, err := cli.CreateWrapKey(KHSRK, srkAuth, keyAuth, KeyParams{
+		Usage: KeyUsageSigning, Scheme: SSRSASSAPKCS1v15SHA1, Bits: testBits,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = maxKeySlots + 8
+	contexts := make([][]byte, 0, total)
+	for i := 0; i < total; i++ {
+		h, err := cli.LoadKey2(KHSRK, srkAuth, blob)
+		if err != nil {
+			t.Fatalf("load %d: %v", i, err)
+		}
+		c, err := cli.SaveContext(h)
+		if err != nil {
+			t.Fatalf("save %d: %v", i, err)
+		}
+		contexts = append(contexts, c)
+	}
+	// Every saved context reloads and works.
+	digest := sha1.Sum([]byte("x"))
+	for i, c := range contexts {
+		h, err := cli.LoadContext(c)
+		if err != nil {
+			t.Fatalf("reload %d: %v", i, err)
+		}
+		if _, err := cli.Sign(h, keyAuth, digest); err != nil {
+			t.Fatalf("sign %d: %v", i, err)
+		}
+		if err := cli.FlushKey(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestContextDoubleLoadRejected(t *testing.T) {
+	_, cli := newOwnedTPM(t, "ctx3")
+	h := mkSigner(t, cli)
+	blob, err := cli.SaveContext(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.LoadContext(blob); err != nil {
+		t.Fatal(err)
+	}
+	// A second load of the same context (a replay that would resurrect a
+	// key the resource manager believes evicted) must be refused.
+	if _, err := cli.LoadContext(blob); !IsTPMError(err, RCBadParameter) {
+		t.Fatalf("double load err = %v", err)
+	}
+}
+
+func TestContextForeignAndTamperedRejected(t *testing.T) {
+	_, cliA := newOwnedTPM(t, "ctx4a")
+	_, cliB := newOwnedTPM(t, "ctx4b")
+	h := mkSigner(t, cliA)
+	blob, err := cliA.SaveContext(h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Another TPM cannot load it (context key derives from tpmProof).
+	if _, err := cliB.LoadContext(blob); !IsTPMError(err, RCBadParameter) {
+		t.Fatalf("foreign load err = %v", err)
+	}
+	// Tampering is detected by the envelope MAC.
+	blob[len(blob)/2] ^= 0x01
+	if _, err := cliA.LoadContext(blob); !IsTPMError(err, RCBadParameter) {
+		t.Fatalf("tampered load err = %v", err)
+	}
+}
+
+func TestContextSRKNotSavable(t *testing.T) {
+	_, cli := newOwnedTPM(t, "ctx5")
+	if _, err := cli.SaveContext(KHSRK); !IsTPMError(err, RCBadKeyHandle) {
+		t.Fatalf("SRK save err = %v", err)
+	}
+}

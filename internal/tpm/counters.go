@@ -1,0 +1,144 @@
+package tpm
+
+// Monotonic counters (TPM_CreateCounter / IncrementCounter / ReadCounter /
+// ReleaseCounter). The improved access-control design anchors its audit log
+// against rollback with one of these: a counter value can only ever grow,
+// even across state save/restore, so replaying an old state blob is
+// detectable by comparing counters.
+
+// Counter ordinals.
+const (
+	OrdCreateCounter    uint32 = 0x000000DC
+	OrdIncrementCounter uint32 = 0x000000DD
+	OrdReadCounter      uint32 = 0x000000DE
+	OrdReleaseCounter   uint32 = 0x000000DF
+)
+
+// maxCounters bounds the number of live counters, as the chip's NV does.
+const maxCounters = 8
+
+// counter is one monotonic counter.
+type counter struct {
+	label [4]byte
+	auth  [AuthSize]byte
+	value uint32
+}
+
+func init() {
+	register(OrdCreateCounter, cmdCreateCounter)
+	register(OrdIncrementCounter, cmdIncrementCounter)
+	register(OrdReadCounter, cmdReadCounter)
+	register(OrdReleaseCounter, cmdReleaseCounter)
+}
+
+// cmdCreateCounter creates a counter under owner authorization (OSAP with
+// ADIP-protected counter auth), returning its handle and initial value.
+//
+// Wire: encAuth(20) ∥ label(4) → countID(u32) ∥ value(u32).
+func cmdCreateCounter(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	if rc := ctx.requireAuth(1); rc != RCSuccess {
+		return nil, rc
+	}
+	encAuth := ctx.params.Raw(AuthSize)
+	label := ctx.params.Raw(4)
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	if !t.owned {
+		return nil, RCNoSRK
+	}
+	sess := ctx.osapSession(0, ETOwner, 0)
+	if sess == nil {
+		return nil, RCAuthConflict
+	}
+	if rc := ctx.verifyAuth(0, t.ownerAuth[:]); rc != RCSuccess {
+		return nil, rc
+	}
+	if len(t.counters) >= maxCounters {
+		return nil, RCResources
+	}
+	c := &counter{auth: adipDecrypt(sess.sharedSecret, ctx.auths[0].lastEven, encAuth)}
+	copy(c.label[:], label)
+	// New counters start above every value any counter has ever held, so a
+	// released-and-recreated counter cannot be used to roll back.
+	t.counterFloor++
+	c.value = t.counterFloor
+	id := t.nextCounterID
+	t.nextCounterID++
+	t.counters[id] = c
+	w := NewWriter()
+	w.U32(id)
+	w.U32(c.value)
+	return w, RCSuccess
+}
+
+// cmdIncrementCounter bumps a counter under its authorization.
+//
+// Wire: countID(u32) → value(u32).
+func cmdIncrementCounter(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	if rc := ctx.requireAuth(1); rc != RCSuccess {
+		return nil, rc
+	}
+	id := ctx.params.U32()
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	c, ok := t.counters[id]
+	if !ok {
+		return nil, RCBadIndex
+	}
+	if rc := ctx.verifyAuth(0, c.auth[:]); rc != RCSuccess {
+		return nil, rc
+	}
+	c.value++
+	if c.value > t.counterFloor {
+		t.counterFloor = c.value
+	}
+	w := NewWriter()
+	w.U32(c.value)
+	return w, RCSuccess
+}
+
+// cmdReadCounter reads a counter without authorization, as on hardware.
+//
+// Wire: countID(u32) → label(4) ∥ value(u32).
+func cmdReadCounter(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	id := ctx.params.U32()
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	c, ok := t.counters[id]
+	if !ok {
+		return nil, RCBadIndex
+	}
+	w := NewWriter()
+	w.Raw(c.label[:])
+	w.U32(c.value)
+	return w, RCSuccess
+}
+
+// cmdReleaseCounter frees a counter under its authorization.
+//
+// Wire: countID(u32).
+func cmdReleaseCounter(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	if rc := ctx.requireAuth(1); rc != RCSuccess {
+		return nil, rc
+	}
+	id := ctx.params.U32()
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	c, ok := t.counters[id]
+	if !ok {
+		return nil, RCBadIndex
+	}
+	if rc := ctx.verifyAuth(0, c.auth[:]); rc != RCSuccess {
+		return nil, rc
+	}
+	delete(t.counters, id)
+	return nil, RCSuccess
+}

@@ -1,0 +1,79 @@
+package tpm
+
+import (
+	"crypto/hmac"
+	"crypto/sha256"
+	"sync"
+)
+
+// drbg is a deterministic random bit generator in the style of NIST SP
+// 800-90A HMAC_DRBG (HMAC-SHA256, no reseed counter enforcement). The engine
+// uses it for nonces, key-generation entropy and GetRandom so that a TPM
+// instance seeded explicitly is fully reproducible — which the test suite,
+// the migration protocol and the benchmark harness all rely on. Production
+// configurations seed it from crypto/rand.
+type drbg struct {
+	mu sync.Mutex
+	k  []byte
+	v  []byte
+}
+
+// newDRBG instantiates the generator from seed material.
+func newDRBG(seed []byte) *drbg {
+	d := &drbg{
+		k: make([]byte, sha256.Size),
+		v: make([]byte, sha256.Size),
+	}
+	for i := range d.v {
+		d.v[i] = 0x01
+	}
+	d.update(seed)
+	return d
+}
+
+// update is the HMAC_DRBG state-update function.
+func (d *drbg) update(provided []byte) {
+	mac := hmac.New(sha256.New, d.k)
+	mac.Write(d.v)
+	mac.Write([]byte{0x00})
+	mac.Write(provided)
+	d.k = mac.Sum(nil)
+
+	mac = hmac.New(sha256.New, d.k)
+	mac.Write(d.v)
+	d.v = mac.Sum(nil)
+
+	if len(provided) > 0 {
+		mac = hmac.New(sha256.New, d.k)
+		mac.Write(d.v)
+		mac.Write([]byte{0x01})
+		mac.Write(provided)
+		d.k = mac.Sum(nil)
+
+		mac = hmac.New(sha256.New, d.k)
+		mac.Write(d.v)
+		d.v = mac.Sum(nil)
+	}
+}
+
+// Read fills p with pseudorandom bytes; it never fails.
+func (d *drbg) Read(p []byte) (int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for n < len(p) {
+		mac := hmac.New(sha256.New, d.k)
+		mac.Write(d.v)
+		d.v = mac.Sum(nil)
+		n += copy(p[n:], d.v)
+	}
+	d.update(nil)
+	return len(p), nil
+}
+
+// Reseed mixes additional entropy into the generator (TPM_StirRandom).
+func (d *drbg) Reseed(entropy []byte) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.update(entropy)
+}

@@ -1,0 +1,267 @@
+package tpm
+
+import (
+	"testing"
+)
+
+var counterAuth = authOf("counter")
+
+func TestCounterLifecycle(t *testing.T) {
+	_, cli := newOwnedTPM(t, "c1")
+	id, v0, err := cli.CreateCounter(ownerAuth, counterAuth, [4]byte{'a', 'u', 'd', 't'})
+	if err != nil {
+		t.Fatalf("CreateCounter: %v", err)
+	}
+	label, v, err := cli.ReadCounter(id)
+	if err != nil || v != v0 || label != [4]byte{'a', 'u', 'd', 't'} {
+		t.Fatalf("ReadCounter: %v label=%q v=%d want %d", err, label, v, v0)
+	}
+	for i := 1; i <= 5; i++ {
+		nv, err := cli.IncrementCounter(id, counterAuth)
+		if err != nil || nv != v0+uint32(i) {
+			t.Fatalf("increment %d: %v value %d", i, err, nv)
+		}
+	}
+	// Wrong auth cannot increment.
+	if _, err := cli.IncrementCounter(id, authOf("bad")); !IsTPMError(err, RCAuthFail) {
+		t.Fatalf("wrong auth err = %v", err)
+	}
+	if err := cli.ReleaseCounter(id, counterAuth); err != nil {
+		t.Fatalf("ReleaseCounter: %v", err)
+	}
+	if _, _, err := cli.ReadCounter(id); !IsTPMError(err, RCBadIndex) {
+		t.Fatalf("read released err = %v", err)
+	}
+}
+
+func TestCounterRollbackDefense(t *testing.T) {
+	_, cli := newOwnedTPM(t, "c2")
+	id, _, err := cli.CreateCounter(ownerAuth, counterAuth, [4]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var last uint32
+	for i := 0; i < 10; i++ {
+		last, err = cli.IncrementCounter(id, counterAuth)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cli.ReleaseCounter(id, counterAuth); err != nil {
+		t.Fatal(err)
+	}
+	// A new counter must start above every value the old one reached.
+	_, v0, err := cli.CreateCounter(ownerAuth, counterAuth, [4]byte{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0 <= last {
+		t.Fatalf("new counter starts at %d, old reached %d — rollback possible", v0, last)
+	}
+}
+
+func TestCounterSurvivesSaveRestore(t *testing.T) {
+	eng, cli := newOwnedTPM(t, "c3")
+	id, _, err := cli.CreateCounter(ownerAuth, counterAuth, [4]byte{'x', 0, 0, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := cli.IncrementCounter(id, counterAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	revived, err := RestoreState(eng.SaveState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli2 := NewClient(DirectTransport{TPM: revived}, newDRBG([]byte("r")))
+	_, v, err := cli2.ReadCounter(id)
+	if err != nil || v != want {
+		t.Fatalf("restored counter: %v v=%d want %d", err, v, want)
+	}
+	// And increments continue from there.
+	nv, err := cli2.IncrementCounter(id, counterAuth)
+	if err != nil || nv != want+1 {
+		t.Fatalf("post-restore increment: %v %d", err, nv)
+	}
+}
+
+func TestCounterExhaustion(t *testing.T) {
+	_, cli := newOwnedTPM(t, "c4")
+	for i := 0; i < maxCounters; i++ {
+		if _, _, err := cli.CreateCounter(ownerAuth, counterAuth, [4]byte{byte(i)}); err != nil {
+			t.Fatalf("create %d: %v", i, err)
+		}
+	}
+	if _, _, err := cli.CreateCounter(ownerAuth, counterAuth, [4]byte{}); !IsTPMError(err, RCResources) {
+		t.Fatalf("overflow err = %v", err)
+	}
+}
+
+func TestDictionaryAttackLockout(t *testing.T) {
+	_, cli := newOwnedTPM(t, "d1")
+	// Grind wrong owner auths until the lockout latches.
+	var lastErr error
+	for i := 0; i < lockoutThreshold; i++ {
+		lastErr = cli.OwnerClear(authOf("guess"))
+		if lastErr == nil {
+			t.Fatal("guessed owner auth accepted")
+		}
+	}
+	if !IsTPMError(lastErr, RCAuthFail) {
+		t.Fatalf("pre-lockout err = %v", lastErr)
+	}
+	// Now even the CORRECT auth is refused: the lockout is latched.
+	if err := cli.OwnerClear(ownerAuth); !IsTPMError(err, RCDefendLock) {
+		t.Fatalf("locked-out err = %v", err)
+	}
+	// Unauthorized commands still work (lockout covers auth only).
+	if _, err := cli.GetRandom(4); err != nil {
+		t.Fatalf("unauth command during lockout: %v", err)
+	}
+	// ResetLockValue with wrong auth fails and stays locked.
+	if err := cli.ResetLockValue(authOf("still-guessing")); !IsTPMError(err, RCAuthFail) {
+		t.Fatalf("bad reset err = %v", err)
+	}
+	// Owner recovers with ResetLockValue.
+	if err := cli.ResetLockValue(ownerAuth); err != nil {
+		t.Fatalf("ResetLockValue: %v", err)
+	}
+	if err := cli.OwnerClear(ownerAuth); err != nil {
+		t.Fatalf("post-recovery owner command: %v", err)
+	}
+}
+
+func TestLockoutCounterResetsOnSuccess(t *testing.T) {
+	_, cli := newOwnedTPM(t, "d2")
+	// Interleave failures with successes: the lockout must never latch.
+	for round := 0; round < 3; round++ {
+		for i := 0; i < lockoutThreshold-1; i++ {
+			if err := cli.OwnerClear(authOf("guess")); !IsTPMError(err, RCAuthFail) {
+				t.Fatalf("err = %v", err)
+			}
+		}
+		if _, err := cli.GetPubKey(KHSRK, srkAuth); err != nil {
+			t.Fatalf("legit command after failures: %v", err)
+		}
+	}
+}
+
+func TestLockoutSurvivesSaveRestore(t *testing.T) {
+	eng, cli := newOwnedTPM(t, "d3")
+	for i := 0; i < lockoutThreshold; i++ {
+		cli.OwnerClear(authOf("guess"))
+	}
+	revived, err := RestoreState(eng.SaveState())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli2 := NewClient(DirectTransport{TPM: revived}, newDRBG([]byte("r")))
+	if err := cli2.OwnerClear(ownerAuth); !IsTPMError(err, RCDefendLock) {
+		t.Fatalf("lockout lost across restore: %v", err)
+	}
+}
+
+func TestCertifyKey(t *testing.T) {
+	_, cli := newOwnedTPM(t, "k1")
+	mk := func(usage uint16, auth [AuthSize]byte) uint32 {
+		blob, err := cli.CreateWrapKey(KHSRK, srkAuth, auth, KeyParams{
+			Usage: usage, Scheme: SSRSASSAPKCS1v15SHA1, Bits: testBits,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, err := cli.LoadKey2(KHSRK, srkAuth, blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return h
+	}
+	certAuth := authOf("certifier")
+	targetAuth := authOf("target")
+	certHandle := mk(KeyUsageSigning, certAuth)
+	targetHandle := mk(KeyUsageSigning, targetAuth)
+	certPub, err := cli.GetPubKey(certHandle, certAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var antiReplay [NonceSize]byte
+	copy(antiReplay[:], sha1Sum([]byte("verifier-nonce")))
+	res, err := cli.CertifyKey(certHandle, certAuth, targetHandle, targetAuth, antiReplay)
+	if err != nil {
+		t.Fatalf("CertifyKey: %v", err)
+	}
+	if res.Usage != KeyUsageSigning {
+		t.Fatalf("certified usage = %#x", res.Usage)
+	}
+	// The certification verifies under the certifier's public key...
+	digest := CertifyInfoDigest(res.Usage, res.Scheme, res.PubKey, antiReplay)
+	if err := VerifySHA1(certPub, digest, res.Signature); err != nil {
+		t.Fatalf("certification does not verify: %v", err)
+	}
+	// ...and binds the anti-replay value.
+	var other [NonceSize]byte
+	if err := VerifySHA1(certPub, CertifyInfoDigest(res.Usage, res.Scheme, res.PubKey, other), res.Signature); err == nil {
+		t.Fatal("certification verified under wrong anti-replay")
+	}
+	// The certified pubkey matches the target key.
+	targetPub, err := cli.GetPubKey(targetHandle, targetAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPub, err := UnmarshalPublicKey(res.PubKey)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotPub.N.Cmp(targetPub.N) != 0 {
+		t.Fatal("certified a different key")
+	}
+}
+
+func TestCertifyKeyRequiresSigningCertifier(t *testing.T) {
+	_, cli := newOwnedTPM(t, "k2")
+	// The SRK (storage usage) must not be usable as a certifier.
+	blob, err := cli.CreateWrapKey(KHSRK, srkAuth, keyAuth, KeyParams{
+		Usage: KeyUsageSigning, Scheme: SSRSASSAPKCS1v15SHA1, Bits: testBits,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cli.LoadKey2(KHSRK, srkAuth, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var nonce [NonceSize]byte
+	if _, err := cli.CertifyKey(KHSRK, srkAuth, h, keyAuth, nonce); !IsTPMError(err, RCBadParameter) {
+		t.Fatalf("storage certifier err = %v", err)
+	}
+}
+
+func TestExecuteNeverPanicsOnGarbage(t *testing.T) {
+	eng, _ := newOwnedTPM(t, "fuzz")
+	rng := newDRBG([]byte("garbage"))
+	for i := 0; i < 2000; i++ {
+		n := int(eng.randBytes(1)[0]) // 0..255 bytes
+		buf := make([]byte, n)
+		rng.Read(buf)
+		// Some iterations get a plausible header to reach deeper code.
+		if n >= 10 && i%3 == 0 {
+			w := NewWriter()
+			w.U16(TagRQUCommand)
+			w.U32(uint32(n))
+			w.U32(uint32(i) % 0x100) // sweep low ordinals
+			copy(buf, w.Bytes())
+		}
+		resp := eng.Execute(buf) // must not panic
+		if len(resp) < 10 {
+			t.Fatalf("short response %x for input %x", resp, buf)
+		}
+	}
+}
+
+func TestCounterWrongOwnerOSAPRejected(t *testing.T) {
+	_, cli := newOwnedTPM(t, "c5")
+	if _, _, err := cli.CreateCounter(authOf("not-owner"), counterAuth, [4]byte{}); !IsTPMError(err, RCAuthFail) {
+		t.Fatalf("err = %v", err)
+	}
+}

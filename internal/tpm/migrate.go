@@ -1,0 +1,185 @@
+package tpm
+
+// Key migration (TPM_MS_REWRAP scheme): individually migratable keys, as
+// distinct from whole-vTPM migration. A key created with FlagMigratable
+// carries a migration secret; the TPM owner authorizes a destination public
+// key (a ticket only this TPM can mint, bound to tpmProof), and
+// CreateMigrationBlob re-wraps the key's private material under that
+// destination key. The destination loads the result under its own storage
+// hierarchy — migratable keys deliberately trade the tpmProof residency
+// binding for portability, which is why Seal only ever uses non-migratable
+// storage keys.
+
+// Migration ordinals.
+const (
+	OrdAuthorizeMigrationKey uint32 = 0x0000002B
+	OrdCreateMigrationBlob   uint32 = 0x00000028
+)
+
+// Migration schemes.
+const (
+	MSRewrap uint16 = 0x0002 // TPM_MS_REWRAP
+)
+
+// Key flags carried in KeyParams.
+const (
+	FlagMigratable uint32 = 0x00000002 // TPM_KEY_FLAG migratable
+)
+
+func init() {
+	register(OrdAuthorizeMigrationKey, cmdAuthorizeMigrationKey)
+	register(OrdCreateMigrationBlob, cmdCreateMigrationBlob)
+}
+
+// migTicketMAC computes the authorization a ticket carries: an HMAC under
+// tpmProof, so only this TPM can mint or verify one.
+func (t *TPM) migTicketMAC(scheme uint16, pubBytes []byte) []byte {
+	w := NewWriter()
+	w.U16(scheme)
+	w.B32(pubBytes)
+	return hmacSHA1(t.tpmProof[:], []byte("migration-key-auth"), w.Bytes())
+}
+
+// cmdAuthorizeMigrationKey lets the owner bless a migration destination
+// public key, returning the ticket CreateMigrationBlob later demands.
+//
+// Wire: scheme(u16) ∥ destPub(B32) → ticket(B32: scheme ∥ destPub ∥ mac).
+func cmdAuthorizeMigrationKey(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	if !t.owned {
+		return nil, RCNoSRK
+	}
+	if rc := ctx.requireAuth(1); rc != RCSuccess {
+		return nil, rc
+	}
+	scheme := ctx.params.U16()
+	destPub := ctx.params.B32()
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	if scheme != MSRewrap {
+		return nil, RCBadParameter
+	}
+	if _, err := UnmarshalPublicKey(destPub); err != nil {
+		return nil, RCBadParameter
+	}
+	if rc := ctx.verifyAuth(0, t.ownerAuth[:]); rc != RCSuccess {
+		return nil, rc
+	}
+	ticket := NewWriter()
+	ticket.U16(scheme)
+	ticket.B32(destPub)
+	ticket.Raw(t.migTicketMAC(scheme, destPub))
+	w := NewWriter()
+	w.B32(ticket.Bytes())
+	return w, RCSuccess
+}
+
+// parseMigTicket splits a ticket.
+func parseMigTicket(b []byte) (scheme uint16, destPub, mac []byte, ok bool) {
+	r := NewReader(b)
+	scheme = r.U16()
+	destPub = r.B32()
+	mac = r.Raw(DigestSize)
+	return scheme, destPub, mac, r.Err() == nil && r.Remaining() == 0
+}
+
+// cmdCreateMigrationBlob re-wraps a migratable key for the authorized
+// destination. auth1 authorizes the parent (which unwraps the blob); auth2
+// proves knowledge of the key's migration secret.
+//
+// Wire: parentHandle(u32) ∥ ticket(B32) ∥ keyBlob(B32) → outEncPriv(B32).
+func cmdCreateMigrationBlob(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	if rc := ctx.requireAuth(2); rc != RCSuccess {
+		return nil, rc
+	}
+	parentHandle := ctx.params.U32()
+	ticket := ctx.params.B32()
+	blob := ctx.params.B32()
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	parent, ok := t.keyByHandle(parentHandle)
+	if !ok {
+		return nil, RCBadKeyHandle
+	}
+	if rc := ctx.verifyAuth(0, parent.usageAuth[:]); rc != RCSuccess {
+		return nil, rc
+	}
+	scheme, destPubBytes, mac, ok := parseMigTicket(ticket)
+	if !ok || scheme != MSRewrap {
+		return nil, RCBadParameter
+	}
+	if !hmacEqual(mac, t.migTicketMAC(scheme, destPubBytes)) {
+		return nil, RCAuthFail // forged or foreign ticket
+	}
+	destPub, err := UnmarshalPublicKey(destPubBytes)
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	params, pub, encPriv, ok := parseKeyBlob(blob)
+	if !ok {
+		return nil, RCBadParameter
+	}
+	if params.Flags&FlagMigratable == 0 {
+		return nil, RCBadParameter // non-migratable keys never leave
+	}
+	privBlobBytes, err := unwrapPrivate(parent.priv, encPriv)
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	pb, ok := parsePrivBlob(privBlobBytes)
+	if !ok {
+		return nil, RCBadParameter
+	}
+	if rc := ctx.verifyAuth(1, pb.migAuth[:]); rc != RCSuccess {
+		return nil, rc
+	}
+	// Re-wrap verbatim under the destination key: same usage auth, same
+	// migration secret, still no residency proof.
+	outEncPriv, err := wrapPrivate(t.rng, destPub, privBlobBytes)
+	if err != nil {
+		return nil, RCFail
+	}
+	_ = pub
+	w := NewWriter()
+	w.B32(outEncPriv)
+	return w, RCSuccess
+}
+
+// privBlob is the decrypted interior of a wrapped key.
+type privBlob struct {
+	privKey    []byte
+	usageAuth  [AuthSize]byte
+	proof      [AuthSize]byte
+	migratable bool
+	migAuth    [AuthSize]byte
+}
+
+// buildPrivBlob serializes a private-key interior.
+func buildPrivBlob(pb privBlob) []byte {
+	w := NewWriter()
+	w.B32(pb.privKey)
+	w.Raw(pb.usageAuth[:])
+	w.Raw(pb.proof[:])
+	if pb.migratable {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+	w.Raw(pb.migAuth[:])
+	return w.Bytes()
+}
+
+// parsePrivBlob reverses buildPrivBlob.
+func parsePrivBlob(b []byte) (privBlob, bool) {
+	r := NewReader(b)
+	var pb privBlob
+	pb.privKey = r.B32()
+	copy(pb.usageAuth[:], r.Raw(AuthSize))
+	copy(pb.proof[:], r.Raw(AuthSize))
+	pb.migratable = r.U8() == 1
+	copy(pb.migAuth[:], r.Raw(AuthSize))
+	return pb, r.Err() == nil && r.Remaining() == 0
+}

@@ -1,0 +1,186 @@
+package tpm
+
+import (
+	"crypto/sha1"
+	"testing"
+)
+
+var migAuth = authOf("migration-secret")
+
+// mkMigratableKey creates and loads a migratable signing key, returning the
+// blob and its handle.
+func mkMigratableKey(t *testing.T, cli *Client) ([]byte, uint32) {
+	t.Helper()
+	blob, err := cli.CreateWrapKeyMigratable(KHSRK, srkAuth, keyAuth, migAuth, KeyParams{
+		Usage: KeyUsageSigning, Scheme: SSRSASSAPKCS1v15SHA1, Bits: testBits, Flags: FlagMigratable,
+	})
+	if err != nil {
+		t.Fatalf("CreateWrapKeyMigratable: %v", err)
+	}
+	h, err := cli.LoadKey2(KHSRK, srkAuth, blob)
+	if err != nil {
+		t.Fatalf("LoadKey2 (migratable): %v", err)
+	}
+	return blob, h
+}
+
+func TestMigratableKeyWorksLocally(t *testing.T) {
+	_, cli := newOwnedTPM(t, "mk1")
+	_, h := mkMigratableKey(t, cli)
+	digest := sha1.Sum([]byte("doc"))
+	pub, err := cli.GetPubKey(h, keyAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig, err := cli.Sign(h, keyAuth, digest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySHA1(pub, digest[:], sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeyMigrationEndToEnd(t *testing.T) {
+	_, src := newOwnedTPM(t, "mig-src")
+	_, dst := newOwnedTPM(t, "mig-dst")
+	blob, srcHandle := mkMigratableKey(t, src)
+	pubBefore, err := src.GetPubKey(srcHandle, keyAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The destination's SRK public key is the migration target; the
+	// destination exports it via a loaded-key read.
+	dstSRKPub, err := dst.GetPubKey(KHSRK, srkAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Source owner authorizes the destination; the key holder re-wraps.
+	ticket, err := src.AuthorizeMigrationKey(ownerAuth, dstSRKPub)
+	if err != nil {
+		t.Fatalf("AuthorizeMigrationKey: %v", err)
+	}
+	migBlob, err := src.CreateMigrationBlob(KHSRK, srkAuth, migAuth, blob, ticket)
+	if err != nil {
+		t.Fatalf("CreateMigrationBlob: %v", err)
+	}
+	// The destination loads the re-wrapped key under its own SRK...
+	dstHandle, err := dst.LoadKey2(KHSRK, srkAuth, migBlob)
+	if err != nil {
+		t.Fatalf("destination LoadKey2: %v", err)
+	}
+	// ...with the same key material (public key identical) and usage auth.
+	pubAfter, err := dst.GetPubKey(dstHandle, keyAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pubBefore.N.Cmp(pubAfter.N) != 0 {
+		t.Fatal("migrated key has different material")
+	}
+	digest := sha1.Sum([]byte("signed-on-destination"))
+	sig, err := dst.Sign(dstHandle, keyAuth, digest)
+	if err != nil {
+		t.Fatalf("sign on destination: %v", err)
+	}
+	if err := VerifySHA1(pubBefore, digest[:], sig); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNonMigratableKeyRefusesMigration(t *testing.T) {
+	_, src := newOwnedTPM(t, "mig-nm")
+	_, dst := newOwnedTPM(t, "mig-nm-dst")
+	blob, err := src.CreateWrapKey(KHSRK, srkAuth, keyAuth, KeyParams{
+		Usage: KeyUsageSigning, Scheme: SSRSASSAPKCS1v15SHA1, Bits: testBits,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dstSRKPub, _ := dst.GetPubKey(KHSRK, srkAuth)
+	ticket, err := src.AuthorizeMigrationKey(ownerAuth, dstSRKPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.CreateMigrationBlob(KHSRK, srkAuth, migAuth, blob, ticket); !IsTPMError(err, RCBadParameter) {
+		t.Fatalf("non-migratable migration err = %v", err)
+	}
+}
+
+func TestMigrationRequiresMigrationSecret(t *testing.T) {
+	_, src := newOwnedTPM(t, "mig-sec")
+	_, dst := newOwnedTPM(t, "mig-sec-dst")
+	blob, _ := mkMigratableKey(t, src)
+	dstSRKPub, _ := dst.GetPubKey(KHSRK, srkAuth)
+	ticket, _ := src.AuthorizeMigrationKey(ownerAuth, dstSRKPub)
+	if _, err := src.CreateMigrationBlob(KHSRK, srkAuth, authOf("wrong-mig"), blob, ticket); !IsTPMError(err, RCAuthFail) {
+		t.Fatalf("wrong migration secret err = %v", err)
+	}
+}
+
+func TestMigrationRejectsForgedTicket(t *testing.T) {
+	_, src := newOwnedTPM(t, "mig-forge")
+	_, dst := newOwnedTPM(t, "mig-forge-dst")
+	blob, _ := mkMigratableKey(t, src)
+	dstSRKPub, _ := dst.GetPubKey(KHSRK, srkAuth)
+	// Attacker builds the same structure but cannot compute the MAC.
+	forged := NewWriter()
+	forged.U16(MSRewrap)
+	forged.B32(MarshalPublicKey(dstSRKPub))
+	forged.Raw(make([]byte, DigestSize))
+	if _, err := src.CreateMigrationBlob(KHSRK, srkAuth, migAuth, blob, forged.Bytes()); !IsTPMError(err, RCAuthFail) {
+		t.Fatalf("forged ticket err = %v", err)
+	}
+	// A ticket minted by a DIFFERENT TPM's owner is also useless here.
+	_, other := newOwnedTPM(t, "mig-forge-other")
+	foreignTicket, err := other.AuthorizeMigrationKey(ownerAuth, dstSRKPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := src.CreateMigrationBlob(KHSRK, srkAuth, migAuth, blob, foreignTicket); !IsTPMError(err, RCAuthFail) {
+		t.Fatalf("foreign ticket err = %v", err)
+	}
+}
+
+func TestMigrationAuthorizationRequiresOwner(t *testing.T) {
+	_, src := newOwnedTPM(t, "mig-own")
+	_, dst := newOwnedTPM(t, "mig-own-dst")
+	dstSRKPub, _ := dst.GetPubKey(KHSRK, srkAuth)
+	if _, err := src.AuthorizeMigrationKey(authOf("not-owner"), dstSRKPub); !IsTPMError(err, RCAuthFail) {
+		t.Fatalf("non-owner authorize err = %v", err)
+	}
+}
+
+func TestLoadRejectsFlagMismatch(t *testing.T) {
+	// Flipping the public migratable flag on a non-migratable blob must be
+	// caught against the encrypted interior.
+	_, cli := newOwnedTPM(t, "mig-flag")
+	blob, err := cli.CreateWrapKey(KHSRK, srkAuth, keyAuth, KeyParams{
+		Usage: KeyUsageSigning, Scheme: SSRSASSAPKCS1v15SHA1, Bits: testBits,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params, pub, encPriv, ok := ParseKeyBlobPublic(blob)
+	if !ok {
+		t.Fatal("parse")
+	}
+	params.Flags |= FlagMigratable
+	w := NewWriter()
+	params.Marshal(w)
+	w.B32(pub)
+	w.B32(encPriv)
+	if _, err := cli.LoadKey2(KHSRK, srkAuth, w.Bytes()); !IsTPMError(err, RCBadParameter) {
+		t.Fatalf("flag-flipped blob err = %v", err)
+	}
+}
+
+func TestMigratableKeyStillForeignProofFree(t *testing.T) {
+	// A migratable blob moved without the migration protocol (raw copy)
+	// must still be useless on another TPM: its parent cannot unwrap it.
+	_, src := newOwnedTPM(t, "mig-raw")
+	_, dst := newOwnedTPM(t, "mig-raw-dst")
+	blob, _ := mkMigratableKey(t, src)
+	if _, err := dst.LoadKey2(KHSRK, srkAuth, blob); err == nil {
+		t.Fatal("raw-copied migratable blob loaded on foreign TPM")
+	}
+}

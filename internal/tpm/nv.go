@@ -1,0 +1,155 @@
+package tpm
+
+// Non-volatile storage ordinals.
+
+func init() {
+	register(OrdNVDefineSpace, cmdNVDefineSpace)
+	register(OrdNVWriteValue, cmdNVWriteValue)
+	register(OrdNVReadValue, cmdNVReadValue)
+}
+
+// NV geometry limits.
+const (
+	maxNVSize  = 4096  // per index
+	maxNVTotal = 65536 // whole TPM
+)
+
+// nvTotal sums the sizes of all defined areas.
+func (t *TPM) nvTotal() int {
+	total := 0
+	for _, a := range t.nv {
+		total += int(a.size)
+	}
+	return total
+}
+
+// cmdNVDefineSpace defines (or, with size 0, deletes) an NV index. Requires
+// an OSAP session on the owner; the area auth arrives ADIP-encrypted.
+//
+// Wire: index(u32) ∥ size(u32) ∥ perms(u32) ∥ encAreaAuth(20).
+func cmdNVDefineSpace(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	if rc := ctx.requireAuth(1); rc != RCSuccess {
+		return nil, rc
+	}
+	index := ctx.params.U32()
+	size := ctx.params.U32()
+	perms := ctx.params.U32()
+	encAreaAuth := ctx.params.Raw(AuthSize)
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	if !t.owned {
+		return nil, RCNoSRK
+	}
+	sess := ctx.osapSession(0, ETOwner, 0)
+	if sess == nil {
+		return nil, RCAuthConflict
+	}
+	if rc := ctx.verifyAuth(0, t.ownerAuth[:]); rc != RCSuccess {
+		return nil, rc
+	}
+	if size == 0 {
+		if _, ok := t.nv[index]; !ok {
+			return nil, RCBadIndex
+		}
+		delete(t.nv, index)
+		return nil, RCSuccess
+	}
+	if size > maxNVSize {
+		return nil, RCBadDatasize
+	}
+	if _, exists := t.nv[index]; exists {
+		return nil, RCBadIndex
+	}
+	if t.nvTotal()+int(size) > maxNVTotal {
+		return nil, RCNoSpace
+	}
+	area := &nvArea{perms: perms, size: size, data: make([]byte, size)}
+	area.auth = adipDecrypt(sess.sharedSecret, ctx.auths[0].lastEven, encAreaAuth)
+	t.nv[index] = area
+	return nil, RCSuccess
+}
+
+// nvWriteAuthorized checks the write-side authorization for an area.
+func (ctx *cmdContext) nvWriteAuthorized(a *nvArea) uint32 {
+	t := ctx.t
+	switch {
+	case a.perms&NVPerOwnerWrite != 0:
+		if rc := ctx.requireAuth(1); rc != RCSuccess {
+			return rc
+		}
+		return ctx.verifyAuth(0, t.ownerAuth[:])
+	case a.perms&NVPerAuthWrite != 0:
+		if rc := ctx.requireAuth(1); rc != RCSuccess {
+			return rc
+		}
+		return ctx.verifyAuth(0, a.auth[:])
+	default:
+		return RCSuccess // unprotected area
+	}
+}
+
+// cmdNVWriteValue writes data at an offset within a defined index.
+//
+// Wire: index(u32) ∥ offset(u32) ∥ data(B32).
+func cmdNVWriteValue(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	index := ctx.params.U32()
+	offset := ctx.params.U32()
+	data := ctx.params.B32()
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	a, ok := t.nv[index]
+	if !ok {
+		return nil, RCBadIndex
+	}
+	if rc := ctx.nvWriteAuthorized(a); rc != RCSuccess {
+		return nil, rc
+	}
+	if int(offset)+len(data) > int(a.size) {
+		return nil, RCBadDatasize
+	}
+	copy(a.data[offset:], data)
+	return nil, RCSuccess
+}
+
+// cmdNVReadValue reads size bytes at an offset within a defined index.
+//
+// Wire: index(u32) ∥ offset(u32) ∥ size(u32) → data(B32).
+func cmdNVReadValue(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	index := ctx.params.U32()
+	offset := ctx.params.U32()
+	size := ctx.params.U32()
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	a, ok := t.nv[index]
+	if !ok {
+		return nil, RCBadIndex
+	}
+	switch {
+	case a.perms&NVPerOwnerRead != 0:
+		if rc := ctx.requireAuth(1); rc != RCSuccess {
+			return nil, rc
+		}
+		if rc := ctx.verifyAuth(0, t.ownerAuth[:]); rc != RCSuccess {
+			return nil, rc
+		}
+	case a.perms&NVPerAuthRead != 0:
+		if rc := ctx.requireAuth(1); rc != RCSuccess {
+			return nil, rc
+		}
+		if rc := ctx.verifyAuth(0, a.auth[:]); rc != RCSuccess {
+			return nil, rc
+		}
+	}
+	if int(offset)+int(size) > int(a.size) {
+		return nil, RCBadDatasize
+	}
+	w := NewWriter()
+	w.B32(a.data[offset : offset+size])
+	return w, RCSuccess
+}

@@ -1,0 +1,149 @@
+package tpm
+
+// PCR ordinals and the composite-hash machinery shared by sealing and
+// quoting.
+
+func init() {
+	register(OrdExtend, cmdExtend)
+	register(OrdPCRRead, cmdPCRRead)
+	register(OrdPCRReset, cmdPCRReset)
+}
+
+// pcrSelectBytes is the size of the selection bitmap for 24 PCRs.
+const pcrSelectBytes = 3
+
+// PCRSelection is a bitmap of PCR indices.
+type PCRSelection struct {
+	bitmap [pcrSelectBytes]byte
+}
+
+// NewPCRSelection builds a selection from indices.
+func NewPCRSelection(indices ...int) PCRSelection {
+	var s PCRSelection
+	for _, i := range indices {
+		if i >= 0 && i < NumPCRs {
+			s.bitmap[i/8] |= 1 << uint(i%8)
+		}
+	}
+	return s
+}
+
+// Has reports whether index i is selected.
+func (s PCRSelection) Has(i int) bool {
+	if i < 0 || i >= NumPCRs {
+		return false
+	}
+	return s.bitmap[i/8]&(1<<uint(i%8)) != 0
+}
+
+// Indices returns the selected indices in ascending order.
+func (s PCRSelection) Indices() []int {
+	var out []int
+	for i := 0; i < NumPCRs; i++ {
+		if s.Has(i) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Empty reports whether no PCR is selected.
+func (s PCRSelection) Empty() bool { return s.bitmap == [pcrSelectBytes]byte{} }
+
+// Marshal appends the TPM_PCR_SELECTION wire form.
+func (s PCRSelection) Marshal(w *Writer) {
+	w.U16(pcrSelectBytes)
+	w.Raw(s.bitmap[:])
+}
+
+// parsePCRSelection reads a TPM_PCR_SELECTION.
+func parsePCRSelection(r *Reader) (PCRSelection, bool) {
+	var s PCRSelection
+	n := r.U16()
+	if r.Err() != nil || n == 0 || int(n) > pcrSelectBytes {
+		return s, false
+	}
+	copy(s.bitmap[:], r.Raw(int(n)))
+	return s, r.Err() == nil
+}
+
+// CompositeHash computes the TPM_COMPOSITE_HASH of selected PCR values:
+// SHA1(selection ∥ uint32(len(values)) ∥ values...). Exported so verifiers
+// can recompute it from quoted values.
+func CompositeHash(sel PCRSelection, values [][DigestSize]byte) [DigestSize]byte {
+	w := NewWriter()
+	sel.Marshal(w)
+	w.U32(uint32(len(values) * DigestSize))
+	for _, v := range values {
+		w.Raw(v[:])
+	}
+	var d [DigestSize]byte
+	copy(d[:], sha1Sum(w.Bytes()))
+	return d
+}
+
+// compositeOfCurrent hashes the TPM's current values of the selected PCRs.
+func (t *TPM) compositeOfCurrent(sel PCRSelection) [DigestSize]byte {
+	var vals [][DigestSize]byte
+	for _, i := range sel.Indices() {
+		vals = append(vals, t.pcrs[i])
+	}
+	return CompositeHash(sel, vals)
+}
+
+// resettablePCRs are the PCR indices PCR_Reset may clear (the dynamic
+// locality registers; all others are reset only by Startup(ST_CLEAR)).
+var resettablePCRs = map[int]bool{16: true, 23: true}
+
+// cmdExtend folds a measurement into a PCR and returns the new value.
+func cmdExtend(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	idx := ctx.params.U32()
+	digest := ctx.params.Raw(DigestSize)
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	if idx >= NumPCRs {
+		return nil, RCBadIndex
+	}
+	cur := t.pcrs[idx]
+	var next [DigestSize]byte
+	copy(next[:], sha1Sum(cur[:], digest))
+	t.pcrs[idx] = next
+	w := NewWriter()
+	w.Raw(next[:])
+	return w, RCSuccess
+}
+
+// cmdPCRRead returns a PCR's current value.
+func cmdPCRRead(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	idx := ctx.params.U32()
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	if idx >= NumPCRs {
+		return nil, RCBadIndex
+	}
+	w := NewWriter()
+	w.Raw(t.pcrs[idx][:])
+	return w, RCSuccess
+}
+
+// cmdPCRReset clears the selected resettable PCRs.
+func cmdPCRReset(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	sel, ok := parsePCRSelection(ctx.params)
+	if !ok || sel.Empty() {
+		return nil, RCBadParameter
+	}
+	for _, i := range sel.Indices() {
+		if !resettablePCRs[i] {
+			return nil, RCBadIndex
+		}
+	}
+	for _, i := range sel.Indices() {
+		t.pcrs[i] = [DigestSize]byte{}
+	}
+	return nil, RCSuccess
+}

@@ -1,0 +1,225 @@
+package tpm
+
+// Sealing: binding secrets to this TPM and, optionally, to a PCR state.
+
+func init() {
+	register(OrdSeal, cmdSeal)
+	register(OrdUnseal, cmdUnseal)
+	register(OrdUnBind, cmdUnBind)
+}
+
+// cmdUnBind decrypts data that was OAEP-encrypted to a loaded bind key's
+// public half outside the TPM — the primitive the improved access-control
+// design uses to receive migration key material without the private key ever
+// existing in host memory.
+//
+// Wire: keyHandle(u32) ∥ encData(B32) → data(B32).
+func cmdUnBind(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	if rc := ctx.requireAuth(1); rc != RCSuccess {
+		return nil, rc
+	}
+	keyHandle := ctx.params.U32()
+	encData := ctx.params.B32()
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	key, ok := t.keyByHandle(keyHandle)
+	if !ok {
+		return nil, RCBadKeyHandle
+	}
+	if key.usage != KeyUsageBind && key.usage != KeyUsageLegacy && key.usage != KeyUsageStorage {
+		return nil, RCBadParameter
+	}
+	if rc := ctx.verifyAuth(0, key.usageAuth[:]); rc != RCSuccess {
+		return nil, rc
+	}
+	data, err := oaepDecrypt(key.priv, encData)
+	if err != nil {
+		return nil, RCBadParameter
+	}
+	w := NewWriter()
+	w.B32(data)
+	return w, RCSuccess
+}
+
+// PCRInfo binds a sealed blob to a PCR state at release time.
+type PCRInfo struct {
+	Selection       PCRSelection
+	DigestAtRelease [DigestSize]byte
+}
+
+// Marshal appends the wire form.
+func (p PCRInfo) Marshal(w *Writer) {
+	p.Selection.Marshal(w)
+	w.Raw(p.DigestAtRelease[:])
+}
+
+// MarshalBytes returns the wire form as a byte slice.
+func (p PCRInfo) MarshalBytes() []byte {
+	w := NewWriter()
+	p.Marshal(w)
+	return w.Bytes()
+}
+
+func parsePCRInfo(b []byte) (PCRInfo, bool) {
+	r := NewReader(b)
+	sel, ok := parsePCRSelection(r)
+	if !ok {
+		return PCRInfo{}, false
+	}
+	var p PCRInfo
+	p.Selection = sel
+	copy(p.DigestAtRelease[:], r.Raw(DigestSize))
+	return p, r.Err() == nil && r.Remaining() == 0
+}
+
+// sealedPlaintext is the secret interior of a sealed blob:
+// payload(1) ∥ dataAuth(20) ∥ tpmProof(20) ∥ pcrInfoDigest(20) ∥ data(B32).
+// tpmProof prevents a stolen blob from being unsealed by any other TPM;
+// pcrInfoDigest prevents stripping or rewriting the PCR binding, which rides
+// outside the encryption.
+func buildSealedPlaintext(dataAuth, tpmProof [AuthSize]byte, pcrInfoBytes, data []byte) []byte {
+	w := NewWriter()
+	w.U8(payloadSealedData)
+	w.Raw(dataAuth[:])
+	w.Raw(tpmProof[:])
+	w.Raw(sha1Sum(pcrInfoBytes))
+	w.B32(data)
+	return w.Bytes()
+}
+
+func parseSealedPlaintext(b []byte) (dataAuth, tpmProof [AuthSize]byte, pcrInfoDigest [DigestSize]byte, data []byte, ok bool) {
+	r := NewReader(b)
+	if r.U8() != payloadSealedData {
+		return dataAuth, tpmProof, pcrInfoDigest, nil, false
+	}
+	copy(dataAuth[:], r.Raw(AuthSize))
+	copy(tpmProof[:], r.Raw(AuthSize))
+	copy(pcrInfoDigest[:], r.Raw(DigestSize))
+	data = r.B32()
+	return dataAuth, tpmProof, pcrInfoDigest, data, r.Err() == nil && r.Remaining() == 0
+}
+
+// maxSealSize bounds sealed data, as hardware input buffers do.
+const maxSealSize = 1024
+
+// cmdSeal encrypts data under a loaded storage key, bound to this TPM's
+// proof and optionally to a PCR state. Requires an OSAP session on the key;
+// the blob's release auth arrives ADIP-encrypted.
+//
+// Wire: keyHandle(u32) ∥ encDataAuth(20) ∥ pcrInfo(B32, may be empty) ∥
+// data(B32) → sealedBlob(B32).
+func cmdSeal(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	if rc := ctx.requireAuth(1); rc != RCSuccess {
+		return nil, rc
+	}
+	keyHandle := ctx.params.U32()
+	encDataAuth := ctx.params.Raw(AuthSize)
+	pcrInfoBytes := ctx.params.B32()
+	data := ctx.params.B32()
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	if len(data) == 0 || len(data) > maxSealSize {
+		return nil, RCBadDatasize
+	}
+	if len(pcrInfoBytes) > 0 {
+		if _, ok := parsePCRInfo(pcrInfoBytes); !ok {
+			return nil, RCBadParameter
+		}
+	}
+	key, ok := t.keyByHandle(keyHandle)
+	if !ok {
+		return nil, RCBadKeyHandle
+	}
+	if key.usage != KeyUsageStorage {
+		return nil, RCBadParameter
+	}
+	entityType := ETKeyHandle
+	if keyHandle == KHSRK {
+		entityType = ETSRK
+	}
+	sess := ctx.osapSession(0, entityType, keyHandle)
+	if sess == nil {
+		return nil, RCAuthConflict
+	}
+	if rc := ctx.verifyAuth(0, key.usageAuth[:]); rc != RCSuccess {
+		return nil, rc
+	}
+	dataAuth := adipDecrypt(sess.sharedSecret, ctx.auths[0].lastEven, encDataAuth)
+	plaintext := buildSealedPlaintext(dataAuth, t.tpmProof, pcrInfoBytes, data)
+	encData, err := wrapPrivate(t.rng, &key.priv.PublicKey, plaintext)
+	if err != nil {
+		return nil, RCFail
+	}
+	blob := NewWriter()
+	blob.B32(pcrInfoBytes)
+	blob.B32(encData)
+	w := NewWriter()
+	w.B32(blob.Bytes())
+	return w, RCSuccess
+}
+
+// cmdUnseal releases sealed data if (a) the blob unwraps under the named
+// key, (b) it was sealed by this TPM (tpmProof), (c) the PCR binding, if
+// any, matches the current PCR state, and (d) both the key auth (auth1) and
+// the blob auth (auth2) verify.
+//
+// Wire: keyHandle(u32) ∥ sealedBlob(B32) → data(B32).
+func cmdUnseal(ctx *cmdContext) (*Writer, uint32) {
+	t := ctx.t
+	if rc := ctx.requireAuth(2); rc != RCSuccess {
+		return nil, rc
+	}
+	keyHandle := ctx.params.U32()
+	blob := ctx.params.B32()
+	if ctx.params.Err() != nil {
+		return nil, RCBadParameter
+	}
+	key, ok := t.keyByHandle(keyHandle)
+	if !ok {
+		return nil, RCBadKeyHandle
+	}
+	if rc := ctx.verifyAuth(0, key.usageAuth[:]); rc != RCSuccess {
+		return nil, rc
+	}
+	br := NewReader(blob)
+	pcrInfoBytes := br.B32()
+	encData := br.B32()
+	if br.Err() != nil || br.Remaining() != 0 {
+		return nil, RCNotSealedBlob
+	}
+	plaintext, err := unwrapPrivate(key.priv, encData)
+	if err != nil {
+		return nil, RCNotSealedBlob
+	}
+	dataAuth, proof, pcrInfoDigest, data, ok := parseSealedPlaintext(plaintext)
+	if !ok {
+		return nil, RCNotSealedBlob
+	}
+	if proof != t.tpmProof {
+		return nil, RCFail // sealed by a different TPM
+	}
+	var want [DigestSize]byte
+	copy(want[:], sha1Sum(pcrInfoBytes))
+	if pcrInfoDigest != want {
+		return nil, RCNotSealedBlob // PCR binding tampered with
+	}
+	if len(pcrInfoBytes) > 0 {
+		info, ok := parsePCRInfo(pcrInfoBytes)
+		if !ok {
+			return nil, RCNotSealedBlob
+		}
+		if t.compositeOfCurrent(info.Selection) != info.DigestAtRelease {
+			return nil, RCWrongPCRVal
+		}
+	}
+	if rc := ctx.verifyAuth(1, dataAuth[:]); rc != RCSuccess {
+		return nil, rc
+	}
+	w := NewWriter()
+	w.B32(data)
+	return w, RCSuccess
+}

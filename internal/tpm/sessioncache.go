@@ -1,0 +1,108 @@
+package tpm
+
+import (
+	"crypto/sha1"
+	"sync"
+)
+
+// Session reuse. Every authorized command needs a live authorization
+// session, and the one-shot pattern (open OIAP, use it once with
+// continueAuthSession=0) costs an extra full command round trip per session
+// — over the vTPM ring that is an extra ring crossing, guard decision and
+// channel crypto. The TPM 1.2 protocol supports reuse: a command sent with
+// continueAuthSession=1 keeps the session alive, with a fresh rolling
+// nonceEven in the response.
+//
+// EnableSessionCache makes the client reuse one OIAP session per distinct
+// secret, transparently: oiap() hands out the cached session with its
+// per-session lock held for the duration of the command, runAuth sends
+// continue=1 for it and rolls the client-side nonce from the response. The
+// engine terminates a session when a command fails, so any error drops the
+// cache entry. OSAP sessions are never cached (their shared secret binds to
+// the session establishment nonces).
+//
+// If a command needs the same secret twice concurrently (or two goroutines
+// race on one secret), the busy cached session is left alone and a one-shot
+// session is used instead — correctness never depends on the cache.
+type sessionCache struct {
+	mu      sync.Mutex
+	entries map[[sha1.Size]byte]*clientSession
+}
+
+// EnableSessionCache turns on transparent OIAP session reuse for this
+// client. The experiments run with it off by default (matching the stock
+// tools' one-shot behaviour); the session-reuse ablation benchmark measures
+// the difference.
+func (c *Client) EnableSessionCache() {
+	if c.sessCache == nil {
+		c.sessCache = &sessionCache{entries: make(map[[sha1.Size]byte]*clientSession)}
+	}
+}
+
+// cacheKey identifies a cached session by its secret.
+func cacheKey(secret []byte) [sha1.Size]byte { return sha1.Sum(secret) }
+
+// acquireSession returns a session for secret. Cached sessions come back
+// with their lock held and cached=true; the command path must call
+// finishSession afterwards. When caching is off (or the cached session is
+// busy) a fresh one-shot session is opened.
+func (c *Client) acquireSession(secret []byte) (*clientSession, error) {
+	cache := c.sessCache
+	if cache == nil {
+		return c.oiapOneShot(secret)
+	}
+	key := cacheKey(secret)
+	cache.mu.Lock()
+	s, ok := cache.entries[key]
+	cache.mu.Unlock()
+	if ok && s.mu.TryLock() {
+		if !s.cached {
+			// Invalidated between lookup and lock (a concurrent command
+			// failed on it); do not reuse, and release the lock we took.
+			s.mu.Unlock()
+			return c.oiapOneShot(secret)
+		}
+		return s, nil
+	}
+	if ok {
+		// Busy: fall back to one-shot rather than block or self-deadlock.
+		return c.oiapOneShot(secret)
+	}
+	fresh, err := c.oiapOneShot(secret)
+	if err != nil {
+		return nil, err
+	}
+	fresh.cached = true
+	fresh.key = key
+	fresh.mu.Lock()
+	cache.mu.Lock()
+	if _, raced := cache.entries[key]; raced {
+		// A concurrent command cached its own session first; demote this
+		// one to one-shot so engine session slots are not orphaned.
+		cache.mu.Unlock()
+		fresh.cached = false
+		fresh.mu.Unlock()
+		return fresh, nil
+	}
+	cache.entries[key] = fresh
+	cache.mu.Unlock()
+	return fresh, nil
+}
+
+// finishSession completes a command's use of a session: cached sessions are
+// either kept (nonce already rolled by the caller) or dropped after an
+// error, and their lock is released.
+func (c *Client) finishSession(s *clientSession, failed bool) {
+	if !s.cached {
+		return
+	}
+	if failed && c.sessCache != nil {
+		c.sessCache.mu.Lock()
+		if c.sessCache.entries[s.key] == s {
+			delete(c.sessCache.entries, s.key)
+		}
+		c.sessCache.mu.Unlock()
+		s.cached = false
+	}
+	s.mu.Unlock()
+}

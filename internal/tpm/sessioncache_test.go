@@ -1,0 +1,154 @@
+package tpm
+
+import (
+	"crypto/sha1"
+	"sync"
+	"testing"
+)
+
+func TestSessionCacheReusesSessions(t *testing.T) {
+	eng, cli := newOwnedTPM(t, "sc1")
+	cli.EnableSessionCache()
+	digestCmds := func() uint64 { return eng.CommandCount() }
+
+	// Warm: first GetPubKey opens one OIAP and caches it.
+	if _, err := cli.GetPubKey(KHSRK, srkAuth); err != nil {
+		t.Fatal(err)
+	}
+	base := digestCmds()
+	// Ten more: each must cost exactly ONE engine command (no OIAP).
+	for i := 0; i < 10; i++ {
+		if _, err := cli.GetPubKey(KHSRK, srkAuth); err != nil {
+			t.Fatalf("cached call %d: %v", i, err)
+		}
+	}
+	if got := digestCmds() - base; got != 10 {
+		t.Fatalf("10 cached calls cost %d engine commands, want 10", got)
+	}
+	// Without the cache, the same calls cost two commands each.
+	cli2 := NewClient(DirectTransport{TPM: eng}, newDRBG([]byte("nocache")))
+	base = digestCmds()
+	for i := 0; i < 10; i++ {
+		if _, err := cli2.GetPubKey(KHSRK, srkAuth); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := digestCmds() - base; got != 20 {
+		t.Fatalf("10 one-shot calls cost %d engine commands, want 20", got)
+	}
+}
+
+func TestSessionCacheSurvivesManyCommands(t *testing.T) {
+	_, cli := newOwnedTPM(t, "sc2")
+	cli.EnableSessionCache()
+	digest := sha1.Sum([]byte("doc"))
+	blob, err := cli.CreateWrapKey(KHSRK, srkAuth, keyAuth, KeyParams{
+		Usage: KeyUsageSigning, Scheme: SSRSASSAPKCS1v15SHA1, Bits: testBits,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cli.LoadKey2(KHSRK, srkAuth, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub, err := cli.GetPubKey(h, keyAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 50 signatures over the same cached session: nonces must stay in sync.
+	for i := 0; i < 50; i++ {
+		sig, err := cli.Sign(h, keyAuth, digest)
+		if err != nil {
+			t.Fatalf("sign %d: %v", i, err)
+		}
+		if err := VerifySHA1(pub, digest[:], sig); err != nil {
+			t.Fatalf("verify %d: %v", i, err)
+		}
+	}
+}
+
+func TestSessionCacheDropsOnFailure(t *testing.T) {
+	_, cli := newOwnedTPM(t, "sc3")
+	cli.EnableSessionCache()
+	if _, err := cli.GetPubKey(KHSRK, srkAuth); err != nil {
+		t.Fatal(err)
+	}
+	// A failing command on a DIFFERENT secret must not disturb the cached
+	// SRK session; a failing command on the SAME secret terminates it
+	// server-side and the cache must recover transparently on the next call.
+	if _, err := cli.GetPubKey(KHSRK, authOf("wrong")); !IsTPMError(err, RCAuthFail) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := cli.GetPubKey(KHSRK, srkAuth); err != nil {
+		t.Fatalf("cached session after unrelated failure: %v", err)
+	}
+	// Engine-side eviction (ForceClear wipes sessions): the next cached use
+	// errors once, then recovers.
+	if err := cli.ForceClear(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := cli.GetPubKey(KHSRK, srkAuth)
+	if err == nil {
+		t.Fatal("expected one failure after engine session wipe")
+	}
+	// ForceClear also wiped ownership; this test only cares that the cache
+	// dropped the dead session without wedging the client.
+}
+
+func TestSessionCacheUnsealTwoSessions(t *testing.T) {
+	_, cli := newOwnedTPM(t, "sc4")
+	cli.EnableSessionCache()
+	blob, err := cli.Seal(KHSRK, srkAuth, dataAuth, nil, []byte("cached-unseal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		out, err := cli.Unseal(KHSRK, srkAuth, dataAuth, blob)
+		if err != nil || string(out) != "cached-unseal" {
+			t.Fatalf("unseal %d: %v %q", i, err, out)
+		}
+	}
+}
+
+func TestSessionCacheSameSecretTwice(t *testing.T) {
+	// Unseal with key auth == data auth: the second acquire finds the
+	// cached session busy and must fall back to a one-shot, not deadlock.
+	_, cli := newOwnedTPM(t, "sc5")
+	cli.EnableSessionCache()
+	blob, err := cli.Seal(KHSRK, srkAuth, srkAuth, nil, []byte("same-secret"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := cli.Unseal(KHSRK, srkAuth, srkAuth, blob)
+	if err != nil || string(out) != "same-secret" {
+		t.Fatalf("unseal: %v %q", err, out)
+	}
+}
+
+func TestSessionCacheConcurrentUse(t *testing.T) {
+	_, cli := newOwnedTPM(t, "sc6")
+	cli.EnableSessionCache()
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				if _, err := cli.GetPubKey(KHSRK, srkAuth); err != nil {
+					errs <- err
+					return
+				}
+			}
+			errs <- nil
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package tpm
+
+import (
+	"fmt"
+)
+
+// authBlockSize is the wire size of one request authorization block:
+// handle(4) + nonceOdd(20) + continue(1) + authValue(20).
+const authBlockSize = 4 + NonceSize + 1 + AuthSize
+
+// authBlock is one parsed request authorization block.
+type authBlock struct {
+	handle    uint32
+	nonceOdd  [NonceSize]byte
+	contSess  bool
+	authValue [AuthSize]byte
+	sess      *session        // resolved during verification
+	secret    []byte          // HMAC key that verified, for the response MAC
+	lastEven  [NonceSize]byte // session nonceEven at verification time (ADIP input)
+}
+
+// cmdContext carries one in-flight command through its handler.
+type cmdContext struct {
+	t       *TPM
+	tag     uint16
+	ordinal uint32
+	params  *Reader // positioned at the first parameter, auth trailers removed
+	body    []byte  // raw parameter bytes (digest input)
+	auths   []*authBlock
+}
+
+// handler processes one ordinal, returning the response parameter writer and
+// a return code.
+type handler func(ctx *cmdContext) (*Writer, uint32)
+
+// Execute runs one marshaled command and returns the marshaled response.
+// It never returns an error: protocol failures become TPM return codes, as
+// on hardware.
+func (t *TPM) Execute(cmd []byte) []byte {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.commandCount++
+	tag, ordinal, body, auths, rc := t.parseCommand(cmd)
+	if rc != RCSuccess {
+		return errorResponse(rc)
+	}
+	if !t.started && ordinal != OrdStartup {
+		return errorResponse(RCInvalidPostInit)
+	}
+	h, ok := dispatch[ordinal]
+	if !ok {
+		return errorResponse(RCBadOrdinal)
+	}
+	ctx := &cmdContext{
+		t:       t,
+		tag:     tag,
+		ordinal: ordinal,
+		params:  NewReader(body),
+		body:    body,
+		auths:   auths,
+	}
+	out, rc := h(ctx)
+	if rc != RCSuccess {
+		// Failed authorized commands terminate their sessions, per spec.
+		for _, a := range auths {
+			delete(t.sessions, a.handle)
+		}
+		return errorResponse(rc)
+	}
+	return t.buildResponse(ctx, out)
+}
+
+// parseCommand validates framing and splits off authorization trailers.
+func (t *TPM) parseCommand(cmd []byte) (tag uint16, ordinal uint32, body []byte, auths []*authBlock, rc uint32) {
+	r := NewReader(cmd)
+	tag = r.U16()
+	size := r.U32()
+	ordinal = r.U32()
+	if r.Err() != nil || int(size) != len(cmd) {
+		return 0, 0, nil, nil, RCBadParameter
+	}
+	nAuth := 0
+	switch tag {
+	case TagRQUCommand:
+	case TagRQUAuth1Command:
+		nAuth = 1
+	case TagRQUAuth2Command:
+		nAuth = 2
+	default:
+		return 0, 0, nil, nil, RCBadTag
+	}
+	rest := cmd[10:]
+	need := nAuth * authBlockSize
+	if len(rest) < need {
+		return 0, 0, nil, nil, RCBadParameter
+	}
+	body = rest[:len(rest)-need]
+	trailer := rest[len(rest)-need:]
+	for i := 0; i < nAuth; i++ {
+		ar := NewReader(trailer[i*authBlockSize : (i+1)*authBlockSize])
+		a := &authBlock{handle: ar.U32()}
+		copy(a.nonceOdd[:], ar.Raw(NonceSize))
+		a.contSess = ar.U8() != 0
+		copy(a.authValue[:], ar.Raw(AuthSize))
+		auths = append(auths, a)
+	}
+	return tag, ordinal, body, auths, RCSuccess
+}
+
+// ErrorResponse builds a minimal failure response for a return code. The
+// vTPM backend uses it to refuse commands the access-control guard denies.
+func ErrorResponse(rc uint32) []byte { return errorResponse(rc) }
+
+// errorResponse builds a minimal failure response.
+func errorResponse(rc uint32) []byte {
+	w := NewWriter()
+	w.U16(TagRSPCommand)
+	w.U32(10)
+	w.U32(rc)
+	return w.Bytes()
+}
+
+// buildResponse assembles a success response, appending one response auth
+// section per verified request auth block and rolling or terminating the
+// sessions involved.
+func (t *TPM) buildResponse(ctx *cmdContext, out *Writer) []byte {
+	if out == nil {
+		out = NewWriter()
+	}
+	tag := TagRSPCommand
+	switch len(ctx.auths) {
+	case 1:
+		tag = TagRSPAuth1Command
+	case 2:
+		tag = TagRSPAuth2Command
+	}
+	outBody := out.Bytes()
+	trailer := NewWriter()
+	if len(ctx.auths) > 0 {
+		// paramDigest over rc(=0), ordinal, response params.
+		rd := NewWriter()
+		rd.U32(RCSuccess).U32(ctx.ordinal).Raw(outBody)
+		respDigest := sha1Sum(rd.Bytes())
+		for _, a := range ctx.auths {
+			sess := a.sess
+			newEven := t.randNonce()
+			contByte := byte(0)
+			if a.contSess {
+				contByte = 1
+			}
+			mac := hmacSHA1(a.secret, respDigest, newEven[:], a.nonceOdd[:], []byte{contByte})
+			trailer.Raw(newEven[:])
+			trailer.U8(contByte)
+			trailer.Raw(mac)
+			if sess != nil {
+				if a.contSess {
+					sess.nonceEven = newEven
+				} else {
+					delete(t.sessions, a.handle)
+				}
+			}
+		}
+	}
+	w := NewWriter()
+	w.U16(tag)
+	w.U32(uint32(10 + len(outBody) + trailer.Len()))
+	w.U32(RCSuccess)
+	w.Raw(outBody)
+	w.Raw(trailer.Bytes())
+	return w.Bytes()
+}
+
+// verifyAuth checks request auth block i against secret. On success the
+// block records the secret for response MACing. The parameter digest is
+// SHA1(ordinal ∥ parameter-bytes); see the package comment for how this
+// relates to the spec's 1S..nS selection.
+func (ctx *cmdContext) verifyAuth(i int, secret []byte) uint32 {
+	if i >= len(ctx.auths) {
+		return RCAuthFail
+	}
+	// Dictionary-attack lockout: once latched, every authorized command is
+	// refused except TPM_ResetLockValue, whose owner proof is still checked
+	// (that is the recovery path).
+	if ctx.t.lockedOut && ctx.ordinal != OrdResetLockValue {
+		return RCDefendLock
+	}
+	a := ctx.auths[i]
+	sess, ok := ctx.t.sessions[a.handle]
+	if !ok {
+		return RCInvalidAuthHandle
+	}
+	key := secret
+	if sess.typ == sessOSAP {
+		key = sess.sharedSecret
+	}
+	d := NewWriter()
+	d.U32(ctx.ordinal).Raw(ctx.body)
+	paramDigest := sha1Sum(d.Bytes())
+	contByte := byte(0)
+	if a.contSess {
+		contByte = 1
+	}
+	want := hmacSHA1(key, paramDigest, sess.nonceEven[:], a.nonceOdd[:], []byte{contByte})
+	if !hmacEqual(want, a.authValue[:]) {
+		ctx.t.authFailCount++
+		if ctx.t.authFailCount >= lockoutThreshold {
+			ctx.t.lockedOut = true
+		}
+		return RCAuthFail
+	}
+	ctx.t.authFailCount = 0
+	// Copy the secret: handlers may zeroize the backing array (OwnerClear)
+	// before the response MAC is computed.
+	a.sess = sess
+	a.secret = append([]byte(nil), key...)
+	a.lastEven = sess.nonceEven
+	return RCSuccess
+}
+
+// requireAuth ensures the command arrived with at least n auth blocks.
+func (ctx *cmdContext) requireAuth(n int) uint32 {
+	if len(ctx.auths) < n {
+		return RCAuthFail
+	}
+	return RCSuccess
+}
+
+// osapSession returns auth block i's session if it is an OSAP session bound
+// to the given entity, or nil.
+func (ctx *cmdContext) osapSession(i int, entityType uint16, entityValue uint32) *session {
+	if i >= len(ctx.auths) {
+		return nil
+	}
+	sess, ok := ctx.t.sessions[ctx.auths[i].handle]
+	if !ok || sess.typ != sessOSAP {
+		return nil
+	}
+	if sess.entityType != entityType || sess.entityValue != entityValue {
+		return nil
+	}
+	return sess
+}
+
+// dispatch maps ordinals to handlers. Populated in init() across the
+// ordinal implementation files.
+var dispatch = map[uint32]handler{}
+
+func register(ordinal uint32, h handler) {
+	if _, dup := dispatch[ordinal]; dup {
+		panic(fmt.Sprintf("tpm: duplicate handler for ordinal %#x", ordinal))
+	}
+	dispatch[ordinal] = h
+}

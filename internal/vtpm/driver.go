@@ -1,0 +1,435 @@
+package vtpm
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+
+	"xvtpm/internal/ring"
+	"xvtpm/internal/tpm"
+	"xvtpm/internal/xen"
+	"xvtpm/internal/xenstore"
+)
+
+// XenBus device states, as on real Xen.
+const (
+	XenbusInitialising = 1
+	XenbusInitWait     = 2
+	XenbusInitialised  = 3
+	XenbusConnected    = 4
+	XenbusClosing      = 5
+	XenbusClosed       = 6
+)
+
+// Guard-refusal return codes delivered to the guest as TPM error responses.
+const (
+	RCGuardDenied    uint32 = 0x00000F01 // policy refused the ordinal
+	RCGuardChannel   uint32 = 0x00000F02 // channel authentication/replay failure
+	RCGuardThrottled uint32 = 0x00000F03 // instance over its command rate limit
+)
+
+// Ring geometry of the vTPM device: 8 in-flight slots of 4 KiB, sized for
+// the largest key blobs the engine emits.
+var deviceRingGeometry = ring.Geometry{NumSlots: 8, SlotSize: 4096}
+
+// Payload framing on the ring: one tag byte ahead of the body.
+const (
+	payloadRaw     byte = 0 // unencoded TPM response (guard refusals)
+	payloadEncoded byte = 1 // codec-encoded command or response
+)
+
+// Driver errors.
+var (
+	ErrNotConnected = errors.New("vtpm: device not connected")
+	ErrHandshake    = errors.New("vtpm: device handshake failed")
+)
+
+// frontPath is the frontend's XenStore directory.
+func frontPath(dom xen.DomID) string {
+	return fmt.Sprintf("/local/domain/%d/device/vtpm/0", dom)
+}
+
+// backPath is the backend's XenStore directory for one frontend.
+func backPath(dom xen.DomID) string {
+	return fmt.Sprintf("/local/domain/0/backend/vtpm/%d/0", dom)
+}
+
+// Frontend is the guest half of the vTPM split driver. It implements
+// tpm.Transport, so a tpm.Client can sit directly on top of it.
+type Frontend struct {
+	hv    *xen.Hypervisor
+	xs    *xenstore.Store
+	dom   *xen.Domain
+	codec GuestCodec
+
+	mu     sync.Mutex
+	r      *ring.Ring
+	port   xen.EvtchnPort
+	closed bool
+}
+
+// NewFrontend prepares a frontend for a guest. codec is the channel codec
+// installed by the domain builder.
+func NewFrontend(hv *xen.Hypervisor, xs *xenstore.Store, dom *xen.Domain, codec GuestCodec) *Frontend {
+	return &Frontend{hv: hv, xs: xs, dom: dom, codec: codec}
+}
+
+// Setup allocates the ring in guest memory, grants it to dom0, allocates the
+// event channel and publishes the connection parameters in XenStore, leaving
+// the device in state Initialised for the backend to pick up.
+func (f *Frontend) Setup() error {
+	pages := (deviceRingGeometry.RegionSize() + xen.PageSize - 1) / xen.PageSize
+	first, err := f.dom.AllocPages(pages)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	region, err := f.dom.PageRun(first, pages)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	r, err := ring.Init(region, deviceRingGeometry)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	refs, err := f.dom.GrantRun(xen.Dom0, first, pages, false)
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	port := f.hv.EventChannels().AllocUnbound(f.dom.ID(), xen.Dom0)
+	f.mu.Lock()
+	f.r = r
+	f.port = port
+	f.mu.Unlock()
+
+	dir := frontPath(f.dom.ID())
+	err = f.xs.WithTxn(f.dom.ID(), 8, func(id xenstore.TxnID) error {
+		if err := f.xs.Write(f.dom.ID(), id, dir+"/ring-ref-count", []byte(strconv.Itoa(len(refs)))); err != nil {
+			return err
+		}
+		for i, ref := range refs {
+			key := fmt.Sprintf("%s/ring-ref-%d", dir, i)
+			if err := f.xs.Write(f.dom.ID(), id, key, []byte(strconv.FormatUint(uint64(ref), 10))); err != nil {
+				return err
+			}
+		}
+		if err := f.xs.Write(f.dom.ID(), id, dir+"/event-channel", []byte(strconv.FormatUint(uint64(port), 10))); err != nil {
+			return err
+		}
+		return f.xs.Write(f.dom.ID(), id, dir+"/state", []byte(strconv.Itoa(XenbusInitialised)))
+	})
+	if err != nil {
+		return fmt.Errorf("%w: publishing device keys: %v", ErrHandshake, err)
+	}
+	return nil
+}
+
+// WaitConnected blocks until the backend reports state Connected.
+func (f *Frontend) WaitConnected() error {
+	statePath := backPath(f.dom.ID()) + "/state"
+	w, err := f.xs.Watch(f.dom.ID(), statePath)
+	if err != nil {
+		return err
+	}
+	defer f.xs.Unwatch(w)
+	for range w.Events() {
+		v, err := f.xs.Read(f.dom.ID(), xenstore.NoTxn, statePath)
+		if err != nil {
+			continue // backend directory not written yet
+		}
+		st, _ := strconv.Atoi(string(v))
+		switch st {
+		case XenbusConnected:
+			return nil
+		case XenbusClosing, XenbusClosed:
+			return ErrHandshake
+		}
+	}
+	return ErrHandshake
+}
+
+// Transmit implements tpm.Transport: encode, enqueue, kick the backend, and
+// block for the response. One command is in flight at a time per frontend,
+// matching the /dev/tpm0 semantics guests see.
+func (f *Frontend) Transmit(cmd []byte) ([]byte, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.r == nil || f.closed {
+		return nil, ErrNotConnected
+	}
+	enc, err := f.codec.EncodeRequest(cmd)
+	if err != nil {
+		return nil, err
+	}
+	payload := append([]byte{payloadEncoded}, enc...)
+	id, err := f.r.EnqueueRequest(payload)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.hv.EventChannels().Notify(f.dom.ID(), f.port); err != nil {
+		return nil, err
+	}
+	for {
+		rid, rp, ok, err := f.r.TryDequeueResponse()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			if err := f.hv.EventChannels().Wait(f.dom.ID(), f.port); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if rid != id {
+			return nil, fmt.Errorf("vtpm: response id %d for request %d", rid, id)
+		}
+		if len(rp) == 0 {
+			return nil, ErrShortPayload
+		}
+		switch rp[0] {
+		case payloadRaw:
+			return rp[1:], nil
+		case payloadEncoded:
+			return f.codec.DecodeResponse(rp[1:])
+		default:
+			return nil, fmt.Errorf("vtpm: unknown response framing %d", rp[0])
+		}
+	}
+}
+
+// Close tears the frontend down.
+func (f *Frontend) Close() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return
+	}
+	f.closed = true
+	if f.r != nil {
+		f.r.Close()
+	}
+	f.hv.EventChannels().Close(f.dom.ID(), f.port) //nolint:errcheck // teardown
+}
+
+// backendDevice is the dom0 half of one connected vTPM device.
+type backendDevice struct {
+	front   xen.DomID
+	launch  xen.LaunchDigest
+	mapping *xen.GrantMapping
+	r       *ring.Ring
+	port    xen.EvtchnPort
+	done    chan struct{}
+}
+
+// Backend runs the dom0 side of every vTPM device on one host, dispatching
+// ring commands into the Manager (and therefore through the Guard).
+type Backend struct {
+	hv  *xen.Hypervisor
+	xs  *xenstore.Store
+	mgr *Manager
+
+	mu      sync.Mutex
+	devices map[xen.DomID]*backendDevice
+}
+
+// NewBackend creates the host's vTPM backend.
+func NewBackend(hv *xen.Hypervisor, xs *xenstore.Store, mgr *Manager) *Backend {
+	return &Backend{hv: hv, xs: xs, mgr: mgr, devices: make(map[xen.DomID]*backendDevice)}
+}
+
+// readInt reads a decimal XenStore value.
+func (b *Backend) readInt(path string) (uint64, error) {
+	v, err := b.xs.Read(xen.Dom0, xenstore.NoTxn, path)
+	if err != nil {
+		return 0, err
+	}
+	return strconv.ParseUint(string(v), 10, 64)
+}
+
+// AttachDevice completes the handshake with a frontend that has reached
+// state Initialised: map the ring, bind the event channel, start the service
+// loop and report Connected.
+func (b *Backend) AttachDevice(front xen.DomID) error {
+	dom, err := b.hv.Domain(front)
+	if err != nil {
+		return err
+	}
+	if _, ok := b.mgr.InstanceForDomain(front); !ok {
+		return fmt.Errorf("%w: dom%d has no bound vTPM instance", ErrNoInstance, front)
+	}
+	dir := frontPath(front)
+	st, err := b.readInt(dir + "/state")
+	if err != nil || st != XenbusInitialised {
+		return fmt.Errorf("%w: frontend state %d (%v)", ErrHandshake, st, err)
+	}
+	nRefs, err := b.readInt(dir + "/ring-ref-count")
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	refs := make([]xen.GrantRef, 0, nRefs)
+	for i := uint64(0); i < nRefs; i++ {
+		v, err := b.readInt(fmt.Sprintf("%s/ring-ref-%d", dir, i))
+		if err != nil {
+			return fmt.Errorf("%w: %v", ErrHandshake, err)
+		}
+		refs = append(refs, xen.GrantRef(v))
+	}
+	frontPort, err := b.readInt(dir + "/event-channel")
+	if err != nil {
+		return fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	mapping, err := b.hv.MapGrantRun(xen.Dom0, front, refs)
+	if err != nil {
+		return fmt.Errorf("%w: mapping ring: %v", ErrHandshake, err)
+	}
+	r, err := ring.Attach(mapping.Bytes())
+	if err != nil {
+		mapping.Unmap()
+		return fmt.Errorf("%w: %v", ErrHandshake, err)
+	}
+	port, err := b.hv.EventChannels().BindInterdomain(xen.Dom0, front, xen.EvtchnPort(frontPort))
+	if err != nil {
+		mapping.Unmap()
+		return fmt.Errorf("%w: binding event channel: %v", ErrHandshake, err)
+	}
+	dev := &backendDevice{
+		front:   front,
+		launch:  dom.Launch(),
+		mapping: mapping,
+		r:       r,
+		port:    port,
+		done:    make(chan struct{}),
+	}
+	b.mu.Lock()
+	b.devices[front] = dev
+	b.mu.Unlock()
+	go b.serve(dev)
+	if err := b.xs.Write(xen.Dom0, xenstore.NoTxn, backPath(front)+"/state",
+		[]byte(strconv.Itoa(XenbusConnected))); err != nil {
+		return err
+	}
+	return nil
+}
+
+// serve is the per-device service loop.
+func (b *Backend) serve(dev *backendDevice) {
+	defer close(dev.done)
+	ec := b.hv.EventChannels()
+	for {
+		id, payload, ok, err := dev.r.TryDequeueRequest()
+		if err != nil {
+			return // ring closed
+		}
+		if !ok {
+			if err := ec.Wait(xen.Dom0, dev.port); err != nil {
+				return
+			}
+			continue
+		}
+		resp := b.handle(dev, payload)
+		if err := dev.r.EnqueueResponse(id, resp); err != nil {
+			return
+		}
+		ec.Notify(xen.Dom0, dev.port) //nolint:errcheck // frontend may be tearing down
+	}
+}
+
+// handle runs one ring payload through the manager and frames the response.
+func (b *Backend) handle(dev *backendDevice, payload []byte) []byte {
+	if len(payload) < 1 || payload[0] != payloadEncoded {
+		return append([]byte{payloadRaw}, tpm.ErrorResponse(RCGuardChannel)...)
+	}
+	out, err := b.mgr.Dispatch(dev.front, dev.launch, payload[1:])
+	if err != nil {
+		code := RCGuardDenied
+		switch {
+		case errors.Is(err, ErrBadChannel), errors.Is(err, ErrReplay):
+			code = RCGuardChannel
+		case errors.Is(err, ErrThrottled):
+			code = RCGuardThrottled
+		}
+		return append([]byte{payloadRaw}, tpm.ErrorResponse(code)...)
+	}
+	return append([]byte{payloadEncoded}, out...)
+}
+
+// WatchAndServe runs the backend event-driven, as real backend drivers do:
+// it watches the XenStore frontend area and attaches any device that
+// reaches state Initialised with a bound instance. It returns when stop is
+// closed. Attach failures for individual devices are reported through
+// onError (nil to ignore) and do not stop the loop.
+func (b *Backend) WatchAndServe(stop <-chan struct{}, onError func(front xen.DomID, err error)) error {
+	w, err := b.xs.Watch(xen.Dom0, "/local/domain")
+	if err != nil {
+		return err
+	}
+	defer b.xs.Unwatch(w)
+	tryAttach := func(front xen.DomID) {
+		if b.Connected(front) {
+			return
+		}
+		st, err := b.readInt(frontPath(front) + "/state")
+		if err != nil || st != XenbusInitialised {
+			return
+		}
+		if _, ok := b.mgr.InstanceForDomain(front); !ok {
+			return
+		}
+		if err := b.AttachDevice(front); err != nil && onError != nil {
+			onError(front, err)
+		}
+	}
+	scanAll := func() {
+		doms, err := b.xs.List(xen.Dom0, xenstore.NoTxn, "/local/domain")
+		if err != nil {
+			return
+		}
+		for _, name := range doms {
+			id, err := strconv.ParseUint(name, 10, 32)
+			if err != nil || xen.DomID(id) == xen.Dom0 {
+				continue
+			}
+			tryAttach(xen.DomID(id))
+		}
+	}
+	for {
+		select {
+		case <-stop:
+			return nil
+		case _, ok := <-w.Events():
+			if !ok {
+				return nil
+			}
+			// Coalescing watches carry no reliable payload mapping; rescan.
+			scanAll()
+		}
+	}
+}
+
+// DetachDevice tears down one device: close the ring (stopping the service
+// loop), unmap the grant, close the channel and mark the backend Closed.
+func (b *Backend) DetachDevice(front xen.DomID) error {
+	b.mu.Lock()
+	dev, ok := b.devices[front]
+	if ok {
+		delete(b.devices, front)
+	}
+	b.mu.Unlock()
+	if !ok {
+		return ErrNotConnected
+	}
+	dev.r.Close()
+	b.hv.EventChannels().Close(xen.Dom0, dev.port) //nolint:errcheck // teardown
+	<-dev.done
+	dev.mapping.Unmap()
+	return b.xs.Write(xen.Dom0, xenstore.NoTxn, backPath(front)+"/state",
+		[]byte(strconv.Itoa(XenbusClosed)))
+}
+
+// Connected reports whether a frontend domain has a live backend device.
+func (b *Backend) Connected(front xen.DomID) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	_, ok := b.devices[front]
+	return ok
+}

@@ -1,0 +1,101 @@
+package vtpm
+
+import (
+	"crypto/rsa"
+	"errors"
+
+	"xvtpm/internal/xen"
+)
+
+// Access-control errors a Guard returns. The manager converts them into
+// refused commands; the attack harness asserts on them.
+var (
+	ErrDenied      = errors.New("vtpm: command denied by access control")
+	ErrBadChannel  = errors.New("vtpm: channel authentication failed")
+	ErrReplay      = errors.New("vtpm: replayed or out-of-window sequence number")
+	ErrNotBound    = errors.New("vtpm: instance not bound to this identity")
+	ErrStateSealed = errors.New("vtpm: state envelope cannot be opened")
+	ErrThrottled   = errors.New("vtpm: instance command rate limit exceeded")
+)
+
+// InstanceInfo is the identity-relevant metadata of one vTPM instance,
+// passed to every Guard decision.
+type InstanceInfo struct {
+	ID InstanceID
+	// BoundDom is the domain the instance is currently attached to. Domain
+	// IDs are host-local and reused — binding to them alone is the
+	// baseline's weakness.
+	BoundDom xen.DomID
+	// BoundLaunch is the measured launch identity of the guest the instance
+	// was created for. The improved design keys access to this, not to the
+	// domain ID.
+	BoundLaunch xen.LaunchDigest
+}
+
+// ResponseFinisher post-processes one response: encoding it for the wire and
+// scrubbing any transient plaintext the exchange left behind.
+type ResponseFinisher func(resp []byte) ([]byte, error)
+
+// Guard is the access-control seam of the vTPM subsystem — the interface the
+// paper's contribution implements. One Guard instance serves a whole host.
+type Guard interface {
+	// Name identifies the guard in reports ("baseline", "improved").
+	Name() string
+
+	// AdmitCommand authenticates and authorizes one guest-originated ring
+	// payload for an instance. claimedFrom is the domain ID the delivering
+	// code path claims the payload came from; a compromised backend can lie
+	// about it, which is exactly the ring-spoofing attack. On success it
+	// returns the bare TPM command to execute and a finisher for the
+	// response.
+	AdmitCommand(inst InstanceInfo, claimedFrom xen.DomID, fromLaunch xen.LaunchDigest, payload []byte) (cmd []byte, finish ResponseFinisher, err error)
+
+	// EncoderFor returns the guest-side codec installed into a frontend at
+	// domain build time. The builder runs in the trusted path, so handing
+	// the guest its channel secret here models the measured-launch key
+	// installation of the improved design.
+	EncoderFor(inst InstanceInfo) (GuestCodec, error)
+
+	// ProtectState transforms raw instance state for at-rest storage and
+	// for the manager's in-memory mirror.
+	ProtectState(inst InstanceInfo, state []byte) ([]byte, error)
+
+	// RecoverState reverses ProtectState.
+	RecoverState(inst InstanceInfo, blob []byte) ([]byte, error)
+
+	// ExportState packages instance state for migration to a host whose
+	// hardware-TPM endorsement key is destEK.
+	ExportState(inst InstanceInfo, state []byte, destEK *rsa.PublicKey) ([]byte, error)
+
+	// ImportState unpacks a migration envelope on the destination host.
+	ImportState(blob []byte) ([]byte, error)
+
+	// MigrationIdentity is the public key a source host encrypts migration
+	// envelopes to — the destination's platform bind key, whose private
+	// half lives wrapped under the hardware TPM. Nil means the guard does
+	// not protect migration traffic (the baseline).
+	MigrationIdentity() *rsa.PublicKey
+
+	// RetainsPlaintext reports whether the manager should leave exchange
+	// plaintext buffers in place after a command completes (the baseline's
+	// sloppy-but-faithful behaviour) or scrub them immediately.
+	RetainsPlaintext() bool
+}
+
+// GuestCodec is the frontend half of the command channel: it encodes
+// outgoing TPM commands into ring payloads and decodes ring responses.
+type GuestCodec interface {
+	// EncodeRequest wraps one TPM command for the ring.
+	EncodeRequest(cmd []byte) ([]byte, error)
+	// DecodeResponse unwraps one ring response.
+	DecodeResponse(payload []byte) ([]byte, error)
+}
+
+// PlainCodec passes commands through untouched — the baseline channel.
+type PlainCodec struct{}
+
+// EncodeRequest implements GuestCodec.
+func (PlainCodec) EncodeRequest(cmd []byte) ([]byte, error) { return cmd, nil }
+
+// DecodeResponse implements GuestCodec.
+func (PlainCodec) DecodeResponse(p []byte) ([]byte, error) { return p, nil }

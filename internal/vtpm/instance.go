@@ -1,0 +1,41 @@
+package vtpm
+
+import (
+	"fmt"
+
+	"xvtpm/internal/tpm"
+	"xvtpm/internal/xen"
+)
+
+// InstanceID names one vTPM instance within a manager.
+type InstanceID uint32
+
+// stateName is the Store key for an instance's state blob.
+func stateName(id InstanceID) string { return fmt.Sprintf("vtpm-%08d.state", id) }
+
+// instance is the manager's record of one vTPM.
+type instance struct {
+	info InstanceInfo
+	eng  *tpm.TPM
+
+	// mirror is the manager's in-memory copy of the instance's protected
+	// state, allocated from dom0 arena memory so that it is visible to a
+	// dom0 core dump — the honesty requirement of the attack model. For the
+	// baseline guard this mirror is plaintext; for the improved guard it is
+	// an encrypted envelope.
+	mirror []byte
+
+	// exchange is the arena buffer holding the most recent decoded
+	// command/response plaintext. The baseline leaves it in place between
+	// commands (as the stock manager's heap does); the improved guard has
+	// the manager scrub it as soon as the response is finished.
+	exchange []byte
+
+	attached bool
+}
+
+// Snapshot captures the identity metadata of an instance.
+func (i *instance) Snapshot() InstanceInfo { return i.info }
+
+// bindingFor derives the launch identity of a domain.
+func bindingFor(d *xen.Domain) xen.LaunchDigest { return d.Launch() }

@@ -1,0 +1,513 @@
+package vtpm
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"xvtpm/internal/tpm"
+	"xvtpm/internal/xen"
+)
+
+// Manager errors.
+var (
+	ErrNoInstance   = errors.New("vtpm: no such instance")
+	ErrBound        = errors.New("vtpm: instance already bound")
+	ErrUnbound      = errors.New("vtpm: instance not bound to a domain")
+	ErrDomHasVTPM   = errors.New("vtpm: domain already has a vTPM")
+	ErrBadEnvelope  = errors.New("vtpm: malformed instance envelope")
+	ErrShortPayload = errors.New("vtpm: ring payload too short")
+)
+
+// ManagerConfig parameterizes a Manager.
+type ManagerConfig struct {
+	// RSABits sizes instance keys. Zero means tpm.DefaultRSABits.
+	RSABits int
+	// Seed, when non-nil, makes instance creation deterministic (instance i
+	// gets a seed derived from Seed and its ID).
+	Seed []byte
+	// EKPoolSize, when positive, pre-generates endorsement keys in the
+	// background so instance creation is not gated on RSA generation — the
+	// manager-side optimization measured in experiment E3.
+	EKPoolSize int
+	// DeferCheckpoints disables the automatic re-persist after state-
+	// mutating commands; callers then checkpoint explicitly (Checkpoint /
+	// CheckpointAll). This is the durability-vs-throughput ablation the
+	// benchmark suite measures: the stock manager persisted eagerly, at a
+	// real cost on Extend-heavy workloads.
+	DeferCheckpoints bool
+}
+
+// Manager is the dom0 vTPM manager daemon: it owns every instance, its
+// persistence and its binding to a guest, and funnels every guest command
+// through the configured Guard.
+type Manager struct {
+	hv    *xen.Hypervisor
+	store Store
+	arena *xen.Arena
+	guard Guard
+	cfg   ManagerConfig
+
+	mu        sync.Mutex
+	instances map[InstanceID]*instance
+	byDom     map[xen.DomID]InstanceID
+	nextID    InstanceID
+	seedCtr   uint64
+
+	ekPool chan *rsa.PrivateKey
+	stop   chan struct{}
+
+	// tapMu guards taps: observers of dispatched ring payloads. A
+	// compromised dom0 component sits exactly here, which is how the replay
+	// attacker captures traffic to re-inject.
+	tapMu sync.Mutex
+	taps  []func(from xen.DomID, payload []byte)
+}
+
+// OnDispatch registers an observer of every dispatched ring payload. It
+// models a dom0-resident component (the backend path is dom0 code); the
+// attack harness uses it as the traffic-capture vantage point.
+func (m *Manager) OnDispatch(fn func(from xen.DomID, payload []byte)) {
+	m.tapMu.Lock()
+	m.taps = append(m.taps, fn)
+	m.tapMu.Unlock()
+}
+
+// notifyTaps delivers one payload to all observers.
+func (m *Manager) notifyTaps(from xen.DomID, payload []byte) {
+	m.tapMu.Lock()
+	taps := append([]func(xen.DomID, []byte){}, m.taps...)
+	m.tapMu.Unlock()
+	for _, fn := range taps {
+		fn(from, append([]byte(nil), payload...))
+	}
+}
+
+// NewManager creates a manager for one host. arena must allocate from dom0
+// memory; guard supplies the access-control policy.
+func NewManager(hv *xen.Hypervisor, store Store, arena *xen.Arena, guard Guard, cfg ManagerConfig) *Manager {
+	m := &Manager{
+		hv:        hv,
+		store:     store,
+		arena:     arena,
+		guard:     guard,
+		cfg:       cfg,
+		instances: make(map[InstanceID]*instance),
+		byDom:     make(map[xen.DomID]InstanceID),
+		nextID:    1,
+		stop:      make(chan struct{}),
+	}
+	if cfg.EKPoolSize > 0 {
+		m.ekPool = make(chan *rsa.PrivateKey, cfg.EKPoolSize)
+		go m.fillEKPool()
+	}
+	return m
+}
+
+// fillEKPool keeps the endorsement-key pool topped up in the background.
+func (m *Manager) fillEKPool() {
+	bits := m.cfg.RSABits
+	if bits == 0 {
+		bits = tpm.DefaultRSABits
+	}
+	for {
+		key, err := rsa.GenerateKey(rand.Reader, bits)
+		if err != nil {
+			return
+		}
+		select {
+		case m.ekPool <- key:
+		case <-m.stop:
+			return
+		}
+	}
+}
+
+// Close stops the manager's background work.
+func (m *Manager) Close() {
+	select {
+	case <-m.stop:
+	default:
+		close(m.stop)
+	}
+}
+
+// pooledEK returns a pre-generated EK if one is ready.
+func (m *Manager) pooledEK() *rsa.PrivateKey {
+	if m.ekPool == nil {
+		return nil
+	}
+	select {
+	case k := <-m.ekPool:
+		return k
+	default:
+		return nil
+	}
+}
+
+// Guard returns the manager's access-control guard.
+func (m *Manager) Guard() Guard { return m.guard }
+
+// Store returns the manager's persistence backend (the attack harness reads
+// it to model state-file theft).
+func (m *Manager) Store() Store { return m.store }
+
+// instanceSeed derives a per-instance TPM seed from the manager seed.
+func (m *Manager) instanceSeed() []byte {
+	if m.cfg.Seed == nil {
+		return nil
+	}
+	m.seedCtr++
+	s := make([]byte, 0, len(m.cfg.Seed)+8)
+	s = append(s, m.cfg.Seed...)
+	s = binary.BigEndian.AppendUint64(s, m.seedCtr)
+	return s
+}
+
+// CreateInstance builds a fresh vTPM instance (new EK, empty PCRs), starts
+// it and persists its initial state. It returns the new instance's ID.
+func (m *Manager) CreateInstance() (InstanceID, error) {
+	m.mu.Lock()
+	id := m.nextID
+	m.nextID++
+	seed := m.instanceSeed()
+	m.mu.Unlock()
+
+	eng, err := tpm.New(tpm.Config{RSABits: m.cfg.RSABits, Seed: seed, EK: m.pooledEK()})
+	if err != nil {
+		return 0, fmt.Errorf("vtpm: creating instance %d: %w", id, err)
+	}
+	cli := tpm.NewClient(tpm.DirectTransport{TPM: eng}, nil)
+	if err := cli.Startup(tpm.STClear); err != nil {
+		return 0, fmt.Errorf("vtpm: starting instance %d: %w", id, err)
+	}
+	inst := &instance{info: InstanceInfo{ID: id}, eng: eng}
+	m.mu.Lock()
+	m.instances[id] = inst
+	m.mu.Unlock()
+	if err := m.checkpoint(inst); err != nil {
+		return 0, err
+	}
+	return id, nil
+}
+
+// BindInstance attaches an instance to a domain, recording the domain's
+// measured launch identity as the instance's owner identity.
+func (m *Manager) BindInstance(id InstanceID, dom *xen.Domain) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inst, ok := m.instances[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoInstance, id)
+	}
+	if inst.info.BoundDom != 0 {
+		return fmt.Errorf("%w: instance %d bound to dom%d", ErrBound, id, inst.info.BoundDom)
+	}
+	if _, taken := m.byDom[dom.ID()]; taken {
+		return fmt.Errorf("%w: dom%d", ErrDomHasVTPM, dom.ID())
+	}
+	inst.info.BoundDom = dom.ID()
+	inst.info.BoundLaunch = bindingFor(dom)
+	m.byDom[dom.ID()] = id
+	return nil
+}
+
+// UnbindInstance detaches an instance from its domain (for shutdown or
+// migration).
+func (m *Manager) UnbindInstance(id InstanceID) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inst, ok := m.instances[id]
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoInstance, id)
+	}
+	if inst.info.BoundDom == 0 {
+		return ErrUnbound
+	}
+	delete(m.byDom, inst.info.BoundDom)
+	inst.info.BoundDom = 0
+	return nil
+}
+
+// DestroyInstance removes an instance, scrubbing its memory mirror and
+// deleting its stored state.
+func (m *Manager) DestroyInstance(id InstanceID) error {
+	m.mu.Lock()
+	inst, ok := m.instances[id]
+	if ok {
+		delete(m.instances, id)
+		if inst.info.BoundDom != 0 {
+			delete(m.byDom, inst.info.BoundDom)
+		}
+	}
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoInstance, id)
+	}
+	xen.Zeroize(inst.mirror)
+	xen.Zeroize(inst.exchange)
+	if err := m.store.Delete(stateName(id)); err != nil && !errors.Is(err, ErrNoState) {
+		return err
+	}
+	return nil
+}
+
+// Instances returns the IDs of all live instances, sorted.
+func (m *Manager) Instances() []InstanceID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]InstanceID, 0, len(m.instances))
+	for id := range m.instances {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// InstanceInfo returns the identity metadata of one instance.
+func (m *Manager) InstanceInfo(id InstanceID) (InstanceInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	inst, ok := m.instances[id]
+	if !ok {
+		return InstanceInfo{}, fmt.Errorf("%w: %d", ErrNoInstance, id)
+	}
+	return inst.info, nil
+}
+
+// InstanceForDomain resolves a domain's bound instance.
+func (m *Manager) InstanceForDomain(dom xen.DomID) (InstanceID, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	id, ok := m.byDom[dom]
+	return id, ok
+}
+
+// EncoderFor hands out the guest-side channel codec for a bound instance —
+// called by the domain builder (trusted path) when constructing the guest.
+func (m *Manager) EncoderFor(id InstanceID) (GuestCodec, error) {
+	m.mu.Lock()
+	inst, ok := m.instances[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoInstance, id)
+	}
+	return m.guard.EncoderFor(inst.info)
+}
+
+// mutatingOrdinals lists the commands after which the manager re-persists
+// instance state, as the stock manager persisted NVRAM changes. (GetRandom
+// advances the DRBG but is not checkpointed, trading a sliver of RNG-state
+// freshness for not re-serializing keys on the hottest command — the same
+// trade the deployed manager made.)
+var mutatingOrdinals = map[uint32]bool{
+	tpm.OrdExtend:        true,
+	tpm.OrdPCRReset:      true,
+	tpm.OrdTakeOwnership: true,
+	tpm.OrdOwnerClear:    true,
+	tpm.OrdForceClear:    true,
+	tpm.OrdNVDefineSpace: true,
+	tpm.OrdNVWriteValue:  true,
+	tpm.OrdStirRandom:    true,
+}
+
+// ordinalOf extracts the ordinal from a marshaled TPM command.
+func ordinalOf(cmd []byte) uint32 {
+	if len(cmd) < 10 {
+		return 0
+	}
+	return binary.BigEndian.Uint32(cmd[6:10])
+}
+
+// Dispatch runs one guest-originated ring payload against the instance
+// bound to claimedFrom. The claimedFrom/claimedLaunch pair is whatever the
+// delivering code path asserts — the connected backend passes the
+// grant-verified truth, while a compromised dom0 component can pass
+// anything, which is precisely the spoofing surface the Guard must close.
+func (m *Manager) Dispatch(claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest, payload []byte) ([]byte, error) {
+	m.mu.Lock()
+	id, ok := m.byDom[claimedFrom]
+	var inst *instance
+	if ok {
+		inst = m.instances[id]
+	}
+	m.mu.Unlock()
+	if inst == nil {
+		return nil, fmt.Errorf("%w: dom%d has no vTPM", ErrNoInstance, claimedFrom)
+	}
+	m.notifyTaps(claimedFrom, payload)
+	cmd, finish, err := m.guard.AdmitCommand(inst.Snapshot(), claimedFrom, claimedLaunch, payload)
+	if err != nil {
+		return nil, err
+	}
+	execStart := time.Now()
+	resp := inst.eng.Execute(cmd)
+	// The engine work is done on the guest's behalf: charge it to the
+	// guest's CPU account, as the hypervisor's scheduler accounting would.
+	if dom, derr := m.hv.Domain(claimedFrom); derr == nil {
+		dom.ChargeCPU(time.Since(execStart).Nanoseconds())
+	}
+	// Record the decoded exchange in dom0 arena memory: this is the
+	// manager's working buffer a core dump would capture.
+	m.recordExchange(inst, cmd, resp)
+	if !m.cfg.DeferCheckpoints && mutatingOrdinals[ordinalOf(cmd)] {
+		if err := m.checkpoint(inst); err != nil {
+			return nil, err
+		}
+	}
+	out, err := finish(resp)
+	if !m.guard.RetainsPlaintext() {
+		m.mu.Lock()
+		xen.Zeroize(inst.exchange)
+		m.mu.Unlock()
+	}
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// recordExchange copies the plaintext command and response into the
+// instance's arena exchange buffer.
+func (m *Manager) recordExchange(inst *instance, cmd, resp []byte) {
+	need := len(cmd) + len(resp)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(inst.exchange) < need {
+		xen.Zeroize(inst.exchange)
+		buf, err := m.arena.Alloc(need)
+		if err != nil {
+			// Out of arena: fall back to truncated recording rather than
+			// failing the command; the honesty buffer is observability, not
+			// correctness.
+			return
+		}
+		inst.exchange = buf
+	}
+	xen.Zeroize(inst.exchange)
+	n := xen.GuardedCopy(inst.exchange, cmd)
+	xen.GuardedCopy(inst.exchange[n:], resp)
+}
+
+// checkpoint persists an instance's current state through the guard, both
+// to the store and to the in-memory mirror.
+func (m *Manager) checkpoint(inst *instance) error {
+	state := inst.eng.SaveState()
+	blob, err := m.guard.ProtectState(inst.Snapshot(), state)
+	if err != nil {
+		return fmt.Errorf("vtpm: protecting state of instance %d: %w", inst.info.ID, err)
+	}
+	if err := m.store.Put(stateName(inst.info.ID), blob); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(inst.mirror) < len(blob) {
+		xen.Zeroize(inst.mirror)
+		buf, err := m.arena.Alloc(len(blob))
+		if err != nil {
+			return err
+		}
+		inst.mirror = buf
+	}
+	xen.Zeroize(inst.mirror)
+	xen.GuardedCopy(inst.mirror, blob)
+	return nil
+}
+
+// CheckpointAll persists every live instance (used with DeferCheckpoints
+// and at orderly shutdown).
+func (m *Manager) CheckpointAll() error {
+	for _, id := range m.Instances() {
+		if err := m.Checkpoint(id); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReviveAll reloads every persisted instance that is not already live —
+// the manager-restart recovery path. It returns the IDs revived.
+func (m *Manager) ReviveAll() ([]InstanceID, error) {
+	names, err := m.store.List()
+	if err != nil {
+		return nil, err
+	}
+	var revived []InstanceID
+	for _, name := range names {
+		var id InstanceID
+		if _, err := fmt.Sscanf(name, "vtpm-%08d.state", &id); err != nil {
+			continue // unrelated blob
+		}
+		m.mu.Lock()
+		_, live := m.instances[id]
+		m.mu.Unlock()
+		if live {
+			continue
+		}
+		if err := m.ReviveInstance(id); err != nil {
+			return revived, fmt.Errorf("vtpm: reviving instance %d: %w", id, err)
+		}
+		revived = append(revived, id)
+	}
+	return revived, nil
+}
+
+// Checkpoint persists one instance on demand.
+func (m *Manager) Checkpoint(id InstanceID) error {
+	m.mu.Lock()
+	inst, ok := m.instances[id]
+	m.mu.Unlock()
+	if !ok {
+		return fmt.Errorf("%w: %d", ErrNoInstance, id)
+	}
+	return m.checkpoint(inst)
+}
+
+// ReviveInstance reloads a persisted instance from the store (after a
+// manager restart). The instance comes back unbound.
+func (m *Manager) ReviveInstance(id InstanceID) error {
+	blob, err := m.store.Get(stateName(id))
+	if err != nil {
+		return err
+	}
+	// Recovering needs the instance's identity; after a restart the binding
+	// table is empty, so recover with the bare ID.
+	info := InstanceInfo{ID: id}
+	state, err := m.guard.RecoverState(info, blob)
+	if err != nil {
+		return err
+	}
+	eng, err := tpm.RestoreState(state)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, exists := m.instances[id]; exists {
+		return fmt.Errorf("vtpm: instance %d already live", id)
+	}
+	m.instances[id] = &instance{info: info, eng: eng}
+	if id >= m.nextID {
+		m.nextID = id + 1
+	}
+	return nil
+}
+
+// DirectClient returns a TPM client wired straight to an instance's engine,
+// bypassing ring, backend and guard. It exists for the trusted provisioning
+// path (pre-boot PCR initialization by the domain builder) and for tests.
+func (m *Manager) DirectClient(id InstanceID) (*tpm.Client, error) {
+	m.mu.Lock()
+	inst, ok := m.instances[id]
+	m.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoInstance, id)
+	}
+	return tpm.NewClient(tpm.DirectTransport{TPM: inst.eng}, nil), nil
+}

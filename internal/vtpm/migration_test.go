@@ -1,0 +1,175 @@
+package vtpm
+
+import (
+	"crypto/sha1"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+
+	"xvtpm/internal/xen"
+)
+
+// migrationRig builds a source manager with one unbound, stateful instance
+// plus its suspended domain image.
+func migrationRig(t *testing.T) (*xen.Hypervisor, *Manager, *xen.DomainImage, InstanceID) {
+	t.Helper()
+	hv, xs, mgr, _ := newTestRig(t, &passGuard{})
+	dom := mkGuestDom(t, hv, xs, "m")
+	id, err := mgr.CreateInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.BindInstance(id, dom); err != nil {
+		t.Fatal(err)
+	}
+	cli, _ := mgr.DirectClient(id)
+	m := sha1.Sum([]byte("pre"))
+	if _, err := cli.Extend(3, m); err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.UnbindInstance(id); err != nil {
+		t.Fatal(err)
+	}
+	img, err := hv.SaveDomain(xen.Dom0, dom.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hv, mgr, img, id
+}
+
+func TestSendReceiveMigrationWire(t *testing.T) {
+	_, src, domImg, id := migrationRig(t)
+	_, _, dst, _ := newTestRig(t, &passGuard{})
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	type res struct {
+		img  *xen.DomainImage
+		inst InstanceID
+		err  error
+	}
+	done := make(chan res, 1)
+	go func() {
+		img, inst, err := ReceiveMigration(c2, dst, nil)
+		done <- res{img, inst, err}
+	}()
+	if err := SendMigration(c1, src, domImg, id); err != nil {
+		t.Fatalf("SendMigration: %v", err)
+	}
+	r := <-done
+	if r.err != nil {
+		t.Fatalf("ReceiveMigration: %v", r.err)
+	}
+	if r.img.Name != domImg.Name || len(r.img.Memory) != len(domImg.Memory) {
+		t.Fatal("domain image mangled on the wire")
+	}
+	cli, err := dst.DirectClient(r.inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcCli, _ := src.DirectClient(id)
+	want, _ := srcCli.PCRRead(3)
+	got, err := cli.PCRRead(3)
+	if err != nil || got != want {
+		t.Fatalf("imported PCR: %v %x want %x", err, got, want)
+	}
+}
+
+func TestReceiveMigrationBadMagic(t *testing.T) {
+	_, _, dst, _ := newTestRig(t, &passGuard{})
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	errCh := make(chan error, 1)
+	go func() {
+		_, _, err := ReceiveMigration(c2, dst, nil)
+		errCh <- err
+	}()
+	if _, err := c1.Write([]byte("WRONG-MAGIC")); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-errCh; !errors.Is(err, ErrBadImage) {
+		t.Fatalf("err = %v, want ErrBadImage", err)
+	}
+}
+
+func TestSendMigrationRejectedByDestination(t *testing.T) {
+	// Destination import failure (corrupted state in transit) must surface
+	// as a NAK to the sender, not a hang.
+	_, src, domImg, id := migrationRig(t)
+	_, _, dst, _ := newTestRig(t, &corruptingGuard{})
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	recvErr := make(chan error, 1)
+	go func() {
+		_, _, err := ReceiveMigration(c2, dst, nil)
+		recvErr <- err
+	}()
+	err := SendMigration(c1, src, domImg, id)
+	if err == nil {
+		t.Fatal("sender did not see the rejection")
+	}
+	if !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("sender err = %v", err)
+	}
+	if err := <-recvErr; err == nil {
+		t.Fatal("receiver accepted a corrupt import")
+	}
+}
+
+// corruptingGuard breaks ImportState so the destination must NAK.
+type corruptingGuard struct{ passGuard }
+
+func (g *corruptingGuard) ImportState(blob []byte) ([]byte, error) {
+	return []byte("not a tpm state blob"), nil
+}
+
+func TestReadMsgEnforcesCap(t *testing.T) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	go func() {
+		hdr := []byte{0xFF, 0xFF, 0xFF, 0xFF} // 4 GiB length
+		c1.Write(hdr)
+	}()
+	if _, err := readMsg(c2, 1024); !errors.Is(err, ErrBadImage) {
+		t.Fatalf("err = %v, want ErrBadImage", err)
+	}
+}
+
+func TestManagerAccessors(t *testing.T) {
+	_, _, mgr, _ := newTestRig(t, &passGuard{})
+	if mgr.Guard() == nil || mgr.Guard().Name() != "pass" {
+		t.Fatal("Guard accessor broken")
+	}
+	id, err := mgr.CreateInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// EncoderFor surfaces the guard's codec.
+	codec, err := mgr.EncoderFor(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := codec.(PlainCodec); !ok {
+		t.Fatalf("codec = %T", codec)
+	}
+	if _, err := mgr.EncoderFor(id + 99); !errors.Is(err, ErrNoInstance) {
+		t.Fatalf("unknown instance err = %v", err)
+	}
+	// OnDispatch observers fire.
+	hv2, xs2, mgr2, _ := newTestRig(t, &passGuard{})
+	dom := mkGuestDom(t, hv2, xs2, "t")
+	id2, _ := mgr2.CreateInstance()
+	mgr2.BindInstance(id2, dom)
+	var seen int
+	mgr2.OnDispatch(func(from xen.DomID, payload []byte) { seen++ })
+	if _, err := mgr2.Dispatch(dom.ID(), dom.Launch(), extendCmd(5, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 1 {
+		t.Fatalf("dispatch observer fired %d times", seen)
+	}
+}

@@ -1,0 +1,196 @@
+// Package workload generates the deterministic guest TPM command streams
+// the experiments run: single-op loops for the per-command table (E1) and
+// weighted mixed streams for the scalability and exposure experiments
+// (E2, E7). The mix weights model the request profile of an attestation-
+// and sealing-heavy guest, the workload class the paper's motivation
+// (protecting service VMs on consolidated servers) implies.
+package workload
+
+import (
+	"crypto/sha1"
+	"fmt"
+	"math/rand"
+
+	"xvtpm/internal/tpm"
+)
+
+// Op names one guest TPM operation.
+type Op int
+
+// The operations the generators emit.
+const (
+	OpGetRandom Op = iota
+	OpExtend
+	OpPCRRead
+	OpSeal
+	OpUnseal
+	OpQuote
+	OpSign
+	numOps
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case OpGetRandom:
+		return "GetRandom"
+	case OpExtend:
+		return "Extend"
+	case OpPCRRead:
+		return "PCRRead"
+	case OpSeal:
+		return "Seal"
+	case OpUnseal:
+		return "Unseal"
+	case OpQuote:
+		return "Quote"
+	case OpSign:
+		return "Sign"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// AllOps lists every operation in table order.
+var AllOps = []Op{OpGetRandom, OpExtend, OpPCRRead, OpSeal, OpUnseal, OpQuote, OpSign}
+
+// Mix is a weighted operation profile.
+type Mix map[Op]int
+
+// DefaultMix models a measurement- and sealing-heavy guest: frequent PCR
+// activity and RNG draws, periodic seal/unseal of application secrets,
+// occasional quotes for remote attestation.
+var DefaultMix = Mix{
+	OpGetRandom: 30,
+	OpExtend:    20,
+	OpPCRRead:   25,
+	OpSeal:      8,
+	OpUnseal:    8,
+	OpQuote:     5,
+	OpSign:      4,
+}
+
+// CheapMix avoids RSA-heavy operations, isolating protocol and
+// access-control overhead (used by the scalability sweep).
+var CheapMix = Mix{
+	OpGetRandom: 40,
+	OpExtend:    30,
+	OpPCRRead:   30,
+}
+
+// Stream yields a deterministic operation sequence drawn from a mix.
+type Stream struct {
+	ops []Op
+	rng *rand.Rand
+}
+
+// NewStream builds a generator with the given seed.
+func NewStream(mix Mix, seed int64) *Stream {
+	var ops []Op
+	for op := Op(0); op < numOps; op++ {
+		for i := 0; i < mix[op]; i++ {
+			ops = append(ops, op)
+		}
+	}
+	if len(ops) == 0 {
+		ops = []Op{OpGetRandom}
+	}
+	return &Stream{ops: ops, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Next returns the next operation.
+func (s *Stream) Next() Op { return s.ops[s.rng.Intn(len(s.ops))] }
+
+// Runner owns one guest's workload state: TPM secrets, a loaded signing
+// key and a pre-sealed blob, so every operation is ready to issue.
+type Runner struct {
+	cli       *tpm.Client
+	ownerAuth [tpm.AuthSize]byte
+	srkAuth   [tpm.AuthSize]byte
+	keyAuth   [tpm.AuthSize]byte
+	dataAuth  [tpm.AuthSize]byte
+	signKey   uint32
+	sealed    []byte
+	counter   uint32
+}
+
+// authFor derives a per-runner secret.
+func authFor(tag string, id int) (a [tpm.AuthSize]byte) {
+	h := sha1.Sum([]byte(fmt.Sprintf("workload|%s|%d", tag, id)))
+	copy(a[:], h[:])
+	return a
+}
+
+// Prepare provisions a guest vTPM for the workload: take ownership, create
+// and load a signing key, seal a reference secret. bits sizes the signing
+// key (zero = engine default).
+func Prepare(cli *tpm.Client, id int, bits int) (*Runner, error) {
+	r := &Runner{
+		cli:       cli,
+		ownerAuth: authFor("owner", id),
+		srkAuth:   authFor("srk", id),
+		keyAuth:   authFor("key", id),
+		dataAuth:  authFor("data", id),
+	}
+	if _, err := cli.TakeOwnership(r.ownerAuth, r.srkAuth); err != nil {
+		return nil, fmt.Errorf("workload: TakeOwnership: %w", err)
+	}
+	blob, err := cli.CreateWrapKey(tpm.KHSRK, r.srkAuth, r.keyAuth, tpm.KeyParams{
+		Usage: tpm.KeyUsageSigning, Scheme: tpm.SSRSASSAPKCS1v15SHA1, Bits: uint32(bits),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("workload: CreateWrapKey: %w", err)
+	}
+	r.signKey, err = cli.LoadKey2(tpm.KHSRK, r.srkAuth, blob)
+	if err != nil {
+		return nil, fmt.Errorf("workload: LoadKey2: %w", err)
+	}
+	r.sealed, err = cli.Seal(tpm.KHSRK, r.srkAuth, r.dataAuth, nil, []byte("workload reference secret"))
+	if err != nil {
+		return nil, fmt.Errorf("workload: Seal: %w", err)
+	}
+	return r, nil
+}
+
+// Step executes one operation against the runner's TPM.
+func (r *Runner) Step(op Op) error {
+	r.counter++
+	switch op {
+	case OpGetRandom:
+		_, err := r.cli.GetRandom(32)
+		return err
+	case OpExtend:
+		m := sha1.Sum([]byte{byte(r.counter), byte(r.counter >> 8)})
+		_, err := r.cli.Extend(10+r.counter%6, m)
+		return err
+	case OpPCRRead:
+		_, err := r.cli.PCRRead(r.counter % tpm.NumPCRs)
+		return err
+	case OpSeal:
+		_, err := r.cli.Seal(tpm.KHSRK, r.srkAuth, r.dataAuth, nil, []byte("transient secret"))
+		return err
+	case OpUnseal:
+		_, err := r.cli.Unseal(tpm.KHSRK, r.srkAuth, r.dataAuth, r.sealed)
+		return err
+	case OpQuote:
+		var nonce [tpm.NonceSize]byte
+		nonce[0] = byte(r.counter)
+		_, err := r.cli.Quote(r.signKey, r.keyAuth, nonce, tpm.NewPCRSelection(0, 1, 10))
+		return err
+	case OpSign:
+		digest := sha1.Sum([]byte{byte(r.counter)})
+		_, err := r.cli.Sign(r.signKey, r.keyAuth, digest)
+		return err
+	default:
+		return fmt.Errorf("workload: unknown op %d", op)
+	}
+}
+
+// SRKAuth exposes the runner's SRK secret for experiment setup.
+func (r *Runner) SRKAuth() [tpm.AuthSize]byte { return r.srkAuth }
+
+// DataAuth exposes the runner's sealed-blob secret.
+func (r *Runner) DataAuth() [tpm.AuthSize]byte { return r.dataAuth }
+
+// OwnerAuth exposes the runner's owner secret.
+func (r *Runner) OwnerAuth() [tpm.AuthSize]byte { return r.ownerAuth }

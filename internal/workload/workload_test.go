@@ -1,0 +1,96 @@
+package workload
+
+import (
+	"testing"
+
+	"xvtpm/internal/tpm"
+)
+
+const testBits = 512
+
+func newCli(t testing.TB, seed string) *tpm.Client {
+	t.Helper()
+	eng, err := tpm.New(tpm.Config{RSABits: testBits, Seed: []byte(seed)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := tpm.NewClient(tpm.DirectTransport{TPM: eng}, nil)
+	if err := cli.Startup(tpm.STClear); err != nil {
+		t.Fatal(err)
+	}
+	return cli
+}
+
+func TestStreamDeterministicAndWeighted(t *testing.T) {
+	a := NewStream(DefaultMix, 42)
+	b := NewStream(DefaultMix, 42)
+	counts := make(map[Op]int)
+	for i := 0; i < 5000; i++ {
+		oa, ob := a.Next(), b.Next()
+		if oa != ob {
+			t.Fatalf("streams diverge at %d: %v vs %v", i, oa, ob)
+		}
+		counts[oa]++
+	}
+	// Weighted sampling: GetRandom (weight 30) should dominate Sign (4).
+	if counts[OpGetRandom] <= counts[OpSign] {
+		t.Fatalf("weights not respected: %v", counts)
+	}
+	// Every op with positive weight appears.
+	for op, w := range DefaultMix {
+		if w > 0 && counts[op] == 0 {
+			t.Fatalf("op %v never drawn", op)
+		}
+	}
+}
+
+func TestStreamEmptyMixFallsBack(t *testing.T) {
+	s := NewStream(Mix{}, 1)
+	if op := s.Next(); op != OpGetRandom {
+		t.Fatalf("fallback op = %v", op)
+	}
+}
+
+func TestPrepareAndStepAllOps(t *testing.T) {
+	cli := newCli(t, "wl")
+	r, err := Prepare(cli, 1, testBits)
+	if err != nil {
+		t.Fatalf("Prepare: %v", err)
+	}
+	for _, op := range AllOps {
+		if err := r.Step(op); err != nil {
+			t.Fatalf("Step(%v): %v", op, err)
+		}
+	}
+	// Repeated steps keep working (sessions do not leak, handles stay
+	// valid).
+	for i := 0; i < 3; i++ {
+		for _, op := range AllOps {
+			if err := r.Step(op); err != nil {
+				t.Fatalf("round %d Step(%v): %v", i, op, err)
+			}
+		}
+	}
+}
+
+func TestStepUnknownOp(t *testing.T) {
+	cli := newCli(t, "wl2")
+	r, err := Prepare(cli, 2, testBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Step(Op(99)); err == nil {
+		t.Fatal("unknown op accepted")
+	}
+}
+
+func TestOpStrings(t *testing.T) {
+	for _, op := range AllOps {
+		if op.String() == "" || op.String()[0] == 'O' && op.String() != "Op(99)" && false {
+			t.Fatal("unreachable")
+		}
+	}
+	if Op(99).String() != "Op(99)" {
+		t.Fatalf("unknown op string = %s", Op(99).String())
+	}
+}

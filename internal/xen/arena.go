@@ -1,0 +1,91 @@
+package xen
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Arena is a byte-granular bump allocator over a domain's memory pages. The
+// vTPM manager allocates its working buffers from a dom0 arena so that
+// everything it holds in memory is visible to a dom0 core dump — the honesty
+// requirement of the memory-dump attacker model. Buffers are never recycled
+// between owners (real heap allocators do reuse memory, which only makes the
+// attacker's life easier; the bump allocator is thus conservative toward the
+// defender).
+type Arena struct {
+	dom *Domain
+	mu  sync.Mutex
+	cur []byte // remainder of the current page run
+}
+
+// arenaChunkPages is how many pages the arena reserves from the domain at a
+// time.
+const arenaChunkPages = 16
+
+// NewArena creates an allocator over dom's memory.
+func NewArena(dom *Domain) *Arena { return &Arena{dom: dom} }
+
+// Alloc returns n bytes of the domain's memory, zeroed.
+func (a *Arena) Alloc(n int) ([]byte, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("xen: arena alloc of %d bytes", n)
+	}
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if len(a.cur) < n {
+		chunk := arenaChunkPages
+		if need := (n + PageSize - 1) / PageSize; need > chunk {
+			chunk = need
+		}
+		first, err := a.dom.AllocPages(chunk)
+		if err != nil {
+			return nil, err
+		}
+		run, err := a.dom.PageRun(first, chunk)
+		if err != nil {
+			return nil, err
+		}
+		a.cur = run
+	}
+	buf := a.cur[:n:n]
+	a.cur = a.cur[n:]
+	for i := range buf {
+		buf[i] = 0
+	}
+	return buf, nil
+}
+
+// memBus serializes raw simulated-memory mutation against whole-memory
+// observers (DumpCore, save/restore). On hardware these race benignly — a
+// dump can contain torn writes — but in Go a concurrent read and write of
+// the same bytes is a data race, so writers take the bus in read mode (they
+// are mutually disjoint) and snapshots take it exclusively.
+var memBus sync.RWMutex
+
+// BeginMemWrite enters a raw-memory mutation section. Never nest sections.
+func BeginMemWrite() { memBus.RLock() }
+
+// EndMemWrite leaves a raw-memory mutation section.
+func EndMemWrite() { memBus.RUnlock() }
+
+// beginMemSnapshot/endMemSnapshot bracket whole-memory observers.
+func beginMemSnapshot() { memBus.Lock() }
+func endMemSnapshot()   { memBus.Unlock() }
+
+// Zeroize scrubs a buffer in place. Callers use it to bound how long secrets
+// stay resident in dumpable memory.
+func Zeroize(b []byte) {
+	BeginMemWrite()
+	defer EndMemWrite()
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// GuardedCopy copies src into dst under the memory bus; use it for writes
+// into simulated memory pages that may be dumped concurrently.
+func GuardedCopy(dst, src []byte) int {
+	BeginMemWrite()
+	defer EndMemWrite()
+	return copy(dst, src)
+}

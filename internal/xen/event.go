@@ -1,0 +1,180 @@
+package xen
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+)
+
+// Event-channel errors.
+var (
+	ErrBadPort       = errors.New("xen: bad event channel port")
+	ErrPortNotBound  = errors.New("xen: event channel not bound")
+	ErrPortMismatch  = errors.New("xen: event channel does not belong to caller")
+	ErrChannelClosed = errors.New("xen: event channel closed")
+)
+
+// channelState is the lifecycle of one event-channel endpoint.
+type channelState int
+
+const (
+	chanUnbound channelState = iota
+	chanBound
+	chanClosed
+)
+
+// evtchn is one endpoint. Endpoints come in bound pairs; Notify on one sets
+// the pending flag on the other and wakes its waiters, like Xen's
+// EVTCHNOP_send.
+type evtchn struct {
+	owner   DomID
+	remote  DomID
+	peer    EvtchnPort
+	state   channelState
+	pending int
+	cond    *sync.Cond
+}
+
+// EventChannels is a host-wide port table shared by all domains, guarded by a
+// single lock (port operations are control-plane, not data-plane).
+type EventChannels struct {
+	mu    sync.Mutex
+	ports map[EvtchnPort]*evtchn
+	next  EvtchnPort
+}
+
+// newEventChannels creates an empty port table.
+func newEventChannels() *EventChannels {
+	return &EventChannels{ports: make(map[EvtchnPort]*evtchn), next: 1}
+}
+
+// AllocUnbound allocates a port owned by owner awaiting a bind from remote,
+// like EVTCHNOP_alloc_unbound.
+func (ec *EventChannels) AllocUnbound(owner, remote DomID) EvtchnPort {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	port := ec.next
+	ec.next++
+	ch := &evtchn{owner: owner, remote: remote, state: chanUnbound}
+	ch.cond = sync.NewCond(&ec.mu)
+	ec.ports[port] = ch
+	return port
+}
+
+// BindInterdomain binds caller's new port to remotePort, which remoteDom must
+// have allocated for caller. Returns the caller's port.
+func (ec *EventChannels) BindInterdomain(caller DomID, remoteDom DomID, remotePort EvtchnPort) (EvtchnPort, error) {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	rch, ok := ec.ports[remotePort]
+	if !ok {
+		return 0, ErrBadPort
+	}
+	if rch.state != chanUnbound || rch.owner != remoteDom || rch.remote != caller {
+		return 0, fmt.Errorf("%w: port %d owner dom%d remote dom%d state %d",
+			ErrPortMismatch, remotePort, rch.owner, rch.remote, rch.state)
+	}
+	port := ec.next
+	ec.next++
+	lch := &evtchn{owner: caller, remote: remoteDom, peer: remotePort, state: chanBound}
+	lch.cond = sync.NewCond(&ec.mu)
+	ec.ports[port] = lch
+	rch.peer = port
+	rch.state = chanBound
+	return port, nil
+}
+
+// Notify sends an event on caller's port, waking waiters on the peer end.
+func (ec *EventChannels) Notify(caller DomID, port EvtchnPort) error {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	ch, ok := ec.ports[port]
+	if !ok {
+		return ErrBadPort
+	}
+	if ch.owner != caller {
+		return ErrPortMismatch
+	}
+	if ch.state != chanBound {
+		return ErrPortNotBound
+	}
+	peer, ok := ec.ports[ch.peer]
+	if !ok || peer.state != chanBound {
+		return ErrPortNotBound
+	}
+	peer.pending++
+	peer.cond.Broadcast()
+	return nil
+}
+
+// Wait blocks until an event is pending on caller's port (or the channel is
+// closed) and consumes one pending event.
+func (ec *EventChannels) Wait(caller DomID, port EvtchnPort) error {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	ch, ok := ec.ports[port]
+	if !ok {
+		return ErrBadPort
+	}
+	if ch.owner != caller {
+		return ErrPortMismatch
+	}
+	for ch.pending == 0 && ch.state == chanBound {
+		ch.cond.Wait()
+	}
+	if ch.state == chanClosed {
+		return ErrChannelClosed
+	}
+	ch.pending--
+	return nil
+}
+
+// Pending returns the number of unconsumed events on a port.
+func (ec *EventChannels) Pending(caller DomID, port EvtchnPort) (int, error) {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	ch, ok := ec.ports[port]
+	if !ok {
+		return 0, ErrBadPort
+	}
+	if ch.owner != caller {
+		return 0, ErrPortMismatch
+	}
+	return ch.pending, nil
+}
+
+// Close tears down a port and wakes any waiters on it and on its peer.
+func (ec *EventChannels) Close(caller DomID, port EvtchnPort) error {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	ch, ok := ec.ports[port]
+	if !ok {
+		return ErrBadPort
+	}
+	if ch.owner != caller {
+		return ErrPortMismatch
+	}
+	wasBound := ch.state == chanBound
+	ch.state = chanClosed
+	ch.cond.Broadcast()
+	if wasBound {
+		if peer, ok := ec.ports[ch.peer]; ok && peer.state == chanBound {
+			peer.state = chanClosed
+			peer.cond.Broadcast()
+		}
+	}
+	return nil
+}
+
+// closeAllFor tears down every port owned by or remoted to dom; used on
+// domain destruction.
+func (ec *EventChannels) closeAllFor(dom DomID) {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	for _, ch := range ec.ports {
+		if (ch.owner == dom || ch.remote == dom) && ch.state != chanClosed {
+			ch.state = chanClosed
+			ch.cond.Broadcast()
+		}
+	}
+}

@@ -1,0 +1,100 @@
+// Package xen implements a discrete simulator of the slice of the Xen
+// hypervisor that the vTPM subsystem and its attackers interact with: domains
+// with real backing memory pages, a grant table for sharing those pages,
+// inter-domain event channels, privileged domain-control operations including
+// core dumps (the attack vector named by the paper), and save/restore images
+// for migration.
+//
+// The simulator is deliberately memory-faithful rather than timing-faithful:
+// anything a component stores in domain memory is really there as bytes, so a
+// core dump of the domain exposes exactly what a dump on real hardware would.
+// Timing claims in the evaluation come from the crypto and the protocol work,
+// which both the baseline and the improved access-control design pay on equal
+// terms.
+package xen
+
+import (
+	"crypto/sha1"
+	"fmt"
+)
+
+// DomID identifies a domain on one host. Domain 0 is the privileged
+// management domain, as on real Xen.
+type DomID uint32
+
+// Dom0 is the privileged management domain's ID.
+const Dom0 DomID = 0
+
+// PageSize is the size of one memory page, matching x86.
+const PageSize = 4096
+
+// DomainState is the lifecycle state of a domain.
+type DomainState int
+
+// Domain lifecycle states.
+const (
+	StateRunning DomainState = iota
+	StatePaused
+	StateSuspended
+	StateShutdown
+	StateDestroyed
+)
+
+// String implements fmt.Stringer for DomainState.
+func (s DomainState) String() string {
+	switch s {
+	case StateRunning:
+		return "running"
+	case StatePaused:
+		return "paused"
+	case StateSuspended:
+		return "suspended"
+	case StateShutdown:
+		return "shutdown"
+	case StateDestroyed:
+		return "destroyed"
+	default:
+		return fmt.Sprintf("DomainState(%d)", int(s))
+	}
+}
+
+// DomainConfig describes a domain to be created. Kernel, Initrd and Cmdline
+// stand in for the measured boot payload; their digest becomes the domain's
+// launch measurement, which the improved access-control design binds vTPM
+// access to.
+type DomainConfig struct {
+	Name    string
+	Pages   int // memory size in pages; 0 means DefaultPages
+	VCPUs   int // 0 means 1
+	Kernel  []byte
+	Initrd  []byte
+	Cmdline string
+}
+
+// DefaultPages is the memory size used when DomainConfig.Pages is zero.
+const DefaultPages = 64
+
+// LaunchDigest is the SHA-1 measurement of a domain's boot payload, the
+// identity the improved access control binds to. SHA-1 matches the TPM 1.2
+// generation the paper targets.
+type LaunchDigest [sha1.Size]byte
+
+// String renders the digest in hex.
+func (d LaunchDigest) String() string { return fmt.Sprintf("%x", d[:]) }
+
+// MeasureLaunch computes the launch measurement for a boot payload.
+func MeasureLaunch(kernel, initrd []byte, cmdline string) LaunchDigest {
+	h := sha1.New()
+	h.Write(kernel)
+	h.Write(initrd)
+	h.Write([]byte(cmdline))
+	var d LaunchDigest
+	copy(d[:], h.Sum(nil))
+	return d
+}
+
+// GrantRef names an entry in a domain's grant table.
+type GrantRef uint32
+
+// EvtchnPort names one end of an event channel.
+type EvtchnPort uint32

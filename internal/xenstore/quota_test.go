@@ -1,0 +1,113 @@
+package xenstore
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+
+	"xvtpm/internal/xen"
+)
+
+// guestRoot prepares a writable home directory for a guest.
+func guestRoot(t *testing.T, s *Store, dom xen.DomID) string {
+	t.Helper()
+	base := fmt.Sprintf("/local/domain/%d", dom)
+	if err := s.Write(xen.Dom0, NoTxn, base+"/name", []byte("g")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPerms(xen.Dom0, NoTxn, base, Perms{Owner: dom}); err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+func TestNodeQuotaEnforcedOnGuests(t *testing.T) {
+	s := New()
+	s.SetNodeQuota(10)
+	base := guestRoot(t, s, domA)
+	// The guest owns its base dir (1 node). It can create until the quota.
+	created := 0
+	var err error
+	for i := 0; i < 64; i++ {
+		err = s.Write(domA, NoTxn, fmt.Sprintf("%s/n%02d", base, i), []byte("v"))
+		if err != nil {
+			break
+		}
+		created++
+	}
+	if !errors.Is(err, ErrQuota) {
+		t.Fatalf("err = %v, want ErrQuota", err)
+	}
+	if got := s.OwnedNodes(domA); got > 10 {
+		t.Fatalf("guest owns %d nodes, quota 10", got)
+	}
+	if created == 0 {
+		t.Fatal("no nodes created before quota")
+	}
+	// Overwriting an existing node is not creation and stays allowed.
+	if err := s.Write(domA, NoTxn, base+"/n00", []byte("new")); err != nil {
+		t.Fatalf("overwrite within quota: %v", err)
+	}
+	// Removing nodes frees quota.
+	if err := s.Remove(domA, NoTxn, base+"/n00"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(domA, NoTxn, base+"/fresh", []byte("v")); err != nil {
+		t.Fatalf("create after free: %v", err)
+	}
+}
+
+func TestNodeQuotaExemptsDom0(t *testing.T) {
+	s := New()
+	s.SetNodeQuota(4)
+	for i := 0; i < 50; i++ {
+		if err := s.Write(xen.Dom0, NoTxn, fmt.Sprintf("/sys/n%02d", i), []byte("v")); err != nil {
+			t.Fatalf("dom0 write %d: %v", i, err)
+		}
+	}
+}
+
+func TestNodeQuotaAppliesInsideTransactions(t *testing.T) {
+	s := New()
+	s.SetNodeQuota(6)
+	base := guestRoot(t, s, domA)
+	tx := s.TxnStart(domA)
+	var err error
+	for i := 0; i < 32; i++ {
+		err = s.Write(domA, tx, fmt.Sprintf("%s/t%02d", base, i), []byte("v"))
+		if err != nil {
+			break
+		}
+	}
+	if !errors.Is(err, ErrQuota) {
+		t.Fatalf("txn err = %v, want ErrQuota", err)
+	}
+	s.TxnAbort(domA, tx)
+}
+
+func TestValueSizeLimit(t *testing.T) {
+	s := New()
+	base := guestRoot(t, s, domA)
+	big := make([]byte, MaxValueSize+1)
+	if err := s.Write(domA, NoTxn, base+"/big", big); !errors.Is(err, ErrTooLong) {
+		t.Fatalf("err = %v, want ErrTooLong", err)
+	}
+	if err := s.Write(domA, NoTxn, base+"/ok", make([]byte, MaxValueSize)); err != nil {
+		t.Fatalf("max-size value refused: %v", err)
+	}
+	// Dom0 is exempt (the manager writes nothing huge, but tooling may).
+	if err := s.Write(xen.Dom0, NoTxn, "/sys/big", big); err != nil {
+		t.Fatalf("dom0 large write: %v", err)
+	}
+}
+
+func TestQuotaDisabled(t *testing.T) {
+	s := New()
+	s.SetNodeQuota(0)
+	base := guestRoot(t, s, domA)
+	for i := 0; i < 300; i++ {
+		if err := s.Write(domA, NoTxn, fmt.Sprintf("%s/n%03d", base, i), []byte("v")); err != nil {
+			t.Fatalf("write %d with quota disabled: %v", i, err)
+		}
+	}
+}

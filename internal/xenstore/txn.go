@@ -1,0 +1,112 @@
+package xenstore
+
+import (
+	"errors"
+	"fmt"
+
+	"xvtpm/internal/xen"
+)
+
+// TxnStart opens a transaction: a private snapshot of the whole tree the
+// caller mutates in isolation until commit.
+func (s *Store) TxnStart(caller xen.DomID) TxnID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.nextTxn++
+	id := s.nextTxn
+	s.txns[id] = &txn{
+		owner:   caller,
+		root:    s.root.clone(),
+		baseGen: s.gen,
+		touched: make(map[string]struct{}),
+	}
+	return id
+}
+
+// TxnAbort discards a transaction.
+func (s *Store) TxnAbort(caller xen.DomID, id TxnID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[id]
+	if !ok {
+		return ErrBadTxn
+	}
+	if t.owner != caller && caller != xen.Dom0 {
+		return fmt.Errorf("%w: dom%d abort txn of dom%d", ErrPerm, caller, t.owner)
+	}
+	delete(s.txns, id)
+	return nil
+}
+
+// TxnCommit atomically applies a transaction. It fails with ErrConflict if
+// any node the transaction read or wrote was modified in the store since the
+// transaction began — the caller then retries, as with EAGAIN on real
+// XenStore.
+func (s *Store) TxnCommit(caller xen.DomID, id TxnID) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t, ok := s.txns[id]
+	if !ok {
+		return ErrBadTxn
+	}
+	if t.owner != caller && caller != xen.Dom0 {
+		return fmt.Errorf("%w: dom%d commit txn of dom%d", ErrPerm, caller, t.owner)
+	}
+	delete(s.txns, id)
+	// Conflict check: every touched path must be unchanged in the live tree
+	// since baseGen. A path counts as changed if its closest existing node
+	// has a newer generation (covers removals, which bump the parent).
+	for path := range t.touched {
+		if s.newestGenAlong(path) > t.baseGen {
+			return fmt.Errorf("%w: %s", ErrConflict, path)
+		}
+	}
+	s.root = t.root
+	s.gen++
+	for path := range t.touched {
+		if parts, err := split(path); err == nil {
+			s.markGen(parts)
+		}
+		s.fireLocked(path)
+	}
+	return nil
+}
+
+// newestGenAlong returns the generation of the deepest existing node on the
+// path in the live tree.
+func (s *Store) newestGenAlong(path string) uint64 {
+	parts, err := split(path)
+	if err != nil {
+		return s.gen
+	}
+	n := s.root
+	g := n.gen
+	for _, p := range parts {
+		child, ok := n.children[p]
+		if !ok {
+			return g
+		}
+		n = child
+		g = n.gen
+	}
+	return g
+}
+
+// WithTxn runs fn inside a transaction, retrying on ErrConflict up to
+// maxRetries times. It is the idiom drivers use for multi-key handshakes.
+func (s *Store) WithTxn(caller xen.DomID, maxRetries int, fn func(id TxnID) error) error {
+	for attempt := 0; ; attempt++ {
+		id := s.TxnStart(caller)
+		if err := fn(id); err != nil {
+			s.TxnAbort(caller, id) //nolint:errcheck // best-effort cleanup
+			return err
+		}
+		err := s.TxnCommit(caller, id)
+		if err == nil {
+			return nil
+		}
+		if !errors.Is(err, ErrConflict) || attempt >= maxRetries {
+			return err
+		}
+	}
+}

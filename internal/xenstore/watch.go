@@ -1,0 +1,85 @@
+package xenstore
+
+import (
+	"strings"
+
+	"xvtpm/internal/xen"
+)
+
+// Watch delivers the paths of mutations at or below a watched path. Events
+// are delivered on Events with a buffered channel; if the buffer overflows
+// the watch coalesces (the consumer re-reads the store anyway, which is the
+// XenStore protocol's contract).
+type Watch struct {
+	store  *Store
+	caller xen.DomID
+	path   string
+	events chan string
+	dead   bool
+}
+
+// watchBuffer is the per-watch event buffer size.
+const watchBuffer = 64
+
+// Events is the channel watch events arrive on. It is closed by Unwatch.
+func (w *Watch) Events() <-chan string { return w.events }
+
+// Path returns the watched path.
+func (w *Watch) Path() string { return w.path }
+
+// Watch registers interest in path and its subtree. Like the real store, an
+// initial event for the watched path fires immediately so the consumer can
+// pick up pre-existing state.
+func (s *Store) Watch(caller xen.DomID, path string) (*Watch, error) {
+	if _, err := split(path); err != nil {
+		return nil, err
+	}
+	w := &Watch{store: s, caller: caller, path: path, events: make(chan string, watchBuffer)}
+	s.mu.Lock()
+	s.watches[w] = struct{}{}
+	s.mu.Unlock()
+	w.events <- path // initial synthetic event
+	return w, nil
+}
+
+// Unwatch deregisters the watch and closes its channel.
+func (s *Store) Unwatch(w *Watch) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.watches[w]; !ok {
+		return
+	}
+	delete(s.watches, w)
+	w.dead = true
+	close(w.events)
+}
+
+// fireLocked delivers a mutation event to every matching watch. The caller
+// holds s.mu.
+func (s *Store) fireLocked(path string) {
+	for w := range s.watches {
+		if !watchMatches(w.path, path) {
+			continue
+		}
+		select {
+		case w.events <- path:
+		default: // buffer full: coalesce
+		}
+	}
+}
+
+// watchMatches reports whether a mutation at mutated should fire a watch at
+// watched: equal paths, mutation inside the watched subtree, or mutation at
+// an ancestor (removal of an ancestor affects the watched node).
+func watchMatches(watched, mutated string) bool {
+	if watched == mutated {
+		return true
+	}
+	if strings.HasPrefix(mutated, watched+"/") {
+		return true
+	}
+	if strings.HasPrefix(watched, mutated+"/") {
+		return true
+	}
+	return false
+}

@@ -1,0 +1,457 @@
+// Package xenstore implements the XenStore hierarchical key-value store: the
+// control-plane registry Xen's split drivers use to find each other and
+// exchange connection parameters (ring grant references, event-channel
+// ports, device state).
+//
+// The implementation follows the real store's semantics where they matter to
+// the vTPM subsystem and its attackers:
+//
+//   - per-node permissions with an owner and per-domain ACL entries, with
+//     dom0 always privileged;
+//   - transactions with optimistic concurrency (commit fails with
+//     ErrConflict if a touched node changed underneath, like EAGAIN);
+//   - watches that fire on any mutation at or below a path, including the
+//     initial synthetic event on registration.
+package xenstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"xvtpm/internal/xen"
+)
+
+// Store errors.
+var (
+	ErrNoEnt     = errors.New("xenstore: no such node")
+	ErrPerm      = errors.New("xenstore: permission denied")
+	ErrConflict  = errors.New("xenstore: transaction conflict")
+	ErrBadTxn    = errors.New("xenstore: no such transaction")
+	ErrBadPath   = errors.New("xenstore: malformed path")
+	ErrNotEmpty  = errors.New("xenstore: node has children")
+	ErrWatchGone = errors.New("xenstore: watch cancelled")
+	ErrQuota     = errors.New("xenstore: domain over its node quota")
+	ErrTooLong   = errors.New("xenstore: value exceeds the size limit")
+)
+
+// Limits enforced on unprivileged domains, as real xenstored enforces them
+// (a guest that can grow the store without bound can take down the whole
+// host's control plane). Dom0 is exempt.
+const (
+	// DefaultNodeQuota is the number of nodes one unprivileged domain may
+	// own.
+	DefaultNodeQuota = 256
+	// MaxValueSize is the largest value one node may hold.
+	MaxValueSize = 2048
+)
+
+// PermBits is a node access mask.
+type PermBits uint8
+
+// Permission bits.
+const (
+	PermNone  PermBits = 0
+	PermRead  PermBits = 1 << 0
+	PermWrite PermBits = 1 << 1
+	PermBoth           = PermRead | PermWrite
+)
+
+// Perms is a node's access policy: the owning domain (full access), the
+// default for everyone else, and per-domain overrides.
+type Perms struct {
+	Owner   xen.DomID
+	Default PermBits
+	ACL     map[xen.DomID]PermBits
+}
+
+func (p Perms) clone() Perms {
+	q := Perms{Owner: p.Owner, Default: p.Default}
+	if len(p.ACL) > 0 {
+		q.ACL = make(map[xen.DomID]PermBits, len(p.ACL))
+		for k, v := range p.ACL {
+			q.ACL[k] = v
+		}
+	}
+	return q
+}
+
+// allows reports whether dom holds all bits in want.
+func (p Perms) allows(dom xen.DomID, want PermBits) bool {
+	if dom == xen.Dom0 || dom == p.Owner {
+		return true
+	}
+	bits := p.Default
+	if b, ok := p.ACL[dom]; ok {
+		bits = b
+	}
+	return bits&want == want
+}
+
+// node is one tree entry.
+type node struct {
+	value    []byte
+	children map[string]*node
+	perms    Perms
+	gen      uint64 // store generation of last mutation
+}
+
+func (n *node) clone() *node {
+	c := &node{value: append([]byte(nil), n.value...), perms: n.perms.clone(), gen: n.gen}
+	if n.children != nil {
+		c.children = make(map[string]*node, len(n.children))
+		for name, ch := range n.children {
+			c.children[name] = ch.clone()
+		}
+	}
+	return c
+}
+
+// Store is one host's XenStore.
+type Store struct {
+	mu        sync.Mutex
+	root      *node
+	gen       uint64
+	txns      map[TxnID]*txn
+	nextTxn   TxnID
+	watches   map[*Watch]struct{}
+	nodeQuota int
+}
+
+// TxnID names an open transaction.
+type TxnID uint32
+
+// NoTxn is the TxnID meaning "operate directly on the store".
+const NoTxn TxnID = 0
+
+// txn is an open transaction: a private copy of the tree plus the set of
+// paths it touched, for conflict detection at commit.
+type txn struct {
+	owner   xen.DomID
+	root    *node
+	baseGen uint64
+	touched map[string]struct{}
+}
+
+// New creates an empty store whose root is owned by dom0 and world-readable,
+// as on a real host.
+func New() *Store {
+	return &Store{
+		root: &node{
+			children: make(map[string]*node),
+			perms:    Perms{Owner: xen.Dom0, Default: PermRead},
+		},
+		txns:      make(map[TxnID]*txn),
+		watches:   make(map[*Watch]struct{}),
+		nodeQuota: DefaultNodeQuota,
+	}
+}
+
+// SetNodeQuota adjusts the per-domain node quota (0 disables enforcement).
+func (s *Store) SetNodeQuota(n int) {
+	s.mu.Lock()
+	s.nodeQuota = n
+	s.mu.Unlock()
+}
+
+// countOwned walks a tree counting the nodes a domain owns.
+func countOwned(n *node, dom xen.DomID) int {
+	total := 0
+	if n.perms.Owner == dom {
+		total++
+	}
+	for _, c := range n.children {
+		total += countOwned(c, dom)
+	}
+	return total
+}
+
+// OwnedNodes reports how many nodes a domain currently owns (live tree).
+func (s *Store) OwnedNodes(dom xen.DomID) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return countOwned(s.root, dom)
+}
+
+// split validates a path and returns its components. The root is "/".
+func split(path string) ([]string, error) {
+	if path == "" || path[0] != '/' {
+		return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+	}
+	if path == "/" {
+		return nil, nil
+	}
+	parts := strings.Split(strings.Trim(path, "/"), "/")
+	for _, p := range parts {
+		if p == "" || p == "." || p == ".." {
+			return nil, fmt.Errorf("%w: %q", ErrBadPath, path)
+		}
+	}
+	return parts, nil
+}
+
+// lookup walks to a node, returning also its parent for removal.
+func lookup(root *node, parts []string) (parent, n *node, err error) {
+	n = root
+	for _, p := range parts {
+		parent = n
+		child, ok := n.children[p]
+		if !ok {
+			return nil, nil, ErrNoEnt
+		}
+		n = child
+	}
+	return parent, n, nil
+}
+
+func (s *Store) treeFor(id TxnID) (*node, *txn, error) {
+	if id == NoTxn {
+		return s.root, nil, nil
+	}
+	t, ok := s.txns[id]
+	if !ok {
+		return nil, nil, ErrBadTxn
+	}
+	return t.root, t, nil
+}
+
+// Read returns a node's value.
+func (s *Store) Read(caller xen.DomID, id TxnID, path string) ([]byte, error) {
+	parts, err := split(path)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	root, t, err := s.treeFor(id)
+	if err != nil {
+		return nil, err
+	}
+	_, n, err := lookup(root, parts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", err, path)
+	}
+	if !n.perms.allows(caller, PermRead) {
+		return nil, fmt.Errorf("%w: dom%d read %s", ErrPerm, caller, path)
+	}
+	if t != nil {
+		t.touched[path] = struct{}{}
+	}
+	return append([]byte(nil), n.value...), nil
+}
+
+// List returns a node's child names, sorted.
+func (s *Store) List(caller xen.DomID, id TxnID, path string) ([]string, error) {
+	parts, err := split(path)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	root, t, err := s.treeFor(id)
+	if err != nil {
+		return nil, err
+	}
+	_, n, err := lookup(root, parts)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", err, path)
+	}
+	if !n.perms.allows(caller, PermRead) {
+		return nil, fmt.Errorf("%w: dom%d list %s", ErrPerm, caller, path)
+	}
+	if t != nil {
+		t.touched[path] = struct{}{}
+	}
+	names := make([]string, 0, len(n.children))
+	for name := range n.children {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Write sets a node's value, creating the node (and intermediate nodes) if
+// absent. Created nodes inherit the parent's permissions with the caller as
+// owner, like the real store.
+func (s *Store) Write(caller xen.DomID, id TxnID, path string, value []byte) error {
+	parts, err := split(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot write root", ErrBadPath)
+	}
+	if caller != xen.Dom0 && len(value) > MaxValueSize {
+		return fmt.Errorf("%w: %d bytes", ErrTooLong, len(value))
+	}
+	s.mu.Lock()
+	root, t, err := s.treeFor(id)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	// Quota check for unprivileged creators: count once per write, against
+	// the tree the write lands in.
+	owned := -1
+	n := root
+	created := false
+	for i, p := range parts {
+		child, ok := n.children[p]
+		if !ok {
+			if !n.perms.allows(caller, PermWrite) {
+				s.mu.Unlock()
+				return fmt.Errorf("%w: dom%d create under %s", ErrPerm, caller, "/"+strings.Join(parts[:i], "/"))
+			}
+			if caller != xen.Dom0 && s.nodeQuota > 0 {
+				if owned < 0 {
+					owned = countOwned(root, caller)
+				}
+				owned++
+				if owned > s.nodeQuota {
+					s.mu.Unlock()
+					return fmt.Errorf("%w: dom%d at %d nodes", ErrQuota, caller, owned-1)
+				}
+			}
+			child = &node{
+				children: make(map[string]*node),
+				perms:    Perms{Owner: caller, Default: n.perms.Default},
+			}
+			if n.children == nil {
+				n.children = make(map[string]*node)
+			}
+			n.children[p] = child
+			created = true
+		}
+		n = child
+	}
+	if !created && !n.perms.allows(caller, PermWrite) {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: dom%d write %s", ErrPerm, caller, path)
+	}
+	n.value = append([]byte(nil), value...)
+	if t != nil {
+		t.touched[path] = struct{}{}
+		s.mu.Unlock()
+		return nil
+	}
+	s.gen++
+	s.markGen(parts)
+	s.fireLocked(path)
+	s.mu.Unlock()
+	return nil
+}
+
+// markGen stamps the store generation onto every node along the path.
+func (s *Store) markGen(parts []string) {
+	n := s.root
+	n.gen = s.gen
+	for _, p := range parts {
+		child, ok := n.children[p]
+		if !ok {
+			return
+		}
+		n = child
+		n.gen = s.gen
+	}
+}
+
+// Remove deletes a node and its subtree. Only the owner or dom0 may remove.
+func (s *Store) Remove(caller xen.DomID, id TxnID, path string) error {
+	parts, err := split(path)
+	if err != nil {
+		return err
+	}
+	if len(parts) == 0 {
+		return fmt.Errorf("%w: cannot remove root", ErrBadPath)
+	}
+	s.mu.Lock()
+	root, t, err := s.treeFor(id)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	parent, n, err := lookup(root, parts)
+	if err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", err, path)
+	}
+	if caller != xen.Dom0 && caller != n.perms.Owner {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: dom%d remove %s", ErrPerm, caller, path)
+	}
+	delete(parent.children, parts[len(parts)-1])
+	if t != nil {
+		t.touched[path] = struct{}{}
+		s.mu.Unlock()
+		return nil
+	}
+	s.gen++
+	s.markGen(parts[:len(parts)-1])
+	s.fireLocked(path)
+	s.mu.Unlock()
+	return nil
+}
+
+// GetPerms returns a node's access policy.
+func (s *Store) GetPerms(caller xen.DomID, id TxnID, path string) (Perms, error) {
+	parts, err := split(path)
+	if err != nil {
+		return Perms{}, err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	root, _, err := s.treeFor(id)
+	if err != nil {
+		return Perms{}, err
+	}
+	_, n, err := lookup(root, parts)
+	if err != nil {
+		return Perms{}, fmt.Errorf("%w: %s", err, path)
+	}
+	if !n.perms.allows(caller, PermRead) {
+		return Perms{}, fmt.Errorf("%w: dom%d getperms %s", ErrPerm, caller, path)
+	}
+	return n.perms.clone(), nil
+}
+
+// SetPerms replaces a node's access policy. Only the owner or dom0 may.
+func (s *Store) SetPerms(caller xen.DomID, id TxnID, path string, perms Perms) error {
+	parts, err := split(path)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	root, t, err := s.treeFor(id)
+	if err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	_, n, err := lookup(root, parts)
+	if err != nil {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: %s", err, path)
+	}
+	if caller != xen.Dom0 && caller != n.perms.Owner {
+		s.mu.Unlock()
+		return fmt.Errorf("%w: dom%d setperms %s", ErrPerm, caller, path)
+	}
+	n.perms = perms.clone()
+	if t != nil {
+		t.touched[path] = struct{}{}
+		s.mu.Unlock()
+		return nil
+	}
+	s.gen++
+	s.markGen(parts)
+	s.fireLocked(path)
+	s.mu.Unlock()
+	return nil
+}
+
+// Exists reports whether a node exists and is visible to the caller.
+func (s *Store) Exists(caller xen.DomID, id TxnID, path string) bool {
+	_, err := s.Read(caller, id, path)
+	return err == nil || errors.Is(err, ErrPerm)
+}

@@ -1,0 +1,402 @@
+package xenstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"xvtpm/internal/xen"
+)
+
+const (
+	dom0  = xen.Dom0
+	domA  = xen.DomID(3)
+	domB  = xen.DomID(7)
+	noTxn = NoTxn
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := New()
+	if err := s.Write(dom0, noTxn, "/local/domain/3/name", []byte("guest-a")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := s.Read(dom0, noTxn, "/local/domain/3/name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(v) != "guest-a" {
+		t.Fatalf("read %q", v)
+	}
+}
+
+func TestReadMissingNode(t *testing.T) {
+	s := New()
+	if _, err := s.Read(dom0, noTxn, "/nope"); !errors.Is(err, ErrNoEnt) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBadPaths(t *testing.T) {
+	s := New()
+	for _, p := range []string{"", "relative", "/a//b", "/a/./b", "/a/../b"} {
+		if err := s.Write(dom0, noTxn, p, nil); !errors.Is(err, ErrBadPath) {
+			t.Errorf("Write(%q) err = %v, want ErrBadPath", p, err)
+		}
+	}
+	if err := s.Write(dom0, noTxn, "/", nil); !errors.Is(err, ErrBadPath) {
+		t.Errorf("write root err = %v", err)
+	}
+	if err := s.Remove(dom0, noTxn, "/"); !errors.Is(err, ErrBadPath) {
+		t.Errorf("remove root err = %v", err)
+	}
+}
+
+func TestListSorted(t *testing.T) {
+	s := New()
+	for _, k := range []string{"zeta", "alpha", "mid"} {
+		if err := s.Write(dom0, noTxn, "/dir/"+k, []byte("1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := s.List(dom0, noTxn, "/dir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"alpha", "mid", "zeta"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestOwnershipAndPermissions(t *testing.T) {
+	s := New()
+	// dom0 creates a private area for domA.
+	if err := s.Write(dom0, noTxn, "/local/domain/3/device/vtpm/0/ring-ref", []byte("8")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPerms(dom0, noTxn, "/local/domain/3/device/vtpm/0/ring-ref", Perms{
+		Owner:   domA,
+		Default: PermNone,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Owner can read and write.
+	if _, err := s.Read(domA, noTxn, "/local/domain/3/device/vtpm/0/ring-ref"); err != nil {
+		t.Fatalf("owner read: %v", err)
+	}
+	if err := s.Write(domA, noTxn, "/local/domain/3/device/vtpm/0/ring-ref", []byte("9")); err != nil {
+		t.Fatalf("owner write: %v", err)
+	}
+	// Stranger cannot.
+	if _, err := s.Read(domB, noTxn, "/local/domain/3/device/vtpm/0/ring-ref"); !errors.Is(err, ErrPerm) {
+		t.Fatalf("stranger read err = %v", err)
+	}
+	if err := s.Write(domB, noTxn, "/local/domain/3/device/vtpm/0/ring-ref", []byte("6")); !errors.Is(err, ErrPerm) {
+		t.Fatalf("stranger write err = %v", err)
+	}
+	// ACL entry opens read-only access for domB.
+	if err := s.SetPerms(domA, noTxn, "/local/domain/3/device/vtpm/0/ring-ref", Perms{
+		Owner:   domA,
+		Default: PermNone,
+		ACL:     map[xen.DomID]PermBits{domB: PermRead},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(domB, noTxn, "/local/domain/3/device/vtpm/0/ring-ref"); err != nil {
+		t.Fatalf("ACL read: %v", err)
+	}
+	if err := s.Write(domB, noTxn, "/local/domain/3/device/vtpm/0/ring-ref", []byte("6")); !errors.Is(err, ErrPerm) {
+		t.Fatalf("ACL write err = %v", err)
+	}
+	// Dom0 is always privileged.
+	if _, err := s.Read(dom0, noTxn, "/local/domain/3/device/vtpm/0/ring-ref"); err != nil {
+		t.Fatalf("dom0 read: %v", err)
+	}
+}
+
+func TestSetPermsOnlyOwnerOrDom0(t *testing.T) {
+	s := New()
+	s.Write(dom0, noTxn, "/x", []byte("1"))
+	s.SetPerms(dom0, noTxn, "/x", Perms{Owner: domA, Default: PermRead})
+	if err := s.SetPerms(domB, noTxn, "/x", Perms{Owner: domB}); !errors.Is(err, ErrPerm) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.SetPerms(domA, noTxn, "/x", Perms{Owner: domA, Default: PermBoth}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRemoveSubtreeAndOwnership(t *testing.T) {
+	s := New()
+	s.Write(dom0, noTxn, "/a/b/c", []byte("1"))
+	s.SetPerms(dom0, noTxn, "/a/b", Perms{Owner: domA, Default: PermRead})
+	if err := s.Remove(domB, noTxn, "/a/b"); !errors.Is(err, ErrPerm) {
+		t.Fatalf("stranger remove err = %v", err)
+	}
+	if err := s.Remove(domA, noTxn, "/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(dom0, noTxn, "/a/b/c"); !errors.Is(err, ErrNoEnt) {
+		t.Fatalf("read removed err = %v", err)
+	}
+}
+
+func TestGuestCannotCreateUnderProtectedDir(t *testing.T) {
+	s := New()
+	s.Write(dom0, noTxn, "/vm/policy", []byte("locked"))
+	// Root default is read-only for guests; creating /vm2 must fail.
+	if err := s.Write(domA, noTxn, "/vm2/evil", []byte("x")); !errors.Is(err, ErrPerm) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestTransactionIsolationAndCommit(t *testing.T) {
+	s := New()
+	s.Write(dom0, noTxn, "/dev/state", []byte("1"))
+	tx := s.TxnStart(dom0)
+	if err := s.Write(dom0, tx, "/dev/state", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	// Not visible outside the transaction yet.
+	v, _ := s.Read(dom0, noTxn, "/dev/state")
+	if string(v) != "1" {
+		t.Fatalf("outside view = %q", v)
+	}
+	if err := s.TxnCommit(dom0, tx); err != nil {
+		t.Fatal(err)
+	}
+	v, _ = s.Read(dom0, noTxn, "/dev/state")
+	if string(v) != "2" {
+		t.Fatalf("after commit = %q", v)
+	}
+}
+
+func TestTransactionConflict(t *testing.T) {
+	s := New()
+	s.Write(dom0, noTxn, "/dev/state", []byte("1"))
+	tx := s.TxnStart(dom0)
+	if _, err := s.Read(dom0, tx, "/dev/state"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(dom0, tx, "/dev/state", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	// A direct write lands in between.
+	if err := s.Write(dom0, noTxn, "/dev/state", []byte("99")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TxnCommit(dom0, tx); !errors.Is(err, ErrConflict) {
+		t.Fatalf("commit err = %v, want conflict", err)
+	}
+	v, _ := s.Read(dom0, noTxn, "/dev/state")
+	if string(v) != "99" {
+		t.Fatalf("store = %q after failed commit", v)
+	}
+}
+
+func TestTransactionNoFalseConflict(t *testing.T) {
+	s := New()
+	s.Write(dom0, noTxn, "/dev/a", []byte("1"))
+	s.Write(dom0, noTxn, "/other/b", []byte("1"))
+	tx := s.TxnStart(dom0)
+	if err := s.Write(dom0, tx, "/dev/a", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	// Unrelated mutation must not abort the transaction.
+	if err := s.Write(dom0, noTxn, "/other/b", []byte("2")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TxnCommit(dom0, tx); err != nil {
+		t.Fatalf("commit err = %v", err)
+	}
+}
+
+func TestTransactionAbort(t *testing.T) {
+	s := New()
+	s.Write(dom0, noTxn, "/k", []byte("1"))
+	tx := s.TxnStart(dom0)
+	s.Write(dom0, tx, "/k", []byte("2"))
+	if err := s.TxnAbort(dom0, tx); err != nil {
+		t.Fatal(err)
+	}
+	v, _ := s.Read(dom0, noTxn, "/k")
+	if string(v) != "1" {
+		t.Fatalf("after abort = %q", v)
+	}
+	if err := s.TxnCommit(dom0, tx); !errors.Is(err, ErrBadTxn) {
+		t.Fatalf("commit aborted txn err = %v", err)
+	}
+}
+
+func TestTxnOwnershipEnforced(t *testing.T) {
+	s := New()
+	tx := s.TxnStart(domA)
+	if err := s.TxnCommit(domB, tx); !errors.Is(err, ErrPerm) {
+		t.Fatalf("foreign commit err = %v", err)
+	}
+	if err := s.TxnAbort(dom0, tx); err != nil {
+		t.Fatalf("dom0 abort: %v", err)
+	}
+}
+
+func TestWithTxnRetriesOnConflict(t *testing.T) {
+	s := New()
+	s.Write(dom0, noTxn, "/ctr", []byte("0"))
+	conflicted := false
+	err := s.WithTxn(dom0, 5, func(id TxnID) error {
+		v, err := s.Read(dom0, id, "/ctr")
+		if err != nil {
+			return err
+		}
+		if !conflicted {
+			conflicted = true
+			// Sabotage the first attempt.
+			if err := s.Write(dom0, noTxn, "/ctr", []byte("sabotage")); err != nil {
+				return err
+			}
+		}
+		return s.Write(dom0, id, "/ctr", append(v, 'x'))
+	})
+	if err != nil {
+		t.Fatalf("WithTxn: %v", err)
+	}
+	v, _ := s.Read(dom0, noTxn, "/ctr")
+	if string(v) != "sabotagex" {
+		t.Fatalf("final = %q", v)
+	}
+}
+
+func drainInitial(t *testing.T, w *Watch) {
+	t.Helper()
+	select {
+	case p := <-w.Events():
+		if p != w.Path() {
+			t.Fatalf("initial event = %q, want %q", p, w.Path())
+		}
+	default:
+		t.Fatal("no initial watch event")
+	}
+}
+
+func TestWatchFiresOnWriteAndRemove(t *testing.T) {
+	s := New()
+	w, err := s.Watch(dom0, "/local/domain/3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainInitial(t, w)
+	s.Write(dom0, noTxn, "/local/domain/3/device/vtpm/0/state", []byte("3"))
+	if p := <-w.Events(); p != "/local/domain/3/device/vtpm/0/state" {
+		t.Fatalf("event = %q", p)
+	}
+	s.Remove(dom0, noTxn, "/local/domain/3/device/vtpm/0/state")
+	if p := <-w.Events(); p != "/local/domain/3/device/vtpm/0/state" {
+		t.Fatalf("remove event = %q", p)
+	}
+	// Unrelated path does not fire.
+	s.Write(dom0, noTxn, "/local/domain/4/x", []byte("1"))
+	select {
+	case p := <-w.Events():
+		t.Fatalf("unexpected event %q", p)
+	default:
+	}
+}
+
+func TestWatchFiresOnAncestorRemoval(t *testing.T) {
+	s := New()
+	s.Write(dom0, noTxn, "/a/b/c", []byte("1"))
+	w, _ := s.Watch(dom0, "/a/b/c")
+	drainInitial(t, w)
+	s.Remove(dom0, noTxn, "/a")
+	if p := <-w.Events(); p != "/a" {
+		t.Fatalf("event = %q", p)
+	}
+}
+
+func TestWatchFiresOnTxnCommitOnly(t *testing.T) {
+	s := New()
+	w, _ := s.Watch(dom0, "/dev")
+	drainInitial(t, w)
+	tx := s.TxnStart(dom0)
+	s.Write(dom0, tx, "/dev/a", []byte("1"))
+	select {
+	case p := <-w.Events():
+		t.Fatalf("event %q before commit", p)
+	default:
+	}
+	if err := s.TxnCommit(dom0, tx); err != nil {
+		t.Fatal(err)
+	}
+	if p := <-w.Events(); p != "/dev/a" {
+		t.Fatalf("event = %q", p)
+	}
+}
+
+func TestUnwatchClosesChannel(t *testing.T) {
+	s := New()
+	w, _ := s.Watch(dom0, "/x")
+	drainInitial(t, w)
+	s.Unwatch(w)
+	if _, ok := <-w.Events(); ok {
+		t.Fatal("channel not closed")
+	}
+	s.Unwatch(w) // idempotent
+}
+
+func TestConcurrentWritersDistinctKeys(t *testing.T) {
+	s := New()
+	var wg sync.WaitGroup
+	const n = 8
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for j := 0; j < 50; j++ {
+				path := fmt.Sprintf("/load/worker%d/item%d", i, j)
+				if err := s.Write(dom0, noTxn, path, []byte{byte(j)}); err != nil {
+					t.Errorf("write %s: %v", path, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		names, err := s.List(dom0, noTxn, fmt.Sprintf("/load/worker%d", i))
+		if err != nil || len(names) != 50 {
+			t.Fatalf("worker %d: %d names, %v", i, len(names), err)
+		}
+	}
+}
+
+func TestPropertyWriteThenReadIdentity(t *testing.T) {
+	s := New()
+	i := 0
+	f := func(val []byte) bool {
+		i++
+		path := fmt.Sprintf("/prop/key%d", i)
+		if err := s.Write(dom0, noTxn, path, val); err != nil {
+			return false
+		}
+		got, err := s.Read(dom0, noTxn, path)
+		return err == nil && bytes.Equal(got, val)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadReturnsCopy(t *testing.T) {
+	s := New()
+	s.Write(dom0, noTxn, "/k", []byte("abc"))
+	v, _ := s.Read(dom0, noTxn, "/k")
+	v[0] = 'Z'
+	v2, _ := s.Read(dom0, noTxn, "/k")
+	if string(v2) != "abc" {
+		t.Fatal("Read leaks internal buffer")
+	}
+}

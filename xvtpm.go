@@ -1,0 +1,525 @@
+// Package xvtpm is the public API of the vTPM access-control reproduction:
+// it assembles a simulated Xen host — hypervisor, XenStore, hardware TPM,
+// vTPM manager with a chosen access-control guard — and offers guest
+// lifecycle, TPM access and live migration on top.
+//
+// The package reproduces "Improvement for vTPM Access Control on Xen"
+// (Morikawa, Ebara, Onishi, Nakano; ICPP Workshops 2010). Two access-control
+// modes are available and directly comparable:
+//
+//   - ModeBaseline: the stock Xen vTPM behaviour (instance↔domain-ID table,
+//     plaintext state, unprotected migration).
+//   - ModeImproved: the paper's improvement (measured-identity binding,
+//     authenticated+encrypted command channel, default-deny ordinal policy,
+//     state sealed to the hardware TPM, protected migration).
+//
+// A minimal session:
+//
+//	host, _ := xvtpm.NewHost(xvtpm.HostConfig{Name: "hostA", Mode: xvtpm.ModeImproved})
+//	guest, _ := host.CreateGuest(xvtpm.GuestConfig{Name: "web", Kernel: kernel})
+//	guest.TPM.Extend(10, measurement)
+//	blob, _ := guest.TPM.Seal(tpm.KHSRK, srkAuth, dataAuth, nil, secret)
+package xvtpm
+
+import (
+	"crypto/sha1"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"xvtpm/internal/core"
+	"xvtpm/internal/tpm"
+	"xvtpm/internal/vtpm"
+	"xvtpm/internal/xen"
+	"xvtpm/internal/xenstore"
+)
+
+// Mode selects the access-control guard a host runs.
+type Mode int
+
+// Host access-control modes.
+const (
+	ModeBaseline Mode = iota
+	ModeImproved
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	if m == ModeImproved {
+		return "improved"
+	}
+	return "baseline"
+}
+
+// Re-exported types so example code needs only this package and
+// internal/tpm for client constants.
+type (
+	// Guest is a running domain with an attached vTPM.
+	Guest struct {
+		Name     string
+		Dom      *xen.Domain
+		Instance vtpm.InstanceID
+		Frontend *vtpm.Frontend
+		// TPM drives the guest's vTPM through the full path: client →
+		// frontend → ring → backend → guard → instance engine.
+		TPM *tpm.Client
+
+		host *Host
+	}
+)
+
+// HostConfig parameterizes a simulated host.
+type HostConfig struct {
+	Name string
+	Mode Mode
+	// RSABits sizes all TPM keys on the host (hardware and instances).
+	// Zero means tpm.DefaultRSABits; tests and benchmarks use 512.
+	RSABits int
+	// Seed makes the host deterministic when non-nil.
+	Seed []byte
+	// Dom0Pages sizes the management domain's memory (manager working
+	// buffers live there). Zero picks a default large enough for dozens of
+	// instances.
+	Dom0Pages int
+	// EKPoolSize pre-generates instance endorsement keys (experiment E3).
+	EKPoolSize int
+}
+
+// Host is one simulated physical machine.
+type Host struct {
+	Name    string
+	Mode    Mode
+	HV      *xen.Hypervisor
+	XS      *xenstore.Store
+	HWTPM   *tpm.TPM
+	HW      *tpm.Client
+	Manager *vtpm.Manager
+	Backend *vtpm.Backend
+	Store   vtpm.Store
+
+	guard vtpm.Guard
+	keys  *core.PlatformKeys // improved mode only
+
+	mu        sync.Mutex
+	guests    map[xen.DomID]*Guest
+	anchor    *core.AuditAnchor
+	suspended map[string]*suspendedGuest
+}
+
+// EnableAuditAnchor provisions hardware anchoring for the improved guard's
+// audit log (an NV area plus a monotonic counter in the host's hardware
+// TPM). Idempotent per host.
+func (h *Host) EnableAuditAnchor() error {
+	if h.Mode != ModeImproved {
+		return errors.New("xvtpm: audit anchoring requires the improved guard")
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.anchor != nil {
+		return nil
+	}
+	anchor, err := core.NewAuditAnchor(h.keys)
+	if err != nil {
+		return err
+	}
+	h.anchor = anchor
+	return nil
+}
+
+// AnchorAudit commits the current audit head into the hardware TPM and
+// returns the anchor counter value.
+func (h *Host) AnchorAudit() (uint32, error) {
+	h.mu.Lock()
+	anchor := h.anchor
+	h.mu.Unlock()
+	if anchor == nil {
+		return 0, errors.New("xvtpm: audit anchor not enabled")
+	}
+	ig, ok := h.ImprovedGuard()
+	if !ok {
+		return 0, errors.New("xvtpm: no improved guard")
+	}
+	return anchor.Anchor(ig.Audit())
+}
+
+// VerifyAuditAgainstAnchor checks the guard's current audit log against the
+// hardware anchor.
+func (h *Host) VerifyAuditAgainstAnchor() error {
+	h.mu.Lock()
+	anchor := h.anchor
+	h.mu.Unlock()
+	if anchor == nil {
+		return errors.New("xvtpm: audit anchor not enabled")
+	}
+	ig, ok := h.ImprovedGuard()
+	if !ok {
+		return errors.New("xvtpm: no improved guard")
+	}
+	return anchor.VerifyAgainstAnchor(ig.Audit().Records())
+}
+
+// Guard returns the host's access-control guard.
+func (h *Host) Guard() vtpm.Guard { return h.guard }
+
+// ImprovedGuard returns the improved guard when the host runs in
+// ModeImproved, for policy administration and audit access.
+func (h *Host) ImprovedGuard() (*core.ImprovedGuard, bool) {
+	g, ok := h.guard.(*core.ImprovedGuard)
+	return g, ok
+}
+
+// hostAuth derives the host's hardware TPM owner and SRK secrets from its
+// name (a stand-in for the datacenter's credential store).
+func hostAuth(name, role string) (a [tpm.AuthSize]byte) {
+	h := sha1.Sum([]byte("host-auth|" + name + "|" + role))
+	copy(a[:], h[:])
+	return a
+}
+
+// NewHost boots a simulated host: hypervisor with dom0, XenStore, owned
+// hardware TPM, guard, manager and backend.
+func NewHost(cfg HostConfig) (*Host, error) {
+	if cfg.Name == "" {
+		return nil, errors.New("xvtpm: host must be named")
+	}
+	dom0Pages := cfg.Dom0Pages
+	if dom0Pages == 0 {
+		dom0Pages = 4096 // 16 MiB of manager working memory
+	}
+	hv := xen.NewHypervisor(xen.DomainConfig{Name: "Domain-0", Pages: dom0Pages})
+	xs := xenstore.New()
+
+	var seed []byte
+	if cfg.Seed != nil {
+		seed = append(append([]byte(nil), cfg.Seed...), []byte("|hw|"+cfg.Name)...)
+	}
+	hwEng, err := tpm.New(tpm.Config{RSABits: cfg.RSABits, Seed: seed})
+	if err != nil {
+		return nil, fmt.Errorf("xvtpm: hardware TPM: %w", err)
+	}
+	hw := tpm.NewClient(tpm.DirectTransport{TPM: hwEng}, nil)
+	if err := hw.Startup(tpm.STClear); err != nil {
+		return nil, err
+	}
+	if err := hw.SelfTestFull(); err != nil {
+		return nil, err
+	}
+
+	h := &Host{
+		Name:   cfg.Name,
+		Mode:   cfg.Mode,
+		HV:     hv,
+		XS:     xs,
+		HWTPM:  hwEng,
+		HW:     hw,
+		Store:  vtpm.NewMemStore(),
+		guests: make(map[xen.DomID]*Guest),
+	}
+	switch cfg.Mode {
+	case ModeImproved:
+		keys, err := core.SetupPlatformKeys(hw, []byte("platform|"+cfg.Name),
+			hostAuth(cfg.Name, "owner"), hostAuth(cfg.Name, "srk"))
+		if err != nil {
+			return nil, fmt.Errorf("xvtpm: platform keys: %w", err)
+		}
+		h.keys = keys
+		h.guard = core.NewImprovedGuard(keys, core.NewPolicy())
+	case ModeBaseline:
+		h.guard = core.NewBaselineGuard()
+	default:
+		return nil, fmt.Errorf("xvtpm: unknown mode %d", cfg.Mode)
+	}
+
+	dom0, err := hv.Domain(xen.Dom0)
+	if err != nil {
+		return nil, err
+	}
+	var mgrSeed []byte
+	if cfg.Seed != nil {
+		mgrSeed = append(append([]byte(nil), cfg.Seed...), []byte("|mgr|"+cfg.Name)...)
+	}
+	h.Manager = vtpm.NewManager(hv, h.Store, xen.NewArena(dom0), h.guard, vtpm.ManagerConfig{
+		RSABits:    cfg.RSABits,
+		Seed:       mgrSeed,
+		EKPoolSize: cfg.EKPoolSize,
+	})
+	h.Backend = vtpm.NewBackend(hv, xs, h.Manager)
+	return h, nil
+}
+
+// Close releases background resources.
+func (h *Host) Close() { h.Manager.Close() }
+
+// HostStats is a point-in-time operational snapshot for tooling.
+type HostStats struct {
+	Mode          Mode
+	Guests        int
+	Instances     int
+	HWCommands    uint64 // commands the hardware TPM has executed
+	AuditRecords  int    // improved mode only
+	AuditVerifies bool   // improved mode only
+	StoredBlobs   int
+}
+
+// Stats snapshots the host's operational state.
+func (h *Host) Stats() HostStats {
+	s := HostStats{
+		Mode:       h.Mode,
+		Instances:  len(h.Manager.Instances()),
+		HWCommands: h.HWTPM.CommandCount(),
+	}
+	h.mu.Lock()
+	s.Guests = len(h.guests)
+	h.mu.Unlock()
+	if names, err := h.Store.List(); err == nil {
+		s.StoredBlobs = len(names)
+	}
+	if ig, ok := h.ImprovedGuard(); ok {
+		s.AuditRecords = ig.Audit().Len()
+		s.AuditVerifies = ig.Audit().Verify() == nil
+	}
+	return s
+}
+
+// GuestConfig describes a guest to create.
+type GuestConfig struct {
+	Name    string
+	Kernel  []byte
+	Initrd  []byte
+	Cmdline string
+	Pages   int
+}
+
+// CreateGuest builds a domain, provisions a vTPM instance bound to its
+// measured launch identity, grants it the default guest policy (improved
+// mode), and completes the split-driver handshake. The returned guest's TPM
+// client exercises the full command path.
+func (h *Host) CreateGuest(cfg GuestConfig) (*Guest, error) {
+	if len(cfg.Kernel) == 0 {
+		return nil, errors.New("xvtpm: guest needs a kernel to be measured")
+	}
+	dom, err := h.HV.CreateDomain(xen.DomainConfig{
+		Name: cfg.Name, Kernel: cfg.Kernel, Initrd: cfg.Initrd, Cmdline: cfg.Cmdline, Pages: cfg.Pages,
+	})
+	if err != nil {
+		return nil, err
+	}
+	inst, err := h.Manager.CreateInstance()
+	if err != nil {
+		return nil, err
+	}
+	return h.attachGuest(dom, inst)
+}
+
+// attachGuest binds an existing instance to a domain and connects the
+// device. Shared by CreateGuest and migration receive.
+func (h *Host) attachGuest(dom *xen.Domain, inst vtpm.InstanceID) (*Guest, error) {
+	// The domain builder pre-creates the guest's XenStore home directory
+	// and hands it over, as xend does.
+	base := fmt.Sprintf("/local/domain/%d", dom.ID())
+	if err := h.XS.Write(xen.Dom0, xenstore.NoTxn, base+"/name", []byte(dom.Name())); err != nil {
+		return nil, err
+	}
+	if err := h.XS.SetPerms(xen.Dom0, xenstore.NoTxn, base, xenstore.Perms{
+		Owner:   dom.ID(),
+		Default: xenstore.PermNone,
+	}); err != nil {
+		return nil, err
+	}
+	if err := h.Manager.BindInstance(inst, dom); err != nil {
+		return nil, err
+	}
+	if ig, ok := h.ImprovedGuard(); ok {
+		ig.Policy().Append(core.DefaultGuestPolicy(dom.Launch(), inst)...)
+	}
+	codec, err := h.Manager.EncoderFor(inst)
+	if err != nil {
+		return nil, err
+	}
+	fe := vtpm.NewFrontend(h.HV, h.XS, dom, codec)
+	if err := fe.Setup(); err != nil {
+		return nil, err
+	}
+	if err := h.Backend.AttachDevice(dom.ID()); err != nil {
+		return nil, err
+	}
+	if err := fe.WaitConnected(); err != nil {
+		return nil, err
+	}
+	g := &Guest{
+		Name:     dom.Name(),
+		Dom:      dom,
+		Instance: inst,
+		Frontend: fe,
+		TPM:      tpm.NewClient(fe, nil),
+		host:     h,
+	}
+	h.mu.Lock()
+	h.guests[dom.ID()] = g
+	h.mu.Unlock()
+	return g, nil
+}
+
+// DestroyGuest tears a guest down: device, instance and domain.
+func (h *Host) DestroyGuest(g *Guest) error {
+	g.Frontend.Close()
+	h.Backend.DetachDevice(g.Dom.ID()) //nolint:errcheck // may already be closed
+	if err := h.Manager.UnbindInstance(g.Instance); err != nil && !errors.Is(err, vtpm.ErrUnbound) {
+		return err
+	}
+	if err := h.Manager.DestroyInstance(g.Instance); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	delete(h.guests, g.Dom.ID())
+	h.mu.Unlock()
+	if err := h.HV.DestroyDomain(xen.Dom0, g.Dom.ID()); err != nil {
+		return err
+	}
+	h.XS.Remove(xen.Dom0, xenstore.NoTxn, fmt.Sprintf("/local/domain/%d", g.Dom.ID())) //nolint:errcheck // best effort
+	return nil
+}
+
+// Guests returns the host's live guests.
+func (h *Host) Guests() []*Guest {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]*Guest, 0, len(h.guests))
+	for _, g := range h.guests {
+		out = append(out, g)
+	}
+	return out
+}
+
+// suspendedGuest is a locally parked guest: its domain image plus its
+// still-registered (unbound) vTPM instance.
+type suspendedGuest struct {
+	img  *xen.DomainImage
+	inst vtpm.InstanceID
+}
+
+// SuspendGuest parks a guest on this host: the device is detached, the
+// domain saved and destroyed, and the vTPM instance kept registered
+// (checkpointed) for resume. Returns the handle ResumeGuest takes.
+func (h *Host) SuspendGuest(g *Guest) (string, error) {
+	g.Frontend.Close()
+	if err := h.Backend.DetachDevice(g.Dom.ID()); err != nil && !errors.Is(err, vtpm.ErrNotConnected) {
+		return "", err
+	}
+	if err := h.Manager.UnbindInstance(g.Instance); err != nil {
+		return "", err
+	}
+	if err := h.Manager.Checkpoint(g.Instance); err != nil {
+		return "", err
+	}
+	img, err := h.HV.SaveDomain(xen.Dom0, g.Dom.ID())
+	if err != nil {
+		return "", err
+	}
+	if err := h.HV.DestroyDomain(xen.Dom0, g.Dom.ID()); err != nil {
+		return "", err
+	}
+	// Clear the dead domain's XenStore subtree, as the toolstack does;
+	// resume creates a fresh one under the new domain ID.
+	h.XS.Remove(xen.Dom0, xenstore.NoTxn, fmt.Sprintf("/local/domain/%d", g.Dom.ID())) //nolint:errcheck // best effort
+	h.mu.Lock()
+	if h.suspended == nil {
+		h.suspended = make(map[string]*suspendedGuest)
+	}
+	handle := g.Name
+	h.suspended[handle] = &suspendedGuest{img: img, inst: g.Instance}
+	delete(h.guests, g.Dom.ID())
+	h.mu.Unlock()
+	return handle, nil
+}
+
+// ResumeGuest revives a suspended guest: domain restored from its image,
+// vTPM instance rebound, device reconnected.
+func (h *Host) ResumeGuest(handle string) (*Guest, error) {
+	h.mu.Lock()
+	sg, ok := h.suspended[handle]
+	if ok {
+		delete(h.suspended, handle)
+	}
+	h.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("xvtpm: no suspended guest %q", handle)
+	}
+	dom, err := h.HV.RestoreDomain(xen.Dom0, sg.img)
+	if err != nil {
+		return nil, err
+	}
+	return h.attachGuest(dom, sg.inst)
+}
+
+// SendGuest drives the source side of live migration over conn: detach the
+// device, suspend and save the domain, and ship domain plus vTPM state
+// (guard-protected) to the peer. On success the source copies are destroyed.
+func (h *Host) SendGuest(conn io.ReadWriter, g *Guest) error {
+	g.Frontend.Close()
+	if err := h.Backend.DetachDevice(g.Dom.ID()); err != nil && !errors.Is(err, vtpm.ErrNotConnected) {
+		return err
+	}
+	if err := h.Manager.UnbindInstance(g.Instance); err != nil {
+		return err
+	}
+	domImg, err := h.HV.SaveDomain(xen.Dom0, g.Dom.ID())
+	if err != nil {
+		return err
+	}
+	domImg.SrcHost = h.Name
+	if err := vtpm.SendMigration(conn, h.Manager, domImg, g.Instance); err != nil {
+		return err
+	}
+	if err := h.Manager.DestroyInstance(g.Instance); err != nil {
+		return err
+	}
+	h.mu.Lock()
+	delete(h.guests, g.Dom.ID())
+	h.mu.Unlock()
+	if err := h.HV.DestroyDomain(xen.Dom0, g.Dom.ID()); err != nil {
+		return err
+	}
+	h.XS.Remove(xen.Dom0, xenstore.NoTxn, fmt.Sprintf("/local/domain/%d", g.Dom.ID())) //nolint:errcheck // best effort
+	return nil
+}
+
+// ReceiveGuest drives the destination side of live migration over conn and
+// returns the resumed guest with its vTPM reconnected.
+func (h *Host) ReceiveGuest(conn io.ReadWriter) (*Guest, error) {
+	var migPub = h.guard.MigrationIdentity()
+	domImg, inst, err := vtpm.ReceiveMigration(conn, h.Manager, migPub)
+	if err != nil {
+		return nil, err
+	}
+	dom, err := h.HV.RestoreDomain(xen.Dom0, domImg)
+	if err != nil {
+		return nil, err
+	}
+	return h.attachGuest(dom, inst)
+}
+
+// Migrate moves a guest between two in-process hosts over an internal pipe.
+// For an interceptable channel (the migration attack experiments), use
+// SendGuest/ReceiveGuest with your own conn.
+func Migrate(src *Host, g *Guest, dst *Host) (*Guest, error) {
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	type recvResult struct {
+		g   *Guest
+		err error
+	}
+	done := make(chan recvResult, 1)
+	go func() {
+		ng, err := dst.ReceiveGuest(c2)
+		done <- recvResult{ng, err}
+	}()
+	if err := src.SendGuest(c1, g); err != nil {
+		return nil, err
+	}
+	r := <-done
+	return r.g, r.err
+}

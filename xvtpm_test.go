@@ -1,0 +1,495 @@
+package xvtpm
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"testing"
+
+	"xvtpm/internal/core"
+	"xvtpm/internal/tpm"
+	"xvtpm/internal/vtpm"
+)
+
+const testBits = 512
+
+func authOf(s string) (a [tpm.AuthSize]byte) {
+	h := sha1.Sum([]byte(s))
+	copy(a[:], h[:])
+	return a
+}
+
+var (
+	gOwner = authOf("guest-owner")
+	gSRK   = authOf("guest-srk")
+	gData  = authOf("guest-data")
+)
+
+func newTestHost(t testing.TB, name string, mode Mode) *Host {
+	t.Helper()
+	h, err := NewHost(HostConfig{Name: name, Mode: mode, RSABits: testBits, Seed: []byte("seed-" + name)})
+	if err != nil {
+		t.Fatalf("NewHost(%s): %v", name, err)
+	}
+	t.Cleanup(h.Close)
+	return h
+}
+
+func newTestGuest(t testing.TB, h *Host, name string) *Guest {
+	t.Helper()
+	g, err := h.CreateGuest(GuestConfig{Name: name, Kernel: []byte("vmlinuz-" + name)})
+	if err != nil {
+		t.Fatalf("CreateGuest(%s): %v", name, err)
+	}
+	return g
+}
+
+// ownGuestTPM takes ownership of a guest's vTPM over the full command path.
+func ownGuestTPM(t testing.TB, g *Guest) {
+	t.Helper()
+	if _, err := g.TPM.TakeOwnership(gOwner, gSRK); err != nil {
+		t.Fatalf("guest TakeOwnership: %v", err)
+	}
+}
+
+func testBothModes(t *testing.T, fn func(t *testing.T, mode Mode)) {
+	t.Helper()
+	for _, mode := range []Mode{ModeBaseline, ModeImproved} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) { fn(t, mode) })
+	}
+}
+
+func TestGuestFullTPMSessionOverRing(t *testing.T) {
+	testBothModes(t, func(t *testing.T, mode Mode) {
+		h := newTestHost(t, "host-"+mode.String(), mode)
+		g := newTestGuest(t, h, "web")
+		// Measure, own, seal, unseal — all over ring + guard.
+		m := sha1.Sum([]byte("app-binary"))
+		if _, err := g.TPM.Extend(10, m); err != nil {
+			t.Fatalf("Extend: %v", err)
+		}
+		ownGuestTPM(t, g)
+		secret := []byte("database-master-key")
+		blob, err := g.TPM.Seal(tpm.KHSRK, gSRK, gData, nil, secret)
+		if err != nil {
+			t.Fatalf("Seal: %v", err)
+		}
+		got, err := g.TPM.Unseal(tpm.KHSRK, gSRK, gData, blob)
+		if err != nil || !bytes.Equal(got, secret) {
+			t.Fatalf("Unseal: %v %q", err, got)
+		}
+		// Random over the ring.
+		rnd, err := g.TPM.GetRandom(32)
+		if err != nil || len(rnd) != 32 {
+			t.Fatalf("GetRandom: %v", err)
+		}
+	})
+}
+
+func TestGuestsAreIsolated(t *testing.T) {
+	testBothModes(t, func(t *testing.T, mode Mode) {
+		h := newTestHost(t, "iso-"+mode.String(), mode)
+		a := newTestGuest(t, h, "a")
+		b := newTestGuest(t, h, "b")
+		ma := sha1.Sum([]byte("a-measurement"))
+		if _, err := a.TPM.Extend(12, ma); err != nil {
+			t.Fatal(err)
+		}
+		va, _ := a.TPM.PCRRead(12)
+		vb, _ := b.TPM.PCRRead(12)
+		if va == vb {
+			t.Fatal("guest B sees guest A's PCR state")
+		}
+		if vb != ([tpm.DigestSize]byte{}) {
+			t.Fatal("guest B PCR not pristine")
+		}
+	})
+}
+
+func TestConcurrentGuestsSeparateInstances(t *testing.T) {
+	h := newTestHost(t, "conc", ModeImproved)
+	const n = 4
+	guests := make([]*Guest, n)
+	for i := range guests {
+		guests[i] = newTestGuest(t, h, fmt.Sprintf("g%d", i))
+	}
+	var wg sync.WaitGroup
+	for i, g := range guests {
+		wg.Add(1)
+		go func(i int, g *Guest) {
+			defer wg.Done()
+			m := sha1.Sum([]byte{byte(i)})
+			for j := 0; j < 20; j++ {
+				if _, err := g.TPM.Extend(8, m); err != nil {
+					t.Errorf("guest %d extend %d: %v", i, j, err)
+					return
+				}
+			}
+		}(i, g)
+	}
+	wg.Wait()
+	// Each guest's PCR 8 must be the 20-fold extension of its own digest.
+	for i, g := range guests {
+		var want [tpm.DigestSize]byte
+		m := sha1.Sum([]byte{byte(i)})
+		for j := 0; j < 20; j++ {
+			s := sha1.New()
+			s.Write(want[:])
+			s.Write(m[:])
+			copy(want[:], s.Sum(nil))
+		}
+		got, _ := g.TPM.PCRRead(8)
+		if got != want {
+			t.Fatalf("guest %d PCR8 = %x, want %x", i, got, want)
+		}
+	}
+}
+
+func TestDestroyGuestReleasesResources(t *testing.T) {
+	h := newTestHost(t, "destroy", ModeImproved)
+	g := newTestGuest(t, h, "victim")
+	inst := g.Instance
+	if err := h.DestroyGuest(g); err != nil {
+		t.Fatalf("DestroyGuest: %v", err)
+	}
+	if _, err := h.Manager.InstanceInfo(inst); !errors.Is(err, vtpm.ErrNoInstance) {
+		t.Fatalf("instance survives: %v", err)
+	}
+	if _, err := g.TPM.GetRandom(4); err == nil {
+		t.Fatal("destroyed guest's TPM still answers")
+	}
+	// Host accepts a replacement guest.
+	newTestGuest(t, h, "replacement")
+}
+
+func TestManagerRestartRevivesInstances(t *testing.T) {
+	// Improved mode: state comes back through the sealed envelope path.
+	h := newTestHost(t, "restart", ModeImproved)
+	g := newTestGuest(t, h, "persistent")
+	m := sha1.Sum([]byte("measurement"))
+	if _, err := g.TPM.Extend(5, m); err != nil {
+		t.Fatal(err)
+	}
+	want, _ := g.TPM.PCRRead(5)
+	inst := g.Instance
+	// Simulate a manager restart: detach, drop the live instance, revive
+	// from the store.
+	g.Frontend.Close()
+	if err := h.Backend.DetachDevice(g.Dom.ID()); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Manager.UnbindInstance(inst); err != nil {
+		t.Fatal(err)
+	}
+	// Forget the live engine (restart) while keeping the store blob.
+	blob, err := h.Store.Get(fmt.Sprintf("vtpm-%08d.state", inst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Manager.DestroyInstance(inst); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Store.Put(fmt.Sprintf("vtpm-%08d.state", inst), blob); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Manager.ReviveInstance(inst); err != nil {
+		t.Fatalf("ReviveInstance: %v", err)
+	}
+	cli, err := h.Manager.DirectClient(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cli.PCRRead(5)
+	if err != nil || got != want {
+		t.Fatalf("revived PCR5 = %x (%v), want %x", got, err, want)
+	}
+}
+
+func TestMigrationPreservesVTPMState(t *testing.T) {
+	testBothModes(t, func(t *testing.T, mode Mode) {
+		src := newTestHost(t, "src-"+mode.String(), mode)
+		dst := newTestHost(t, "dst-"+mode.String(), mode)
+		g := newTestGuest(t, src, "traveler")
+		m := sha1.Sum([]byte("pre-migration"))
+		if _, err := g.TPM.Extend(9, m); err != nil {
+			t.Fatal(err)
+		}
+		want, _ := g.TPM.PCRRead(9)
+		ownGuestTPM(t, g)
+		blob, err := g.TPM.Seal(tpm.KHSRK, gSRK, gData, nil, []byte("migrating-secret"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ng, err := Migrate(src, g, dst)
+		if err != nil {
+			t.Fatalf("Migrate: %v", err)
+		}
+		// Source copies are gone.
+		if len(src.Manager.Instances()) != 0 {
+			t.Fatal("source instance survives migration")
+		}
+		// PCR state survived.
+		got, err := ng.TPM.PCRRead(9)
+		if err != nil || got != want {
+			t.Fatalf("migrated PCR9 = %x (%v), want %x", got, err, want)
+		}
+		// The sealed blob still unseals on the destination (same vTPM).
+		data, err := ng.TPM.Unseal(tpm.KHSRK, gSRK, gData, blob)
+		if err != nil || string(data) != "migrating-secret" {
+			t.Fatalf("unseal after migration: %v %q", err, data)
+		}
+		// And the guest keeps working.
+		if _, err := ng.TPM.Extend(9, m); err != nil {
+			t.Fatalf("post-migration extend: %v", err)
+		}
+	})
+}
+
+func TestMigrationOverExplicitConn(t *testing.T) {
+	src := newTestHost(t, "esrc", ModeImproved)
+	dst := newTestHost(t, "edst", ModeImproved)
+	g := newTestGuest(t, src, "t")
+	c1, c2 := net.Pipe()
+	defer c1.Close()
+	defer c2.Close()
+	errCh := make(chan error, 1)
+	var ng *Guest
+	go func() {
+		var err error
+		ng, err = dst.ReceiveGuest(c2)
+		errCh <- err
+	}()
+	if err := src.SendGuest(c1, g); err != nil {
+		t.Fatalf("SendGuest: %v", err)
+	}
+	if err := <-errCh; err != nil {
+		t.Fatalf("ReceiveGuest: %v", err)
+	}
+	if _, err := ng.TPM.GetRandom(8); err != nil {
+		t.Fatalf("migrated guest TPM: %v", err)
+	}
+}
+
+func TestImprovedGuardAuditsGuestTraffic(t *testing.T) {
+	h := newTestHost(t, "audited", ModeImproved)
+	g := newTestGuest(t, h, "w")
+	if _, err := g.TPM.GetRandom(8); err != nil {
+		t.Fatal(err)
+	}
+	ig, ok := h.ImprovedGuard()
+	if !ok {
+		t.Fatal("improved host lacks improved guard")
+	}
+	if ig.Audit().Len() == 0 {
+		t.Fatal("no audit records for guest traffic")
+	}
+	if err := ig.Audit().Verify(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestImprovedPolicyDenialSurfacesAsTPMError(t *testing.T) {
+	h := newTestHost(t, "denial", ModeImproved)
+	g := newTestGuest(t, h, "w")
+	ig, _ := h.ImprovedGuard()
+	// Revoke the guest's RNG access at runtime.
+	ig.Policy().Prepend(core.Rule{
+		Identity: g.Dom.Launch(), Instance: g.Instance, Group: core.GroupRandom, Effect: core.Deny,
+	})
+	if _, err := g.TPM.GetRandom(8); !tpm.IsTPMError(err, vtpm.RCGuardDenied) {
+		t.Fatalf("err = %v, want RCGuardDenied", err)
+	}
+	// Other groups still work.
+	if _, err := g.TPM.PCRRead(0); err != nil {
+		t.Fatalf("PCRRead after partial revoke: %v", err)
+	}
+}
+
+func TestHostAuditAnchorEndToEnd(t *testing.T) {
+	h := newTestHost(t, "anchored", ModeImproved)
+	g := newTestGuest(t, h, "w")
+	if err := h.EnableAuditAnchor(); err != nil {
+		t.Fatalf("EnableAuditAnchor: %v", err)
+	}
+	if err := h.EnableAuditAnchor(); err != nil {
+		t.Fatalf("second enable not idempotent: %v", err)
+	}
+	if _, err := g.TPM.GetRandom(8); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.AnchorAudit(); err != nil {
+		t.Fatalf("AnchorAudit: %v", err)
+	}
+	if err := h.VerifyAuditAgainstAnchor(); err != nil {
+		t.Fatalf("verify: %v", err)
+	}
+	// More traffic makes the anchor stale until re-anchored.
+	if _, err := g.TPM.GetRandom(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.VerifyAuditAgainstAnchor(); err == nil {
+		t.Fatal("stale anchor verified")
+	}
+	if _, err := h.AnchorAudit(); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.VerifyAuditAgainstAnchor(); err != nil {
+		t.Fatal(err)
+	}
+	// Baseline hosts cannot anchor.
+	hb := newTestHost(t, "anchored-base", ModeBaseline)
+	if err := hb.EnableAuditAnchor(); err == nil {
+		t.Fatal("baseline host enabled anchoring")
+	}
+}
+
+func TestRateLimitThroughFullPath(t *testing.T) {
+	h := newTestHost(t, "limited", ModeImproved)
+	g := newTestGuest(t, h, "w")
+	ig, _ := h.ImprovedGuard()
+	ig.SetRateLimitFor(g.Instance, 10)
+	throttled := false
+	for i := 0; i < 30; i++ {
+		_, err := g.TPM.PCRRead(0)
+		if err != nil {
+			if !tpm.IsTPMError(err, vtpm.RCGuardThrottled) {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			throttled = true
+		}
+	}
+	if !throttled {
+		t.Fatal("full-path traffic never throttled at 10 cmd/s")
+	}
+	// Clearing the limit restores service immediately.
+	ig.SetRateLimitFor(g.Instance, 0)
+	if _, err := g.TPM.PCRRead(0); err != nil {
+		t.Fatalf("after clear: %v", err)
+	}
+}
+
+func TestHostManagerRestartWithReviveAll(t *testing.T) {
+	h := newTestHost(t, "reviveall", ModeImproved)
+	g1 := newTestGuest(t, h, "a")
+	g2 := newTestGuest(t, h, "b")
+	m := sha1.Sum([]byte("x"))
+	g1.TPM.Extend(6, m)
+	g2.TPM.Extend(6, m)
+	g2.TPM.Extend(6, m)
+	want1, _ := g1.TPM.PCRRead(6)
+	want2, _ := g2.TPM.PCRRead(6)
+	// Orderly shutdown: detach everything, drop live instances, keep blobs.
+	for _, g := range []*Guest{g1, g2} {
+		g.Frontend.Close()
+		h.Backend.DetachDevice(g.Dom.ID())
+		h.Manager.UnbindInstance(g.Instance)
+		blob, err := h.Store.Get(fmt.Sprintf("vtpm-%08d.state", g.Instance))
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Manager.DestroyInstance(g.Instance)
+		h.Store.Put(fmt.Sprintf("vtpm-%08d.state", g.Instance), blob)
+	}
+	revived, err := h.Manager.ReviveAll()
+	if err != nil {
+		t.Fatalf("ReviveAll: %v", err)
+	}
+	if len(revived) != 2 {
+		t.Fatalf("revived %d", len(revived))
+	}
+	c1, _ := h.Manager.DirectClient(g1.Instance)
+	c2, _ := h.Manager.DirectClient(g2.Instance)
+	v1, _ := c1.PCRRead(6)
+	v2, _ := c2.PCRRead(6)
+	if v1 != want1 || v2 != want2 {
+		t.Fatal("state lost across restart")
+	}
+}
+
+func TestSuspendResumeGuest(t *testing.T) {
+	testBothModes(t, func(t *testing.T, mode Mode) {
+		h := newTestHost(t, "susp-"+mode.String(), mode)
+		g := newTestGuest(t, h, "sleeper")
+		m := sha1.Sum([]byte("pre-suspend"))
+		if _, err := g.TPM.Extend(8, m); err != nil {
+			t.Fatal(err)
+		}
+		want, _ := g.TPM.PCRRead(8)
+		ownGuestTPM(t, g)
+		blob, err := g.TPM.Seal(tpm.KHSRK, gSRK, gData, nil, []byte("sleeps-with-me"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		handle, err := h.SuspendGuest(g)
+		if err != nil {
+			t.Fatalf("SuspendGuest: %v", err)
+		}
+		// Suspended: no live domain for it, TPM unreachable.
+		if _, err := g.TPM.GetRandom(4); err == nil {
+			t.Fatal("suspended guest's TPM answers")
+		}
+		// Resume elsewhere in time.
+		rg, err := h.ResumeGuest(handle)
+		if err != nil {
+			t.Fatalf("ResumeGuest: %v", err)
+		}
+		got, err := rg.TPM.PCRRead(8)
+		if err != nil || got != want {
+			t.Fatalf("PCR after resume: %x (%v), want %x", got, err, want)
+		}
+		out, err := rg.TPM.Unseal(tpm.KHSRK, gSRK, gData, blob)
+		if err != nil || string(out) != "sleeps-with-me" {
+			t.Fatalf("unseal after resume: %v %q", err, out)
+		}
+		// Double resume fails; unknown handle fails.
+		if _, err := h.ResumeGuest(handle); err == nil {
+			t.Fatal("double resume accepted")
+		}
+		if _, err := h.ResumeGuest("nobody"); err == nil {
+			t.Fatal("unknown handle accepted")
+		}
+	})
+}
+
+func TestHostRequiresNameAndKernel(t *testing.T) {
+	if _, err := NewHost(HostConfig{}); err == nil {
+		t.Fatal("unnamed host accepted")
+	}
+	h := newTestHost(t, "nk", ModeBaseline)
+	if _, err := h.CreateGuest(GuestConfig{Name: "g"}); err == nil {
+		t.Fatal("kernel-less guest accepted")
+	}
+}
+
+func TestHostStatsAndGuests(t *testing.T) {
+	h := newTestHost(t, "stats", ModeImproved)
+	g := newTestGuest(t, h, "a")
+	newTestGuest(t, h, "b")
+	if _, err := g.TPM.GetRandom(4); err != nil {
+		t.Fatal(err)
+	}
+	s := h.Stats()
+	if s.Mode != ModeImproved || s.Guests != 2 || s.Instances != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.StoredBlobs != 2 || s.HWCommands == 0 {
+		t.Fatalf("stats = %+v", s)
+	}
+	if s.AuditRecords == 0 || !s.AuditVerifies {
+		t.Fatalf("audit stats = %+v", s)
+	}
+	if len(h.Guests()) != 2 {
+		t.Fatalf("Guests() = %d", len(h.Guests()))
+	}
+	// Baseline stats carry no audit fields.
+	hb := newTestHost(t, "stats-b", ModeBaseline)
+	newTestGuest(t, hb, "c")
+	sb := hb.Stats()
+	if sb.AuditRecords != 0 || sb.AuditVerifies {
+		t.Fatalf("baseline stats = %+v", sb)
+	}
+}
