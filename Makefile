@@ -1,0 +1,29 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Race-enabled run of everything, including the root lifecycle-churn
+# stress test (concurrency_test.go).
+race:
+	$(GO) test -race ./...
+
+# Quick pass over the concurrency benchmarks (full numbers come from
+# `go run ./cmd/benchrunner`).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkConcurrentGuests -benchtime 300x .
+
+ci: vet build test race
+
+clean:
+	$(GO) clean ./...

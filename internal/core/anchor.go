@@ -115,12 +115,11 @@ var policyMagic = []byte("XPOL1")
 // MarshalBinary serializes the policy's rules (cache state is not
 // persisted).
 func (p *Policy) MarshalBinary() ([]byte, error) {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
+	t := p.table.Load()
 	w := tpm.NewWriter()
 	w.Raw(policyMagic)
-	w.U32(uint32(len(p.rules)))
-	for _, r := range p.rules {
+	w.U32(uint32(len(t.rules)))
+	for _, r := range t.rules {
 		w.Raw(r.Identity[:])
 		w.U32(uint32(r.Instance))
 		w.B16([]byte(r.Group))

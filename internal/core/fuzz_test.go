@@ -20,6 +20,12 @@ func FuzzChannelOpen(f *testing.F) {
 	mut := append([]byte(nil), valid...)
 	mut[len(mut)-1] ^= 0xFF
 	f.Add(mut)
+	// Frame-length edges: truncated valid envelope, header-only frame,
+	// one-short-of-overhead, and a valid envelope padded past its length.
+	f.Add(valid[:len(valid)-1])
+	f.Add(valid[:chanHeaderSize])
+	f.Add(make([]byte, chanOverhead-1))
+	f.Add(append(append([]byte(nil), valid...), make([]byte, 32)...))
 	f.Fuzz(func(t *testing.T, payload []byte) {
 		srv := &serverChannel{key: key} // fresh window per input
 		cmd, _, err := srv.open(payload)
@@ -41,6 +47,9 @@ func FuzzStateOpen(f *testing.F) {
 	f.Add(valid)
 	f.Add([]byte{})
 	f.Add(make([]byte, stateOverhead))
+	f.Add(valid[:len(valid)-1])
+	f.Add(make([]byte, stateOverhead-1))
+	f.Add(append(append([]byte(nil), valid...), make([]byte, 32)...))
 	f.Fuzz(func(t *testing.T, env []byte) {
 		pt, err := stateOpen(key, env)
 		if err != nil {

@@ -14,33 +14,73 @@ import (
 	"xvtpm/internal/xen"
 )
 
+// guardShardCount is the number of per-instance state shards. Power of two
+// so the shard index is a mask; 16 keeps the footprint trivial while making
+// shard-lock collisions between unrelated instances rare.
+const guardShardCount = 16
+
+// guardShard holds the per-instance state for the instances hashing to it.
+// The shard lock guards only the map; each instanceState carries its own
+// lock for the state within.
+type guardShard struct {
+	mu sync.RWMutex
+	m  map[vtpm.InstanceID]*instanceState
+}
+
+// instanceState is everything the guard keeps per instance: the server side
+// of the authenticated channel and the flood-control bucket. mu guards the
+// pointers and the bucket's configuration tag; the channel and bucket have
+// their own internal locks, so holding one instance's state never blocks
+// another instance's admission.
+type instanceState struct {
+	mu sync.Mutex
+	ch *serverChannel
+
+	bucket *tokenBucket
+	// bucketEpoch/bucketRate tag the configuration the bucket was built
+	// for; admitRate lazily rebuilds the bucket when either drifts from the
+	// guard's current settings (see SetRateLimit).
+	bucketEpoch uint64
+	bucketRate  int
+}
+
 // ImprovedGuard is the paper's contribution: the improved access-control
 // layer for the Xen vTPM subsystem. See the package comment for the design.
+//
+// Concurrency: all per-instance state lives in sharded maps so AdmitCommand
+// for instance A never contends with instance B — there is no guard-wide
+// lock on the admission path. Rate-limit configuration sits behind its own
+// small RWMutex (see ratelimit.go); policy evaluation is lock-free on the
+// read path (see policy.go).
 type ImprovedGuard struct {
 	keys   *PlatformKeys
 	policy *Policy
 	audit  *AuditLog
 
-	mu       sync.Mutex
-	channels map[vtpm.InstanceID]*serverChannel
+	shards [guardShardCount]guardShard
 
-	// Flood control (see ratelimit.go); zero disables. rateOverride maps
-	// individual instances to their own limits.
+	// Flood control configuration (see ratelimit.go); zero disables.
+	// rateOverride maps individual instances to their own limits. rateEpoch
+	// is bumped whenever the default changes, invalidating every live
+	// bucket lazily.
+	rateMu        sync.RWMutex
 	ratePerSecond int
 	rateOverride  map[vtpm.InstanceID]int
-	buckets       map[vtpm.InstanceID]*tokenBucket
+	rateEpoch     uint64
 }
 
 // NewImprovedGuard assembles the improved controller from its platform keys
 // and policy. The audit log is created fresh.
 func NewImprovedGuard(keys *PlatformKeys, policy *Policy) *ImprovedGuard {
-	return &ImprovedGuard{
-		keys:     keys,
-		policy:   policy,
-		audit:    NewAuditLog(),
-		channels: make(map[vtpm.InstanceID]*serverChannel),
-		buckets:  make(map[vtpm.InstanceID]*tokenBucket),
+	g := &ImprovedGuard{
+		keys:   keys,
+		policy: policy,
+		audit:  NewAuditLog(),
 	}
+	for i := range g.shards {
+		g.shards[i].m = make(map[vtpm.InstanceID]*instanceState)
+	}
+	return g
 }
 
 // Name implements vtpm.Guard.
@@ -52,26 +92,58 @@ func (g *ImprovedGuard) Policy() *Policy { return g.policy }
 // Audit returns the guard's decision log.
 func (g *ImprovedGuard) Audit() *AuditLog { return g.audit }
 
+// shard returns the shard owning an instance's state.
+func (g *ImprovedGuard) shard(id vtpm.InstanceID) *guardShard {
+	return &g.shards[uint32(id)&(guardShardCount-1)]
+}
+
+// stateFor returns (creating if needed) an instance's guard state. The fast
+// path is one shard read-lock and a map hit.
+func (g *ImprovedGuard) stateFor(id vtpm.InstanceID) *instanceState {
+	s := g.shard(id)
+	s.mu.RLock()
+	st := s.m[id]
+	s.mu.RUnlock()
+	if st != nil {
+		return st
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st = s.m[id]; st == nil {
+		st = &instanceState{}
+		s.m[id] = st
+	}
+	return st
+}
+
 // channelFor returns (creating if needed) the server channel for an
 // instance, keyed by the instance's *bound* identity — not by anything the
 // caller claims.
 func (g *ImprovedGuard) channelFor(inst vtpm.InstanceInfo) *serverChannel {
-	g.mu.Lock()
-	defer g.mu.Unlock()
-	ch, ok := g.channels[inst.ID]
-	if !ok {
-		ch = &serverChannel{key: g.keys.ChannelKeyFor(inst.ID, inst.BoundLaunch)}
-		g.channels[inst.ID] = ch
+	st := g.stateFor(inst.ID)
+	st.mu.Lock()
+	if st.ch == nil {
+		st.ch = &serverChannel{key: g.keys.ChannelKeyFor(inst.ID, inst.BoundLaunch)}
 	}
+	ch := st.ch
+	st.mu.Unlock()
 	return ch
 }
 
 // ResetChannel discards an instance's channel state (on rebind after
-// migration, when a fresh codec with a fresh sequence space is issued).
+// migration, when a fresh codec with a fresh sequence space is issued). The
+// instance's flood-control bucket survives a channel reset.
 func (g *ImprovedGuard) ResetChannel(id vtpm.InstanceID) {
-	g.mu.Lock()
-	delete(g.channels, id)
-	g.mu.Unlock()
+	s := g.shard(id)
+	s.mu.RLock()
+	st := s.m[id]
+	s.mu.RUnlock()
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.ch = nil
+	st.mu.Unlock()
 }
 
 // AdmitCommand implements vtpm.Guard. The claimed origin is deliberately

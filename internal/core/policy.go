@@ -137,13 +137,28 @@ func (r Rule) matches(id xen.LaunchDigest, inst vtpm.InstanceID, ordinal uint32)
 
 // Policy is an ordered, first-match rule list with a default effect of Deny
 // and an optional decision cache.
+//
+// The read path is lock-free: the rule list and cache toggle live in an
+// immutable table behind an atomic pointer, and the decision cache is a
+// sync.Map inside that table. Writers (Append/Prepend/SetCache) build a
+// fresh table — with an empty cache, since any rule change can invalidate
+// any cached decision — and swap it in under writeMu. Evaluate never blocks
+// on a concurrent policy edit, and concurrent Evaluates never contend.
 type Policy struct {
-	mu       sync.RWMutex
+	table   atomic.Pointer[policyTable]
+	writeMu sync.Mutex // serializes table swaps
+	hits    atomic.Uint64
+	misses  atomic.Uint64
+}
+
+// policyTable is one immutable policy snapshot. rules is never mutated after
+// publication; the cache fills in place (sync.Map) with cacheLen tracking
+// its size for the epoch flush.
+type policyTable struct {
 	rules    []Rule
-	cache    map[policyKey]Effect
 	useCache bool
-	hits     atomic.Uint64
-	misses   atomic.Uint64
+	cache    sync.Map // policyKey -> Effect
+	cacheLen atomic.Int64
 }
 
 type policyKey struct {
@@ -159,11 +174,12 @@ const policyCacheCap = 16384
 // The decision cache is enabled; SetCache(false) disables it (experiment E5
 // measures both).
 func NewPolicy(rules ...Rule) *Policy {
-	return &Policy{
+	p := &Policy{}
+	p.table.Store(&policyTable{
 		rules:    append([]Rule(nil), rules...),
-		cache:    make(map[policyKey]Effect),
 		useCache: true,
-	}
+	})
+	return p
 }
 
 // DefaultGuestPolicy grants a guest identity the full non-management command
@@ -179,10 +195,10 @@ func DefaultGuestPolicy(id xen.LaunchDigest, inst vtpm.InstanceID) []Rule {
 
 // SetCache toggles the decision cache, clearing it.
 func (p *Policy) SetCache(on bool) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.useCache = on
-	p.cache = make(map[policyKey]Effect)
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	t := p.table.Load()
+	p.table.Store(&policyTable{rules: t.rules, useCache: on})
 	p.hits.Store(0)
 	p.misses.Store(0)
 }
@@ -190,26 +206,28 @@ func (p *Policy) SetCache(on bool) {
 // Append adds rules at the end of the list (lower priority) and clears the
 // cache.
 func (p *Policy) Append(rules ...Rule) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.rules = append(p.rules, rules...)
-	p.cache = make(map[policyKey]Effect)
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	t := p.table.Load()
+	merged := make([]Rule, 0, len(t.rules)+len(rules))
+	merged = append(append(merged, t.rules...), rules...)
+	p.table.Store(&policyTable{rules: merged, useCache: t.useCache})
 }
 
 // Prepend adds rules at the front of the list (highest priority) and clears
 // the cache.
 func (p *Policy) Prepend(rules ...Rule) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	p.rules = append(append([]Rule(nil), rules...), p.rules...)
-	p.cache = make(map[policyKey]Effect)
+	p.writeMu.Lock()
+	defer p.writeMu.Unlock()
+	t := p.table.Load()
+	merged := make([]Rule, 0, len(t.rules)+len(rules))
+	merged = append(append(merged, rules...), t.rules...)
+	p.table.Store(&policyTable{rules: merged, useCache: t.useCache})
 }
 
 // Len returns the rule count.
 func (p *Policy) Len() int {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return len(p.rules)
+	return len(p.table.Load().rules)
 }
 
 // CacheStats reports decision-cache hits and misses.
@@ -217,41 +235,45 @@ func (p *Policy) CacheStats() (hits, misses uint64) {
 	return p.hits.Load(), p.misses.Load()
 }
 
-// Evaluate returns the effect for one request.
+// Evaluate returns the effect for one request. The path is lock-free: one
+// atomic table load, a cache probe, and (on miss) a scan of the immutable
+// rule list.
 func (p *Policy) Evaluate(id xen.LaunchDigest, inst vtpm.InstanceID, ordinal uint32) Effect {
 	key := policyKey{id: id, inst: inst, ordinal: ordinal}
-	p.mu.RLock()
-	if p.useCache {
-		if e, ok := p.cache[key]; ok {
-			p.mu.RUnlock()
+	t := p.table.Load()
+	if t.useCache {
+		if e, ok := t.cache.Load(key); ok {
 			p.hits.Add(1)
-			return e
+			return e.(Effect)
 		}
 	}
 	effect := Deny
-	for _, r := range p.rules {
+	for _, r := range t.rules {
 		if r.matches(id, inst, ordinal) {
 			effect = r.Effect
 			break
 		}
 	}
-	useCache := p.useCache
-	p.mu.RUnlock()
 	p.misses.Add(1)
-	if useCache {
-		p.mu.Lock()
-		if len(p.cache) >= policyCacheCap {
-			p.cache = make(map[policyKey]Effect) // simple epoch flush
+	if t.useCache {
+		if _, loaded := t.cache.LoadOrStore(key, effect); !loaded {
+			if t.cacheLen.Add(1) >= policyCacheCap {
+				// Epoch flush: publish a fresh table (same rules, empty
+				// cache), but only if nobody else has swapped the table in
+				// the meantime.
+				p.writeMu.Lock()
+				if p.table.Load() == t {
+					p.table.Store(&policyTable{rules: t.rules, useCache: t.useCache})
+				}
+				p.writeMu.Unlock()
+			}
 		}
-		p.cache[key] = effect
-		p.mu.Unlock()
 	}
 	return effect
 }
 
 // String summarizes the policy for diagnostics.
 func (p *Policy) String() string {
-	p.mu.RLock()
-	defer p.mu.RUnlock()
-	return fmt.Sprintf("policy(%d rules, default deny, cache=%v)", len(p.rules), p.useCache)
+	t := p.table.Load()
+	return fmt.Sprintf("policy(%d rules, default deny, cache=%v)", len(t.rules), t.useCache)
 }

@@ -60,22 +60,22 @@ func (b *tokenBucket) take(now time.Time) (ok bool, wait time.Duration) {
 }
 
 // SetRateLimit enables (perSecond > 0) or disables (perSecond <= 0) the
-// default per-instance command rate limit. Existing buckets are discarded;
-// per-instance overrides are kept.
+// default per-instance command rate limit. Existing buckets are discarded
+// (lazily, via the epoch tag each bucket carries); per-instance overrides
+// are kept.
 func (g *ImprovedGuard) SetRateLimit(perSecond int) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.rateMu.Lock()
+	defer g.rateMu.Unlock()
 	g.ratePerSecond = perSecond
-	g.buckets = make(map[vtpm.InstanceID]*tokenBucket)
+	g.rateEpoch++
 }
 
 // SetRateLimitFor sets (perSecond > 0) or clears (perSecond <= 0) a rate
 // limit for one instance, overriding the default — the handle an
 // administrator uses to throttle one misbehaving guest without touching the
-// others.
+// others. Only that instance's bucket is reset.
 func (g *ImprovedGuard) SetRateLimitFor(id vtpm.InstanceID, perSecond int) {
-	g.mu.Lock()
-	defer g.mu.Unlock()
+	g.rateMu.Lock()
 	if g.rateOverride == nil {
 		g.rateOverride = make(map[vtpm.InstanceID]int)
 	}
@@ -84,27 +84,43 @@ func (g *ImprovedGuard) SetRateLimitFor(id vtpm.InstanceID, perSecond int) {
 	} else {
 		g.rateOverride[id] = perSecond
 	}
-	delete(g.buckets, id)
+	g.rateMu.Unlock()
+
+	s := g.shard(id)
+	s.mu.RLock()
+	st := s.m[id]
+	s.mu.RUnlock()
+	if st != nil {
+		st.mu.Lock()
+		st.bucket = nil
+		st.mu.Unlock()
+	}
 }
 
 // admitRate enforces the rate limit for one instance; nil error when
-// admitted.
+// admitted. Configuration is read under the small rate RWMutex; the bucket
+// itself lives in the instance's sharded state, so one flooding instance's
+// tarpit never stalls another instance's admission.
 func (g *ImprovedGuard) admitRate(id vtpm.InstanceID, now time.Time) error {
-	g.mu.Lock()
+	g.rateMu.RLock()
 	rate := g.ratePerSecond
 	if override, ok := g.rateOverride[id]; ok {
 		rate = override
 	}
+	epoch := g.rateEpoch
+	g.rateMu.RUnlock()
 	if rate <= 0 {
-		g.mu.Unlock()
 		return nil
 	}
-	b, ok := g.buckets[id]
-	if !ok {
-		b = newTokenBucket(rate, now)
-		g.buckets[id] = b
+	st := g.stateFor(id)
+	st.mu.Lock()
+	if st.bucket == nil || st.bucketEpoch != epoch || st.bucketRate != rate {
+		st.bucket = newTokenBucket(rate, now)
+		st.bucketEpoch = epoch
+		st.bucketRate = rate
 	}
-	g.mu.Unlock()
+	b := st.bucket
+	st.mu.Unlock()
 	if ok, wait := b.take(now); !ok {
 		// Tarpit: the refusal itself is delayed by the token interval. The
 		// ring protocol serializes the guest's commands on their responses,

@@ -1,0 +1,94 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"xvtpm"
+	"xvtpm/internal/metrics"
+)
+
+// E11Point is one point of the concurrent-dispatch figure.
+type E11Point struct {
+	Guests     int
+	Throughput float64 // commands/second, aggregate
+	PerGuest   float64 // commands/second, per guest
+}
+
+// E11ConcurrentDispatch measures how aggregate dispatch throughput scales
+// with the number of concurrently active guests under the per-instance
+// concurrency model. Unlike E2 (mixed workload, engine-dominated), every
+// guest here drives a pure GetRandom stream — no RSA, no checkpointing — so
+// the measurement isolates manager/guard lock contention. With per-instance
+// dispatch lanes the per-guest rate should degrade only with CPU
+// oversubscription, not with a shared lock; a global dispatch lock shows up
+// as per-guest throughput collapsing ~1/N.
+func E11ConcurrentDispatch(cfg Config) (map[xvtpm.Mode][]E11Point, error) {
+	guestCounts := []int{1, 4, 16, 64}
+	perGuest := cfg.reps(2000, 50)
+	if cfg.Quick {
+		guestCounts = []int{1, 4}
+	}
+	out := make(map[xvtpm.Mode][]E11Point)
+	for _, mode := range Modes {
+		for _, n := range guestCounts {
+			h, err := newHost(cfg, mode, func(hc *xvtpm.HostConfig) {
+				hc.Dom0Pages = 65536 // room for many instance mirrors
+			})
+			if err != nil {
+				return nil, err
+			}
+			guests := make([]*xvtpm.Guest, n)
+			for i := 0; i < n; i++ {
+				g, err := h.CreateGuest(xvtpm.GuestConfig{
+					Name:   fmt.Sprintf("cd-%d", i),
+					Kernel: []byte(fmt.Sprintf("cd-kernel-%d", i)),
+				})
+				if err != nil {
+					return nil, fmt.Errorf("E11 guest %d/%d on %s: %w", i, n, mode, err)
+				}
+				guests[i] = g
+			}
+			errCh := make(chan error, n)
+			start := time.Now()
+			for _, g := range guests {
+				go func(g *xvtpm.Guest) {
+					for j := 0; j < perGuest; j++ {
+						if _, err := g.TPM.GetRandom(16); err != nil {
+							errCh <- err
+							return
+						}
+					}
+					errCh <- nil
+				}(g)
+			}
+			for i := 0; i < n; i++ {
+				if err := <-errCh; err != nil {
+					return nil, fmt.Errorf("E11 run on %s: %w", mode, err)
+				}
+			}
+			elapsed := time.Since(start)
+			total := float64(n * perGuest)
+			out[mode] = append(out[mode], E11Point{
+				Guests:     n,
+				Throughput: total / elapsed.Seconds(),
+				PerGuest:   total / elapsed.Seconds() / float64(n),
+			})
+			h.Close()
+		}
+	}
+	if cfg.Out != nil {
+		var series []metrics.Series
+		for _, mode := range Modes {
+			s := metrics.Series{Name: mode.String()}
+			for _, p := range out[mode] {
+				s.Points = append(s.Points, metrics.Point{X: float64(p.Guests), Y: p.Throughput})
+			}
+			series = append(series, s)
+		}
+		metrics.PrintSeries(cfg.Out,
+			"E11 — aggregate dispatch throughput vs concurrent guests (GetRandom-only, per-instance lanes)",
+			"guests", "commands/s", series)
+	}
+	return out, nil
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -184,29 +185,41 @@ func TestE9FloodLimitCutsFlooder(t *testing.T) {
 }
 
 func TestE10RecoveryRevivesEverything(t *testing.T) {
-	var buf bytes.Buffer
-	rows, err := E10Recovery(quickCfg(&buf))
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(rows) == 0 {
-		t.Fatal("no rows")
-	}
-	for _, r := range rows {
-		if r.Baseline <= 0 || r.Improved <= 0 {
-			t.Fatalf("degenerate recovery time: %+v", r)
+	// The shape assertion compares two sub-millisecond measurements, so a
+	// single descheduling (common under -race on loaded machines) can blow
+	// the band; retry the whole experiment before declaring a failure.
+	var lastErr error
+	for attempt := 0; attempt < 3; attempt++ {
+		var buf bytes.Buffer
+		rows, err := E10Recovery(quickCfg(&buf))
+		if err != nil {
+			t.Fatal(err)
 		}
-		// Shape: the envelope work is tiny against the per-instance RSA
-		// validation, so improved recovery stays within 3× of baseline even
-		// under scheduler noise.
-		if r.Improved > 3*r.Baseline {
-			t.Fatalf("improved recovery %v vs baseline %v at %d instances",
-				r.Improved, r.Baseline, r.Instances)
+		if len(rows) == 0 {
+			t.Fatal("no rows")
+		}
+		if !strings.Contains(buf.String(), "E10") {
+			t.Fatal("table not rendered")
+		}
+		lastErr = nil
+		for _, r := range rows {
+			if r.Baseline <= 0 || r.Improved <= 0 {
+				t.Fatalf("degenerate recovery time: %+v", r)
+			}
+			// Shape: the envelope work is tiny against the per-instance RSA
+			// validation, so improved recovery stays within 3× of baseline
+			// even under scheduler noise.
+			if r.Improved > 3*r.Baseline {
+				lastErr = fmt.Errorf("improved recovery %v vs baseline %v at %d instances",
+					r.Improved, r.Baseline, r.Instances)
+				break
+			}
+		}
+		if lastErr == nil {
+			return
 		}
 	}
-	if !strings.Contains(buf.String(), "E10") {
-		t.Fatal("table not rendered")
-	}
+	t.Fatal(lastErr)
 }
 
 func TestE8EnvelopeOverheadSmallAndConstant(t *testing.T) {

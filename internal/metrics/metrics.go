@@ -15,10 +15,21 @@ import (
 )
 
 // Recorder accumulates latency samples.
+//
+// Percentile queries sort a snapshot of the samples outside the sample lock
+// and cache the sorted copy until the next Add or Reset, so repeated
+// Percentile/Min/Max/Summarize calls sort once, and a query never blocks
+// concurrent recording for the duration of a sort.
 type Recorder struct {
 	mu      sync.Mutex
 	samples []time.Duration
-	sorted  bool
+	gen     uint64 // bumped on every Add/Reset
+
+	// sortMu guards the cached sorted snapshot (taken at generation
+	// sortedGen). It is never held while mu is held.
+	sortMu    sync.Mutex
+	sorted    []time.Duration
+	sortedGen uint64
 }
 
 // NewRecorder creates an empty recorder.
@@ -28,7 +39,7 @@ func NewRecorder() *Recorder { return &Recorder{} }
 func (r *Recorder) Add(d time.Duration) {
 	r.mu.Lock()
 	r.samples = append(r.samples, d)
-	r.sorted = false
+	r.gen++
 	r.mu.Unlock()
 }
 
@@ -39,6 +50,16 @@ func (r *Recorder) Time(fn func()) {
 	r.Add(time.Since(start))
 }
 
+// Reset discards all samples, returning the recorder to its initial state
+// (so one recorder can be reused across benchmark phases without
+// reallocating).
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	r.samples = r.samples[:0]
+	r.gen++
+	r.mu.Unlock()
+}
+
 // Count returns the sample count.
 func (r *Recorder) Count() int {
 	r.mu.Lock()
@@ -46,29 +67,44 @@ func (r *Recorder) Count() int {
 	return len(r.samples)
 }
 
-func (r *Recorder) ensureSortedLocked() {
-	if !r.sorted {
-		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
-		r.sorted = true
+// sortedSnapshot returns the samples sorted ascending, cached until the
+// sample set changes. The copy is taken under mu but sorted outside it.
+func (r *Recorder) sortedSnapshot() []time.Duration {
+	r.sortMu.Lock()
+	defer r.sortMu.Unlock()
+	r.mu.Lock()
+	gen := r.gen
+	if r.sorted != nil && r.sortedGen == gen {
+		r.mu.Unlock()
+		return r.sorted
 	}
+	snap := append([]time.Duration(nil), r.samples...)
+	r.mu.Unlock()
+	sort.Slice(snap, func(i, j int) bool { return snap[i] < snap[j] })
+	r.sorted = snap
+	r.sortedGen = gen
+	return snap
+}
+
+// percentileOf returns the p-th percentile of a sorted sample set by
+// nearest-rank.
+func percentileOf(sorted []time.Duration, p float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
 }
 
 // Percentile returns the p-th percentile (0 < p <= 100) by nearest-rank.
 func (r *Recorder) Percentile(p float64) time.Duration {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.samples) == 0 {
-		return 0
-	}
-	r.ensureSortedLocked()
-	rank := int(math.Ceil(p/100*float64(len(r.samples)))) - 1
-	if rank < 0 {
-		rank = 0
-	}
-	if rank >= len(r.samples) {
-		rank = len(r.samples) - 1
-	}
-	return r.samples[rank]
+	return percentileOf(r.sortedSnapshot(), p)
 }
 
 // Mean returns the arithmetic mean.
@@ -87,24 +123,20 @@ func (r *Recorder) Mean() time.Duration {
 
 // Min returns the smallest sample.
 func (r *Recorder) Min() time.Duration {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.samples) == 0 {
+	s := r.sortedSnapshot()
+	if len(s) == 0 {
 		return 0
 	}
-	r.ensureSortedLocked()
-	return r.samples[0]
+	return s[0]
 }
 
 // Max returns the largest sample.
 func (r *Recorder) Max() time.Duration {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if len(r.samples) == 0 {
+	s := r.sortedSnapshot()
+	if len(s) == 0 {
 		return 0
 	}
-	r.ensureSortedLocked()
-	return r.samples[len(r.samples)-1]
+	return s[len(s)-1]
 }
 
 // Summary is a one-line digest of a recorder.
@@ -114,16 +146,24 @@ type Summary struct {
 	Min, Max       time.Duration
 }
 
-// Summarize computes the digest.
+// Summarize computes the digest from a single snapshot (one sort, even on a
+// recorder that is still being written to).
 func (r *Recorder) Summarize() Summary {
-	return Summary{
-		Count: r.Count(),
-		Mean:  r.Mean(),
-		P50:   r.Percentile(50),
-		P99:   r.Percentile(99),
-		Min:   r.Min(),
-		Max:   r.Max(),
+	s := r.sortedSnapshot()
+	sum := Summary{Count: len(s)}
+	if len(s) == 0 {
+		return sum
 	}
+	var total time.Duration
+	for _, d := range s {
+		total += d
+	}
+	sum.Mean = total / time.Duration(len(s))
+	sum.P50 = percentileOf(s, 50)
+	sum.P99 = percentileOf(s, 99)
+	sum.Min = s[0]
+	sum.Max = s[len(s)-1]
+	return sum
 }
 
 // Point is one (x, y) sample of a series.

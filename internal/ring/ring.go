@@ -62,6 +62,7 @@ type Ring struct {
 	haveReq  sync.Cond // backend waits here for a request
 	haveRsp  sync.Cond // frontend waits here for a response
 	region   []byte
+	bus      *xen.MemBus // memory bus of the domain owning the region
 	numSlots uint32
 	slotSize uint32
 
@@ -103,22 +104,24 @@ var (
 )
 
 // Init formats region for the given geometry and returns a Ring over it.
-// The region is typically a run of grant-mapped guest pages.
-func Init(region []byte, g Geometry) (*Ring, error) {
+// The region is typically a run of grant-mapped guest pages; bus is the
+// memory bus of the domain owning those pages (nil for private regions that
+// no dump can observe).
+func Init(region []byte, g Geometry, bus *xen.MemBus) (*Ring, error) {
 	if g.NumSlots == 0 || g.NumSlots&(g.NumSlots-1) != 0 {
 		return nil, ErrBadGeometry
 	}
 	if len(region) < g.RegionSize() {
 		return nil, fmt.Errorf("%w: have %d, need %d", ErrBadRegion, len(region), g.RegionSize())
 	}
-	xen.BeginMemWrite()
+	bus.BeginWrite()
 	for i := range region[:g.RegionSize()] {
 		region[i] = 0
 	}
 	binary.LittleEndian.PutUint32(region[offNumSlots:], g.NumSlots)
 	binary.LittleEndian.PutUint32(region[offSlotSize:], g.SlotSize)
-	xen.EndMemWrite()
-	r := &Ring{region: region, numSlots: g.NumSlots, slotSize: g.SlotSize}
+	bus.EndWrite()
+	r := &Ring{region: region, bus: bus, numSlots: g.NumSlots, slotSize: g.SlotSize}
 	r.notFull.L = &r.mu
 	r.haveReq.L = &r.mu
 	r.haveRsp.L = &r.mu
@@ -226,10 +229,10 @@ func (r *Ring) EnqueueRequest(payload []byte) (uint64, error) {
 	r.nextID++
 	id := r.nextID
 	prod := r.reqProd()
-	xen.BeginMemWrite()
+	r.bus.BeginWrite()
 	writeSlot(r.slot(prod), slotRequest, id, payload)
 	r.setReqProd(prod + 1)
-	xen.EndMemWrite()
+	r.bus.EndWrite()
 	cb := r.onRequest
 	r.mu.Unlock()
 	r.haveReq.Signal()
@@ -293,11 +296,11 @@ func (r *Ring) TryDequeueResponse() (id uint64, payload []byte, ok bool, err err
 	if status != slotResponse {
 		return 0, nil, false, fmt.Errorf("ring: slot %d has status %d, want response", r.rspCons, status)
 	}
-	xen.BeginMemWrite()
+	r.bus.BeginWrite()
 	for i := range s {
 		s[i] = 0
 	}
-	xen.EndMemWrite()
+	r.bus.EndWrite()
 	r.rspCons++
 	r.notFull.Signal()
 	return id, payload, true, nil
@@ -326,10 +329,10 @@ func (r *Ring) EnqueueResponse(id uint64, payload []byte) error {
 		r.mu.Unlock()
 		return fmt.Errorf("%w: slot holds %d, got %d", ErrUnknownID, slotID, id)
 	}
-	xen.BeginMemWrite()
+	r.bus.BeginWrite()
 	writeSlot(s, slotResponse, id, payload)
 	r.setRspProd(prod + 1)
-	xen.EndMemWrite()
+	r.bus.EndWrite()
 	cb := r.onResponse
 	r.mu.Unlock()
 	r.haveRsp.Signal()
@@ -358,11 +361,11 @@ func (r *Ring) DequeueResponse() (uint64, []byte, error) {
 	}
 	// Free the slot: zeroize so completed exchanges do not linger in shared
 	// memory for a dump to harvest.
-	xen.BeginMemWrite()
+	r.bus.BeginWrite()
 	for i := range s {
 		s[i] = 0
 	}
-	xen.EndMemWrite()
+	r.bus.EndWrite()
 	r.rspCons++
 	r.mu.Unlock()
 	r.notFull.Signal()

@@ -12,7 +12,7 @@ import (
 func newTestRing(t *testing.T, g Geometry) *Ring {
 	t.Helper()
 	region := make([]byte, g.RegionSize())
-	r, err := Init(region, g)
+	r, err := Init(region, g, nil)
 	if err != nil {
 		t.Fatalf("Init: %v", err)
 	}
@@ -26,7 +26,7 @@ func TestInitRejectsBadGeometry(t *testing.T) {
 		{NumSlots: 6, SlotSize: 64},
 	}
 	for _, g := range cases {
-		if _, err := Init(make([]byte, 1<<16), g); !errors.Is(err, ErrBadGeometry) {
+		if _, err := Init(make([]byte, 1<<16), g, nil); !errors.Is(err, ErrBadGeometry) {
 			t.Errorf("Init(%+v) err = %v, want ErrBadGeometry", g, err)
 		}
 	}
@@ -34,7 +34,7 @@ func TestInitRejectsBadGeometry(t *testing.T) {
 
 func TestInitRejectsShortRegion(t *testing.T) {
 	g := Geometry{NumSlots: 4, SlotSize: 128}
-	if _, err := Init(make([]byte, g.RegionSize()-1), g); !errors.Is(err, ErrBadRegion) {
+	if _, err := Init(make([]byte, g.RegionSize()-1), g, nil); !errors.Is(err, ErrBadRegion) {
 		t.Fatalf("err = %v, want ErrBadRegion", err)
 	}
 }
@@ -264,7 +264,7 @@ func TestConcurrentFrontBack(t *testing.T) {
 func TestPropertyEchoPreservesPayloads(t *testing.T) {
 	g := Geometry{NumSlots: 8, SlotSize: 128}
 	f := func(msgs [][]byte) bool {
-		r, err := Init(make([]byte, g.RegionSize()), g)
+		r, err := Init(make([]byte, g.RegionSize()), g, nil)
 		if err != nil {
 			return false
 		}
@@ -298,7 +298,7 @@ func TestPropertyEchoPreservesPayloads(t *testing.T) {
 func TestAttachResolvesSameRing(t *testing.T) {
 	g := Geometry{NumSlots: 4, SlotSize: 64}
 	region := make([]byte, g.RegionSize())
-	r, err := Init(region, g)
+	r, err := Init(region, g, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -354,7 +354,7 @@ func TestTryDequeueResponseAndPending(t *testing.T) {
 
 func BenchmarkRingRoundTrip(b *testing.B) {
 	g := Geometry{NumSlots: 8, SlotSize: 4096}
-	r, err := Init(make([]byte, g.RegionSize()), g)
+	r, err := Init(make([]byte, g.RegionSize()), g, nil)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -88,7 +88,7 @@ func (f *Frontend) Setup() error {
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrHandshake, err)
 	}
-	r, err := ring.Init(region, deviceRingGeometry)
+	r, err := ring.Init(region, deviceRingGeometry, f.dom.MemBus())
 	if err != nil {
 		return fmt.Errorf("%w: %v", ErrHandshake, err)
 	}

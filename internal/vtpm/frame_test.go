@@ -1,0 +1,150 @@
+package vtpm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"xvtpm/internal/tpm"
+)
+
+// mkCmd builds a minimal command frame carrying one ordinal.
+func mkCmd(ordinal uint32) []byte {
+	w := tpm.NewWriter()
+	w.U16(tpm.TagRQUCommand)
+	w.U32(10)
+	w.U32(ordinal)
+	return w.Bytes()
+}
+
+// TestOrdinalOfFrameBounds pins the manager's command-header parser on
+// short, exact and oversized frames: everything under the 10-byte header is
+// ordinal 0 (never checkpointed, since 0 names no mutating command), longer
+// frames read exactly bytes [6:10].
+func TestOrdinalOfFrameBounds(t *testing.T) {
+	full := mkCmd(tpm.OrdExtend)
+	cases := []struct {
+		name string
+		cmd  []byte
+		want uint32
+	}{
+		{"nil", nil, 0},
+		{"empty", []byte{}, 0},
+		{"tag only", full[:2], 0},
+		{"through length", full[:6], 0},
+		{"one short of header", full[:9], 0},
+		{"exact header", full, tpm.OrdExtend},
+		{"oversized", append(append([]byte(nil), full...), make([]byte, 128)...), tpm.OrdExtend},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if got := ordinalOf(tc.cmd); got != tc.want {
+				t.Fatalf("ordinalOf(%d bytes) = %#x, want %#x", len(tc.cmd), got, tc.want)
+			}
+		})
+	}
+	if mutatingOrdinals[0] {
+		t.Fatal("ordinal 0 (short-frame sentinel) must not be a mutating ordinal")
+	}
+}
+
+// TestDispatchShortFramesNeverCheckpoint feeds truncated command frames
+// through Dispatch with a permissive guard: the engine answers with a TPM
+// error, and the manager must not mistake the unparsable header for a
+// mutating command and re-persist state.
+func TestDispatchShortFramesNeverCheckpoint(t *testing.T) {
+	hv, xs, mgr, _ := newTestRig(t, &passGuard{})
+	dom := mkGuestDom(t, hv, xs, "g")
+	id, err := mgr.CreateInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.BindInstance(id, dom); err != nil {
+		t.Fatal(err)
+	}
+	before, err := mgr.Store().Get(stateName(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	extend := mkCmd(tpm.OrdExtend)
+	for _, frame := range [][]byte{{}, extend[:2], extend[:6], extend[:9]} {
+		resp, err := mgr.Dispatch(dom.ID(), dom.Launch(), frame)
+		if err != nil {
+			t.Fatalf("Dispatch(%d-byte frame) transport err: %v", len(frame), err)
+		}
+		if len(resp) < 10 {
+			t.Fatalf("engine returned a %d-byte response", len(resp))
+		}
+		if rc := binary.BigEndian.Uint32(resp[6:10]); rc == tpm.RCSuccess {
+			t.Fatalf("engine accepted a %d-byte frame", len(frame))
+		}
+	}
+	after, err := mgr.Store().Get(stateName(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(before, after) {
+		t.Fatal("short frames triggered a checkpoint: persisted state changed")
+	}
+}
+
+// TestDispatchOversizedMutatingFrame confirms a well-formed mutating command
+// with trailing garbage still parses its ordinal from [6:10] and is
+// checkpointed — the header bytes, not the frame length, decide.
+func TestDispatchOversizedMutatingFrame(t *testing.T) {
+	hv, xs, mgr, _ := newTestRig(t, &passGuard{})
+	dom := mkGuestDom(t, hv, xs, "g")
+	id, err := mgr.CreateInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.BindInstance(id, dom); err != nil {
+		t.Fatal(err)
+	}
+	// A real Extend, then the same bytes with the length field honest but
+	// the frame padded: the engine rejects the padded one, but ordinalOf
+	// still sees OrdExtend in both, so both trips through Dispatch are safe.
+	cli, err := mgr.DirectClient(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.Extend(0, [20]byte{1}); err != nil {
+		t.Fatal(err)
+	}
+	w := tpm.NewWriter()
+	w.U16(tpm.TagRQUCommand)
+	w.U32(10)
+	w.U32(tpm.OrdExtend)
+	padded := append(w.Bytes(), make([]byte, 512)...)
+	if got := ordinalOf(padded); got != tpm.OrdExtend {
+		t.Fatalf("ordinalOf(padded) = %#x, want OrdExtend", got)
+	}
+	if _, err := mgr.Dispatch(dom.ID(), dom.Launch(), padded); err != nil {
+		t.Fatalf("Dispatch(padded frame) transport err: %v", err)
+	}
+}
+
+// TestDispatchUnknownDomain pins the error for a payload claiming a domain
+// with no bound instance.
+func TestDispatchUnknownDomain(t *testing.T) {
+	_, _, mgr, _ := newTestRig(t, &passGuard{})
+	if _, err := mgr.Dispatch(42, [20]byte{}, mkCmd(tpm.OrdGetRandom)); !errors.Is(err, ErrNoInstance) {
+		t.Fatalf("Dispatch to unbound dom err = %v, want ErrNoInstance", err)
+	}
+}
+
+// TestMutatingOrdinalsHaveValidHeaders is a consistency check between the
+// checkpoint table and the parser: every mutating ordinal round-trips
+// through a header built and parsed with the same layout.
+func TestMutatingOrdinalsHaveValidHeaders(t *testing.T) {
+	for ord := range mutatingOrdinals {
+		frame := make([]byte, 10)
+		binary.BigEndian.PutUint16(frame[0:], tpm.TagRQUCommand)
+		binary.BigEndian.PutUint32(frame[2:], 10)
+		binary.BigEndian.PutUint32(frame[6:], ord)
+		if got := ordinalOf(frame); got != ord {
+			t.Fatalf("ordinal %#x round-trips as %#x", ord, got)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package vtpm
 
 import (
 	"fmt"
+	"sync"
 
 	"xvtpm/internal/tpm"
 	"xvtpm/internal/xen"
@@ -14,7 +15,15 @@ type InstanceID uint32
 func stateName(id InstanceID) string { return fmt.Sprintf("vtpm-%08d.state", id) }
 
 // instance is the manager's record of one vTPM.
+//
+// Each instance carries its own mutex, which owns everything per-instance:
+// dispatch (guard admission, engine execution, exchange recording),
+// checkpointing, and the binding metadata in info. Commands to different
+// instances therefore never contend — the manager's registry lock (regMu) is
+// only touched for the map lookup. Lock ordering: mu is never acquired while
+// holding Manager.regMu, and vice versa (see DESIGN.md "Locking hierarchy").
 type instance struct {
+	mu   sync.Mutex
 	info InstanceInfo
 	eng  *tpm.TPM
 
@@ -34,8 +43,13 @@ type instance struct {
 	attached bool
 }
 
-// Snapshot captures the identity metadata of an instance.
-func (i *instance) Snapshot() InstanceInfo { return i.info }
+// Snapshot captures the identity metadata of an instance. Callers already
+// holding i.mu must read i.info directly instead.
+func (i *instance) Snapshot() InstanceInfo {
+	i.mu.Lock()
+	defer i.mu.Unlock()
+	return i.info
+}
 
 // bindingFor derives the launch identity of a domain.
 func bindingFor(d *xen.Domain) xen.LaunchDigest { return d.Launch() }

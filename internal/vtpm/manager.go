@@ -46,14 +46,26 @@ type ManagerConfig struct {
 // Manager is the dom0 vTPM manager daemon: it owns every instance, its
 // persistence and its binding to a guest, and funnels every guest command
 // through the configured Guard.
+//
+// Concurrency model: the manager holds a read-mostly registry (instances,
+// byDom) behind regMu, and every instance carries its own mutex owning that
+// instance's dispatch, checkpointing and binding. Dispatch for domain A takes
+// only a registry read lock plus A's instance lock, so commands to different
+// instances execute fully in parallel. regMu and instance locks are never
+// held at the same time; see DESIGN.md "Locking hierarchy & concurrency
+// model" for the ordering rules.
 type Manager struct {
 	hv    *xen.Hypervisor
 	store Store
 	arena *xen.Arena
 	guard Guard
 	cfg   ManagerConfig
+	bus   *xen.MemBus // dom0 memory bus guarding arena buffer writes
 
-	mu        sync.Mutex
+	// regMu guards only the registry maps and counters below. It is never
+	// held across guard calls, engine execution, or instance-lock
+	// acquisition.
+	regMu     sync.RWMutex
 	instances map[InstanceID]*instance
 	byDom     map[xen.DomID]InstanceID
 	nextID    InstanceID
@@ -65,7 +77,7 @@ type Manager struct {
 	// tapMu guards taps: observers of dispatched ring payloads. A
 	// compromised dom0 component sits exactly here, which is how the replay
 	// attacker captures traffic to re-inject.
-	tapMu sync.Mutex
+	tapMu sync.RWMutex
 	taps  []func(from xen.DomID, payload []byte)
 }
 
@@ -78,11 +90,18 @@ func (m *Manager) OnDispatch(fn func(from xen.DomID, payload []byte)) {
 	m.tapMu.Unlock()
 }
 
-// notifyTaps delivers one payload to all observers.
+// notifyTaps delivers one payload to all observers. The common case — no
+// taps registered — costs one read lock and no allocation; with taps the
+// slice header is snapshotted once under the read lock (appends in
+// OnDispatch never mutate a published backing array) and each observer gets
+// its own payload copy, since observers may retain it.
 func (m *Manager) notifyTaps(from xen.DomID, payload []byte) {
-	m.tapMu.Lock()
-	taps := append([]func(xen.DomID, []byte){}, m.taps...)
-	m.tapMu.Unlock()
+	m.tapMu.RLock()
+	taps := m.taps
+	m.tapMu.RUnlock()
+	if len(taps) == 0 {
+		return
+	}
 	for _, fn := range taps {
 		fn(from, append([]byte(nil), payload...))
 	}
@@ -97,6 +116,7 @@ func NewManager(hv *xen.Hypervisor, store Store, arena *xen.Arena, guard Guard, 
 		arena:     arena,
 		guard:     guard,
 		cfg:       cfg,
+		bus:       arena.Bus(),
 		instances: make(map[InstanceID]*instance),
 		byDom:     make(map[xen.DomID]InstanceID),
 		nextID:    1,
@@ -157,8 +177,20 @@ func (m *Manager) Guard() Guard { return m.guard }
 // it to model state-file theft).
 func (m *Manager) Store() Store { return m.store }
 
-// instanceSeed derives a per-instance TPM seed from the manager seed.
-func (m *Manager) instanceSeed() []byte {
+// lookup resolves an instance by ID under the registry read lock.
+func (m *Manager) lookup(id InstanceID) (*instance, error) {
+	m.regMu.RLock()
+	inst, ok := m.instances[id]
+	m.regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %d", ErrNoInstance, id)
+	}
+	return inst, nil
+}
+
+// instanceSeedLocked derives a per-instance TPM seed from the manager seed.
+// Caller holds regMu.
+func (m *Manager) instanceSeedLocked() []byte {
 	if m.cfg.Seed == nil {
 		return nil
 	}
@@ -172,11 +204,11 @@ func (m *Manager) instanceSeed() []byte {
 // CreateInstance builds a fresh vTPM instance (new EK, empty PCRs), starts
 // it and persists its initial state. It returns the new instance's ID.
 func (m *Manager) CreateInstance() (InstanceID, error) {
-	m.mu.Lock()
+	m.regMu.Lock()
 	id := m.nextID
 	m.nextID++
-	seed := m.instanceSeed()
-	m.mu.Unlock()
+	seed := m.instanceSeedLocked()
+	m.regMu.Unlock()
 
 	eng, err := tpm.New(tpm.Config{RSABits: m.cfg.RSABits, Seed: seed, EK: m.pooledEK()})
 	if err != nil {
@@ -187,70 +219,104 @@ func (m *Manager) CreateInstance() (InstanceID, error) {
 		return 0, fmt.Errorf("vtpm: starting instance %d: %w", id, err)
 	}
 	inst := &instance{info: InstanceInfo{ID: id}, eng: eng}
-	m.mu.Lock()
+	m.regMu.Lock()
 	m.instances[id] = inst
-	m.mu.Unlock()
-	if err := m.checkpoint(inst); err != nil {
+	m.regMu.Unlock()
+	if err := m.checkpointInstance(inst); err != nil {
 		return 0, err
 	}
 	return id, nil
 }
 
 // BindInstance attaches an instance to a domain, recording the domain's
-// measured launch identity as the instance's owner identity.
+// measured launch identity as the instance's owner identity. The byDom slot
+// is reserved under the registry lock first, then the instance's own state
+// is updated under its lock — regMu is never held while waiting on an
+// instance mutex (which a long-running dispatch may hold).
 func (m *Manager) BindInstance(id InstanceID, dom *xen.Domain) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	inst, ok := m.instances[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrNoInstance, id)
+	inst, err := m.lookup(id)
+	if err != nil {
+		return err
 	}
-	if inst.info.BoundDom != 0 {
-		return fmt.Errorf("%w: instance %d bound to dom%d", ErrBound, id, inst.info.BoundDom)
+	// Fast-fail on an already-bound instance before touching the byDom
+	// table; the authoritative re-check happens under inst.mu after the
+	// reservation below.
+	if bound := inst.Snapshot().BoundDom; bound != 0 {
+		return fmt.Errorf("%w: instance %d bound to dom%d", ErrBound, id, bound)
 	}
+	m.regMu.Lock()
 	if _, taken := m.byDom[dom.ID()]; taken {
+		m.regMu.Unlock()
 		return fmt.Errorf("%w: dom%d", ErrDomHasVTPM, dom.ID())
+	}
+	m.byDom[dom.ID()] = id // reserve; rolled back below on failure
+	m.regMu.Unlock()
+
+	inst.mu.Lock()
+	if inst.info.BoundDom != 0 {
+		bound := inst.info.BoundDom
+		inst.mu.Unlock()
+		m.regMu.Lock()
+		if m.byDom[dom.ID()] == id {
+			delete(m.byDom, dom.ID())
+		}
+		m.regMu.Unlock()
+		return fmt.Errorf("%w: instance %d bound to dom%d", ErrBound, id, bound)
 	}
 	inst.info.BoundDom = dom.ID()
 	inst.info.BoundLaunch = bindingFor(dom)
-	m.byDom[dom.ID()] = id
+	inst.mu.Unlock()
 	return nil
 }
 
 // UnbindInstance detaches an instance from its domain (for shutdown or
 // migration).
 func (m *Manager) UnbindInstance(id InstanceID) error {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	inst, ok := m.instances[id]
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrNoInstance, id)
+	inst, err := m.lookup(id)
+	if err != nil {
+		return err
 	}
+	inst.mu.Lock()
 	if inst.info.BoundDom == 0 {
+		inst.mu.Unlock()
 		return ErrUnbound
 	}
-	delete(m.byDom, inst.info.BoundDom)
+	dom := inst.info.BoundDom
 	inst.info.BoundDom = 0
+	inst.mu.Unlock()
+	m.regMu.Lock()
+	if m.byDom[dom] == id {
+		delete(m.byDom, dom)
+	}
+	m.regMu.Unlock()
 	return nil
 }
 
 // DestroyInstance removes an instance, scrubbing its memory mirror and
 // deleting its stored state.
 func (m *Manager) DestroyInstance(id InstanceID) error {
-	m.mu.Lock()
+	m.regMu.Lock()
 	inst, ok := m.instances[id]
 	if ok {
 		delete(m.instances, id)
-		if inst.info.BoundDom != 0 {
-			delete(m.byDom, inst.info.BoundDom)
-		}
 	}
-	m.mu.Unlock()
+	m.regMu.Unlock()
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoInstance, id)
 	}
-	xen.Zeroize(inst.mirror)
-	xen.Zeroize(inst.exchange)
+	inst.mu.Lock()
+	dom := inst.info.BoundDom
+	inst.info.BoundDom = 0
+	m.bus.Zeroize(inst.mirror)
+	m.bus.Zeroize(inst.exchange)
+	inst.mu.Unlock()
+	if dom != 0 {
+		m.regMu.Lock()
+		if m.byDom[dom] == id {
+			delete(m.byDom, dom)
+		}
+		m.regMu.Unlock()
+	}
 	if err := m.store.Delete(stateName(id)); err != nil && !errors.Is(err, ErrNoState) {
 		return err
 	}
@@ -259,31 +325,29 @@ func (m *Manager) DestroyInstance(id InstanceID) error {
 
 // Instances returns the IDs of all live instances, sorted.
 func (m *Manager) Instances() []InstanceID {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.regMu.RLock()
 	ids := make([]InstanceID, 0, len(m.instances))
 	for id := range m.instances {
 		ids = append(ids, id)
 	}
+	m.regMu.RUnlock()
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
 }
 
 // InstanceInfo returns the identity metadata of one instance.
 func (m *Manager) InstanceInfo(id InstanceID) (InstanceInfo, error) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	inst, ok := m.instances[id]
-	if !ok {
-		return InstanceInfo{}, fmt.Errorf("%w: %d", ErrNoInstance, id)
+	inst, err := m.lookup(id)
+	if err != nil {
+		return InstanceInfo{}, err
 	}
-	return inst.info, nil
+	return inst.Snapshot(), nil
 }
 
 // InstanceForDomain resolves a domain's bound instance.
 func (m *Manager) InstanceForDomain(dom xen.DomID) (InstanceID, bool) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.regMu.RLock()
+	defer m.regMu.RUnlock()
 	id, ok := m.byDom[dom]
 	return id, ok
 }
@@ -291,13 +355,11 @@ func (m *Manager) InstanceForDomain(dom xen.DomID) (InstanceID, bool) {
 // EncoderFor hands out the guest-side channel codec for a bound instance —
 // called by the domain builder (trusted path) when constructing the guest.
 func (m *Manager) EncoderFor(id InstanceID) (GuestCodec, error) {
-	m.mu.Lock()
-	inst, ok := m.instances[id]
-	m.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoInstance, id)
+	inst, err := m.lookup(id)
+	if err != nil {
+		return nil, err
 	}
-	return m.guard.EncoderFor(inst.info)
+	return m.guard.EncoderFor(inst.Snapshot())
 }
 
 // mutatingOrdinals lists the commands after which the manager re-persists
@@ -329,19 +391,27 @@ func ordinalOf(cmd []byte) uint32 {
 // delivering code path asserts — the connected backend passes the
 // grant-verified truth, while a compromised dom0 component can pass
 // anything, which is precisely the spoofing surface the Guard must close.
+//
+// The whole exchange — guard admission, engine execution, exchange
+// recording, checkpoint, response finishing — runs under the instance's own
+// lock only, so concurrent dispatches to different instances proceed in
+// parallel lanes.
 func (m *Manager) Dispatch(claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest, payload []byte) ([]byte, error) {
-	m.mu.Lock()
+	m.regMu.RLock()
 	id, ok := m.byDom[claimedFrom]
 	var inst *instance
 	if ok {
 		inst = m.instances[id]
 	}
-	m.mu.Unlock()
+	m.regMu.RUnlock()
 	if inst == nil {
 		return nil, fmt.Errorf("%w: dom%d has no vTPM", ErrNoInstance, claimedFrom)
 	}
 	m.notifyTaps(claimedFrom, payload)
-	cmd, finish, err := m.guard.AdmitCommand(inst.Snapshot(), claimedFrom, claimedLaunch, payload)
+
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	cmd, finish, err := m.guard.AdmitCommand(inst.info, claimedFrom, claimedLaunch, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -354,17 +424,15 @@ func (m *Manager) Dispatch(claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest
 	}
 	// Record the decoded exchange in dom0 arena memory: this is the
 	// manager's working buffer a core dump would capture.
-	m.recordExchange(inst, cmd, resp)
+	m.recordExchangeLocked(inst, cmd, resp)
 	if !m.cfg.DeferCheckpoints && mutatingOrdinals[ordinalOf(cmd)] {
-		if err := m.checkpoint(inst); err != nil {
+		if err := m.checkpointLocked(inst); err != nil {
 			return nil, err
 		}
 	}
 	out, err := finish(resp)
 	if !m.guard.RetainsPlaintext() {
-		m.mu.Lock()
-		xen.Zeroize(inst.exchange)
-		m.mu.Unlock()
+		m.bus.Zeroize(inst.exchange)
 	}
 	if err != nil {
 		return nil, err
@@ -372,14 +440,12 @@ func (m *Manager) Dispatch(claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest
 	return out, nil
 }
 
-// recordExchange copies the plaintext command and response into the
-// instance's arena exchange buffer.
-func (m *Manager) recordExchange(inst *instance, cmd, resp []byte) {
+// recordExchangeLocked copies the plaintext command and response into the
+// instance's arena exchange buffer. Caller holds inst.mu.
+func (m *Manager) recordExchangeLocked(inst *instance, cmd, resp []byte) {
 	need := len(cmd) + len(resp)
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if len(inst.exchange) < need {
-		xen.Zeroize(inst.exchange)
+		m.bus.Zeroize(inst.exchange)
 		buf, err := m.arena.Alloc(need)
 		if err != nil {
 			// Out of arena: fall back to truncated recording rather than
@@ -389,34 +455,40 @@ func (m *Manager) recordExchange(inst *instance, cmd, resp []byte) {
 		}
 		inst.exchange = buf
 	}
-	xen.Zeroize(inst.exchange)
-	n := xen.GuardedCopy(inst.exchange, cmd)
-	xen.GuardedCopy(inst.exchange[n:], resp)
+	m.bus.Zeroize(inst.exchange)
+	n := m.bus.GuardedCopy(inst.exchange, cmd)
+	m.bus.GuardedCopy(inst.exchange[n:], resp)
 }
 
-// checkpoint persists an instance's current state through the guard, both
-// to the store and to the in-memory mirror.
-func (m *Manager) checkpoint(inst *instance) error {
+// checkpointInstance persists an instance on demand, serializing with any
+// in-flight dispatch through the instance lock.
+func (m *Manager) checkpointInstance(inst *instance) error {
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	return m.checkpointLocked(inst)
+}
+
+// checkpointLocked persists an instance's current state through the guard,
+// both to the store and to the in-memory mirror. Caller holds inst.mu.
+func (m *Manager) checkpointLocked(inst *instance) error {
 	state := inst.eng.SaveState()
-	blob, err := m.guard.ProtectState(inst.Snapshot(), state)
+	blob, err := m.guard.ProtectState(inst.info, state)
 	if err != nil {
 		return fmt.Errorf("vtpm: protecting state of instance %d: %w", inst.info.ID, err)
 	}
 	if err := m.store.Put(stateName(inst.info.ID), blob); err != nil {
 		return err
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
 	if len(inst.mirror) < len(blob) {
-		xen.Zeroize(inst.mirror)
+		m.bus.Zeroize(inst.mirror)
 		buf, err := m.arena.Alloc(len(blob))
 		if err != nil {
 			return err
 		}
 		inst.mirror = buf
 	}
-	xen.Zeroize(inst.mirror)
-	xen.GuardedCopy(inst.mirror, blob)
+	m.bus.Zeroize(inst.mirror)
+	m.bus.GuardedCopy(inst.mirror, blob)
 	return nil
 }
 
@@ -444,9 +516,9 @@ func (m *Manager) ReviveAll() ([]InstanceID, error) {
 		if _, err := fmt.Sscanf(name, "vtpm-%08d.state", &id); err != nil {
 			continue // unrelated blob
 		}
-		m.mu.Lock()
+		m.regMu.RLock()
 		_, live := m.instances[id]
-		m.mu.Unlock()
+		m.regMu.RUnlock()
 		if live {
 			continue
 		}
@@ -460,13 +532,11 @@ func (m *Manager) ReviveAll() ([]InstanceID, error) {
 
 // Checkpoint persists one instance on demand.
 func (m *Manager) Checkpoint(id InstanceID) error {
-	m.mu.Lock()
-	inst, ok := m.instances[id]
-	m.mu.Unlock()
-	if !ok {
-		return fmt.Errorf("%w: %d", ErrNoInstance, id)
+	inst, err := m.lookup(id)
+	if err != nil {
+		return err
 	}
-	return m.checkpoint(inst)
+	return m.checkpointInstance(inst)
 }
 
 // ReviveInstance reloads a persisted instance from the store (after a
@@ -487,8 +557,8 @@ func (m *Manager) ReviveInstance(id InstanceID) error {
 	if err != nil {
 		return err
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
+	m.regMu.Lock()
+	defer m.regMu.Unlock()
 	if _, exists := m.instances[id]; exists {
 		return fmt.Errorf("vtpm: instance %d already live", id)
 	}
@@ -503,11 +573,9 @@ func (m *Manager) ReviveInstance(id InstanceID) error {
 // bypassing ring, backend and guard. It exists for the trusted provisioning
 // path (pre-boot PCR initialization by the domain builder) and for tests.
 func (m *Manager) DirectClient(id InstanceID) (*tpm.Client, error) {
-	m.mu.Lock()
-	inst, ok := m.instances[id]
-	m.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoInstance, id)
+	inst, err := m.lookup(id)
+	if err != nil {
+		return nil, err
 	}
 	return tpm.NewClient(tpm.DirectTransport{TPM: inst.eng}, nil), nil
 }

@@ -30,17 +30,17 @@ type InstanceImage struct {
 // the transfer). The instance must be unbound; it stays registered until the
 // caller destroys it after a successful transfer.
 func (m *Manager) ExportInstance(id InstanceID, destEK *rsa.PublicKey) (*InstanceImage, error) {
-	m.mu.Lock()
-	inst, ok := m.instances[id]
-	m.mu.Unlock()
-	if !ok {
-		return nil, fmt.Errorf("%w: %d", ErrNoInstance, id)
+	inst, err := m.lookup(id)
+	if err != nil {
+		return nil, err
 	}
+	inst.mu.Lock()
+	defer inst.mu.Unlock()
 	if inst.info.BoundDom != 0 {
 		return nil, fmt.Errorf("%w: instance %d bound to dom%d", ErrStillBound, id, inst.info.BoundDom)
 	}
 	state := inst.eng.SaveState()
-	env, err := m.guard.ExportState(inst.Snapshot(), state, destEK)
+	env, err := m.guard.ExportState(inst.info, state, destEK)
 	if err != nil {
 		return nil, err
 	}
@@ -58,13 +58,13 @@ func (m *Manager) ImportInstance(img *InstanceImage) (InstanceID, error) {
 	if err != nil {
 		return 0, fmt.Errorf("%w: %v", ErrBadImage, err)
 	}
-	m.mu.Lock()
+	m.regMu.Lock()
 	id := m.nextID
 	m.nextID++
 	inst := &instance{info: InstanceInfo{ID: id, BoundLaunch: img.Launch}, eng: eng}
 	m.instances[id] = inst
-	m.mu.Unlock()
-	if err := m.checkpoint(inst); err != nil {
+	m.regMu.Unlock()
+	if err := m.checkpointInstance(inst); err != nil {
 		return 0, err
 	}
 	return id, nil

@@ -25,6 +25,10 @@ const arenaChunkPages = 16
 // NewArena creates an allocator over dom's memory.
 func NewArena(dom *Domain) *Arena { return &Arena{dom: dom} }
 
+// Bus returns the memory bus of the domain the arena allocates from. Holders
+// of arena buffers use it to guard writes against whole-memory observers.
+func (a *Arena) Bus() *MemBus { return a.dom.MemBus() }
+
 // Alloc returns n bytes of the domain's memory, zeroed.
 func (a *Arena) Alloc(n int) ([]byte, error) {
 	if n <= 0 {
@@ -55,37 +59,66 @@ func (a *Arena) Alloc(n int) ([]byte, error) {
 	return buf, nil
 }
 
-// memBus serializes raw simulated-memory mutation against whole-memory
+// MemBus serializes raw simulated-memory mutation against whole-memory
 // observers (DumpCore, save/restore). On hardware these race benignly — a
 // dump can contain torn writes — but in Go a concurrent read and write of
 // the same bytes is a data race, so writers take the bus in read mode (they
 // are mutually disjoint) and snapshots take it exclusively.
-var memBus sync.RWMutex
+//
+// Each Domain owns one bus covering its pages, so writers into one domain's
+// memory never contend with writers or dumps of another domain — the global
+// bus this replaces serialized every guest behind a single host-wide lock.
+// A nil *MemBus is valid and synchronizes nothing; it is used for private
+// buffers that no dump can observe.
+type MemBus struct {
+	mu sync.RWMutex
+}
 
-// BeginMemWrite enters a raw-memory mutation section. Never nest sections.
-func BeginMemWrite() { memBus.RLock() }
+// BeginWrite enters a raw-memory mutation section. Never nest sections.
+func (b *MemBus) BeginWrite() {
+	if b == nil {
+		return
+	}
+	b.mu.RLock()
+}
 
-// EndMemWrite leaves a raw-memory mutation section.
-func EndMemWrite() { memBus.RUnlock() }
+// EndWrite leaves a raw-memory mutation section.
+func (b *MemBus) EndWrite() {
+	if b == nil {
+		return
+	}
+	b.mu.RUnlock()
+}
 
-// beginMemSnapshot/endMemSnapshot bracket whole-memory observers.
-func beginMemSnapshot() { memBus.Lock() }
-func endMemSnapshot()   { memBus.Unlock() }
+// beginSnapshot/endSnapshot bracket whole-memory observers.
+func (b *MemBus) beginSnapshot() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+}
 
-// Zeroize scrubs a buffer in place. Callers use it to bound how long secrets
-// stay resident in dumpable memory.
-func Zeroize(b []byte) {
-	BeginMemWrite()
-	defer EndMemWrite()
-	for i := range b {
-		b[i] = 0
+func (b *MemBus) endSnapshot() {
+	if b == nil {
+		return
+	}
+	b.mu.Unlock()
+}
+
+// Zeroize scrubs a buffer in place under the bus. Callers use it to bound how
+// long secrets stay resident in dumpable memory.
+func (b *MemBus) Zeroize(buf []byte) {
+	b.BeginWrite()
+	defer b.EndWrite()
+	for i := range buf {
+		buf[i] = 0
 	}
 }
 
-// GuardedCopy copies src into dst under the memory bus; use it for writes
-// into simulated memory pages that may be dumped concurrently.
-func GuardedCopy(dst, src []byte) int {
-	BeginMemWrite()
-	defer EndMemWrite()
+// GuardedCopy copies src into dst under the bus; use it for writes into
+// simulated memory pages that may be dumped concurrently.
+func (b *MemBus) GuardedCopy(dst, src []byte) int {
+	b.BeginWrite()
+	defer b.EndWrite()
 	return copy(dst, src)
 }

@@ -33,7 +33,16 @@ type Domain struct {
 	grants    *grantTable
 	cpuNanos  int64 // accumulated simulated CPU time
 	genID     uint64
+
+	// bus serializes raw writes into this domain's pages against
+	// whole-memory observers of this domain only (see MemBus).
+	bus MemBus
 }
+
+// MemBus returns the domain's memory bus. Writers into the domain's pages
+// (rings, arena buffer holders) bracket their mutations with it so dumps of
+// this domain — and only this domain — see untorn writes.
+func (d *Domain) MemBus() *MemBus { return &d.bus }
 
 // ID returns the domain's ID on its host.
 func (d *Domain) ID() DomID { return d.id }
@@ -148,13 +157,14 @@ func newDomain(id DomID, cfg DomainConfig, genID uint64) *Domain {
 }
 
 // snapshotMemory copies all page contents (used by dump-core and
-// save/restore). It holds the memory bus exclusively so concurrent ring and
-// manager writes cannot race the copy.
+// save/restore). It holds the domain's memory bus exclusively so concurrent
+// ring and manager writes into this domain cannot race the copy; writes into
+// other domains proceed untouched.
 func (d *Domain) snapshotMemory() []byte {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	beginMemSnapshot()
-	defer endMemSnapshot()
+	d.bus.beginSnapshot()
+	defer d.bus.endSnapshot()
 	out := make([]byte, len(d.pages)*PageSize)
 	for i, p := range d.pages {
 		copy(out[i*PageSize:], p)
@@ -169,8 +179,8 @@ func (d *Domain) restoreMemory(img []byte) error {
 	if len(img) != len(d.pages)*PageSize {
 		return fmt.Errorf("xen: memory image is %d bytes, domain has %d", len(img), len(d.pages)*PageSize)
 	}
-	beginMemSnapshot()
-	defer endMemSnapshot()
+	d.bus.beginSnapshot()
+	defer d.bus.endSnapshot()
 	for i, p := range d.pages {
 		copy(p, img[i*PageSize:(i+1)*PageSize])
 	}

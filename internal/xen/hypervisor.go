@@ -156,11 +156,11 @@ func (h *Hypervisor) DestroyDomain(caller, target DomID) error {
 	h.evtchn.closeAllFor(target)
 	d.mu.Lock()
 	d.state = StateDestroyed
-	beginMemSnapshot()
+	d.bus.beginSnapshot()
 	for i := range d.slab {
 		d.slab[i] = 0 // scrub, as Xen does before freeing pages
 	}
-	endMemSnapshot()
+	d.bus.endSnapshot()
 	d.mu.Unlock()
 	return nil
 }

@@ -33,9 +33,9 @@ func TestConcurrentGrantMapUnmap(t *testing.T) {
 			}
 			marker := []byte(fmt.Sprintf("worker-%d-marker", w))
 			p, _ := granter.Page(page)
-			BeginMemWrite()
+			granter.MemBus().BeginWrite()
 			copy(p, marker)
-			EndMemWrite()
+			granter.MemBus().EndWrite()
 			for i := 0; i < 50; i++ {
 				ref, err := granter.Grant(peer.ID(), page, false)
 				if err != nil {
@@ -132,8 +132,8 @@ func TestConcurrentDumpDuringWrites(t *testing.T) {
 				return
 			default:
 			}
-			GuardedCopy(buf, pattern)
-			Zeroize(buf)
+			arena.Bus().GuardedCopy(buf, pattern)
+			arena.Bus().Zeroize(buf)
 		}
 	}()
 	for i := 0; i < 200; i++ {

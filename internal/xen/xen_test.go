@@ -436,7 +436,7 @@ func TestArenaAllocWritesVisibleInDump(t *testing.T) {
 	if !bytes.Contains(img, []byte("manager-plaintext-secret")) {
 		t.Fatal("arena memory not visible in dom0 dump")
 	}
-	Zeroize(buf)
+	a.Bus().Zeroize(buf)
 	img, _ = h.DumpCore(Dom0, Dom0)
 	if bytes.Contains(img, []byte("manager-plaintext-secret")) {
 		t.Fatal("zeroized buffer still visible in dump")
