@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci clean
+.PHONY: all build vet test race bench bench-smoke ci clean
 
 all: build
 
@@ -23,7 +23,12 @@ race:
 bench:
 	$(GO) test -run '^$$' -bench BenchmarkConcurrentGuests -benchtime 300x .
 
-ci: vet build test race
+# One iteration of every benchmark in the repo: catches benchmarks broken by
+# API drift without paying for real measurement runs.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
+
+ci: vet build test race bench-smoke
 
 clean:
 	$(GO) clean ./...

@@ -1,0 +1,96 @@
+//go:build !race
+
+// Alloc-regression guard for the zero-alloc dispatch hot path. The race
+// detector instruments allocations, so the guard only runs in normal test
+// builds. Budgets are ~2× the measured steady-state cost so the guard trips
+// on a reintroduced per-command allocation, not on scheduler noise from the
+// write-behind worker.
+package xvtpm_test
+
+import (
+	"testing"
+
+	"xvtpm/internal/core"
+	"xvtpm/internal/tpm"
+	"xvtpm/internal/vtpm"
+	"xvtpm/internal/xen"
+)
+
+// allocGuardRig builds a writeback-policy manager with a bound domain and
+// returns a dispatch function for the given payload.
+func allocGuardRig(t *testing.T) (*vtpm.Manager, *xen.Domain) {
+	t.Helper()
+	hv := xen.NewHypervisor(xen.DomainConfig{Name: "Domain-0", Pages: 8192})
+	dom0, err := hv.Domain(xen.Dom0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mgr := vtpm.NewManager(hv, vtpm.NewMemStore(), xen.NewArena(dom0),
+		core.NewBaselineGuard(), vtpm.ManagerConfig{
+			RSABits: 512, Seed: []byte("allocguard"),
+			Checkpoint: vtpm.CheckpointWriteback,
+		})
+	t.Cleanup(mgr.Close)
+	dom, err := hv.CreateDomain(xen.DomainConfig{Name: "ag", Kernel: []byte("agk")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := mgr.CreateInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.BindInstance(id, dom); err != nil {
+		t.Fatal(err)
+	}
+	return mgr, dom
+}
+
+func buildCmd(ordinal uint32, params []byte) []byte {
+	w := tpm.NewWriter()
+	w.U16(tpm.TagRQUCommand)
+	w.U32(uint32(10 + len(params)))
+	w.U32(ordinal)
+	w.Raw(params)
+	return w.Bytes()
+}
+
+func TestDispatchAllocBudget(t *testing.T) {
+	extendParams := tpm.NewWriter()
+	extendParams.U32(7)
+	extendParams.Raw(make([]byte, tpm.DigestSize))
+	getRandomParams := tpm.NewWriter()
+	getRandomParams.U32(16)
+	cases := []struct {
+		name    string
+		payload []byte
+		budget  float64
+	}{
+		// GetRandom does not mutate state: its steady cost is the one
+		// exact-size response allocation.
+		{"GetRandom", buildCmd(tpm.OrdGetRandom, getRandomParams.Bytes()), 3},
+		// Extend is checkpointed: the response allocation plus the
+		// write-behind pipeline's amortized persist cost.
+		{"Extend", buildCmd(tpm.OrdExtend, extendParams.Bytes()), 6},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			mgr, dom := allocGuardRig(t)
+			// Warm scratch buffers (engine serialize/seal arenas, DRBG
+			// output) before measuring.
+			for i := 0; i < 100; i++ {
+				if _, err := mgr.Dispatch(dom.ID(), dom.Launch(), tc.payload); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := testing.AllocsPerRun(500, func() {
+				if _, err := mgr.Dispatch(dom.ID(), dom.Launch(), tc.payload); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if got > tc.budget {
+				t.Fatalf("Dispatch(%s) allocates %.2f objects/op, budget %.0f", tc.name, got, tc.budget)
+			}
+		})
+	}
+}

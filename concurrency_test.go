@@ -11,18 +11,30 @@ import (
 	"testing"
 
 	"xvtpm"
+	"xvtpm/internal/vtpm"
 )
 
 func TestConcurrentLifecycleAndWorkload(t *testing.T) {
-	for _, mode := range []xvtpm.Mode{xvtpm.ModeBaseline, xvtpm.ModeImproved} {
-		mode := mode
-		t.Run(mode.String(), func(t *testing.T) {
+	type combo struct {
+		mode   xvtpm.Mode
+		policy vtpm.CheckpointPolicy
+	}
+	combos := []combo{
+		{xvtpm.ModeBaseline, vtpm.CheckpointEager},
+		{xvtpm.ModeImproved, vtpm.CheckpointEager},
+		{xvtpm.ModeBaseline, vtpm.CheckpointWriteback},
+		{xvtpm.ModeImproved, vtpm.CheckpointWriteback},
+	}
+	for _, cb := range combos {
+		mode, policy := cb.mode, cb.policy
+		t.Run(fmt.Sprintf("%s/%s", mode, policy), func(t *testing.T) {
 			mkHost := func(name string) *xvtpm.Host {
 				h, err := xvtpm.NewHost(xvtpm.HostConfig{
-					Name:      fmt.Sprintf("stress-%s-%s", mode, name),
-					Mode:      mode,
-					RSABits:   512,
-					Dom0Pages: 16384,
+					Name:       fmt.Sprintf("stress-%s-%s-%s", mode, policy, name),
+					Mode:       mode,
+					RSABits:    512,
+					Dom0Pages:  16384,
+					Checkpoint: policy,
 				})
 				if err != nil {
 					t.Fatalf("NewHost: %v", err)

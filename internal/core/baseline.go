@@ -45,6 +45,12 @@ func (*BaselineGuard) ProtectState(inst vtpm.InstanceInfo, state []byte) ([]byte
 	return append([]byte(nil), state...), nil
 }
 
+// ProtectStateAppend implements vtpm.StateProtectorAppend: still plaintext,
+// just built into the caller's buffer.
+func (*BaselineGuard) ProtectStateAppend(inst vtpm.InstanceInfo, dst, state []byte) ([]byte, error) {
+	return append(dst, state...), nil
+}
+
 // RecoverState implements vtpm.Guard.
 func (*BaselineGuard) RecoverState(inst vtpm.InstanceInfo, blob []byte) ([]byte, error) {
 	return append([]byte(nil), blob...), nil

@@ -66,51 +66,84 @@ func chanIV(key ChannelKey, dir byte, seq uint64) []byte {
 	return h.Sum(nil)[:aes.BlockSize]
 }
 
+// chanCrypto caches the material deriveChanKeys expands a channel key into —
+// the AES block (stateless, safe for concurrent use) and the MAC key — so a
+// long-lived channel endpoint pays the two HMAC key derivations once instead
+// of on every envelope. The zero value initializes lazily from the owning
+// endpoint's key, which keeps the `serverChannel{key: k}` literal form that
+// the tests and attack harness use working unchanged.
+type chanCrypto struct {
+	once   sync.Once
+	block  cipher.Block
+	macKey []byte
+}
+
+func (c *chanCrypto) init(key ChannelKey) {
+	c.once.Do(func() {
+		encKey, macKey := deriveChanKeys(key)
+		block, err := aes.NewCipher(encKey)
+		if err != nil {
+			panic(err) // 16-byte key from HMAC output: cannot fail
+		}
+		c.block = block
+		c.macKey = macKey
+	})
+}
+
 // sealEnvelope builds one channel envelope.
 func sealEnvelope(key ChannelKey, dir byte, seq uint64, msg []byte) ([]byte, error) {
-	encKey, macKey := deriveChanKeys(key)
-	block, err := aes.NewCipher(encKey)
-	if err != nil {
-		return nil, err
-	}
-	out := make([]byte, chanHeaderSize+len(msg)+chanMacSize)
+	return sealEnvelopeAppend(new(chanCrypto), key, nil, dir, seq, msg), nil
+}
+
+// sealEnvelopeAppend builds one channel envelope with cached key material,
+// appending it to dst. The frontend passes its reusable transmit buffer with
+// the ring tag byte already written, so the whole framed request is built in
+// place with no per-call copy.
+func sealEnvelopeAppend(c *chanCrypto, key ChannelKey, dst []byte, dir byte, seq uint64, msg []byte) []byte {
+	c.init(key)
+	n := len(dst)
+	dst = grow(dst, chanHeaderSize+len(msg)+chanMacSize)
+	out := dst[n:]
 	out[0] = dir
 	binary.BigEndian.PutUint64(out[1:], seq)
-	cipher.NewCTR(block, chanIV(key, dir, seq)).XORKeyStream(out[chanHeaderSize:chanHeaderSize+len(msg)], msg)
-	mac := hmac.New(sha256.New, macKey)
+	cipher.NewCTR(c.block, chanIV(key, dir, seq)).XORKeyStream(out[chanHeaderSize:chanHeaderSize+len(msg)], msg)
+	mac := hmac.New(sha256.New, c.macKey)
 	mac.Write(out[:chanHeaderSize+len(msg)])
-	copy(out[chanHeaderSize+len(msg):], mac.Sum(nil))
-	return out, nil
+	// out has exactly chanMacSize spare bytes, so Sum writes the tag in place.
+	mac.Sum(out[:chanHeaderSize+len(msg)])
+	return dst
 }
 
 // openEnvelope authenticates and decrypts one channel envelope, returning
 // its direction, sequence number and plaintext.
 func openEnvelope(key ChannelKey, payload []byte) (dir byte, seq uint64, msg []byte, err error) {
+	return openEnvelopeCached(new(chanCrypto), key, payload)
+}
+
+// openEnvelopeCached is openEnvelope with cached key material.
+func openEnvelopeCached(c *chanCrypto, key ChannelKey, payload []byte) (dir byte, seq uint64, msg []byte, err error) {
 	if len(payload) < chanOverhead {
 		return 0, 0, nil, fmt.Errorf("%w: envelope of %d bytes", vtpm.ErrBadChannel, len(payload))
 	}
-	encKey, macKey := deriveChanKeys(key)
+	c.init(key)
 	body := payload[:len(payload)-chanMacSize]
-	mac := hmac.New(sha256.New, macKey)
+	mac := hmac.New(sha256.New, c.macKey)
 	mac.Write(body)
 	if subtle.ConstantTimeCompare(mac.Sum(nil), payload[len(payload)-chanMacSize:]) != 1 {
 		return 0, 0, nil, vtpm.ErrBadChannel
 	}
 	dir = body[0]
 	seq = binary.BigEndian.Uint64(body[1:9])
-	block, err := aes.NewCipher(encKey)
-	if err != nil {
-		return 0, 0, nil, err
-	}
 	msg = make([]byte, len(body)-chanHeaderSize)
-	cipher.NewCTR(block, chanIV(key, dir, seq)).XORKeyStream(msg, body[chanHeaderSize:])
+	cipher.NewCTR(c.block, chanIV(key, dir, seq)).XORKeyStream(msg, body[chanHeaderSize:])
 	return dir, seq, msg, nil
 }
 
 // guestCodec is the frontend half of the channel: it implements
 // vtpm.GuestCodec for one guest.
 type guestCodec struct {
-	key ChannelKey
+	key    ChannelKey
+	crypto chanCrypto
 
 	mu      sync.Mutex
 	nextSeq uint64
@@ -125,18 +158,24 @@ func NewGuestCodec(key ChannelKey) vtpm.GuestCodec {
 
 // EncodeRequest implements vtpm.GuestCodec.
 func (g *guestCodec) EncodeRequest(cmd []byte) ([]byte, error) {
+	return g.EncodeRequestAppend(nil, cmd)
+}
+
+// EncodeRequestAppend implements vtpm.AppendRequestEncoder: the envelope is
+// appended to dst, so the frontend reuses one transmit buffer per device.
+func (g *guestCodec) EncodeRequestAppend(dst, cmd []byte) ([]byte, error) {
 	g.mu.Lock()
 	seq := g.nextSeq
 	g.nextSeq++
 	g.lastSeq = seq
 	g.mu.Unlock()
-	return sealEnvelope(g.key, chanDirRequest, seq, cmd)
+	return sealEnvelopeAppend(&g.crypto, g.key, dst, chanDirRequest, seq, cmd), nil
 }
 
 // DecodeResponse implements vtpm.GuestCodec: the response must carry the
 // sequence number of the request just sent.
 func (g *guestCodec) DecodeResponse(payload []byte) ([]byte, error) {
-	dir, seq, msg, err := openEnvelope(g.key, payload)
+	dir, seq, msg, err := openEnvelopeCached(&g.crypto, g.key, payload)
 	if err != nil {
 		return nil, err
 	}
@@ -152,7 +191,8 @@ func (g *guestCodec) DecodeResponse(payload []byte) ([]byte, error) {
 // serverChannel is the manager-side half: it verifies request envelopes and
 // enforces strict sequence monotonicity (the anti-replay window).
 type serverChannel struct {
-	key ChannelKey
+	key    ChannelKey
+	crypto chanCrypto
 
 	mu      sync.Mutex
 	lastSeq uint64
@@ -161,7 +201,7 @@ type serverChannel struct {
 // open verifies one request envelope and returns the command and its
 // sequence number.
 func (s *serverChannel) open(payload []byte) (cmd []byte, seq uint64, err error) {
-	dir, seq, msg, err := openEnvelope(s.key, payload)
+	dir, seq, msg, err := openEnvelopeCached(&s.crypto, s.key, payload)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -179,5 +219,5 @@ func (s *serverChannel) open(payload []byte) (cmd []byte, seq uint64, err error)
 
 // seal builds the response envelope for a verified request.
 func (s *serverChannel) seal(resp []byte, seq uint64) ([]byte, error) {
-	return sealEnvelope(s.key, chanDirResponse, seq, resp)
+	return sealEnvelopeAppend(&s.crypto, s.key, nil, chanDirResponse, seq, resp), nil
 }

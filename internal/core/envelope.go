@@ -25,20 +25,41 @@ const (
 
 // stateSeal encrypts and authenticates plaintext under key.
 func stateSeal(key, plaintext []byte) ([]byte, error) {
+	return stateSealAppend(nil, key, plaintext)
+}
+
+// stateSealAppend is stateSeal appending the envelope to dst. The checkpoint
+// pipeline passes buf[:0] of a per-instance scratch slice, so steady-state
+// persists reuse one buffer instead of allocating per checkpoint.
+func stateSealAppend(dst, key, plaintext []byte) ([]byte, error) {
 	encKey, macKey := deriveStateKeys(key)
 	block, err := aes.NewCipher(encKey)
 	if err != nil {
 		return nil, err
 	}
-	out := make([]byte, stateIVSize+len(plaintext)+stateMacSize)
+	n := len(dst)
+	dst = grow(dst, stateIVSize+len(plaintext)+stateMacSize)
+	out := dst[n:]
 	if _, err := io.ReadFull(rand.Reader, out[:stateIVSize]); err != nil {
 		return nil, err
 	}
 	cipher.NewCTR(block, out[:stateIVSize]).XORKeyStream(out[stateIVSize:stateIVSize+len(plaintext)], plaintext)
 	mac := hmac.New(sha256.New, macKey)
 	mac.Write(out[:stateIVSize+len(plaintext)])
-	copy(out[stateIVSize+len(plaintext):], mac.Sum(nil))
-	return out, nil
+	// out has exactly stateMacSize spare bytes past the body, so Sum appends
+	// the tag in place without reallocating.
+	mac.Sum(out[:stateIVSize+len(plaintext)])
+	return dst, nil
+}
+
+// grow extends b by n bytes, reusing capacity when it can.
+func grow(b []byte, n int) []byte {
+	if cap(b)-len(b) >= n {
+		return b[: len(b)+n : len(b)+n]
+	}
+	nb := make([]byte, len(b)+n)
+	copy(nb, b)
+	return nb
 }
 
 // stateOpen reverses stateSeal.

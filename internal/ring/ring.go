@@ -201,14 +201,19 @@ func writeSlot(s []byte, status byte, id uint64, payload []byte) {
 }
 
 func readSlot(s []byte) (status byte, id uint64, payload []byte) {
+	return readSlotInto(s, nil)
+}
+
+// readSlotInto is readSlot appending the payload to buf instead of
+// allocating a fresh slice — the backend service loop's pop path.
+func readSlotInto(s, buf []byte) (status byte, id uint64, payload []byte) {
 	status = s[0]
 	id = binary.LittleEndian.Uint64(s[4:])
 	n := binary.LittleEndian.Uint32(s[12:])
 	if int(n) > len(s)-slotHeaderSize {
 		n = uint32(len(s) - slotHeaderSize)
 	}
-	payload = make([]byte, n)
-	copy(payload, s[slotHeaderSize:slotHeaderSize+int(n)])
+	payload = append(buf, s[slotHeaderSize:slotHeaderSize+int(n)]...)
 	return status, id, payload
 }
 
@@ -264,6 +269,14 @@ func (r *Ring) DequeueRequest() (uint64, []byte, error) {
 // TryDequeueRequest is the non-blocking variant of DequeueRequest; ok is false
 // when no request is pending.
 func (r *Ring) TryDequeueRequest() (id uint64, payload []byte, ok bool, err error) {
+	return r.TryDequeueRequestInto(nil)
+}
+
+// TryDequeueRequestInto is TryDequeueRequest with the payload appended to buf
+// — typically buf[:0] of a scratch slice the caller reuses across pops, so a
+// steady service loop dequeues without allocating. The returned payload
+// aliases buf's array when capacity sufficed.
+func (r *Ring) TryDequeueRequestInto(buf []byte) (id uint64, payload []byte, ok bool, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -272,7 +285,7 @@ func (r *Ring) TryDequeueRequest() (id uint64, payload []byte, ok bool, err erro
 	if r.reqCons == r.reqProd() {
 		return 0, nil, false, nil
 	}
-	status, id, payload := readSlot(r.slot(r.reqCons))
+	status, id, payload := readSlotInto(r.slot(r.reqCons), buf)
 	if status != slotRequest {
 		return 0, nil, false, fmt.Errorf("ring: slot %d has status %d, want request", r.reqCons, status)
 	}

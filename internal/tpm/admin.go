@@ -203,8 +203,14 @@ func cmdGetRandom(ctx *cmdContext) (*Writer, uint32) {
 	if n > maxRandomBytes {
 		n = maxRandomBytes
 	}
-	w := NewWriter()
-	w.B32(ctx.t.randBytes(int(n)))
+	t := ctx.t
+	if cap(t.randBuf) < int(n) {
+		t.randBuf = make([]byte, n)
+	}
+	b := t.randBuf[:n]
+	t.rng.Read(b) //nolint:errcheck // drbg.Read cannot fail
+	w := ctx.respWriter()
+	w.B32(b)
 	return w, RCSuccess
 }
 

@@ -17,8 +17,15 @@ type Writer struct {
 // NewWriter returns an empty Writer.
 func NewWriter() *Writer { return &Writer{} }
 
+// NewWriterBuf returns a Writer that appends to buf, reusing its capacity.
+// Pass buf[:0] of a scratch slice to serialize without allocating.
+func NewWriterBuf(buf []byte) *Writer { return &Writer{buf: buf} }
+
 // Bytes returns the accumulated buffer.
 func (w *Writer) Bytes() []byte { return w.buf }
+
+// Reset empties the writer, keeping its capacity for reuse.
+func (w *Writer) Reset() { w.buf = w.buf[:0] }
 
 // Len returns the number of bytes written.
 func (w *Writer) Len() int { return len(w.buf) }
@@ -62,6 +69,10 @@ type Reader struct {
 
 // NewReader wraps a buffer for parsing.
 func NewReader(b []byte) *Reader { return &Reader{buf: b} }
+
+// Reset repoints the reader at b and clears its position and error, reusing
+// the Reader value.
+func (r *Reader) Reset(b []byte) { r.buf, r.off, r.err = b, 0, nil }
 
 // Err returns the first error encountered, if any.
 func (r *Reader) Err() error { return r.err }
@@ -140,6 +151,22 @@ func (r *Reader) Raw(n int) []byte {
 		return nil
 	}
 	out := append([]byte(nil), r.buf[r.off:r.off+n]...)
+	r.off += n
+	return out
+}
+
+// RawView reads exactly n bytes without copying. The returned slice aliases
+// the reader's buffer and is valid only while that buffer is; hot-path
+// handlers use it for inputs they consume before returning.
+func (r *Reader) RawView(n int) []byte {
+	if n < 0 {
+		r.err = fmt.Errorf("%w: negative length %d", ErrShortBuffer, n)
+		return nil
+	}
+	if !r.need(n) {
+		return nil
+	}
+	out := r.buf[r.off : r.off+n]
 	r.off += n
 	return out
 }

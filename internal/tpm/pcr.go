@@ -1,5 +1,7 @@
 package tpm
 
+import "crypto/sha1" //nolint:gosec // TPM 1.2 mandates SHA-1
+
 // PCR ordinals and the composite-hash machinery shared by sealing and
 // quoting.
 
@@ -99,7 +101,7 @@ var resettablePCRs = map[int]bool{16: true, 23: true}
 func cmdExtend(ctx *cmdContext) (*Writer, uint32) {
 	t := ctx.t
 	idx := ctx.params.U32()
-	digest := ctx.params.Raw(DigestSize)
+	digest := ctx.params.RawView(DigestSize)
 	if ctx.params.Err() != nil {
 		return nil, RCBadParameter
 	}
@@ -107,10 +109,10 @@ func cmdExtend(ctx *cmdContext) (*Writer, uint32) {
 		return nil, RCBadIndex
 	}
 	cur := t.pcrs[idx]
-	var next [DigestSize]byte
-	copy(next[:], sha1Sum(cur[:], digest))
+	t.hashBuf = append(append(t.hashBuf[:0], cur[:]...), digest...)
+	next := sha1.Sum(t.hashBuf)
 	t.pcrs[idx] = next
-	w := NewWriter()
+	w := ctx.respWriter()
 	w.Raw(next[:])
 	return w, RCSuccess
 }
@@ -125,7 +127,7 @@ func cmdPCRRead(ctx *cmdContext) (*Writer, uint32) {
 	if idx >= NumPCRs {
 		return nil, RCBadIndex
 	}
-	w := NewWriter()
+	w := ctx.respWriter()
 	w.Raw(t.pcrs[idx][:])
 	return w, RCSuccess
 }

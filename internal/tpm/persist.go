@@ -29,9 +29,17 @@ var stateMagic = []byte(StateMagic)
 
 // SaveState serializes the TPM's persistent state.
 func (t *TPM) SaveState() []byte {
+	return t.AppendState(nil)
+}
+
+// AppendState serializes the TPM's persistent state, appending it to dst and
+// returning the extended slice. Passing buf[:0] of a scratch slice lets a
+// steady checkpoint loop serialize without allocating once the buffer has
+// grown to the state's working size.
+func (t *TPM) AppendState(dst []byte) []byte {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	w := NewWriter()
+	w := NewWriterBuf(dst)
 	w.Raw(stateMagic)
 	w.U32(stateVersion)
 	w.U32(uint32(t.rsaBits))
@@ -98,8 +106,8 @@ func (t *TPM) SaveState() []byte {
 		w.U8(0)
 	}
 	// DRBG state, so a restored instance continues the same nonce stream.
-	w.B32(t.rng.k)
-	w.B32(t.rng.v)
+	w.B32(t.rng.k[:])
+	w.B32(t.rng.v[:])
 	return w.Bytes()
 }
 
@@ -180,7 +188,7 @@ func RestoreState(blob []byte) (*TPM, error) {
 	if r.Remaining() != 0 {
 		return nil, fmt.Errorf("tpm: %d trailing bytes in state blob", r.Remaining())
 	}
-	t.rng = &drbg{k: k, v: v}
+	t.rng = restoreDRBG(k, v)
 	keySeed := make([]byte, 32)
 	if _, err := cryptorand.Read(keySeed); err != nil {
 		return nil, err

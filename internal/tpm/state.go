@@ -107,6 +107,16 @@ type TPM struct {
 
 	// commandCount counts executed commands, for GetCapability and metrics.
 	commandCount uint64
+
+	// Per-command scratch, reused across Execute calls (all serialized by
+	// mu): the command context and its parameter reader, the handlers'
+	// response-parameter writer, a hash-input buffer, and a DRBG output
+	// buffer. Only the final response buffer is allocated per command.
+	execCtx cmdContext
+	paramRd Reader
+	respW   Writer
+	hashBuf []byte
+	randBuf []byte
 }
 
 // lockoutThreshold is the consecutive-auth-failure count that latches the

@@ -29,6 +29,16 @@ type cmdContext struct {
 	auths   []*authBlock
 }
 
+// respWriter returns the per-TPM scratch response-parameter writer, reset.
+// Hot-path handlers build their response parameters in it without
+// allocating; buildResponse copies the contents into the final response
+// buffer before the next command can reuse the scratch.
+func (ctx *cmdContext) respWriter() *Writer {
+	w := &ctx.t.respW
+	w.Reset()
+	return w
+}
+
 // handler processes one ordinal, returning the response parameter writer and
 // a return code.
 type handler func(ctx *cmdContext) (*Writer, uint32)
@@ -51,11 +61,13 @@ func (t *TPM) Execute(cmd []byte) []byte {
 	if !ok {
 		return errorResponse(RCBadOrdinal)
 	}
-	ctx := &cmdContext{
+	t.paramRd.Reset(body)
+	ctx := &t.execCtx
+	*ctx = cmdContext{
 		t:       t,
 		tag:     tag,
 		ordinal: ordinal,
-		params:  NewReader(body),
+		params:  &t.paramRd,
 		body:    body,
 		auths:   auths,
 	}
@@ -124,9 +136,6 @@ func errorResponse(rc uint32) []byte {
 // section per verified request auth block and rolling or terminating the
 // sessions involved.
 func (t *TPM) buildResponse(ctx *cmdContext, out *Writer) []byte {
-	if out == nil {
-		out = NewWriter()
-	}
 	tag := TagRSPCommand
 	switch len(ctx.auths) {
 	case 1:
@@ -134,13 +143,17 @@ func (t *TPM) buildResponse(ctx *cmdContext, out *Writer) []byte {
 	case 2:
 		tag = TagRSPAuth2Command
 	}
-	outBody := out.Bytes()
-	trailer := NewWriter()
+	var outBody []byte
+	if out != nil {
+		outBody = out.Bytes()
+	}
+	var trailerBytes []byte
 	if len(ctx.auths) > 0 {
 		// paramDigest over rc(=0), ordinal, response params.
 		rd := NewWriter()
 		rd.U32(RCSuccess).U32(ctx.ordinal).Raw(outBody)
 		respDigest := sha1Sum(rd.Bytes())
+		trailer := NewWriter()
 		for _, a := range ctx.auths {
 			sess := a.sess
 			newEven := t.randNonce()
@@ -160,13 +173,16 @@ func (t *TPM) buildResponse(ctx *cmdContext, out *Writer) []byte {
 				}
 			}
 		}
+		trailerBytes = trailer.Bytes()
 	}
-	w := NewWriter()
+	// One exact-size allocation for the response handed to the caller; the
+	// scratch writers above never escape.
+	w := NewWriterBuf(make([]byte, 0, 10+len(outBody)+len(trailerBytes)))
 	w.U16(tag)
-	w.U32(uint32(10 + len(outBody) + trailer.Len()))
+	w.U32(uint32(10 + len(outBody) + len(trailerBytes)))
 	w.U32(RCSuccess)
 	w.Raw(outBody)
-	w.Raw(trailer.Bytes())
+	w.Raw(trailerBytes)
 	return w.Bytes()
 }
 

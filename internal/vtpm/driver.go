@@ -58,21 +58,24 @@ func backPath(dom xen.DomID) string {
 // Frontend is the guest half of the vTPM split driver. It implements
 // tpm.Transport, so a tpm.Client can sit directly on top of it.
 type Frontend struct {
-	hv    *xen.Hypervisor
-	xs    *xenstore.Store
-	dom   *xen.Domain
-	codec GuestCodec
+	hv        *xen.Hypervisor
+	xs        *xenstore.Store
+	dom       *xen.Domain
+	codec     GuestCodec
+	appendEnc AppendRequestEncoder // non-nil when codec supports append encoding
 
 	mu     sync.Mutex
 	r      *ring.Ring
 	port   xen.EvtchnPort
 	closed bool
+	txBuf  []byte // reusable framed-request buffer (guarded by mu)
 }
 
 // NewFrontend prepares a frontend for a guest. codec is the channel codec
 // installed by the domain builder.
 func NewFrontend(hv *xen.Hypervisor, xs *xenstore.Store, dom *xen.Domain, codec GuestCodec) *Frontend {
-	return &Frontend{hv: hv, xs: xs, dom: dom, codec: codec}
+	ae, _ := codec.(AppendRequestEncoder)
+	return &Frontend{hv: hv, xs: xs, dom: dom, codec: codec, appendEnc: ae}
 }
 
 // Setup allocates the ring in guest memory, grants it to dom0, allocates the
@@ -157,12 +160,25 @@ func (f *Frontend) Transmit(cmd []byte) ([]byte, error) {
 	if f.r == nil || f.closed {
 		return nil, ErrNotConnected
 	}
-	enc, err := f.codec.EncodeRequest(cmd)
-	if err != nil {
-		return nil, err
+	// Build the framed request in the reusable transmit buffer with the tag
+	// byte reserved up front, so the encoder writes straight behind it and
+	// no prefix copy is needed. EnqueueRequest copies the payload into the
+	// ring slot, so reusing the buffer on the next command is safe.
+	f.txBuf = append(f.txBuf[:0], payloadEncoded)
+	if f.appendEnc != nil {
+		buf, err := f.appendEnc.EncodeRequestAppend(f.txBuf, cmd)
+		if err != nil {
+			return nil, err
+		}
+		f.txBuf = buf
+	} else {
+		enc, err := f.codec.EncodeRequest(cmd)
+		if err != nil {
+			return nil, err
+		}
+		f.txBuf = append(f.txBuf, enc...)
 	}
-	payload := append([]byte{payloadEncoded}, enc...)
-	id, err := f.r.EnqueueRequest(payload)
+	id, err := f.r.EnqueueRequest(f.txBuf)
 	if err != nil {
 		return nil, err
 	}
@@ -311,14 +327,20 @@ func (b *Backend) AttachDevice(front xen.DomID) error {
 	return nil
 }
 
-// serve is the per-device service loop.
+// serve is the per-device service loop. Requests pop into a per-device
+// scratch buffer, so a steady stream dequeues without allocating; the
+// payload is consumed synchronously by handle before the next pop reuses it.
 func (b *Backend) serve(dev *backendDevice) {
 	defer close(dev.done)
 	ec := b.hv.EventChannels()
+	var reqBuf []byte
 	for {
-		id, payload, ok, err := dev.r.TryDequeueRequest()
+		id, payload, ok, err := dev.r.TryDequeueRequestInto(reqBuf[:0])
 		if err != nil {
 			return // ring closed
+		}
+		if ok {
+			reqBuf = payload
 		}
 		if !ok {
 			if err := ec.Wait(xen.Dom0, dev.port); err != nil {

@@ -82,6 +82,18 @@ type Guard interface {
 	RetainsPlaintext() bool
 }
 
+// StateProtectorAppend is an optional Guard extension: ProtectState building
+// the blob into a caller-supplied buffer. The manager's checkpoint pipeline
+// type-asserts for it so steady-state persists reuse one envelope buffer per
+// instance instead of allocating per checkpoint; guards that don't implement
+// it fall back to ProtectState.
+type StateProtectorAppend interface {
+	// ProtectStateAppend appends the protected form of state to dst and
+	// returns the extended slice (dst is typically buf[:0] of a scratch
+	// slice).
+	ProtectStateAppend(inst InstanceInfo, dst, state []byte) ([]byte, error)
+}
+
 // GuestCodec is the frontend half of the command channel: it encodes
 // outgoing TPM commands into ring payloads and decodes ring responses.
 type GuestCodec interface {
@@ -91,11 +103,26 @@ type GuestCodec interface {
 	DecodeResponse(payload []byte) ([]byte, error)
 }
 
+// AppendRequestEncoder is an optional GuestCodec extension: EncodeRequest
+// appending into a caller-supplied buffer. The frontend type-asserts for it
+// so it can reserve the ring framing tag byte up front and build the whole
+// framed request in one reusable transmit buffer, with no per-command copy.
+type AppendRequestEncoder interface {
+	// EncodeRequestAppend appends the encoded form of cmd to dst and returns
+	// the extended slice.
+	EncodeRequestAppend(dst, cmd []byte) ([]byte, error)
+}
+
 // PlainCodec passes commands through untouched — the baseline channel.
 type PlainCodec struct{}
 
 // EncodeRequest implements GuestCodec.
 func (PlainCodec) EncodeRequest(cmd []byte) ([]byte, error) { return cmd, nil }
+
+// EncodeRequestAppend implements AppendRequestEncoder.
+func (PlainCodec) EncodeRequestAppend(dst, cmd []byte) ([]byte, error) {
+	return append(dst, cmd...), nil
+}
 
 // DecodeResponse implements GuestCodec.
 func (PlainCodec) DecodeResponse(p []byte) ([]byte, error) { return p, nil }

@@ -41,6 +41,32 @@ type instance struct {
 	exchange []byte
 
 	attached bool
+
+	// ck is the instance's write-behind checkpoint pipeline state; see
+	// checkpoint.go for the machinery and DESIGN.md for the durability
+	// contract.
+	ck ckptState
+
+	// persistMu serializes whole persist passes (snapshot → seal → store →
+	// mirror) between the background checkpoint worker and forced
+	// checkpoints, so a snapshot taken later can never be overwritten by an
+	// earlier one. Ordering: persistMu is acquired before mu, never after.
+	persistMu sync.Mutex
+
+	// stateBuf and blobBuf are scratch buffers reused across persists
+	// (guarded by persistMu): the serialized plaintext state and its
+	// protected envelope. Steady-state checkpoints allocate nothing once
+	// both have grown to the instance's working size.
+	stateBuf []byte
+	blobBuf  []byte
+}
+
+// newInstance builds an instance record with its checkpoint pipeline state
+// initialized. All creation paths (create, revive, import) go through here.
+func newInstance(info InstanceInfo, eng *tpm.TPM) *instance {
+	inst := &instance{info: info, eng: eng}
+	inst.ck.init()
+	return inst
 }
 
 // Snapshot captures the identity metadata of an instance. Callers already

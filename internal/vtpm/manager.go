@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"xvtpm/internal/metrics"
 	"xvtpm/internal/tpm"
 	"xvtpm/internal/xen"
 )
@@ -35,12 +36,34 @@ type ManagerConfig struct {
 	// background so instance creation is not gated on RSA generation — the
 	// manager-side optimization measured in experiment E3.
 	EKPoolSize int
-	// DeferCheckpoints disables the automatic re-persist after state-
-	// mutating commands; callers then checkpoint explicitly (Checkpoint /
-	// CheckpointAll). This is the durability-vs-throughput ablation the
-	// benchmark suite measures: the stock manager persisted eagerly, at a
-	// real cost on Extend-heavy workloads.
+	// Checkpoint selects when mutated state is persisted: synchronously on
+	// every mutating command (CheckpointEager, the default and the stock
+	// manager's behaviour), coalesced by a background worker within the
+	// MaxDirtyCommands/MaxDirtyInterval window (CheckpointWriteback), or
+	// only on explicit Checkpoint/CheckpointAll calls (CheckpointDeferred).
+	// See checkpoint.go for the durability contract.
+	Checkpoint CheckpointPolicy
+	// MaxDirtyCommands bounds how many unpersisted mutations writeback may
+	// accumulate before dispatch blocks for the worker. Zero means
+	// DefaultMaxDirtyCommands.
+	MaxDirtyCommands int
+	// MaxDirtyInterval bounds how long a dirty instance may wait for more
+	// mutations before the worker persists what it has. Zero means
+	// DefaultMaxDirtyInterval.
+	MaxDirtyInterval time.Duration
+	// DeferCheckpoints is the pre-CheckpointPolicy spelling of
+	// CheckpointDeferred, kept for existing callers; it is ignored when
+	// Checkpoint is set explicitly.
 	DeferCheckpoints bool
+}
+
+// policy resolves the configured checkpoint policy, honouring the legacy
+// DeferCheckpoints flag.
+func (cfg ManagerConfig) policy() CheckpointPolicy {
+	if cfg.Checkpoint == CheckpointEager && cfg.DeferCheckpoints {
+		return CheckpointDeferred
+	}
+	return cfg.Checkpoint
 }
 
 // Manager is the dom0 vTPM manager daemon: it owns every instance, its
@@ -71,8 +94,22 @@ type Manager struct {
 	nextID    InstanceID
 	seedCtr   uint64
 
-	ekPool chan *rsa.PrivateKey
-	stop   chan struct{}
+	ekPool    chan *rsa.PrivateKey
+	stop      chan struct{}
+	closeOnce sync.Once
+
+	// Resolved checkpoint pipeline parameters (see checkpoint.go), fixed at
+	// construction so the hot path never re-derives them.
+	ckptPolicy       CheckpointPolicy
+	maxDirty         uint64
+	maxDirtyInterval time.Duration
+
+	// Pipeline counters, aggregated across instances.
+	ckptMutations metrics.Counter
+	ckptWrites    metrics.Counter
+	ckptCoalesced metrics.Counter
+	ckptBytes     metrics.Counter
+	ckptLag       *metrics.Recorder
 
 	// tapMu guards taps: observers of dispatched ring payloads. A
 	// compromised dom0 component sits exactly here, which is how the replay
@@ -121,6 +158,17 @@ func NewManager(hv *xen.Hypervisor, store Store, arena *xen.Arena, guard Guard, 
 		byDom:     make(map[xen.DomID]InstanceID),
 		nextID:    1,
 		stop:      make(chan struct{}),
+
+		ckptPolicy:       cfg.policy(),
+		maxDirty:         DefaultMaxDirtyCommands,
+		maxDirtyInterval: DefaultMaxDirtyInterval,
+		ckptLag:          metrics.NewRecorder(),
+	}
+	if cfg.MaxDirtyCommands > 0 {
+		m.maxDirty = uint64(cfg.MaxDirtyCommands)
+	}
+	if cfg.MaxDirtyInterval > 0 {
+		m.maxDirtyInterval = cfg.MaxDirtyInterval
 	}
 	if cfg.EKPoolSize > 0 {
 		m.ekPool = make(chan *rsa.PrivateKey, cfg.EKPoolSize)
@@ -148,13 +196,27 @@ func (m *Manager) fillEKPool() {
 	}
 }
 
-// Close stops the manager's background work.
+// Close stops the manager's background work, first draining every
+// instance's pending write-behind checkpoints so an orderly shutdown never
+// abandons dirty state. The drain is best-effort: a persist failure stays
+// sticky on its instance and is reported by an explicit Checkpoint, keeping
+// Close usable from test cleanups.
 func (m *Manager) Close() {
-	select {
-	case <-m.stop:
-	default:
+	m.closeOnce.Do(func() {
 		close(m.stop)
-	}
+		if m.ckptPolicy != CheckpointWriteback {
+			return
+		}
+		m.regMu.RLock()
+		insts := make([]*instance, 0, len(m.instances))
+		for _, inst := range m.instances {
+			insts = append(insts, inst)
+		}
+		m.regMu.RUnlock()
+		for _, inst := range insts {
+			m.flushCheckpoints(inst) //nolint:errcheck // best-effort drain; error stays sticky per instance
+		}
+	})
 }
 
 // pooledEK returns a pre-generated EK if one is ready.
@@ -218,11 +280,11 @@ func (m *Manager) CreateInstance() (InstanceID, error) {
 	if err := cli.Startup(tpm.STClear); err != nil {
 		return 0, fmt.Errorf("vtpm: starting instance %d: %w", id, err)
 	}
-	inst := &instance{info: InstanceInfo{ID: id}, eng: eng}
+	inst := newInstance(InstanceInfo{ID: id}, eng)
 	m.regMu.Lock()
 	m.instances[id] = inst
 	m.regMu.Unlock()
-	if err := m.checkpointInstance(inst); err != nil {
+	if err := m.checkpointInstance(inst, true); err != nil {
 		return 0, err
 	}
 	return id, nil
@@ -270,7 +332,9 @@ func (m *Manager) BindInstance(id InstanceID, dom *xen.Domain) error {
 }
 
 // UnbindInstance detaches an instance from its domain (for shutdown or
-// migration).
+// migration). It is a flush barrier: any pending write-behind checkpoints
+// are drained before it returns, so the store reflects every command the
+// departing domain saw answered.
 func (m *Manager) UnbindInstance(id InstanceID) error {
 	inst, err := m.lookup(id)
 	if err != nil {
@@ -289,7 +353,7 @@ func (m *Manager) UnbindInstance(id InstanceID) error {
 		delete(m.byDom, dom)
 	}
 	m.regMu.Unlock()
-	return nil
+	return m.flushCheckpoints(inst)
 }
 
 // DestroyInstance removes an instance, scrubbing its memory mirror and
@@ -304,6 +368,9 @@ func (m *Manager) DestroyInstance(id InstanceID) error {
 	if !ok {
 		return fmt.Errorf("%w: %d", ErrNoInstance, id)
 	}
+	// Shut the checkpoint pipeline down first: once retired, no in-flight or
+	// future persist can rewrite the mirror or re-create the deleted blob.
+	m.retireCheckpoints(inst)
 	inst.mu.Lock()
 	dom := inst.info.BoundDom
 	inst.info.BoundDom = 0
@@ -392,10 +459,14 @@ func ordinalOf(cmd []byte) uint32 {
 // grant-verified truth, while a compromised dom0 component can pass
 // anything, which is precisely the spoofing surface the Guard must close.
 //
-// The whole exchange — guard admission, engine execution, exchange
-// recording, checkpoint, response finishing — runs under the instance's own
-// lock only, so concurrent dispatches to different instances proceed in
-// parallel lanes.
+// The exchange — guard admission, engine execution, exchange recording,
+// response finishing — runs under the instance's own lock only, so
+// concurrent dispatches to different instances proceed in parallel lanes.
+// Persistence of mutated state is policy-dependent and never runs inside
+// that lock: eager persists synchronously after the lock drops, writeback
+// marks the instance dirty for its background worker (blocking first if the
+// unpersisted window is already at MaxDirtyCommands), deferred leaves it to
+// explicit checkpoints.
 func (m *Manager) Dispatch(claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest, payload []byte) ([]byte, error) {
 	m.regMu.RLock()
 	id, ok := m.byDom[claimedFrom]
@@ -408,11 +479,12 @@ func (m *Manager) Dispatch(claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest
 		return nil, fmt.Errorf("%w: dom%d has no vTPM", ErrNoInstance, claimedFrom)
 	}
 	m.notifyTaps(claimedFrom, payload)
+	m.checkpointGate(inst)
 
 	inst.mu.Lock()
-	defer inst.mu.Unlock()
 	cmd, finish, err := m.guard.AdmitCommand(inst.info, claimedFrom, claimedLaunch, payload)
 	if err != nil {
+		inst.mu.Unlock()
 		return nil, err
 	}
 	execStart := time.Now()
@@ -425,17 +497,22 @@ func (m *Manager) Dispatch(claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest
 	// Record the decoded exchange in dom0 arena memory: this is the
 	// manager's working buffer a core dump would capture.
 	m.recordExchangeLocked(inst, cmd, resp)
-	if !m.cfg.DeferCheckpoints && mutatingOrdinals[ordinalOf(cmd)] {
-		if err := m.checkpointLocked(inst); err != nil {
-			return nil, err
-		}
+	mutated := mutatingOrdinals[ordinalOf(cmd)]
+	if mutated {
+		m.noteMutation(inst)
 	}
 	out, err := finish(resp)
 	if !m.guard.RetainsPlaintext() {
 		m.bus.Zeroize(inst.exchange)
 	}
+	inst.mu.Unlock()
 	if err != nil {
 		return nil, err
+	}
+	if mutated && m.ckptPolicy == CheckpointEager {
+		if err := m.checkpointInstance(inst, false); err != nil {
+			return nil, err
+		}
 	}
 	return out, nil
 }
@@ -460,57 +537,31 @@ func (m *Manager) recordExchangeLocked(inst *instance, cmd, resp []byte) {
 	m.bus.GuardedCopy(inst.exchange[n:], resp)
 }
 
-// checkpointInstance persists an instance on demand, serializing with any
-// in-flight dispatch through the instance lock.
-func (m *Manager) checkpointInstance(inst *instance) error {
-	inst.mu.Lock()
-	defer inst.mu.Unlock()
-	return m.checkpointLocked(inst)
-}
-
-// checkpointLocked persists an instance's current state through the guard,
-// both to the store and to the in-memory mirror. Caller holds inst.mu.
-func (m *Manager) checkpointLocked(inst *instance) error {
-	state := inst.eng.SaveState()
-	blob, err := m.guard.ProtectState(inst.info, state)
-	if err != nil {
-		return fmt.Errorf("vtpm: protecting state of instance %d: %w", inst.info.ID, err)
-	}
-	if err := m.store.Put(stateName(inst.info.ID), blob); err != nil {
-		return err
-	}
-	if len(inst.mirror) < len(blob) {
-		m.bus.Zeroize(inst.mirror)
-		buf, err := m.arena.Alloc(len(blob))
-		if err != nil {
-			return err
-		}
-		inst.mirror = buf
-	}
-	m.bus.Zeroize(inst.mirror)
-	m.bus.GuardedCopy(inst.mirror, blob)
-	return nil
-}
-
-// CheckpointAll persists every live instance (used with DeferCheckpoints
-// and at orderly shutdown).
+// CheckpointAll persists every live instance (used with deferred
+// checkpoints and at orderly shutdown). One wedged instance does not block
+// persistence of the rest: every failure is collected and the aggregate
+// returned with errors.Join.
 func (m *Manager) CheckpointAll() error {
+	var errs []error
 	for _, id := range m.Instances() {
-		if err := m.Checkpoint(id); err != nil {
-			return err
+		if err := m.Checkpoint(id); err != nil && !errors.Is(err, ErrNoInstance) {
+			errs = append(errs, fmt.Errorf("vtpm: checkpointing instance %d: %w", id, err))
 		}
 	}
-	return nil
+	return errors.Join(errs...)
 }
 
 // ReviveAll reloads every persisted instance that is not already live —
-// the manager-restart recovery path. It returns the IDs revived.
+// the manager-restart recovery path. It returns the IDs revived. A corrupt
+// or unrecoverable blob does not abort the sweep: the rest still revive,
+// and the failures come back aggregated with errors.Join.
 func (m *Manager) ReviveAll() ([]InstanceID, error) {
 	names, err := m.store.List()
 	if err != nil {
 		return nil, err
 	}
 	var revived []InstanceID
+	var errs []error
 	for _, name := range names {
 		var id InstanceID
 		if _, err := fmt.Sscanf(name, "vtpm-%08d.state", &id); err != nil {
@@ -523,20 +574,22 @@ func (m *Manager) ReviveAll() ([]InstanceID, error) {
 			continue
 		}
 		if err := m.ReviveInstance(id); err != nil {
-			return revived, fmt.Errorf("vtpm: reviving instance %d: %w", id, err)
+			errs = append(errs, fmt.Errorf("vtpm: reviving instance %d: %w", id, err))
+			continue
 		}
 		revived = append(revived, id)
 	}
-	return revived, nil
+	return revived, errors.Join(errs...)
 }
 
-// Checkpoint persists one instance on demand.
+// Checkpoint persists one instance on demand, draining any pending
+// write-behind work first and surfacing sticky background persist errors.
 func (m *Manager) Checkpoint(id InstanceID) error {
 	inst, err := m.lookup(id)
 	if err != nil {
 		return err
 	}
-	return m.checkpointInstance(inst)
+	return m.checkpointInstance(inst, true)
 }
 
 // ReviveInstance reloads a persisted instance from the store (after a
@@ -562,7 +615,7 @@ func (m *Manager) ReviveInstance(id InstanceID) error {
 	if _, exists := m.instances[id]; exists {
 		return fmt.Errorf("vtpm: instance %d already live", id)
 	}
-	m.instances[id] = &instance{info: info, eng: eng}
+	m.instances[id] = newInstance(info, eng)
 	if id >= m.nextID {
 		m.nextID = id + 1
 	}

@@ -34,6 +34,13 @@ func (m *Manager) ExportInstance(id InstanceID, destEK *rsa.PublicKey) (*Instanc
 	if err != nil {
 		return nil, err
 	}
+	// Flush barrier: drain pending write-behind checkpoints so the local
+	// store agrees with the state about to travel. The export itself then
+	// snapshots the engine directly, so the image always carries the latest
+	// mutation regardless of policy.
+	if err := m.flushCheckpoints(inst); err != nil {
+		return nil, err
+	}
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
 	if inst.info.BoundDom != 0 {
@@ -61,10 +68,10 @@ func (m *Manager) ImportInstance(img *InstanceImage) (InstanceID, error) {
 	m.regMu.Lock()
 	id := m.nextID
 	m.nextID++
-	inst := &instance{info: InstanceInfo{ID: id, BoundLaunch: img.Launch}, eng: eng}
+	inst := newInstance(InstanceInfo{ID: id, BoundLaunch: img.Launch}, eng)
 	m.instances[id] = inst
 	m.regMu.Unlock()
-	if err := m.checkpointInstance(inst); err != nil {
+	if err := m.checkpointInstance(inst, true); err != nil {
 		return 0, err
 	}
 	return id, nil

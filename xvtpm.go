@@ -28,6 +28,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"xvtpm/internal/core"
 	"xvtpm/internal/tpm"
@@ -85,6 +86,13 @@ type HostConfig struct {
 	Dom0Pages int
 	// EKPoolSize pre-generates instance endorsement keys (experiment E3).
 	EKPoolSize int
+	// Checkpoint selects the manager's state-persistence policy: eager
+	// (default), writeback or deferred. See vtpm.CheckpointPolicy.
+	Checkpoint vtpm.CheckpointPolicy
+	// MaxDirtyCommands / MaxDirtyInterval bound the writeback durability
+	// window; zero means the vtpm package defaults.
+	MaxDirtyCommands int
+	MaxDirtyInterval time.Duration
 }
 
 // Host is one simulated physical machine.
@@ -241,9 +249,12 @@ func NewHost(cfg HostConfig) (*Host, error) {
 		mgrSeed = append(append([]byte(nil), cfg.Seed...), []byte("|mgr|"+cfg.Name)...)
 	}
 	h.Manager = vtpm.NewManager(hv, h.Store, xen.NewArena(dom0), h.guard, vtpm.ManagerConfig{
-		RSABits:    cfg.RSABits,
-		Seed:       mgrSeed,
-		EKPoolSize: cfg.EKPoolSize,
+		RSABits:          cfg.RSABits,
+		Seed:             mgrSeed,
+		EKPoolSize:       cfg.EKPoolSize,
+		Checkpoint:       cfg.Checkpoint,
+		MaxDirtyCommands: cfg.MaxDirtyCommands,
+		MaxDirtyInterval: cfg.MaxDirtyInterval,
 	})
 	h.Backend = vtpm.NewBackend(hv, xs, h.Manager)
 	return h, nil
