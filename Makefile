@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke ci clean
+.PHONY: all build vet test race bench bench-smoke chaos ci clean
 
 all: build
 
@@ -28,7 +28,15 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
-ci: vet build test race bench-smoke
+# Seeded fault storm under the race detector (chaos_test.go). The test logs
+# its seed; on failure we echo it again so the schedule can be replayed with
+# CHAOS_SEED=<seed> make chaos.
+CHAOS_SEED ?=
+chaos:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -v -run TestChaosStorm -count=1 . \
+		|| { echo "chaos storm FAILED — replay with CHAOS_SEED=<seed from log above> make chaos"; exit 1; }
+
+ci: vet build test race bench-smoke chaos
 
 clean:
 	$(GO) clean ./...

@@ -30,7 +30,11 @@ func allocGuardRig(t *testing.T) (*vtpm.Manager, *xen.Domain) {
 			RSABits: 512, Seed: []byte("allocguard"),
 			Checkpoint: vtpm.CheckpointWriteback,
 		})
-	t.Cleanup(mgr.Close)
+	t.Cleanup(func() {
+		if err := mgr.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
 	dom, err := hv.CreateDomain(xen.DomainConfig{Name: "ag", Kernel: []byte("agk")})
 	if err != nil {
 		t.Fatal(err)

@@ -38,7 +38,7 @@ func benchHost(b *testing.B, mode xvtpm.Mode, extra ...func(*xvtpm.HostConfig)) 
 	if err != nil {
 		b.Fatalf("NewHost: %v", err)
 	}
-	b.Cleanup(h.Close)
+	b.Cleanup(func() { h.Close() })
 	return h
 }
 

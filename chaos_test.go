@@ -1,0 +1,142 @@
+// Chaos: a seeded store-fault storm racing a concurrent guest workload,
+// meant to run under `go test -race` (see `make chaos`). The injector
+// throws transient errors, torn writes, and short reads at the state
+// store while every guest streams Extend commands; afterwards injection
+// stops and the supervised-recovery path must bring every instance back
+// to Healthy with its committed state intact.
+//
+// Override the storm seed with CHAOS_SEED=<int64> to replay a schedule;
+// the active seed is logged either way so a CI failure is reproducible.
+package xvtpm_test
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"xvtpm"
+	"xvtpm/internal/faults"
+	"xvtpm/internal/tpm"
+	"xvtpm/internal/vtpm"
+)
+
+const defaultChaosSeed int64 = 0x5EED
+
+func chaosSeed(t *testing.T) int64 {
+	if env := os.Getenv("CHAOS_SEED"); env != "" {
+		seed, err := strconv.ParseInt(env, 0, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED=%q: %v", env, err)
+		}
+		return seed
+	}
+	return defaultChaosSeed
+}
+
+func TestChaosStorm(t *testing.T) {
+	seed := chaosSeed(t)
+	t.Logf("chaos seed %d (replay with CHAOS_SEED=%d)", seed, seed)
+	for _, policy := range []vtpm.CheckpointPolicy{
+		vtpm.CheckpointEager,
+		vtpm.CheckpointWriteback,
+	} {
+		t.Run(policy.String(), func(t *testing.T) {
+			inj := faults.NewInjector(seed)
+			inj.SetDisabled(true)
+			fstore := faults.NewStore(vtpm.NewMemStore(), inj)
+			h, err := xvtpm.NewHost(xvtpm.HostConfig{
+				Name:       "chaos-" + policy.String(),
+				Mode:       xvtpm.ModeImproved,
+				RSABits:    512,
+				Checkpoint: policy,
+				Store:      fstore,
+				Retry: vtpm.RetryPolicy{
+					MaxAttempts: 6,
+					BaseBackoff: 50 * time.Microsecond,
+					MaxBackoff:  time.Millisecond,
+					Deadline:    time.Second,
+				},
+			})
+			if err != nil {
+				t.Fatalf("NewHost: %v", err)
+			}
+			t.Cleanup(func() { h.Close() }) //nolint:errcheck // verified healthy below
+
+			const guests = 4
+			const perGuest = 60
+			gs := make([]*xvtpm.Guest, guests)
+			for i := range gs {
+				g, err := h.CreateGuest(xvtpm.GuestConfig{
+					Name:   fmt.Sprintf("chaos-%d", i),
+					Kernel: []byte(fmt.Sprintf("chaos-k-%d", i)),
+				})
+				if err != nil {
+					t.Fatalf("CreateGuest %d: %v", i, err)
+				}
+				gs[i] = g
+			}
+
+			inj.SetPolicy(faults.OpPut, faults.Policy{ErrorRate: 0.05, TornRate: 0.01})
+			inj.SetPolicy(faults.OpGet, faults.Policy{ErrorRate: 0.02, ShortRate: 0.01})
+			inj.SetDisabled(false)
+
+			var wg sync.WaitGroup
+			for gi, g := range gs {
+				wg.Add(1)
+				go func(gi int, g *xvtpm.Guest) {
+					defer wg.Done()
+					for step := 1; step <= perGuest; step++ {
+						var m [tpm.DigestSize]byte
+						m[0], m[1] = byte(gi), byte(step)
+						// Errors are acceptable mid-storm — instances may be
+						// degraded or quarantined; recovery is checked below.
+						g.TPM.Extend(7, m) //nolint:errcheck
+					}
+				}(gi, g)
+			}
+			wg.Wait()
+
+			// Storm over: supervised recovery must succeed for everyone.
+			inj.SetDisabled(true)
+			for _, id := range h.Manager.Instances() {
+				ih, err := h.Manager.Health(id)
+				if err != nil {
+					t.Fatalf("Health(%d): %v", id, err)
+				}
+				if ih.State == vtpm.HealthHealthy {
+					continue
+				}
+				if err := h.Manager.Checkpoint(id); err != nil {
+					t.Fatalf("supervised recovery of instance %d: %v (seed %d)", id, err, seed)
+				}
+			}
+			if err := h.Manager.CheckpointAll(); err != nil {
+				t.Fatalf("final CheckpointAll: %v (seed %d)", err, seed)
+			}
+			for _, ih := range h.Manager.HealthAll() {
+				if ih.State != vtpm.HealthHealthy {
+					t.Fatalf("instance %d still %s after recovery: %s (seed %d)",
+						ih.ID, ih.State, ih.LastError, seed)
+				}
+			}
+			// Every engine must still answer, and its committed state must be
+			// durable in the inner store (bypassing the injector).
+			inner := fstore.Inner().(vtpm.Store)
+			for _, g := range gs {
+				eng, err := h.Manager.DirectClient(g.Instance)
+				if err != nil {
+					t.Fatalf("DirectClient(%d): %v", g.Instance, err)
+				}
+				if _, err := eng.PCRRead(7); err != nil {
+					t.Fatalf("instance %d unusable after recovery: %v (seed %d)", g.Instance, err, seed)
+				}
+				if _, err := inner.Get(fmt.Sprintf("vtpm-%08d.state", g.Instance)); err != nil {
+					t.Fatalf("instance %d has no durable state: %v (seed %d)", g.Instance, err, seed)
+				}
+			}
+		})
+	}
+}

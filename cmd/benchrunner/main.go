@@ -1,11 +1,11 @@
 // Command benchrunner regenerates the reconstructed evaluation of the
 // paper: every table and figure (E1–E8 in DESIGN.md) plus the harness
 // extensions (E9 flood control, E10 recovery, E11 concurrent dispatch,
-// E12 checkpoint policy), printed as aligned text tables and series.
+// E12 checkpoint policy, E13 fault storm), printed as aligned text tables and series.
 //
 // Usage:
 //
-//	benchrunner [-exp all|E1|E2|...|E12] [-bits 512] [-quick]
+//	benchrunner [-exp all|E1|E2|...|E13] [-bits 512] [-quick]
 //
 // Absolute numbers are those of this Go reproduction on the local machine;
 // the claims under test are the relative shapes (baseline vs improved),
@@ -22,7 +22,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, or one of E1..E12")
+	exp := flag.String("exp", "all", "experiment to run: all, or one of E1..E13")
 	bits := flag.Int("bits", 512, "RSA modulus size for all TPM keys")
 	quick := flag.Bool("quick", false, "reduced repetitions (smoke run)")
 	flag.Parse()
@@ -41,8 +41,9 @@ func main() {
 		"E10": func() error { _, err := experiments.E10Recovery(cfg); return err },
 		"E11": func() error { _, err := experiments.E11ConcurrentDispatch(cfg); return err },
 		"E12": func() error { _, err := experiments.E12CheckpointPolicy(cfg); return err },
+		"E13": func() error { _, err := experiments.E13FaultStorm(cfg); return err },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
 
 	want := strings.ToUpper(*exp)
 	if want == "ALL" {
@@ -57,7 +58,7 @@ func main() {
 	}
 	run, ok := runners[want]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all or E1..E12)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all or E1..E13)\n", *exp)
 		os.Exit(2)
 	}
 	if err := run(); err != nil {

@@ -39,7 +39,11 @@ func TestConcurrentLifecycleAndWorkload(t *testing.T) {
 				if err != nil {
 					t.Fatalf("NewHost: %v", err)
 				}
-				t.Cleanup(h.Close)
+				t.Cleanup(func() {
+					if err := h.Close(); err != nil {
+						t.Errorf("Close: %v", err)
+					}
+				})
 				return h
 			}
 			src := mkHost("src")

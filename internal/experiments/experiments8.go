@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+
+	"xvtpm"
+	"xvtpm/internal/faults"
+	"xvtpm/internal/metrics"
+	"xvtpm/internal/tpm"
+	"xvtpm/internal/vtpm"
+)
+
+// E13Seed is the root seed of the fault storm. Every verdict the injector
+// hands out is a pure function of this seed (per-operation decision
+// streams, see internal/faults), so a failing run is replayed by running
+// again with the same seed — which the table header prints.
+const E13Seed int64 = 0xC0FFEE
+
+// E13StoreErrorRate is the total store fault probability per operation:
+// 4% transient errors plus 1% torn writes.
+const (
+	e13ErrorRate = 0.04
+	e13TornRate  = 0.01
+)
+
+// E13Row is one row of the fault-storm recovery table.
+type E13Row struct {
+	Policy      vtpm.CheckpointPolicy
+	Commands    int    // Extend commands attempted during the storm
+	Failed      int    // commands that returned an error to the guest
+	Injected    uint64 // faults the injector delivered
+	Retries     uint64 // store-I/O retry attempts beyond the first
+	Degraded    uint64 // Healthy→Degraded transitions taken
+	Quarantined uint64 // →Quarantined transitions taken
+	Recovered   int    // instances healed by supervised checkpoint post-storm
+	Lost        int    // guests whose recovered store state trails their engine
+}
+
+// E13FaultStorm drives every checkpoint policy through a seeded store-fault
+// storm in two phases — transient Put failures and torn writes at a
+// combined 5% rate (absorbed by retries), then a brief total store outage
+// (exhausts retries, forcing Degraded/Quarantined transitions) — and then
+// exercises the supervised recovery path: injection off, every non-healthy
+// instance checkpointed under supervision, and the store's recovered state
+// compared against each live engine.
+//
+// The claim under test is the failure model's durability promise: a command
+// the guest saw succeed is never lost. Transient faults are retried to
+// success inside the dispatch path; faults that exhaust their retries leave
+// the instance visibly Degraded (eager-synchronous persistence) or
+// Quarantined (fenced until supervised recovery) — and once the storm ends,
+// one supervised Checkpoint per instance brings the store exactly current,
+// so the lost column must be zero under all three policies.
+func E13FaultStorm(cfg Config) ([]E13Row, error) {
+	policies := []vtpm.CheckpointPolicy{
+		vtpm.CheckpointEager,
+		vtpm.CheckpointWriteback,
+		vtpm.CheckpointDeferred,
+	}
+	const guests = 3
+	const pcr = 10
+	perGuest := cfg.reps(300, 30)
+	var rows []E13Row
+	for _, pol := range policies {
+		inj := faults.NewInjector(E13Seed)
+		inj.SetDisabled(true) // quiet while the host assembles
+		fstore := faults.NewStore(vtpm.NewMemStore(), inj)
+		h, err := newHost(cfg, xvtpm.ModeImproved, func(hc *xvtpm.HostConfig) {
+			hc.Checkpoint = pol
+			hc.Store = fstore
+			// A tight dirty window keeps writeback's coalescing from shrinking
+			// the storm to a handful of Puts — the point here is fault
+			// exposure, not throughput.
+			hc.MaxDirtyCommands = 4
+		})
+		if err != nil {
+			return nil, err
+		}
+		gs := make([]*xvtpm.Guest, guests)
+		for i := range gs {
+			g, err := h.CreateGuest(xvtpm.GuestConfig{
+				Name:   fmt.Sprintf("storm-%d", i),
+				Kernel: []byte(fmt.Sprintf("storm-kernel-%d", i)),
+			})
+			if err != nil {
+				return nil, fmt.Errorf("E13 guest %d under %s: %w", i, pol, err)
+			}
+			gs[i] = g
+		}
+
+		// The storm: round-robin Extend streams under injection. Sequential
+		// dispatch keeps the draw order, and therefore the whole fault
+		// schedule, a pure function of the seed for the eager and deferred
+		// policies (writeback's worker consumes draws on its own clock).
+		inj.SetPolicy(faults.OpPut, faults.Policy{ErrorRate: e13ErrorRate, TornRate: e13TornRate})
+		inj.SetDisabled(false)
+		row := E13Row{Policy: pol}
+		for step := 1; step <= perGuest; step++ {
+			for i, g := range gs {
+				var m [tpm.DigestSize]byte
+				m[0], m[1], m[2] = byte(i), byte(step), byte(step>>8)
+				row.Commands++
+				if _, err := g.TPM.Extend(pcr, m); err != nil {
+					row.Failed++
+				}
+			}
+			// Deferred persists only on explicit checkpoints; issue them
+			// periodically so that policy faces the storm too.
+			if pol == vtpm.CheckpointDeferred && step%5 == 0 {
+				h.Manager.CheckpointAll() //nolint:errcheck // failures surface as health transitions
+			}
+		}
+
+		// Phase two: a total store outage. 5% is absorbed by retries; a
+		// dead store must instead exhaust them and surface as Degraded →
+		// Quarantined transitions that supervised recovery then heals.
+		inj.SetPolicy(faults.OpPut, faults.Policy{ErrorRate: 1})
+		for burst := 1; burst <= 4; burst++ {
+			for i, g := range gs {
+				var m [tpm.DigestSize]byte
+				m[0], m[1], m[2] = byte(i), byte(burst), 0xFF
+				row.Commands++
+				if _, err := g.TPM.Extend(pcr, m); err != nil {
+					row.Failed++
+				}
+			}
+			if pol == vtpm.CheckpointDeferred {
+				h.Manager.CheckpointAll() //nolint:errcheck // failures surface as health transitions
+			}
+		}
+
+		// Storm over: injection off, recover under supervision.
+		inj.SetDisabled(true)
+		for _, id := range h.Manager.Instances() {
+			ih, err := h.Manager.Health(id)
+			if err != nil {
+				return nil, err
+			}
+			if ih.State == vtpm.HealthHealthy {
+				continue
+			}
+			if err := h.Manager.Checkpoint(id); err != nil {
+				return nil, fmt.Errorf("E13 supervised recovery of instance %d under %s: %w", id, pol, err)
+			}
+			row.Recovered++
+		}
+		if err := h.Manager.CheckpointAll(); err != nil {
+			return nil, fmt.Errorf("E13 final flush under %s: %w", pol, err)
+		}
+		for _, ih := range h.Manager.HealthAll() {
+			if ih.State != vtpm.HealthHealthy {
+				return nil, fmt.Errorf("E13 instance %d still %s after recovery under %s (last error: %s)",
+					ih.ID, ih.State, pol, ih.LastError)
+			}
+		}
+
+		// Verification against the inner store, bypassing the injector: each
+		// guest's recovered state must match its live engine exactly — every
+		// command the guest saw succeed is in the engine, so engine == store
+		// means zero committed mutations lost.
+		inner, ok := fstore.Inner().(vtpm.Store)
+		if !ok {
+			return nil, fmt.Errorf("E13: inner store does not implement vtpm.Store")
+		}
+		for _, g := range gs {
+			eng, err := h.Manager.DirectClient(g.Instance)
+			if err != nil {
+				return nil, err
+			}
+			want, err := eng.PCRRead(pcr)
+			if err != nil {
+				return nil, err
+			}
+			blob, err := inner.Get(fmt.Sprintf("vtpm-%08d.state", g.Instance))
+			if err != nil {
+				row.Lost++
+				continue
+			}
+			state, err := h.Guard().RecoverState(vtpm.InstanceInfo{ID: g.Instance}, blob)
+			if err != nil {
+				row.Lost++
+				continue
+			}
+			restored, err := tpm.RestoreState(state)
+			if err != nil {
+				row.Lost++
+				continue
+			}
+			got, err := tpm.NewClient(tpm.DirectTransport{TPM: restored}, nil).PCRRead(pcr)
+			if err != nil || got != want {
+				row.Lost++
+			}
+		}
+
+		stats := h.Manager.CheckpointStats()
+		row.Injected = inj.InjectedTotal()
+		row.Retries = stats.Retries
+		row.Degraded = stats.Degradations
+		row.Quarantined = stats.Quarantines
+		rows = append(rows, row)
+		h.Close() //nolint:errcheck // every instance verified healthy above
+	}
+	if cfg.Out != nil {
+		tbl := make([][]string, 0, len(rows))
+		for _, r := range rows {
+			tbl = append(tbl, []string{
+				r.Policy.String(),
+				fmt.Sprintf("%d", r.Commands),
+				fmt.Sprintf("%d", r.Failed),
+				fmt.Sprintf("%d", r.Injected),
+				fmt.Sprintf("%d", r.Retries),
+				fmt.Sprintf("%d", r.Degraded),
+				fmt.Sprintf("%d", r.Quarantined),
+				fmt.Sprintf("%d", r.Recovered),
+				fmt.Sprintf("%d", r.Lost),
+			})
+		}
+		metrics.Table(cfg.Out,
+			fmt.Sprintf("E13 — store-fault storm at %.0f%% error rate and supervised recovery (seed %d)",
+				(e13ErrorRate+e13TornRate)*100, E13Seed),
+			[]string{"policy", "commands", "failed", "injected", "retries", "degraded", "quarantined", "recovered", "lost"},
+			tbl)
+	}
+	return rows, nil
+}

@@ -1,0 +1,261 @@
+package faults
+
+import (
+	"errors"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// memStore is a minimal BlobStore for the wrapper tests.
+type memStore struct {
+	mu    sync.Mutex
+	blobs map[string][]byte
+}
+
+func newMemStore() *memStore { return &memStore{blobs: make(map[string][]byte)} }
+
+func (s *memStore) Put(name string, data []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.blobs[name] = append([]byte(nil), data...)
+	return nil
+}
+
+func (s *memStore) Get(name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	b, ok := s.blobs[name]
+	if !ok {
+		return nil, errors.New("no blob")
+	}
+	return append([]byte(nil), b...), nil
+}
+
+func (s *memStore) Delete(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.blobs, name)
+	return nil
+}
+
+func (s *memStore) List() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.blobs))
+	for n := range s.blobs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// TestClassification: the wrappers carry their class through wrapping and
+// unwrap to the original error.
+func TestClassification(t *testing.T) {
+	base := errors.New("disk on fire")
+	cases := []struct {
+		err  error
+		want Class
+	}{
+		{nil, ClassNone},
+		{base, ClassTransient}, // unmarked errors default to retryable
+		{Transient(base), ClassTransient},
+		{Permanent(base), ClassPermanent},
+		{Corrupt(base), ClassCorrupt},
+	}
+	for _, c := range cases {
+		if got := Classify(c.err); got != c.want {
+			t.Errorf("Classify(%v) = %v, want %v", c.err, got, c.want)
+		}
+		if c.err != nil && !errors.Is(c.err, base) {
+			t.Errorf("%v does not unwrap to the base error", c.err)
+		}
+	}
+	if Transient(nil) != nil || Permanent(nil) != nil || Corrupt(nil) != nil {
+		t.Error("wrapping nil must stay nil")
+	}
+}
+
+// TestSameSeedSameSchedule: the acceptance-criteria property — two injectors
+// with the same seed and policy produce identical verdict sequences, and a
+// different seed produces a different one.
+func TestSameSeedSameSchedule(t *testing.T) {
+	pol := Policy{ErrorRate: 0.05, TornRate: 0.03, ShortRate: 0.03}
+	draw := func(seed int64) []Outcome {
+		inj := NewInjector(seed)
+		inj.SetPolicy(OpPut, pol)
+		inj.SetPolicy(OpGet, pol)
+		out := make([]Outcome, 0, 2000)
+		for i := 0; i < 1000; i++ {
+			out = append(out, inj.Decide(OpPut), inj.Decide(OpGet))
+		}
+		return out
+	}
+	a, b := draw(42), draw(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at op %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	c := draw(43)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical schedules")
+	}
+}
+
+// TestOpStreamsIndependent: extra traffic on one Op must not shift another
+// Op's schedule — each Op has its own PRNG stream.
+func TestOpStreamsIndependent(t *testing.T) {
+	pol := Policy{ErrorRate: 0.2}
+	getOnly := NewInjector(7)
+	getOnly.SetPolicy(OpGet, pol)
+	mixed := NewInjector(7)
+	mixed.SetPolicy(OpGet, pol)
+	mixed.SetPolicy(OpPut, pol)
+	for i := 0; i < 500; i++ {
+		mixed.Decide(OpPut) // interleaved traffic on a different op
+		a, b := getOnly.Decide(OpGet), mixed.Decide(OpGet)
+		if a != b {
+			t.Fatalf("get schedule shifted by put traffic at op %d: %v vs %v", i, a, b)
+		}
+	}
+}
+
+// TestInjectionRate: at a 5%% error rate over many ops, the injected count
+// lands in a loose band around 5%% (it is a PRNG, not a quota).
+func TestInjectionRate(t *testing.T) {
+	inj := NewInjector(1)
+	inj.SetPolicy(OpPut, Policy{ErrorRate: 0.05})
+	const n = 20000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if inj.Decide(OpPut) != OutcomeOK {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.03 || rate > 0.07 {
+		t.Fatalf("injected rate %.3f outside [0.03, 0.07]", rate)
+	}
+	st := inj.Stats()[OpPut]
+	if st.Ops != n || st.Injected != uint64(hits) {
+		t.Fatalf("stats = %+v, want Ops=%d Injected=%d", st, n, hits)
+	}
+}
+
+// TestDisabled: a disabled injector passes everything and consumes no
+// decision stream, so re-enabling resumes the schedule where it paused.
+func TestDisabled(t *testing.T) {
+	ref := NewInjector(9)
+	ref.SetPolicy(OpPut, Policy{ErrorRate: 0.5})
+	inj := NewInjector(9)
+	inj.SetPolicy(OpPut, Policy{ErrorRate: 0.5})
+	for i := 0; i < 10; i++ {
+		if ref.Decide(OpPut) != inj.Decide(OpPut) {
+			t.Fatal("schedules diverged before disable")
+		}
+	}
+	inj.SetDisabled(true)
+	for i := 0; i < 100; i++ {
+		if inj.Decide(OpPut) != OutcomeOK {
+			t.Fatal("disabled injector injected a fault")
+		}
+	}
+	inj.SetDisabled(false)
+	for i := 0; i < 10; i++ {
+		if ref.Decide(OpPut) != inj.Decide(OpPut) {
+			t.Fatal("disable/enable shifted the schedule")
+		}
+	}
+}
+
+// TestStoreTornWrite: a torn Put leaves a damaged blob in the inner store
+// and reports a transient error; a retried Put repairs it.
+func TestStoreTornWrite(t *testing.T) {
+	inner := newMemStore()
+	inj := NewInjector(3)
+	inj.SetPolicy(OpPut, Policy{TornRate: 1})
+	fs := NewStore(inner, inj)
+	blob := []byte("0123456789abcdef")
+	err := fs.Put("x", blob)
+	if err == nil {
+		t.Fatal("torn write reported success")
+	}
+	if Classify(err) != ClassTransient {
+		t.Fatalf("torn write classified %v, want transient", Classify(err))
+	}
+	if !IsInjected(err) {
+		t.Fatalf("torn write error not marked injected: %v", err)
+	}
+	got, err := inner.Get("x")
+	if err != nil {
+		t.Fatal("torn write left nothing behind; want a damaged prefix")
+	}
+	if len(got) >= len(blob) {
+		t.Fatalf("torn write stored %d bytes, want a strict prefix of %d", len(got), len(blob))
+	}
+	if fs.TornWrites() != 1 {
+		t.Fatalf("TornWrites = %d, want 1", fs.TornWrites())
+	}
+	// Retry with injection off: the damage is repaired.
+	inj.SetPolicy(OpPut, Policy{})
+	if err := fs.Put("x", blob); err != nil {
+		t.Fatal(err)
+	}
+	got, _ = inner.Get("x")
+	if string(got) != string(blob) {
+		t.Fatal("retried Put did not repair the torn blob")
+	}
+}
+
+// TestStoreShortRead: a short Get silently truncates — nil error, damaged
+// data — and the inner blob stays intact.
+func TestStoreShortRead(t *testing.T) {
+	inner := newMemStore()
+	inj := NewInjector(4)
+	fs := NewStore(inner, inj)
+	blob := []byte("0123456789abcdef")
+	if err := fs.Put("x", blob); err != nil {
+		t.Fatal(err)
+	}
+	inj.SetPolicy(OpGet, Policy{ShortRate: 1})
+	got, err := fs.Get("x")
+	if err != nil {
+		t.Fatalf("short read must not error, got %v", err)
+	}
+	if len(got) >= len(blob) {
+		t.Fatalf("short read returned %d bytes, want fewer than %d", len(got), len(blob))
+	}
+	if fs.ShortReads() != 1 {
+		t.Fatalf("ShortReads = %d, want 1", fs.ShortReads())
+	}
+	inj.SetPolicy(OpGet, Policy{})
+	got, err = fs.Get("x")
+	if err != nil || string(got) != string(blob) {
+		t.Fatal("inner blob damaged by the short read")
+	}
+}
+
+// TestTruncateFrame halves payloads on a truncate verdict and passes them
+// through otherwise.
+func TestTruncateFrame(t *testing.T) {
+	inj := NewInjector(5)
+	inj.SetPolicy(OpFrame, Policy{TruncateRate: 1})
+	p := []byte("abcdefgh")
+	out := inj.TruncateFrame(p)
+	if len(out) != len(p)/2 {
+		t.Fatalf("truncated to %d bytes, want %d", len(out), len(p)/2)
+	}
+	inj.SetPolicy(OpFrame, Policy{})
+	if got := inj.TruncateFrame(p); len(got) != len(p) {
+		t.Fatal("pass-through frame was modified")
+	}
+}

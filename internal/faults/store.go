@@ -1,0 +1,106 @@
+package faults
+
+import "sync"
+
+// BlobStore is the store surface the wrapper injects into. It is
+// structurally identical to vtpm.Store, declared here so this package stays
+// free of internal imports; *Store satisfies vtpm.Store by shape.
+type BlobStore interface {
+	Put(name string, data []byte) error
+	Get(name string) ([]byte, error)
+	Delete(name string) error
+	List() ([]string, error)
+}
+
+// Store wraps a BlobStore with policy-driven fault injection: transient and
+// permanent errors, stalls, torn writes (a prefix lands, then the write
+// errors) and short reads (truncated data, nil error). Every fault is drawn
+// deterministically from the shared Injector.
+type Store struct {
+	inner BlobStore
+	inj   *Injector
+
+	mu sync.Mutex
+	// torn counts writes that landed partially — the blobs a revive sweep
+	// should find corrupt if no retry repaired them.
+	torn uint64
+	// short counts reads that returned truncated data.
+	short uint64
+}
+
+// NewStore wraps inner with fault injection driven by inj.
+func NewStore(inner BlobStore, inj *Injector) *Store {
+	return &Store{inner: inner, inj: inj}
+}
+
+// Inner returns the wrapped store, for post-run verification that bypasses
+// injection.
+func (s *Store) Inner() BlobStore { return s.inner }
+
+// TornWrites reports how many Put calls landed only a prefix.
+func (s *Store) TornWrites() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.torn
+}
+
+// ShortReads reports how many Get calls returned truncated data.
+func (s *Store) ShortReads() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.short
+}
+
+// Put implements BlobStore. A torn verdict writes the first half of data to
+// the inner store and then reports a transient error: the caller believes
+// the write failed cleanly, but the store now holds a damaged blob — only a
+// successful retry (or an envelope check at read time) repairs it.
+func (s *Store) Put(name string, data []byte) error {
+	switch out := s.inj.Decide(OpPut); out {
+	case OutcomeError, OutcomePermanent:
+		return errFor(OpPut, out)
+	case OutcomeTorn:
+		s.inner.Put(name, data[:len(data)/2]) //nolint:errcheck // the tear is the point; the caller sees the error below
+		s.mu.Lock()
+		s.torn++
+		s.mu.Unlock()
+		return errFor(OpPut, out)
+	}
+	return s.inner.Put(name, data)
+}
+
+// Get implements BlobStore. A short verdict truncates the returned blob
+// without an error — the silent-corruption case the consumer's envelope
+// authentication must catch.
+func (s *Store) Get(name string) ([]byte, error) {
+	switch out := s.inj.Decide(OpGet); out {
+	case OutcomeError, OutcomePermanent:
+		return nil, errFor(OpGet, out)
+	case OutcomeShort:
+		b, err := s.inner.Get(name)
+		if err != nil {
+			return nil, err
+		}
+		s.mu.Lock()
+		s.short++
+		s.mu.Unlock()
+		return b[:len(b)/2], nil
+	}
+	return s.inner.Get(name)
+}
+
+// Delete implements BlobStore.
+func (s *Store) Delete(name string) error {
+	if out := s.inj.Decide(OpDelete); out == OutcomeError || out == OutcomePermanent {
+		return errFor(OpDelete, out)
+	}
+	return s.inner.Delete(name)
+}
+
+// List implements BlobStore.
+func (s *Store) List() ([]string, error) {
+	if out := s.inj.Decide(OpList); out == OutcomeError || out == OutcomePermanent {
+		return nil, errFor(OpList, out)
+	}
+	return s.inner.List()
+}

@@ -1,0 +1,18 @@
+package metrics
+
+import "sync/atomic"
+
+// Gauge is a concurrency-safe up/down level indicator — the companion to
+// Counter for population counts that rise and fall (instances currently
+// degraded, currently quarantined, dirty windows open). The zero value is
+// ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by delta (negative to decrease).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Set forces the gauge to v.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }

@@ -78,6 +78,42 @@ type Ring struct {
 	// send event-channel notifications.
 	onRequest  func()
 	onResponse func()
+
+	// dequeueFault, when non-nil, rewrites every dequeued payload before it
+	// reaches the consumer — fault injection for torn/truncated frames. It
+	// runs under r.mu and must not reenter the ring. Returning the payload
+	// unchanged is a no-op; returning a prefix models a truncated frame.
+	dequeueFault func(payload []byte) []byte
+	faulted      uint64
+}
+
+// SetDequeueFault installs (or, with nil, removes) a payload-rewrite hook
+// applied to every dequeued request and response. The hook runs under the
+// ring lock and must not call back into the Ring.
+func (r *Ring) SetDequeueFault(fn func(payload []byte) []byte) {
+	r.mu.Lock()
+	r.dequeueFault = fn
+	r.mu.Unlock()
+}
+
+// FaultedFrames returns how many dequeued payloads the fault hook rewrote.
+func (r *Ring) FaultedFrames() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.faulted
+}
+
+// applyDequeueFault runs the fault hook over a just-dequeued payload.
+// Called with r.mu held.
+func (r *Ring) applyDequeueFault(payload []byte) []byte {
+	if r.dequeueFault == nil {
+		return payload
+	}
+	out := r.dequeueFault(payload)
+	if len(out) != len(payload) || (len(payload) > 0 && &out[0] != &payload[0]) {
+		r.faulted++
+	}
+	return out
 }
 
 // Geometry describes a ring's slot layout.
@@ -263,7 +299,7 @@ func (r *Ring) DequeueRequest() (uint64, []byte, error) {
 		return 0, nil, fmt.Errorf("ring: slot %d has status %d, want request", r.reqCons, status)
 	}
 	r.reqCons++
-	return id, payload, nil
+	return id, r.applyDequeueFault(payload), nil
 }
 
 // TryDequeueRequest is the non-blocking variant of DequeueRequest; ok is false
@@ -290,7 +326,7 @@ func (r *Ring) TryDequeueRequestInto(buf []byte) (id uint64, payload []byte, ok 
 		return 0, nil, false, fmt.Errorf("ring: slot %d has status %d, want request", r.reqCons, status)
 	}
 	r.reqCons++
-	return id, payload, true, nil
+	return id, r.applyDequeueFault(payload), true, nil
 }
 
 // TryDequeueResponse is the non-blocking variant of DequeueResponse; ok is
@@ -316,7 +352,7 @@ func (r *Ring) TryDequeueResponse() (id uint64, payload []byte, ok bool, err err
 	r.bus.EndWrite()
 	r.rspCons++
 	r.notFull.Signal()
-	return id, payload, true, nil
+	return id, r.applyDequeueFault(payload), true, nil
 }
 
 // EnqueueResponse publishes the response for request id, overwriting the slot
@@ -380,6 +416,7 @@ func (r *Ring) DequeueResponse() (uint64, []byte, error) {
 	}
 	r.bus.EndWrite()
 	r.rspCons++
+	payload = r.applyDequeueFault(payload)
 	r.mu.Unlock()
 	r.notFull.Signal()
 	return id, payload, nil

@@ -123,6 +123,16 @@ type CheckpointStats struct {
 	BytesWritten uint64
 	// Lag summarizes oldest-dirty-mutation → persist-completion latency.
 	Lag metrics.Summary
+
+	// Recovery counters (see health.go): store-I/O retries performed,
+	// Healthy→Degraded and →Quarantined transitions taken, panics
+	// contained, and the instances currently in each non-healthy state.
+	Retries        uint64
+	Degradations   uint64
+	Quarantines    uint64
+	Panics         uint64
+	DegradedNow    int64
+	QuarantinedNow int64
 }
 
 // CoalesceRatio is mutations persisted per checkpoint — 1.0 under eager,
@@ -137,11 +147,17 @@ func (s CheckpointStats) CoalesceRatio() float64 {
 // CheckpointStats reports the manager's checkpoint pipeline counters.
 func (m *Manager) CheckpointStats() CheckpointStats {
 	return CheckpointStats{
-		Mutations:    m.ckptMutations.Load(),
-		Checkpoints:  m.ckptWrites.Load(),
-		Coalesced:    m.ckptCoalesced.Load(),
-		BytesWritten: m.ckptBytes.Load(),
-		Lag:          m.ckptLag.Summarize(),
+		Mutations:      m.ckptMutations.Load(),
+		Checkpoints:    m.ckptWrites.Load(),
+		Coalesced:      m.ckptCoalesced.Load(),
+		BytesWritten:   m.ckptBytes.Load(),
+		Lag:            m.ckptLag.Summarize(),
+		Retries:        m.ckptRetries.Load(),
+		Degradations:   m.healthDegradations.Load(),
+		Quarantines:    m.healthQuarantines.Load(),
+		Panics:         m.healthPanics.Load(),
+		DegradedNow:    m.healthDegradedNow.Load(),
+		QuarantinedNow: m.healthQuarantinedNow.Load(),
 	}
 }
 
@@ -201,6 +217,15 @@ func (m *Manager) noteMutation(inst *instance) {
 // closes or the instance is destroyed; Close's final drain runs on the
 // closing goroutine, not here.
 func (m *Manager) checkpointWorker(inst *instance) {
+	// Panic containment: a worker panic (a poisoned engine snapshot, a
+	// broken guard) quarantines its own instance instead of unwinding a
+	// bare goroutine and killing the whole process.
+	defer func() {
+		if p := recover(); p != nil {
+			m.healthPanics.Inc()
+			m.notePanic(inst, fmt.Errorf("%w: checkpoint worker: %v", ErrInstancePanic, p))
+		}
+	}()
 	ck := &inst.ck
 	for {
 		select {
@@ -263,6 +288,20 @@ func (m *Manager) persistPending(inst *instance, force bool) error {
 	defer inst.persistMu.Unlock()
 	ck := &inst.ck
 
+	// A quarantined instance persists only under supervision: background
+	// and barrier passes report the sticky failure instead of hammering a
+	// store already known to be broken; an explicit Checkpoint (force) is
+	// the supervised recovery attempt.
+	if !force && inst.health.current() == HealthQuarantined {
+		ck.mu.Lock()
+		err := ck.err
+		ck.mu.Unlock()
+		if err == nil {
+			err = quarantineErr(inst.info.ID, &inst.health)
+		}
+		return err
+	}
+
 	inst.mu.Lock()
 	ck.mu.Lock()
 	seq := ck.dirtySeq
@@ -290,7 +329,9 @@ func (m *Manager) persistPending(inst *instance, force bool) error {
 		err = fmt.Errorf("vtpm: protecting state of instance %d: %w", info.ID, err)
 	}
 	if err == nil {
-		err = m.store.Put(stateName(info.ID), blob)
+		err = m.retryStore(inst, "persisting state", func() error {
+			return m.store.Put(stateName(info.ID), blob)
+		})
 	}
 	if err == nil {
 		err = m.mirrorBlob(inst, blob)
@@ -316,6 +357,10 @@ func (m *Manager) persistPending(inst *instance, force bool) error {
 	}
 	ck.cond.Broadcast()
 	ck.mu.Unlock()
+	// Advance the health machine on every completed pass: success heals,
+	// exhausted retries degrade, repeated or non-transient failure
+	// quarantines (see health.go).
+	m.notePersistOutcome(inst, err)
 	return err
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strconv"
 	"sync"
+	"time"
 
 	"xvtpm/internal/ring"
 	"xvtpm/internal/tpm"
@@ -27,7 +28,15 @@ const (
 	RCGuardDenied    uint32 = 0x00000F01 // policy refused the ordinal
 	RCGuardChannel   uint32 = 0x00000F02 // channel authentication/replay failure
 	RCGuardThrottled uint32 = 0x00000F03 // instance over its command rate limit
+	RCInstanceFailed uint32 = 0x00000F04 // instance quarantined after persistence failure
 )
+
+// driverWaitPoll is how long the split-driver service loops block on the
+// event channel before re-polling the ring. On real hardware a lost
+// interrupt stalls the device until the next one; here a bounded wait turns
+// a dropped notification (see xen.EventChannels.SetNotifyFault) into a short
+// delay instead of a deadlock.
+const driverWaitPoll = 2 * time.Millisecond
 
 // Ring geometry of the vTPM device: 8 in-flight slots of 4 KiB, sized for
 // the largest key blobs the engine emits.
@@ -191,7 +200,8 @@ func (f *Frontend) Transmit(cmd []byte) ([]byte, error) {
 			return nil, err
 		}
 		if !ok {
-			if err := f.hv.EventChannels().Wait(f.dom.ID(), f.port); err != nil {
+			err := f.hv.EventChannels().WaitTimeout(f.dom.ID(), f.port, driverWaitPoll)
+			if err != nil && !errors.Is(err, xen.ErrWaitTimeout) {
 				return nil, err
 			}
 			continue
@@ -343,7 +353,8 @@ func (b *Backend) serve(dev *backendDevice) {
 			reqBuf = payload
 		}
 		if !ok {
-			if err := ec.Wait(xen.Dom0, dev.port); err != nil {
+			if err := ec.WaitTimeout(xen.Dom0, dev.port, driverWaitPoll); err != nil &&
+				!errors.Is(err, xen.ErrWaitTimeout) {
 				return
 			}
 			continue
@@ -369,6 +380,8 @@ func (b *Backend) handle(dev *backendDevice, payload []byte) []byte {
 			code = RCGuardChannel
 		case errors.Is(err, ErrThrottled):
 			code = RCGuardThrottled
+		case errors.Is(err, ErrQuarantined), errors.Is(err, ErrInstancePanic):
+			code = RCInstanceFailed
 		}
 		return append([]byte{payloadRaw}, tpm.ErrorResponse(code)...)
 	}

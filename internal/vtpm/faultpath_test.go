@@ -1,0 +1,193 @@
+package vtpm
+
+import (
+	"crypto/sha1"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"xvtpm/internal/faults"
+)
+
+// Partial-failure sweeps through the faults.Store wrapper: CheckpointAll and
+// ReviveAll must treat each instance independently — every failure joined
+// into the aggregate error, every healthy instance fully handled.
+
+// noRetry makes each injector draw map 1:1 onto one store operation, so the
+// partition of instances into failed/succeeded is a pure function of the
+// seed.
+var noRetry = RetryPolicy{
+	MaxAttempts: 1,
+	BaseBackoff: time.Microsecond,
+	MaxBackoff:  time.Microsecond,
+	Deadline:    time.Second,
+}
+
+// faultRig builds a manager over an injector-wrapped store with n deferred
+// instances, each with distinct engine state, and injection disabled during
+// setup so the schedule starts at the sweep under test.
+func faultRig(t *testing.T, seed int64, n int, retry RetryPolicy) (*faults.Injector, *faults.Store, *Manager, []InstanceID) {
+	t.Helper()
+	inj := faults.NewInjector(seed)
+	inj.SetDisabled(true)
+	fstore := faults.NewStore(NewMemStore(), inj)
+	_, mgr := newCkptRig(t, fstore, &passGuard{}, ManagerConfig{
+		RSABits: testBits, Seed: []byte("faultpath"),
+		Checkpoint: CheckpointDeferred, Retry: retry,
+	})
+	t.Cleanup(func() { mgr.Close() }) //nolint:errcheck // instances may be wedged by injection
+	ids := make([]InstanceID, n)
+	for i := range ids {
+		id, err := mgr.CreateInstance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		cli, err := mgr.DirectClient(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cli.Extend(5, sha1.Sum([]byte{byte(i)})); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+	}
+	return inj, fstore, mgr, ids
+}
+
+// TestCheckpointAllPartialFailureUnderInjection: with a 50% Put error rate
+// and no retries, the sweep's outcome partitions the instances exactly —
+// named in the joined error XOR persisted to the inner store.
+func TestCheckpointAllPartialFailureUnderInjection(t *testing.T) {
+	inj, fstore, mgr, ids := faultRig(t, 3, 4, noRetry)
+	before := make(map[InstanceID][]byte)
+	for _, id := range ids {
+		b, err := fstore.Inner().Get(stateName(id))
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[id] = b
+	}
+	inj.SetDisabled(false)
+	inj.SetPolicy(faults.OpPut, faults.Policy{ErrorRate: 0.5})
+	err := mgr.CheckpointAll()
+	inj.SetDisabled(true)
+	if err == nil {
+		t.Fatal("CheckpointAll reported success; seed 3 must inject Put failures")
+	}
+	if !faults.IsInjected(err) {
+		t.Fatalf("aggregate error does not carry an injected failure: %v", err)
+	}
+	var failed, succeeded int
+	for _, id := range ids {
+		named := strings.Contains(err.Error(), fmt.Sprintf("instance %d:", id))
+		after, gerr := fstore.Inner().Get(stateName(id))
+		if gerr != nil {
+			t.Fatal(gerr)
+		}
+		updated := string(after) != string(before[id])
+		if named == updated {
+			t.Fatalf("instance %d: named-in-error=%v, blob-updated=%v — want exactly one", id, named, updated)
+		}
+		if named {
+			failed++
+		} else {
+			succeeded++
+		}
+	}
+	if failed == 0 || succeeded == 0 {
+		t.Fatalf("failed=%d succeeded=%d: seed 3 should split the sweep", failed, succeeded)
+	}
+	// The failures are observable in the health report, not just the error.
+	var quarantinedOrDegraded int
+	for _, h := range mgr.HealthAll() {
+		if h.State != HealthHealthy {
+			quarantinedOrDegraded++
+		}
+	}
+	if quarantinedOrDegraded != failed {
+		t.Fatalf("%d instances non-healthy, %d checkpoint failures", quarantinedOrDegraded, failed)
+	}
+}
+
+// TestReviveAllPartialFailureUnderInjection: a restart sweep over a flaky
+// store revives what it can and aggregates the rest, never aborting early.
+func TestReviveAllPartialFailureUnderInjection(t *testing.T) {
+	inj, fstore, mgr, ids := faultRig(t, 11, 4, noRetry)
+	if err := mgr.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	// Restart: fresh manager, same store.
+	_, mgr2 := newCkptRig(t, fstore, &passGuard{}, ManagerConfig{
+		RSABits: testBits, Checkpoint: CheckpointDeferred, Retry: noRetry,
+	})
+	t.Cleanup(func() { mgr2.Close() }) //nolint:errcheck
+	inj.SetDisabled(false)
+	inj.SetPolicy(faults.OpGet, faults.Policy{ErrorRate: 0.5})
+	revived, err := mgr2.ReviveAll()
+	inj.SetDisabled(true)
+	if err == nil {
+		t.Fatal("ReviveAll reported success; seed 11 must inject Get failures")
+	}
+	got := make(map[InstanceID]bool, len(revived))
+	for _, id := range revived {
+		got[id] = true
+	}
+	var failed int
+	for _, id := range ids {
+		named := strings.Contains(err.Error(), fmt.Sprintf("instance %d:", id))
+		if named == got[id] {
+			t.Fatalf("instance %d: named-in-error=%v, revived=%v — want exactly one", id, named, got[id])
+		}
+		if named {
+			failed++
+		}
+	}
+	if failed == 0 || failed == len(ids) {
+		t.Fatalf("failed=%d of %d: seed 11 should split the sweep", failed, len(ids))
+	}
+	// The survivors revived with usable state.
+	for _, id := range revived {
+		cli, err := mgr2.DirectClient(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := cli.PCRRead(5); err != nil {
+			t.Fatalf("revived instance %d unusable: %v", id, err)
+		}
+	}
+}
+
+// TestReviveAllRetriesToFullRecovery: with retries enabled, the same error
+// rate that splits the no-retry sweep is fully absorbed — every instance
+// revives, and the retry counter shows the work it took.
+func TestReviveAllRetriesToFullRecovery(t *testing.T) {
+	inj, fstore, mgr, ids := faultRig(t, 11, 4, noRetry)
+	if err := mgr.CheckpointAll(); err != nil {
+		t.Fatal(err)
+	}
+	retrying := RetryPolicy{
+		MaxAttempts: 10,
+		BaseBackoff: time.Microsecond,
+		MaxBackoff:  time.Microsecond,
+		Deadline:    time.Minute,
+	}
+	_, mgr2 := newCkptRig(t, fstore, &passGuard{}, ManagerConfig{
+		RSABits: testBits, Checkpoint: CheckpointDeferred, Retry: retrying,
+	})
+	t.Cleanup(func() { mgr2.Close() }) //nolint:errcheck
+	inj.SetDisabled(false)
+	inj.SetPolicy(faults.OpGet, faults.Policy{ErrorRate: 0.5})
+	inj.SetPolicy(faults.OpList, faults.Policy{ErrorRate: 0.5})
+	revived, err := mgr2.ReviveAll()
+	inj.SetDisabled(true)
+	if err != nil {
+		t.Fatalf("ReviveAll with retries: %v", err)
+	}
+	if len(revived) != len(ids) {
+		t.Fatalf("revived %d of %d instances", len(revived), len(ids))
+	}
+	if s := mgr2.CheckpointStats(); s.Retries == 0 {
+		t.Fatal("full recovery with zero retries: injection never engaged")
+	}
+}

@@ -1,0 +1,269 @@
+package vtpm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"xvtpm/internal/faults"
+)
+
+// Supervised recovery: the per-instance health state machine.
+//
+// The threat model assumes dom0 machinery — the store, the notification
+// path, the backend — can misbehave at any time. The manager's job is to
+// make every such failure either *recovered* (bounded retry succeeded) or
+// *observable* (the instance is visibly Degraded or Quarantined with its
+// last error exported), and never a silent durability loss.
+//
+//	Healthy ──persist fails (retries exhausted)──▶ Degraded
+//	Degraded ──persist succeeds──▶ Healthy
+//	Degraded ──persist fails again──▶ Quarantined
+//	any ──permanent/corrupt error or panic──▶ Quarantined
+//	Quarantined ──explicit Checkpoint succeeds──▶ Healthy
+//
+// Degraded switches a writeback instance to eager-synchronous persistence:
+// every mutating command persists before its response returns, so a flaky
+// store costs throughput, never durability. Quarantined fences the
+// instance — Dispatch refuses new commands, the dirty engine state is held
+// in memory, and only a successful supervised Checkpoint (or destroy)
+// releases it.
+
+// Health errors.
+var (
+	// ErrQuarantined rejects commands to a fenced instance.
+	ErrQuarantined = errors.New("vtpm: instance quarantined")
+	// ErrInstancePanic marks a contained dispatch or worker panic.
+	ErrInstancePanic = errors.New("vtpm: instance panicked")
+)
+
+// HealthState is one node of the per-instance state machine.
+type HealthState int
+
+const (
+	// HealthHealthy is normal operation under the configured policy.
+	HealthHealthy HealthState = iota
+	// HealthDegraded means background persistence has failed and the
+	// instance fell back to eager-synchronous mode: slower, never lossy.
+	HealthDegraded
+	// HealthQuarantined means persistence failed beyond recovery (or the
+	// instance panicked): commands are fenced off until a supervised
+	// Checkpoint succeeds or the instance is destroyed.
+	HealthQuarantined
+)
+
+// String returns the state name used in reports.
+func (s HealthState) String() string {
+	switch s {
+	case HealthHealthy:
+		return "healthy"
+	case HealthDegraded:
+		return "degraded"
+	case HealthQuarantined:
+		return "quarantined"
+	}
+	return fmt.Sprintf("health(%d)", int(s))
+}
+
+// InstanceHealth is a point-in-time health snapshot of one instance.
+type InstanceHealth struct {
+	ID    InstanceID
+	State HealthState
+	// LastError is the failure that caused the most recent non-healthy
+	// transition; empty when the instance has never failed or has healed.
+	LastError string
+	// Retries counts store-I/O attempts beyond the first across all of the
+	// instance's persist and revive passes.
+	Retries uint64
+	// Failures counts persist passes that exhausted their retries.
+	Failures uint64
+	// Transitions counts state-machine edges taken (including heals).
+	Transitions uint64
+	// Panics counts contained dispatch/worker panics.
+	Panics uint64
+	// Since is when the current state was entered (zero while Healthy and
+	// never transitioned).
+	Since time.Time
+}
+
+// healthState is the per-instance machine, guarded by its own small mutex
+// (leaf lock: nothing is acquired while holding it).
+type healthState struct {
+	mu          sync.Mutex
+	state       HealthState
+	lastErr     error
+	retries     uint64
+	failures    uint64
+	transitions uint64
+	panics      uint64
+	since       time.Time
+}
+
+// snapshot captures the machine for reporting.
+func (h *healthState) snapshot(id InstanceID) InstanceHealth {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := InstanceHealth{
+		ID:          id,
+		State:       h.state,
+		Retries:     h.retries,
+		Failures:    h.failures,
+		Transitions: h.transitions,
+		Panics:      h.panics,
+		Since:       h.since,
+	}
+	if h.lastErr != nil {
+		out.LastError = h.lastErr.Error()
+	}
+	return out
+}
+
+// current returns the state without the full snapshot — the Dispatch
+// fast-path check.
+func (h *healthState) current() HealthState {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.state
+}
+
+// Health reports one instance's health.
+func (m *Manager) Health(id InstanceID) (InstanceHealth, error) {
+	inst, err := m.lookup(id)
+	if err != nil {
+		return InstanceHealth{}, err
+	}
+	return inst.health.snapshot(id), nil
+}
+
+// HealthAll reports every live instance's health, sorted by ID.
+func (m *Manager) HealthAll() []InstanceHealth {
+	m.regMu.RLock()
+	insts := make(map[InstanceID]*instance, len(m.instances))
+	for id, inst := range m.instances {
+		insts[id] = inst
+	}
+	m.regMu.RUnlock()
+	out := make([]InstanceHealth, 0, len(insts))
+	for id, inst := range insts {
+		out = append(out, inst.health.snapshot(id))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// noteRetry records one store-I/O retry attributed to inst (nil for
+// manager-wide operations like the revive sweep's List).
+func (m *Manager) noteRetry(inst *instance) {
+	m.ckptRetries.Inc()
+	if inst == nil {
+		return
+	}
+	inst.health.mu.Lock()
+	inst.health.retries++
+	inst.health.mu.Unlock()
+}
+
+// notePersistOutcome advances the state machine after one completed persist
+// pass. Success heals whatever state the instance was in; failure escalates
+// Healthy→Degraded→Quarantined, and permanent or corrupt failures jump
+// straight to Quarantined.
+func (m *Manager) notePersistOutcome(inst *instance, err error) {
+	h := &inst.health
+	h.mu.Lock()
+	if err == nil {
+		if h.state != HealthHealthy {
+			m.setGauges(h.state, -1)
+			h.state = HealthHealthy
+			h.lastErr = nil
+			h.transitions++
+			h.since = time.Now()
+		}
+		h.mu.Unlock()
+		return
+	}
+	h.failures++
+	h.lastErr = err
+	prev := h.state
+	next := prev
+	switch {
+	case faults.Classify(err) != faults.ClassTransient:
+		next = HealthQuarantined
+	case prev == HealthHealthy:
+		next = HealthDegraded
+	default:
+		next = HealthQuarantined
+	}
+	if next != prev {
+		m.setGauges(prev, -1)
+		m.setGauges(next, +1)
+		h.state = next
+		h.transitions++
+		h.since = time.Now()
+		if next == HealthDegraded {
+			m.healthDegradations.Inc()
+		} else {
+			m.healthQuarantines.Inc()
+		}
+	}
+	h.mu.Unlock()
+	if next == HealthQuarantined {
+		m.fenceCheckpoints(inst, err)
+	}
+}
+
+// notePanic contains one dispatch/worker panic: the instance is quarantined
+// with the panic recorded, and only that instance is affected.
+func (m *Manager) notePanic(inst *instance, err error) {
+	h := &inst.health
+	h.mu.Lock()
+	h.panics++
+	h.lastErr = err
+	if h.state != HealthQuarantined {
+		m.setGauges(h.state, -1)
+		m.setGauges(HealthQuarantined, +1)
+		h.state = HealthQuarantined
+		h.transitions++
+		h.since = time.Now()
+		m.healthQuarantines.Inc()
+	}
+	h.mu.Unlock()
+	m.fenceCheckpoints(inst, err)
+}
+
+// setGauges adjusts the currently-degraded/quarantined gauges for a state
+// entering (+1) or leaving (-1) the population. Caller holds h.mu.
+func (m *Manager) setGauges(s HealthState, delta int64) {
+	switch s {
+	case HealthDegraded:
+		m.healthDegradedNow.Add(delta)
+	case HealthQuarantined:
+		m.healthQuarantinedNow.Add(delta)
+	}
+}
+
+// fenceCheckpoints makes a quarantine visible to the checkpoint pipeline:
+// the sticky error stops the backpressure gate from blocking dispatches
+// that the health check is about to reject anyway, and wakes any that are
+// already waiting.
+func (m *Manager) fenceCheckpoints(inst *instance, err error) {
+	ck := &inst.ck
+	ck.mu.Lock()
+	if ck.err == nil {
+		ck.err = err
+	}
+	ck.cond.Broadcast()
+	ck.mu.Unlock()
+}
+
+// quarantineErr builds the error a fenced instance's Dispatch returns.
+func quarantineErr(id InstanceID, h *healthState) error {
+	h.mu.Lock()
+	last := h.lastErr
+	h.mu.Unlock()
+	if last != nil {
+		return fmt.Errorf("%w: instance %d (last error: %v)", ErrQuarantined, id, last)
+	}
+	return fmt.Errorf("%w: instance %d", ErrQuarantined, id)
+}

@@ -1,0 +1,359 @@
+package vtpm
+
+import (
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xvtpm/internal/faults"
+	"xvtpm/internal/tpm"
+	"xvtpm/internal/xen"
+)
+
+// fastRetry keeps the health tests quick: one retry, microsecond backoff.
+var fastRetry = RetryPolicy{
+	MaxAttempts: 2,
+	BaseBackoff: time.Microsecond,
+	MaxBackoff:  time.Microsecond,
+	Deadline:    time.Second,
+}
+
+// flakyStore fails Put on demand — the switchable version of failStore for
+// driving the health state machine through its transitions.
+type flakyStore struct {
+	Store
+	mu   sync.Mutex
+	fail bool
+	perm bool
+}
+
+func (f *flakyStore) setFail(fail, perm bool) {
+	f.mu.Lock()
+	f.fail, f.perm = fail, perm
+	f.mu.Unlock()
+}
+
+func (f *flakyStore) Put(name string, data []byte) error {
+	f.mu.Lock()
+	fail, perm := f.fail, f.perm
+	f.mu.Unlock()
+	if fail {
+		if perm {
+			return faults.Permanent(errors.New("flaky: permanent put failure"))
+		}
+		return errors.New("flaky: put failure")
+	}
+	return f.Store.Put(name, data)
+}
+
+// healthRig builds a bound instance over a flaky store.
+func healthRig(t *testing.T, cfg ManagerConfig) (*flakyStore, *Manager, *xen.Domain, InstanceID) {
+	t.Helper()
+	fs := &flakyStore{Store: NewMemStore()}
+	cfg.RSABits = testBits
+	cfg.Retry = fastRetry
+	hv, mgr := newCkptRig(t, fs, &passGuard{}, cfg)
+	t.Cleanup(func() { mgr.Close() }) //nolint:errcheck // tests wedge instances deliberately
+	dom, err := hv.CreateDomain(xen.DomainConfig{Name: "g", Kernel: []byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := mgr.CreateInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.BindInstance(id, dom); err != nil {
+		t.Fatal(err)
+	}
+	return fs, mgr, dom, id
+}
+
+// TestHealthDegradeQuarantineRecover walks the full state machine under the
+// eager policy: transient persist failure degrades, a second failure
+// quarantines and fences dispatch, and a supervised Checkpoint heals.
+func TestHealthDegradeQuarantineRecover(t *testing.T) {
+	fs, mgr, dom, id := healthRig(t, ManagerConfig{Seed: []byte("health")})
+
+	cmd, _ := extendStepCmd(7, 1)
+	if _, err := mgr.Dispatch(dom.ID(), dom.Launch(), cmd); err != nil {
+		t.Fatalf("healthy dispatch: %v", err)
+	}
+	if h, _ := mgr.Health(id); h.State != HealthHealthy {
+		t.Fatalf("state = %v, want healthy", h.State)
+	}
+
+	// First persist failure: Healthy → Degraded, retries attempted first.
+	fs.setFail(true, false)
+	cmd, _ = extendStepCmd(7, 2)
+	if _, err := mgr.Dispatch(dom.ID(), dom.Launch(), cmd); err == nil {
+		t.Fatal("dispatch succeeded with a failing store")
+	}
+	h, err := mgr.Health(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.State != HealthDegraded {
+		t.Fatalf("state after first failure = %v, want degraded", h.State)
+	}
+	if h.LastError == "" || h.Failures != 1 || h.Retries == 0 {
+		t.Fatalf("snapshot = %+v: want LastError set, Failures 1, Retries > 0", h)
+	}
+	if s := mgr.CheckpointStats(); s.Degradations != 1 || s.DegradedNow != 1 {
+		t.Fatalf("stats = %+v: want one degradation, one degraded now", s)
+	}
+
+	// Second failure: Degraded → Quarantined.
+	cmd, _ = extendStepCmd(7, 3)
+	if _, err := mgr.Dispatch(dom.ID(), dom.Launch(), cmd); err == nil {
+		t.Fatal("dispatch succeeded while store still failing")
+	}
+	if h, _ = mgr.Health(id); h.State != HealthQuarantined {
+		t.Fatalf("state after second failure = %v, want quarantined", h.State)
+	}
+	if s := mgr.CheckpointStats(); s.Quarantines != 1 || s.QuarantinedNow != 1 || s.DegradedNow != 0 {
+		t.Fatalf("stats = %+v: want one quarantine, zero degraded now", s)
+	}
+
+	// Quarantine fences dispatch without touching the engine.
+	cmd, _ = extendStepCmd(7, 4)
+	if _, err := mgr.Dispatch(dom.ID(), dom.Launch(), cmd); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("fenced dispatch err = %v, want ErrQuarantined", err)
+	}
+
+	// Supervised recovery: the store heals, an explicit Checkpoint persists
+	// the held dirty state and releases the instance.
+	fs.setFail(false, false)
+	if err := mgr.Checkpoint(id); err != nil {
+		t.Fatalf("supervised checkpoint: %v", err)
+	}
+	if h, _ = mgr.Health(id); h.State != HealthHealthy {
+		t.Fatalf("state after recovery = %v, want healthy", h.State)
+	}
+	if s := mgr.CheckpointStats(); s.QuarantinedNow != 0 {
+		t.Fatalf("QuarantinedNow = %d after recovery, want 0", s.QuarantinedNow)
+	}
+	cmd, _ = extendStepCmd(7, 5)
+	if _, err := mgr.Dispatch(dom.ID(), dom.Launch(), cmd); err != nil {
+		t.Fatalf("dispatch after recovery: %v", err)
+	}
+
+	// Nothing committed was lost: the persisted blob restores to the
+	// engine's exact current state.
+	eng, err := mgr.DirectClient(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eng.PCRRead(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := fs.Get(stateName(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := (&passGuard{}).RecoverState(InstanceInfo{ID: id}, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := tpm.RestoreState(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tpm.NewClient(tpm.DirectTransport{TPM: restored}, nil).PCRRead(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("restored PCR %x, engine holds %x", got, want)
+	}
+}
+
+// TestHealthPermanentFailureQuarantinesImmediately: a permanent (or corrupt)
+// classification skips Degraded — retrying cannot help, so the instance is
+// fenced at once.
+func TestHealthPermanentFailureQuarantinesImmediately(t *testing.T) {
+	fs, mgr, dom, id := healthRig(t, ManagerConfig{Seed: []byte("perm")})
+	fs.setFail(true, true)
+	cmd, _ := extendStepCmd(7, 1)
+	if _, err := mgr.Dispatch(dom.ID(), dom.Launch(), cmd); err == nil {
+		t.Fatal("dispatch succeeded with a permanently failing store")
+	}
+	h, _ := mgr.Health(id)
+	if h.State != HealthQuarantined {
+		t.Fatalf("state = %v, want quarantined (no degraded stop)", h.State)
+	}
+	if s := mgr.CheckpointStats(); s.Degradations != 0 || s.Quarantines != 1 {
+		t.Fatalf("stats = %+v: want a direct quarantine, no degradation", s)
+	}
+	// Permanent failures are not retried.
+	if h.Retries != 0 {
+		t.Fatalf("Retries = %d, want 0 for a permanent failure", h.Retries)
+	}
+}
+
+// TestHealthDegradedWritebackTurnsEager: a Degraded writeback instance
+// persists synchronously on the next mutation — and heals when that persist
+// succeeds — so a flaky store costs latency, never durability.
+func TestHealthDegradedWritebackTurnsEager(t *testing.T) {
+	fs, mgr, dom, id := healthRig(t, ManagerConfig{
+		Seed:             []byte("wb-degrade"),
+		Checkpoint:       CheckpointWriteback,
+		MaxDirtyCommands: 1024, // the gate never trips; only the worker persists
+		MaxDirtyInterval: time.Millisecond,
+	})
+	fs.setFail(true, false)
+	cmd, _ := extendStepCmd(7, 1)
+	if _, err := mgr.Dispatch(dom.ID(), dom.Launch(), cmd); err != nil {
+		t.Fatalf("writeback dispatch: %v", err) // failure lands later, in the worker
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if h, _ := mgr.Health(id); h.State == HealthDegraded {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("worker persist failure never degraded the instance")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Degraded + healed store: the very next mutation persists before its
+	// response returns, and the success heals the instance.
+	fs.setFail(false, false)
+	cmd, _ = extendStepCmd(7, 2)
+	if _, err := mgr.Dispatch(dom.ID(), dom.Launch(), cmd); err != nil {
+		t.Fatalf("degraded dispatch: %v", err)
+	}
+	if h, _ := mgr.Health(id); h.State != HealthHealthy {
+		t.Fatalf("state after synchronous persist = %v, want healthy", h.State)
+	}
+	// Synchronous means the store is current now, not eventually.
+	blob, err := fs.Get(stateName(id))
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := (&passGuard{}).RecoverState(InstanceInfo{ID: id}, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored, err := tpm.RestoreState(state)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := tpm.NewClient(tpm.DirectTransport{TPM: restored}, nil).PCRRead(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := pcrChain(2)
+	if got != chain[2] {
+		t.Fatalf("store at step %d, want 2 (synchronous persist)", chainIndex(chain, got))
+	}
+}
+
+// panicGuard panics inside AdmitCommand for one domain — the poisoned-path
+// model for panic containment.
+type panicGuard struct {
+	passGuard
+	panicDom xen.DomID
+}
+
+func (g *panicGuard) AdmitCommand(inst InstanceInfo, from xen.DomID, launch xen.LaunchDigest, payload []byte) ([]byte, ResponseFinisher, error) {
+	if from == g.panicDom {
+		panic("injected guard panic")
+	}
+	return g.passGuard.AdmitCommand(inst, from, launch, payload)
+}
+
+// TestDispatchPanicQuarantinesOnlyThatInstance: a panic anywhere inside one
+// instance's dispatch is contained — recorded, quarantining that instance —
+// while its siblings keep dispatching.
+func TestDispatchPanicQuarantinesOnlyThatInstance(t *testing.T) {
+	guard := &panicGuard{}
+	hv, mgr := newCkptRig(t, NewMemStore(), guard, ManagerConfig{
+		RSABits: testBits, Seed: []byte("panic"), Retry: fastRetry,
+	})
+	t.Cleanup(func() { mgr.Close() }) //nolint:errcheck // victim instance stays wedged
+	var doms [2]*xen.Domain
+	var ids [2]InstanceID
+	for i := range doms {
+		dom, err := hv.CreateDomain(xen.DomainConfig{Name: "g", Kernel: []byte{byte(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		id, err := mgr.CreateInstance()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := mgr.BindInstance(id, dom); err != nil {
+			t.Fatal(err)
+		}
+		doms[i], ids[i] = dom, id
+	}
+	guard.panicDom = doms[0].ID()
+
+	cmd, _ := extendStepCmd(7, 1)
+	_, err := mgr.Dispatch(doms[0].ID(), doms[0].Launch(), cmd)
+	if !errors.Is(err, ErrInstancePanic) {
+		t.Fatalf("panicking dispatch err = %v, want ErrInstancePanic", err)
+	}
+	h, _ := mgr.Health(ids[0])
+	if h.State != HealthQuarantined || h.Panics != 1 {
+		t.Fatalf("victim health = %+v: want quarantined with one panic", h)
+	}
+	if _, err := mgr.Dispatch(doms[0].ID(), doms[0].Launch(), cmd); !errors.Is(err, ErrQuarantined) {
+		t.Fatalf("post-panic dispatch err = %v, want ErrQuarantined", err)
+	}
+
+	// The sibling is untouched.
+	if _, err := mgr.Dispatch(doms[1].ID(), doms[1].Launch(), cmd); err != nil {
+		t.Fatalf("sibling dispatch: %v", err)
+	}
+	if h, _ := mgr.Health(ids[1]); h.State != HealthHealthy || h.Panics != 0 {
+		t.Fatalf("sibling health = %+v: want untouched", h)
+	}
+	if s := mgr.CheckpointStats(); s.Panics != 1 {
+		t.Fatalf("stats.Panics = %d, want 1", s.Panics)
+	}
+}
+
+// TestCloseReportsWedgedInstance: an orderly shutdown that cannot drain an
+// instance's dirty state reports it — through Manager.Close and on up.
+func TestCloseReportsWedgedInstance(t *testing.T) {
+	fs := &flakyStore{Store: NewMemStore()}
+	hv, mgr := newCkptRig(t, fs, &passGuard{}, ManagerConfig{
+		RSABits: testBits, Seed: []byte("close"), Retry: fastRetry,
+		Checkpoint:       CheckpointWriteback,
+		MaxDirtyCommands: 1024,
+		MaxDirtyInterval: time.Hour, // only Close's flush barrier persists
+	})
+	dom, err := hv.CreateDomain(xen.DomainConfig{Name: "g", Kernel: []byte("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := mgr.CreateInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.BindInstance(id, dom); err != nil {
+		t.Fatal(err)
+	}
+	cmd, _ := extendStepCmd(7, 1)
+	if _, err := mgr.Dispatch(dom.ID(), dom.Launch(), cmd); err != nil {
+		t.Fatal(err)
+	}
+	fs.setFail(true, false)
+	err = mgr.Close()
+	if err == nil {
+		t.Fatal("Close succeeded despite undrainable dirty state")
+	}
+	if !strings.Contains(err.Error(), "closing instance 1") {
+		t.Fatalf("Close error does not name the wedged instance: %v", err)
+	}
+	_ = id
+	// Close is idempotent: the second call does not re-drain or re-report.
+	if err := mgr.Close(); err != nil {
+		t.Fatalf("second Close = %v, want nil", err)
+	}
+}

@@ -47,6 +47,10 @@ type instance struct {
 	// contract.
 	ck ckptState
 
+	// health is the instance's supervised-recovery state machine
+	// (Healthy → Degraded → Quarantined); see health.go. Leaf lock.
+	health healthState
+
 	// persistMu serializes whole persist passes (snapshot → seal → store →
 	// mirror) between the background checkpoint worker and forced
 	// checkpoints, so a snapshot taken later can never be overwritten by an

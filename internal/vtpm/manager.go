@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"xvtpm/internal/faults"
 	"xvtpm/internal/metrics"
 	"xvtpm/internal/tpm"
 	"xvtpm/internal/xen"
@@ -55,6 +56,9 @@ type ManagerConfig struct {
 	// CheckpointDeferred, kept for existing callers; it is ignored when
 	// Checkpoint is set explicitly.
 	DeferCheckpoints bool
+	// Retry bounds the retry loop wrapped around every store operation
+	// (see retry.go). The zero value resolves to the package defaults.
+	Retry RetryPolicy
 }
 
 // policy resolves the configured checkpoint policy, honouring the legacy
@@ -104,12 +108,23 @@ type Manager struct {
 	maxDirty         uint64
 	maxDirtyInterval time.Duration
 
+	// Resolved store-I/O retry policy (see retry.go).
+	retry RetryPolicy
+
 	// Pipeline counters, aggregated across instances.
 	ckptMutations metrics.Counter
 	ckptWrites    metrics.Counter
 	ckptCoalesced metrics.Counter
 	ckptBytes     metrics.Counter
 	ckptLag       *metrics.Recorder
+
+	// Health counters and population gauges (see health.go).
+	ckptRetries          metrics.Counter
+	healthDegradations   metrics.Counter
+	healthQuarantines    metrics.Counter
+	healthPanics         metrics.Counter
+	healthDegradedNow    metrics.Gauge
+	healthQuarantinedNow metrics.Gauge
 
 	// tapMu guards taps: observers of dispatched ring payloads. A
 	// compromised dom0 component sits exactly here, which is how the replay
@@ -162,6 +177,7 @@ func NewManager(hv *xen.Hypervisor, store Store, arena *xen.Arena, guard Guard, 
 		ckptPolicy:       cfg.policy(),
 		maxDirty:         DefaultMaxDirtyCommands,
 		maxDirtyInterval: DefaultMaxDirtyInterval,
+		retry:            cfg.Retry.resolve(),
 		ckptLag:          metrics.NewRecorder(),
 	}
 	if cfg.MaxDirtyCommands > 0 {
@@ -198,25 +214,36 @@ func (m *Manager) fillEKPool() {
 
 // Close stops the manager's background work, first draining every
 // instance's pending write-behind checkpoints so an orderly shutdown never
-// abandons dirty state. The drain is best-effort: a persist failure stays
-// sticky on its instance and is reported by an explicit Checkpoint, keeping
-// Close usable from test cleanups.
-func (m *Manager) Close() {
+// abandons dirty state. Like CheckpointAll, one wedged instance does not
+// block the drain of the rest: every flush-barrier or quarantine failure is
+// collected and the aggregate returned with errors.Join, so a shutdown that
+// left dirty state behind is never silent. Close is idempotent; only the
+// first call drains and reports.
+func (m *Manager) Close() error {
+	var errs []error
 	m.closeOnce.Do(func() {
 		close(m.stop)
 		if m.ckptPolicy != CheckpointWriteback {
 			return
 		}
 		m.regMu.RLock()
-		insts := make([]*instance, 0, len(m.instances))
-		for _, inst := range m.instances {
-			insts = append(insts, inst)
+		type entry struct {
+			id   InstanceID
+			inst *instance
+		}
+		insts := make([]entry, 0, len(m.instances))
+		for id, inst := range m.instances {
+			insts = append(insts, entry{id, inst})
 		}
 		m.regMu.RUnlock()
-		for _, inst := range insts {
-			m.flushCheckpoints(inst) //nolint:errcheck // best-effort drain; error stays sticky per instance
+		sort.Slice(insts, func(i, j int) bool { return insts[i].id < insts[j].id })
+		for _, e := range insts {
+			if err := m.flushCheckpoints(e.inst); err != nil {
+				errs = append(errs, fmt.Errorf("vtpm: closing instance %d: %w", e.id, err))
+			}
 		}
 	})
+	return errors.Join(errs...)
 }
 
 // pooledEK returns a pre-generated EK if one is ready.
@@ -371,6 +398,10 @@ func (m *Manager) DestroyInstance(id InstanceID) error {
 	// Shut the checkpoint pipeline down first: once retired, no in-flight or
 	// future persist can rewrite the mirror or re-create the deleted blob.
 	m.retireCheckpoints(inst)
+	// A destroyed instance leaves the degraded/quarantined population.
+	inst.health.mu.Lock()
+	m.setGauges(inst.health.state, -1)
+	inst.health.mu.Unlock()
 	inst.mu.Lock()
 	dom := inst.info.BoundDom
 	inst.info.BoundDom = 0
@@ -384,7 +415,10 @@ func (m *Manager) DestroyInstance(id InstanceID) error {
 		}
 		m.regMu.Unlock()
 	}
-	if err := m.store.Delete(stateName(id)); err != nil && !errors.Is(err, ErrNoState) {
+	err := m.retryStore(nil, "deleting state", func() error {
+		return m.store.Delete(stateName(id))
+	})
+	if err != nil && !errors.Is(err, ErrNoState) {
 		return err
 	}
 	return nil
@@ -478,14 +512,52 @@ func (m *Manager) Dispatch(claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest
 	if inst == nil {
 		return nil, fmt.Errorf("%w: dom%d has no vTPM", ErrNoInstance, claimedFrom)
 	}
+	// A quarantined instance is fenced: its dirty state is preserved for
+	// supervised recovery, but no new commands may widen the gap between
+	// engine and store. The refusal is the observable failure the health
+	// model promises instead of a silent drop.
+	if inst.health.current() == HealthQuarantined {
+		return nil, quarantineErr(id, &inst.health)
+	}
 	m.notifyTaps(claimedFrom, payload)
 	m.checkpointGate(inst)
 
+	out, mutated, err := m.dispatchInstance(inst, claimedFrom, claimedLaunch, payload)
+	if err != nil {
+		return nil, err
+	}
+	// Persistence of the mutation is policy-dependent — except for a
+	// Degraded instance, which always persists synchronously: background
+	// persistence already failed once, so a flaky store is paid for in
+	// latency, never in durability.
+	if mutated && (m.ckptPolicy == CheckpointEager || inst.health.current() == HealthDegraded) {
+		if err := m.checkpointInstance(inst, false); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// dispatchInstance runs the locked portion of one dispatch: guard
+// admission, engine execution, exchange recording, response finishing. A
+// panic anywhere inside — guard, engine, finisher — is contained here:
+// recovered, recorded, and the instance quarantined, so one poisoned
+// command or corrupted engine takes down only its own instance, never the
+// manager or its siblings.
+func (m *Manager) dispatchInstance(inst *instance, claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest, payload []byte) (out []byte, mutated bool, err error) {
 	inst.mu.Lock()
+	defer inst.mu.Unlock()
+	defer func() {
+		if p := recover(); p != nil {
+			perr := fmt.Errorf("%w: dispatch: %v", ErrInstancePanic, p)
+			m.healthPanics.Inc()
+			m.notePanic(inst, perr)
+			out, mutated, err = nil, false, perr
+		}
+	}()
 	cmd, finish, err := m.guard.AdmitCommand(inst.info, claimedFrom, claimedLaunch, payload)
 	if err != nil {
-		inst.mu.Unlock()
-		return nil, err
+		return nil, false, err
 	}
 	execStart := time.Now()
 	resp := inst.eng.Execute(cmd)
@@ -497,24 +569,18 @@ func (m *Manager) Dispatch(claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest
 	// Record the decoded exchange in dom0 arena memory: this is the
 	// manager's working buffer a core dump would capture.
 	m.recordExchangeLocked(inst, cmd, resp)
-	mutated := mutatingOrdinals[ordinalOf(cmd)]
+	mutated = mutatingOrdinals[ordinalOf(cmd)]
 	if mutated {
 		m.noteMutation(inst)
 	}
-	out, err := finish(resp)
+	out, err = finish(resp)
 	if !m.guard.RetainsPlaintext() {
 		m.bus.Zeroize(inst.exchange)
 	}
-	inst.mu.Unlock()
 	if err != nil {
-		return nil, err
+		return nil, mutated, err
 	}
-	if mutated && m.ckptPolicy == CheckpointEager {
-		if err := m.checkpointInstance(inst, false); err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return out, mutated, nil
 }
 
 // recordExchangeLocked copies the plaintext command and response into the
@@ -556,7 +622,12 @@ func (m *Manager) CheckpointAll() error {
 // or unrecoverable blob does not abort the sweep: the rest still revive,
 // and the failures come back aggregated with errors.Join.
 func (m *Manager) ReviveAll() ([]InstanceID, error) {
-	names, err := m.store.List()
+	var names []string
+	err := m.retryStore(nil, "listing state blobs", func() error {
+		var lerr error
+		names, lerr = m.store.List()
+		return lerr
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -593,9 +664,17 @@ func (m *Manager) Checkpoint(id InstanceID) error {
 }
 
 // ReviveInstance reloads a persisted instance from the store (after a
-// manager restart). The instance comes back unbound.
+// manager restart). The instance comes back unbound. Transient store
+// failures are retried under the manager's retry policy; a blob whose
+// envelope or serialized state does not parse is reported as corrupt — the
+// store's bytes are damaged and re-reading them cannot help.
 func (m *Manager) ReviveInstance(id InstanceID) error {
-	blob, err := m.store.Get(stateName(id))
+	var blob []byte
+	err := m.retryStore(nil, "reading state", func() error {
+		var gerr error
+		blob, gerr = m.store.Get(stateName(id))
+		return gerr
+	})
 	if err != nil {
 		return err
 	}
@@ -604,11 +683,11 @@ func (m *Manager) ReviveInstance(id InstanceID) error {
 	info := InstanceInfo{ID: id}
 	state, err := m.guard.RecoverState(info, blob)
 	if err != nil {
-		return err
+		return faults.Corrupt(fmt.Errorf("vtpm: state envelope of instance %d: %w", id, err))
 	}
 	eng, err := tpm.RestoreState(state)
 	if err != nil {
-		return err
+		return faults.Corrupt(fmt.Errorf("vtpm: serialized state of instance %d: %w", id, err))
 	}
 	m.regMu.Lock()
 	defer m.regMu.Unlock()

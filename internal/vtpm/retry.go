@@ -1,0 +1,102 @@
+package vtpm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"time"
+
+	"xvtpm/internal/faults"
+)
+
+// Bounded retry for store I/O.
+//
+// Every path that touches the Store — eager persists, the writeback
+// worker, revive, the destroy sweep — goes through retryStore, which
+// retries transient failures with exponential backoff, full jitter and an
+// overall deadline. Permanent and corrupt failures (faults.Classify) fail
+// immediately: retrying a missing blob or a damaged envelope only burns
+// the deadline. The result either succeeds (the failure was *recovered*)
+// or comes back classified for the health machine to act on — never an
+// unbounded hang on a wedged backend.
+
+// RetryPolicy bounds the store-I/O retry loop.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries including the first. Zero
+	// means DefaultRetryAttempts; 1 disables retrying.
+	MaxAttempts int
+	// BaseBackoff is the first retry's backoff; each subsequent retry
+	// doubles it. Zero means DefaultRetryBaseBackoff.
+	BaseBackoff time.Duration
+	// MaxBackoff caps one backoff step. Zero means DefaultRetryMaxBackoff.
+	MaxBackoff time.Duration
+	// Deadline caps the whole operation, sleeps included. Zero means
+	// DefaultRetryDeadline.
+	Deadline time.Duration
+}
+
+// Retry defaults: three retries inside a tight deadline. Checkpoints are
+// dispatch-adjacent work, so the budget is milliseconds — a store that
+// stays down longer is a health event, not something to wait out.
+const (
+	DefaultRetryAttempts    = 4
+	DefaultRetryBaseBackoff = 500 * time.Microsecond
+	DefaultRetryMaxBackoff  = 8 * time.Millisecond
+	DefaultRetryDeadline    = 100 * time.Millisecond
+)
+
+// resolve fills in the defaults.
+func (p RetryPolicy) resolve() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = DefaultRetryAttempts
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = DefaultRetryBaseBackoff
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = DefaultRetryMaxBackoff
+	}
+	if p.Deadline <= 0 {
+		p.Deadline = DefaultRetryDeadline
+	}
+	return p
+}
+
+// retryStore runs one store operation under the manager's retry policy,
+// attributing retries to inst (nil for manager-wide sweeps). It returns
+// nil as soon as an attempt succeeds; otherwise the last error, which the
+// caller classifies for the health machine.
+func (m *Manager) retryStore(inst *instance, op string, fn func() error) error {
+	pol := m.retry
+	deadline := time.Now().Add(pol.Deadline)
+	backoff := pol.BaseBackoff
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn()
+		if err == nil {
+			return nil
+		}
+		// A missing blob is a fact, not a fault: retrying cannot create it.
+		if errors.Is(err, ErrNoState) {
+			return err
+		}
+		if faults.Classify(err) != faults.ClassTransient {
+			return err
+		}
+		if attempt >= pol.MaxAttempts {
+			return fmt.Errorf("vtpm: %s failed after %d attempts: %w", op, attempt, err)
+		}
+		// Full jitter keeps herds of retrying instances from re-converging
+		// on the store in lockstep.
+		sleep := time.Duration(rand.Int63n(int64(backoff) + 1)) //nolint:gosec // jitter, not crypto
+		if time.Now().Add(sleep).After(deadline) {
+			return fmt.Errorf("vtpm: %s deadline exhausted after %d attempts: %w", op, attempt, err)
+		}
+		m.noteRetry(inst)
+		time.Sleep(sleep)
+		backoff *= 2
+		if backoff > pol.MaxBackoff {
+			backoff = pol.MaxBackoff
+		}
+	}
+}

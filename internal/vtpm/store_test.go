@@ -1,0 +1,92 @@
+package vtpm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// The MemStore aliasing contract: no caller-held slice may alias the store's
+// internal copy, in either direction. The revive and persist paths both
+// reuse scratch buffers aggressively, so an aliasing store would let a later
+// checkpoint silently rewrite bytes a revived engine is still reading.
+
+func TestMemStorePutCopiesInput(t *testing.T) {
+	s := NewMemStore()
+	data := []byte("original")
+	if err := s.Put("blob", data); err != nil {
+		t.Fatal(err)
+	}
+	copy(data, "CLOBBER!")
+	got, err := s.Get("blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, []byte("original")) {
+		t.Fatalf("stored blob aliased the caller's buffer: %q", got)
+	}
+}
+
+func TestMemStoreGetReturnsCopy(t *testing.T) {
+	s := NewMemStore()
+	if err := s.Put("blob", []byte("original")); err != nil {
+		t.Fatal(err)
+	}
+	first, err := s.Get("blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	copy(first, "CLOBBER!")
+	second, err := s.Get("blob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(second, []byte("original")) {
+		t.Fatalf("Get handed out the internal slice: %q", second)
+	}
+}
+
+func TestMemStoreDeleteMissing(t *testing.T) {
+	s := NewMemStore()
+	if err := s.Delete("absent"); !errors.Is(err, ErrNoState) {
+		t.Fatalf("Delete(absent) err = %v, want ErrNoState", err)
+	}
+	if _, err := s.Get("absent"); !errors.Is(err, ErrNoState) {
+		t.Fatalf("Get(absent) err = %v, want ErrNoState", err)
+	}
+}
+
+func TestMemStoreListSortedAndDetached(t *testing.T) {
+	s := NewMemStore()
+	for _, n := range []string{"c", "a", "b"} {
+		if err := s.Put(n, []byte(n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 3 || names[0] != "a" || names[1] != "b" || names[2] != "c" {
+		t.Fatalf("List = %v, want sorted [a b c]", names)
+	}
+	// Mutating the returned slice must not disturb the store.
+	names[0] = "zzz"
+	again, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again[0] != "a" {
+		t.Fatalf("List result aliased store state: %v", again)
+	}
+	if err := s.Delete("b"); err != nil {
+		t.Fatal(err)
+	}
+	final, err := s.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final) != 2 || final[0] != "a" || final[1] != "c" {
+		t.Fatalf("List after delete = %v, want [a c]", final)
+	}
+}

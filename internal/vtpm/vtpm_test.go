@@ -80,7 +80,11 @@ func newTestRig(t testing.TB, guard Guard) (*xen.Hypervisor, *xenstore.Store, *M
 	mgr := NewManager(hv, NewMemStore(), xen.NewArena(dom0), guard, ManagerConfig{
 		RSABits: testBits, Seed: []byte("vtpm-test"),
 	})
-	t.Cleanup(mgr.Close)
+	t.Cleanup(func() {
+		if err := mgr.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
 	return hv, xs, mgr, NewBackend(hv, xs, mgr)
 }
 

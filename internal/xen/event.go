@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Event-channel errors.
@@ -12,6 +13,10 @@ var (
 	ErrPortNotBound  = errors.New("xen: event channel not bound")
 	ErrPortMismatch  = errors.New("xen: event channel does not belong to caller")
 	ErrChannelClosed = errors.New("xen: event channel closed")
+	// ErrWaitTimeout reports that WaitTimeout elapsed with no event — the
+	// caller should re-check whatever state the notification would have
+	// announced and wait again.
+	ErrWaitTimeout = errors.New("xen: event wait timed out")
 )
 
 // channelState is the lifecycle of one event-channel endpoint.
@@ -41,6 +46,27 @@ type EventChannels struct {
 	mu    sync.Mutex
 	ports map[EvtchnPort]*evtchn
 	next  EvtchnPort
+	// notifyFault, when set, is consulted on every Notify; returning true
+	// drops the event silently (the peer is never woken). Fault injection
+	// only — the hook runs under ec.mu and must not reenter EventChannels.
+	notifyFault func(caller DomID, port EvtchnPort) bool
+	dropped     uint64
+}
+
+// SetNotifyFault installs (or, with nil, removes) a notification-drop hook.
+// The hook is called under the port-table lock and must not call back into
+// EventChannels.
+func (ec *EventChannels) SetNotifyFault(fn func(caller DomID, port EvtchnPort) bool) {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	ec.notifyFault = fn
+}
+
+// DroppedNotifies returns how many notifications the fault hook has swallowed.
+func (ec *EventChannels) DroppedNotifies() uint64 {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	return ec.dropped
 }
 
 // newEventChannels creates an empty port table.
@@ -102,6 +128,10 @@ func (ec *EventChannels) Notify(caller DomID, port EvtchnPort) error {
 	if !ok || peer.state != chanBound {
 		return ErrPortNotBound
 	}
+	if ec.notifyFault != nil && ec.notifyFault(caller, port) {
+		ec.dropped++
+		return nil
+	}
 	peer.pending++
 	peer.cond.Broadcast()
 	return nil
@@ -120,6 +150,47 @@ func (ec *EventChannels) Wait(caller DomID, port EvtchnPort) error {
 		return ErrPortMismatch
 	}
 	for ch.pending == 0 && ch.state == chanBound {
+		ch.cond.Wait()
+	}
+	if ch.state == chanClosed {
+		return ErrChannelClosed
+	}
+	ch.pending--
+	return nil
+}
+
+// WaitTimeout is Wait with a deadline: it blocks until an event is pending,
+// the channel closes, or d elapses, in which case it returns ErrWaitTimeout
+// without consuming anything. Callers that must survive lost notifications
+// (see SetNotifyFault) wait with a short timeout and re-poll shared state.
+//
+// sync.Cond has no timed wait, so a timer broadcasts the port's cond after d;
+// every waiter on the port wakes, rechecks its predicate, and the one whose
+// timer fired observes the deadline. Spurious wakeups are already part of the
+// cond contract, so this costs nothing extra in correctness.
+func (ec *EventChannels) WaitTimeout(caller DomID, port EvtchnPort, d time.Duration) error {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	ch, ok := ec.ports[port]
+	if !ok {
+		return ErrBadPort
+	}
+	if ch.owner != caller {
+		return ErrPortMismatch
+	}
+	deadline := time.Now().Add(d)
+	expired := false
+	timer := time.AfterFunc(d, func() {
+		ec.mu.Lock()
+		expired = true
+		ch.cond.Broadcast()
+		ec.mu.Unlock()
+	})
+	defer timer.Stop()
+	for ch.pending == 0 && ch.state == chanBound {
+		if expired || !time.Now().Before(deadline) {
+			return ErrWaitTimeout
+		}
 		ch.cond.Wait()
 	}
 	if ch.state == chanClosed {

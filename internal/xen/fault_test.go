@@ -1,0 +1,102 @@
+package xen
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestWaitTimeoutExpiresWithoutConsuming(t *testing.T) {
+	h := newHost(t)
+	g := mkGuest(t, h, "g")
+	ec := h.EventChannels()
+	gPort := ec.AllocUnbound(g.ID(), Dom0)
+	d0Port, err := ec.BindInterdomain(Dom0, g.ID(), gPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ec.WaitTimeout(g.ID(), gPort, time.Millisecond); !errors.Is(err, ErrWaitTimeout) {
+		t.Fatalf("wait err = %v, want ErrWaitTimeout", err)
+	}
+	// A pending event still satisfies a later timed wait in full.
+	if err := ec.Notify(Dom0, d0Port); err != nil {
+		t.Fatal(err)
+	}
+	if err := ec.WaitTimeout(g.ID(), gPort, time.Second); err != nil {
+		t.Fatalf("wait after notify: %v", err)
+	}
+	n, err := ec.Pending(g.ID(), gPort)
+	if err != nil || n != 0 {
+		t.Fatalf("pending = %d, %v, want 0", n, err)
+	}
+}
+
+func TestWaitTimeoutWokenByNotify(t *testing.T) {
+	h := newHost(t)
+	g := mkGuest(t, h, "g")
+	ec := h.EventChannels()
+	gPort := ec.AllocUnbound(g.ID(), Dom0)
+	d0Port, err := ec.BindInterdomain(Dom0, g.ID(), gPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ec.WaitTimeout(g.ID(), gPort, 30*time.Second) }()
+	if err := ec.Notify(Dom0, d0Port); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; err != nil {
+		t.Fatalf("wait err = %v", err)
+	}
+}
+
+func TestWaitTimeoutSeesClose(t *testing.T) {
+	h := newHost(t)
+	g := mkGuest(t, h, "g")
+	ec := h.EventChannels()
+	gPort := ec.AllocUnbound(g.ID(), Dom0)
+	if _, err := ec.BindInterdomain(Dom0, g.ID(), gPort); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- ec.WaitTimeout(g.ID(), gPort, 30*time.Second) }()
+	if err := ec.Close(g.ID(), gPort); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-done; !errors.Is(err, ErrChannelClosed) {
+		t.Fatalf("wait err = %v, want ErrChannelClosed", err)
+	}
+}
+
+func TestNotifyFaultDropsEvents(t *testing.T) {
+	h := newHost(t)
+	g := mkGuest(t, h, "g")
+	ec := h.EventChannels()
+	gPort := ec.AllocUnbound(g.ID(), Dom0)
+	d0Port, err := ec.BindInterdomain(Dom0, g.ID(), gPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	drop := true
+	ec.SetNotifyFault(func(DomID, EvtchnPort) bool { return drop })
+	// Dropped: Notify reports success (the sender cannot tell) but nothing
+	// becomes pending on the peer.
+	if err := ec.Notify(Dom0, d0Port); err != nil {
+		t.Fatalf("dropped notify err = %v", err)
+	}
+	if n, _ := ec.Pending(g.ID(), gPort); n != 0 {
+		t.Fatalf("pending after dropped notify = %d, want 0", n)
+	}
+	if got := ec.DroppedNotifies(); got != 1 {
+		t.Fatalf("DroppedNotifies = %d, want 1", got)
+	}
+	// Delivery resumes once the hook stops dropping.
+	drop = false
+	if err := ec.Notify(Dom0, d0Port); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := ec.Pending(g.ID(), gPort); n != 1 {
+		t.Fatalf("pending after clean notify = %d, want 1", n)
+	}
+	ec.SetNotifyFault(nil)
+}

@@ -93,6 +93,12 @@ type HostConfig struct {
 	// window; zero means the vtpm package defaults.
 	MaxDirtyCommands int
 	MaxDirtyInterval time.Duration
+	// Store overrides the manager's state store. Nil means a fresh
+	// vtpm.NewMemStore. Fault-injection runs pass a faults.Store here.
+	Store vtpm.Store
+	// Retry bounds the manager's store-I/O retry loop; zero fields mean the
+	// vtpm package defaults. See vtpm.RetryPolicy.
+	Retry vtpm.RetryPolicy
 }
 
 // Host is one simulated physical machine.
@@ -215,6 +221,10 @@ func NewHost(cfg HostConfig) (*Host, error) {
 		return nil, err
 	}
 
+	store := cfg.Store
+	if store == nil {
+		store = vtpm.NewMemStore()
+	}
 	h := &Host{
 		Name:   cfg.Name,
 		Mode:   cfg.Mode,
@@ -222,7 +232,7 @@ func NewHost(cfg HostConfig) (*Host, error) {
 		XS:     xs,
 		HWTPM:  hwEng,
 		HW:     hw,
-		Store:  vtpm.NewMemStore(),
+		Store:  store,
 		guests: make(map[xen.DomID]*Guest),
 	}
 	switch cfg.Mode {
@@ -255,13 +265,17 @@ func NewHost(cfg HostConfig) (*Host, error) {
 		Checkpoint:       cfg.Checkpoint,
 		MaxDirtyCommands: cfg.MaxDirtyCommands,
 		MaxDirtyInterval: cfg.MaxDirtyInterval,
+		Retry:            cfg.Retry,
 	})
 	h.Backend = vtpm.NewBackend(hv, xs, h.Manager)
 	return h, nil
 }
 
-// Close releases background resources.
-func (h *Host) Close() { h.Manager.Close() }
+// Close releases background resources, draining pending write-behind
+// checkpoints first. A non-nil error means some instance's dirty state
+// could not be persisted (the aggregate names each one, joined with
+// errors.Join) — shutdown completed, but not silently.
+func (h *Host) Close() error { return h.Manager.Close() }
 
 // HostStats is a point-in-time operational snapshot for tooling.
 type HostStats struct {

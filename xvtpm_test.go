@@ -34,7 +34,11 @@ func newTestHost(t testing.TB, name string, mode Mode) *Host {
 	if err != nil {
 		t.Fatalf("NewHost(%s): %v", name, err)
 	}
-	t.Cleanup(h.Close)
+	t.Cleanup(func() {
+		if err := h.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
 	return h
 }
 
