@@ -1,6 +1,10 @@
 GO ?= go
 
-.PHONY: all build vet test race bench bench-smoke chaos ci clean
+# Pinned linter; `make lint` runs it via `go run` so nothing is installed
+# globally. Offline environments fall back to go vet with a warning.
+STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1
+
+.PHONY: all build vet test race bench bench-smoke bench-gate chaos lint cover ci clean
 
 all: build
 
@@ -28,6 +32,34 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x ./...
 
+# Benchmark-regression gate: run the fixed hot-path suite and compare against
+# the committed baseline. Fails (exit 1, printed table) on >15% ns/op
+# regression or any allocs/op growth. Regenerate the baseline on the same
+# machine with `go run ./cmd/benchrunner -bench -out BENCH_4.json`.
+BENCH_BASELINE ?= BENCH_4.json
+bench-gate:
+	$(GO) run ./cmd/benchrunner -check $(BENCH_BASELINE)
+
+# staticcheck when the module cache / network can supply it, go vet otherwise
+# (this repo must build with zero installs, so lint degrades gracefully).
+lint:
+	@if $(GO) run $(STATICCHECK) -version >/dev/null 2>&1; then \
+		$(GO) run $(STATICCHECK) ./...; \
+	else \
+		echo "staticcheck unavailable (offline?); falling back to go vet"; \
+		$(GO) vet ./...; \
+	fi
+
+# Coverage floor for the observability packages introduced in PR 4.
+COVER_PKGS := ./internal/metrics/... ./internal/trace/...
+COVER_MIN  := 70
+cover:
+	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' \
+		|| { echo "coverage $$total% below $(COVER_MIN)% floor"; exit 1; }
+
 # Seeded fault storm under the race detector (chaos_test.go). The test logs
 # its seed; on failure we echo it again so the schedule can be replayed with
 # CHAOS_SEED=<seed> make chaos.
@@ -36,7 +68,7 @@ chaos:
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -v -run TestChaosStorm -count=1 . \
 		|| { echo "chaos storm FAILED — replay with CHAOS_SEED=<seed from log above> make chaos"; exit 1; }
 
-ci: vet build test race bench-smoke chaos
+ci: vet lint build test race bench-smoke chaos
 
 clean:
 	$(GO) clean ./...

@@ -1,11 +1,21 @@
 // Command benchrunner regenerates the reconstructed evaluation of the
 // paper: every table and figure (E1–E8 in DESIGN.md) plus the harness
 // extensions (E9 flood control, E10 recovery, E11 concurrent dispatch,
-// E12 checkpoint policy, E13 fault storm), printed as aligned text tables and series.
+// E12 checkpoint policy, E13 fault storm, E14 observability overhead),
+// printed as aligned text tables and series. It also hosts the CI
+// benchmark-regression gate (-bench / -check).
 //
 // Usage:
 //
-//	benchrunner [-exp all|E1|E2|...|E13] [-bits 512] [-quick]
+//	benchrunner [-exp all|E1|E2|...|E14] [-bits 512] [-quick]
+//	benchrunner -bench [-out BENCH.json]
+//	benchrunner -check BENCH_baseline.json [-tolerance 0.15]
+//
+// With -bench the gate's benchmark suite runs and its results print as JSON
+// (to -out when given, else stdout). With -check the suite runs and is
+// compared against the given baseline file: any benchmark regressing more
+// than the tolerance in ns/op, or growing its allocs/op, prints a failure
+// table and exits 1 — the CI benchmark-regression gate.
 //
 // Absolute numbers are those of this Go reproduction on the local machine;
 // the claims under test are the relative shapes (baseline vs improved),
@@ -21,13 +31,72 @@ import (
 	"xvtpm/internal/experiments"
 )
 
+// runBenchSuite handles -bench/-out: run the suite, emit JSON.
+func runBenchSuite(cfg experiments.Config, out string) error {
+	rep, err := experiments.RunBenchSuite(cfg)
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+		fmt.Printf("bench report written to %s\n", out)
+	}
+	return rep.WriteJSON(w)
+}
+
+// runBenchCheck handles -check: run the suite, compare, exit non-zero on
+// regression via the returned error.
+func runBenchCheck(cfg experiments.Config, baselinePath string, tolerance float64) error {
+	base, err := experiments.ReadBenchReport(baselinePath)
+	if err != nil {
+		return fmt.Errorf("loading baseline: %w", err)
+	}
+	cur, err := experiments.RunBenchSuite(cfg)
+	if err != nil {
+		return err
+	}
+	deltas, ok := experiments.CompareBench(base, cur, tolerance)
+	experiments.RenderBenchDeltas(os.Stdout, deltas)
+	if !ok {
+		return fmt.Errorf("benchmark gate failed against %s", baselinePath)
+	}
+	fmt.Println("benchmark gate passed")
+	return nil
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, or one of E1..E13")
+	exp := flag.String("exp", "all", "experiment to run: all, or one of E1..E14")
 	bits := flag.Int("bits", 512, "RSA modulus size for all TPM keys")
 	quick := flag.Bool("quick", false, "reduced repetitions (smoke run)")
+	bench := flag.Bool("bench", false, "run the benchmark-gate suite and emit JSON instead of experiments")
+	out := flag.String("out", "", "with -bench: write the JSON report to this file")
+	check := flag.String("check", "", "run the gate suite and compare against this baseline JSON; exit 1 on regression")
+	tolerance := flag.Float64("tolerance", experiments.DefaultBenchTolerance,
+		"with -check: relative ns/op regression that fails the gate")
 	flag.Parse()
 
 	cfg := experiments.Config{RSABits: *bits, Quick: *quick, Out: os.Stdout}
+
+	if *bench || *check != "" {
+		var err error
+		if *check != "" {
+			err = runBenchCheck(cfg, *check, *tolerance)
+		} else {
+			err = runBenchSuite(cfg, *out)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	runners := map[string]func() error{
 		"E1":  func() error { _, err := experiments.E1PerCommand(cfg); return err },
 		"E2":  func() error { _, err := experiments.E2Scalability(cfg); return err },
@@ -42,8 +111,9 @@ func main() {
 		"E11": func() error { _, err := experiments.E11ConcurrentDispatch(cfg); return err },
 		"E12": func() error { _, err := experiments.E12CheckpointPolicy(cfg); return err },
 		"E13": func() error { _, err := experiments.E13FaultStorm(cfg); return err },
+		"E14": func() error { _, err := experiments.E14Observability(cfg); return err },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
 
 	want := strings.ToUpper(*exp)
 	if want == "ALL" {
@@ -58,7 +128,7 @@ func main() {
 	}
 	run, ok := runners[want]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all or E1..E13)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all or E1..E14)\n", *exp)
 		os.Exit(2)
 	}
 	if err := run(); err != nil {

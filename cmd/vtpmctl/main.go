@@ -10,7 +10,8 @@
 // Commands: help, create <name>, list, extend <name> <pcr> <text>,
 // suspend/resume <name>, ratelimit <name> <n>, anchor, verify-audit,
 // pcrread <name> <pcr>, random <name> <n>, deny <name> <group>,
-// allow <name> <group>, audit [n], checkpoint <name>, destroy <name>, quit.
+// allow <name> <group>, audit [n], top, spans <name> [n],
+// checkpoint <name>, destroy <name>, quit.
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 
 	"xvtpm"
 	"xvtpm/internal/core"
+	"xvtpm/internal/metrics"
 )
 
 type console struct {
@@ -87,6 +89,7 @@ func (c *console) handle(line string) bool {
 		c.printf("commands: create <name> | list | extend <name> <pcr> <text> | pcrread <name> <pcr>\n")
 		c.printf("          random <name> <n> | deny <name> <group> | allow <name> <group>\n")
 		c.printf("          audit [n] | anchor | verify-audit | ratelimit <name> <n> | stats\n")
+		c.printf("          top | spans <name> [n]\n")
 		c.printf("          suspend <name> | resume <name> | checkpoint <name> | destroy <name> | quit\n")
 	case "create":
 		if len(fields) != 2 {
@@ -204,6 +207,77 @@ func (c *console) handle(line string) bool {
 		}
 		for _, r := range recs {
 			c.printf("  #%-4d inst=%-3d ordinal=%#-6x %-5s %s\n", r.Seq, r.Instance, r.Ordinal, r.Decision, r.Reason)
+		}
+	case "top":
+		ds := c.host.Manager.DispatchStats()
+		c.printf("dispatch: %d commands (%d failed)  p50 %sµs  p95 %sµs  p99 %sµs\n",
+			ds.Commands, ds.Failures, metrics.Micros(ds.Total.P50),
+			metrics.Micros(ds.Total.P95), metrics.Micros(ds.Total.P99))
+		c.printf("phases:   queue-wait p95 %sµs  execute p95 %sµs  flush p95 %sµs  persist p95 %sµs\n",
+			metrics.Micros(ds.QueueWait.P95), metrics.Micros(ds.Execute.P95),
+			metrics.Micros(ds.Flush.P95), metrics.Micros(ds.Persist.P95))
+		cs := c.host.Manager.CheckpointStats()
+		c.printf("checkpoint: %d mutations, %d writes (coalesce %.2fx), %d bytes, %d retries\n",
+			cs.Mutations, cs.Checkpoints, cs.CoalesceRatio(), cs.BytesWritten, cs.Retries)
+		rows := make([][]string, 0, 8)
+		for _, s := range c.host.Manager.InstanceStatsAll() {
+			rows = append(rows, []string{
+				fmt.Sprintf("%d", s.ID),
+				fmt.Sprintf("dom%d", s.BoundDom),
+				s.Health.String(),
+				fmt.Sprintf("%d", s.Dispatches),
+				fmt.Sprintf("%d", s.Failures),
+				fmt.Sprintf("%d", s.PendingDirty),
+				metrics.Micros(s.Latency.P50),
+				metrics.Micros(s.Latency.P95),
+				metrics.Micros(s.Latency.P99),
+				fmt.Sprintf("%d", s.SpansRecorded),
+			})
+		}
+		if len(rows) == 0 {
+			c.printf("(no instances)\n")
+			break
+		}
+		metrics.Table(c.out, "per-instance dispatch (latency µs)",
+			[]string{"inst", "dom", "health", "cmds", "fail", "dirty", "p50", "p95", "p99", "spans"}, rows)
+	case "spans":
+		if len(fields) < 2 || len(fields) > 3 {
+			c.printf("usage: spans <name> [n]\n")
+			break
+		}
+		g, ok := c.guest(fields[1])
+		if !ok {
+			break
+		}
+		n := 10
+		if len(fields) == 3 {
+			if v, err := strconv.Atoi(fields[2]); err == nil && v > 0 {
+				n = v
+			}
+		}
+		spans, err := c.host.Manager.Spans(g.Instance)
+		if err != nil {
+			c.printf("spans: %v\n", err)
+			break
+		}
+		if len(spans) == 0 {
+			c.printf("(no spans recorded — tracing disabled or no traffic)\n")
+			break
+		}
+		if len(spans) > n {
+			spans = spans[len(spans)-n:]
+		}
+		for _, sp := range spans {
+			flags := ""
+			if sp.Mutated {
+				flags += " mutated"
+			}
+			if sp.Denied {
+				flags += " denied"
+			}
+			c.printf("  #%-5d ordinal=%#-6x wait=%sµs exec=%sµs flush=%sµs%s\n",
+				sp.Seq, sp.Ordinal, metrics.Micros(sp.QueueWait),
+				metrics.Micros(sp.Execute), metrics.Micros(sp.Flush), flags)
 		}
 	case "stats":
 		st := c.host.Stats()

@@ -5,11 +5,21 @@
 // Usage:
 //
 //	xvtpm-host [-mode improved] [-guests 4] [-cmds 200] [-bits 512] [-audit]
+//	           [-listen :9090] [-linger]
+//
+// With -listen the host serves its observability endpoints while the
+// workload runs: GET /metrics is the Prometheus exposition of the manager
+// and guard instruments, GET /debug/vtpm the JSON introspection document
+// (health, checkpoint stats, latency digests, recent command spans; add
+// ?spans=0 to trim). -linger keeps the process (and the endpoints) alive
+// after the workload finishes, for interactive poking.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"time"
 
@@ -24,6 +34,8 @@ func main() {
 	cmds := flag.Int("cmds", 200, "TPM commands per guest")
 	bits := flag.Int("bits", 512, "RSA modulus size")
 	audit := flag.Bool("audit", false, "print the tail of the audit log (improved mode)")
+	listen := flag.String("listen", "", "serve /metrics and /debug/vtpm on this address (e.g. :9090)")
+	linger := flag.Bool("linger", false, "keep serving after the workload finishes (requires -listen)")
 	flag.Parse()
 
 	var mode xvtpm.Mode
@@ -47,6 +59,28 @@ func main() {
 	defer host.Close()
 	fmt.Printf("host %q up: %s access control, hardware TPM owned=%v\n",
 		host.Name, host.Mode, host.HWTPM.Owned())
+
+	if *listen != "" {
+		reg := metrics.NewRegistry()
+		if err := host.RegisterMetrics(reg); err != nil {
+			fmt.Fprintf(os.Stderr, "registering metrics: %v\n", err)
+			os.Exit(1)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.Handle("/debug/vtpm", host.Manager.DebugHandler())
+		ln, err := net.Listen("tcp", *listen)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "listen %s: %v\n", *listen, err)
+			os.Exit(1)
+		}
+		fmt.Printf("observability: http://%s/metrics and /debug/vtpm\n", ln.Addr())
+		go func() {
+			if err := http.Serve(ln, mux); err != nil {
+				fmt.Fprintf(os.Stderr, "http: %v\n", err)
+			}
+		}()
+	}
 
 	type guestState struct {
 		g   *xvtpm.Guest
@@ -129,5 +163,15 @@ func main() {
 				fmt.Printf("  #%d inst=%d ordinal=%#x %s %s\n", r.Seq, r.Instance, r.Ordinal, r.Decision, r.Reason)
 			}
 		}
+	}
+	dsp := host.Manager.DispatchStats()
+	fmt.Printf("dispatch: %d commands, p50 %s p95 %s p99 %s (queue-wait p95 %s, flush p95 %s)\n",
+		dsp.Commands, metrics.Micros(dsp.Total.P50)+"µs", metrics.Micros(dsp.Total.P95)+"µs",
+		metrics.Micros(dsp.Total.P99)+"µs", metrics.Micros(dsp.QueueWait.P95)+"µs",
+		metrics.Micros(dsp.Flush.P95)+"µs")
+
+	if *linger && *listen != "" {
+		fmt.Println("lingering; Ctrl-C to exit")
+		select {}
 	}
 }

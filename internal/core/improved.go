@@ -9,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"xvtpm/internal/metrics"
 	"xvtpm/internal/tpm"
 	"xvtpm/internal/vtpm"
 	"xvtpm/internal/xen"
@@ -67,15 +68,26 @@ type ImprovedGuard struct {
 	ratePerSecond int
 	rateOverride  map[vtpm.InstanceID]int
 	rateEpoch     uint64
+
+	// Admission-decision instruments (see RegisterMetrics): allow/deny
+	// counters split by refusal stage, and the admission latency
+	// distribution. All atomic; the admission path stays lock- and
+	// allocation-free on their account.
+	admitted      metrics.Counter
+	deniedRate    metrics.Counter
+	deniedChannel metrics.Counter
+	deniedPolicy  metrics.Counter
+	admitLat      *metrics.Histogram
 }
 
 // NewImprovedGuard assembles the improved controller from its platform keys
 // and policy. The audit log is created fresh.
 func NewImprovedGuard(keys *PlatformKeys, policy *Policy) *ImprovedGuard {
 	g := &ImprovedGuard{
-		keys:   keys,
-		policy: policy,
-		audit:  NewAuditLog(),
+		keys:     keys,
+		policy:   policy,
+		audit:    NewAuditLog(),
+		admitLat: metrics.NewHistogram(nil),
 	}
 	for i := range g.shards {
 		g.shards[i].m = make(map[vtpm.InstanceID]*instanceState)
@@ -91,6 +103,49 @@ func (g *ImprovedGuard) Policy() *Policy { return g.policy }
 
 // Audit returns the guard's decision log.
 func (g *ImprovedGuard) Audit() *AuditLog { return g.audit }
+
+// AdmissionStats is a point-in-time digest of the guard's decisions.
+type AdmissionStats struct {
+	Admitted uint64
+	// Refusals split by the stage that refused: flood control, channel
+	// authentication (decrypt/replay), policy evaluation.
+	DeniedRate    uint64
+	DeniedChannel uint64
+	DeniedPolicy  uint64
+	// Latency digests AdmitCommand duration across all decisions.
+	Latency metrics.HistogramSummary
+}
+
+// AdmissionStats snapshots the guard's decision counters.
+func (g *ImprovedGuard) AdmissionStats() AdmissionStats {
+	return AdmissionStats{
+		Admitted:      g.admitted.Load(),
+		DeniedRate:    g.deniedRate.Load(),
+		DeniedChannel: g.deniedChannel.Load(),
+		DeniedPolicy:  g.deniedPolicy.Load(),
+		Latency:       g.admitLat.Summarize(),
+	}
+}
+
+// RegisterMetrics exposes the guard's admission instruments in reg under the
+// xvtpm_guard_* namespace.
+func (g *ImprovedGuard) RegisterMetrics(reg *metrics.Registry) error {
+	type ctrReg struct {
+		name, help string
+		c          *metrics.Counter
+	}
+	for _, cr := range []ctrReg{
+		{"xvtpm_guard_admitted_total", "Commands admitted by the guard.", &g.admitted},
+		{"xvtpm_guard_denied_rate_total", "Commands refused by flood control.", &g.deniedRate},
+		{"xvtpm_guard_denied_channel_total", "Commands refused by channel authentication.", &g.deniedChannel},
+		{"xvtpm_guard_denied_policy_total", "Commands refused by policy evaluation.", &g.deniedPolicy},
+	} {
+		if err := reg.RegisterCounter(cr.name, cr.help, cr.c); err != nil {
+			return err
+		}
+	}
+	return reg.RegisterHistogram("xvtpm_guard_admit_seconds", "Guard admission latency.", g.admitLat)
+}
 
 // shard returns the shard owning an instance's state.
 func (g *ImprovedGuard) shard(id vtpm.InstanceID) *guardShard {
@@ -152,21 +207,27 @@ func (g *ImprovedGuard) ResetChannel(id vtpm.InstanceID) {
 // admits a command. Policy is then evaluated against the instance's bound
 // identity.
 func (g *ImprovedGuard) AdmitCommand(inst vtpm.InstanceInfo, claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest, payload []byte) ([]byte, vtpm.ResponseFinisher, error) {
-	if err := g.admitRate(inst.ID, time.Now()); err != nil {
+	start := time.Now()
+	defer func() { g.admitLat.Record(time.Since(start)) }()
+	if err := g.admitRate(inst.ID, start); err != nil {
+		g.deniedRate.Inc()
 		g.audit.Append(inst.ID, inst.BoundLaunch, 0, Deny, "rate")
 		return nil, nil, err
 	}
 	ch := g.channelFor(inst)
 	cmd, seq, err := ch.open(payload)
 	if err != nil {
+		g.deniedChannel.Inc()
 		g.audit.Append(inst.ID, inst.BoundLaunch, 0, Deny, "channel: "+err.Error())
 		return nil, nil, err
 	}
 	ordinal := ordinalOf(cmd)
 	if g.policy.Evaluate(inst.BoundLaunch, inst.ID, ordinal) != Allow {
+		g.deniedPolicy.Inc()
 		g.audit.Append(inst.ID, inst.BoundLaunch, ordinal, Deny, "policy")
 		return nil, nil, fmt.Errorf("%w: ordinal %#x for instance %d", vtpm.ErrDenied, ordinal, inst.ID)
 	}
+	g.admitted.Inc()
 	g.audit.Append(inst.ID, inst.BoundLaunch, ordinal, Allow, "")
 	finish := func(resp []byte) ([]byte, error) {
 		return ch.seal(resp, seq)

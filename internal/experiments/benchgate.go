@@ -1,0 +1,367 @@
+package experiments
+
+// The benchmark-regression gate: a small fixed suite of hot-path benchmarks
+// whose results are serialized as JSON (BENCH_<n>.json in the repo root is
+// the committed baseline) and compared against a baseline by `benchrunner
+// -check`. CI runs the suite on every push and fails the gate job when a
+// benchmark regresses by more than the tolerance in ns/op or grows its
+// allocs/op. Absolute numbers vary across machines — the gate is advisory
+// (continue-on-error in CI) but loud, and the same machine comparing against
+// its own fresh baseline (make bench-gate) is authoritative.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"testing"
+	"time"
+
+	"xvtpm"
+	"xvtpm/internal/core"
+	"xvtpm/internal/metrics"
+	"xvtpm/internal/tpm"
+	"xvtpm/internal/trace"
+	"xvtpm/internal/vtpm"
+	"xvtpm/internal/xen"
+)
+
+// BenchSchema tags bench-report JSON so a -check against a file from some
+// other tool fails loudly instead of comparing nonsense.
+const BenchSchema = "xvtpm-bench/v1"
+
+// DefaultBenchTolerance is the relative ns/op regression that fails the
+// gate: 15%, wide enough for shared-runner noise, narrow enough to catch a
+// reintroduced lock or copy on the hot path.
+const DefaultBenchTolerance = 0.15
+
+// allocGrowthTolerance is the allocs/op increase that fails the gate.
+// Steady-state allocation counts are near-deterministic; the half-object
+// allowance absorbs background-worker scheduling jitter only.
+const allocGrowthTolerance = 0.5
+
+// BenchResult is one benchmark's measurement.
+type BenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// P95Ns is the p95 end-to-end dispatch latency observed by the
+	// manager's histograms during the run (0 for micro-benchmarks that do
+	// not cross the dispatch path).
+	P95Ns float64 `json:"p95_ns,omitempty"`
+}
+
+// BenchReport is the serialized result set of one suite run.
+type BenchReport struct {
+	Schema  string        `json:"schema"`
+	Bits    int           `json:"bits"`
+	Results []BenchResult `json:"results"`
+}
+
+// WriteJSON serializes the report (indented, trailing newline).
+func (r *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// ParseBenchReport decodes and validates a serialized report.
+func ParseBenchReport(data []byte) (*BenchReport, error) {
+	var r BenchReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("parsing bench report: %w", err)
+	}
+	if r.Schema != BenchSchema {
+		return nil, fmt.Errorf("bench report schema %q, want %q", r.Schema, BenchSchema)
+	}
+	return &r, nil
+}
+
+// ReadBenchReport loads a baseline file.
+func ReadBenchReport(path string) (*BenchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return ParseBenchReport(data)
+}
+
+// benchCmd builds a raw marshaled TPM command (baseline-guard framing).
+func benchCmd(ordinal uint32, params func(*tpm.Writer)) []byte {
+	p := tpm.NewWriter()
+	params(p)
+	w := tpm.NewWriter()
+	w.U16(tpm.TagRQUCommand)
+	w.U32(uint32(10 + len(p.Bytes())))
+	w.U32(ordinal)
+	w.Raw(p.Bytes())
+	return w.Bytes()
+}
+
+// benchRig is a writeback-policy manager with one bound domain — the same
+// rig the alloc guard measures, so gate numbers and alloc budgets describe
+// the same path.
+type benchRig struct {
+	mgr *vtpm.Manager
+	dom *xen.Domain
+}
+
+// newBenchRig builds the rig; traceDepth is passed through to the manager
+// (0 = default span ring, negative disables tracing — the E14 ablation).
+func newBenchRig(bits, traceDepth int) (*benchRig, error) {
+	hv := xen.NewHypervisor(xen.DomainConfig{Name: "Domain-0", Pages: 8192})
+	dom0, err := hv.Domain(xen.Dom0)
+	if err != nil {
+		return nil, err
+	}
+	mgr := vtpm.NewManager(hv, vtpm.NewMemStore(), xen.NewArena(dom0),
+		core.NewBaselineGuard(), vtpm.ManagerConfig{
+			RSABits: bits, Seed: []byte("benchgate"),
+			Checkpoint: vtpm.CheckpointWriteback,
+			TraceDepth: traceDepth,
+		})
+	dom, err := hv.CreateDomain(xen.DomainConfig{Name: "bg", Kernel: []byte("bgk")})
+	if err != nil {
+		mgr.Close() //nolint:errcheck // constructor failure path
+		return nil, err
+	}
+	id, err := mgr.CreateInstance()
+	if err == nil {
+		err = mgr.BindInstance(id, dom)
+	}
+	if err != nil {
+		mgr.Close() //nolint:errcheck // constructor failure path
+		return nil, err
+	}
+	return &benchRig{mgr: mgr, dom: dom}, nil
+}
+
+func (r *benchRig) dispatchBench(payload []byte) (testing.BenchmarkResult, float64, error) {
+	// Warm scratch buffers before measuring, as the alloc guard does.
+	for i := 0; i < 100; i++ {
+		if _, err := r.mgr.Dispatch(r.dom.ID(), r.dom.Launch(), payload); err != nil {
+			return testing.BenchmarkResult{}, 0, err
+		}
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := r.mgr.Dispatch(r.dom.ID(), r.dom.Launch(), payload); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	return res, float64(r.mgr.DispatchStats().Total.P95), benchErr
+}
+
+// RunBenchSuite runs the gate's benchmark suite. With names, only the named
+// benchmarks run (for tests). Quick mode trims nothing — testing.Benchmark
+// self-calibrates — but the suite is small by design (~10s total).
+func RunBenchSuite(cfg Config, names ...string) (*BenchReport, error) {
+	wanted := func(name string) bool {
+		if len(names) == 0 {
+			return true
+		}
+		for _, n := range names {
+			if n == name {
+				return true
+			}
+		}
+		return false
+	}
+	rep := &BenchReport{Schema: BenchSchema, Bits: cfg.bits()}
+	add := func(name string, res testing.BenchmarkResult, p95 float64) {
+		rep.Results = append(rep.Results, BenchResult{
+			Name:        name,
+			NsPerOp:     float64(res.NsPerOp()),
+			AllocsPerOp: float64(res.AllocsPerOp()),
+			P95Ns:       p95,
+		})
+	}
+
+	getRandom := benchCmd(tpm.OrdGetRandom, func(w *tpm.Writer) { w.U32(16) })
+	extend := benchCmd(tpm.OrdExtend, func(w *tpm.Writer) {
+		w.U32(7)
+		w.Raw(make([]byte, tpm.DigestSize))
+	})
+	for _, bc := range []struct {
+		name    string
+		payload []byte
+	}{
+		{"DispatchGetRandom", getRandom},
+		{"DispatchExtend", extend},
+	} {
+		if !wanted(bc.name) {
+			continue
+		}
+		rig, err := newBenchRig(cfg.bits(), 0)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", bc.name, err)
+		}
+		res, p95, err := rig.dispatchBench(bc.payload)
+		cerr := rig.mgr.Close()
+		if err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", bc.name, err)
+		}
+		add(bc.name, res, p95)
+	}
+
+	if wanted("GuestGetRandom") {
+		// The full guarded path: client → ring → backend → improved guard →
+		// engine, the per-command figure the paper's tables are about.
+		h, err := newHost(cfg, xvtpm.ModeImproved)
+		if err != nil {
+			return nil, fmt.Errorf("GuestGetRandom: %w", err)
+		}
+		g, err := h.CreateGuest(xvtpm.GuestConfig{Name: "bench", Kernel: []byte("bk")})
+		if err == nil {
+			for i := 0; i < 50; i++ { // warm the codec and response buffers
+				if _, err = g.TPM.GetRandom(16); err != nil {
+					break
+				}
+			}
+		}
+		if err != nil {
+			h.Close() //nolint:errcheck // constructor failure path
+			return nil, fmt.Errorf("GuestGetRandom: %w", err)
+		}
+		var benchErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := g.TPM.GetRandom(16); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		p95 := float64(h.Manager.DispatchStats().Total.P95)
+		cerr := h.Close()
+		if benchErr == nil {
+			benchErr = cerr
+		}
+		if benchErr != nil {
+			return nil, fmt.Errorf("GuestGetRandom: %w", benchErr)
+		}
+		add("GuestGetRandom", res, p95)
+	}
+
+	if wanted("HistogramRecord") {
+		h := metrics.NewHistogram(nil)
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				h.Record(time.Duration(i))
+			}
+		})
+		add("HistogramRecord", res, 0)
+	}
+
+	if wanted("SpanRecord") {
+		tr := trace.New(trace.Config{})
+		ring := tr.NewRing()
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			sp := trace.Span{Instance: 1, Ordinal: tpm.OrdGetRandom}
+			for i := 0; i < b.N; i++ {
+				ring.Record(sp)
+			}
+		})
+		add("SpanRecord", res, 0)
+	}
+
+	return rep, nil
+}
+
+// BenchDelta is one benchmark's baseline-vs-current comparison.
+type BenchDelta struct {
+	Name    string
+	Base    BenchResult
+	Cur     BenchResult
+	NsRatio float64 // cur/base - 1; +0.20 is a 20% regression
+	Missing bool    // benchmark present in baseline, absent in current
+	Fail    bool
+	Reason  string
+}
+
+// CompareBench evaluates current against baseline with the given ns/op
+// tolerance (0 means DefaultBenchTolerance). ok is false when any baseline
+// benchmark is missing, slower than tolerated, or allocates more.
+func CompareBench(base, cur *BenchReport, tolerance float64) (deltas []BenchDelta, ok bool) {
+	if tolerance <= 0 {
+		tolerance = DefaultBenchTolerance
+	}
+	byName := make(map[string]BenchResult, len(cur.Results))
+	for _, r := range cur.Results {
+		byName[r.Name] = r
+	}
+	ok = true
+	for _, b := range base.Results {
+		d := BenchDelta{Name: b.Name, Base: b}
+		c, found := byName[b.Name]
+		if !found {
+			d.Missing, d.Fail, d.Reason = true, false, "missing from current run"
+			// A missing benchmark fails the gate: silently dropping a
+			// measurement is how regressions hide.
+			d.Fail = true
+		} else {
+			d.Cur = c
+			if b.NsPerOp > 0 {
+				d.NsRatio = c.NsPerOp/b.NsPerOp - 1
+			}
+			switch {
+			case d.NsRatio > tolerance:
+				d.Fail = true
+				d.Reason = fmt.Sprintf("ns/op +%.1f%% (tolerance %.0f%%)", d.NsRatio*100, tolerance*100)
+			case c.AllocsPerOp > b.AllocsPerOp+allocGrowthTolerance:
+				d.Fail = true
+				d.Reason = fmt.Sprintf("allocs/op %.1f → %.1f", b.AllocsPerOp, c.AllocsPerOp)
+			}
+		}
+		if d.Fail {
+			ok = false
+		}
+		deltas = append(deltas, d)
+	}
+	return deltas, ok
+}
+
+// RenderBenchDeltas prints the comparison as an aligned table.
+func RenderBenchDeltas(w io.Writer, deltas []BenchDelta) {
+	rows := make([][]string, 0, len(deltas))
+	for _, d := range deltas {
+		status := "ok"
+		if d.Fail {
+			status = "FAIL: " + d.Reason
+		}
+		cur, ratio := "-", "-"
+		if !d.Missing {
+			cur = fmt.Sprintf("%.0f", d.Cur.NsPerOp)
+			if !math.IsNaN(d.NsRatio) {
+				ratio = fmt.Sprintf("%+.1f%%", d.NsRatio*100)
+			}
+		}
+		rows = append(rows, []string{
+			d.Name,
+			fmt.Sprintf("%.0f", d.Base.NsPerOp),
+			cur,
+			ratio,
+			fmt.Sprintf("%.1f", d.Base.AllocsPerOp),
+			func() string {
+				if d.Missing {
+					return "-"
+				}
+				return fmt.Sprintf("%.1f", d.Cur.AllocsPerOp)
+			}(),
+			status,
+		})
+	}
+	metrics.Table(w, "benchmark gate: baseline vs current",
+		[]string{"benchmark", "base ns/op", "cur ns/op", "delta", "base allocs", "cur allocs", "status"}, rows)
+}

@@ -1,0 +1,125 @@
+package experiments
+
+// E14: what does the observability layer itself cost? The latency
+// histograms and counters are always on (they are the measurement
+// apparatus), so the togglable half of the instrumentation — per-command
+// span recording at sample rate 1, the most expensive setting — is measured
+// against a tracing-disabled manager on the identical direct-dispatch
+// workload. The acceptance bar is ≤5% mean ns/op overhead and zero
+// additional allocations per dispatch.
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"xvtpm/internal/metrics"
+	"xvtpm/internal/tpm"
+)
+
+// E14Row is one configuration's measurement.
+type E14Row struct {
+	Config string // "tracing off" / "tracing on (rate 1)"
+	MeanNs float64
+	P95Ns  float64
+	Allocs float64
+}
+
+// E14Result is the experiment outcome.
+type E14Result struct {
+	Rows []E14Row
+	// OverheadFrac is (traced mean / untraced mean) - 1.
+	OverheadFrac float64
+	// AllocDelta is traced allocs/op minus untraced allocs/op.
+	AllocDelta float64
+}
+
+// e14Measure runs the direct-dispatch GetRandom workload against a rig with
+// the given trace depth and returns median-of-trials mean ns/op, the
+// manager's own p95, and allocs/op.
+func e14Measure(cfg Config, traceDepth int) (E14Row, error) {
+	reps := cfg.reps(20000, 500)
+	trials := cfg.reps(5, 2)
+	payload := benchCmd(tpm.OrdGetRandom, func(w *tpm.Writer) { w.U32(16) })
+
+	rig, err := newBenchRig(cfg.bits(), traceDepth)
+	if err != nil {
+		return E14Row{}, err
+	}
+	defer rig.mgr.Close() //nolint:errcheck // measurement teardown
+
+	dispatch := func() error {
+		_, err := rig.mgr.Dispatch(rig.dom.ID(), rig.dom.Launch(), payload)
+		return err
+	}
+	// Warm scratch buffers and the DRBG before timing.
+	for i := 0; i < 200; i++ {
+		if err := dispatch(); err != nil {
+			return E14Row{}, err
+		}
+	}
+	means := make([]float64, 0, trials)
+	for t := 0; t < trials; t++ {
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := dispatch(); err != nil {
+				return E14Row{}, err
+			}
+		}
+		means = append(means, float64(time.Since(start).Nanoseconds())/float64(reps))
+	}
+	sort.Float64s(means)
+	var allocErr error
+	allocs := testing.AllocsPerRun(500, func() {
+		if err := dispatch(); err != nil {
+			allocErr = err
+		}
+	})
+	if allocErr != nil {
+		return E14Row{}, allocErr
+	}
+	return E14Row{
+		MeanNs: means[len(means)/2],
+		P95Ns:  float64(rig.mgr.DispatchStats().Total.P95),
+		Allocs: allocs,
+	}, nil
+}
+
+// E14Observability measures the instrumented-vs-uninstrumented dispatch
+// overhead. Reconstructed for DESIGN.md §8 (no analogue in the paper, which
+// predates always-on telemetry as table stakes).
+func E14Observability(cfg Config) (E14Result, error) {
+	off, err := e14Measure(cfg, -1)
+	if err != nil {
+		return E14Result{}, fmt.Errorf("E14 untraced: %w", err)
+	}
+	off.Config = "tracing off"
+	on, err := e14Measure(cfg, 0)
+	if err != nil {
+		return E14Result{}, fmt.Errorf("E14 traced: %w", err)
+	}
+	on.Config = "tracing on (rate 1)"
+
+	res := E14Result{
+		Rows:         []E14Row{off, on},
+		OverheadFrac: on.MeanNs/off.MeanNs - 1,
+		AllocDelta:   on.Allocs - off.Allocs,
+	}
+	if cfg.Out != nil {
+		rows := make([][]string, 0, 2)
+		for _, r := range res.Rows {
+			rows = append(rows, []string{
+				r.Config,
+				fmt.Sprintf("%.0f", r.MeanNs),
+				fmt.Sprintf("%.0f", r.P95Ns),
+				fmt.Sprintf("%.2f", r.Allocs),
+			})
+		}
+		metrics.Table(cfg.Out, "E14: observability overhead (GetRandom direct dispatch)",
+			[]string{"config", "mean ns/op", "p95 ns", "allocs/op"}, rows)
+		fmt.Fprintf(cfg.Out, "span recording overhead: %+.2f%% ns/op, %+.2f allocs/op\n\n",
+			res.OverheadFrac*100, res.AllocDelta)
+	}
+	return res, nil
+}

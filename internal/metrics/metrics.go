@@ -52,12 +52,19 @@ func (r *Recorder) Time(fn func()) {
 
 // Reset discards all samples, returning the recorder to its initial state
 // (so one recorder can be reused across benchmark phases without
-// reallocating).
+// reallocating). The cached sorted snapshot is released too: its generation
+// tag already guarantees a stale cache can never be *served* (audited and
+// locked by TestRecorderCacheInvalidation), but without the release a large
+// pre-Reset snapshot would stay pinned until the next percentile query.
+// Lock order matches sortedSnapshot: sortMu before mu, never the reverse.
 func (r *Recorder) Reset() {
+	r.sortMu.Lock()
+	r.sorted = nil
 	r.mu.Lock()
 	r.samples = r.samples[:0]
 	r.gen++
 	r.mu.Unlock()
+	r.sortMu.Unlock()
 }
 
 // Count returns the sample count.

@@ -1,0 +1,95 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// The Recorder caches its sorted snapshot between percentile queries
+// (PR 1). These tests are the audit lock on the invalidation contract:
+// samples added — or discarded — after the cache is populated must be
+// reflected by the very next query, with no window in which a stale cache
+// is served.
+
+func TestRecorderCacheInvalidation(t *testing.T) {
+	r := NewRecorder()
+	r.Add(10 * time.Microsecond)
+	if got := r.Percentile(100); got != 10*time.Microsecond {
+		t.Fatalf("p100 = %v, want 10µs", got)
+	}
+	// The cache now holds the one-sample snapshot. A later Add must
+	// invalidate it.
+	r.Add(50 * time.Microsecond)
+	if got := r.Percentile(100); got != 50*time.Microsecond {
+		t.Fatalf("p100 after Add = %v, want 50µs (stale cache served)", got)
+	}
+	if got := r.Min(); got != 10*time.Microsecond {
+		t.Fatalf("Min = %v, want 10µs", got)
+	}
+
+	// Reset must invalidate too: a query after Reset+Add sees only the new
+	// sample, never the pre-Reset population.
+	r.Reset()
+	if got := r.Count(); got != 0 {
+		t.Fatalf("Count after Reset = %d", got)
+	}
+	if got := r.Percentile(50); got != 0 {
+		t.Fatalf("p50 of empty recorder = %v (stale cache served)", got)
+	}
+	r.Add(time.Microsecond)
+	if got := r.Max(); got != time.Microsecond {
+		t.Fatalf("Max after Reset+Add = %v, want 1µs", got)
+	}
+}
+
+// TestRecorderCacheConcurrent races Add, Reset and the cached-percentile
+// path under -race, then verifies the final generation's snapshot is
+// internally consistent: the cache may only ever serve a *complete* sorted
+// snapshot of some past generation, never a torn one.
+func TestRecorderCacheConcurrent(t *testing.T) {
+	r := NewRecorder()
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				r.Add(time.Duration(w*1000+i) * time.Nanosecond)
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				s := r.Summarize()
+				if s.Count > 0 && (s.P50 < s.Min || s.P50 > s.Max || s.P99 > s.Max) {
+					t.Errorf("torn snapshot: %+v", s)
+					return
+				}
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			r.Reset()
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	// Quiesced: one more Add, and the fresh generation must be served.
+	r.Add(time.Hour)
+	if got := r.Max(); got != time.Hour {
+		t.Fatalf("Max after quiesce = %v, want 1h", got)
+	}
+}

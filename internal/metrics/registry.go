@@ -1,0 +1,173 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Registry names a set of live metric instruments and renders them in the
+// Prometheus text exposition format (version 0.0.4). Instruments register
+// once and are read live at exposition time — the registry holds pointers,
+// never copies, so a counter registered at boot keeps counting without
+// touching the registry again.
+//
+// Snapshot caching: exposition sorts metric names once and caches the
+// sorted list. The cache is invalidated on *every* registration — including
+// ones that happen after the first exposition — so a gauge added late can
+// never be silently dropped from the output. (The Recorder in this package
+// had the analogous invalidation audited and locked with a test; the
+// registry gets the same treatment via TestRegistryLateRegistration.)
+type Registry struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	sorted  []string // cached sorted names; nil means invalid
+}
+
+// entry is one registered instrument. Exactly one of the instrument fields
+// is set, matched by kind.
+type entry struct {
+	kind    string // "counter", "gauge", "histogram"
+	help    string
+	counter *Counter
+	gauge   *Gauge
+	gaugeFn func() float64
+	hist    *Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: make(map[string]*entry)}
+}
+
+// validName reports whether name fits the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, r := range name {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// register installs an entry, invalidating the sorted-name cache.
+func (r *Registry) register(name string, e *entry) error {
+	if !validName(name) {
+		return fmt.Errorf("metrics: invalid metric name %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.entries[name]; dup {
+		return fmt.Errorf("metrics: metric %q already registered", name)
+	}
+	r.entries[name] = e
+	r.sorted = nil // late registrations must appear in the next exposition
+	return nil
+}
+
+// RegisterCounter exposes c under name.
+func (r *Registry) RegisterCounter(name, help string, c *Counter) error {
+	return r.register(name, &entry{kind: "counter", help: help, counter: c})
+}
+
+// RegisterGauge exposes g under name.
+func (r *Registry) RegisterGauge(name, help string, g *Gauge) error {
+	return r.register(name, &entry{kind: "gauge", help: help, gauge: g})
+}
+
+// RegisterGaugeFunc exposes the value returned by fn under name, evaluated
+// at each exposition. fn must be safe for concurrent use.
+func (r *Registry) RegisterGaugeFunc(name, help string, fn func() float64) error {
+	return r.register(name, &entry{kind: "gauge", help: help, gaugeFn: fn})
+}
+
+// RegisterHistogram exposes h under name. Durations are rendered in
+// seconds, per Prometheus convention; name should end in "_seconds".
+func (r *Registry) RegisterHistogram(name, help string, h *Histogram) error {
+	return r.register(name, &entry{kind: "histogram", help: help, hist: h})
+}
+
+// MustRegister panics on a registration error — for boot-time wiring where
+// a duplicate name is a programming bug.
+func (r *Registry) MustRegister(err error) {
+	if err != nil {
+		panic(err)
+	}
+}
+
+// names returns the sorted metric names, computing and caching the sort
+// only when a registration has invalidated it.
+func (r *Registry) names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.sorted == nil {
+		r.sorted = make([]string, 0, len(r.entries))
+		for name := range r.entries {
+			r.sorted = append(r.sorted, name)
+		}
+		sort.Strings(r.sorted)
+	}
+	return r.sorted
+}
+
+// seconds renders nanoseconds as a seconds float with full precision.
+func seconds(ns int64) string {
+	return strconv.FormatFloat(float64(ns)/1e9, 'g', -1, 64)
+}
+
+// WritePrometheus renders every registered metric in the text exposition
+// format, sorted by name.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, name := range r.names() {
+		r.mu.Lock()
+		e := r.entries[name]
+		r.mu.Unlock()
+		if e == nil {
+			continue
+		}
+		if e.help != "" {
+			fmt.Fprintf(w, "# HELP %s %s\n", name, strings.ReplaceAll(e.help, "\n", " "))
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n", name, e.kind)
+		switch {
+		case e.counter != nil:
+			fmt.Fprintf(w, "%s %d\n", name, e.counter.Load())
+		case e.gauge != nil:
+			fmt.Fprintf(w, "%s %d\n", name, e.gauge.Load())
+		case e.gaugeFn != nil:
+			fmt.Fprintf(w, "%s %s\n", name, strconv.FormatFloat(e.gaugeFn(), 'g', -1, 64))
+		case e.hist != nil:
+			s := e.hist.Snapshot()
+			var cum uint64
+			for i, c := range s.Counts {
+				cum += c
+				le := "+Inf"
+				if i < len(s.Bounds) {
+					le = seconds(s.Bounds[i])
+				}
+				fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+			}
+			fmt.Fprintf(w, "%s_sum %s\n", name, seconds(int64(s.Sum)))
+			fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
+		}
+	}
+	return nil
+}
+
+// Handler returns an http.Handler serving the exposition — the /metrics
+// endpoint of cmd/xvtpm-host.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w) //nolint:errcheck // ResponseWriter errors mean a gone client
+	})
+}

@@ -1,0 +1,139 @@
+package metrics
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestRegistryExpositionGolden locks the exact Prometheus text format the
+// /metrics endpoint serves: sorted names, HELP/TYPE headers, cumulative
+// histogram buckets in seconds, counter and gauge values.
+func TestRegistryExpositionGolden(t *testing.T) {
+	reg := NewRegistry()
+	var c Counter
+	c.Add(42)
+	var g Gauge
+	g.Set(-3)
+	h := NewHistogram([]int64{int64(time.Microsecond), int64(time.Millisecond)})
+	h.Record(500 * time.Nanosecond) // bucket le=1µs
+	h.Record(2 * time.Microsecond)  // bucket le=1ms
+	h.Record(2 * time.Second)       // +Inf
+
+	reg.MustRegister(reg.RegisterCounter("xvtpm_commands_total", "Commands dispatched.", &c))
+	reg.MustRegister(reg.RegisterGauge("xvtpm_degraded_now", "Instances currently degraded.", &g))
+	reg.MustRegister(reg.RegisterHistogram("xvtpm_dispatch_seconds", "Dispatch latency.", h))
+	reg.MustRegister(reg.RegisterGaugeFunc("xvtpm_up", "Liveness.", func() float64 { return 1 }))
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP xvtpm_commands_total Commands dispatched.
+# TYPE xvtpm_commands_total counter
+xvtpm_commands_total 42
+# HELP xvtpm_degraded_now Instances currently degraded.
+# TYPE xvtpm_degraded_now gauge
+xvtpm_degraded_now -3
+# HELP xvtpm_dispatch_seconds Dispatch latency.
+# TYPE xvtpm_dispatch_seconds histogram
+xvtpm_dispatch_seconds_bucket{le="1e-06"} 1
+xvtpm_dispatch_seconds_bucket{le="0.001"} 2
+xvtpm_dispatch_seconds_bucket{le="+Inf"} 3
+xvtpm_dispatch_seconds_sum 2.0000025
+xvtpm_dispatch_seconds_count 3
+# HELP xvtpm_up Liveness.
+# TYPE xvtpm_up gauge
+xvtpm_up 1
+`
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestRegistryLateRegistration is the lock on the snapshot-cache
+// invalidation contract: an instrument registered *after* the first
+// exposition (which populates the sorted-name cache) must appear in the
+// next one.
+func TestRegistryLateRegistration(t *testing.T) {
+	reg := NewRegistry()
+	var c Counter
+	reg.MustRegister(reg.RegisterCounter("a_total", "", &c))
+	var first strings.Builder
+	if err := reg.WritePrometheus(&first); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "a_total 0") {
+		t.Fatalf("first exposition missing a_total:\n%s", first.String())
+	}
+
+	// Late gauge — this is the case the cached sort must not drop.
+	var g Gauge
+	g.Set(7)
+	reg.MustRegister(reg.RegisterGauge("late_gauge", "", &g))
+	var second strings.Builder
+	if err := reg.WritePrometheus(&second); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(second.String(), "late_gauge 7") {
+		t.Fatalf("late-registered gauge missing from exposition:\n%s", second.String())
+	}
+	// Names stay sorted even across the cache rebuild.
+	if strings.Index(second.String(), "a_total") > strings.Index(second.String(), "late_gauge") {
+		t.Errorf("exposition not sorted:\n%s", second.String())
+	}
+}
+
+func TestRegistryRejectsBadAndDuplicateNames(t *testing.T) {
+	reg := NewRegistry()
+	var c Counter
+	if err := reg.RegisterCounter("0bad", "", &c); err == nil {
+		t.Error("accepted name starting with a digit")
+	}
+	if err := reg.RegisterCounter("has space", "", &c); err == nil {
+		t.Error("accepted name with a space")
+	}
+	if err := reg.RegisterCounter("", "", &c); err == nil {
+		t.Error("accepted empty name")
+	}
+	if err := reg.RegisterCounter("ok_total", "", &c); err != nil {
+		t.Fatalf("rejected valid name: %v", err)
+	}
+	if err := reg.RegisterCounter("ok_total", "", &c); err == nil {
+		t.Error("accepted duplicate registration")
+	}
+}
+
+func TestRegistryHandler(t *testing.T) {
+	reg := NewRegistry()
+	var c Counter
+	c.Inc()
+	reg.MustRegister(reg.RegisterCounter("hits_total", "Hits.", &c))
+	srv := httptest.NewServer(reg.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	buf := make([]byte, 1<<16)
+	n, _ := resp.Body.Read(buf)
+	if !strings.Contains(string(buf[:n]), "hits_total 1") {
+		t.Errorf("handler body missing metric:\n%s", buf[:n])
+	}
+}
+
+func TestRegistryMustRegisterPanics(t *testing.T) {
+	reg := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRegister did not panic on error")
+		}
+	}()
+	var c Counter
+	reg.MustRegister(reg.RegisterCounter("bad name", "", &c))
+}

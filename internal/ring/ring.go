@@ -85,6 +85,43 @@ type Ring struct {
 	// unchanged is a no-op; returning a prefix models a truncated frame.
 	dequeueFault func(payload []byte) []byte
 	faulted      uint64
+
+	// Traffic counters (under mu, so counting costs nothing beyond the lock
+	// every operation already holds). fullWaits counts EnqueueRequest calls
+	// that found the ring full and had to block — the backpressure signal
+	// /metrics exports per device.
+	requests  uint64
+	responses uint64
+	fullWaits uint64
+}
+
+// Stats is a point-in-time traffic digest of one ring.
+type Stats struct {
+	// Requests and Responses count frames ever published in each direction.
+	Requests  uint64
+	Responses uint64
+	// FullWaits counts EnqueueRequest calls that blocked on a full ring.
+	FullWaits uint64
+	// Faulted counts dequeued payloads rewritten by the fault-injection hook.
+	Faulted uint64
+	// PendingRequests and PendingResponses are published-but-unconsumed
+	// frames right now.
+	PendingRequests  int
+	PendingResponses int
+}
+
+// Stats snapshots the ring's traffic counters.
+func (r *Ring) Stats() Stats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return Stats{
+		Requests:         r.requests,
+		Responses:        r.responses,
+		FullWaits:        r.fullWaits,
+		Faulted:          r.faulted,
+		PendingRequests:  int(r.reqProd() - r.reqCons),
+		PendingResponses: int(r.rspProd() - r.rspCons),
+	}
 }
 
 // SetDequeueFault installs (or, with nil, removes) a payload-rewrite hook
@@ -260,13 +297,17 @@ func (r *Ring) EnqueueRequest(payload []byte) (uint64, error) {
 		return 0, fmt.Errorf("%w: %d > %d", ErrTooLarge, len(payload), r.slotSize)
 	}
 	r.mu.Lock()
-	for !r.closed && r.reqProd()-r.rspCons >= r.numSlots {
-		r.notFull.Wait()
+	if !r.closed && r.reqProd()-r.rspCons >= r.numSlots {
+		r.fullWaits++
+		for !r.closed && r.reqProd()-r.rspCons >= r.numSlots {
+			r.notFull.Wait()
+		}
 	}
 	if r.closed {
 		r.mu.Unlock()
 		return 0, ErrClosed
 	}
+	r.requests++
 	r.nextID++
 	id := r.nextID
 	prod := r.reqProd()
@@ -382,6 +423,7 @@ func (r *Ring) EnqueueResponse(id uint64, payload []byte) error {
 	writeSlot(s, slotResponse, id, payload)
 	r.setRspProd(prod + 1)
 	r.bus.EndWrite()
+	r.responses++
 	cb := r.onResponse
 	r.mu.Unlock()
 	r.haveRsp.Signal()

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func newTestRing(t *testing.T, g Geometry) *Ring {
@@ -378,4 +379,59 @@ func BenchmarkRingRoundTrip(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// TestStats locks the traffic-counter contract: requests/responses count
+// published frames, fullWaits counts blocked enqueues, pending tracks the
+// live backlog.
+func TestStats(t *testing.T) {
+	r := newTestRing(t, Geometry{NumSlots: 2, SlotSize: 64})
+	if s := r.Stats(); s != (Stats{}) {
+		t.Fatalf("fresh ring stats = %+v, want zero", s)
+	}
+	id1, err := r.EnqueueRequest([]byte("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	id2, err := r.EnqueueRequest([]byte("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.Stats()
+	if s.Requests != 2 || s.PendingRequests != 2 || s.Responses != 0 || s.FullWaits != 0 {
+		t.Fatalf("after 2 enqueues: %+v", s)
+	}
+
+	// Ring is full (2 slots, neither response consumed): a third enqueue
+	// must block and be counted as a full-wait.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if _, err := r.EnqueueRequest([]byte("c")); err != nil {
+			t.Errorf("blocked EnqueueRequest: %v", err)
+		}
+	}()
+	// Wait until the third enqueue has actually blocked (the counter is
+	// bumped before the wait), then open a slot to release it.
+	for r.Stats().FullWaits == 0 {
+		time.Sleep(50 * time.Microsecond)
+	}
+	if _, _, err := r.DequeueRequest(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.EnqueueResponse(id1, []byte("A")); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := r.DequeueResponse(); err != nil {
+		t.Fatal(err)
+	}
+	<-done
+	s = r.Stats()
+	if s.Requests != 3 || s.Responses != 1 || s.FullWaits != 1 {
+		t.Fatalf("after blocked enqueue cycle: %+v", s)
+	}
+	if s.PendingRequests != 2 || s.PendingResponses != 0 {
+		t.Fatalf("pending after cycle: %+v", s)
+	}
+	_ = id2
 }

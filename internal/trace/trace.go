@@ -1,0 +1,199 @@
+// Package trace is the per-command span recorder of the observability
+// layer: a lightweight, fixed-memory flight recorder for the vTPM dispatch
+// path. Each dispatched command can leave one Span — its ordinal, origin
+// domain, health state at admission, and the phase breakdown the latency
+// histograms aggregate away (queue-wait vs execute vs checkpoint-flush) —
+// in a bounded per-instance ring of recent spans.
+//
+// Design constraints, in order:
+//
+//  1. Zero allocations on the record path. Spans are plain value structs
+//     copied into a preallocated ring slot; recording takes one short
+//     mutex hold and no heap traffic, so the alloc-guard budget of the
+//     dispatch hot path is untouched.
+//  2. Bounded memory. A ring holds Depth spans, period. A guest that
+//     issues a million commands — or a chaos storm that quarantines and
+//     revives instances all night — can never grow the recorder.
+//  3. Deterministic sampling. The sampling decision stream is a pure
+//     function of the tracer's seed (splitmix64), so a storm run replayed
+//     with the same seed records the same spans, and the knob can dial
+//     recording cost from every-command to off without rebuilding anything.
+package trace
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Span is the record of one dispatched command. All fields are plain
+// values: a Span is copied into and out of rings whole, never shared.
+type Span struct {
+	// Seq is the ring-local sequence number (1 = first span ever recorded
+	// in that ring), so a JSON dump shows gaps when sampling skipped
+	// commands.
+	Seq uint64 `json:"seq"`
+	// Instance and Dom identify the lane: vTPM instance and the guest
+	// domain whose command this was.
+	Instance uint32 `json:"instance"`
+	Dom      uint32 `json:"dom"`
+	// Ordinal is the TPM command ordinal (0 when admission failed before
+	// the ordinal was decoded).
+	Ordinal uint32 `json:"ordinal"`
+	// Health is the instance's health state at dispatch (the integer value
+	// of vtpm.HealthState; kept as a plain int to avoid an import cycle).
+	Health uint8 `json:"health"`
+	// Mutated marks commands that dirtied instance state; Denied marks
+	// guard refusals and quarantine fences.
+	Mutated bool `json:"mutated,omitempty"`
+	Denied  bool `json:"denied,omitempty"`
+	// Start is when the manager accepted the payload.
+	Start time.Time `json:"start"`
+	// The phase breakdown: QueueWait is time blocked on write-behind
+	// backpressure before the instance lock; Execute is the locked section
+	// (guard admission + engine execution + response finishing); Flush is
+	// a synchronous checkpoint paid on the dispatch path (eager policy or
+	// a degraded instance).
+	QueueWait time.Duration `json:"queue_wait_ns"`
+	Execute   time.Duration `json:"execute_ns"`
+	Flush     time.Duration `json:"flush_ns"`
+}
+
+// Total is the span's end-to-end dispatch time.
+func (s Span) Total() time.Duration { return s.QueueWait + s.Execute + s.Flush }
+
+// Ring is a bounded buffer of the most recent spans of one instance.
+// The zero value is unusable; obtain rings from a Tracer.
+type Ring struct {
+	mu    sync.Mutex
+	spans []Span // preallocated to depth at construction
+	n     uint64 // total spans ever recorded; spans[(n-1)%depth] is newest
+}
+
+// Record copies one span into the ring, overwriting the oldest when full.
+// The ring assigns the stored copy's Seq. Taking the span by value keeps the
+// caller's struct off the heap — the record path must never allocate.
+func (r *Ring) Record(s Span) {
+	r.mu.Lock()
+	r.n++
+	s.Seq = r.n
+	r.spans[int((r.n-1)%uint64(len(r.spans)))] = s
+	r.mu.Unlock()
+}
+
+// Total returns how many spans have ever been recorded (recorded, not
+// retained: the ring keeps only the newest Depth of them).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.n
+}
+
+// Len returns how many spans the ring currently retains.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lenLocked()
+}
+
+func (r *Ring) lenLocked() int {
+	if r.n < uint64(len(r.spans)) {
+		return int(r.n)
+	}
+	return len(r.spans)
+}
+
+// Snapshot copies the retained spans out in chronological order (oldest
+// first). The copy is the caller's to keep; the ring keeps recording.
+func (r *Ring) Snapshot() []Span {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	k := r.lenLocked()
+	out := make([]Span, k)
+	depth := uint64(len(r.spans))
+	for i := 0; i < k; i++ {
+		out[i] = r.spans[int((r.n-uint64(k)+uint64(i))%depth)]
+	}
+	return out
+}
+
+// Config parameterizes a Tracer.
+type Config struct {
+	// Depth is the per-instance ring capacity. Zero means DefaultDepth;
+	// negative disables tracing entirely (NewRing returns nil and Sample
+	// is always false — the knob the overhead ablation E14 turns).
+	Depth int
+	// SampleRate records one in every Rate commands on average: 1 traces
+	// everything (the default when zero), 16 traces ~6%, and so on. The
+	// decision stream is seeded, so a given rate and seed skip and keep
+	// the same draws on every run.
+	SampleRate int
+	// Seed roots the sampling decision stream. The zero seed is valid and
+	// deterministic like any other.
+	Seed int64
+}
+
+// DefaultDepth is the per-instance ring capacity when Config.Depth is zero:
+// deep enough to hold a burst, small enough (~100B/span) to keep thousands
+// of instances cheap.
+const DefaultDepth = 64
+
+// Tracer owns the sampling knob and mints per-instance rings. Safe for
+// concurrent use.
+type Tracer struct {
+	depth int
+	rate  uint64
+	state atomic.Uint64 // splitmix64 walk; advanced once per Sample call
+}
+
+// New creates a tracer from cfg.
+func New(cfg Config) *Tracer {
+	t := &Tracer{depth: cfg.Depth, rate: 1}
+	if cfg.Depth == 0 {
+		t.depth = DefaultDepth
+	}
+	if cfg.SampleRate > 1 {
+		t.rate = uint64(cfg.SampleRate)
+	}
+	t.state.Store(uint64(cfg.Seed))
+	return t
+}
+
+// Enabled reports whether this tracer records at all.
+func (t *Tracer) Enabled() bool { return t != nil && t.depth > 0 }
+
+// NewRing mints a ring for one instance (nil when tracing is disabled —
+// Record must then be skipped, which Sample already guarantees).
+func (t *Tracer) NewRing() *Ring {
+	if !t.Enabled() {
+		return nil
+	}
+	return &Ring{spans: make([]Span, t.depth)}
+}
+
+// splitmix64 is the output mix of the SplitMix64 generator — one multiply
+// chain, no state beyond the input.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Sample decides whether the current command is traced. Lock-free and
+// allocation-free: one atomic add plus the splitmix64 mix. With rate 1 it
+// is always true; with tracing disabled always false. Under concurrency
+// the interleaving of draws across goroutines follows the scheduler, but
+// the draw *stream* itself is still the seeded sequence, so the sampled
+// fraction — and a sequential replay — are deterministic.
+func (t *Tracer) Sample() bool {
+	if !t.Enabled() {
+		return false
+	}
+	if t.rate <= 1 {
+		return true
+	}
+	x := t.state.Add(0x9e3779b97f4a7c15)
+	return splitmix64(x)%t.rate == 0
+}

@@ -1,0 +1,229 @@
+package trace
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+func span(i int) Span {
+	return Span{
+		Instance:  1,
+		Dom:       7,
+		Ordinal:   uint32(i),
+		Start:     time.Unix(0, int64(i)),
+		QueueWait: time.Duration(i),
+		Execute:   time.Duration(2 * i),
+		Flush:     time.Duration(3 * i),
+	}
+}
+
+func TestRingBoundedAndOrdered(t *testing.T) {
+	tr := New(Config{Depth: 4})
+	r := tr.NewRing()
+	if r == nil {
+		t.Fatal("NewRing returned nil for enabled tracer")
+	}
+	// Under capacity: everything retained, oldest first.
+	for i := 1; i <= 3; i++ {
+		r.Record(span(i))
+	}
+	got := r.Snapshot()
+	if len(got) != 3 {
+		t.Fatalf("len = %d, want 3", len(got))
+	}
+	for i, s := range got {
+		if s.Ordinal != uint32(i+1) || s.Seq != uint64(i+1) {
+			t.Errorf("span %d = ordinal %d seq %d", i, s.Ordinal, s.Seq)
+		}
+	}
+	// Past capacity: bounded at depth, oldest dropped, order kept.
+	for i := 4; i <= 10; i++ {
+		r.Record(span(i))
+	}
+	got = r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("len after wrap = %d, want depth 4", len(got))
+	}
+	for i, s := range got {
+		if want := uint32(7 + i); s.Ordinal != want {
+			t.Errorf("span %d ordinal = %d, want %d", i, s.Ordinal, want)
+		}
+	}
+	if r.Total() != 10 {
+		t.Errorf("Total = %d, want 10", r.Total())
+	}
+	if r.Len() != 4 {
+		t.Errorf("Len = %d, want 4", r.Len())
+	}
+}
+
+func TestSpanTotal(t *testing.T) {
+	s := Span{QueueWait: 1, Execute: 2, Flush: 3}
+	if s.Total() != 6 {
+		t.Fatalf("Total = %d", s.Total())
+	}
+}
+
+func TestDisabledTracer(t *testing.T) {
+	tr := New(Config{Depth: -1})
+	if tr.Enabled() {
+		t.Error("negative depth should disable tracing")
+	}
+	if tr.NewRing() != nil {
+		t.Error("disabled tracer minted a ring")
+	}
+	if tr.Sample() {
+		t.Error("disabled tracer sampled")
+	}
+	var nilTracer *Tracer
+	if nilTracer.Enabled() || nilTracer.Sample() {
+		t.Error("nil tracer must be inert")
+	}
+}
+
+func TestDefaultDepth(t *testing.T) {
+	tr := New(Config{})
+	r := tr.NewRing()
+	for i := 0; i < DefaultDepth+10; i++ {
+		r.Record(span(i))
+	}
+	if r.Len() != DefaultDepth {
+		t.Fatalf("Len = %d, want DefaultDepth %d", r.Len(), DefaultDepth)
+	}
+}
+
+// TestSamplingDeterministicAndProportional locks the seeded-sampling
+// contract: the same seed yields the same decision stream, a different
+// seed a different one, and the kept fraction tracks 1/rate.
+func TestSamplingDeterministicAndProportional(t *testing.T) {
+	draw := func(seed int64, rate, n int) []bool {
+		tr := New(Config{SampleRate: rate, Seed: seed})
+		out := make([]bool, n)
+		for i := range out {
+			out[i] = tr.Sample()
+		}
+		return out
+	}
+	const n = 4096
+	a := draw(42, 16, n)
+	b := draw(42, 16, n)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+	c := draw(43, 16, n)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical decision streams")
+	}
+	kept := 0
+	for _, v := range a {
+		if v {
+			kept++
+		}
+	}
+	// Expect n/16 = 256 ± a generous 50%.
+	if kept < 128 || kept > 384 {
+		t.Errorf("rate 16 kept %d of %d draws", kept, n)
+	}
+
+	// Rate 1 (and the zero default) keep everything.
+	for _, rate := range []int{0, 1} {
+		tr := New(Config{SampleRate: rate})
+		for i := 0; i < 100; i++ {
+			if !tr.Sample() {
+				t.Fatalf("rate %d dropped a draw", rate)
+			}
+		}
+	}
+}
+
+// TestRingConcurrentRecord races Record against Snapshot under -race and
+// checks no span count is lost and snapshots are never torn.
+func TestRingConcurrentRecord(t *testing.T) {
+	tr := New(Config{Depth: 32})
+	r := tr.NewRing()
+	const workers = 4
+	const perWorker = 1000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				snap := r.Snapshot()
+				for i := 1; i < len(snap); i++ {
+					if snap[i].Seq != snap[i-1].Seq+1 {
+						t.Errorf("torn snapshot: seq %d after %d", snap[i].Seq, snap[i-1].Seq)
+						return
+					}
+				}
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				r.Record(span(w*perWorker + i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stop)
+	if got := r.Total(); got != workers*perWorker {
+		t.Fatalf("Total = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestRecordDoesNotAllocate(t *testing.T) {
+	tr := New(Config{})
+	r := tr.NewRing()
+	s := span(9)
+	if got := testing.AllocsPerRun(1000, func() { r.Record(s) }); got != 0 {
+		t.Fatalf("Record allocates %.2f objects/op, want 0", got)
+	}
+	if got := testing.AllocsPerRun(1000, func() { tr.Sample() }); got != 0 {
+		t.Fatalf("Sample allocates %.2f objects/op, want 0", got)
+	}
+}
+
+// Spans must serialize cleanly for the /debug/vtpm JSON dump.
+func TestSpanJSONRoundTrip(t *testing.T) {
+	in := Span{Seq: 3, Instance: 2, Dom: 5, Ordinal: 0x14, Health: 1,
+		Mutated: true, Start: time.Unix(100, 0).UTC(),
+		QueueWait: time.Microsecond, Execute: 2 * time.Microsecond}
+	blob, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out Span
+	if err := json.Unmarshal(blob, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out != in {
+		t.Fatalf("round trip: got %+v, want %+v", out, in)
+	}
+}
+
+func BenchmarkRingRecord(b *testing.B) {
+	tr := New(Config{})
+	r := tr.NewRing()
+	s := span(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Record(s)
+	}
+}

@@ -313,6 +313,8 @@ func (m *Manager) persistPending(inst *instance, force bool) error {
 		inst.mu.Unlock()
 		return nil
 	}
+	passStart := time.Now()
+	defer func() { m.tel.persist.Record(time.Since(passStart)) }()
 	inst.stateBuf = inst.eng.AppendState(inst.stateBuf[:0])
 	info := inst.info
 	inst.mu.Unlock()

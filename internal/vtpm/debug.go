@@ -1,0 +1,84 @@
+package vtpm
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+
+	"xvtpm/internal/metrics"
+	"xvtpm/internal/trace"
+)
+
+// Runtime introspection: the JSON report behind the host daemon's
+// /debug/vtpm endpoint and vtpmctl's `top`. Everything here is a read-only
+// snapshot assembled from the same instruments the dispatch path feeds
+// (observe.go); building a report takes registry read locks and per-instance
+// leaf locks only, so it is safe to hit on a live, loaded manager.
+
+// DebugInstance is one instance's row in a DebugReport.
+type DebugInstance struct {
+	ID            InstanceID               `json:"id"`
+	BoundDom      uint32                   `json:"bound_dom"`
+	Health        string                   `json:"health"`
+	Dispatches    uint64                   `json:"dispatches"`
+	Failures      uint64                   `json:"failures"`
+	PendingDirty  uint64                   `json:"pending_dirty"`
+	Latency       metrics.HistogramSummary `json:"latency"`
+	SpansRecorded uint64                   `json:"spans_recorded"`
+	Spans         []trace.Span             `json:"spans,omitempty"`
+}
+
+// DebugReport is the full /debug/vtpm document.
+type DebugReport struct {
+	Dispatch   DispatchStats    `json:"dispatch"`
+	Checkpoint CheckpointStats  `json:"checkpoint"`
+	Health     []InstanceHealth `json:"health"`
+	Instances  []DebugInstance  `json:"instances"`
+}
+
+// DebugReport assembles the introspection document. withSpans additionally
+// dumps each instance's recent-span ring (bounded per instance by the
+// configured trace depth).
+func (m *Manager) DebugReport(withSpans bool) DebugReport {
+	rep := DebugReport{
+		Dispatch:   m.DispatchStats(),
+		Checkpoint: m.CheckpointStats(),
+		Health:     m.HealthAll(),
+	}
+	for _, s := range m.InstanceStatsAll() {
+		di := DebugInstance{
+			ID:            s.ID,
+			BoundDom:      uint32(s.BoundDom),
+			Health:        s.Health.String(),
+			Dispatches:    s.Dispatches,
+			Failures:      s.Failures,
+			PendingDirty:  s.PendingDirty,
+			Latency:       s.Latency,
+			SpansRecorded: s.SpansRecorded,
+		}
+		if withSpans {
+			di.Spans, _ = m.Spans(s.ID)
+		}
+		rep.Instances = append(rep.Instances, di)
+	}
+	return rep
+}
+
+// DebugHandler serves DebugReport as indented JSON. Spans are included by
+// default; ?spans=0 trims the document to the digests.
+func (m *Manager) DebugHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		withSpans := true
+		if v := r.URL.Query().Get("spans"); v != "" {
+			if b, err := strconv.ParseBool(v); err == nil {
+				withSpans = b
+			}
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(m.DebugReport(withSpans)); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

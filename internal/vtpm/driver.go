@@ -3,6 +3,7 @@ package vtpm
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"strconv"
 	"sync"
 	"time"
@@ -467,4 +468,23 @@ func (b *Backend) Connected(front xen.DomID) bool {
 	defer b.mu.Unlock()
 	_, ok := b.devices[front]
 	return ok
+}
+
+// DeviceStats is one connected device's ring-traffic digest.
+type DeviceStats struct {
+	Front xen.DomID
+	Ring  ring.Stats
+}
+
+// DeviceStatsAll snapshots the ring counters of every connected device,
+// sorted by frontend domain (for /debug introspection and vtpmctl top).
+func (b *Backend) DeviceStatsAll() []DeviceStats {
+	b.mu.Lock()
+	out := make([]DeviceStats, 0, len(b.devices))
+	for front, dev := range b.devices {
+		out = append(out, DeviceStats{Front: front, Ring: dev.r.Stats()})
+	}
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Front < out[j].Front })
+	return out
 }

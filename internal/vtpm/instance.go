@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sync"
 
+	"xvtpm/internal/metrics"
 	"xvtpm/internal/tpm"
+	"xvtpm/internal/trace"
 	"xvtpm/internal/xen"
 )
 
@@ -63,12 +65,27 @@ type instance struct {
 	// both have grown to the instance's working size.
 	stateBuf []byte
 	blobBuf  []byte
+
+	// Per-instance observability (see observe.go): dispatch/failure
+	// counters, an end-to-end latency histogram, and the bounded ring of
+	// recent spans. spans is nil when tracing is disabled; both are fixed
+	// allocations made at instance creation, never on the dispatch path.
+	dispatches metrics.Counter
+	failures   metrics.Counter
+	lat        *metrics.Histogram
+	spans      *trace.Ring
 }
 
 // newInstance builds an instance record with its checkpoint pipeline state
-// initialized. All creation paths (create, revive, import) go through here.
-func newInstance(info InstanceInfo, eng *tpm.TPM) *instance {
-	inst := &instance{info: info, eng: eng}
+// and observability instruments initialized. All creation paths (create,
+// revive, import) go through here.
+func (m *Manager) newInstance(info InstanceInfo, eng *tpm.TPM) *instance {
+	inst := &instance{
+		info:  info,
+		eng:   eng,
+		lat:   metrics.NewHistogram(nil),
+		spans: m.tel.tracer.NewRing(),
+	}
 	inst.ck.init()
 	return inst
 }

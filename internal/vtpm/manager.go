@@ -59,6 +59,15 @@ type ManagerConfig struct {
 	// Retry bounds the retry loop wrapped around every store operation
 	// (see retry.go). The zero value resolves to the package defaults.
 	Retry RetryPolicy
+	// TraceDepth is the per-instance recent-span ring capacity: zero means
+	// trace.DefaultDepth, negative disables command tracing entirely (the
+	// latency histograms stay on). See internal/trace.
+	TraceDepth int
+	// TraceSampleRate records one in every N dispatches on average (0 or 1
+	// traces everything). The decision stream is seeded by TraceSeed, so a
+	// run is reproducible span-for-span.
+	TraceSampleRate int
+	TraceSeed       int64
 }
 
 // policy resolves the configured checkpoint policy, honouring the legacy
@@ -126,6 +135,11 @@ type Manager struct {
 	healthDegradedNow    metrics.Gauge
 	healthQuarantinedNow metrics.Gauge
 
+	// tel carries the dispatch-path observability instruments: phase
+	// latency histograms, command/failure counters and the span tracer
+	// (see observe.go).
+	tel telemetry
+
 	// tapMu guards taps: observers of dispatched ring payloads. A
 	// compromised dom0 component sits exactly here, which is how the replay
 	// attacker captures traffic to re-inject.
@@ -179,6 +193,7 @@ func NewManager(hv *xen.Hypervisor, store Store, arena *xen.Arena, guard Guard, 
 		maxDirtyInterval: DefaultMaxDirtyInterval,
 		retry:            cfg.Retry.resolve(),
 		ckptLag:          metrics.NewRecorder(),
+		tel:              newTelemetry(cfg),
 	}
 	if cfg.MaxDirtyCommands > 0 {
 		m.maxDirty = uint64(cfg.MaxDirtyCommands)
@@ -307,7 +322,7 @@ func (m *Manager) CreateInstance() (InstanceID, error) {
 	if err := cli.Startup(tpm.STClear); err != nil {
 		return 0, fmt.Errorf("vtpm: starting instance %d: %w", id, err)
 	}
-	inst := newInstance(InstanceInfo{ID: id}, eng)
+	inst := m.newInstance(InstanceInfo{ID: id}, eng)
 	m.regMu.Lock()
 	m.instances[id] = inst
 	m.regMu.Unlock()
@@ -502,6 +517,7 @@ func ordinalOf(cmd []byte) uint32 {
 // unpersisted window is already at MaxDirtyCommands), deferred leaves it to
 // explicit checkpoints.
 func (m *Manager) Dispatch(claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest, payload []byte) ([]byte, error) {
+	start := time.Now()
 	m.regMu.RLock()
 	id, ok := m.byDom[claimedFrom]
 	var inst *instance
@@ -516,25 +532,37 @@ func (m *Manager) Dispatch(claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest
 	// supervised recovery, but no new commands may widen the gap between
 	// engine and store. The refusal is the observable failure the health
 	// model promises instead of a silent drop.
-	if inst.health.current() == HealthQuarantined {
+	health := inst.health.current()
+	if health == HealthQuarantined {
+		m.observeDispatch(inst, claimedFrom, 0, health, false, true, start, 0, time.Since(start), 0)
 		return nil, quarantineErr(id, &inst.health)
 	}
 	m.notifyTaps(claimedFrom, payload)
 	m.checkpointGate(inst)
+	queueWait := time.Since(start)
 
-	out, mutated, err := m.dispatchInstance(inst, claimedFrom, claimedLaunch, payload)
+	execStart := time.Now()
+	out, ordinal, mutated, err := m.dispatchInstance(inst, claimedFrom, claimedLaunch, payload)
+	execute := time.Since(execStart)
 	if err != nil {
+		m.observeDispatch(inst, claimedFrom, ordinal, health, mutated, true, start, queueWait, execute, 0)
 		return nil, err
 	}
 	// Persistence of the mutation is policy-dependent — except for a
 	// Degraded instance, which always persists synchronously: background
 	// persistence already failed once, so a flaky store is paid for in
 	// latency, never in durability.
+	var flush time.Duration
 	if mutated && (m.ckptPolicy == CheckpointEager || inst.health.current() == HealthDegraded) {
-		if err := m.checkpointInstance(inst, false); err != nil {
-			return nil, err
+		flushStart := time.Now()
+		cerr := m.checkpointInstance(inst, false)
+		flush = time.Since(flushStart)
+		if cerr != nil {
+			m.observeDispatch(inst, claimedFrom, ordinal, health, mutated, true, start, queueWait, execute, flush)
+			return nil, cerr
 		}
 	}
+	m.observeDispatch(inst, claimedFrom, ordinal, health, mutated, false, start, queueWait, execute, flush)
 	return out, nil
 }
 
@@ -544,7 +572,7 @@ func (m *Manager) Dispatch(claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest
 // recovered, recorded, and the instance quarantined, so one poisoned
 // command or corrupted engine takes down only its own instance, never the
 // manager or its siblings.
-func (m *Manager) dispatchInstance(inst *instance, claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest, payload []byte) (out []byte, mutated bool, err error) {
+func (m *Manager) dispatchInstance(inst *instance, claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest, payload []byte) (out []byte, ordinal uint32, mutated bool, err error) {
 	inst.mu.Lock()
 	defer inst.mu.Unlock()
 	defer func() {
@@ -557,8 +585,9 @@ func (m *Manager) dispatchInstance(inst *instance, claimedFrom xen.DomID, claime
 	}()
 	cmd, finish, err := m.guard.AdmitCommand(inst.info, claimedFrom, claimedLaunch, payload)
 	if err != nil {
-		return nil, false, err
+		return nil, 0, false, err
 	}
+	ordinal = ordinalOf(cmd)
 	execStart := time.Now()
 	resp := inst.eng.Execute(cmd)
 	// The engine work is done on the guest's behalf: charge it to the
@@ -569,7 +598,7 @@ func (m *Manager) dispatchInstance(inst *instance, claimedFrom xen.DomID, claime
 	// Record the decoded exchange in dom0 arena memory: this is the
 	// manager's working buffer a core dump would capture.
 	m.recordExchangeLocked(inst, cmd, resp)
-	mutated = mutatingOrdinals[ordinalOf(cmd)]
+	mutated = mutatingOrdinals[ordinal]
 	if mutated {
 		m.noteMutation(inst)
 	}
@@ -578,9 +607,9 @@ func (m *Manager) dispatchInstance(inst *instance, claimedFrom xen.DomID, claime
 		m.bus.Zeroize(inst.exchange)
 	}
 	if err != nil {
-		return nil, mutated, err
+		return nil, ordinal, mutated, err
 	}
-	return out, mutated, nil
+	return out, ordinal, mutated, nil
 }
 
 // recordExchangeLocked copies the plaintext command and response into the
@@ -694,7 +723,7 @@ func (m *Manager) ReviveInstance(id InstanceID) error {
 	if _, exists := m.instances[id]; exists {
 		return fmt.Errorf("vtpm: instance %d already live", id)
 	}
-	m.instances[id] = newInstance(info, eng)
+	m.instances[id] = m.newInstance(info, eng)
 	if id >= m.nextID {
 		m.nextID = id + 1
 	}

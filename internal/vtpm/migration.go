@@ -68,7 +68,7 @@ func (m *Manager) ImportInstance(img *InstanceImage) (InstanceID, error) {
 	m.regMu.Lock()
 	id := m.nextID
 	m.nextID++
-	inst := newInstance(InstanceInfo{ID: id, BoundLaunch: img.Launch}, eng)
+	inst := m.newInstance(InstanceInfo{ID: id, BoundLaunch: img.Launch}, eng)
 	m.instances[id] = inst
 	m.regMu.Unlock()
 	if err := m.checkpointInstance(inst, true); err != nil {

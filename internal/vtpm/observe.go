@@ -1,0 +1,243 @@
+package vtpm
+
+import (
+	"time"
+
+	"xvtpm/internal/metrics"
+	"xvtpm/internal/trace"
+	"xvtpm/internal/xen"
+)
+
+// The manager's observability instruments (see DESIGN.md "Observability").
+//
+// Everything here is always-on and sits directly on the dispatch hot path,
+// so the budget is strict: zero allocations per command (locked by
+// alloc_guard_test.go) and a handful of atomic adds plus clock reads
+// (measured by experiment E14). Latency histograms are fixed-bucket
+// (metrics.Histogram), span recording copies a value struct into a
+// preallocated per-instance ring (trace.Ring), and the sampling decision is
+// one atomic add (trace.Tracer.Sample).
+
+// telemetry bundles the manager-wide instruments. Per-instance instruments
+// (span ring, latency histogram, dispatch counters) live on the instance.
+type telemetry struct {
+	commands metrics.Counter // dispatches reaching an instance lane
+	failures metrics.Counter // dispatches that returned an error
+
+	dispatch  *metrics.Histogram // end-to-end Dispatch latency
+	queueWait *metrics.Histogram // write-behind backpressure gate wait
+	execute   *metrics.Histogram // locked section: guard + engine + finish
+	flush     *metrics.Histogram // synchronous checkpoint on the dispatch path
+	persist   *metrics.Histogram // full persist pass (worker or barrier)
+
+	tracer *trace.Tracer
+}
+
+func newTelemetry(cfg ManagerConfig) telemetry {
+	return telemetry{
+		dispatch:  metrics.NewHistogram(nil),
+		queueWait: metrics.NewHistogram(nil),
+		execute:   metrics.NewHistogram(nil),
+		flush:     metrics.NewHistogram(nil),
+		persist:   metrics.NewHistogram(nil),
+		tracer: trace.New(trace.Config{
+			Depth:      cfg.TraceDepth,
+			SampleRate: cfg.TraceSampleRate,
+			Seed:       cfg.TraceSeed,
+		}),
+	}
+}
+
+// observeDispatch records one completed (or refused) dispatch into the
+// histograms and, when the sampler keeps it, the instance's span ring.
+// Runs outside every lock; never allocates.
+func (m *Manager) observeDispatch(inst *instance, from xen.DomID, ordinal uint32,
+	health HealthState, mutated, failed bool,
+	start time.Time, queueWait, execute, flush time.Duration) {
+	m.tel.commands.Inc()
+	if failed {
+		m.tel.failures.Inc()
+	}
+	m.tel.dispatch.Record(queueWait + execute + flush)
+	m.tel.queueWait.Record(queueWait)
+	m.tel.execute.Record(execute)
+	m.tel.flush.Record(flush)
+	inst.dispatches.Inc()
+	if failed {
+		inst.failures.Inc()
+	}
+	if inst.lat != nil {
+		inst.lat.Record(queueWait + execute + flush)
+	}
+	if inst.spans != nil && m.tel.tracer.Sample() {
+		inst.spans.Record(trace.Span{
+			Instance:  uint32(inst.info.ID),
+			Dom:       uint32(from),
+			Ordinal:   ordinal,
+			Health:    uint8(health),
+			Mutated:   mutated,
+			Denied:    failed,
+			Start:     start,
+			QueueWait: queueWait,
+			Execute:   execute,
+			Flush:     flush,
+		})
+	}
+}
+
+// DispatchStats is a point-in-time digest of the manager's dispatch-path
+// latency distributions.
+type DispatchStats struct {
+	// Commands counts dispatches that reached an instance lane (including
+	// refused ones); Failures those that returned an error to the caller.
+	Commands uint64
+	Failures uint64
+	// Phase latency digests: Total = QueueWait + Execute + Flush per
+	// command; Persist covers full background/barrier persist passes.
+	Total     metrics.HistogramSummary
+	QueueWait metrics.HistogramSummary
+	Execute   metrics.HistogramSummary
+	Flush     metrics.HistogramSummary
+	Persist   metrics.HistogramSummary
+}
+
+// DispatchStats snapshots the dispatch-path histograms.
+func (m *Manager) DispatchStats() DispatchStats {
+	return DispatchStats{
+		Commands:  m.tel.commands.Load(),
+		Failures:  m.tel.failures.Load(),
+		Total:     m.tel.dispatch.Summarize(),
+		QueueWait: m.tel.queueWait.Summarize(),
+		Execute:   m.tel.execute.Summarize(),
+		Flush:     m.tel.flush.Summarize(),
+		Persist:   m.tel.persist.Summarize(),
+	}
+}
+
+// InstanceStats is the per-instance observability digest vtpmctl's `top`
+// renders one row from.
+type InstanceStats struct {
+	ID         InstanceID
+	BoundDom   xen.DomID
+	Health     HealthState
+	Dispatches uint64
+	Failures   uint64
+	// PendingDirty is the write-behind window: mutations dispatched but
+	// not yet covered by a persist.
+	PendingDirty uint64
+	// Latency digests this instance's end-to-end dispatch latency.
+	Latency metrics.HistogramSummary
+	// SpansRecorded counts spans ever recorded for the instance (the ring
+	// retains only the newest trace-depth of them).
+	SpansRecorded uint64
+}
+
+// InstanceStats reports one instance's observability digest.
+func (m *Manager) InstanceStats(id InstanceID) (InstanceStats, error) {
+	inst, err := m.lookup(id)
+	if err != nil {
+		return InstanceStats{}, err
+	}
+	return m.instanceStats(id, inst), nil
+}
+
+// InstanceStatsAll reports every live instance's digest, sorted by ID.
+func (m *Manager) InstanceStatsAll() []InstanceStats {
+	ids := m.Instances()
+	out := make([]InstanceStats, 0, len(ids))
+	for _, id := range ids {
+		inst, err := m.lookup(id)
+		if err != nil {
+			continue // destroyed between the sweep and the lookup
+		}
+		out = append(out, m.instanceStats(id, inst))
+	}
+	return out
+}
+
+func (m *Manager) instanceStats(id InstanceID, inst *instance) InstanceStats {
+	s := InstanceStats{
+		ID:         id,
+		BoundDom:   inst.Snapshot().BoundDom,
+		Health:     inst.health.current(),
+		Dispatches: inst.dispatches.Load(),
+		Failures:   inst.failures.Load(),
+	}
+	inst.ck.mu.Lock()
+	s.PendingDirty = inst.ck.pendingLocked()
+	inst.ck.mu.Unlock()
+	if inst.lat != nil {
+		s.Latency = inst.lat.Summarize()
+	}
+	if inst.spans != nil {
+		s.SpansRecorded = inst.spans.Total()
+	}
+	return s
+}
+
+// Spans returns a copy of an instance's recent-span ring, oldest first
+// (empty when tracing is disabled).
+func (m *Manager) Spans(id InstanceID) ([]trace.Span, error) {
+	inst, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	if inst.spans == nil {
+		return nil, nil
+	}
+	return inst.spans.Snapshot(), nil
+}
+
+// RegisterMetrics exposes the manager's instruments in reg under the
+// xvtpm_* namespace: dispatch-phase latency histograms, command and
+// failure counters, the checkpoint pipeline counters, and the health
+// machine's counters and population gauges.
+func (m *Manager) RegisterMetrics(reg *metrics.Registry) error {
+	type histReg struct {
+		name, help string
+		h          *metrics.Histogram
+	}
+	for _, hr := range []histReg{
+		{"xvtpm_dispatch_seconds", "End-to-end vTPM command dispatch latency.", m.tel.dispatch},
+		{"xvtpm_dispatch_queue_wait_seconds", "Time blocked on write-behind backpressure before dispatch.", m.tel.queueWait},
+		{"xvtpm_dispatch_execute_seconds", "Locked dispatch section: guard admission, engine execution, response finishing.", m.tel.execute},
+		{"xvtpm_dispatch_flush_seconds", "Synchronous checkpoint time paid on the dispatch path (eager policy or degraded instance).", m.tel.flush},
+		{"xvtpm_checkpoint_persist_seconds", "Full persist pass duration (background worker or flush barrier).", m.tel.persist},
+	} {
+		if err := reg.RegisterHistogram(hr.name, hr.help, hr.h); err != nil {
+			return err
+		}
+	}
+	type ctrReg struct {
+		name, help string
+		c          *metrics.Counter
+	}
+	for _, cr := range []ctrReg{
+		{"xvtpm_commands_total", "Commands dispatched to vTPM instances.", &m.tel.commands},
+		{"xvtpm_dispatch_failures_total", "Dispatches that returned an error.", &m.tel.failures},
+		{"xvtpm_checkpoint_mutations_total", "State-mutating commands dispatched.", &m.ckptMutations},
+		{"xvtpm_checkpoint_writes_total", "Completed state persists.", &m.ckptWrites},
+		{"xvtpm_checkpoint_coalesced_total", "Mutations covered by completed persists.", &m.ckptCoalesced},
+		{"xvtpm_checkpoint_bytes_total", "Protected envelope bytes handed to the store.", &m.ckptBytes},
+		{"xvtpm_store_retries_total", "Store-I/O retry attempts beyond the first.", &m.ckptRetries},
+		{"xvtpm_health_degradations_total", "Healthy-to-Degraded transitions.", &m.healthDegradations},
+		{"xvtpm_health_quarantines_total", "Transitions into Quarantined.", &m.healthQuarantines},
+		{"xvtpm_health_panics_total", "Contained dispatch/worker panics.", &m.healthPanics},
+	} {
+		if err := reg.RegisterCounter(cr.name, cr.help, cr.c); err != nil {
+			return err
+		}
+	}
+	if err := reg.RegisterGauge("xvtpm_health_degraded_now", "Instances currently Degraded.", &m.healthDegradedNow); err != nil {
+		return err
+	}
+	if err := reg.RegisterGauge("xvtpm_health_quarantined_now", "Instances currently Quarantined.", &m.healthQuarantinedNow); err != nil {
+		return err
+	}
+	return reg.RegisterGaugeFunc("xvtpm_instances", "Live vTPM instances.", func() float64 {
+		m.regMu.RLock()
+		n := len(m.instances)
+		m.regMu.RUnlock()
+		return float64(n)
+	})
+}

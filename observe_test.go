@@ -1,0 +1,173 @@
+package xvtpm
+
+import (
+	"crypto/sha1"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"xvtpm/internal/metrics"
+	"xvtpm/internal/tpm"
+)
+
+// TestObservabilityEndToEnd drives real guest traffic through the full
+// ring+guard path and checks every layer of the observability stack sees it:
+// dispatch-phase histograms, per-instance stats, span rings, the /debug/vtpm
+// JSON document and the Prometheus exposition.
+func TestObservabilityEndToEnd(t *testing.T) {
+	h := newTestHost(t, "obs", ModeImproved)
+	g := newTestGuest(t, h, "web")
+
+	m := sha1.Sum([]byte("app"))
+	if _, err := g.TPM.Extend(10, m); err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+	if _, err := g.TPM.GetRandom(16); err != nil {
+		t.Fatalf("GetRandom: %v", err)
+	}
+
+	ds := h.Manager.DispatchStats()
+	if ds.Commands < 2 {
+		t.Fatalf("DispatchStats.Commands = %d, want >= 2", ds.Commands)
+	}
+	if ds.Total.Count != ds.Commands || ds.Execute.Count != ds.Commands {
+		t.Errorf("phase histogram counts %d/%d, want %d", ds.Total.Count, ds.Execute.Count, ds.Commands)
+	}
+	if ds.Total.P95 <= 0 || ds.Execute.Mean <= 0 {
+		t.Errorf("latency digests empty: %+v", ds.Total)
+	}
+	if ds.Persist.Count == 0 {
+		t.Errorf("Extend should have driven at least one persist pass")
+	}
+
+	stats := h.Manager.InstanceStatsAll()
+	if len(stats) != 1 {
+		t.Fatalf("InstanceStatsAll = %d rows, want 1", len(stats))
+	}
+	is := stats[0]
+	if is.Dispatches != ds.Commands {
+		t.Errorf("instance Dispatches = %d, manager Commands = %d", is.Dispatches, ds.Commands)
+	}
+	if is.Latency.Count != is.Dispatches {
+		t.Errorf("instance latency count = %d, want %d", is.Latency.Count, is.Dispatches)
+	}
+	if is.SpansRecorded != is.Dispatches {
+		t.Errorf("SpansRecorded = %d, want every dispatch (%d) at default sampling", is.SpansRecorded, is.Dispatches)
+	}
+
+	spans, err := h.Manager.Spans(is.ID)
+	if err != nil {
+		t.Fatalf("Spans: %v", err)
+	}
+	var sawExtend bool
+	for _, sp := range spans {
+		if sp.Ordinal == tpm.OrdExtend {
+			sawExtend = true
+			if !sp.Mutated {
+				t.Errorf("Extend span not marked mutated: %+v", sp)
+			}
+			if sp.Execute <= 0 {
+				t.Errorf("Extend span has no execute time: %+v", sp)
+			}
+		}
+	}
+	if !sawExtend {
+		t.Errorf("no span with the Extend ordinal among %d spans", len(spans))
+	}
+
+	// /debug/vtpm: a valid JSON document carrying the same numbers.
+	srv := httptest.NewServer(h.Manager.DebugHandler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/debug/vtpm")
+	if err != nil {
+		t.Fatalf("GET /debug/vtpm: %v", err)
+	}
+	defer resp.Body.Close()
+	var doc struct {
+		Dispatch struct {
+			Commands uint64 `json:"Commands"`
+		} `json:"dispatch"`
+		Instances []struct {
+			Health string `json:"health"`
+			Spans  []struct {
+				Ordinal uint32 `json:"ordinal"`
+			} `json:"spans"`
+		} `json:"instances"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&doc); err != nil {
+		t.Fatalf("decoding /debug/vtpm: %v", err)
+	}
+	if doc.Dispatch.Commands < 2 || len(doc.Instances) != 1 {
+		t.Errorf("debug doc: commands=%d instances=%d", doc.Dispatch.Commands, len(doc.Instances))
+	}
+	if doc.Instances[0].Health != "healthy" {
+		t.Errorf("debug health = %q", doc.Instances[0].Health)
+	}
+	if len(doc.Instances[0].Spans) == 0 {
+		t.Errorf("debug doc carries no spans")
+	}
+
+	// Prometheus exposition: manager and guard instruments present.
+	reg := metrics.NewRegistry()
+	if err := h.RegisterMetrics(reg); err != nil {
+		t.Fatalf("RegisterMetrics: %v", err)
+	}
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	exp := b.String()
+	for _, want := range []string{
+		"xvtpm_commands_total",
+		"xvtpm_dispatch_seconds_bucket",
+		"xvtpm_dispatch_seconds_count",
+		"xvtpm_checkpoint_writes_total",
+		"xvtpm_guard_admitted_total",
+		"xvtpm_guard_admit_seconds_sum",
+		"xvtpm_instances 1",
+	} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	if strings.Contains(exp, "xvtpm_commands_total 0") {
+		t.Errorf("xvtpm_commands_total still zero after traffic:\n%s", exp)
+	}
+}
+
+// TestObservabilityTraceKnobs covers the sampling and disable knobs: a
+// negative depth records nothing, a 1-in-N rate records a strict subset.
+func TestObservabilityTraceKnobs(t *testing.T) {
+	run := func(name string, depth, rate int) (uint64, uint64) {
+		t.Helper()
+		h, err := NewHost(HostConfig{
+			Name: name, Mode: ModeImproved, RSABits: testBits,
+			Seed: []byte("seed-" + name), TraceDepth: depth,
+			TraceSampleRate: rate, TraceSeed: 7,
+		})
+		if err != nil {
+			t.Fatalf("NewHost: %v", err)
+		}
+		defer h.Close()
+		g, err := h.CreateGuest(GuestConfig{Name: "g", Kernel: []byte("k")})
+		if err != nil {
+			t.Fatalf("CreateGuest: %v", err)
+		}
+		for i := 0; i < 64; i++ {
+			if _, err := g.TPM.GetRandom(8); err != nil {
+				t.Fatalf("GetRandom: %v", err)
+			}
+		}
+		is := h.Manager.InstanceStatsAll()[0]
+		return is.Dispatches, is.SpansRecorded
+	}
+
+	if _, spans := run("trace-off", -1, 0); spans != 0 {
+		t.Errorf("disabled tracer recorded %d spans", spans)
+	}
+	dispatches, spans := run("trace-sampled", 0, 8)
+	if spans == 0 || spans >= dispatches {
+		t.Errorf("rate-8 sampling recorded %d of %d dispatches, want a strict non-empty subset", spans, dispatches)
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"xvtpm/internal/core"
+	"xvtpm/internal/metrics"
 	"xvtpm/internal/tpm"
 	"xvtpm/internal/vtpm"
 	"xvtpm/internal/xen"
@@ -99,6 +100,14 @@ type HostConfig struct {
 	// Retry bounds the manager's store-I/O retry loop; zero fields mean the
 	// vtpm package defaults. See vtpm.RetryPolicy.
 	Retry vtpm.RetryPolicy
+	// TraceDepth, TraceSampleRate and TraceSeed configure the manager's
+	// per-command span recorder: ring capacity per instance (zero means the
+	// trace package default, negative disables tracing), 1-in-N sampling
+	// (0 or 1 records everything) and the seed of the deterministic
+	// sampling stream. See internal/trace.
+	TraceDepth      int
+	TraceSampleRate int
+	TraceSeed       int64
 }
 
 // Host is one simulated physical machine.
@@ -266,9 +275,25 @@ func NewHost(cfg HostConfig) (*Host, error) {
 		MaxDirtyCommands: cfg.MaxDirtyCommands,
 		MaxDirtyInterval: cfg.MaxDirtyInterval,
 		Retry:            cfg.Retry,
+		TraceDepth:       cfg.TraceDepth,
+		TraceSampleRate:  cfg.TraceSampleRate,
+		TraceSeed:        cfg.TraceSeed,
 	})
 	h.Backend = vtpm.NewBackend(hv, xs, h.Manager)
 	return h, nil
+}
+
+// RegisterMetrics exposes the host's instruments — the manager's
+// dispatch/checkpoint/health metrics and, in improved mode, the guard's
+// admission metrics — in reg for /metrics exposition.
+func (h *Host) RegisterMetrics(reg *metrics.Registry) error {
+	if err := h.Manager.RegisterMetrics(reg); err != nil {
+		return err
+	}
+	if ig, ok := h.ImprovedGuard(); ok {
+		return ig.RegisterMetrics(reg)
+	}
+	return nil
 }
 
 // Close releases background resources, draining pending write-behind
