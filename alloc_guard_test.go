@@ -10,6 +10,7 @@ package xvtpm_test
 import (
 	"testing"
 
+	"xvtpm"
 	"xvtpm/internal/core"
 	"xvtpm/internal/tpm"
 	"xvtpm/internal/vtpm"
@@ -94,6 +95,63 @@ func TestDispatchAllocBudget(t *testing.T) {
 			})
 			if got > tc.budget {
 				t.Fatalf("Dispatch(%s) allocates %.2f objects/op, budget %.0f", tc.name, got, tc.budget)
+			}
+		})
+	}
+}
+
+// TestGuestAllocBudget guards the end-to-end guest path: client encode,
+// channel seal, ring, backend dispatch, ring back, open, decode. The seed
+// tree spent 87 objects per command here; the pipelined-transport work
+// brought it to 8 (GetRandom) — one of which is the caller-owned response
+// buffer Transmit must allocate per command so concurrent users of one
+// client never read a recycled frontend buffer. Budgets sit at the measured
+// floor so a single reintroduced per-command allocation anywhere in the
+// stack trips the guard.
+func TestGuestAllocBudget(t *testing.T) {
+	h, err := xvtpm.NewHost(xvtpm.HostConfig{
+		Name: "alloc-guest", Mode: xvtpm.ModeImproved, RSABits: 512,
+		// Writeback checkpointing, as in the dispatch-level guard above:
+		// eager persistence reseals the state envelope per Extend, which is
+		// a persistence cost, not a transport one.
+		Checkpoint: vtpm.CheckpointWriteback,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := h.Close(); err != nil {
+			t.Errorf("Close: %v", err)
+		}
+	})
+	g, err := h.CreateGuest(xvtpm.GuestConfig{Name: "ag", Kernel: []byte("agk")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var meas [20]byte
+	cases := []struct {
+		name   string
+		op     func() error
+		budget float64
+	}{
+		{"GuestGetRandom", func() error { _, err := g.TPM.GetRandom(16); return err }, 8},
+		{"GuestExtend", func() error { _, err := g.TPM.Extend(7, meas); return err }, 9},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			for i := 0; i < 100; i++ { // warm codec, scratch and response buffers
+				if err := tc.op(); err != nil {
+					t.Fatal(err)
+				}
+			}
+			got := testing.AllocsPerRun(500, func() {
+				if err := tc.op(); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if got > tc.budget {
+				t.Fatalf("%s allocates %.2f objects/op, budget %.0f", tc.name, got, tc.budget)
 			}
 		})
 	}

@@ -1,13 +1,14 @@
 // Command benchrunner regenerates the reconstructed evaluation of the
 // paper: every table and figure (E1–E8 in DESIGN.md) plus the harness
 // extensions (E9 flood control, E10 recovery, E11 concurrent dispatch,
-// E12 checkpoint policy, E13 fault storm, E14 observability overhead),
+// E12 checkpoint policy, E13 fault storm, E14 observability overhead,
+// E15 transport pipeline),
 // printed as aligned text tables and series. It also hosts the CI
 // benchmark-regression gate (-bench / -check).
 //
 // Usage:
 //
-//	benchrunner [-exp all|E1|E2|...|E14] [-bits 512] [-quick]
+//	benchrunner [-exp all|E1|E2|...|E15] [-bits 512] [-quick]
 //	benchrunner -bench [-out BENCH.json]
 //	benchrunner -check BENCH_baseline.json [-tolerance 0.15]
 //
@@ -71,7 +72,7 @@ func runBenchCheck(cfg experiments.Config, baselinePath string, tolerance float6
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, or one of E1..E14")
+	exp := flag.String("exp", "all", "experiment to run: all, or one of E1..E15")
 	bits := flag.Int("bits", 512, "RSA modulus size for all TPM keys")
 	quick := flag.Bool("quick", false, "reduced repetitions (smoke run)")
 	bench := flag.Bool("bench", false, "run the benchmark-gate suite and emit JSON instead of experiments")
@@ -112,8 +113,9 @@ func main() {
 		"E12": func() error { _, err := experiments.E12CheckpointPolicy(cfg); return err },
 		"E13": func() error { _, err := experiments.E13FaultStorm(cfg); return err },
 		"E14": func() error { _, err := experiments.E14Observability(cfg); return err },
+		"E15": func() error { _, err := experiments.E15Transport(cfg); return err },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15"}
 
 	want := strings.ToUpper(*exp)
 	if want == "ALL" {
@@ -128,7 +130,7 @@ func main() {
 	}
 	run, ok := runners[want]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all or E1..E14)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all or E1..E15)\n", *exp)
 		os.Exit(2)
 	}
 	if err := run(); err != nil {

@@ -219,6 +219,19 @@ func (c *console) handle(line string) bool {
 		cs := c.host.Manager.CheckpointStats()
 		c.printf("checkpoint: %d mutations, %d writes (coalesce %.2fx), %d bytes, %d retries\n",
 			cs.Mutations, cs.Checkpoints, cs.CoalesceRatio(), cs.BytesWritten, cs.Retries)
+		tm := c.host.TransportMetrics()
+		rtt := tm.GuestRTT.Summarize()
+		batch := tm.RingBatch.Summarize()
+		ec := c.host.HV.EventChannels()
+		c.printf("guest rtt: %d round trips  p50 %sµs  p95 %sµs  p99 %sµs\n",
+			rtt.Count, metrics.Micros(rtt.P50), metrics.Micros(rtt.P95), metrics.Micros(rtt.P99))
+		meanBatch := 0.0
+		if batch.Count > 0 {
+			// RingBatch records frames-per-drain as integer Durations.
+			meanBatch = float64(batch.Mean)
+		}
+		c.printf("transport: %d ring drains, %.2f frames/drain, %d doorbells sent, %d suppressed\n",
+			batch.Count, meanBatch, ec.SentNotifies(), ec.SuppressedNotifies())
 		rows := make([][]string, 0, 8)
 		for _, s := range c.host.Manager.InstanceStatsAll() {
 			rows = append(rows, []string{

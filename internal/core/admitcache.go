@@ -1,0 +1,111 @@
+package core
+
+import (
+	"xvtpm/internal/vtpm"
+	"xvtpm/internal/xen"
+)
+
+// The admission-decision cache: ImprovedGuard memoizes Policy.Evaluate
+// verdicts per (launch digest, instance, ordinal) so the steady-state guard
+// cost of a command is one atomic load, one generation compare, and one
+// probe of an immutable map — no rule scan, no policy-table traffic.
+//
+// Coherence rules (also documented in DESIGN.md §9):
+//
+//   - Each cached table is tagged with the Policy generation it was computed
+//     under. Any policy mutation bumps the generation, so every table built
+//     before the edit reads as stale and misses; the next admission
+//     re-evaluates against the new rules and starts a fresh table.
+//   - Rebind and migration change an instance's bound launch digest, which
+//     is part of the cache key — stale entries could therefore only be hit
+//     by the *old* identity, which no longer issues commands. The guard
+//     still flushes the instance's shard explicitly (InvalidateAdmit, called
+//     from ResetChannel) so stale verdicts do not linger in memory and the
+//     invariant "a rebound instance starts cold" is direct rather than
+//     implied.
+//   - Tables are immutable after publication: an insert copies the current
+//     table (copy-on-write) and atomically swaps the new one in. Readers
+//     never lock; writers serialize per shard.
+//
+// Sharding reuses the guard's instance shards (guardShardCount), so flushing
+// one instance's shard leaves the other 15 untouched.
+
+// admitKey is one memoized admission decision's identity.
+type admitKey struct {
+	id      xen.LaunchDigest
+	inst    vtpm.InstanceID
+	ordinal uint32
+}
+
+// admitTable is one immutable cache snapshot for a shard.
+type admitTable struct {
+	gen uint64 // Policy generation the verdicts were computed under
+	m   map[admitKey]Effect
+}
+
+// admitCacheCap bounds each shard's table; a full table restarts cold on the
+// next insert rather than growing without bound.
+const admitCacheCap = 4096
+
+// SetAdmitCache toggles the admission-decision cache (default on). Turning
+// it off flushes every shard; E15 and the equivalence tests use the toggle
+// to compare cached and uncached guards over identical command streams.
+func (g *ImprovedGuard) SetAdmitCache(on bool) {
+	g.admitCacheOff.Store(!on)
+	for i := range g.shards {
+		s := &g.shards[i]
+		s.admitMu.Lock()
+		s.admit.Store(nil)
+		s.admitMu.Unlock()
+	}
+}
+
+// InvalidateAdmit flushes the admission-decision cache shard owning id —
+// called on rebind and migration import, when an instance's bound identity
+// changes. Only the one shard is flushed; entries for instances hashing to
+// other shards survive.
+func (g *ImprovedGuard) InvalidateAdmit(id vtpm.InstanceID) {
+	s := g.shard(id)
+	s.admitMu.Lock()
+	s.admit.Store(nil)
+	s.admitMu.Unlock()
+}
+
+// evaluateAdmit is Policy.Evaluate memoized through the shard's
+// copy-on-write table. The fast path takes no locks.
+func (g *ImprovedGuard) evaluateAdmit(id xen.LaunchDigest, inst vtpm.InstanceID, ordinal uint32) Effect {
+	if g.admitCacheOff.Load() {
+		return g.policy.Evaluate(id, inst, ordinal)
+	}
+	s := g.shard(inst)
+	gen := g.policy.Generation()
+	key := admitKey{id: id, inst: inst, ordinal: ordinal}
+	if t := s.admit.Load(); t != nil && t.gen == gen {
+		if e, ok := t.m[key]; ok {
+			g.admitCacheHits.Inc()
+			return e
+		}
+	}
+	g.admitCacheMisses.Inc()
+	e := g.policy.Evaluate(id, inst, ordinal)
+	s.admitMu.Lock()
+	cur := s.admit.Load()
+	// Re-read the generation under the shard lock: if the policy mutated
+	// between Evaluate and here, publishing the verdict under the old
+	// generation would be harmless (stale tables miss) but publishing it
+	// under the NEW generation could cache a pre-edit verdict. Tag with the
+	// generation read before Evaluate — never newer.
+	var m map[admitKey]Effect
+	if cur != nil && cur.gen == gen && len(cur.m) < admitCacheCap {
+		m = make(map[admitKey]Effect, len(cur.m)+1)
+		for k, v := range cur.m {
+			m[k] = v
+		}
+	} else {
+		m = make(map[admitKey]Effect, 1)
+	}
+	m[key] = e
+	s.admit.Store(&admitTable{gen: gen, m: m})
+	s.admitMu.Unlock()
+	return e
+}

@@ -22,32 +22,45 @@ type AuditRecord struct {
 	Hash     [sha256.Size]byte
 }
 
-// digest computes a record's chained hash.
-func (r *AuditRecord) digest() [sha256.Size]byte {
-	h := sha256.New()
+// appendPreimage appends the record's hash preimage to dst: Seq(8) ∥
+// Instance(4) ∥ Identity ∥ Ordinal(4) ∥ Decision(1) ∥ Reason ∥ Prev.
+func (r *AuditRecord) appendPreimage(dst []byte) []byte {
 	var b [8]byte
 	binary.BigEndian.PutUint64(b[:], r.Seq)
-	h.Write(b[:])
+	dst = append(dst, b[:]...)
 	binary.BigEndian.PutUint32(b[:4], uint32(r.Instance))
-	h.Write(b[:4])
-	h.Write(r.Identity[:])
+	dst = append(dst, b[:4]...)
+	dst = append(dst, r.Identity[:]...)
 	binary.BigEndian.PutUint32(b[:4], r.Ordinal)
-	h.Write(b[:4])
-	h.Write([]byte{byte(r.Decision)})
-	h.Write([]byte(r.Reason))
-	h.Write(r.Prev[:])
-	var out [sha256.Size]byte
-	copy(out[:], h.Sum(nil))
-	return out
+	dst = append(dst, b[:4]...)
+	dst = append(dst, byte(r.Decision))
+	dst = append(dst, r.Reason...)
+	dst = append(dst, r.Prev[:]...)
+	return dst
 }
+
+// digest computes a record's chained hash.
+func (r *AuditRecord) digest() [sha256.Size]byte {
+	return sha256.Sum256(r.appendPreimage(nil))
+}
+
+// auditChunk is how many records each log slab holds. Slabs keep Append at a
+// fixed cost: a full slice would periodically double and re-copy the entire
+// history, which on a hot dispatch path shows up as multi-megabyte memmoves.
+const auditChunk = 1024
 
 // AuditLog is an append-only, hash-chained decision log: each record's hash
 // covers its content and its predecessor's hash, so any after-the-fact edit
 // or truncation-in-the-middle is detectable from the head hash alone.
 type AuditLog struct {
-	mu      sync.Mutex
-	records []AuditRecord
-	head    [sha256.Size]byte
+	mu     sync.Mutex
+	chunks [][]AuditRecord // all full except the last, each cap auditChunk
+	n      uint64
+	head   [sha256.Size]byte
+	// scratch holds one record's hash preimage between Appends, so the
+	// per-decision chaining cost is a Sum256 over a reused buffer instead of
+	// a fresh hash state and output allocation per command.
+	scratch []byte
 }
 
 // NewAuditLog creates an empty log.
@@ -58,7 +71,7 @@ func (l *AuditLog) Append(inst vtpm.InstanceID, id xen.LaunchDigest, ordinal uin
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	r := AuditRecord{
-		Seq:      uint64(len(l.records) + 1),
+		Seq:      l.n + 1,
 		Instance: inst,
 		Identity: id,
 		Ordinal:  ordinal,
@@ -66,8 +79,14 @@ func (l *AuditLog) Append(inst vtpm.InstanceID, id xen.LaunchDigest, ordinal uin
 		Reason:   reason,
 		Prev:     l.head,
 	}
-	r.Hash = r.digest()
-	l.records = append(l.records, r)
+	l.scratch = r.appendPreimage(l.scratch[:0])
+	r.Hash = sha256.Sum256(l.scratch)
+	if len(l.chunks) == 0 || len(l.chunks[len(l.chunks)-1]) == auditChunk {
+		l.chunks = append(l.chunks, make([]AuditRecord, 0, auditChunk))
+	}
+	last := len(l.chunks) - 1
+	l.chunks[last] = append(l.chunks[last], r)
+	l.n++
 	l.head = r.Hash
 	return r.Seq
 }
@@ -76,7 +95,7 @@ func (l *AuditLog) Append(inst vtpm.InstanceID, id xen.LaunchDigest, ordinal uin
 func (l *AuditLog) Len() int {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return len(l.records)
+	return int(l.n)
 }
 
 // Head returns the chain head hash.
@@ -86,17 +105,27 @@ func (l *AuditLog) Head() [sha256.Size]byte {
 	return l.head
 }
 
+// snapshotLocked flattens the slabs into one copied slice. Called with l.mu
+// held.
+func (l *AuditLog) snapshotLocked() []AuditRecord {
+	out := make([]AuditRecord, 0, l.n)
+	for _, c := range l.chunks {
+		out = append(out, c...)
+	}
+	return out
+}
+
 // Records returns a copy of all records.
 func (l *AuditLog) Records() []AuditRecord {
 	l.mu.Lock()
 	defer l.mu.Unlock()
-	return append([]AuditRecord(nil), l.records...)
+	return l.snapshotLocked()
 }
 
 // Verify walks the chain and reports the first inconsistency, if any.
 func (l *AuditLog) Verify() error {
 	l.mu.Lock()
-	records := append([]AuditRecord(nil), l.records...)
+	records := l.snapshotLocked()
 	head := l.head
 	l.mu.Unlock()
 	var prev [sha256.Size]byte

@@ -8,6 +8,7 @@ import (
 	"crypto/subtle"
 	"encoding/binary"
 	"fmt"
+	"hash"
 	"sync"
 
 	"xvtpm/internal/vtpm"
@@ -25,11 +26,14 @@ import (
 //
 //	dir(1) ∥ seq(8) ∥ ct(len-41) ∥ mac(32)
 //
-// where ct = AES-128-CTR(encKey, IV = trunc16(HMAC(key, "iv" ∥ dir ∥ seq)))
-// over the TPM command, and mac = HMAC-SHA256(macKey, dir ∥ seq ∥ ct). The
-// IV is derived, not random: sequence numbers never repeat within a channel
-// (strictly monotonic, enforced), so the keystream never repeats, and the
-// envelope stays as small as possible for the 4 KiB ring slots.
+// where ct = AES-128-CTR(encKey, ctr₀ = dir ∥ seq ∥ 0⁵⁶) over the TPM
+// command, and mac = HMAC-SHA256(macKey, dir ∥ seq ∥ ct). The counter block
+// is structured, not random (the construction GCM uses): sequence numbers
+// never repeat within a direction (strictly monotonic, enforced) and a
+// message spans far fewer than 2⁵⁶ blocks, so no counter block — and hence
+// no keystream block — ever repeats under a key. Deriving the start counter
+// costs nothing and keeps the envelope as small as possible for the 4 KiB
+// ring slots.
 const (
 	chanDirRequest  byte = 0x00
 	chanDirResponse byte = 0x01
@@ -55,27 +59,21 @@ func deriveChanKeys(key ChannelKey) (encKey, macKey []byte) {
 	return encKey, macKey
 }
 
-// chanIV derives the CTR IV for one direction and sequence number.
-func chanIV(key ChannelKey, dir byte, seq uint64) []byte {
-	h := hmac.New(sha256.New, key[:])
-	h.Write([]byte("iv"))
-	h.Write([]byte{dir})
-	var s [8]byte
-	binary.BigEndian.PutUint64(s[:], seq)
-	h.Write(s[:])
-	return h.Sum(nil)[:aes.BlockSize]
-}
-
 // chanCrypto caches the material deriveChanKeys expands a channel key into —
 // the AES block (stateless, safe for concurrent use) and the MAC key — so a
 // long-lived channel endpoint pays the two HMAC key derivations once instead
 // of on every envelope. The zero value initializes lazily from the owning
 // endpoint's key, which keeps the `serverChannel{key: k}` literal form that
 // the tests and attack harness use working unchanged.
+//
+// It also pools envScratch values: keyed HMAC states cost several heap
+// allocations to build, so the per-envelope cost on the hot path is a pool
+// round trip and two Resets instead.
 type chanCrypto struct {
 	once   sync.Once
 	block  cipher.Block
 	macKey []byte
+	pool   sync.Pool
 }
 
 func (c *chanCrypto) init(key ChannelKey) {
@@ -90,6 +88,57 @@ func (c *chanCrypto) init(key ChannelKey) {
 	})
 }
 
+// envScratch holds every piece of per-envelope working state: the keyed tag
+// HMAC, a Sum destination, and the CTR counter and keystream blocks. All
+// fixed-size state lives in the (pooled, heap-resident) struct so none of it
+// escapes per call.
+type envScratch struct {
+	mac hash.Hash // keyed with macKey: envelope tag
+	sum [sha256.Size]byte
+	ctr [aes.BlockSize]byte
+	ks  [aes.BlockSize]byte
+}
+
+func (c *chanCrypto) scratch() *envScratch {
+	if s, ok := c.pool.Get().(*envScratch); ok {
+		return s
+	}
+	return &envScratch{mac: hmac.New(sha256.New, c.macKey)}
+}
+
+func (c *chanCrypto) release(s *envScratch) { c.pool.Put(s) }
+
+// deriveIV loads the CTR start counter for (dir, seq) into s.ctr:
+// dir ∥ seq ∥ 0⁵⁶. The zeroed low seven bytes are the within-message block
+// counter; a slot-sized message never carries past them into the seq field.
+func (s *envScratch) deriveIV(dir byte, seq uint64) {
+	s.ctr[0] = dir
+	binary.BigEndian.PutUint64(s.ctr[1:9], seq)
+	clear(s.ctr[9:])
+}
+
+// ctrXOR applies AES-CTR keyed by block, starting from the counter in s.ctr
+// (big-endian increment, as crypto/cipher's CTR mode does). dst and src may
+// be the same slice.
+func (s *envScratch) ctrXOR(block cipher.Block, dst, src []byte) {
+	for i := 0; i < len(src); i += aes.BlockSize {
+		block.Encrypt(s.ks[:], s.ctr[:])
+		end := i + aes.BlockSize
+		if end > len(src) {
+			end = len(src)
+		}
+		for j := i; j < end; j++ {
+			dst[j] = src[j] ^ s.ks[j-i]
+		}
+		for k := aes.BlockSize - 1; k >= 0; k-- {
+			s.ctr[k]++
+			if s.ctr[k] != 0 {
+				break
+			}
+		}
+	}
+}
+
 // sealEnvelope builds one channel envelope.
 func sealEnvelope(key ChannelKey, dir byte, seq uint64, msg []byte) ([]byte, error) {
 	return sealEnvelopeAppend(new(chanCrypto), key, nil, dir, seq, msg), nil
@@ -101,16 +150,19 @@ func sealEnvelope(key ChannelKey, dir byte, seq uint64, msg []byte) ([]byte, err
 // place with no per-call copy.
 func sealEnvelopeAppend(c *chanCrypto, key ChannelKey, dst []byte, dir byte, seq uint64, msg []byte) []byte {
 	c.init(key)
+	s := c.scratch()
 	n := len(dst)
 	dst = grow(dst, chanHeaderSize+len(msg)+chanMacSize)
 	out := dst[n:]
 	out[0] = dir
 	binary.BigEndian.PutUint64(out[1:], seq)
-	cipher.NewCTR(c.block, chanIV(key, dir, seq)).XORKeyStream(out[chanHeaderSize:chanHeaderSize+len(msg)], msg)
-	mac := hmac.New(sha256.New, c.macKey)
-	mac.Write(out[:chanHeaderSize+len(msg)])
+	s.deriveIV(dir, seq)
+	s.ctrXOR(c.block, out[chanHeaderSize:chanHeaderSize+len(msg)], msg)
+	s.mac.Reset()
+	s.mac.Write(out[:chanHeaderSize+len(msg)])
 	// out has exactly chanMacSize spare bytes, so Sum writes the tag in place.
-	mac.Sum(out[:chanHeaderSize+len(msg)])
+	s.mac.Sum(out[:chanHeaderSize+len(msg)])
+	c.release(s)
 	return dst
 }
 
@@ -122,21 +174,33 @@ func openEnvelope(key ChannelKey, payload []byte) (dir byte, seq uint64, msg []b
 
 // openEnvelopeCached is openEnvelope with cached key material.
 func openEnvelopeCached(c *chanCrypto, key ChannelKey, payload []byte) (dir byte, seq uint64, msg []byte, err error) {
+	return openEnvelopeAppend(c, key, nil, payload)
+}
+
+// openEnvelopeAppend is openEnvelopeCached with the plaintext appended to dst
+// — callers that reuse a decode buffer open envelopes without allocating. The
+// out return is dst extended by the plaintext (the plaintext alone is
+// out[len(dst):], which equals out when dst was nil or empty).
+func openEnvelopeAppend(c *chanCrypto, key ChannelKey, dst, payload []byte) (dir byte, seq uint64, out []byte, err error) {
 	if len(payload) < chanOverhead {
 		return 0, 0, nil, fmt.Errorf("%w: envelope of %d bytes", vtpm.ErrBadChannel, len(payload))
 	}
 	c.init(key)
+	s := c.scratch()
+	defer c.release(s)
 	body := payload[:len(payload)-chanMacSize]
-	mac := hmac.New(sha256.New, c.macKey)
-	mac.Write(body)
-	if subtle.ConstantTimeCompare(mac.Sum(nil), payload[len(payload)-chanMacSize:]) != 1 {
+	s.mac.Reset()
+	s.mac.Write(body)
+	if subtle.ConstantTimeCompare(s.mac.Sum(s.sum[:0]), payload[len(payload)-chanMacSize:]) != 1 {
 		return 0, 0, nil, vtpm.ErrBadChannel
 	}
 	dir = body[0]
 	seq = binary.BigEndian.Uint64(body[1:9])
-	msg = make([]byte, len(body)-chanHeaderSize)
-	cipher.NewCTR(c.block, chanIV(key, dir, seq)).XORKeyStream(msg, body[chanHeaderSize:])
-	return dir, seq, msg, nil
+	n := len(dst)
+	dst = grow(dst, len(body)-chanHeaderSize)
+	s.deriveIV(dir, seq)
+	s.ctrXOR(c.block, dst[n:], body[chanHeaderSize:])
+	return dir, seq, dst, nil
 }
 
 // guestCodec is the frontend half of the channel: it implements
@@ -175,17 +239,47 @@ func (g *guestCodec) EncodeRequestAppend(dst, cmd []byte) ([]byte, error) {
 // DecodeResponse implements vtpm.GuestCodec: the response must carry the
 // sequence number of the request just sent.
 func (g *guestCodec) DecodeResponse(payload []byte) ([]byte, error) {
-	dir, seq, msg, err := openEnvelopeCached(&g.crypto, g.key, payload)
-	if err != nil {
-		return nil, err
-	}
 	g.mu.Lock()
 	want := g.lastSeq
 	g.mu.Unlock()
+	return g.DecodeResponseAppendSeq(nil, payload, want)
+}
+
+// DecodeResponseAppend implements vtpm.AppendResponseDecoder: DecodeResponse
+// with the plaintext appended to dst, for frontends that reuse one decode
+// buffer per device.
+func (g *guestCodec) DecodeResponseAppend(dst, payload []byte) ([]byte, error) {
+	g.mu.Lock()
+	want := g.lastSeq
+	g.mu.Unlock()
+	return g.DecodeResponseAppendSeq(dst, payload, want)
+}
+
+// EncodeRequestAppendSeq implements vtpm.SeqCodec: EncodeRequestAppend also
+// returning the envelope's sequence number, which a pipelined frontend stores
+// per in-flight slot to match out-of-order completions.
+func (g *guestCodec) EncodeRequestAppendSeq(dst, cmd []byte) ([]byte, uint64, error) {
+	g.mu.Lock()
+	seq := g.nextSeq
+	g.nextSeq++
+	g.lastSeq = seq
+	g.mu.Unlock()
+	return sealEnvelopeAppend(&g.crypto, g.key, dst, chanDirRequest, seq, cmd), seq, nil
+}
+
+// DecodeResponseAppendSeq implements vtpm.SeqCodec: the response must carry
+// exactly the given sequence number (instead of the last one issued, which is
+// meaningless once several requests are in flight). The plaintext is appended
+// to dst and the extended dst returned.
+func (g *guestCodec) DecodeResponseAppendSeq(dst, payload []byte, want uint64) ([]byte, error) {
+	dir, seq, out, err := openEnvelopeAppend(&g.crypto, g.key, dst, payload)
+	if err != nil {
+		return nil, err
+	}
 	if dir != chanDirResponse || seq != want {
 		return nil, fmt.Errorf("%w: response dir %d seq %d, want %d", vtpm.ErrBadChannel, dir, seq, want)
 	}
-	return msg, nil
+	return out, nil
 }
 
 // serverChannel is the manager-side half: it verifies request envelopes and

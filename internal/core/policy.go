@@ -149,7 +149,18 @@ type Policy struct {
 	writeMu sync.Mutex // serializes table swaps
 	hits    atomic.Uint64
 	misses  atomic.Uint64
+	// gen counts rule mutations. External memoizers (the guard's
+	// admission-decision cache) tag their entries with the generation they
+	// were computed under and treat a mismatch as a miss, so a policy edit
+	// invalidates every derived cache with one atomic increment. The
+	// internal epoch flush does NOT bump it: flushing re-publishes the same
+	// rules, so previously derived verdicts remain correct.
+	gen atomic.Uint64
 }
+
+// Generation returns the policy's mutation counter. It changes on every
+// Append/Prepend/SetCache, never on internal cache maintenance.
+func (p *Policy) Generation() uint64 { return p.gen.Load() }
 
 // policyTable is one immutable policy snapshot. rules is never mutated after
 // publication; the cache fills in place (sync.Map) with cacheLen tracking
@@ -199,6 +210,7 @@ func (p *Policy) SetCache(on bool) {
 	defer p.writeMu.Unlock()
 	t := p.table.Load()
 	p.table.Store(&policyTable{rules: t.rules, useCache: on})
+	p.gen.Add(1)
 	p.hits.Store(0)
 	p.misses.Store(0)
 }
@@ -212,6 +224,7 @@ func (p *Policy) Append(rules ...Rule) {
 	merged := make([]Rule, 0, len(t.rules)+len(rules))
 	merged = append(append(merged, t.rules...), rules...)
 	p.table.Store(&policyTable{rules: merged, useCache: t.useCache})
+	p.gen.Add(1)
 }
 
 // Prepend adds rules at the front of the list (highest priority) and clears
@@ -223,6 +236,7 @@ func (p *Policy) Prepend(rules ...Rule) {
 	merged := make([]Rule, 0, len(t.rules)+len(rules))
 	merged = append(append(merged, rules...), t.rules...)
 	p.table.Store(&policyTable{rules: merged, useCache: t.useCache})
+	p.gen.Add(1)
 }
 
 // Len returns the rule count.

@@ -252,6 +252,26 @@ func RunBenchSuite(cfg Config, names ...string) (*BenchReport, error) {
 		add("GuestGetRandom", res, p95)
 	}
 
+	for _, tc := range []struct {
+		name  string
+		depth int
+	}{
+		// The same 8-way concurrent offered load against a lockstep (depth-1)
+		// and a pipelined (depth-8) frontend: the pair demonstrates what ring
+		// batching and the pending table buy in sustained commands/sec.
+		{"GuestLockstepThroughput", 1},
+		{"GuestPipelinedThroughput", 8},
+	} {
+		if !wanted(tc.name) {
+			continue
+		}
+		res, p95, err := guestThroughputBench(cfg, tc.depth)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", tc.name, err)
+		}
+		add(tc.name, res, p95)
+	}
+
 	if wanted("HistogramRecord") {
 		h := metrics.NewHistogram(nil)
 		res := testing.Benchmark(func(b *testing.B) {
@@ -279,6 +299,63 @@ func RunBenchSuite(cfg Config, names ...string) (*BenchReport, error) {
 	return rep, nil
 }
 
+// benchEventLatency is the modelled event-channel delivery cost the
+// throughput benchmarks run under: on real Xen every doorbell is a
+// hypercall plus an upcall into the peer domain — tens of microseconds
+// once scheduling is counted — and amortizing that cost is what ring
+// batching and doorbell suppression exist for. Both depth rows pay the
+// same modelled cost, so the lockstep/pipelined ratio isolates the
+// transport discipline. Latency-oriented benchmarks (GuestGetRandom and
+// friends) keep delivery instantaneous.
+const benchEventLatency = 25 * time.Microsecond
+
+// guestThroughputBench drives one improved-mode guest with 8 concurrent
+// submitters at the given pipeline depth and reports inverse throughput:
+// ns/op is wall time divided by completed commands across all workers.
+func guestThroughputBench(cfg Config, depth int) (testing.BenchmarkResult, float64, error) {
+	h, err := newHost(cfg, xvtpm.ModeImproved, func(hc *xvtpm.HostConfig) {
+		hc.PipelineDepth = depth
+		hc.EventLatency = benchEventLatency
+	})
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, err
+	}
+	g, err := h.CreateGuest(xvtpm.GuestConfig{Name: "bench", Kernel: []byte("bk")})
+	if err == nil {
+		for i := 0; i < 50; i++ {
+			if _, err = g.TPM.GetRandom(16); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		h.Close() //nolint:errcheck // constructor failure path
+		return testing.BenchmarkResult{}, 0, err
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		b.SetParallelism(8)
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := g.TPM.GetRandom(16); err != nil {
+					benchErr = err
+					return
+				}
+			}
+		})
+	})
+	p95 := float64(h.Manager.DispatchStats().Total.P95)
+	cerr := h.Close()
+	if benchErr == nil {
+		benchErr = cerr
+	}
+	if benchErr != nil {
+		return testing.BenchmarkResult{}, 0, benchErr
+	}
+	return res, p95, nil
+}
+
 // BenchDelta is one benchmark's baseline-vs-current comparison.
 type BenchDelta struct {
 	Name    string
@@ -286,8 +363,39 @@ type BenchDelta struct {
 	Cur     BenchResult
 	NsRatio float64 // cur/base - 1; +0.20 is a 20% regression
 	Missing bool    // benchmark present in baseline, absent in current
-	Fail    bool
-	Reason  string
+	// New marks a benchmark present in the current run but absent from the
+	// baseline: an informational addition, never a gate failure. It surfaces
+	// in the report so a fresh baseline (which would fold the new benchmark
+	// in) is an explicit, reviewed step rather than a silent one.
+	New    bool
+	Fail   bool
+	Reason string
+	// Synthetic marks a derived gate row (no measurements of its own), like
+	// the pipelined-vs-lockstep speedup ratio.
+	Synthetic bool
+}
+
+// Wall-clock throughput rows run with a modelled event-channel latency, so
+// their absolute ns/op is dominated by sleep scheduling — run-to-run noise
+// of 2-3× is normal and an absolute tolerance would flap. What the
+// pipelined transport actually promises is the ratio: depth-8 must sustain
+// at least pipelineSpeedupMin times the lockstep command rate within one
+// run, where both rows share the machine's timer behaviour. CompareBench
+// therefore skips the ns/op tolerance for these rows (allocs are still
+// gated — they are deterministic) and gates the current run's ratio
+// instead.
+const (
+	benchLockstepName   = "GuestLockstepThroughput"
+	benchPipelinedName  = "GuestPipelinedThroughput"
+	pipelineSpeedupMin  = 3.0
+	pipelineSpeedupGate = "GuestPipelineSpeedup"
+	ratioGatedNote      = "ratio-gated (see " + pipelineSpeedupGate + ")"
+)
+
+// ratioGated reports whether a benchmark row is exempt from the absolute
+// ns/op tolerance because it is covered by the speedup-ratio gate.
+func ratioGated(name string) bool {
+	return name == benchLockstepName || name == benchPipelinedName
 }
 
 // CompareBench evaluates current against baseline with the given ns/op
@@ -316,16 +424,50 @@ func CompareBench(base, cur *BenchReport, tolerance float64) (deltas []BenchDelt
 				d.NsRatio = c.NsPerOp/b.NsPerOp - 1
 			}
 			switch {
-			case d.NsRatio > tolerance:
+			case d.NsRatio > tolerance && !ratioGated(b.Name):
 				d.Fail = true
 				d.Reason = fmt.Sprintf("ns/op +%.1f%% (tolerance %.0f%%)", d.NsRatio*100, tolerance*100)
 			case c.AllocsPerOp > b.AllocsPerOp+allocGrowthTolerance:
 				d.Fail = true
 				d.Reason = fmt.Sprintf("allocs/op %.1f → %.1f", b.AllocsPerOp, c.AllocsPerOp)
+			case ratioGated(b.Name):
+				d.Reason = ratioGatedNote
 			}
 		}
 		if d.Fail {
 			ok = false
+		}
+		deltas = append(deltas, d)
+	}
+	// Current-run benchmarks the baseline does not know yet are reported as
+	// informational additions (in current-run order), not failures.
+	inBase := make(map[string]bool, len(base.Results))
+	for _, b := range base.Results {
+		inBase[b.Name] = true
+	}
+	for _, c := range cur.Results {
+		if !inBase[c.Name] {
+			deltas = append(deltas, BenchDelta{
+				Name: c.Name, Cur: c, New: true,
+				Reason: "new benchmark, not in baseline (informational)",
+			})
+		}
+	}
+	// The speedup gate: within the current run, depth-8 pipelining must
+	// sustain at least pipelineSpeedupMin times the lockstep command rate.
+	lock, hasLock := byName[benchLockstepName]
+	pipe, hasPipe := byName[benchPipelinedName]
+	if hasLock && hasPipe && pipe.NsPerOp > 0 {
+		ratio := lock.NsPerOp / pipe.NsPerOp
+		d := BenchDelta{Name: pipelineSpeedupGate, Synthetic: true}
+		if ratio < pipelineSpeedupMin {
+			d.Fail = true
+			d.Reason = fmt.Sprintf("depth-8 sustains only %.2fx the lockstep rate (floor %.1fx)",
+				ratio, pipelineSpeedupMin)
+			ok = false
+		} else {
+			d.Reason = fmt.Sprintf("depth-8 sustains %.2fx the lockstep rate (floor %.1fx)",
+				ratio, pipelineSpeedupMin)
 		}
 		deltas = append(deltas, d)
 	}
@@ -337,22 +479,36 @@ func RenderBenchDeltas(w io.Writer, deltas []BenchDelta) {
 	rows := make([][]string, 0, len(deltas))
 	for _, d := range deltas {
 		status := "ok"
-		if d.Fail {
+		switch {
+		case d.Fail:
 			status = "FAIL: " + d.Reason
+		case d.New:
+			status = "NEW: " + d.Reason
+		case d.Reason != "":
+			status = "ok: " + d.Reason
+		}
+		if d.Synthetic {
+			rows = append(rows, []string{d.Name, "-", "-", "-", "-", "-", status})
+			continue
 		}
 		cur, ratio := "-", "-"
 		if !d.Missing {
 			cur = fmt.Sprintf("%.0f", d.Cur.NsPerOp)
-			if !math.IsNaN(d.NsRatio) {
+			if !d.New && !math.IsNaN(d.NsRatio) {
 				ratio = fmt.Sprintf("%+.1f%%", d.NsRatio*100)
 			}
 		}
+		baseNs, baseAllocs := "-", "-"
+		if !d.New {
+			baseNs = fmt.Sprintf("%.0f", d.Base.NsPerOp)
+			baseAllocs = fmt.Sprintf("%.1f", d.Base.AllocsPerOp)
+		}
 		rows = append(rows, []string{
 			d.Name,
-			fmt.Sprintf("%.0f", d.Base.NsPerOp),
+			baseNs,
 			cur,
 			ratio,
-			fmt.Sprintf("%.1f", d.Base.AllocsPerOp),
+			baseAllocs,
 			func() string {
 				if d.Missing {
 					return "-"

@@ -24,13 +24,18 @@ import (
 )
 
 // Shared-header field offsets within the region. All fields are little-endian,
-// matching the x86 guests the original system ran on.
+// matching the x86 guests the original system ran on. The two notify flags
+// implement the classic Xen RING_FINAL_CHECK doorbell-suppression handshake:
+// each consumer publishes whether it wants an event-channel notify for new
+// frames in its direction, and clears the flag while it is actively draining.
 const (
-	offReqProd  = 0
-	offRspProd  = 4
-	offNumSlots = 8
-	offSlotSize = 12
-	headerSize  = 16
+	offReqProd   = 0
+	offRspProd   = 4
+	offNumSlots  = 8
+	offSlotSize  = 12
+	offReqNotify = 16 // backend wants a doorbell for new requests
+	offRspNotify = 17 // frontend wants a doorbell for new responses
+	headerSize   = 24
 )
 
 // Per-slot header: status(1) pad(3) id(8) length(4).
@@ -89,10 +94,13 @@ type Ring struct {
 	// Traffic counters (under mu, so counting costs nothing beyond the lock
 	// every operation already holds). fullWaits counts EnqueueRequest calls
 	// that found the ring full and had to block — the backpressure signal
-	// /metrics exports per device.
-	requests  uint64
-	responses uint64
-	fullWaits uint64
+	// /metrics exports per device. batchDrains/batchFrames size the mean
+	// request batch a backend drain pulls per wakeup.
+	requests    uint64
+	responses   uint64
+	fullWaits   uint64
+	batchDrains uint64
+	batchFrames uint64
 }
 
 // Stats is a point-in-time traffic digest of one ring.
@@ -104,6 +112,11 @@ type Stats struct {
 	FullWaits uint64
 	// Faulted counts dequeued payloads rewritten by the fault-injection hook.
 	Faulted uint64
+	// BatchDrains counts non-empty DequeueRequestBatchInto drains and
+	// BatchFrames the frames they carried, so BatchFrames/BatchDrains is the
+	// mean request batch size per backend wakeup.
+	BatchDrains uint64
+	BatchFrames uint64
 	// PendingRequests and PendingResponses are published-but-unconsumed
 	// frames right now.
 	PendingRequests  int
@@ -119,6 +132,8 @@ func (r *Ring) Stats() Stats {
 		Responses:        r.responses,
 		FullWaits:        r.fullWaits,
 		Faulted:          r.faulted,
+		BatchDrains:      r.batchDrains,
+		BatchFrames:      r.batchFrames,
 		PendingRequests:  int(r.reqProd() - r.reqCons),
 		PendingResponses: int(r.rspProd() - r.rspCons),
 	}
@@ -193,6 +208,10 @@ func Init(region []byte, g Geometry, bus *xen.MemBus) (*Ring, error) {
 	}
 	binary.LittleEndian.PutUint32(region[offNumSlots:], g.NumSlots)
 	binary.LittleEndian.PutUint32(region[offSlotSize:], g.SlotSize)
+	// Both ends start out wanting doorbells; consumers that run the batched
+	// drain loop clear their flag while draining to coalesce notifies.
+	region[offReqNotify] = 1
+	region[offRspNotify] = 1
 	bus.EndWrite()
 	r := &Ring{region: region, bus: bus, numSlots: g.NumSlots, slotSize: g.SlotSize}
 	r.notFull.L = &r.mu
@@ -262,19 +281,45 @@ func (r *Ring) slot(idx uint32) []byte {
 }
 
 func writeSlot(s []byte, status byte, id uint64, payload []byte) {
+	// Zeroize the slot tail so stale bytes from a previous, possibly larger,
+	// message never linger in shared memory. The previous occupant's length
+	// field bounds how far stale bytes can reach, so only that span is
+	// cleared — not the whole slot. The field lives in shared memory, so it
+	// is clamped rather than trusted.
+	old := slotHeaderSize + int(binary.LittleEndian.Uint32(s[12:]))
+	if old > len(s) {
+		old = len(s)
+	}
 	s[0] = status
 	binary.LittleEndian.PutUint64(s[4:], id)
 	binary.LittleEndian.PutUint32(s[12:], uint32(len(payload)))
-	copy(s[slotHeaderSize:], payload)
-	// Zeroize the slot tail so stale bytes from a previous, possibly larger,
-	// message never linger in shared memory.
-	for i := slotHeaderSize + len(payload); i < len(s); i++ {
-		s[i] = 0
+	n := slotHeaderSize + copy(s[slotHeaderSize:], payload)
+	if n < old {
+		clear(s[n:old])
 	}
 }
 
 func readSlot(s []byte) (status byte, id uint64, payload []byte) {
 	return readSlotInto(s, nil)
+}
+
+// slotHeader reads a slot's status and id without copying the payload — the
+// response-enqueue id check uses it so matching a response to its request
+// slot costs no allocation.
+func slotHeader(s []byte) (status byte, id uint64) {
+	return s[0], binary.LittleEndian.Uint64(s[4:])
+}
+
+// zeroizeSlot frees a slot, clearing its header plus the payload span the
+// length field records rather than the whole slot — past occupants were
+// already scrubbed when the slot was rewritten. The length field lives in
+// shared memory, so it is clamped rather than trusted.
+func zeroizeSlot(s []byte) {
+	end := slotHeaderSize + int(binary.LittleEndian.Uint32(s[12:]))
+	if end > len(s) {
+		end = len(s)
+	}
+	clear(s[:end])
 }
 
 // readSlotInto is readSlot appending the payload to buf instead of
@@ -373,6 +418,13 @@ func (r *Ring) TryDequeueRequestInto(buf []byte) (id uint64, payload []byte, ok 
 // TryDequeueResponse is the non-blocking variant of DequeueResponse; ok is
 // false when no response is pending.
 func (r *Ring) TryDequeueResponse() (id uint64, payload []byte, ok bool, err error) {
+	return r.TryDequeueResponseInto(nil)
+}
+
+// TryDequeueResponseInto is TryDequeueResponse with the payload appended to
+// buf — typically buf[:0] of a scratch slice the frontend reuses across pops,
+// mirroring TryDequeueRequestInto on the backend side.
+func (r *Ring) TryDequeueResponseInto(buf []byte) (id uint64, payload []byte, ok bool, err error) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -382,14 +434,12 @@ func (r *Ring) TryDequeueResponse() (id uint64, payload []byte, ok bool, err err
 		return 0, nil, false, nil
 	}
 	s := r.slot(r.rspCons)
-	status, id, payload := readSlot(s)
+	status, id, payload := readSlotInto(s, buf)
 	if status != slotResponse {
 		return 0, nil, false, fmt.Errorf("ring: slot %d has status %d, want response", r.rspCons, status)
 	}
 	r.bus.BeginWrite()
-	for i := range s {
-		s[i] = 0
-	}
+	zeroizeSlot(s)
 	r.bus.EndWrite()
 	r.rspCons++
 	r.notFull.Signal()
@@ -414,7 +464,7 @@ func (r *Ring) EnqueueResponse(id uint64, payload []byte) error {
 		return ErrOutOfOrder
 	}
 	s := r.slot(prod)
-	_, slotID, _ := readSlot(s)
+	_, slotID := slotHeader(s)
 	if slotID != id {
 		r.mu.Unlock()
 		return fmt.Errorf("%w: slot holds %d, got %d", ErrUnknownID, slotID, id)
@@ -453,9 +503,7 @@ func (r *Ring) DequeueResponse() (uint64, []byte, error) {
 	// Free the slot: zeroize so completed exchanges do not linger in shared
 	// memory for a dump to harvest.
 	r.bus.BeginWrite()
-	for i := range s {
-		s[i] = 0
-	}
+	zeroizeSlot(s)
 	r.bus.EndWrite()
 	r.rspCons++
 	payload = r.applyDequeueFault(payload)
@@ -476,3 +524,40 @@ func (r *Ring) Pending() (requests, responses int) {
 func (r *Ring) Geometry() Geometry {
 	return Geometry{NumSlots: r.numSlots, SlotSize: r.slotSize}
 }
+
+// setNotifyFlag publishes a notify-wanted flag in the shared header.
+func (r *Ring) setNotifyFlag(off int, on bool) {
+	var v byte
+	if on {
+		v = 1
+	}
+	r.mu.Lock()
+	r.bus.BeginWrite()
+	r.region[off] = v
+	r.bus.EndWrite()
+	r.mu.Unlock()
+}
+
+func (r *Ring) notifyFlag(off int) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.region[off] != 0
+}
+
+// SetRequestNotify publishes whether the backend wants a doorbell for newly
+// enqueued requests. A batched backend clears it on entry to its drain loop
+// and re-sets it just before sleeping, then re-checks the ring once more (the
+// RING_FINAL_CHECK pattern) so a request published in the gap is never lost.
+func (r *Ring) SetRequestNotify(on bool) { r.setNotifyFlag(offReqNotify, on) }
+
+// RequestNotifyWanted reports whether the backend currently wants a doorbell
+// for new requests; frontends may skip the event-channel notify when false.
+func (r *Ring) RequestNotifyWanted() bool { return r.notifyFlag(offReqNotify) }
+
+// SetResponseNotify publishes whether the frontend wants a doorbell for newly
+// enqueued responses (the response-direction twin of SetRequestNotify).
+func (r *Ring) SetResponseNotify(on bool) { r.setNotifyFlag(offRspNotify, on) }
+
+// ResponseNotifyWanted reports whether the frontend currently wants a doorbell
+// for new responses; backends may skip the notify when false.
+func (r *Ring) ResponseNotifyWanted() bool { return r.notifyFlag(offRspNotify) }

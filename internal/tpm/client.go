@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"crypto/rsa"
 	"crypto/sha1"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
@@ -71,14 +72,24 @@ func (c *Client) nonce() (n [NonceSize]byte, err error) {
 	return n, err
 }
 
+// cmdWriterPool recycles command-frame Writers across run/runAuth calls:
+// framing a command costs a pool round trip instead of a Writer and buffer
+// allocation per command. Safe under concurrent clients (and concurrent
+// calls into one client, which the pipelined frontend makes) because each
+// call holds a private Writer between Get and Put. The Writer is released
+// after Transmit returns — transports own their copy of the frame by then.
+var cmdWriterPool = sync.Pool{New: func() interface{} { return new(Writer) }}
+
 // run sends an unauthorized command and returns the response body.
 func (c *Client) run(ordinal uint32, params []byte) (*Reader, error) {
-	w := NewWriter()
+	w := cmdWriterPool.Get().(*Writer)
+	w.Reset()
 	w.U16(TagRQUCommand)
 	w.U32(uint32(10 + len(params)))
 	w.U32(ordinal)
 	w.Raw(params)
 	resp, err := c.tr.Transmit(w.Bytes())
+	cmdWriterPool.Put(w)
 	if err != nil {
 		return nil, err
 	}
@@ -182,13 +193,15 @@ func (c *Client) runAuth(ordinal uint32, params []byte, auths []*clientSession) 
 		trailer.U8(contByte)
 		trailer.Raw(mac)
 	}
-	w := NewWriter()
+	w := cmdWriterPool.Get().(*Writer)
+	w.Reset()
 	w.U16(tag)
 	w.U32(uint32(10 + len(params) + trailer.Len()))
 	w.U32(ordinal)
 	w.Raw(params)
 	w.Raw(trailer.Bytes())
 	resp, err := c.tr.Transmit(w.Bytes())
+	cmdWriterPool.Put(w)
 	if err != nil {
 		return nil, err
 	}
@@ -226,11 +239,15 @@ const respAuthSize = NonceSize + 1 + AuthSize
 // parseResponse validates framing and return code, splits off response auth
 // sections and hands them to verify.
 func parseResponse(ordinal uint32, resp []byte, nAuth int, verify func(outBody []byte, blocks []respAuth) error) (*Reader, error) {
-	r := NewReader(resp)
-	tag := r.U16()
-	size := r.U32()
-	rc := r.U32()
-	if r.Err() != nil || int(size) != len(resp) {
+	// The 10-byte header is parsed in place (no Reader) — this runs once per
+	// command on the guest hot path.
+	if len(resp) < 10 {
+		return nil, fmt.Errorf("tpm: malformed response framing")
+	}
+	tag := binary.BigEndian.Uint16(resp)
+	size := binary.BigEndian.Uint32(resp[2:])
+	rc := binary.BigEndian.Uint32(resp[6:])
+	if int(size) != len(resp) {
 		return nil, fmt.Errorf("tpm: malformed response framing")
 	}
 	if rc != RCSuccess {

@@ -3,6 +3,7 @@ package vtpm
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -72,20 +73,39 @@ type Frontend struct {
 	xs        *xenstore.Store
 	dom       *xen.Domain
 	codec     GuestCodec
-	appendEnc AppendRequestEncoder // non-nil when codec supports append encoding
+	appendEnc AppendRequestEncoder  // non-nil when codec supports append encoding
+	respDec   AppendResponseDecoder // non-nil when codec supports append decoding
+	seqEnc    SeqCodec              // non-nil when codec supports pipelined sequencing
+	cfg       FrontendConfig
+	pipe      *pipeline // non-nil when cfg.PipelineDepth > 1
 
 	mu     sync.Mutex
 	r      *ring.Ring
 	port   xen.EvtchnPort
 	closed bool
 	txBuf  []byte // reusable framed-request buffer (guarded by mu)
+	rxBuf  []byte // reusable response-dequeue buffer (guarded by mu)
 }
 
-// NewFrontend prepares a frontend for a guest. codec is the channel codec
-// installed by the domain builder.
+// NewFrontend prepares a lockstep frontend for a guest. codec is the channel
+// codec installed by the domain builder.
 func NewFrontend(hv *xen.Hypervisor, xs *xenstore.Store, dom *xen.Domain, codec GuestCodec) *Frontend {
+	return NewFrontendCfg(hv, xs, dom, codec, FrontendConfig{})
+}
+
+// NewFrontendCfg is NewFrontend with explicit transport configuration.
+func NewFrontendCfg(hv *xen.Hypervisor, xs *xenstore.Store, dom *xen.Domain, codec GuestCodec, cfg FrontendConfig) *Frontend {
 	ae, _ := codec.(AppendRequestEncoder)
-	return &Frontend{hv: hv, xs: xs, dom: dom, codec: codec, appendEnc: ae}
+	rd, _ := codec.(AppendResponseDecoder)
+	se, _ := codec.(SeqCodec)
+	if cfg.PipelineDepth > int(deviceRingGeometry.NumSlots) {
+		cfg.PipelineDepth = int(deviceRingGeometry.NumSlots)
+	}
+	f := &Frontend{hv: hv, xs: xs, dom: dom, codec: codec, appendEnc: ae, respDec: rd, seqEnc: se, cfg: cfg}
+	if cfg.PipelineDepth > 1 {
+		f.pipe = newPipeline(cfg.PipelineDepth)
+	}
+	return f
 }
 
 // Setup allocates the ring in guest memory, grants it to dom0, allocates the
@@ -162,11 +182,32 @@ func (f *Frontend) WaitConnected() error {
 }
 
 // Transmit implements tpm.Transport: encode, enqueue, kick the backend, and
-// block for the response. One command is in flight at a time per frontend,
-// matching the /dev/tpm0 semantics guests see.
+// block for the response. With PipelineDepth <= 1 one command is in flight at
+// a time per frontend, matching the /dev/tpm0 semantics guests see; larger
+// depths route through the pipelined pending table. The returned slice is
+// caller-owned: concurrent users of one client keep reading their response
+// while the next command is already overwriting the frontend's scratch
+// buffers, so the decode step lands in a fresh allocation.
 func (f *Frontend) Transmit(cmd []byte) ([]byte, error) {
+	if f.pipe != nil {
+		return f.transmitPipelined(cmd)
+	}
+	var start time.Time
+	tm := f.cfg.Metrics
+	if tm != nil {
+		start = time.Now()
+	}
 	f.mu.Lock()
-	defer f.mu.Unlock()
+	resp, err := f.transmitLocked(cmd)
+	f.mu.Unlock()
+	if err == nil && tm != nil {
+		tm.GuestRTT.Record(time.Since(start))
+	}
+	return resp, err
+}
+
+// transmitLocked is the lockstep transmit path, under f.mu.
+func (f *Frontend) transmitLocked(cmd []byte) ([]byte, error) {
 	if f.r == nil || f.closed {
 		return nil, ErrNotConnected
 	}
@@ -192,21 +233,35 @@ func (f *Frontend) Transmit(cmd []byte) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := f.hv.EventChannels().Notify(f.dom.ID(), f.port); err != nil {
-		return nil, err
+	// Skip the doorbell when the backend is already draining (it will pick
+	// the request up in its final ring check before sleeping).
+	if f.r.RequestNotifyWanted() {
+		if err := f.hv.EventChannels().Notify(f.dom.ID(), f.port); err != nil {
+			return nil, err
+		}
+	} else {
+		f.hv.EventChannels().NoteSuppressed()
 	}
-	for {
-		rid, rp, ok, err := f.r.TryDequeueResponse()
+	for spin := 0; ; spin++ {
+		rid, rp, ok, err := f.r.TryDequeueResponseInto(f.rxBuf[:0])
 		if err != nil {
 			return nil, err
 		}
 		if !ok {
-			err := f.hv.EventChannels().WaitTimeout(f.dom.ID(), f.port, driverWaitPoll)
-			if err != nil && !errors.Is(err, xen.ErrWaitTimeout) {
-				return nil, err
+			// The backend usually answers within microseconds: re-poll a
+			// bounded number of times before paying for a timed sleep.
+			if spin < pipeSpinPolls {
+				runtime.Gosched()
+				continue
 			}
+			werr := f.hv.EventChannels().WaitTimeout(f.dom.ID(), f.port, driverWaitPoll)
+			if werr != nil && !errors.Is(werr, xen.ErrWaitTimeout) {
+				return nil, werr
+			}
+			spin = 0
 			continue
 		}
+		f.rxBuf = rp
 		if rid != id {
 			return nil, fmt.Errorf("vtpm: response id %d for request %d", rid, id)
 		}
@@ -215,8 +270,11 @@ func (f *Frontend) Transmit(cmd []byte) ([]byte, error) {
 		}
 		switch rp[0] {
 		case payloadRaw:
-			return rp[1:], nil
+			return append([]byte(nil), rp[1:]...), nil
 		case payloadEncoded:
+			if f.respDec != nil {
+				return f.respDec.DecodeResponseAppend(nil, rp[1:])
+			}
 			return f.codec.DecodeResponse(rp[1:])
 		default:
 			return nil, fmt.Errorf("vtpm: unknown response framing %d", rp[0])
@@ -255,6 +313,10 @@ type Backend struct {
 	xs  *xenstore.Store
 	mgr *Manager
 
+	// transport, when non-nil, receives per-drain batch sizes. Set it with
+	// SetTransportMetrics before the first AttachDevice.
+	transport *TransportMetrics
+
 	mu      sync.Mutex
 	devices map[xen.DomID]*backendDevice
 }
@@ -263,6 +325,11 @@ type Backend struct {
 func NewBackend(hv *xen.Hypervisor, xs *xenstore.Store, mgr *Manager) *Backend {
 	return &Backend{hv: hv, xs: xs, mgr: mgr, devices: make(map[xen.DomID]*backendDevice)}
 }
+
+// SetTransportMetrics installs the host's transport instruments (ring batch
+// sizes per backend drain). Call before the first AttachDevice — service
+// loops read the pointer without locking.
+func (b *Backend) SetTransportMetrics(tm *TransportMetrics) { b.transport = tm }
 
 // readInt reads a decimal XenStore value.
 func (b *Backend) readInt(path string) (uint64, error) {
@@ -338,40 +405,86 @@ func (b *Backend) AttachDevice(front xen.DomID) error {
 	return nil
 }
 
-// serve is the per-device service loop. Requests pop into a per-device
-// scratch buffer, so a steady stream dequeues without allocating; the
-// payload is consumed synchronously by handle before the next pop reuses it.
+// serve is the per-device service loop, batched: each wakeup drains every
+// pending request off the ring in one pass, dispatches them in order, and
+// publishes the responses as one batch with (at most) one doorbell — the
+// classic Xen RING_FINAL_CHECK shape. While draining, the backend clears the
+// ring's request-notify flag so frontends coalesce their doorbells; before
+// sleeping it re-raises the flag and checks the ring once more, so a request
+// published into the gap is picked up instead of stalling until the poll
+// timeout. Both batches reuse per-device scratch buffers, so a steady stream
+// serves without allocating beyond dispatch itself.
 func (b *Backend) serve(dev *backendDevice) {
 	defer close(dev.done)
 	ec := b.hv.EventChannels()
-	var reqBuf []byte
+	var req, rsp ring.Batch
 	for {
-		id, payload, ok, err := dev.r.TryDequeueRequestInto(reqBuf[:0])
+		dev.r.SetRequestNotify(false)
+		// Hot phase: drain and dispatch until the ring stays empty through
+		// the bounded re-poll window (the next request usually lands within
+		// microseconds of the last, so yielding beats sleeping).
+		for spin := 0; spin <= pipeSpinPolls; spin++ {
+			n, err := dev.r.DequeueRequestBatchInto(&req, 0)
+			if err != nil {
+				return // ring closed
+			}
+			if n > 0 {
+				if err := b.serveBatch(dev, &req, &rsp, n); err != nil {
+					return
+				}
+				spin = 0
+				continue
+			}
+			runtime.Gosched()
+		}
+		// Going idle: re-enable doorbells, then run the final check before
+		// sleeping so a request published into the gap is never lost.
+		dev.r.SetRequestNotify(true)
+		n, err := dev.r.DequeueRequestBatchInto(&req, 0)
 		if err != nil {
-			return // ring closed
+			return
 		}
-		if ok {
-			reqBuf = payload
-		}
-		if !ok {
-			if err := ec.WaitTimeout(xen.Dom0, dev.port, driverWaitPoll); err != nil &&
-				!errors.Is(err, xen.ErrWaitTimeout) {
+		if n > 0 {
+			if err := b.serveBatch(dev, &req, &rsp, n); err != nil {
 				return
 			}
 			continue
 		}
-		resp := b.handle(dev, payload)
-		if err := dev.r.EnqueueResponse(id, resp); err != nil {
+		if werr := ec.WaitTimeout(xen.Dom0, dev.port, driverWaitPoll); werr != nil &&
+			!errors.Is(werr, xen.ErrWaitTimeout) {
 			return
 		}
-		ec.Notify(xen.Dom0, dev.port) //nolint:errcheck // frontend may be tearing down
 	}
 }
 
-// handle runs one ring payload through the manager and frames the response.
-func (b *Backend) handle(dev *backendDevice, payload []byte) []byte {
+// serveBatch dispatches one drained request batch and publishes the response
+// batch, kicking the frontend once — and only if its notify flag asks for it.
+func (b *Backend) serveBatch(dev *backendDevice, req, rsp *ring.Batch, n int) error {
+	if tm := b.transport; tm != nil {
+		tm.RingBatch.Record(time.Duration(n))
+	}
+	rsp.Reset()
+	for i := 0; i < n; i++ {
+		id, payload := req.Frame(i)
+		rsp.Commit(id, b.handleAppend(dev, rsp.Take(), payload))
+	}
+	if err := dev.r.EnqueueResponseBatch(rsp); err != nil {
+		return err
+	}
+	ec := b.hv.EventChannels()
+	if dev.r.ResponseNotifyWanted() {
+		ec.Notify(xen.Dom0, dev.port) //nolint:errcheck // frontend may be tearing down
+	} else {
+		ec.NoteSuppressed()
+	}
+	return nil
+}
+
+// handleAppend runs one ring payload through the manager and appends the
+// framed response to dst (a batch scratch buffer), returning the extension.
+func (b *Backend) handleAppend(dev *backendDevice, dst, payload []byte) []byte {
 	if len(payload) < 1 || payload[0] != payloadEncoded {
-		return append([]byte{payloadRaw}, tpm.ErrorResponse(RCGuardChannel)...)
+		return append(append(dst, payloadRaw), tpm.ErrorResponse(RCGuardChannel)...)
 	}
 	out, err := b.mgr.Dispatch(dev.front, dev.launch, payload[1:])
 	if err != nil {
@@ -384,9 +497,9 @@ func (b *Backend) handle(dev *backendDevice, payload []byte) []byte {
 		case errors.Is(err, ErrQuarantined), errors.Is(err, ErrInstancePanic):
 			code = RCInstanceFailed
 		}
-		return append([]byte{payloadRaw}, tpm.ErrorResponse(code)...)
+		return append(append(dst, payloadRaw), tpm.ErrorResponse(code)...)
 	}
-	return append([]byte{payloadEncoded}, out...)
+	return append(append(dst, payloadEncoded), out...)
 }
 
 // WatchAndServe runs the backend event-driven, as real backend drivers do:

@@ -113,6 +113,29 @@ type AppendRequestEncoder interface {
 	EncodeRequestAppend(dst, cmd []byte) ([]byte, error)
 }
 
+// AppendResponseDecoder is an optional GuestCodec extension: DecodeResponse
+// appending the plaintext into a caller-supplied buffer and returning the
+// extended slice, so the lockstep frontend decodes into one reusable buffer
+// per device.
+type AppendResponseDecoder interface {
+	DecodeResponseAppend(dst, payload []byte) ([]byte, error)
+}
+
+// SeqCodec is an optional GuestCodec extension for pipelined frontends. A
+// codec that tags envelopes with sequence numbers cannot validate responses
+// against "the last request sent" once several commands are in flight, so the
+// pipelined path records each request's sequence number in its pending-table
+// slot and asks the codec to check the response against exactly that value.
+type SeqCodec interface {
+	// EncodeRequestAppendSeq is EncodeRequestAppend also returning the
+	// request's sequence tag.
+	EncodeRequestAppendSeq(dst, cmd []byte) ([]byte, uint64, error)
+	// DecodeResponseAppendSeq decodes a response that must carry sequence
+	// tag seq, appending the plaintext to dst and returning the extended
+	// slice.
+	DecodeResponseAppendSeq(dst, payload []byte, seq uint64) ([]byte, error)
+}
+
 // PlainCodec passes commands through untouched — the baseline channel.
 type PlainCodec struct{}
 
@@ -126,3 +149,19 @@ func (PlainCodec) EncodeRequestAppend(dst, cmd []byte) ([]byte, error) {
 
 // DecodeResponse implements GuestCodec.
 func (PlainCodec) DecodeResponse(p []byte) ([]byte, error) { return p, nil }
+
+// DecodeResponseAppend implements AppendResponseDecoder.
+func (PlainCodec) DecodeResponseAppend(dst, p []byte) ([]byte, error) {
+	return append(dst, p...), nil
+}
+
+// EncodeRequestAppendSeq implements SeqCodec: plaintext frames carry no
+// sequence tag, so every request is tagged 0.
+func (PlainCodec) EncodeRequestAppendSeq(dst, cmd []byte) ([]byte, uint64, error) {
+	return append(dst, cmd...), 0, nil
+}
+
+// DecodeResponseAppendSeq implements SeqCodec; untagged frames match any seq.
+func (PlainCodec) DecodeResponseAppendSeq(dst, p []byte, _ uint64) ([]byte, error) {
+	return append(dst, p...), nil
+}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -38,6 +39,13 @@ type evtchn struct {
 	state   channelState
 	pending int
 	cond    *sync.Cond
+
+	// timer is the port's single reusable wake-up timer for WaitTimeout: it
+	// broadcasts cond when it fires and is re-armed in place, so a steady
+	// polling driver waits without allocating a fresh timer per call.
+	// timerDeadline is when the armed timer will fire (zero when unarmed).
+	timer         *time.Timer
+	timerDeadline time.Time
 }
 
 // EventChannels is a host-wide port table shared by all domains, guarded by a
@@ -51,6 +59,54 @@ type EventChannels struct {
 	// only — the hook runs under ec.mu and must not reenter EventChannels.
 	notifyFault func(caller DomID, port EvtchnPort) bool
 	dropped     uint64
+	// suppressed counts doorbells a driver skipped because the peer's ring
+	// notify flag said none was wanted (batched-drain coalescing).
+	suppressed uint64
+	// sent counts doorbells actually delivered; with suppressed it shows how
+	// well a workload coalesces notifications.
+	sent uint64
+
+	// notifyLatency models what EVTCHNOP_send costs on real hardware: the
+	// hypercall trap, event delivery, and the upcall into the peer domain —
+	// typically tens of microseconds once scheduling is counted. The sender
+	// pays it synchronously, before the event lands. Zero (the default)
+	// keeps delivery instantaneous; benchmarks and experiments set it to
+	// study how batching and doorbell suppression amortize per-notify cost.
+	notifyLatency atomic.Int64
+}
+
+// SetNotifyLatency sets the modelled per-doorbell delivery cost (see
+// notifyLatency). Safe to call while traffic is running.
+func (ec *EventChannels) SetNotifyLatency(d time.Duration) {
+	ec.notifyLatency.Store(int64(d))
+}
+
+// NotifyLatency returns the modelled per-doorbell delivery cost.
+func (ec *EventChannels) NotifyLatency() time.Duration {
+	return time.Duration(ec.notifyLatency.Load())
+}
+
+// SentNotifies returns how many doorbells were actually delivered.
+func (ec *EventChannels) SentNotifies() uint64 {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	return ec.sent
+}
+
+// NoteSuppressed records one doorbell a driver coalesced away. Drivers call
+// it instead of Notify when the ring's notify flag shows the peer is already
+// draining, so the stats still account for every would-be notification.
+func (ec *EventChannels) NoteSuppressed() {
+	ec.mu.Lock()
+	ec.suppressed++
+	ec.mu.Unlock()
+}
+
+// SuppressedNotifies returns how many doorbells drivers coalesced away.
+func (ec *EventChannels) SuppressedNotifies() uint64 {
+	ec.mu.Lock()
+	defer ec.mu.Unlock()
+	return ec.suppressed
 }
 
 // SetNotifyFault installs (or, with nil, removes) a notification-drop hook.
@@ -111,7 +167,13 @@ func (ec *EventChannels) BindInterdomain(caller DomID, remoteDom DomID, remotePo
 }
 
 // Notify sends an event on caller's port, waking waiters on the peer end.
+// When a notify latency is configured the caller sleeps it off first — the
+// modelled hypercall traps before the event is delivered — outside the port
+// lock so unrelated channels keep moving.
 func (ec *EventChannels) Notify(caller DomID, port EvtchnPort) error {
+	if d := ec.notifyLatency.Load(); d > 0 {
+		time.Sleep(time.Duration(d))
+	}
 	ec.mu.Lock()
 	defer ec.mu.Unlock()
 	ch, ok := ec.ports[port]
@@ -134,6 +196,7 @@ func (ec *EventChannels) Notify(caller DomID, port EvtchnPort) error {
 	}
 	peer.pending++
 	peer.cond.Broadcast()
+	ec.sent++
 	return nil
 }
 
@@ -164,10 +227,13 @@ func (ec *EventChannels) Wait(caller DomID, port EvtchnPort) error {
 // without consuming anything. Callers that must survive lost notifications
 // (see SetNotifyFault) wait with a short timeout and re-poll shared state.
 //
-// sync.Cond has no timed wait, so a timer broadcasts the port's cond after d;
-// every waiter on the port wakes, rechecks its predicate, and the one whose
-// timer fired observes the deadline. Spurious wakeups are already part of the
-// cond contract, so this costs nothing extra in correctness.
+// sync.Cond has no timed wait, so a timer broadcasts the port's cond; every
+// waiter on the port wakes, rechecks its predicate, and the one whose
+// deadline passed observes the timeout. Spurious wakeups are already part of
+// the cond contract, so this costs nothing extra in correctness. Each port
+// keeps ONE reusable timer, re-armed in place to the earliest outstanding
+// deadline — a driver polling every few milliseconds waits without
+// allocating a timer and closure per call.
 func (ec *EventChannels) WaitTimeout(caller DomID, port EvtchnPort, d time.Duration) error {
 	ec.mu.Lock()
 	defer ec.mu.Unlock()
@@ -179,18 +245,12 @@ func (ec *EventChannels) WaitTimeout(caller DomID, port EvtchnPort, d time.Durat
 		return ErrPortMismatch
 	}
 	deadline := time.Now().Add(d)
-	expired := false
-	timer := time.AfterFunc(d, func() {
-		ec.mu.Lock()
-		expired = true
-		ch.cond.Broadcast()
-		ec.mu.Unlock()
-	})
-	defer timer.Stop()
 	for ch.pending == 0 && ch.state == chanBound {
-		if expired || !time.Now().Before(deadline) {
+		now := time.Now()
+		if !now.Before(deadline) {
 			return ErrWaitTimeout
 		}
+		ec.armTimerLocked(ch, deadline, now)
 		ch.cond.Wait()
 	}
 	if ch.state == chanClosed {
@@ -198,6 +258,27 @@ func (ec *EventChannels) WaitTimeout(caller DomID, port EvtchnPort, d time.Durat
 	}
 	ch.pending--
 	return nil
+}
+
+// armTimerLocked ensures ch's wake-up timer will broadcast ch.cond no later
+// than deadline. Called with ec.mu held. The timer is created once per port
+// and re-armed thereafter; a past timerDeadline means the last arming already
+// fired.
+func (ec *EventChannels) armTimerLocked(ch *evtchn, deadline, now time.Time) {
+	if ch.timer == nil {
+		ch.timer = time.AfterFunc(deadline.Sub(now), func() {
+			ec.mu.Lock()
+			ch.cond.Broadcast()
+			ec.mu.Unlock()
+		})
+		ch.timerDeadline = deadline
+		return
+	}
+	if ch.timerDeadline.After(now) && !ch.timerDeadline.After(deadline) {
+		return // armed and firing at or before our deadline
+	}
+	ch.timer.Reset(deadline.Sub(now))
+	ch.timerDeadline = deadline
 }
 
 // Pending returns the number of unconsumed events on a port.
@@ -227,14 +308,26 @@ func (ec *EventChannels) Close(caller DomID, port EvtchnPort) error {
 	}
 	wasBound := ch.state == chanBound
 	ch.state = chanClosed
+	stopTimerLocked(ch)
 	ch.cond.Broadcast()
 	if wasBound {
 		if peer, ok := ec.ports[ch.peer]; ok && peer.state == chanBound {
 			peer.state = chanClosed
+			stopTimerLocked(peer)
 			peer.cond.Broadcast()
 		}
 	}
 	return nil
+}
+
+// stopTimerLocked stops a port's reusable wake-up timer, if any. A callback
+// already in flight only broadcasts the cond, which closed-port waiters
+// tolerate as a spurious wakeup.
+func stopTimerLocked(ch *evtchn) {
+	if ch.timer != nil {
+		ch.timer.Stop()
+		ch.timerDeadline = time.Time{}
+	}
 }
 
 // closeAllFor tears down every port owned by or remoted to dom; used on
@@ -245,6 +338,7 @@ func (ec *EventChannels) closeAllFor(dom DomID) {
 	for _, ch := range ec.ports {
 		if (ch.owner == dom || ch.remote == dom) && ch.state != chanClosed {
 			ch.state = chanClosed
+			stopTimerLocked(ch)
 			ch.cond.Broadcast()
 		}
 	}

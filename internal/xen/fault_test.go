@@ -100,3 +100,59 @@ func TestNotifyFaultDropsEvents(t *testing.T) {
 	}
 	ec.SetNotifyFault(nil)
 }
+
+func TestSuppressedNotifyStats(t *testing.T) {
+	h := newHost(t)
+	ec := h.EventChannels()
+	if got := ec.SuppressedNotifies(); got != 0 {
+		t.Fatalf("fresh suppressed count = %d", got)
+	}
+	for i := 0; i < 3; i++ {
+		ec.NoteSuppressed()
+	}
+	if got := ec.SuppressedNotifies(); got != 3 {
+		t.Fatalf("suppressed = %d, want 3", got)
+	}
+}
+
+// TestDroppedAndSuppressedDoorbellStillDrains models the batched-driver worst
+// case: the producer coalesces its doorbell away (NoteSuppressed, no Notify)
+// AND the one notify it does send is dropped by the fault hook. A consumer
+// blocked in WaitTimeout must still come back via the timeout so it can
+// re-check shared state — no event may be required for forward progress.
+func TestDroppedAndSuppressedDoorbellStillDrains(t *testing.T) {
+	h := newHost(t)
+	g := mkGuest(t, h, "g")
+	ec := h.EventChannels()
+	gPort := ec.AllocUnbound(g.ID(), Dom0)
+	d0Port, err := ec.BindInterdomain(Dom0, g.ID(), gPort)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ec.SetNotifyFault(func(DomID, EvtchnPort) bool { return true })
+	defer ec.SetNotifyFault(nil)
+
+	// Producer: skips one doorbell entirely, sends one that gets dropped.
+	ec.NoteSuppressed()
+	if err := ec.Notify(Dom0, d0Port); err != nil {
+		t.Fatal(err)
+	}
+	if ec.DroppedNotifies() == 0 {
+		t.Fatal("notify was not dropped")
+	}
+	// Consumer: no event will ever arrive; the wait must return ErrWaitTimeout
+	// within the polling interval, not hang.
+	done := make(chan error, 1)
+	go func() { done <- ec.WaitTimeout(g.ID(), gPort, 5*time.Millisecond) }()
+	select {
+	case err := <-done:
+		if !errors.Is(err, ErrWaitTimeout) {
+			t.Fatalf("wait err = %v, want ErrWaitTimeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("WaitTimeout hung with all doorbells lost")
+	}
+	if ec.SuppressedNotifies() != 1 {
+		t.Fatalf("suppressed = %d, want 1", ec.SuppressedNotifies())
+	}
+}

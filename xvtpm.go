@@ -108,6 +108,17 @@ type HostConfig struct {
 	TraceDepth      int
 	TraceSampleRate int
 	TraceSeed       int64
+	// PipelineDepth is how many commands each guest frontend keeps in flight
+	// on its ring at once. 0 or 1 selects strict request/response lockstep;
+	// larger values let concurrent guest callers overlap round trips. See
+	// vtpm.FrontendConfig.
+	PipelineDepth int
+	// EventLatency models the cost of delivering one event-channel doorbell
+	// (hypercall trap + upcall + peer scheduling on real Xen). Zero keeps
+	// delivery instantaneous. Benchmarks and experiments set it to study how
+	// ring batching and doorbell suppression amortize per-notify cost. See
+	// xen.EventChannels.SetNotifyLatency.
+	EventLatency time.Duration
 }
 
 // Host is one simulated physical machine.
@@ -122,8 +133,10 @@ type Host struct {
 	Backend *vtpm.Backend
 	Store   vtpm.Store
 
-	guard vtpm.Guard
-	keys  *core.PlatformKeys // improved mode only
+	guard     vtpm.Guard
+	keys      *core.PlatformKeys // improved mode only
+	transport *vtpm.TransportMetrics
+	pipeDepth int
 
 	mu        sync.Mutex
 	guests    map[xen.DomID]*Guest
@@ -212,6 +225,9 @@ func NewHost(cfg HostConfig) (*Host, error) {
 		dom0Pages = 4096 // 16 MiB of manager working memory
 	}
 	hv := xen.NewHypervisor(xen.DomainConfig{Name: "Domain-0", Pages: dom0Pages})
+	if cfg.EventLatency > 0 {
+		hv.EventChannels().SetNotifyLatency(cfg.EventLatency)
+	}
 	xs := xenstore.New()
 
 	var seed []byte
@@ -235,14 +251,16 @@ func NewHost(cfg HostConfig) (*Host, error) {
 		store = vtpm.NewMemStore()
 	}
 	h := &Host{
-		Name:   cfg.Name,
-		Mode:   cfg.Mode,
-		HV:     hv,
-		XS:     xs,
-		HWTPM:  hwEng,
-		HW:     hw,
-		Store:  store,
-		guests: make(map[xen.DomID]*Guest),
+		Name:      cfg.Name,
+		Mode:      cfg.Mode,
+		HV:        hv,
+		XS:        xs,
+		HWTPM:     hwEng,
+		HW:        hw,
+		Store:     store,
+		guests:    make(map[xen.DomID]*Guest),
+		transport: vtpm.NewTransportMetrics(),
+		pipeDepth: cfg.PipelineDepth,
 	}
 	switch cfg.Mode {
 	case ModeImproved:
@@ -280,14 +298,22 @@ func NewHost(cfg HostConfig) (*Host, error) {
 		TraceSeed:        cfg.TraceSeed,
 	})
 	h.Backend = vtpm.NewBackend(hv, xs, h.Manager)
+	h.Backend.SetTransportMetrics(h.transport)
 	return h, nil
 }
+
+// TransportMetrics returns the host's guest-transport instruments (round-trip
+// latency and ring batch size), for tooling like vtpmctl top.
+func (h *Host) TransportMetrics() *vtpm.TransportMetrics { return h.transport }
 
 // RegisterMetrics exposes the host's instruments — the manager's
 // dispatch/checkpoint/health metrics and, in improved mode, the guard's
 // admission metrics — in reg for /metrics exposition.
 func (h *Host) RegisterMetrics(reg *metrics.Registry) error {
 	if err := h.Manager.RegisterMetrics(reg); err != nil {
+		return err
+	}
+	if err := h.transport.Register(reg); err != nil {
 		return err
 	}
 	if ig, ok := h.ImprovedGuard(); ok {
@@ -388,7 +414,10 @@ func (h *Host) attachGuest(dom *xen.Domain, inst vtpm.InstanceID) (*Guest, error
 	if err != nil {
 		return nil, err
 	}
-	fe := vtpm.NewFrontend(h.HV, h.XS, dom, codec)
+	fe := vtpm.NewFrontendCfg(h.HV, h.XS, dom, codec, vtpm.FrontendConfig{
+		PipelineDepth: h.pipeDepth,
+		Metrics:       h.transport,
+	})
 	if err := fe.Setup(); err != nil {
 		return nil, err
 	}
