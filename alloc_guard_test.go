@@ -124,7 +124,11 @@ func TestGuestAllocBudget(t *testing.T) {
 			t.Errorf("Close: %v", err)
 		}
 	})
-	g, err := h.CreateGuest(xvtpm.GuestConfig{Name: "ag", Kernel: []byte("agk")})
+	// The profile is pinned explicitly: these budgets describe the 1.2 hot
+	// path, and they must hold with the engine behind the tpm.Engine
+	// interface (the devirtualized seed numbers are the same — the interface
+	// call itself allocates nothing).
+	g, err := h.CreateGuest(xvtpm.GuestConfig{Name: "ag", Kernel: []byte("agk"), Profile: tpm.Profile12})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -223,11 +223,11 @@ func BenchmarkE5PolicyDecision(b *testing.B) {
 					rs = append(rs, core.Rule{Identity: subject, Instance: 1, Group: core.GroupPCR, Effect: core.Allow})
 					p := core.NewPolicy(rs...)
 					p.SetCache(cached)
-					p.Evaluate(subject, 1, tpm.OrdExtend) // warm
+					p.Evaluate(tpm.Profile12, subject, 1, tpm.OrdExtend) // warm
 					b.ReportAllocs()
 					b.ResetTimer()
 					for i := 0; i < b.N; i++ {
-						if p.Evaluate(subject, 1, tpm.OrdExtend) != core.Allow {
+						if p.Evaluate(tpm.Profile12, subject, 1, tpm.OrdExtend) != core.Allow {
 							b.Fatal("unexpected deny")
 						}
 					}

@@ -7,11 +7,11 @@
 //
 //	vtpmctl [-mode improved] [-bits 512] [-script "cmd; cmd; ..."]
 //
-// Commands: help, create <name>, list, extend <name> <pcr> <text>,
+// Commands: help, create <name> [profile], list, extend <name> <pcr> <text>,
 // suspend/resume <name>, ratelimit <name> <n>, anchor, verify-audit,
 // pcrread <name> <pcr>, random <name> <n>, deny <name> <group>,
-// allow <name> <group>, audit [n], top, spans <name> [n],
-// checkpoint <name>, destroy <name>, quit.
+// allow <name> <group>, audit [n], top [--profile 1.2|2.0],
+// spans <name> [n], checkpoint <name>, destroy <name>, quit.
 package main
 
 import (
@@ -26,6 +26,7 @@ import (
 	"xvtpm"
 	"xvtpm/internal/core"
 	"xvtpm/internal/metrics"
+	"xvtpm/internal/tpm"
 )
 
 type console struct {
@@ -86,14 +87,14 @@ func (c *console) handle(line string) bool {
 	}
 	switch fields[0] {
 	case "help":
-		c.printf("commands: create <name> | list | extend <name> <pcr> <text> | pcrread <name> <pcr>\n")
+		c.printf("commands: create <name> [1.2|2.0] | list | extend <name> <pcr> <text> | pcrread <name> <pcr>\n")
 		c.printf("          random <name> <n> | deny <name> <group> | allow <name> <group>\n")
 		c.printf("          audit [n] | anchor | verify-audit | ratelimit <name> <n> | stats\n")
-		c.printf("          top | spans <name> [n]\n")
+		c.printf("          top [--profile 1.2|2.0] | spans <name> [n]\n")
 		c.printf("          suspend <name> | resume <name> | checkpoint <name> | destroy <name> | quit\n")
 	case "create":
-		if len(fields) != 2 {
-			c.printf("usage: create <name>\n")
+		if len(fields) != 2 && len(fields) != 3 {
+			c.printf("usage: create <name> [1.2|2.0]\n")
 			break
 		}
 		name := fields[1]
@@ -101,20 +102,29 @@ func (c *console) handle(line string) bool {
 			c.printf("guest %q already exists\n", name)
 			break
 		}
-		g, err := c.host.CreateGuest(xvtpm.GuestConfig{Name: name, Kernel: []byte("vmlinuz-" + name)})
+		var profile tpm.Profile
+		if len(fields) == 3 {
+			p, err := tpm.ParseProfile(fields[2])
+			if err != nil {
+				c.printf("create: %v\n", err)
+				break
+			}
+			profile = p
+		}
+		g, err := c.host.CreateGuest(xvtpm.GuestConfig{Name: name, Kernel: []byte("vmlinuz-" + name), Profile: profile})
 		if err != nil {
 			c.printf("create: %v\n", err)
 			break
 		}
 		c.guests[name] = g
-		c.printf("guest %q: dom%d, vtpm instance %d, launch %.16s…\n",
-			name, g.Dom.ID(), g.Instance, g.Dom.Launch().String())
+		c.printf("guest %q: dom%d, vtpm instance %d (TPM %s), launch %.16s…\n",
+			name, g.Dom.ID(), g.Instance, g.Profile, g.Dom.Launch().String())
 	case "list":
 		if len(c.guests) == 0 {
 			c.printf("(no guests)\n")
 		}
 		for name, g := range c.guests {
-			c.printf("%-12s dom%-3d instance %-3d state %v\n", name, g.Dom.ID(), g.Instance, g.Dom.State())
+			c.printf("%-12s dom%-3d instance %-3d tpm %-4s state %v\n", name, g.Dom.ID(), g.Instance, g.Profile, g.Dom.State())
 		}
 	case "extend":
 		if len(fields) != 4 {
@@ -128,6 +138,19 @@ func (c *console) handle(line string) bool {
 		pcr, err := strconv.Atoi(fields[2])
 		if err != nil {
 			c.printf("bad pcr %q\n", fields[2])
+			break
+		}
+		if g.Profile == tpm.Profile20 {
+			if err := g.TPM2.Extend(pcr, []byte(fields[3])); err != nil {
+				c.printf("extend: %v\n", err)
+				break
+			}
+			v, _, err := g.TPM2.PCRRead(tpm.TPM2AlgSHA256, pcr)
+			if err != nil {
+				c.printf("extend: %v\n", err)
+				break
+			}
+			c.printf("PCR%d (sha256 bank) = %x\n", pcr, v)
 			break
 		}
 		v, err := g.TPM.Extend(uint32(pcr), sha1.Sum([]byte(fields[3])))
@@ -150,6 +173,15 @@ func (c *console) handle(line string) bool {
 			c.printf("bad pcr %q\n", fields[2])
 			break
 		}
+		if g.Profile == tpm.Profile20 {
+			v, _, err := g.TPM2.PCRRead(tpm.TPM2AlgSHA256, pcr)
+			if err != nil {
+				c.printf("pcrread: %v\n", err)
+				break
+			}
+			c.printf("PCR%d (sha256 bank) = %x\n", pcr, v)
+			break
+		}
 		v, err := g.TPM.PCRRead(uint32(pcr))
 		if err != nil {
 			c.printf("pcrread: %v\n", err)
@@ -170,7 +202,12 @@ func (c *console) handle(line string) bool {
 			c.printf("bad count %q (1..64)\n", fields[2])
 			break
 		}
-		b, err := g.TPM.GetRandom(n)
+		var b []byte
+		if g.Profile == tpm.Profile20 {
+			b, err = g.TPM2.GetRandom(n)
+		} else {
+			b, err = g.TPM.GetRandom(n)
+		}
 		if err != nil {
 			c.printf("random: %v\n", err)
 			break
@@ -209,6 +246,18 @@ func (c *console) handle(line string) bool {
 			c.printf("  #%-4d inst=%-3d ordinal=%#-6x %-5s %s\n", r.Seq, r.Instance, r.Ordinal, r.Decision, r.Reason)
 		}
 	case "top":
+		topFilter := tpm.AnyProfile
+		if len(fields) == 3 && fields[1] == "--profile" {
+			p, err := tpm.ParseProfile(fields[2])
+			if err != nil {
+				c.printf("top: %v\n", err)
+				break
+			}
+			topFilter = p
+		} else if len(fields) != 1 {
+			c.printf("usage: top [--profile 1.2|2.0]\n")
+			break
+		}
 		ds := c.host.Manager.DispatchStats()
 		c.printf("dispatch: %d commands (%d failed)  p50 %sµs  p95 %sµs  p99 %sµs\n",
 			ds.Commands, ds.Failures, metrics.Micros(ds.Total.P50),
@@ -234,8 +283,12 @@ func (c *console) handle(line string) bool {
 			batch.Count, meanBatch, ec.SentNotifies(), ec.SuppressedNotifies())
 		rows := make([][]string, 0, 8)
 		for _, s := range c.host.Manager.InstanceStatsAll() {
+			if topFilter != tpm.AnyProfile && s.Profile != topFilter {
+				continue
+			}
 			rows = append(rows, []string{
 				fmt.Sprintf("%d", s.ID),
+				s.Profile.String(),
 				fmt.Sprintf("dom%d", s.BoundDom),
 				s.Health.String(),
 				fmt.Sprintf("%d", s.Dispatches),
@@ -252,7 +305,7 @@ func (c *console) handle(line string) bool {
 			break
 		}
 		metrics.Table(c.out, "per-instance dispatch (latency µs)",
-			[]string{"inst", "dom", "health", "cmds", "fail", "dirty", "p50", "p95", "p99", "spans"}, rows)
+			[]string{"inst", "tpm", "dom", "health", "cmds", "fail", "dirty", "p50", "p95", "p99", "spans"}, rows)
 	case "spans":
 		if len(fields) < 2 || len(fields) > 3 {
 			c.printf("usage: spans <name> [n]\n")

@@ -155,7 +155,9 @@ func StateTheft(h *xvtpm.Host, g *xvtpm.Guest, _ *xvtpm.Host) (Result, error) {
 	if err != nil {
 		return Result{}, err
 	}
-	// Try full key extraction on every blob.
+	// Try full key extraction on every blob. The attacker knows the on-disk
+	// format: strip the plaintext checkpoint header, then deserialize
+	// whichever profile's state follows it.
 	names, _ := h.Store.List()
 	extracted := false
 	for _, name := range names {
@@ -163,7 +165,11 @@ func StateTheft(h *xvtpm.Host, g *xvtpm.Guest, _ *xvtpm.Host) (Result, error) {
 		if err != nil {
 			continue
 		}
-		if _, err := tpm.RestoreState(blob); err == nil {
+		_, envelope, err := vtpm.UnwrapCheckpoint(blob)
+		if err != nil {
+			continue
+		}
+		if _, err := tpm.RestoreEngine(envelope); err == nil {
 			extracted = true
 			break
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"xvtpm/internal/tpm"
 	"xvtpm/internal/vtpm"
 	"xvtpm/internal/xen"
 )
@@ -30,10 +31,13 @@ import (
 // Sharding reuses the guard's instance shards (guardShardCount), so flushing
 // one instance's shard leaves the other 15 untouched.
 
-// admitKey is one memoized admission decision's identity.
+// admitKey is one memoized admission decision's identity. The profile is
+// part of the key: in a mixed fleet a 1.2 ordinal and a numerically equal
+// 2.0 command code must never share a cached verdict.
 type admitKey struct {
 	id      xen.LaunchDigest
 	inst    vtpm.InstanceID
+	profile tpm.Profile
 	ordinal uint32
 }
 
@@ -73,13 +77,13 @@ func (g *ImprovedGuard) InvalidateAdmit(id vtpm.InstanceID) {
 
 // evaluateAdmit is Policy.Evaluate memoized through the shard's
 // copy-on-write table. The fast path takes no locks.
-func (g *ImprovedGuard) evaluateAdmit(id xen.LaunchDigest, inst vtpm.InstanceID, ordinal uint32) Effect {
+func (g *ImprovedGuard) evaluateAdmit(profile tpm.Profile, id xen.LaunchDigest, inst vtpm.InstanceID, ordinal uint32) Effect {
 	if g.admitCacheOff.Load() {
-		return g.policy.Evaluate(id, inst, ordinal)
+		return g.policy.Evaluate(profile, id, inst, ordinal)
 	}
 	s := g.shard(inst)
 	gen := g.policy.Generation()
-	key := admitKey{id: id, inst: inst, ordinal: ordinal}
+	key := admitKey{id: id, inst: inst, profile: profile, ordinal: ordinal}
 	if t := s.admit.Load(); t != nil && t.gen == gen {
 		if e, ok := t.m[key]; ok {
 			g.admitCacheHits.Inc()
@@ -87,7 +91,7 @@ func (g *ImprovedGuard) evaluateAdmit(id xen.LaunchDigest, inst vtpm.InstanceID,
 		}
 	}
 	g.admitCacheMisses.Inc()
-	e := g.policy.Evaluate(id, inst, ordinal)
+	e := g.policy.Evaluate(profile, id, inst, ordinal)
 	s.admitMu.Lock()
 	cur := s.admit.Load()
 	// Re-read the generation under the shard lock: if the policy mutated

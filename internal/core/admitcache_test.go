@@ -41,11 +41,11 @@ func TestAdmitCacheEquivalence(t *testing.T) {
 		for _, id := range identities {
 			for _, inst := range instances {
 				for _, ord := range ordinals {
-					want := policy.Evaluate(id, inst, ord)
-					if got := cached.evaluateAdmit(id, inst, ord); got != want {
+					want := policy.Evaluate(tpm.Profile12, id, inst, ord)
+					if got := cached.evaluateAdmit(tpm.Profile12, id, inst, ord); got != want {
 						t.Fatalf("%s: cached(%x…, %d, %#x) = %v, want %v", tag, id[:4], inst, ord, got, want)
 					}
-					if got := uncached.evaluateAdmit(id, inst, ord); got != want {
+					if got := uncached.evaluateAdmit(tpm.Profile12, id, inst, ord); got != want {
 						t.Fatalf("%s: uncached(%x…, %d, %#x) = %v, want %v", tag, id[:4], inst, ord, got, want)
 					}
 				}
@@ -77,12 +77,12 @@ func TestAdmitCachePolicyMutationInvalidates(t *testing.T) {
 	policy := NewPolicy(Rule{Identity: id, Instance: 1, Group: GroupRandom, Effect: Allow})
 	g := NewImprovedGuard(nil, policy)
 
-	if e := g.evaluateAdmit(id, 1, tpm.OrdGetRandom); e != Allow {
+	if e := g.evaluateAdmit(tpm.Profile12, id, 1, tpm.OrdGetRandom); e != Allow {
 		t.Fatalf("pre-edit = %v", e)
 	}
-	g.evaluateAdmit(id, 1, tpm.OrdGetRandom) // warm the entry
+	g.evaluateAdmit(tpm.Profile12, id, 1, tpm.OrdGetRandom) // warm the entry
 	policy.Prepend(Rule{Identity: id, Instance: 1, Group: GroupRandom, Effect: Deny})
-	if e := g.evaluateAdmit(id, 1, tpm.OrdGetRandom); e != Deny {
+	if e := g.evaluateAdmit(tpm.Profile12, id, 1, tpm.OrdGetRandom); e != Deny {
 		t.Fatal("cached Allow survived a policy edit")
 	}
 }
@@ -94,7 +94,7 @@ func TestAdmitCacheInvalidateFlushesOnlyOwningShard(t *testing.T) {
 
 	// Instances 1 and 2 live in different shards; 17 shares instance 1's.
 	for _, inst := range []vtpm.InstanceID{1, 2, 17} {
-		g.evaluateAdmit(id, inst, tpm.OrdGetRandom)
+		g.evaluateAdmit(tpm.Profile12, id, inst, tpm.OrdGetRandom)
 	}
 	if g.shard(1) != g.shard(17) || g.shard(1) == g.shard(2) {
 		t.Fatal("shard layout assumption broken")
@@ -112,7 +112,7 @@ func TestAdmitCacheResetChannelInvalidates(t *testing.T) {
 	g, _ := newImproved(t, "admit-reset")
 	inst := testInstance(3, "guest")
 	g.Policy().Append(DefaultGuestPolicy(inst.BoundLaunch, inst.ID)...)
-	g.evaluateAdmit(inst.BoundLaunch, inst.ID, tpm.OrdGetRandom)
+	g.evaluateAdmit(tpm.Profile12, inst.BoundLaunch, inst.ID, tpm.OrdGetRandom)
 	if g.shard(inst.ID).admit.Load() == nil {
 		t.Fatal("cache not warmed")
 	}
@@ -127,19 +127,19 @@ func TestAdmitCacheResetChannelInvalidates(t *testing.T) {
 func TestAdmitCacheToggleOffFlushes(t *testing.T) {
 	id := launchOf("guest")
 	g := NewImprovedGuard(nil, NewPolicy(Rule{Effect: Allow}))
-	g.evaluateAdmit(id, 1, tpm.OrdGetRandom)
+	g.evaluateAdmit(tpm.Profile12, id, 1, tpm.OrdGetRandom)
 	g.SetAdmitCache(false)
 	for i := range g.shards {
 		if g.shards[i].admit.Load() != nil {
 			t.Fatalf("shard %d still holds a table after disable", i)
 		}
 	}
-	g.evaluateAdmit(id, 1, tpm.OrdGetRandom)
+	g.evaluateAdmit(tpm.Profile12, id, 1, tpm.OrdGetRandom)
 	if g.shard(1).admit.Load() != nil {
 		t.Fatal("disabled cache still caching")
 	}
 	g.SetAdmitCache(true)
-	g.evaluateAdmit(id, 1, tpm.OrdGetRandom)
+	g.evaluateAdmit(tpm.Profile12, id, 1, tpm.OrdGetRandom)
 	if g.shard(1).admit.Load() == nil {
 		t.Fatal("re-enabled cache not caching")
 	}
@@ -170,7 +170,7 @@ func TestAdmitCacheEvaluateDuringInvalidationRace(t *testing.T) {
 					return
 				default:
 				}
-				e := g.evaluateAdmit(id, inst, tpm.OrdGetRandom)
+				e := g.evaluateAdmit(tpm.Profile12, id, inst, tpm.OrdGetRandom)
 				if e != Allow && e != Deny {
 					t.Errorf("impossible effect %v", e)
 					return

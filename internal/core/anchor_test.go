@@ -143,8 +143,8 @@ func TestPolicyMarshalRoundTrip(t *testing.T) {
 		{"other", 9, tpm.OrdSeal},
 	}
 	for _, c := range cases {
-		want := p.Evaluate(launchOf(c.id), c.inst, c.ord)
-		got := q.Evaluate(launchOf(c.id), c.inst, c.ord)
+		want := p.Evaluate(tpm.Profile12, launchOf(c.id), c.inst, c.ord)
+		got := q.Evaluate(tpm.Profile12, launchOf(c.id), c.inst, c.ord)
 		if want != got {
 			t.Fatalf("decision drift for %+v: %v vs %v", c, want, got)
 		}

@@ -65,7 +65,7 @@ func sampleCmd() []byte {
 
 func TestPolicyDefaultDeny(t *testing.T) {
 	p := NewPolicy()
-	if p.Evaluate(launchOf("g"), 1, tpm.OrdExtend) != Deny {
+	if p.Evaluate(tpm.Profile12, launchOf("g"), 1, tpm.OrdExtend) != Deny {
 		t.Fatal("empty policy allowed a command")
 	}
 }
@@ -76,20 +76,20 @@ func TestPolicyFirstMatchOrder(t *testing.T) {
 		Rule{Identity: id, Instance: 1, Ordinal: tpm.OrdOwnerClear, Effect: Deny},
 		Rule{Identity: id, Instance: 1, Group: GroupOwnership, Effect: Allow},
 	)
-	if p.Evaluate(id, 1, tpm.OrdOwnerClear) != Deny {
+	if p.Evaluate(tpm.Profile12, id, 1, tpm.OrdOwnerClear) != Deny {
 		t.Fatal("specific deny did not shadow group allow")
 	}
-	if p.Evaluate(id, 1, tpm.OrdTakeOwnership) != Allow {
+	if p.Evaluate(tpm.Profile12, id, 1, tpm.OrdTakeOwnership) != Allow {
 		t.Fatal("group allow not applied")
 	}
 }
 
 func TestPolicyWildcards(t *testing.T) {
 	p := NewPolicy(Rule{Group: GroupRandom, Effect: Allow}) // any identity, any instance
-	if p.Evaluate(launchOf("a"), 7, tpm.OrdGetRandom) != Allow {
+	if p.Evaluate(tpm.Profile12, launchOf("a"), 7, tpm.OrdGetRandom) != Allow {
 		t.Fatal("wildcard rule did not match")
 	}
-	if p.Evaluate(launchOf("a"), 7, tpm.OrdExtend) != Deny {
+	if p.Evaluate(tpm.Profile12, launchOf("a"), 7, tpm.OrdExtend) != Deny {
 		t.Fatal("wildcard rule leaked to other group")
 	}
 }
@@ -97,13 +97,13 @@ func TestPolicyWildcards(t *testing.T) {
 func TestPolicyIdentityScoping(t *testing.T) {
 	idA, idB := launchOf("a"), launchOf("b")
 	p := NewPolicy(DefaultGuestPolicy(idA, 1)...)
-	if p.Evaluate(idA, 1, tpm.OrdSeal) != Allow {
+	if p.Evaluate(tpm.Profile12, idA, 1, tpm.OrdSeal) != Allow {
 		t.Fatal("owner denied")
 	}
-	if p.Evaluate(idB, 1, tpm.OrdSeal) != Deny {
+	if p.Evaluate(tpm.Profile12, idB, 1, tpm.OrdSeal) != Deny {
 		t.Fatal("foreign identity allowed on instance 1")
 	}
-	if p.Evaluate(idA, 2, tpm.OrdSeal) != Deny {
+	if p.Evaluate(tpm.Profile12, idA, 2, tpm.OrdSeal) != Deny {
 		t.Fatal("owner allowed on foreign instance")
 	}
 }
@@ -111,16 +111,16 @@ func TestPolicyIdentityScoping(t *testing.T) {
 func TestPolicyCacheHitsAndToggle(t *testing.T) {
 	id := launchOf("g")
 	p := NewPolicy(DefaultGuestPolicy(id, 1)...)
-	p.Evaluate(id, 1, tpm.OrdExtend)
-	p.Evaluate(id, 1, tpm.OrdExtend)
-	p.Evaluate(id, 1, tpm.OrdExtend)
+	p.Evaluate(tpm.Profile12, id, 1, tpm.OrdExtend)
+	p.Evaluate(tpm.Profile12, id, 1, tpm.OrdExtend)
+	p.Evaluate(tpm.Profile12, id, 1, tpm.OrdExtend)
 	hits, misses := p.CacheStats()
 	if hits != 2 || misses != 1 {
 		t.Fatalf("hits=%d misses=%d", hits, misses)
 	}
 	p.SetCache(false)
-	p.Evaluate(id, 1, tpm.OrdExtend)
-	p.Evaluate(id, 1, tpm.OrdExtend)
+	p.Evaluate(tpm.Profile12, id, 1, tpm.OrdExtend)
+	p.Evaluate(tpm.Profile12, id, 1, tpm.OrdExtend)
 	hits, misses = p.CacheStats()
 	if hits != 0 || misses != 2 {
 		t.Fatalf("uncached: hits=%d misses=%d", hits, misses)
@@ -130,11 +130,11 @@ func TestPolicyCacheHitsAndToggle(t *testing.T) {
 func TestPolicyPrependOverrides(t *testing.T) {
 	id := launchOf("g")
 	p := NewPolicy(DefaultGuestPolicy(id, 1)...)
-	if p.Evaluate(id, 1, tpm.OrdOwnerClear) != Allow {
+	if p.Evaluate(tpm.Profile12, id, 1, tpm.OrdOwnerClear) != Allow {
 		t.Fatal("precondition")
 	}
 	p.Prepend(Rule{Identity: id, Instance: 1, Ordinal: tpm.OrdOwnerClear, Effect: Deny})
-	if p.Evaluate(id, 1, tpm.OrdOwnerClear) != Deny {
+	if p.Evaluate(tpm.Profile12, id, 1, tpm.OrdOwnerClear) != Deny {
 		t.Fatal("prepended deny ignored")
 	}
 }
@@ -147,8 +147,20 @@ func TestGroupCoverage(t *testing.T) {
 		tpm.OrdTakeOwnership, tpm.OrdNVWriteValue, tpm.OrdOIAP, tpm.OrdOSAP,
 		tpm.OrdUnBind, tpm.OrdMakeIdentity,
 	} {
-		if g := GroupOf(o); g == "" {
+		if g := GroupOf(tpm.Profile12, o); g == "" {
 			t.Errorf("ordinal %#x has no group", o)
+		}
+	}
+	// And every implemented 2.0 command code maps under the 2.0 table.
+	for _, c := range []uint32{
+		tpm.TPM2CCStartup, tpm.TPM2CCShutdown, tpm.TPM2CCSelfTest,
+		tpm.TPM2CCGetTestResult, tpm.TPM2CCGetCapability, tpm.TPM2CCStartAuthSession,
+		tpm.TPM2CCFlushContext, tpm.TPM2CCReadPublic, tpm.TPM2CCPCRExtend,
+		tpm.TPM2CCPCRRead, tpm.TPM2CCPCRReset, tpm.TPM2CCQuote,
+		tpm.TPM2CCGetRandom, tpm.TPM2CCStirRandom,
+	} {
+		if g := GroupOf(tpm.Profile20, c); g == "" {
+			t.Errorf("2.0 command code %#x has no group", c)
 		}
 	}
 }

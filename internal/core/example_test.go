@@ -19,12 +19,12 @@ func ExamplePolicy() {
 		core.Rule{Identity: guest, Instance: 1, Group: core.GroupOwnership, Effect: core.Allow},
 		core.Rule{Identity: guest, Instance: 1, Group: core.GroupSealing, Effect: core.Allow},
 	)
-	fmt.Println("TakeOwnership:", p.Evaluate(guest, 1, tpm.OrdTakeOwnership))
-	fmt.Println("OwnerClear:  ", p.Evaluate(guest, 1, tpm.OrdOwnerClear))
-	fmt.Println("Seal:        ", p.Evaluate(guest, 1, tpm.OrdSeal))
-	fmt.Println("Extend:      ", p.Evaluate(guest, 1, tpm.OrdExtend))
+	fmt.Println("TakeOwnership:", p.Evaluate(tpm.Profile12, guest, 1, tpm.OrdTakeOwnership))
+	fmt.Println("OwnerClear:  ", p.Evaluate(tpm.Profile12, guest, 1, tpm.OrdOwnerClear))
+	fmt.Println("Seal:        ", p.Evaluate(tpm.Profile12, guest, 1, tpm.OrdSeal))
+	fmt.Println("Extend:      ", p.Evaluate(tpm.Profile12, guest, 1, tpm.OrdExtend))
 	other := xen.MeasureLaunch([]byte("other-kernel"), nil, "")
-	fmt.Println("foreign Seal:", p.Evaluate(other, 1, tpm.OrdSeal))
+	fmt.Println("foreign Seal:", p.Evaluate(tpm.Profile12, other, 1, tpm.OrdSeal))
 	// Output:
 	// TakeOwnership: allow
 	// OwnerClear:   deny

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"xvtpm/internal/tpm"
 	"xvtpm/internal/vtpm"
 )
 
@@ -75,7 +76,7 @@ func FuzzUnmarshalPolicy(f *testing.F) {
 			return
 		}
 		// Accepted policies must be usable.
-		_ = q.Evaluate(launchOf("g"), vtpm.InstanceID(1), 0x14)
+		_ = q.Evaluate(tpm.Profile12, launchOf("g"), vtpm.InstanceID(1), 0x14)
 		if _, err := q.MarshalBinary(); err != nil {
 			t.Fatal("accepted policy fails to re-marshal")
 		}

@@ -246,7 +246,7 @@ func (g *ImprovedGuard) AdmitCommand(inst vtpm.InstanceInfo, claimedFrom xen.Dom
 		return nil, nil, err
 	}
 	ordinal := ordinalOf(cmd)
-	if g.evaluateAdmit(inst.BoundLaunch, inst.ID, ordinal) != Allow {
+	if g.evaluateAdmit(inst.Profile, inst.BoundLaunch, inst.ID, ordinal) != Allow {
 		g.deniedPolicy.Inc()
 		g.audit.Append(inst.ID, inst.BoundLaunch, ordinal, Deny, "policy")
 		return nil, nil, fmt.Errorf("%w: ordinal %#x for instance %d", vtpm.ErrDenied, ordinal, inst.ID)

@@ -66,7 +66,7 @@ const (
 	GroupRandom    Group = "random"    // rng access
 )
 
-// groupOrdinals maps each group to its member ordinals.
+// groupOrdinals maps each group to its TPM 1.2 member ordinals.
 var groupOrdinals = map[Group][]uint32{
 	GroupAdmin: {
 		tpm.OrdStartup, tpm.OrdSaveState, tpm.OrdSelfTestFull, tpm.OrdContinueSelfTest,
@@ -82,25 +82,53 @@ var groupOrdinals = map[Group][]uint32{
 	GroupRandom:    {tpm.OrdGetRandom, tpm.OrdStirRandom},
 }
 
-// GroupOf returns the group an ordinal belongs to (admin for unknown, which
-// still default-denies unless admin is granted).
-func GroupOf(ordinal uint32) Group {
-	g, ok := ordinalToGroup[ordinal]
+// group20Codes maps each group to its TPM 2.0 command-code members. The
+// groups are shared across profiles — a rule granting GroupPCR grants
+// PCR-class commands to a 1.2 and a 2.0 guest alike — but membership is
+// resolved per profile, so a numeric collision between a 1.2 ordinal and a
+// 2.0 TPM2_CC_* value can never cross group boundaries.
+var group20Codes = map[Group][]uint32{
+	GroupAdmin: {
+		tpm.TPM2CCStartup, tpm.TPM2CCShutdown, tpm.TPM2CCSelfTest,
+		tpm.TPM2CCGetTestResult, tpm.TPM2CCGetCapability,
+		tpm.TPM2CCStartAuthSession, tpm.TPM2CCFlushContext, tpm.TPM2CCReadPublic,
+	},
+	GroupPCR:    {tpm.TPM2CCPCRExtend, tpm.TPM2CCPCRRead, tpm.TPM2CCPCRReset},
+	GroupAttest: {tpm.TPM2CCQuote},
+	GroupRandom: {tpm.TPM2CCGetRandom, tpm.TPM2CCStirRandom},
+}
+
+// GroupOf returns the group a command code belongs to under a profile (admin
+// for unknown, which still default-denies unless admin is granted).
+// AnyProfile resolves to the 1.2 table, matching NewEngine's default.
+func GroupOf(p tpm.Profile, code uint32) Group {
+	var m map[uint32]Group
+	if p == tpm.Profile20 {
+		m = code20ToGroup
+	} else {
+		m = ordinalToGroup
+	}
+	g, ok := m[code]
 	if !ok {
 		return GroupAdmin
 	}
 	return g
 }
 
-var ordinalToGroup = func() map[uint32]Group {
+func invertGroups(src map[Group][]uint32) map[uint32]Group {
 	m := make(map[uint32]Group)
-	for g, ords := range groupOrdinals {
-		for _, o := range ords {
-			m[o] = g
+	for g, codes := range src {
+		for _, c := range codes {
+			m[c] = g
 		}
 	}
 	return m
-}()
+}
+
+var (
+	ordinalToGroup = invertGroups(groupOrdinals)
+	code20ToGroup  = invertGroups(group20Codes)
+)
 
 // AnyIdentity matches every launch identity in a rule.
 var AnyIdentity = xen.LaunchDigest{}
@@ -110,27 +138,37 @@ const AnyInstance vtpm.InstanceID = 0
 
 // Rule is one policy statement. Zero-valued selectors are wildcards; a rule
 // names either a Group or a specific Ordinal (Ordinal wins if both set).
+// Profile narrows the rule to one command profile: an Ordinal-selecting rule
+// for a 1.2 ordinal that numerically collides with a 2.0 command code should
+// carry Profile: tpm.Profile12 so the 2.0 instance is not accidentally
+// granted (or denied) the colliding command. Group-selecting rules resolve
+// membership per profile, so they are collision-safe even with
+// Profile: AnyProfile.
 type Rule struct {
 	Identity xen.LaunchDigest
 	Instance vtpm.InstanceID
+	Profile  tpm.Profile
 	Group    Group
 	Ordinal  uint32
 	Effect   Effect
 }
 
 // matches reports whether a rule applies to a request.
-func (r Rule) matches(id xen.LaunchDigest, inst vtpm.InstanceID, ordinal uint32) bool {
+func (r Rule) matches(p tpm.Profile, id xen.LaunchDigest, inst vtpm.InstanceID, ordinal uint32) bool {
 	if r.Identity != AnyIdentity && r.Identity != id {
 		return false
 	}
 	if r.Instance != AnyInstance && r.Instance != inst {
 		return false
 	}
+	if r.Profile != tpm.AnyProfile && r.Profile != p {
+		return false
+	}
 	if r.Ordinal != 0 {
 		return r.Ordinal == ordinal
 	}
 	if r.Group != "" {
-		return r.Group == GroupOf(ordinal)
+		return r.Group == GroupOf(p, ordinal)
 	}
 	return true
 }
@@ -172,9 +210,13 @@ type policyTable struct {
 	cacheLen atomic.Int64
 }
 
+// policyKey carries the profile so a 1.2 ordinal and a numerically equal 2.0
+// command code can never share (and therefore never cross-poison) a cached
+// verdict.
 type policyKey struct {
 	id      xen.LaunchDigest
 	inst    vtpm.InstanceID
+	profile tpm.Profile
 	ordinal uint32
 }
 
@@ -249,11 +291,11 @@ func (p *Policy) CacheStats() (hits, misses uint64) {
 	return p.hits.Load(), p.misses.Load()
 }
 
-// Evaluate returns the effect for one request. The path is lock-free: one
-// atomic table load, a cache probe, and (on miss) a scan of the immutable
-// rule list.
-func (p *Policy) Evaluate(id xen.LaunchDigest, inst vtpm.InstanceID, ordinal uint32) Effect {
-	key := policyKey{id: id, inst: inst, ordinal: ordinal}
+// Evaluate returns the effect for one request under the requesting
+// instance's command profile. The path is lock-free: one atomic table load,
+// a cache probe, and (on miss) a scan of the immutable rule list.
+func (p *Policy) Evaluate(profile tpm.Profile, id xen.LaunchDigest, inst vtpm.InstanceID, ordinal uint32) Effect {
+	key := policyKey{id: id, inst: inst, profile: profile, ordinal: ordinal}
 	t := p.table.Load()
 	if t.useCache {
 		if e, ok := t.cache.Load(key); ok {
@@ -263,7 +305,7 @@ func (p *Policy) Evaluate(id xen.LaunchDigest, inst vtpm.InstanceID, ordinal uin
 	}
 	effect := Deny
 	for _, r := range t.rules {
-		if r.matches(id, inst, ordinal) {
+		if r.matches(profile, id, inst, ordinal) {
 			effect = r.Effect
 			break
 		}

@@ -16,16 +16,17 @@ func referenceEvaluate(rules []Rule, id xen.LaunchDigest, inst vtpm.InstanceID, 
 	for _, r := range rules {
 		idOK := r.Identity == AnyIdentity || r.Identity == id
 		instOK := r.Instance == AnyInstance || r.Instance == inst
+		profOK := r.Profile == tpm.AnyProfile || r.Profile == tpm.Profile12
 		var selOK bool
 		switch {
 		case r.Ordinal != 0:
 			selOK = r.Ordinal == ordinal
 		case r.Group != "":
-			selOK = r.Group == GroupOf(ordinal)
+			selOK = r.Group == GroupOf(tpm.Profile12, ordinal)
 		default:
 			selOK = true
 		}
-		if idOK && instOK && selOK {
+		if idOK && instOK && profOK && selOK {
 			return r.Effect
 		}
 	}
@@ -82,15 +83,15 @@ func TestPolicyMatchesReferenceEvaluator(t *testing.T) {
 			inst := vtpm.InstanceID(rng.Intn(4))
 			ord := ordinals[rng.Intn(len(ordinals))]
 			want := referenceEvaluate(rules, id, inst, ord)
-			if got := pUncached.Evaluate(id, inst, ord); got != want {
+			if got := pUncached.Evaluate(tpm.Profile12, id, inst, ord); got != want {
 				t.Fatalf("trial %d: uncached %v, reference %v (rules %+v, q=(%x,%d,%#x))",
 					trial, got, want, rules, id[:4], inst, ord)
 			}
 			// Ask the cached engine twice: cold and warm paths must agree.
-			if got := pCached.Evaluate(id, inst, ord); got != want {
+			if got := pCached.Evaluate(tpm.Profile12, id, inst, ord); got != want {
 				t.Fatalf("trial %d: cached-cold %v, reference %v", trial, got, want)
 			}
-			if got := pCached.Evaluate(id, inst, ord); got != want {
+			if got := pCached.Evaluate(tpm.Profile12, id, inst, ord); got != want {
 				t.Fatalf("trial %d: cached-warm %v, reference %v", trial, got, want)
 			}
 		}
@@ -118,7 +119,7 @@ func TestPolicySerializationPreservesSemantics(t *testing.T) {
 			id := ids[rng.Intn(len(ids))]
 			inst := vtpm.InstanceID(rng.Intn(3))
 			ord := ordinals[rng.Intn(len(ordinals))]
-			if p.Evaluate(id, inst, ord) != q.Evaluate(id, inst, ord) {
+			if p.Evaluate(tpm.Profile12, id, inst, ord) != q.Evaluate(tpm.Profile12, id, inst, ord) {
 				t.Fatalf("trial %d: decision drift after round trip", trial)
 			}
 		}

@@ -24,6 +24,7 @@ import (
 	"xvtpm/internal/tpm"
 	"xvtpm/internal/trace"
 	"xvtpm/internal/vtpm"
+	"xvtpm/internal/workload"
 	"xvtpm/internal/xen"
 )
 
@@ -252,6 +253,48 @@ func RunBenchSuite(cfg Config, names ...string) (*BenchReport, error) {
 		add("GuestGetRandom", res, p95)
 	}
 
+	// Per-profile rows: the same logical op through each profile's wire
+	// protocol over the full guarded path. The 12/20 pairs make a protocol
+	// regression in either backend visible without changing the gate's
+	// cross-profile expectations (absolute costs legitimately differ — 2.0
+	// extends two PCR banks, and its quote signs with a different key
+	// hierarchy than the 1.2 workload key).
+	for _, pc := range []struct {
+		name    string
+		profile tpm.Profile
+		setup   func(*xvtpm.Guest) (func() error, error)
+	}{
+		{"GuestExtend12", tpm.Profile12, func(g *xvtpm.Guest) (func() error, error) {
+			var digest [tpm.DigestSize]byte
+			return func() error { _, err := g.TPM.Extend(7, digest); return err }, nil
+		}},
+		{"GuestExtend20", tpm.Profile20, func(g *xvtpm.Guest) (func() error, error) {
+			event := []byte("bench-event")
+			return func() error { return g.TPM2.Extend(7, event) }, nil
+		}},
+		{"GuestQuote12", tpm.Profile12, func(g *xvtpm.Guest) (func() error, error) {
+			r, err := workload.Prepare(g.TPM, 1, cfg.bits())
+			if err != nil {
+				return nil, err
+			}
+			return func() error { return r.Step(workload.OpQuote) }, nil
+		}},
+		{"GuestQuote20", tpm.Profile20, func(g *xvtpm.Guest) (func() error, error) {
+			nonce := []byte("bench-nonce")
+			pcrs := []int{0, 1, 10}
+			return func() error { _, _, err := g.TPM2.Quote(nonce, pcrs); return err }, nil
+		}},
+	} {
+		if !wanted(pc.name) {
+			continue
+		}
+		res, p95, err := guestProfileBench(cfg, pc.profile, pc.setup)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", pc.name, err)
+		}
+		add(pc.name, res, p95)
+	}
+
 	for _, tc := range []struct {
 		name  string
 		depth int
@@ -297,6 +340,50 @@ func RunBenchSuite(cfg Config, names ...string) (*BenchReport, error) {
 	}
 
 	return rep, nil
+}
+
+// guestProfileBench builds an improved-mode host, creates one guest of the
+// given profile, and benchmarks the closure setup returns against it.
+func guestProfileBench(cfg Config, profile tpm.Profile, setup func(*xvtpm.Guest) (func() error, error)) (testing.BenchmarkResult, float64, error) {
+	h, err := newHost(cfg, xvtpm.ModeImproved)
+	if err != nil {
+		return testing.BenchmarkResult{}, 0, err
+	}
+	g, err := h.CreateGuest(xvtpm.GuestConfig{Name: "bench", Kernel: []byte("bk"), Profile: profile})
+	var op func() error
+	if err == nil {
+		op, err = setup(g)
+	}
+	if err == nil {
+		for i := 0; i < 50; i++ { // warm the codec and response buffers
+			if err = op(); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		h.Close() //nolint:errcheck // constructor failure path
+		return testing.BenchmarkResult{}, 0, err
+	}
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := op(); err != nil {
+				benchErr = err
+				b.FailNow()
+			}
+		}
+	})
+	p95 := float64(h.Manager.DispatchStats().Total.P95)
+	cerr := h.Close()
+	if benchErr == nil {
+		benchErr = cerr
+	}
+	if benchErr != nil {
+		return testing.BenchmarkResult{}, 0, benchErr
+	}
+	return res, p95, nil
 }
 
 // benchEventLatency is the modelled event-channel delivery cost the

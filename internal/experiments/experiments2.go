@@ -106,10 +106,10 @@ func E5PolicyCost(cfg Config) (map[string][]E5Point, error) {
 			p := core.NewPolicy(rules...)
 			p.SetCache(variant == "cached")
 			// Warm the cache with the single hot key.
-			p.Evaluate(subject, 1, tpm.OrdExtend)
+			p.Evaluate(tpm.Profile12, subject, 1, tpm.OrdExtend)
 			start := time.Now()
 			for i := 0; i < evals; i++ {
-				if p.Evaluate(subject, 1, tpm.OrdExtend) != core.Allow {
+				if p.Evaluate(tpm.Profile12, subject, 1, tpm.OrdExtend) != core.Allow {
 					return nil, fmt.Errorf("E5: unexpected deny at %d rules", n)
 				}
 			}

@@ -176,7 +176,12 @@ func E13FaultStorm(cfg Config) ([]E13Row, error) {
 				row.Lost++
 				continue
 			}
-			state, err := h.Guard().RecoverState(vtpm.InstanceInfo{ID: g.Instance}, blob)
+			profile, envelope, err := vtpm.UnwrapCheckpoint(blob)
+			if err != nil {
+				row.Lost++
+				continue
+			}
+			state, err := h.Guard().RecoverState(vtpm.InstanceInfo{ID: g.Instance, Profile: profile}, envelope)
 			if err != nil {
 				row.Lost++
 				continue

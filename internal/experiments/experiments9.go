@@ -1,0 +1,142 @@
+package experiments
+
+// E16 — per-profile command sweep. The engine abstraction (DESIGN.md §10)
+// claims the guard stack is profile-generic: the same logical operation,
+// driven through the TPM 1.2 and TPM 2.0 wire protocols over the full guest
+// path (client → ring → backend → guard → engine), should show the same
+// baseline-vs-improved story under both profiles. E16 measures the four
+// operations both profiles implement and tabulates median latency per
+// (profile, mode) cell.
+
+import (
+	"fmt"
+	"time"
+
+	"xvtpm"
+	"xvtpm/internal/metrics"
+	"xvtpm/internal/tpm"
+	"xvtpm/internal/workload"
+)
+
+// e16Ops are the operations with a counterpart in both command sets, in
+// presentation order.
+var e16Ops = []string{"GetRandom", "Extend", "PCRRead", "Quote"}
+
+// e16Profiles are the profiles under comparison, in presentation order.
+var e16Profiles = []tpm.Profile{tpm.Profile12, tpm.Profile20}
+
+// E16Row is one (operation, profile) row of the per-profile sweep.
+type E16Row struct {
+	Op       string
+	Profile  tpm.Profile
+	Baseline time.Duration // median
+	Improved time.Duration // median
+}
+
+// e16Drivers returns the per-op closures for one guest. The 1.2 Quote signs
+// with a workload-provisioned identity-style key under its SRK; the 2.0
+// Quote signs with the endorsement key directly (the engine's 2.0 EK is
+// usable as a signing key), so the quote rows compare protocol cost, not an
+// identical key hierarchy.
+func e16Drivers(g *xvtpm.Guest, r *workload.Runner) map[string]func() error {
+	if g.Profile == tpm.Profile20 {
+		event := []byte("e16-event")
+		nonce := []byte("e16-qualifying-data")
+		pcrs := []int{0, 1, 10}
+		return map[string]func() error{
+			"GetRandom": func() error { _, err := g.TPM2.GetRandom(16); return err },
+			"Extend":    func() error { return g.TPM2.Extend(10, event) },
+			"PCRRead":   func() error { _, _, err := g.TPM2.PCRRead(tpm.TPM2AlgSHA256, 10); return err },
+			"Quote":     func() error { _, _, err := g.TPM2.Quote(nonce, pcrs); return err },
+		}
+	}
+	var digest [tpm.DigestSize]byte
+	return map[string]func() error{
+		"GetRandom": func() error { _, err := g.TPM.GetRandom(16); return err },
+		"Extend":    func() error { _, err := g.TPM.Extend(10, digest); return err },
+		"PCRRead":   func() error { _, err := g.TPM.PCRRead(10); return err },
+		"Quote":     func() error { return r.Step(workload.OpQuote) },
+	}
+}
+
+// E16ProfileSweep measures per-command median latency through the full
+// guarded path for a TPM 1.2 guest and a TPM 2.0 guest under both guards.
+func E16ProfileSweep(cfg Config) ([]E16Row, error) {
+	reps := cfg.reps(200, 8)
+	warmup := cfg.reps(15, 2)
+	medians := make(map[xvtpm.Mode]map[tpm.Profile]map[string]time.Duration)
+	for _, mode := range Modes {
+		medians[mode] = make(map[tpm.Profile]map[string]time.Duration)
+		for _, profile := range e16Profiles {
+			h, err := newHost(cfg, mode)
+			if err != nil {
+				return nil, err
+			}
+			g, err := h.CreateGuest(xvtpm.GuestConfig{
+				Name:    fmt.Sprintf("e16-%s", profile),
+				Kernel:  []byte("e16-kernel"),
+				Profile: profile,
+			})
+			var runner *workload.Runner
+			if err == nil && profile == tpm.Profile12 {
+				// Quote on 1.2 needs an owned TPM and a loaded signing key.
+				runner, err = workload.Prepare(g.TPM, 1, cfg.bits())
+			}
+			if err != nil {
+				h.Close() //nolint:errcheck // constructor failure path
+				return nil, fmt.Errorf("E16 %s/%s setup: %w", mode, profile, err)
+			}
+			drivers := e16Drivers(g, runner)
+			cell := make(map[string]time.Duration, len(e16Ops))
+			for _, op := range e16Ops {
+				drive := drivers[op]
+				for i := 0; i < warmup; i++ {
+					if err := drive(); err != nil {
+						h.Close() //nolint:errcheck // measurement failure path
+						return nil, fmt.Errorf("E16 warmup %s on %s/%s: %w", op, mode, profile, err)
+					}
+				}
+				rec := metrics.NewRecorder()
+				for i := 0; i < reps; i++ {
+					start := time.Now()
+					if err := drive(); err != nil {
+						h.Close() //nolint:errcheck // measurement failure path
+						return nil, fmt.Errorf("E16 %s on %s/%s: %w", op, mode, profile, err)
+					}
+					rec.Add(time.Since(start))
+				}
+				cell[op] = rec.Percentile(50)
+			}
+			medians[mode][profile] = cell
+			if err := h.Close(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	rows := make([]E16Row, 0, len(e16Ops)*len(e16Profiles))
+	for _, profile := range e16Profiles {
+		for _, op := range e16Ops {
+			rows = append(rows, E16Row{
+				Op:       op,
+				Profile:  profile,
+				Baseline: medians[xvtpm.ModeBaseline][profile][op],
+				Improved: medians[xvtpm.ModeImproved][profile][op],
+			})
+		}
+	}
+	if cfg.Out != nil {
+		tbl := make([][]string, 0, len(rows))
+		for _, r := range rows {
+			tbl = append(tbl, []string{
+				r.Profile.String(),
+				r.Op,
+				metrics.Micros(r.Baseline),
+				metrics.Micros(r.Improved),
+				metrics.Ratio(r.Baseline, r.Improved),
+			})
+		}
+		metrics.Table(cfg.Out, "E16 — per-profile median latency (µs), baseline vs improved",
+			[]string{"profile", "command", "baseline", "improved", "overhead"}, tbl)
+	}
+	return rows, nil
+}

@@ -20,9 +20,10 @@ type Transport interface {
 }
 
 // DirectTransport invokes a TPM engine in-process, as dom0 code talking to
-// the hardware TPM does.
+// the hardware TPM does. The engine may speak either profile; pair it with
+// the matching Client (1.2) or Client2 (2.0).
 type DirectTransport struct {
-	TPM *TPM
+	TPM Engine
 }
 
 // Transmit implements Transport.

@@ -1,0 +1,421 @@
+package tpm
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Client2 drives a TPM 2.0 engine over a Transport, handling 2.0 framing,
+// authorization areas and response verification — the 2.0 counterpart of
+// Client. Authorized commands use password authorization by default; after
+// StartHMACSession they ride an HMAC session with rolling nonces.
+type Client2 struct {
+	tr  Transport
+	rng io.Reader
+
+	// Live HMAC session, nil for password authorization.
+	sessHandle uint32
+	sessAlg    uint16
+	nonceTPM   []byte
+}
+
+// NewClient2 wraps a transport for TPM 2.0 exchanges. rng supplies session
+// nonces; nil means crypto/rand.
+func NewClient2(tr Transport, rng io.Reader) *Client2 {
+	if rng == nil {
+		rng = rand.Reader
+	}
+	return &Client2{tr: tr, rng: rng}
+}
+
+// Transport returns the client's underlying transport.
+func (c *Client2) Transport() Transport { return c.tr }
+
+// run executes one unauthorized 2.0 command and returns its response
+// parameters.
+func (c *Client2) run(cc uint32, handles []uint32, params []byte) (*Reader, error) {
+	w := NewWriter()
+	w.U16(TPM2STNoSessions)
+	w.U32(0) // size backpatched below
+	w.U32(cc)
+	for _, h := range handles {
+		w.U32(h)
+	}
+	w.Raw(params)
+	cmd := w.Bytes()
+	cmd[2] = byte(uint32(len(cmd)) >> 24)
+	cmd[3] = byte(uint32(len(cmd)) >> 16)
+	cmd[4] = byte(uint32(len(cmd)) >> 8)
+	cmd[5] = byte(uint32(len(cmd)))
+	resp, err := c.tr.Transmit(cmd)
+	if err != nil {
+		return nil, err
+	}
+	return c.parseResponse(cc, resp, false, 0, nil)
+}
+
+// runAuth executes one authorized 2.0 command. The single authorized handle
+// must be handles[0]; entity auth values are empty for every entity the
+// engine implements.
+func (c *Client2) runAuth(cc uint32, handles []uint32, params []byte) (*Reader, error) {
+	var auth []byte
+	var nonceCaller []byte
+	if c.sessHandle != 0 {
+		nonceCaller = make([]byte, len(c.nonceTPM))
+		if _, err := io.ReadFull(c.rng, nonceCaller); err != nil {
+			return nil, err
+		}
+		cp := cpHash2(c.sessAlg, cc, handles, params)
+		mac := tpm2HMAC(c.sessAlg, nil, cp, nonceCaller, c.nonceTPM, []byte{TPM2SAContinueSession})
+		aw := NewWriter()
+		aw.U32(c.sessHandle)
+		aw.B16(nonceCaller)
+		aw.U8(TPM2SAContinueSession)
+		aw.B16(mac)
+		auth = aw.Bytes()
+	} else {
+		aw := NewWriter()
+		aw.U32(TPM2RSPW)
+		aw.U16(0) // empty nonce
+		aw.U8(TPM2SAContinueSession)
+		aw.U16(0) // empty password: the engine's entities carry empty auth
+		auth = aw.Bytes()
+	}
+
+	w := NewWriter()
+	w.U16(TPM2STSessions)
+	w.U32(0) // size backpatched below
+	w.U32(cc)
+	for _, h := range handles {
+		w.U32(h)
+	}
+	w.U32(uint32(len(auth)))
+	w.Raw(auth)
+	w.Raw(params)
+	cmd := w.Bytes()
+	cmd[2] = byte(uint32(len(cmd)) >> 24)
+	cmd[3] = byte(uint32(len(cmd)) >> 16)
+	cmd[4] = byte(uint32(len(cmd)) >> 8)
+	cmd[5] = byte(uint32(len(cmd)))
+	resp, err := c.tr.Transmit(cmd)
+	if err != nil {
+		return nil, err
+	}
+	return c.parseResponse(cc, resp, true, 0, nonceCaller)
+}
+
+// parseResponse validates a response frame and positions a Reader at its
+// parameters. nHandles counts response handles (only StartAuthSession has
+// one, and it bypasses this via parseResponseHandle).
+func (c *Client2) parseResponse(cc uint32, resp []byte, sessions bool, nHandles int, nonceCaller []byte) (*Reader, error) {
+	r := NewReader(resp)
+	tag := r.U16()
+	size := r.U32()
+	rc := r.U32()
+	if r.Err() != nil || int(size) != len(resp) {
+		return nil, errors.New("tpm2: malformed response frame")
+	}
+	if rc != TPM2RCSuccess {
+		return nil, &TPMError{Ordinal: cc, Code: rc}
+	}
+	for i := 0; i < nHandles; i++ {
+		r.U32()
+	}
+	if !sessions {
+		if tag != TPM2STNoSessions {
+			return nil, errors.New("tpm2: unexpected session tag on response")
+		}
+		return r, nil
+	}
+	if tag != TPM2STSessions {
+		return nil, errors.New("tpm2: response dropped the session tag")
+	}
+	paramSize := r.U32()
+	if r.Err() != nil || int(paramSize) > r.Remaining() {
+		return nil, errors.New("tpm2: malformed parameterSize")
+	}
+	params := NewReader(r.RawView(int(paramSize)))
+	// Response auth area: verify the HMAC when a session is live, and roll
+	// the session nonce.
+	if c.sessHandle != 0 {
+		newNonce := r.B16()
+		attrs := r.U8()
+		mac := r.B16()
+		if r.Err() != nil {
+			return nil, errors.New("tpm2: truncated response auth area")
+		}
+		rp := NewWriter()
+		rp.U32(TPM2RCSuccess).U32(cc).Raw(params.buf)
+		rpHash := tpm2Sum(c.sessAlg, rp.Bytes())
+		want := tpm2HMAC(c.sessAlg, nil, rpHash, newNonce, nonceCaller, []byte{attrs})
+		if !hmacEqual(want, mac) {
+			return nil, errors.New("tpm2: response HMAC mismatch")
+		}
+		c.nonceTPM = newNonce
+	}
+	return params, nil
+}
+
+// Startup sends TPM2_Startup; su is TPM2SUClear or TPM2SUState.
+func (c *Client2) Startup(su uint16) error {
+	w := NewWriter()
+	w.U16(su)
+	_, err := c.run(TPM2CCStartup, nil, w.Bytes())
+	return err
+}
+
+// SelfTest requests a full self-test and checks the result.
+func (c *Client2) SelfTest() error {
+	if _, err := c.run(TPM2CCSelfTest, nil, []byte{1}); err != nil {
+		return err
+	}
+	r, err := c.run(TPM2CCGetTestResult, nil, nil)
+	if err != nil {
+		return err
+	}
+	r.B16() // outData
+	if rc := r.U32(); r.Err() != nil || rc != TPM2RCSuccess {
+		return fmt.Errorf("tpm2: self-test failed with %#x", rc)
+	}
+	return nil
+}
+
+// GetRandom returns n random bytes, iterating over the per-command cap.
+func (c *Client2) GetRandom(n int) ([]byte, error) {
+	out := make([]byte, 0, n)
+	for len(out) < n {
+		want := n - len(out)
+		if want > maxRandom2 {
+			want = maxRandom2
+		}
+		w := NewWriter()
+		w.U16(uint16(want))
+		r, err := c.run(TPM2CCGetRandom, nil, w.Bytes())
+		if err != nil {
+			return nil, err
+		}
+		b := r.B16()
+		if r.Err() != nil || len(b) == 0 {
+			return nil, errors.New("tpm2: empty GetRandom response")
+		}
+		out = append(out, b...)
+	}
+	return out[:n], nil
+}
+
+// StirRandom mixes entropy into the engine's DRBG.
+func (c *Client2) StirRandom(data []byte) error {
+	w := NewWriter()
+	w.B16(data)
+	_, err := c.run(TPM2CCStirRandom, nil, w.Bytes())
+	return err
+}
+
+// Extend measures event into PCR idx in every bank: SHA-1 and SHA-256
+// digests of the event, one per bank, in a single TPM2_PCR_Extend — the 2.0
+// analog of Client.Extend.
+func (c *Client2) Extend(idx int, event []byte) error {
+	d1 := sha1Sum(event)
+	d256 := sha256.Sum256(event)
+	w := NewWriter()
+	w.U32(2)
+	w.U16(TPM2AlgSHA1)
+	w.Raw(d1)
+	w.U16(TPM2AlgSHA256)
+	w.Raw(d256[:])
+	_, err := c.runAuth(TPM2CCPCRExtend, []uint32{TPM2HTPCRBase + uint32(idx)}, w.Bytes())
+	return err
+}
+
+// ExtendBank extends one bank of PCR idx with a caller-supplied digest.
+func (c *Client2) ExtendBank(idx int, alg uint16, digest []byte) error {
+	if len(digest) != tpm2DigestSize(alg) {
+		return fmt.Errorf("tpm2: digest is %d bytes, want %d for alg %#x", len(digest), tpm2DigestSize(alg), alg)
+	}
+	w := NewWriter()
+	w.U32(1)
+	w.U16(alg)
+	w.Raw(digest)
+	_, err := c.runAuth(TPM2CCPCRExtend, []uint32{TPM2HTPCRBase + uint32(idx)}, w.Bytes())
+	return err
+}
+
+// PCRRead returns the value of PCR idx in the given bank, plus the engine's
+// pcrUpdateCounter at read time.
+func (c *Client2) PCRRead(alg uint16, idx int) ([]byte, uint32, error) {
+	w := NewWriter()
+	w.U32(1)
+	w.U16(alg)
+	w.U8(3)
+	var bitmap [3]byte
+	bitmap[idx/8] |= 1 << (idx % 8)
+	w.Raw(bitmap[:])
+	r, err := c.run(TPM2CCPCRRead, nil, w.Bytes())
+	if err != nil {
+		return nil, 0, err
+	}
+	updateCounter := r.U32()
+	count := r.U32()
+	for i := uint32(0); i < count; i++ {
+		r.U16()
+		n := int(r.U8())
+		r.Raw(n)
+	}
+	digestCount := r.U32()
+	if r.Err() != nil || digestCount != 1 {
+		return nil, 0, fmt.Errorf("tpm2: PCR read returned %d digests, want 1", digestCount)
+	}
+	d := r.B16()
+	if r.Err() != nil {
+		return nil, 0, r.Err()
+	}
+	return d, updateCounter, nil
+}
+
+// PCRReset resets PCR idx (both banks). Only the resettable registers
+// (16 and 23) succeed.
+func (c *Client2) PCRReset(idx int) error {
+	_, err := c.runAuth(TPM2CCPCRReset, []uint32{TPM2HTPCRBase + uint32(idx)}, nil)
+	return err
+}
+
+// ReadPublic fetches the endorsement primary's public key.
+func (c *Client2) ReadPublic() (*rsa.PublicKey, error) {
+	r, err := c.run(TPM2CCReadPublic, []uint32{TPM2RHEndorsement}, nil)
+	if err != nil {
+		return nil, err
+	}
+	pub := r.B16()
+	if r.Err() != nil {
+		return nil, r.Err()
+	}
+	return UnmarshalPublicKey(pub)
+}
+
+// StartHMACSession opens an HMAC authorization session with the given hash
+// algorithm (TPM2AlgSHA1 or TPM2AlgSHA256); subsequent authorized commands
+// ride it instead of password authorization until FlushSession.
+func (c *Client2) StartHMACSession(alg uint16) error {
+	nonceCaller := make([]byte, tpm2DigestSize(alg))
+	if _, err := io.ReadFull(c.rng, nonceCaller); err != nil {
+		return err
+	}
+	w := NewWriter()
+	w.B16(nonceCaller)
+	w.B16(nil) // encryptedSalt: unsalted
+	w.U8(TPM2SEHMAC)
+	w.U16(TPM2AlgNull) // symmetric: no parameter encryption
+	w.U16(alg)
+	// StartAuthSession returns a response handle before the parameters.
+	wcmd := NewWriter()
+	wcmd.U16(TPM2STNoSessions)
+	wcmd.U32(0)
+	wcmd.U32(TPM2CCStartAuthSession)
+	wcmd.U32(TPM2RHNull) // tpmKey
+	wcmd.U32(TPM2RHNull) // bind
+	wcmd.Raw(w.Bytes())
+	cmd := wcmd.Bytes()
+	cmd[2] = byte(uint32(len(cmd)) >> 24)
+	cmd[3] = byte(uint32(len(cmd)) >> 16)
+	cmd[4] = byte(uint32(len(cmd)) >> 8)
+	cmd[5] = byte(uint32(len(cmd)))
+	resp, err := c.tr.Transmit(cmd)
+	if err != nil {
+		return err
+	}
+	r := NewReader(resp)
+	r.U16()
+	size := r.U32()
+	rc := r.U32()
+	if r.Err() != nil || int(size) != len(resp) {
+		return errors.New("tpm2: malformed response frame")
+	}
+	if rc != TPM2RCSuccess {
+		return &TPMError{Ordinal: TPM2CCStartAuthSession, Code: rc}
+	}
+	handle := r.U32()
+	nonceTPM := r.B16()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	c.sessHandle = handle
+	c.sessAlg = alg
+	c.nonceTPM = nonceTPM
+	return nil
+}
+
+// FlushSession discards the live HMAC session, reverting to password
+// authorization.
+func (c *Client2) FlushSession() error {
+	if c.sessHandle == 0 {
+		return nil
+	}
+	handle := c.sessHandle
+	c.sessHandle = 0
+	c.nonceTPM = nil
+	_, err := c.run(TPM2CCFlushContext, []uint32{handle}, nil)
+	return err
+}
+
+// Quote requests a signed attestation over the SHA-256 bank values of the
+// given PCR indices, with qualifyingData as anti-replay nonce. It returns
+// the raw TPMS_ATTEST and the RSASSA/SHA-256 signature over it.
+func (c *Client2) Quote(qualifyingData []byte, pcrs []int) (quoted, sig []byte, err error) {
+	w := NewWriter()
+	w.B16(qualifyingData)
+	w.U16(TPM2AlgRSASSA)
+	w.U16(TPM2AlgSHA256)
+	w.U32(1)
+	w.U16(TPM2AlgSHA256)
+	w.U8(3)
+	var bitmap [3]byte
+	for _, idx := range pcrs {
+		if idx < 0 || idx >= NumPCRs {
+			return nil, nil, fmt.Errorf("tpm2: PCR %d out of range", idx)
+		}
+		bitmap[idx/8] |= 1 << (idx % 8)
+	}
+	w.Raw(bitmap[:])
+	r, err := c.runAuth(TPM2CCQuote, []uint32{TPM2RHEndorsement}, w.Bytes())
+	if err != nil {
+		return nil, nil, err
+	}
+	quoted = r.B16()
+	sigAlg := r.U16()
+	hashAlg := r.U16()
+	sig = r.B16()
+	if err := r.Err(); err != nil {
+		return nil, nil, err
+	}
+	if sigAlg != TPM2AlgRSASSA || hashAlg != TPM2AlgSHA256 {
+		return nil, nil, fmt.Errorf("tpm2: unexpected signature scheme %#x/%#x", sigAlg, hashAlg)
+	}
+	return quoted, sig, nil
+}
+
+// GetCapabilityProperties queries TPM2CapTPMProperties starting at tag and
+// returns tag→value pairs.
+func (c *Client2) GetCapabilityProperties(tag uint32, count uint32) (map[uint32]uint32, error) {
+	w := NewWriter()
+	w.U32(TPM2CapTPMProperties)
+	w.U32(tag)
+	w.U32(count)
+	r, err := c.run(TPM2CCGetCapability, nil, w.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	r.U8()  // moreData
+	r.U32() // capability echo
+	n := r.U32()
+	out := make(map[uint32]uint32, n)
+	for i := uint32(0); i < n; i++ {
+		k := r.U32()
+		v := r.U32()
+		out[k] = v
+	}
+	return out, r.Err()
+}

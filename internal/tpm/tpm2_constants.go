@@ -1,0 +1,153 @@
+package tpm
+
+// TPM 2.0 wire constants (TPM 2.0 Library Specification, Part 2 values).
+// The 2.0 engine implements the structural subset the vTPM fleet exercises:
+// startup/self-test, multi-bank PCR operations, capability queries, random,
+// session authorization (password and HMAC) and quoting.
+
+// Command/response tags (TPM2_ST_*).
+const (
+	TPM2STNoSessions uint16 = 0x8001
+	TPM2STSessions   uint16 = 0x8002
+	// TPM2STAttestQuote tags the TPMS_ATTEST structure a Quote signs.
+	TPM2STAttestQuote uint16 = 0x8018
+)
+
+// TPM2GeneratedValue is the TPM_GENERATED magic every attestation structure
+// starts with, proving the blob was produced inside a TPM.
+const TPM2GeneratedValue uint32 = 0xFF544347
+
+// Command codes (TPM2_CC_*).
+const (
+	TPM2CCPCRReset         uint32 = 0x0000013D
+	TPM2CCSelfTest         uint32 = 0x00000143
+	TPM2CCStartup          uint32 = 0x00000144
+	TPM2CCShutdown         uint32 = 0x00000145
+	TPM2CCStirRandom       uint32 = 0x00000146
+	TPM2CCQuote            uint32 = 0x00000158
+	TPM2CCFlushContext     uint32 = 0x00000165
+	TPM2CCReadPublic       uint32 = 0x00000173
+	TPM2CCStartAuthSession uint32 = 0x00000176
+	TPM2CCGetCapability    uint32 = 0x0000017A
+	TPM2CCGetRandom        uint32 = 0x0000017B
+	TPM2CCGetTestResult    uint32 = 0x0000017C
+	TPM2CCPCRRead          uint32 = 0x0000017E
+	TPM2CCPCRExtend        uint32 = 0x00000182
+)
+
+// Response codes. Format-zero codes carry the VER1 bit (0x100); format-one
+// codes carry the FMT1 bit (0x080) and are qualified with a handle,
+// parameter or session number via TPM2RCH/TPM2RCP/TPM2RCS.
+const (
+	TPM2RCSuccess     uint32 = 0x000
+	TPM2RCBadTag      uint32 = 0x01E
+	TPM2RCInitialize  uint32 = 0x100 // commands before TPM2_Startup
+	TPM2RCFailure     uint32 = 0x101
+	TPM2RCAuthMissing uint32 = 0x125 // command requires an auth session
+	TPM2RCCommandCode uint32 = 0x143
+	TPM2RCCommandSize uint32 = 0x142
+	TPM2RCNoResult    uint32 = 0x154
+
+	TPM2RCHash     uint32 = 0x083 // unsupported hash algorithm
+	TPM2RCValue    uint32 = 0x084
+	TPM2RCHandle   uint32 = 0x08B
+	TPM2RCAuthFail uint32 = 0x08E
+	TPM2RCSize     uint32 = 0x095
+	TPM2RCSelector uint32 = 0x098
+	TPM2RCBadAuth  uint32 = 0x0A2
+
+	TPM2RCLockout uint32 = 0x921 // RC_WARN + lockout latch engaged
+)
+
+// TPM2RCH qualifies a format-one response code with handle number n (1-based).
+func TPM2RCH(rc uint32, n int) uint32 { return rc | uint32(n&0x7)<<8 }
+
+// TPM2RCP qualifies a format-one response code with parameter number n.
+func TPM2RCP(rc uint32, n int) uint32 { return rc | 0x40 | uint32(n&0xF)<<8 }
+
+// TPM2RCS qualifies a format-one response code with session number n.
+func TPM2RCS(rc uint32, n int) uint32 { return rc | uint32((n&0x7)|0x8)<<8 }
+
+// TPM2RCBase strips the handle/parameter/session qualification from a
+// format-one response code, so callers can compare against the TPM2RC*
+// constants above regardless of which argument the engine blamed.
+func TPM2RCBase(rc uint32) uint32 {
+	if rc&0x080 != 0 { // format one
+		return rc &^ uint32(0xF40)
+	}
+	return rc
+}
+
+// Algorithm identifiers (TPM2_ALG_*).
+const (
+	TPM2AlgRSA    uint16 = 0x0001
+	TPM2AlgSHA1   uint16 = 0x0004
+	TPM2AlgHMAC   uint16 = 0x0005
+	TPM2AlgNull   uint16 = 0x0010
+	TPM2AlgSHA256 uint16 = 0x000B
+	TPM2AlgRSASSA uint16 = 0x0014
+)
+
+// SHA256Size is the digest size of the 2.0 engine's SHA-256 PCR bank.
+const SHA256Size = 32
+
+// Startup/shutdown types (TPM2_SU_*).
+const (
+	TPM2SUClear uint16 = 0x0000
+	TPM2SUState uint16 = 0x0001
+)
+
+// Session types (TPM2_SE_*).
+const (
+	TPM2SEHMAC   byte = 0x00
+	TPM2SEPolicy byte = 0x01
+	TPM2SETrial  byte = 0x03
+)
+
+// Session attribute bits (TPMA_SESSION).
+const (
+	TPM2SAContinueSession byte = 0x01
+)
+
+// Permanent and well-known handles (TPM2_RH_*, TPM2_RS_*).
+const (
+	TPM2RHOwner       uint32 = 0x40000001
+	TPM2RHNull        uint32 = 0x40000007
+	TPM2RSPW          uint32 = 0x40000009 // password authorization session
+	TPM2RHEndorsement uint32 = 0x4000000B
+	// TPM2HTPCRBase maps PCR index i to handle i (PCR handles occupy
+	// 0x00000000..0x00000017 in handle type 0).
+	TPM2HTPCRBase uint32 = 0x00000000
+	// tpm2SessionBase is where the 2.0 engine allocates session handles
+	// (handle type 0x02, HMAC sessions).
+	tpm2SessionBase uint32 = 0x02000000
+)
+
+// Capability areas (TPM2_CAP_*) and property tags (TPM2_PT_*).
+const (
+	TPM2CapAlgs          uint32 = 0x00000000
+	TPM2CapCommands      uint32 = 0x00000002
+	TPM2CapPCRs          uint32 = 0x00000005
+	TPM2CapTPMProperties uint32 = 0x00000006
+
+	TPM2PTFamilyIndicator uint32 = 0x00000100 // PT_FIXED + 0
+	TPM2PTManufacturer    uint32 = 0x00000105
+	TPM2PTPCRCount        uint32 = 0x00000112
+	TPM2PTTotalCommands   uint32 = 0x00000129
+)
+
+// tpm2Banks lists the PCR bank algorithms the 2.0 engine implements, in
+// capability-reporting order.
+var tpm2Banks = []uint16{TPM2AlgSHA1, TPM2AlgSHA256}
+
+// tpm2DigestSize returns the digest length of a supported bank algorithm
+// (0 for unsupported algorithms).
+func tpm2DigestSize(alg uint16) int {
+	switch alg {
+	case TPM2AlgSHA1:
+		return DigestSize
+	case TPM2AlgSHA256:
+		return SHA256Size
+	}
+	return 0
+}

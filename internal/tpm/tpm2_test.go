@@ -1,0 +1,441 @@
+package tpm
+
+import (
+	"bytes"
+	"crypto/sha1"
+	"crypto/sha256"
+	"testing"
+)
+
+// test2Pair builds a deterministic 2.0 engine with a Client2 on a direct
+// transport, started.
+func test2Pair(t *testing.T) (*TPM2, *Client2) {
+	t.Helper()
+	eng, err := New2(Config{RSABits: 512, Seed: []byte("tpm2-test-seed")})
+	if err != nil {
+		t.Fatalf("New2: %v", err)
+	}
+	c := NewClient2(DirectTransport{TPM: eng}, nil)
+	if err := c.Startup(TPM2SUClear); err != nil {
+		t.Fatalf("Startup: %v", err)
+	}
+	return eng, c
+}
+
+func TestTPM2StartupAndSelfTest(t *testing.T) {
+	eng, c := test2Pair(t)
+	if err := c.SelfTest(); err != nil {
+		t.Fatalf("SelfTest: %v", err)
+	}
+	// Re-startup must fail: the TPM is already operational.
+	if err := c.Startup(TPM2SUClear); !IsTPMError(err, TPM2RCInitialize) {
+		t.Fatalf("second Startup = %v, want RC_INITIALIZE", err)
+	}
+	if got := eng.Profile(); got != Profile20 {
+		t.Fatalf("Profile = %v, want 2.0", got)
+	}
+}
+
+func TestTPM2CommandsBeforeStartup(t *testing.T) {
+	eng, err := New2(Config{RSABits: 512, Seed: []byte("s")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient2(DirectTransport{TPM: eng}, nil)
+	if _, err := c.GetRandom(8); !IsTPMError(err, TPM2RCInitialize) {
+		t.Fatalf("GetRandom before startup = %v, want RC_INITIALIZE", err)
+	}
+}
+
+func TestTPM2GetRandomDeterministic(t *testing.T) {
+	_, c1 := test2Pair(t)
+	_, c2 := test2Pair(t)
+	a, err := c1.GetRandom(48) // crosses the per-command cap
+	if err != nil {
+		t.Fatalf("GetRandom: %v", err)
+	}
+	b, err := c2.GetRandom(48)
+	if err != nil {
+		t.Fatalf("GetRandom: %v", err)
+	}
+	if len(a) != 48 || !bytes.Equal(a, b) {
+		t.Fatalf("same-seed engines diverged: %x vs %x", a, b)
+	}
+}
+
+func TestTPM2ExtendBothBanks(t *testing.T) {
+	eng, c := test2Pair(t)
+	event := []byte("measured-component")
+	if err := c.Extend(7, event); err != nil {
+		t.Fatalf("Extend: %v", err)
+	}
+
+	// SHA-1 bank: H(0^20 ∥ SHA1(event)).
+	want1 := sha1.Sum(append(make([]byte, DigestSize), sha1Sum(event)...))
+	got1, _, err := c.PCRRead(TPM2AlgSHA1, 7)
+	if err != nil {
+		t.Fatalf("PCRRead sha1: %v", err)
+	}
+	if !bytes.Equal(got1, want1[:]) {
+		t.Fatalf("sha1 bank = %x, want %x", got1, want1)
+	}
+
+	// SHA-256 bank: H(0^32 ∥ SHA256(event)) — independent of the SHA-1 bank.
+	ev256 := sha256.Sum256(event)
+	want256 := sha256.Sum256(append(make([]byte, SHA256Size), ev256[:]...))
+	got256, counter, err := c.PCRRead(TPM2AlgSHA256, 7)
+	if err != nil {
+		t.Fatalf("PCRRead sha256: %v", err)
+	}
+	if !bytes.Equal(got256, want256[:]) {
+		t.Fatalf("sha256 bank = %x, want %x", got256, want256)
+	}
+	if counter != 1 {
+		t.Fatalf("pcrUpdateCounter = %d, want 1", counter)
+	}
+
+	// Engine-side accessors agree.
+	v, err := eng.PCRValue(7)
+	if err != nil || !bytes.Equal(v[:], want1[:]) {
+		t.Fatalf("PCRValue = %x/%v, want %x", v, err, want1)
+	}
+	bv, err := eng.PCRBankValue(TPM2AlgSHA256, 7)
+	if err != nil || !bytes.Equal(bv, want256[:]) {
+		t.Fatalf("PCRBankValue = %x/%v", bv, err)
+	}
+}
+
+func TestTPM2BankIsolation(t *testing.T) {
+	_, c := test2Pair(t)
+	digest := make([]byte, SHA256Size)
+	digest[0] = 0xAB
+	if err := c.ExtendBank(3, TPM2AlgSHA256, digest); err != nil {
+		t.Fatalf("ExtendBank: %v", err)
+	}
+	got1, _, err := c.PCRRead(TPM2AlgSHA1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got1, make([]byte, DigestSize)) {
+		t.Fatalf("sha1 bank moved on a sha256-only extend: %x", got1)
+	}
+}
+
+func TestTPM2PCRReset(t *testing.T) {
+	_, c := test2Pair(t)
+	if err := c.Extend(16, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.PCRReset(16); err != nil {
+		t.Fatalf("PCRReset(16): %v", err)
+	}
+	got, _, err := c.PCRRead(TPM2AlgSHA1, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, make([]byte, DigestSize)) {
+		t.Fatalf("PCR 16 not reset: %x", got)
+	}
+	// Measurement registers are not resettable.
+	err = c.PCRReset(0)
+	if err == nil || TPM2RCBase(tpmErrCode(t, err)) != TPM2RCValue {
+		t.Fatalf("PCRReset(0) = %v, want RC_VALUE", err)
+	}
+}
+
+func tpmErrCode(t *testing.T, err error) uint32 {
+	t.Helper()
+	te, ok := err.(*TPMError)
+	if !ok {
+		t.Fatalf("not a TPMError: %v", err)
+	}
+	return te.Code
+}
+
+func TestTPM2QuoteVerifies(t *testing.T) {
+	_, c := test2Pair(t)
+	for i := 0; i < 4; i++ {
+		if err := c.Extend(i, []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pub, err := c.ReadPublic()
+	if err != nil {
+		t.Fatalf("ReadPublic: %v", err)
+	}
+	nonce := []byte("anti-replay-nonce")
+	quoted, sig, err := c.Quote(nonce, []int{0, 1, 2, 3})
+	if err != nil {
+		t.Fatalf("Quote: %v", err)
+	}
+
+	// Recompute the expected pcrDigest from independently read registers.
+	var concat []byte
+	for i := 0; i < 4; i++ {
+		d, _, err := c.PCRRead(TPM2AlgSHA256, i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		concat = append(concat, d...)
+	}
+	wantDigest := sha256.Sum256(concat)
+
+	att, err := ParseAttest2(quoted)
+	if err != nil {
+		t.Fatalf("ParseAttest2: %v", err)
+	}
+	if !bytes.Equal(att.ExtraData, nonce) {
+		t.Fatalf("extraData = %x, want %x", att.ExtraData, nonce)
+	}
+	if !bytes.Equal(att.PCRDigest, wantDigest[:]) {
+		t.Fatalf("pcrDigest = %x, want %x", att.PCRDigest, wantDigest)
+	}
+	if err := VerifyQuote2(pub, quoted, sig); err != nil {
+		t.Fatalf("VerifyQuote2: %v", err)
+	}
+
+	// Tampered attestation must fail.
+	bad := append([]byte(nil), quoted...)
+	bad[len(bad)-1] ^= 1
+	if err := VerifyQuote2(pub, bad, sig); err == nil {
+		t.Fatal("tampered quote verified")
+	}
+}
+
+func TestTPM2HMACSession(t *testing.T) {
+	_, c := test2Pair(t)
+	if err := c.StartHMACSession(TPM2AlgSHA256); err != nil {
+		t.Fatalf("StartHMACSession: %v", err)
+	}
+	// Two authorized commands on the same session: nonces must roll.
+	if err := c.Extend(5, []byte("a")); err != nil {
+		t.Fatalf("Extend under HMAC session: %v", err)
+	}
+	if err := c.Extend(5, []byte("b")); err != nil {
+		t.Fatalf("second Extend under HMAC session: %v", err)
+	}
+	if err := c.FlushSession(); err != nil {
+		t.Fatalf("FlushSession: %v", err)
+	}
+	// Password auth still works after the flush.
+	if err := c.Extend(5, []byte("c")); err != nil {
+		t.Fatalf("Extend after flush: %v", err)
+	}
+}
+
+func TestTPM2BadHMACRejected(t *testing.T) {
+	eng, c := test2Pair(t)
+	if err := c.StartHMACSession(TPM2AlgSHA1); err != nil {
+		t.Fatal(err)
+	}
+	// Forge a command with a corrupted HMAC by tampering post-MAC: change
+	// the PCR index after the client computed the MAC.
+	handle := c.sessHandle
+	cp := cpHash2(TPM2AlgSHA1, TPM2CCPCRExtend, []uint32{9}, nil)
+	nonceCaller := make([]byte, DigestSize)
+	mac := tpm2HMAC(TPM2AlgSHA1, nil, cp, nonceCaller, c.nonceTPM, []byte{TPM2SAContinueSession})
+	mac[0] ^= 0xFF
+
+	w := NewWriter()
+	w.U16(TPM2STSessions)
+	w.U32(0)
+	w.U32(TPM2CCPCRExtend)
+	w.U32(9)
+	aw := NewWriter()
+	aw.U32(handle)
+	aw.B16(nonceCaller)
+	aw.U8(TPM2SAContinueSession)
+	aw.B16(mac)
+	w.U32(uint32(aw.Len()))
+	w.Raw(aw.Bytes())
+	w.U32(1)
+	w.U16(TPM2AlgSHA1)
+	w.Raw(make([]byte, DigestSize))
+	cmd := w.Bytes()
+	cmd[2], cmd[3], cmd[4], cmd[5] = byte(len(cmd)>>24), byte(len(cmd)>>16), byte(len(cmd)>>8), byte(len(cmd))
+
+	resp := eng.Execute(cmd)
+	rc := responseCode(resp)
+	if TPM2RCBase(rc) != TPM2RCAuthFail {
+		t.Fatalf("forged HMAC: rc = %#x, want RC_AUTH_FAIL", rc)
+	}
+}
+
+func TestTPM2Lockout(t *testing.T) {
+	eng, _ := test2Pair(t)
+	// Repeated password failures latch the lockout.
+	mk := func(pw []byte) []byte {
+		w := NewWriter()
+		w.U16(TPM2STSessions)
+		w.U32(0)
+		w.U32(TPM2CCPCRExtend)
+		w.U32(1)
+		aw := NewWriter()
+		aw.U32(TPM2RSPW)
+		aw.U16(0)
+		aw.U8(TPM2SAContinueSession)
+		aw.B16(pw)
+		w.U32(uint32(aw.Len()))
+		w.Raw(aw.Bytes())
+		w.U32(1)
+		w.U16(TPM2AlgSHA1)
+		w.Raw(make([]byte, DigestSize))
+		cmd := w.Bytes()
+		cmd[2], cmd[3], cmd[4], cmd[5] = byte(len(cmd)>>24), byte(len(cmd)>>16), byte(len(cmd)>>8), byte(len(cmd))
+		return cmd
+	}
+	for i := 0; i < lockoutThreshold; i++ {
+		rc := responseCode(eng.Execute(mk([]byte("wrong"))))
+		if TPM2RCBase(rc) != TPM2RCBadAuth {
+			t.Fatalf("attempt %d: rc = %#x, want RC_BAD_AUTH", i, rc)
+		}
+	}
+	// Even the correct (empty) password is now refused.
+	rc := responseCode(eng.Execute(mk(nil)))
+	if rc != TPM2RCLockout {
+		t.Fatalf("post-lockout rc = %#x, want RC_LOCKOUT", rc)
+	}
+}
+
+func TestTPM2GetCapability(t *testing.T) {
+	_, c := test2Pair(t)
+	props, err := c.GetCapabilityProperties(TPM2PTFamilyIndicator, 16)
+	if err != nil {
+		t.Fatalf("GetCapability: %v", err)
+	}
+	if props[TPM2PTFamilyIndicator] != 0x322E3000 {
+		t.Fatalf("family = %#x, want 2.0 indicator", props[TPM2PTFamilyIndicator])
+	}
+	if props[TPM2PTPCRCount] != NumPCRs {
+		t.Fatalf("PCR count = %d, want %d", props[TPM2PTPCRCount], NumPCRs)
+	}
+}
+
+func TestTPM2SaveRestore(t *testing.T) {
+	eng, c := test2Pair(t)
+	if err := c.Extend(2, []byte("pre-snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	want, _, err := c.PCRRead(TPM2AlgSHA256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := eng.SaveState()
+
+	restored, err := RestoreState2(blob)
+	if err != nil {
+		t.Fatalf("RestoreState2: %v", err)
+	}
+	c2 := NewClient2(DirectTransport{TPM: restored}, nil)
+	got, _, err := c2.PCRRead(TPM2AlgSHA256, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("restored sha256 PCR = %x, want %x", got, want)
+	}
+	// EK survives; nonce stream continues rather than repeating.
+	if restored.EKPub().N.Cmp(eng.EKPub().N) != 0 {
+		t.Fatal("EK changed across restore")
+	}
+	a, err := NewClient2(DirectTransport{TPM: eng}, nil).GetRandom(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c2.GetRandom(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatalf("restored DRBG diverged: %x vs %x", a, b)
+	}
+	// Deterministic layout: two snapshots of identical state are identical.
+	if !bytes.Equal(restored.SaveState(), restored.SaveState()) {
+		t.Fatal("snapshot not deterministic")
+	}
+}
+
+func TestTPM2AppendStateReusesBuffer(t *testing.T) {
+	eng, _ := test2Pair(t)
+	buf := eng.AppendState(nil)
+	grown := eng.AppendState(buf[:0])
+	if &buf[0] != &grown[0] {
+		t.Fatal("AppendState reallocated despite sufficient capacity")
+	}
+}
+
+func TestEngineProfileDispatch(t *testing.T) {
+	for _, p := range []Profile{Profile12, Profile20} {
+		eng, err := NewEngine(p, Config{RSABits: 512, Seed: []byte("seed")})
+		if err != nil {
+			t.Fatalf("NewEngine(%v): %v", p, err)
+		}
+		if eng.Profile() != p {
+			t.Fatalf("NewEngine(%v).Profile() = %v", p, eng.Profile())
+		}
+		if err := StartupEngine(eng); err != nil {
+			t.Fatalf("StartupEngine(%v): %v", p, err)
+		}
+		blob := eng.SaveState()
+		sp, err := StateProfile(blob)
+		if err != nil || sp != p {
+			t.Fatalf("StateProfile(%v) = %v/%v", p, sp, err)
+		}
+		back, err := RestoreEngine(blob)
+		if err != nil {
+			t.Fatalf("RestoreEngine(%v): %v", p, err)
+		}
+		if back.Profile() != p {
+			t.Fatalf("RestoreEngine(%v).Profile() = %v", p, back.Profile())
+		}
+	}
+	if _, err := NewEngine(Profile(9), Config{}); err == nil {
+		t.Fatal("NewEngine(9) succeeded")
+	}
+}
+
+func TestProfileParseRoundTrip(t *testing.T) {
+	for _, p := range []Profile{Profile12, Profile20, AnyProfile} {
+		got, err := ParseProfile(p.String())
+		if err != nil || got != p {
+			t.Fatalf("ParseProfile(%q) = %v/%v", p.String(), got, err)
+		}
+	}
+	if _, err := ParseProfile("3.0"); err == nil {
+		t.Fatal("ParseProfile accepted 3.0")
+	}
+}
+
+func TestTPM2ErrorFraming(t *testing.T) {
+	eng, _ := test2Pair(t)
+	cases := []struct {
+		name string
+		cmd  []byte
+		want uint32
+	}{
+		{"short", []byte{0x80, 0x01}, TPM2RCCommandSize},
+		{"bad tag", mk2Cmd(0x1234, TPM2CCGetRandom, []byte{0, 8}), TPM2RCBadTag},
+		{"unknown cc", mk2Cmd(TPM2STNoSessions, 0x7FFFFFFF, nil), TPM2RCCommandCode},
+		{"auth missing", mk2Cmd(TPM2STNoSessions, TPM2CCPCRExtend, append([]byte{0, 0, 0, 1}, make([]byte, 26)...)), TPM2RCAuthMissing},
+	}
+	for _, tc := range cases {
+		resp := eng.Execute(tc.cmd)
+		if rc := responseCode(resp); rc != tc.want {
+			t.Errorf("%s: rc = %#x, want %#x", tc.name, rc, tc.want)
+		}
+		if len(resp) != 10 {
+			t.Errorf("%s: error frame is %d bytes, want 10", tc.name, len(resp))
+		}
+	}
+}
+
+// mk2Cmd frames a 2.0 command with a correct size field. For PCRExtend the
+// handle is prepended to body by the caller.
+func mk2Cmd(tag uint16, cc uint32, body []byte) []byte {
+	w := NewWriter()
+	w.U16(tag)
+	w.U32(uint32(10 + len(body)))
+	w.U32(cc)
+	w.Raw(body)
+	return w.Bytes()
+}

@@ -319,13 +319,21 @@ func (m *Manager) persistPending(inst *instance, force bool) error {
 	info := inst.info
 	inst.mu.Unlock()
 
+	// Every stored blob opens with the plaintext profile header (see
+	// profile.go); the guard envelope follows it. Writing the header into
+	// blobBuf first keeps the steady-state persist loop allocation-free.
 	var blob []byte
 	var err error
 	if pa, ok := m.guard.(StateProtectorAppend); ok {
-		inst.blobBuf, err = pa.ProtectStateAppend(info, inst.blobBuf[:0], inst.stateBuf)
+		inst.blobBuf, err = pa.ProtectStateAppend(info,
+			appendCheckpointHeader(inst.blobBuf[:0], info.Profile), inst.stateBuf)
 		blob = inst.blobBuf
 	} else {
-		blob, err = m.guard.ProtectState(info, inst.stateBuf)
+		var env []byte
+		env, err = m.guard.ProtectState(info, inst.stateBuf)
+		if err == nil {
+			blob = append(appendCheckpointHeader(make([]byte, 0, ckptHdrLen+len(env)), info.Profile), env...)
+		}
 	}
 	if err != nil {
 		err = fmt.Errorf("vtpm: protecting state of instance %d: %w", info.ID, err)

@@ -171,7 +171,11 @@ func TestWritebackFlushBarriersCarryLatestMutation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	state, err := guard.RecoverState(InstanceInfo{ID: id}, blob)
+	profile, envelope, err := UnwrapCheckpoint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := guard.RecoverState(InstanceInfo{ID: id, Profile: profile}, envelope)
 	if err != nil {
 		t.Fatal(err)
 	}

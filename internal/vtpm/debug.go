@@ -18,6 +18,7 @@ import (
 // DebugInstance is one instance's row in a DebugReport.
 type DebugInstance struct {
 	ID            InstanceID               `json:"id"`
+	Profile       string                   `json:"profile"`
 	BoundDom      uint32                   `json:"bound_dom"`
 	Health        string                   `json:"health"`
 	Dispatches    uint64                   `json:"dispatches"`
@@ -48,6 +49,7 @@ func (m *Manager) DebugReport(withSpans bool) DebugReport {
 	for _, s := range m.InstanceStatsAll() {
 		di := DebugInstance{
 			ID:            s.ID,
+			Profile:       s.Profile.String(),
 			BoundDom:      uint32(s.BoundDom),
 			Health:        s.Health.String(),
 			Dispatches:    s.Dispatches,

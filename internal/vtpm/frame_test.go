@@ -44,8 +44,12 @@ func TestOrdinalOfFrameBounds(t *testing.T) {
 			}
 		})
 	}
-	if mutatingOrdinals[0] {
-		t.Fatal("ordinal 0 (short-frame sentinel) must not be a mutating ordinal")
+	for _, p := range []tpm.Profile{tpm.Profile12, tpm.Profile20} {
+		for _, ord := range tpm.MutatingCodes(p) {
+			if ord == 0 {
+				t.Fatalf("profile %s: ordinal 0 (short-frame sentinel) must not be a mutating ordinal", p)
+			}
+		}
 	}
 }
 
@@ -135,16 +139,19 @@ func TestDispatchUnknownDomain(t *testing.T) {
 }
 
 // TestMutatingOrdinalsHaveValidHeaders is a consistency check between the
-// checkpoint table and the parser: every mutating ordinal round-trips
-// through a header built and parsed with the same layout.
+// engines' mutating-command tables and the parser: every mutating code of
+// both profiles round-trips through a header built and parsed with the same
+// layout (the two profiles share the tag ∥ size ∥ code framing).
 func TestMutatingOrdinalsHaveValidHeaders(t *testing.T) {
-	for ord := range mutatingOrdinals {
-		frame := make([]byte, 10)
-		binary.BigEndian.PutUint16(frame[0:], tpm.TagRQUCommand)
-		binary.BigEndian.PutUint32(frame[2:], 10)
-		binary.BigEndian.PutUint32(frame[6:], ord)
-		if got := ordinalOf(frame); got != ord {
-			t.Fatalf("ordinal %#x round-trips as %#x", ord, got)
+	for _, p := range []tpm.Profile{tpm.Profile12, tpm.Profile20} {
+		for _, ord := range tpm.MutatingCodes(p) {
+			frame := make([]byte, 10)
+			binary.BigEndian.PutUint16(frame[0:], tpm.TagRQUCommand)
+			binary.BigEndian.PutUint32(frame[2:], 10)
+			binary.BigEndian.PutUint32(frame[6:], ord)
+			if got := ordinalOf(frame); got != ord {
+				t.Fatalf("profile %s: code %#x round-trips as %#x", p, ord, got)
+			}
 		}
 	}
 }

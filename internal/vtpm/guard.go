@@ -4,6 +4,7 @@ import (
 	"crypto/rsa"
 	"errors"
 
+	"xvtpm/internal/tpm"
 	"xvtpm/internal/xen"
 )
 
@@ -30,6 +31,10 @@ type InstanceInfo struct {
 	// was created for. The improved design keys access to this, not to the
 	// domain ID.
 	BoundLaunch xen.LaunchDigest
+	// Profile is the command profile the instance's engine speaks (1.2 or
+	// 2.0). Guards key admission decisions on it so a 1.2 ordinal and a 2.0
+	// command code with the same numeric value are never conflated.
+	Profile tpm.Profile
 }
 
 // ResponseFinisher post-processes one response: encoding it for the wire and

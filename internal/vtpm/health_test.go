@@ -153,7 +153,11 @@ func TestHealthDegradeQuarantineRecover(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	state, err := (&passGuard{}).RecoverState(InstanceInfo{ID: id}, blob)
+	profile, envelope, err := UnwrapCheckpoint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := (&passGuard{}).RecoverState(InstanceInfo{ID: id, Profile: profile}, envelope)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -234,7 +238,11 @@ func TestHealthDegradedWritebackTurnsEager(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	state, err := (&passGuard{}).RecoverState(InstanceInfo{ID: id}, blob)
+	profile, envelope, err := UnwrapCheckpoint(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	state, err := (&passGuard{}).RecoverState(InstanceInfo{ID: id, Profile: profile}, envelope)
 	if err != nil {
 		t.Fatal(err)
 	}

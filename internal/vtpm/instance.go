@@ -27,7 +27,7 @@ func stateName(id InstanceID) string { return fmt.Sprintf("vtpm-%08d.state", id)
 type instance struct {
 	mu   sync.Mutex
 	info InstanceInfo
-	eng  *tpm.TPM
+	eng  tpm.Engine
 
 	// mirror is the manager's in-memory copy of the instance's protected
 	// state, allocated from dom0 arena memory so that it is visible to a
@@ -79,7 +79,7 @@ type instance struct {
 // newInstance builds an instance record with its checkpoint pipeline state
 // and observability instruments initialized. All creation paths (create,
 // revive, import) go through here.
-func (m *Manager) newInstance(info InstanceInfo, eng *tpm.TPM) *instance {
+func (m *Manager) newInstance(info InstanceInfo, eng tpm.Engine) *instance {
 	inst := &instance{
 		info:  info,
 		eng:   eng,

@@ -30,6 +30,12 @@ var (
 type ManagerConfig struct {
 	// RSABits sizes instance keys. Zero means tpm.DefaultRSABits.
 	RSABits int
+	// Profile is the command profile CreateInstance builds engines for.
+	// tpm.AnyProfile (the zero value) means tpm.Profile12, the seed tree's
+	// only profile, so existing single-profile callers need no migration.
+	// CreateInstanceProfile overrides it per instance: one manager runs
+	// mixed 1.2/2.0 fleets.
+	Profile tpm.Profile
 	// Seed, when non-nil, makes instance creation deterministic (instance i
 	// gets a seed derived from Seed and its ID).
 	Seed []byte
@@ -305,24 +311,38 @@ func (m *Manager) instanceSeedLocked() []byte {
 	return s
 }
 
-// CreateInstance builds a fresh vTPM instance (new EK, empty PCRs), starts
-// it and persists its initial state. It returns the new instance's ID.
+// CreateInstance builds a fresh vTPM instance (new EK, empty PCRs) of the
+// manager's configured profile, starts it and persists its initial state. It
+// returns the new instance's ID.
 func (m *Manager) CreateInstance() (InstanceID, error) {
+	return m.CreateInstanceProfile(tpm.AnyProfile)
+}
+
+// CreateInstanceProfile is CreateInstance for an explicit command profile,
+// overriding the manager's default. tpm.AnyProfile means the configured
+// default (which itself defaults to 1.2). One manager freely mixes 1.2 and
+// 2.0 instances.
+func (m *Manager) CreateInstanceProfile(p tpm.Profile) (InstanceID, error) {
+	if p == tpm.AnyProfile {
+		p = m.cfg.Profile
+	}
+	if p == tpm.AnyProfile {
+		p = tpm.Profile12
+	}
 	m.regMu.Lock()
 	id := m.nextID
 	m.nextID++
 	seed := m.instanceSeedLocked()
 	m.regMu.Unlock()
 
-	eng, err := tpm.New(tpm.Config{RSABits: m.cfg.RSABits, Seed: seed, EK: m.pooledEK()})
+	eng, err := tpm.NewEngine(p, tpm.Config{RSABits: m.cfg.RSABits, Seed: seed, EK: m.pooledEK()})
 	if err != nil {
 		return 0, fmt.Errorf("vtpm: creating instance %d: %w", id, err)
 	}
-	cli := tpm.NewClient(tpm.DirectTransport{TPM: eng}, nil)
-	if err := cli.Startup(tpm.STClear); err != nil {
+	if err := tpm.StartupEngine(eng); err != nil {
 		return 0, fmt.Errorf("vtpm: starting instance %d: %w", id, err)
 	}
-	inst := m.newInstance(InstanceInfo{ID: id}, eng)
+	inst := m.newInstance(InstanceInfo{ID: id, Profile: p}, eng)
 	m.regMu.Lock()
 	m.instances[id] = inst
 	m.regMu.Unlock()
@@ -478,23 +498,10 @@ func (m *Manager) EncoderFor(id InstanceID) (GuestCodec, error) {
 	return m.guard.EncoderFor(inst.Snapshot())
 }
 
-// mutatingOrdinals lists the commands after which the manager re-persists
-// instance state, as the stock manager persisted NVRAM changes. (GetRandom
-// advances the DRBG but is not checkpointed, trading a sliver of RNG-state
-// freshness for not re-serializing keys on the hottest command — the same
-// trade the deployed manager made.)
-var mutatingOrdinals = map[uint32]bool{
-	tpm.OrdExtend:        true,
-	tpm.OrdPCRReset:      true,
-	tpm.OrdTakeOwnership: true,
-	tpm.OrdOwnerClear:    true,
-	tpm.OrdForceClear:    true,
-	tpm.OrdNVDefineSpace: true,
-	tpm.OrdNVWriteValue:  true,
-	tpm.OrdStirRandom:    true,
-}
-
-// ordinalOf extracts the ordinal from a marshaled TPM command.
+// ordinalOf extracts the command code from a marshaled TPM command. Both
+// profiles frame commands as tag(2) ∥ size(4) ∥ code(4), so one accessor
+// serves 1.2 ordinals and 2.0 TPM2_CC_* values; which commands mutate state
+// is the engine's own knowledge (Engine.Mutates).
 func ordinalOf(cmd []byte) uint32 {
 	if len(cmd) < 10 {
 		return 0
@@ -598,7 +605,7 @@ func (m *Manager) dispatchInstance(inst *instance, claimedFrom xen.DomID, claime
 	// Record the decoded exchange in dom0 arena memory: this is the
 	// manager's working buffer a core dump would capture.
 	m.recordExchangeLocked(inst, cmd, resp)
-	mutated = mutatingOrdinals[ordinal]
+	mutated = inst.eng.Mutates(ordinal)
 	if mutated {
 		m.noteMutation(inst)
 	}
@@ -707,14 +714,19 @@ func (m *Manager) ReviveInstance(id InstanceID) error {
 	if err != nil {
 		return err
 	}
-	// Recovering needs the instance's identity; after a restart the binding
-	// table is empty, so recover with the bare ID.
-	info := InstanceInfo{ID: id}
-	state, err := m.guard.RecoverState(info, blob)
+	// The plaintext profile header rides outside the guard envelope: strip
+	// and remember it, then recover the envelope with the bare ID (after a
+	// restart the binding table is empty).
+	declared, envelope, err := UnwrapCheckpoint(blob)
+	if err != nil {
+		return faults.Corrupt(fmt.Errorf("vtpm: checkpoint header of instance %d: %w", id, err))
+	}
+	info := InstanceInfo{ID: id, Profile: declared}
+	state, err := m.guard.RecoverState(info, envelope)
 	if err != nil {
 		return faults.Corrupt(fmt.Errorf("vtpm: state envelope of instance %d: %w", id, err))
 	}
-	eng, err := tpm.RestoreState(state)
+	eng, err := restoreDeclaredEngine(declared, state)
 	if err != nil {
 		return faults.Corrupt(fmt.Errorf("vtpm: serialized state of instance %d: %w", id, err))
 	}
@@ -730,13 +742,30 @@ func (m *Manager) ReviveInstance(id InstanceID) error {
 	return nil
 }
 
-// DirectClient returns a TPM client wired straight to an instance's engine,
-// bypassing ring, backend and guard. It exists for the trusted provisioning
-// path (pre-boot PCR initialization by the domain builder) and for tests.
+// DirectClient returns a TPM 1.2 client wired straight to an instance's
+// engine, bypassing ring, backend and guard. It exists for the trusted
+// provisioning path (pre-boot PCR initialization by the domain builder) and
+// for tests. The instance must speak profile 1.2; use DirectClient2 for 2.0
+// instances.
 func (m *Manager) DirectClient(id InstanceID) (*tpm.Client, error) {
 	inst, err := m.lookup(id)
 	if err != nil {
 		return nil, err
 	}
+	if p := inst.eng.Profile(); p != tpm.Profile12 {
+		return nil, fmt.Errorf("%w: instance %d speaks %s, not 1.2", ErrProfileMismatch, id, p)
+	}
 	return tpm.NewClient(tpm.DirectTransport{TPM: inst.eng}, nil), nil
+}
+
+// DirectClient2 is DirectClient for TPM 2.0 instances.
+func (m *Manager) DirectClient2(id InstanceID) (*tpm.Client2, error) {
+	inst, err := m.lookup(id)
+	if err != nil {
+		return nil, err
+	}
+	if p := inst.eng.Profile(); p != tpm.Profile20 {
+		return nil, fmt.Errorf("%w: instance %d speaks %s, not 2.0", ErrProfileMismatch, id, p)
+	}
+	return tpm.NewClient2(tpm.DirectTransport{TPM: inst.eng}, nil), nil
 }

@@ -17,11 +17,16 @@ var (
 )
 
 // InstanceImage is the unit of vTPM migration: the instance's identity
-// binding plus its state envelope as produced by the guard's ExportState.
-// For the baseline guard the envelope is plaintext TPM state; for the
-// improved guard it is encrypted to the destination host.
+// binding, its declared command profile, and its state envelope as produced
+// by the guard's ExportState. For the baseline guard the envelope is
+// plaintext TPM state; for the improved guard it is encrypted to the
+// destination host. The profile travels in plaintext — the destination must
+// reject a cross-profile import before it commits to reviving anything, and
+// the restored engine's own state magic is cross-checked against the
+// declaration so a tampered tag cannot smuggle state across profiles.
 type InstanceImage struct {
 	Launch        xen.LaunchDigest
+	Profile       tpm.Profile
 	StateEnvelope []byte
 }
 
@@ -51,24 +56,43 @@ func (m *Manager) ExportInstance(id InstanceID, destEK *rsa.PublicKey) (*Instanc
 	if err != nil {
 		return nil, err
 	}
-	return &InstanceImage{Launch: inst.info.BoundLaunch, StateEnvelope: env}, nil
+	return &InstanceImage{
+		Launch:        inst.info.BoundLaunch,
+		Profile:       inst.info.Profile,
+		StateEnvelope: env,
+	}, nil
 }
 
 // ImportInstance revives a migrated instance on this host, returning its new
-// (host-local) instance ID. The launch identity travels with the image.
+// (host-local) instance ID. The launch identity and command profile travel
+// with the image. Cross-profile imports fail with ErrProfileMismatch before
+// any state is committed: a destination manager pinned to one profile
+// refuses images of the other, and an image whose declared profile disagrees
+// with the engine state it actually carries is refused on either manager.
 func (m *Manager) ImportInstance(img *InstanceImage) (InstanceID, error) {
+	declared := img.Profile
+	if declared == tpm.AnyProfile {
+		declared = tpm.Profile12 // image from a pre-profile source
+	}
+	if m.cfg.Profile != tpm.AnyProfile && declared != m.cfg.Profile {
+		return 0, fmt.Errorf("%w: image is %s, this manager accepts only %s",
+			ErrProfileMismatch, declared, m.cfg.Profile)
+	}
 	state, err := m.guard.ImportState(img.StateEnvelope)
 	if err != nil {
 		return 0, err
 	}
-	eng, err := tpm.RestoreState(state)
+	eng, err := restoreDeclaredEngine(declared, state)
 	if err != nil {
+		if errors.Is(err, ErrProfileMismatch) {
+			return 0, err
+		}
 		return 0, fmt.Errorf("%w: %v", ErrBadImage, err)
 	}
 	m.regMu.Lock()
 	id := m.nextID
 	m.nextID++
-	inst := m.newInstance(InstanceInfo{ID: id, BoundLaunch: img.Launch}, eng)
+	inst := m.newInstance(InstanceInfo{ID: id, BoundLaunch: img.Launch, Profile: declared}, eng)
 	m.instances[id] = inst
 	m.regMu.Unlock()
 	if err := m.checkpointInstance(inst, true); err != nil {
@@ -148,10 +172,14 @@ func unmarshalDomainImage(b []byte) (*xen.DomainImage, error) {
 	return img, nil
 }
 
-// marshalInstanceImage serializes an InstanceImage.
+// marshalInstanceImage serializes an InstanceImage. The profile byte rides
+// in plaintext between the launch digest and the envelope, mirroring the
+// checkpoint header's stance: the receiver must know the profile before it
+// can open anything.
 func marshalInstanceImage(img *InstanceImage) []byte {
 	w := tpm.NewWriter()
 	w.Raw(img.Launch[:])
+	w.U8(byte(img.Profile))
 	w.B32(img.StateEnvelope)
 	return w.Bytes()
 }
@@ -161,9 +189,13 @@ func unmarshalInstanceImage(b []byte) (*InstanceImage, error) {
 	img := &InstanceImage{}
 	r := tpm.NewReader(b)
 	copy(img.Launch[:], r.Raw(len(img.Launch)))
+	img.Profile = tpm.Profile(r.U8())
 	img.StateEnvelope = r.B32()
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
+	}
+	if img.Profile != tpm.Profile12 && img.Profile != tpm.Profile20 {
+		return nil, fmt.Errorf("%w: image declares profile %d", ErrBadImage, uint8(img.Profile))
 	}
 	return img, nil
 }

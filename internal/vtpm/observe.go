@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"xvtpm/internal/metrics"
+	"xvtpm/internal/tpm"
 	"xvtpm/internal/trace"
 	"xvtpm/internal/xen"
 )
@@ -117,7 +118,10 @@ func (m *Manager) DispatchStats() DispatchStats {
 // InstanceStats is the per-instance observability digest vtpmctl's `top`
 // renders one row from.
 type InstanceStats struct {
-	ID         InstanceID
+	ID InstanceID
+	// Profile is the instance's command profile (1.2 or 2.0); mixed fleets
+	// carry both under one manager.
+	Profile    tpm.Profile
 	BoundDom   xen.DomID
 	Health     HealthState
 	Dispatches uint64
@@ -156,9 +160,11 @@ func (m *Manager) InstanceStatsAll() []InstanceStats {
 }
 
 func (m *Manager) instanceStats(id InstanceID, inst *instance) InstanceStats {
+	info := inst.Snapshot()
 	s := InstanceStats{
 		ID:         id,
-		BoundDom:   inst.Snapshot().BoundDom,
+		Profile:    info.Profile,
+		BoundDom:   info.BoundDom,
 		Health:     inst.health.current(),
 		Dispatches: inst.dispatches.Load(),
 		Failures:   inst.failures.Load(),

@@ -1,0 +1,77 @@
+package vtpm
+
+import (
+	"errors"
+	"fmt"
+
+	"xvtpm/internal/tpm"
+)
+
+// Profile plumbing: every persisted or migrated instance blob declares which
+// command profile its engine speaks, in plaintext, ahead of the guard's
+// protected envelope. The declaration is deliberately outside the envelope —
+// a revive or migration import must know which deserializer to hand the
+// opened state to before it can open anything, and the profile is topology
+// metadata, not a secret. The restored engine's own self-describing state
+// magic is then checked against the declaration, so a tampered header cannot
+// smuggle state across profiles.
+
+// Profile-flow errors.
+var (
+	// ErrProfileMismatch reports an attempt to import or revive state whose
+	// declared profile does not match the engine the blob actually contains,
+	// or to migrate an instance into a slot of the other profile. It is
+	// distinct from ErrBadEnvelope: the envelope is intact, the profiles
+	// genuinely disagree.
+	ErrProfileMismatch = errors.New("vtpm: TPM profile mismatch")
+)
+
+// Checkpoint header: magic ∥ version ∥ profile, prepended in plaintext to
+// every stored instance blob.
+const (
+	ckptMagic   = "XCKP"
+	ckptVersion = 1
+	ckptHdrLen  = len(ckptMagic) + 2
+)
+
+// appendCheckpointHeader appends the plaintext profile header to dst.
+func appendCheckpointHeader(dst []byte, p tpm.Profile) []byte {
+	dst = append(dst, ckptMagic...)
+	dst = append(dst, ckptVersion, byte(p))
+	return dst
+}
+
+// UnwrapCheckpoint splits a stored instance blob into its declared profile
+// and the guard envelope that follows. Blobs from before the profile header
+// existed carry no header; they are accepted and declared Profile12, the only
+// profile that existed then. Exported because everything that reads stored
+// blobs out-of-band — the migration receiver, the attack harness's
+// state-theft scenario, offline tooling — must strip the same header.
+func UnwrapCheckpoint(blob []byte) (tpm.Profile, []byte, error) {
+	if len(blob) < ckptHdrLen || string(blob[:len(ckptMagic)]) != ckptMagic {
+		return tpm.Profile12, blob, nil // legacy headerless blob
+	}
+	if blob[len(ckptMagic)] != ckptVersion {
+		return tpm.AnyProfile, nil, fmt.Errorf("%w: checkpoint header version %d", ErrBadEnvelope, blob[len(ckptMagic)])
+	}
+	p := tpm.Profile(blob[len(ckptMagic)+1])
+	if p != tpm.Profile12 && p != tpm.Profile20 {
+		return tpm.AnyProfile, nil, fmt.Errorf("%w: checkpoint header declares profile %d", ErrBadEnvelope, uint8(p))
+	}
+	return p, blob[ckptHdrLen:], nil
+}
+
+// restoreDeclaredEngine revives an engine from opened (plaintext) state and
+// cross-checks the blob's self-describing magic against the profile the
+// checkpoint or migration envelope declared.
+func restoreDeclaredEngine(declared tpm.Profile, state []byte) (tpm.Engine, error) {
+	eng, err := tpm.RestoreEngine(state)
+	if err != nil {
+		return nil, err
+	}
+	if eng.Profile() != declared {
+		return nil, fmt.Errorf("%w: envelope declares %s, state is %s",
+			ErrProfileMismatch, declared, eng.Profile())
+	}
+	return eng, nil
+}

@@ -369,13 +369,13 @@ func TestExportImportInstance(t *testing.T) {
 }
 
 func TestImageMarshalRoundTrip(t *testing.T) {
-	img := &InstanceImage{StateEnvelope: []byte("envelope-bytes")}
+	img := &InstanceImage{Profile: tpm.Profile20, StateEnvelope: []byte("envelope-bytes")}
 	copy(img.Launch[:], bytes.Repeat([]byte{7}, len(img.Launch)))
 	got, err := unmarshalInstanceImage(marshalInstanceImage(img))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Launch != img.Launch || !bytes.Equal(got.StateEnvelope, img.StateEnvelope) {
+	if got.Launch != img.Launch || got.Profile != img.Profile || !bytes.Equal(got.StateEnvelope, img.StateEnvelope) {
 		t.Fatal("instance image round trip lost data")
 	}
 	dimg := &xen.DomainImage{Name: "guest", SrcHost: "rack1", VCPUs: 2, PagesN: 3, Memory: bytes.Repeat([]byte{9}, 3*xen.PageSize)}

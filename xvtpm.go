@@ -64,9 +64,16 @@ type (
 		Dom      *xen.Domain
 		Instance vtpm.InstanceID
 		Frontend *vtpm.Frontend
-		// TPM drives the guest's vTPM through the full path: client →
-		// frontend → ring → backend → guard → instance engine.
+		// Profile is the guest vTPM's command profile; it decides which of
+		// TPM/TPM2 is populated.
+		Profile tpm.Profile
+		// TPM drives a 1.2-profile vTPM through the full path: client →
+		// frontend → ring → backend → guard → instance engine. Nil for a
+		// 2.0 guest.
 		TPM *tpm.Client
+		// TPM2 drives a 2.0-profile vTPM through the same path. Nil for a
+		// 1.2 guest.
+		TPM2 *tpm.Client2
 
 		host *Host
 	}
@@ -113,6 +120,11 @@ type HostConfig struct {
 	// larger values let concurrent guest callers overlap round trips. See
 	// vtpm.FrontendConfig.
 	PipelineDepth int
+	// Profile sets the default command profile for new vTPM instances on
+	// this host (AnyProfile means 1.2). Per-guest GuestConfig.Profile
+	// overrides it; the manager itself stays profile-agnostic, so a host
+	// runs a mixed 1.2/2.0 fleet regardless of this default.
+	Profile tpm.Profile
 	// EventLatency models the cost of delivering one event-channel doorbell
 	// (hypercall trap + upcall + peer scheduling on real Xen). Zero keeps
 	// delivery instantaneous. Benchmarks and experiments set it to study how
@@ -137,6 +149,7 @@ type Host struct {
 	keys      *core.PlatformKeys // improved mode only
 	transport *vtpm.TransportMetrics
 	pipeDepth int
+	profile   tpm.Profile // default profile for new guests
 
 	mu        sync.Mutex
 	guests    map[xen.DomID]*Guest
@@ -261,6 +274,7 @@ func NewHost(cfg HostConfig) (*Host, error) {
 		guests:    make(map[xen.DomID]*Guest),
 		transport: vtpm.NewTransportMetrics(),
 		pipeDepth: cfg.PipelineDepth,
+		profile:   cfg.Profile,
 	}
 	switch cfg.Mode {
 	case ModeImproved:
@@ -366,6 +380,11 @@ type GuestConfig struct {
 	Initrd  []byte
 	Cmdline string
 	Pages   int
+	// Profile selects the guest vTPM's command profile. AnyProfile (the
+	// zero value) takes the host's default (HostConfig.Profile, itself
+	// defaulting to 1.2), so existing callers keep getting 1.2 guests.
+	// Guests of both profiles coexist under one host.
+	Profile tpm.Profile
 }
 
 // CreateGuest builds a domain, provisions a vTPM instance bound to its
@@ -382,7 +401,11 @@ func (h *Host) CreateGuest(cfg GuestConfig) (*Guest, error) {
 	if err != nil {
 		return nil, err
 	}
-	inst, err := h.Manager.CreateInstance()
+	profile := cfg.Profile
+	if profile == tpm.AnyProfile {
+		profile = h.profile // still AnyProfile when unset; manager picks 1.2
+	}
+	inst, err := h.Manager.CreateInstanceProfile(profile)
 	if err != nil {
 		return nil, err
 	}
@@ -427,13 +450,24 @@ func (h *Host) attachGuest(dom *xen.Domain, inst vtpm.InstanceID) (*Guest, error
 	if err := fe.WaitConnected(); err != nil {
 		return nil, err
 	}
+	info, err := h.Manager.InstanceInfo(inst)
+	if err != nil {
+		return nil, err
+	}
 	g := &Guest{
 		Name:     dom.Name(),
 		Dom:      dom,
 		Instance: inst,
 		Frontend: fe,
-		TPM:      tpm.NewClient(fe, nil),
+		Profile:  info.Profile,
 		host:     h,
+	}
+	// The frontend transport is profile-blind; the client speaking through
+	// it must match the instance's engine.
+	if info.Profile == tpm.Profile20 {
+		g.TPM2 = tpm.NewClient2(fe, nil)
+	} else {
+		g.TPM = tpm.NewClient(fe, nil)
 	}
 	h.mu.Lock()
 	h.guests[dom.ID()] = g
