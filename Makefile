@@ -35,8 +35,8 @@ bench-smoke:
 # Benchmark-regression gate: run the fixed hot-path suite and compare against
 # the committed baseline. Fails (exit 1, printed table) on >15% ns/op
 # regression or any allocs/op growth. Regenerate the baseline on the same
-# machine with `go run ./cmd/benchrunner -bench -out BENCH_6.json`.
-BENCH_BASELINE ?= BENCH_6.json
+# machine with `go run ./cmd/benchrunner -bench -out BENCH_7.json`.
+BENCH_BASELINE ?= BENCH_7.json
 bench-gate:
 	$(GO) run ./cmd/benchrunner -check $(BENCH_BASELINE)
 

@@ -5,6 +5,10 @@
 // stops and the supervised-recovery path must bring every instance back
 // to Healthy with its committed state intact.
 //
+// The storm runs over both persistence backends: the flat MemStore and the
+// log-structured store (whose group-commit and compaction machinery must
+// stay correct while the injector tears whole-blob writes above it).
+//
 // Override the storm seed with CHAOS_SEED=<int64> to replay a schedule;
 // the active seed is logged either way so a CI failure is reproducible.
 package xvtpm_test
@@ -19,6 +23,7 @@ import (
 
 	"xvtpm"
 	"xvtpm/internal/faults"
+	"xvtpm/internal/store/logstore"
 	"xvtpm/internal/tpm"
 	"xvtpm/internal/vtpm"
 )
@@ -36,107 +41,182 @@ func chaosSeed(t *testing.T) int64 {
 	return defaultChaosSeed
 }
 
+// chaosBackends returns the state-store bottoms the storm runs over. Small
+// segments force the injector's torn Puts to land near segment boundaries,
+// and a short commit window plus a modeled sync delay keeps group commit
+// active mid-storm.
+func chaosBackends() []struct {
+	name string
+	mk   func() vtpm.Store
+} {
+	return []struct {
+		name string
+		mk   func() vtpm.Store
+	}{
+		{"mem", func() vtpm.Store { return vtpm.NewMemStore() }},
+		{"log", func() vtpm.Store {
+			return logstore.New(logstore.Config{
+				NotFound:           vtpm.ErrNoState,
+				SegmentSize:        16 << 10,
+				CommitWindow:       100 * time.Microsecond,
+				SyncDelay:          20 * time.Microsecond,
+				CompactMinSegments: 2,
+				CompactMinDead:     0.4,
+			})
+		}},
+	}
+}
+
 func TestChaosStorm(t *testing.T) {
 	seed := chaosSeed(t)
 	t.Logf("chaos seed %d (replay with CHAOS_SEED=%d)", seed, seed)
-	for _, policy := range []vtpm.CheckpointPolicy{
-		vtpm.CheckpointEager,
-		vtpm.CheckpointWriteback,
-	} {
-		t.Run(policy.String(), func(t *testing.T) {
-			inj := faults.NewInjector(seed)
-			inj.SetDisabled(true)
-			fstore := faults.NewStore(vtpm.NewMemStore(), inj)
-			h, err := xvtpm.NewHost(xvtpm.HostConfig{
-				Name:       "chaos-" + policy.String(),
-				Mode:       xvtpm.ModeImproved,
-				RSABits:    512,
-				Checkpoint: policy,
-				Store:      fstore,
-				Retry: vtpm.RetryPolicy{
-					MaxAttempts: 6,
-					BaseBackoff: 50 * time.Microsecond,
-					MaxBackoff:  time.Millisecond,
-					Deadline:    time.Second,
-				},
+	for _, backend := range chaosBackends() {
+		for _, policy := range []vtpm.CheckpointPolicy{
+			vtpm.CheckpointEager,
+			vtpm.CheckpointWriteback,
+		} {
+			backend, policy := backend, policy
+			t.Run(backend.name+"/"+policy.String(), func(t *testing.T) {
+				runChaosStorm(t, seed, backend.name, backend.mk(), policy)
 			})
-			if err != nil {
-				t.Fatalf("NewHost: %v", err)
-			}
-			t.Cleanup(func() { h.Close() }) //nolint:errcheck // verified healthy below
+		}
+	}
+}
 
-			const guests = 4
-			const perGuest = 60
-			gs := make([]*xvtpm.Guest, guests)
-			for i := range gs {
-				g, err := h.CreateGuest(xvtpm.GuestConfig{
-					Name:   fmt.Sprintf("chaos-%d", i),
-					Kernel: []byte(fmt.Sprintf("chaos-k-%d", i)),
-				})
-				if err != nil {
-					t.Fatalf("CreateGuest %d: %v", i, err)
-				}
-				gs[i] = g
-			}
+func runChaosStorm(t *testing.T, seed int64, backendName string, inner vtpm.Store, policy vtpm.CheckpointPolicy) {
+	inj := faults.NewInjector(seed)
+	inj.SetDisabled(true)
+	fstore := faults.NewStore(inner, inj)
+	h, err := xvtpm.NewHost(xvtpm.HostConfig{
+		Name:       "chaos-" + backendName + "-" + policy.String(),
+		Mode:       xvtpm.ModeImproved,
+		RSABits:    512,
+		Checkpoint: policy,
+		Store:      fstore,
+		Retry: vtpm.RetryPolicy{
+			MaxAttempts: 6,
+			BaseBackoff: 50 * time.Microsecond,
+			MaxBackoff:  time.Millisecond,
+			Deadline:    time.Second,
+		},
+	})
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	t.Cleanup(func() { h.Close() }) //nolint:errcheck // verified healthy below
 
-			inj.SetPolicy(faults.OpPut, faults.Policy{ErrorRate: 0.05, TornRate: 0.01})
-			inj.SetPolicy(faults.OpGet, faults.Policy{ErrorRate: 0.02, ShortRate: 0.01})
-			inj.SetDisabled(false)
-
-			var wg sync.WaitGroup
-			for gi, g := range gs {
-				wg.Add(1)
-				go func(gi int, g *xvtpm.Guest) {
-					defer wg.Done()
-					for step := 1; step <= perGuest; step++ {
-						var m [tpm.DigestSize]byte
-						m[0], m[1] = byte(gi), byte(step)
-						// Errors are acceptable mid-storm — instances may be
-						// degraded or quarantined; recovery is checked below.
-						g.TPM.Extend(7, m) //nolint:errcheck
-					}
-				}(gi, g)
-			}
-			wg.Wait()
-
-			// Storm over: supervised recovery must succeed for everyone.
-			inj.SetDisabled(true)
-			for _, id := range h.Manager.Instances() {
-				ih, err := h.Manager.Health(id)
-				if err != nil {
-					t.Fatalf("Health(%d): %v", id, err)
-				}
-				if ih.State == vtpm.HealthHealthy {
-					continue
-				}
-				if err := h.Manager.Checkpoint(id); err != nil {
-					t.Fatalf("supervised recovery of instance %d: %v (seed %d)", id, err, seed)
-				}
-			}
-			if err := h.Manager.CheckpointAll(); err != nil {
-				t.Fatalf("final CheckpointAll: %v (seed %d)", err, seed)
-			}
-			for _, ih := range h.Manager.HealthAll() {
-				if ih.State != vtpm.HealthHealthy {
-					t.Fatalf("instance %d still %s after recovery: %s (seed %d)",
-						ih.ID, ih.State, ih.LastError, seed)
-				}
-			}
-			// Every engine must still answer, and its committed state must be
-			// durable in the inner store (bypassing the injector).
-			inner := fstore.Inner().(vtpm.Store)
-			for _, g := range gs {
-				eng, err := h.Manager.DirectClient(g.Instance)
-				if err != nil {
-					t.Fatalf("DirectClient(%d): %v", g.Instance, err)
-				}
-				if _, err := eng.PCRRead(7); err != nil {
-					t.Fatalf("instance %d unusable after recovery: %v (seed %d)", g.Instance, err, seed)
-				}
-				if _, err := inner.Get(fmt.Sprintf("vtpm-%08d.state", g.Instance)); err != nil {
-					t.Fatalf("instance %d has no durable state: %v (seed %d)", g.Instance, err, seed)
-				}
-			}
+	const guests = 4
+	const perGuest = 60
+	gs := make([]*xvtpm.Guest, guests)
+	for i := range gs {
+		g, err := h.CreateGuest(xvtpm.GuestConfig{
+			Name:   fmt.Sprintf("chaos-%d", i),
+			Kernel: []byte(fmt.Sprintf("chaos-k-%d", i)),
 		})
+		if err != nil {
+			t.Fatalf("CreateGuest %d: %v", i, err)
+		}
+		gs[i] = g
+	}
+
+	inj.SetPolicy(faults.OpPut, faults.Policy{ErrorRate: 0.05, TornRate: 0.01})
+	inj.SetPolicy(faults.OpGet, faults.Policy{ErrorRate: 0.02, ShortRate: 0.01})
+	inj.SetDisabled(false)
+
+	var wg sync.WaitGroup
+	for gi, g := range gs {
+		wg.Add(1)
+		go func(gi int, g *xvtpm.Guest) {
+			defer wg.Done()
+			for step := 1; step <= perGuest; step++ {
+				var m [tpm.DigestSize]byte
+				m[0], m[1] = byte(gi), byte(step)
+				// Errors are acceptable mid-storm — instances may be
+				// degraded or quarantined; recovery is checked below.
+				g.TPM.Extend(7, m) //nolint:errcheck
+			}
+		}(gi, g)
+	}
+	wg.Wait()
+
+	// Storm over: supervised recovery must succeed for everyone.
+	inj.SetDisabled(true)
+	for _, id := range h.Manager.Instances() {
+		ih, err := h.Manager.Health(id)
+		if err != nil {
+			t.Fatalf("Health(%d): %v", id, err)
+		}
+		if ih.State == vtpm.HealthHealthy {
+			continue
+		}
+		if err := h.Manager.Checkpoint(id); err != nil {
+			t.Fatalf("supervised recovery of instance %d: %v (seed %d)", id, err, seed)
+		}
+	}
+	if err := h.Manager.CheckpointAll(); err != nil {
+		t.Fatalf("final CheckpointAll: %v (seed %d)", err, seed)
+	}
+	for _, ih := range h.Manager.HealthAll() {
+		if ih.State != vtpm.HealthHealthy {
+			t.Fatalf("instance %d still %s after recovery: %s (seed %d)",
+				ih.ID, ih.State, ih.LastError, seed)
+		}
+	}
+	// Every engine must still answer, and its committed state must be
+	// durable in the inner store (bypassing the injector).
+	innerStore := fstore.Inner().(vtpm.Store)
+	for _, g := range gs {
+		eng, err := h.Manager.DirectClient(g.Instance)
+		if err != nil {
+			t.Fatalf("DirectClient(%d): %v", g.Instance, err)
+		}
+		if _, err := eng.PCRRead(7); err != nil {
+			t.Fatalf("instance %d unusable after recovery: %v (seed %d)", g.Instance, err, seed)
+		}
+		if _, err := innerStore.Get(fmt.Sprintf("vtpm-%08d.state", g.Instance)); err != nil {
+			t.Fatalf("instance %d has no durable state: %v (seed %d)", g.Instance, err, seed)
+		}
+	}
+	// The log backend must additionally survive a full crash-recover cycle
+	// at its durability watermarks: reopening the torn-and-retried log must
+	// yield exactly the blobs the flat view of the store holds.
+	if ls, ok := vtpm.UnwrapLogStore(fstore); ok {
+		st := ls.Stats()
+		if st.Commits == 0 || st.CoalesceRatio() < 1 {
+			t.Fatalf("log backend recorded no commits: %+v (seed %d)", st, seed)
+		}
+		want := make(map[string][]byte)
+		names, err := ls.List()
+		if err != nil {
+			t.Fatalf("List: %v", err)
+		}
+		for _, name := range names {
+			b, err := ls.Get(name)
+			if err != nil {
+				t.Fatalf("Get(%s): %v", name, err)
+			}
+			want[name] = b
+		}
+		h.Close() //nolint:errcheck // drained above
+		ls.Disk().Crash()
+		re, rs, err := logstore.Open(ls.Disk(), logstore.Config{NotFound: vtpm.ErrNoState})
+		if err != nil {
+			t.Fatalf("reopen after crash: %v (seed %d)", err, seed)
+		}
+		if rs.DroppedBytes != 0 {
+			t.Fatalf("crash at watermarks dropped %d bytes (seed %d)", rs.DroppedBytes, seed)
+		}
+		if re.Len() != len(want) {
+			t.Fatalf("recovered %d blobs, want %d (seed %d)", re.Len(), len(want), seed)
+		}
+		for name, blob := range want {
+			got, err := re.Get(name)
+			if err != nil {
+				t.Fatalf("recovered store lost %s: %v (seed %d)", name, err, seed)
+			}
+			if string(got) != string(blob) {
+				t.Fatalf("recovered %s differs from committed blob (seed %d)", name, seed)
+			}
+		}
 	}
 }

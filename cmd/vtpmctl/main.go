@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	vtpmctl [-mode improved] [-bits 512] [-script "cmd; cmd; ..."]
+//	vtpmctl [-mode improved] [-bits 512] [-store flat|log] [-script "cmd; cmd; ..."]
 //
 // Commands: help, create <name> [profile], list, extend <name> <pcr> <text>,
 // suspend/resume <name>, ratelimit <name> <n>, anchor, verify-audit,
@@ -268,6 +268,11 @@ func (c *console) handle(line string) bool {
 		cs := c.host.Manager.CheckpointStats()
 		c.printf("checkpoint: %d mutations, %d writes (coalesce %.2fx), %d bytes, %d retries\n",
 			cs.Mutations, cs.Checkpoints, cs.CoalesceRatio(), cs.BytesWritten, cs.Retries)
+		if sd := c.host.Manager.StoreDebug(); sd != nil {
+			c.printf("store:    %s backend, %d segments, %d commits (coalesce %.2fx), %d/%d live/disk bytes, debt %d, %d compactions\n",
+				sd.Backend, sd.Segments, sd.Commits, sd.CoalesceRatio,
+				sd.BytesLive, sd.BytesOnDisk, sd.CompactionDebt, sd.Compactions)
+		}
 		tm := c.host.TransportMetrics()
 		rtt := tm.GuestRTT.Summarize()
 		batch := tm.RingBatch.Summarize()
@@ -465,6 +470,7 @@ func (c *console) handle(line string) bool {
 func main() {
 	modeFlag := flag.String("mode", "improved", "access-control guard: baseline or improved")
 	bits := flag.Int("bits", 512, "RSA modulus size")
+	storeFlag := flag.String("store", "flat", "persistence backend: flat or log")
 	script := flag.String("script", "", "semicolon-separated commands to run instead of stdin")
 	flag.Parse()
 
@@ -472,7 +478,13 @@ func main() {
 	if *modeFlag == "baseline" {
 		mode = xvtpm.ModeBaseline
 	}
-	host, err := xvtpm.NewHost(xvtpm.HostConfig{Name: "ctl-host", Mode: mode, RSABits: *bits})
+	backend := xvtpm.StoreFlat
+	if *storeFlag == "log" {
+		backend = xvtpm.StoreLog
+	}
+	host, err := xvtpm.NewHost(xvtpm.HostConfig{
+		Name: "ctl-host", Mode: mode, RSABits: *bits, StoreBackend: backend,
+	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "boot: %v\n", err)
 		os.Exit(1)

@@ -1,0 +1,191 @@
+// Crash consistency, end to end: guests extend PCRs and checkpoint through
+// the manager into the log-structured store; the modeled device is then
+// torn at a nasty byte position (mid-record, across a segment boundary, or
+// by losing the tail segment wholesale); a fresh host over the recovered
+// log must revive every instance with some previously-committed PCR state
+// and lose nothing but the torn tail. Runs under `go test -race` with the
+// rest of the root suite; the host seed makes each scenario deterministic.
+package xvtpm_test
+
+import (
+	"fmt"
+	"testing"
+
+	"xvtpm"
+	"xvtpm/internal/store/logstore"
+	"xvtpm/internal/tpm"
+	"xvtpm/internal/vtpm"
+	"xvtpm/internal/xen"
+)
+
+// crashLogConfig keeps segments tiny so a few guests span several segments,
+// and disables auto-compaction so tear offsets hit a deterministic layout.
+func crashLogConfig() logstore.Config {
+	return logstore.Config{
+		NotFound:           vtpm.ErrNoState,
+		SegmentSize:        8 << 10,
+		DisableAutoCompact: true,
+	}
+}
+
+// buildCrashHistory boots a host over ls, runs guests through extend+
+// checkpoint rounds, and returns the host plus every PCR-7 value each
+// instance committed (in commit order). Deferred checkpointing with
+// explicit Checkpoint calls makes "committed" exact: one store generation
+// per recorded value.
+func buildCrashHistory(t *testing.T, ls *logstore.Store, hostName string, guests, rounds int) (*xvtpm.Host, map[vtpm.InstanceID][][tpm.DigestSize]byte) {
+	t.Helper()
+	h, err := xvtpm.NewHost(xvtpm.HostConfig{
+		Name:       hostName,
+		Mode:       xvtpm.ModeImproved,
+		RSABits:    512,
+		Seed:       []byte("crash-consistency"),
+		Checkpoint: vtpm.CheckpointDeferred,
+		Store:      ls,
+	})
+	if err != nil {
+		t.Fatalf("NewHost: %v", err)
+	}
+	t.Cleanup(func() { h.Close() }) //nolint:errcheck // deferred policy, checkpoints explicit
+
+	committed := make(map[vtpm.InstanceID][][tpm.DigestSize]byte)
+	gs := make([]*xvtpm.Guest, guests)
+	for i := range gs {
+		g, err := h.CreateGuest(xvtpm.GuestConfig{
+			Name:   fmt.Sprintf("crash-%d", i),
+			Kernel: []byte(fmt.Sprintf("crash-k-%d", i)),
+		})
+		if err != nil {
+			t.Fatalf("CreateGuest %d: %v", i, err)
+		}
+		gs[i] = g
+	}
+	for round := 1; round <= rounds; round++ {
+		for gi, g := range gs {
+			var m [tpm.DigestSize]byte
+			m[0], m[1] = byte(gi), byte(round)
+			if _, err := g.TPM.Extend(7, m); err != nil {
+				t.Fatalf("Extend guest %d round %d: %v", gi, round, err)
+			}
+			if err := h.Manager.Checkpoint(g.Instance); err != nil {
+				t.Fatalf("Checkpoint guest %d round %d: %v", gi, round, err)
+			}
+			pcr, err := g.TPM.PCRRead(7)
+			if err != nil {
+				t.Fatalf("PCRRead guest %d: %v", gi, err)
+			}
+			committed[g.Instance] = append(committed[g.Instance], pcr)
+		}
+	}
+	return h, committed
+}
+
+// recoverAndVerify reopens the torn disk and revives every instance on a
+// fresh manager sharing the crashed host's hypervisor and guard — the real
+// crash model: the manager process and its log die, the physical host and
+// its hardware TPM (which the improved guard's envelope keys are sealed to)
+// survive. Each recovered PCR-7 is checked against the committed history:
+// the final value ideally, an earlier committed one at worst (the torn
+// tail), never anything else. It returns how many instances fell back.
+func recoverAndVerify(t *testing.T, h *xvtpm.Host, disk *logstore.Disk,
+	committed map[vtpm.InstanceID][][tpm.DigestSize]byte) (fallbacks int) {
+	t.Helper()
+	ls, rs, err := logstore.Open(disk, crashLogConfig())
+	if err != nil {
+		t.Fatalf("Open after tear: %v", err)
+	}
+	t.Logf("recovery: %d segments, %d records (%d tombstones), %d dropped bytes, %d damaged segments",
+		rs.Segments, rs.Records, rs.Tombstones, rs.DroppedBytes, rs.DamagedSegments)
+	dom0, err := h.HV.Domain(xen.Dom0)
+	if err != nil {
+		t.Fatalf("Domain(0): %v", err)
+	}
+	mgr := vtpm.NewManager(h.HV, ls, xen.NewArena(dom0), h.Guard(), vtpm.ManagerConfig{
+		RSABits: 512,
+	})
+	defer mgr.Close() //nolint:errcheck
+	revived, err := mgr.ReviveAll()
+	if err != nil {
+		t.Fatalf("ReviveAll: %v", err)
+	}
+	if len(revived) != len(committed) {
+		t.Fatalf("revived %d instances, want %d — committed instances lost", len(revived), len(committed))
+	}
+	for id, history := range committed {
+		eng, err := mgr.DirectClient(id)
+		if err != nil {
+			t.Fatalf("DirectClient(%d): %v", id, err)
+		}
+		pcr, err := eng.PCRRead(7)
+		if err != nil {
+			t.Fatalf("PCRRead(%d): %v", id, err)
+		}
+		match := -1
+		for i, want := range history {
+			if pcr == want {
+				match = i
+				break
+			}
+		}
+		if match < 0 {
+			t.Fatalf("instance %d recovered with PCR-7 outside its committed history", id)
+		}
+		if match != len(history)-1 {
+			fallbacks++
+		}
+	}
+	return fallbacks
+}
+
+func TestCrashRecoveryEndToEnd(t *testing.T) {
+	const guests, rounds = 3, 6
+	scenarios := []struct {
+		name string
+		// tear mutilates the quiesced disk; maxFallbacks bounds how many
+		// instances may legally lose their newest generation (-1: any).
+		tear         func(t *testing.T, d *logstore.Disk)
+		maxFallbacks int
+	}{
+		{
+			// A tear smaller than one sealed checkpoint record cuts the
+			// final record mid-body: only the very last commit may be lost.
+			name:         "torn-mid-record",
+			tear:         func(t *testing.T, d *logstore.Disk) { d.TruncateTail(64) },
+			maxFallbacks: 1,
+		},
+		{
+			// Erase the tail segment and tear into the one before it: a
+			// boundary-spanning tear may claim several tail commits, but
+			// every instance must still recover to a committed state.
+			name: "torn-across-segment-boundary",
+			tear: func(t *testing.T, d *logstore.Disk) {
+				segs := d.SegmentBytes()
+				if len(segs) < 2 {
+					t.Fatalf("need >= 2 segments, have %d", len(segs))
+				}
+				d.TruncateTail(segs[len(segs)-1] + 64)
+			},
+			maxFallbacks: -1,
+		},
+		{
+			name:         "truncated-tail-segment",
+			tear:         func(t *testing.T, d *logstore.Disk) { d.DropTailSegment() },
+			maxFallbacks: -1,
+		},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			ls := logstore.New(crashLogConfig())
+			h, committed := buildCrashHistory(t, ls, "crash-"+sc.name, guests, rounds)
+			h.Close() //nolint:errcheck // the crash: manager gone, host hardware survives
+			disk := ls.Disk()
+			sc.tear(t, disk)
+			fallbacks := recoverAndVerify(t, h, disk, committed)
+			t.Logf("%d of %d instances fell back to an earlier committed generation", fallbacks, guests)
+			if sc.maxFallbacks >= 0 && fallbacks > sc.maxFallbacks {
+				t.Fatalf("%d instances fell back, want <= %d", fallbacks, sc.maxFallbacks)
+			}
+		})
+	}
+}

@@ -15,12 +15,14 @@ import (
 	"io"
 	"math"
 	"os"
+	"sync/atomic"
 	"testing"
 	"time"
 
 	"xvtpm"
 	"xvtpm/internal/core"
 	"xvtpm/internal/metrics"
+	"xvtpm/internal/store/logstore"
 	"xvtpm/internal/tpm"
 	"xvtpm/internal/trace"
 	"xvtpm/internal/vtpm"
@@ -41,6 +43,13 @@ const DefaultBenchTolerance = 0.15
 // Steady-state allocation counts are near-deterministic; the half-object
 // allowance absorbs background-worker scheduling jitter only.
 const allocGrowthTolerance = 0.5
+
+// allocNoiseRel widens the allowance for bulk rows like ReviveAll10k, whose
+// millions of allocs/op jitter a few percent with GC scheduling: growth must
+// exceed both the absolute half-object floor and this relative slack to
+// fail. Hot-path rows (tens of allocs) are still governed by the absolute
+// floor.
+const allocNoiseRel = 0.05
 
 // BenchResult is one benchmark's measurement.
 type BenchResult struct {
@@ -339,6 +348,138 @@ func RunBenchSuite(cfg Config, names ...string) (*BenchReport, error) {
 		add("SpanRecord", res, 0)
 	}
 
+	// Store rows: the log-structured backend's three hot paths — concurrent
+	// group-committed Puts (checkpoint flush waves), log replay (cold-start
+	// index rebuild), and a full 10k-instance ReviveAll through the manager.
+
+	if wanted("StorePutGroupCommit") {
+		// 8-way concurrent checkpoint writers over a modeled 25µs flush: the
+		// group-commit window must amortize the flush across the batch, so
+		// ns/op lands well under what a serialized flush per Put would cost
+		// (the sleep's effective granularity on the host, not its nominal
+		// 25µs — E17 measures the flat-vs-grouped ratio directly).
+		ls := logstore.New(logstore.Config{
+			SyncDelay: 25 * time.Microsecond, NotFound: vtpm.ErrNoState,
+		})
+		names := make([]string, 4096)
+		for i := range names {
+			names[i] = fmt.Sprintf("vtpm-%08d.state", i)
+		}
+		blob := make([]byte, 512)
+		var next atomic.Uint64
+		var benchErr error
+		res := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			b.SetParallelism(8)
+			b.RunParallel(func(pb *testing.PB) {
+				for pb.Next() {
+					i := next.Add(1)
+					if err := ls.Put(names[i%uint64(len(names))], blob); err != nil {
+						benchErr = err
+						return
+					}
+				}
+			})
+		})
+		if benchErr != nil {
+			return nil, fmt.Errorf("StorePutGroupCommit: %w", benchErr)
+		}
+		add("StorePutGroupCommit", res, 0)
+	}
+
+	if wanted("StoreRecoverReplay") || wanted("ReviveAll10k") {
+		// Both recovery rows share one prebuilt 10k-blob log. ReviveAll needs
+		// real checkpoint blobs, so one donor engine is serialized once and
+		// its baseline-guard wrapping (plaintext, ID-independent) is reused
+		// under every instance name.
+		eng, err := tpm.NewEngine(tpm.Profile12, tpm.Config{RSABits: cfg.bits(), Seed: []byte("benchgate-donor")})
+		if err != nil {
+			return nil, fmt.Errorf("store bench donor: %w", err)
+		}
+		if err := tpm.StartupEngine(eng); err != nil {
+			return nil, fmt.Errorf("store bench donor: %w", err)
+		}
+		blob, err := core.NewBaselineGuard().ProtectState(
+			vtpm.InstanceInfo{ID: 1, Profile: tpm.Profile12}, eng.AppendState(nil))
+		if err != nil {
+			return nil, fmt.Errorf("store bench donor: %w", err)
+		}
+		const fleet = 10000
+		seeded := logstore.New(logstore.Config{NotFound: vtpm.ErrNoState, DisableAutoCompact: true})
+		for i := 1; i <= fleet; i++ {
+			if err := seeded.Put(fmt.Sprintf("vtpm-%08d.state", i), blob); err != nil {
+				return nil, fmt.Errorf("store bench seed: %w", err)
+			}
+		}
+		disk := seeded.Disk()
+
+		if wanted("StoreRecoverReplay") {
+			// Warm the heap to steady state first: the opening iterations
+			// grow the index maps and scan buffers from nothing, and that
+			// one-time growth is noise, not replay cost.
+			for i := 0; i < 3; i++ {
+				if _, _, err := logstore.Open(disk, logstore.Config{NotFound: vtpm.ErrNoState}); err != nil {
+					return nil, fmt.Errorf("StoreRecoverReplay: %w", err)
+				}
+			}
+			var benchErr error
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := logstore.Open(disk, logstore.Config{NotFound: vtpm.ErrNoState}); err != nil {
+						benchErr = err
+						b.FailNow()
+					}
+				}
+			})
+			if benchErr != nil {
+				return nil, fmt.Errorf("StoreRecoverReplay: %w", benchErr)
+			}
+			add("StoreRecoverReplay", res, 0)
+		}
+
+		if wanted("ReviveAll10k") {
+			hv := xen.NewHypervisor(xen.DomainConfig{Name: "Domain-0", Pages: 8192})
+			dom0, err := hv.Domain(xen.Dom0)
+			if err != nil {
+				return nil, fmt.Errorf("ReviveAll10k: %w", err)
+			}
+			ls, _, err := logstore.Open(disk, logstore.Config{NotFound: vtpm.ErrNoState})
+			if err != nil {
+				return nil, fmt.Errorf("ReviveAll10k: %w", err)
+			}
+			var benchErr error
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					mgr := vtpm.NewManager(hv, ls, xen.NewArena(dom0),
+						core.NewBaselineGuard(), vtpm.ManagerConfig{
+							RSABits: cfg.bits(), TraceDepth: -1,
+						})
+					b.StartTimer()
+					revived, err := mgr.ReviveAll()
+					b.StopTimer()
+					if err == nil && len(revived) != fleet {
+						err = fmt.Errorf("revived %d of %d", len(revived), fleet)
+					}
+					if cerr := mgr.Close(); err == nil {
+						err = cerr
+					}
+					if err != nil {
+						benchErr = err
+						b.FailNow()
+					}
+					b.StartTimer()
+				}
+			})
+			if benchErr != nil {
+				return nil, fmt.Errorf("ReviveAll10k: %w", benchErr)
+			}
+			add("ReviveAll10k", res, 0)
+		}
+	}
+
 	return rep, nil
 }
 
@@ -510,11 +651,15 @@ func CompareBench(base, cur *BenchReport, tolerance float64) (deltas []BenchDelt
 			if b.NsPerOp > 0 {
 				d.NsRatio = c.NsPerOp/b.NsPerOp - 1
 			}
+			allocAllowance := allocGrowthTolerance
+			if rel := b.AllocsPerOp * allocNoiseRel; rel > allocAllowance {
+				allocAllowance = rel
+			}
 			switch {
 			case d.NsRatio > tolerance && !ratioGated(b.Name):
 				d.Fail = true
 				d.Reason = fmt.Sprintf("ns/op +%.1f%% (tolerance %.0f%%)", d.NsRatio*100, tolerance*100)
-			case c.AllocsPerOp > b.AllocsPerOp+allocGrowthTolerance:
+			case c.AllocsPerOp > b.AllocsPerOp+allocAllowance:
 				d.Fail = true
 				d.Reason = fmt.Sprintf("allocs/op %.1f → %.1f", b.AllocsPerOp, c.AllocsPerOp)
 			case ratioGated(b.Name):

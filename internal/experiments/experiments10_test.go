@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestE17LogStoreShape(t *testing.T) {
+	var buf bytes.Buffer
+	rep, err := E17LogStore(quickCfg(&buf))
+	if err != nil {
+		t.Fatalf("E17: %v", err)
+	}
+	if rep.Speedup < 2 {
+		t.Fatalf("group commit speedup %.2fx, want >= 2x even in quick mode", rep.Speedup)
+	}
+	if rep.CoalesceRatio <= 1 {
+		t.Fatalf("coalesce ratio %.2f, want > 1 put/commit", rep.CoalesceRatio)
+	}
+	if rep.Revived != rep.Instances {
+		t.Fatalf("revived %d of %d instances", rep.Revived, rep.Instances)
+	}
+	if rep.ReplayRate <= 0 || rep.ReviveRate <= 0 {
+		t.Fatalf("rates not reported: replay %.0f, revive %.0f", rep.ReplayRate, rep.ReviveRate)
+	}
+	if rep.WriteAmp < 1 {
+		t.Fatalf("write amplification %.3f < 1 — accounting is broken", rep.WriteAmp)
+	}
+	if rep.ReclaimedBytes <= 0 {
+		t.Fatalf("compaction reclaimed %d bytes after 30%% churn, want > 0", rep.ReclaimedBytes)
+	}
+	if rep.LostCommitted != 0 {
+		t.Fatalf("torn tail lost %d committed names", rep.LostCommitted)
+	}
+	if rep.TornFallbacks > 1 {
+		t.Fatalf("torn mid-record cost %d generations, want <= 1", rep.TornFallbacks)
+	}
+	out := buf.String()
+	for _, want := range []string{"E17", "speedup", "ReviveAll", "replay", "torn tail"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

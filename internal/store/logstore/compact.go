@@ -1,0 +1,133 @@
+package logstore
+
+import "sort"
+
+// Compaction rewrites the live records of sealed segments into fresh
+// segments and drops everything superseded: old generations, tombstones,
+// and the dead bytes torn-and-retried writes left behind. Invariants:
+//
+//   - The active segment is never rewritten while a commit is in flight —
+//     a leader sleeping through its sync holds record pointers into it.
+//     Compaction therefore only runs from commit retirement (under the
+//     store lock, no batch mid-flight) or from Compact(), which seals the
+//     active segment first only when no leader exists.
+//   - Generations are preserved verbatim, so recovery's generation-ordered
+//     replay is indifferent to a compacted segment sitting at a later disk
+//     position than the newer records in the active segment.
+//   - Tombstones are dropped entirely: every sealed put they could shadow
+//     is dropped in the same pass, and the active segment can only hold
+//     generations newer than any sealed tombstone (appends are
+//     generation-ordered across the log).
+//   - The segment swap is modeled as atomic. On a real device this is the
+//     classic write-new-then-rename step; the model's crash points are the
+//     byte-stream tears the Disk hooks express, not half-swaps.
+
+// Compact forces a full compaction: the active segment is sealed (unless a
+// commit is in flight) and every sealed segment is rewritten to live
+// records only. It returns the number of bytes reclaimed.
+func (s *Store) Compact() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.committing {
+		// Seal: the next append rolls a fresh segment, so the current tail
+		// becomes eligible for rewriting.
+		s.active = nil
+	}
+	return s.compactLocked()
+}
+
+// maybeCompactLocked applies the auto-compaction policy. Caller holds s.mu
+// with no batch mid-flight. The cheap global-debt test runs first; the
+// per-entry sealed-liveness sum is only computed once that passes, so the
+// steady-state cost per commit is two integer reads.
+func (s *Store) maybeCompactLocked() {
+	if s.cfg.DisableAutoCompact {
+		return
+	}
+	s.disk.mu.Lock()
+	sealed, total := 0, 0
+	for _, seg := range s.disk.segs {
+		if seg != s.active {
+			sealed++
+			total += len(seg.data) - segHdrLen
+		}
+	}
+	s.disk.mu.Unlock()
+	if sealed < s.cfg.compactMinSegments() || total <= 0 {
+		return
+	}
+	live := 0
+	for _, e := range s.idx {
+		if e.seg != s.active {
+			live += e.size
+		}
+	}
+	if float64(total-live)/float64(total) < s.cfg.compactMinDead() {
+		return
+	}
+	s.compactLocked()
+}
+
+// compactLocked rewrites all sealed segments. Caller holds s.mu.
+func (s *Store) compactLocked() int {
+	s.disk.mu.Lock()
+	defer s.disk.mu.Unlock()
+
+	before := 0
+	for _, seg := range s.disk.segs {
+		if seg != s.active {
+			before += len(seg.data)
+		}
+	}
+	if before == 0 {
+		return 0
+	}
+
+	// Deterministic rewrite order keeps the post-compaction layout
+	// reproducible for the seeded crash tests.
+	names := make([]string, 0, len(s.idx))
+	for name, e := range s.idx {
+		if e.seg != s.active {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	segSize := s.cfg.segmentSize()
+	var newSegs []*diskSegment
+	var cur *diskSegment
+	for _, name := range names {
+		e := s.idx[name]
+		if cur == nil || (len(cur.data) > segHdrLen && len(cur.data)+e.size > segSize) {
+			cur = &diskSegment{id: s.disk.nextSegID}
+			s.disk.nextSegID++
+			cur.data = appendSegmentHeader(nil, cur.id)
+			s.stats.bytesAppended += segHdrLen
+			newSegs = append(newSegs, cur)
+		}
+		// Copy the framed record verbatim — CRC and generation included.
+		recStart := e.dataOff - recFrameLen - recMetaLen - len(name)
+		off := len(cur.data)
+		cur.data = append(cur.data, e.seg.data[recStart:recStart+e.size]...)
+		s.stats.bytesAppended += uint64(e.size)
+		e.seg = cur
+		e.dataOff = off + (e.dataOff - recStart)
+		s.idx[name] = e
+	}
+	after := 0
+	for _, seg := range newSegs {
+		seg.synced = len(seg.data) // the swap is the durability point
+		after += len(seg.data)
+	}
+	if s.active != nil {
+		newSegs = append(newSegs, s.active)
+	}
+	s.disk.segs = newSegs
+	s.stats.compactions++
+	reclaimed := before - after
+	if reclaimed < 0 {
+		reclaimed = 0
+	}
+	s.stats.bytesReclaimed += uint64(reclaimed)
+	return reclaimed
+}

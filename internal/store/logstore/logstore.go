@@ -1,0 +1,509 @@
+// Package logstore is a segmented, append-only checkpoint store: the
+// log-structured persistence backend behind the vTPM manager's write-behind
+// checkpoint pipeline. The flat store pays one random write (and on a real
+// device, one flush) per dirty instance; at fleet scale that is the dominant
+// cost of keeping guest TPM state durable. This store turns that workload
+// into sequential appends with cross-instance group commit: concurrent Puts
+// from the checkpoint workers coalesce into a single buffered segment append
+// and a single sync per commit window.
+//
+// The package deliberately imports nothing above the metrics layer — it
+// knows nothing of vTPMs. It implements the four-method blob-store surface
+// (Put/Get/Delete/List) structurally, so it satisfies vtpm.Store and slots
+// under faults.Store without an import cycle. Config.NotFound lets the
+// integrator supply its own missing-blob sentinel (the manager passes
+// vtpm.ErrNoState) so errors.Is-based handling keeps working.
+package logstore
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// ErrNotFound is the default missing-blob sentinel, used when Config.NotFound
+// is nil. Errors from Get and Delete wrap it (or the configured sentinel).
+var ErrNotFound = errors.New("logstore: no such blob")
+
+// Config tunes a Store. The zero value is usable: 4 MiB segments, no commit
+// window (group commit still coalesces via sync-latency piggybacking), no
+// modeled sync delay, auto-compaction at 4 sealed segments / 50% dead bytes.
+type Config struct {
+	// SegmentSize bounds a segment's byte length. A record larger than this
+	// gets a dedicated oversized segment rather than failing.
+	SegmentSize int
+	// CommitWindow is how long a commit leader lingers after its own append
+	// is staged, letting more concurrent Puts join the batch. Zero relies on
+	// piggybacking alone: writers that arrive while a sync is in flight form
+	// the next batch and are committed together by a handed-off leader.
+	CommitWindow time.Duration
+	// CommitBytes cuts the window early once a batch has staged this many
+	// bytes. Zero means 1 MiB.
+	CommitBytes int
+	// SyncDelay models the device flush cost paid once per group commit —
+	// the knob E17 and the benchmarks use to make coalescing visible on an
+	// in-memory device. Zero means syncs are free.
+	SyncDelay time.Duration
+	// CompactMinSegments is the sealed-segment count below which
+	// auto-compaction never runs. Zero means 4.
+	CompactMinSegments int
+	// CompactMinDead is the dead-byte ratio (dead / total sealed bytes) that
+	// triggers auto-compaction. Zero means 0.5.
+	CompactMinDead float64
+	// DisableAutoCompact leaves all superseded generations in place until
+	// Compact is called explicitly. Crash tests use this to keep the log
+	// layout deterministic.
+	DisableAutoCompact bool
+	// NotFound, when non-nil, is wrapped into missing-blob errors in place
+	// of ErrNotFound so the caller's errors.Is checks see its own sentinel.
+	NotFound error
+}
+
+func (c *Config) segmentSize() int {
+	if c.SegmentSize <= 0 {
+		return 4 << 20
+	}
+	return c.SegmentSize
+}
+
+func (c *Config) commitBytes() int {
+	if c.CommitBytes <= 0 {
+		return 1 << 20
+	}
+	return c.CommitBytes
+}
+
+func (c *Config) compactMinSegments() int {
+	if c.CompactMinSegments <= 0 {
+		return 4
+	}
+	return c.CompactMinSegments
+}
+
+func (c *Config) compactMinDead() float64 {
+	if c.CompactMinDead <= 0 {
+		return 0.5
+	}
+	return c.CompactMinDead
+}
+
+func (c *Config) notFound() error {
+	if c.NotFound != nil {
+		return c.NotFound
+	}
+	return ErrNotFound
+}
+
+// idxEntry locates a name's newest record on disk.
+type idxEntry struct {
+	seg     *diskSegment
+	gen     uint64
+	size    int // full framed record size (for dead-byte accounting)
+	dataOff int
+	dataLen int
+}
+
+// pendingRec is one staged record inside an open batch.
+type pendingRec struct {
+	name    string
+	kind    byte
+	gen     uint64
+	size    int
+	dataLen int
+	// filled in by the leader while copying the batch to disk:
+	seg     *diskSegment
+	dataOff int
+}
+
+// batch is one group-commit unit: the concatenated encodings of every
+// staged record plus the bookkeeping to apply them to the index after the
+// sync. done is closed once the batch is durable and indexed; takeover
+// carries the leadership token handed to one waiter of the *next* batch
+// when the current leader retires.
+type batch struct {
+	buf      []byte
+	recs     []*pendingRec
+	done     chan struct{}
+	takeover chan struct{}
+}
+
+func newBatch() *batch {
+	return &batch{done: make(chan struct{}), takeover: make(chan struct{}, 1)}
+}
+
+// Store is the log-structured blob store. All mutation is serialized under
+// mu; the disk's own lock nests inside it (lock order: Store.mu → Disk.mu).
+// Commit leaders drop mu around the two sleeps (commit window, modeled sync
+// delay) so concurrent writers can stage records meanwhile — that overlap
+// is where group commit wins.
+type Store struct {
+	cfg  Config
+	disk *Disk
+
+	mu         sync.Mutex
+	idx        map[string]idxEntry
+	active     *diskSegment // tail segment new appends go to; nil until first write
+	open       *batch       // batch accepting new records; nil when none staged
+	committing bool         // a leader exists (possibly sleeping off-lock)
+	nextGen    uint64
+
+	stats   statsInner
+	recover RecoverStats
+}
+
+// New creates a store over a fresh empty Disk.
+func New(cfg Config) *Store {
+	s, _, err := Open(NewDisk(), cfg)
+	if err != nil {
+		// An empty disk cannot fail to open; this is unreachable.
+		panic(err)
+	}
+	return s
+}
+
+// RecoverStats describes what Open found while replaying the log.
+type RecoverStats struct {
+	// Segments scanned, including damaged ones.
+	Segments int
+	// Records parsed successfully (puts + tombstones, all generations).
+	Records int
+	// Tombstones among those records.
+	Tombstones int
+	// Live names in the rebuilt index.
+	Live int
+	// DroppedBytes is the byte count abandoned after damage: torn tails,
+	// failed checksums, and everything after them in the affected segment.
+	DroppedBytes int
+	// DamagedSegments counts segments where the scan stopped early or the
+	// header itself was unreadable.
+	DamagedSegments int
+	// Elapsed is the wall time of the replay scan.
+	Elapsed time.Duration
+}
+
+// ReplayRate returns records replayed per second, the cold-start figure E17
+// reports.
+func (r RecoverStats) ReplayRate() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.Records) / r.Elapsed.Seconds()
+}
+
+// Open rebuilds a store from an existing disk by scanning every segment in
+// order and keeping, per name, the record with the highest generation —
+// scan position does not decide, generations do, because compaction rewrites
+// old generations into segments that sit after newer ones in disk order.
+// A record that fails its checksum (or a header that does not parse)
+// abandons the rest of its segment; in the crash model that is exactly the
+// torn tail, and every generation whose Put had returned before the crash
+// is still recovered.
+func Open(disk *Disk, cfg Config) (*Store, RecoverStats, error) {
+	s := &Store{
+		cfg:     cfg,
+		disk:    disk,
+		idx:     make(map[string]idxEntry),
+		nextGen: 1,
+	}
+	start := time.Now()
+	var rs RecoverStats
+
+	disk.mu.Lock()
+	defer disk.mu.Unlock()
+	type winner struct {
+		e   idxEntry
+		del bool
+	}
+	best := make(map[string]winner)
+	for _, seg := range disk.segs {
+		rs.Segments++
+		id, err := parseSegmentHeader(seg.data)
+		if err != nil {
+			// Unreadable header: the segment's records are unreachable.
+			// Only legal as crash damage; drop it and report.
+			rs.DamagedSegments++
+			rs.DroppedBytes += len(seg.data)
+			continue
+		}
+		if id >= disk.nextSegID {
+			disk.nextSegID = id + 1
+		}
+		seg := seg
+		dropped := scanSegment(seg.data, func(r rec) {
+			rs.Records++
+			if r.kind == kindDelete {
+				rs.Tombstones++
+			}
+			if r.gen >= s.nextGen {
+				s.nextGen = r.gen + 1
+			}
+			if w, ok := best[r.name]; ok && w.e.gen >= r.gen {
+				return
+			}
+			best[r.name] = winner{
+				e: idxEntry{
+					seg:     seg,
+					gen:     r.gen,
+					size:    r.size,
+					dataOff: r.dataOff,
+					dataLen: r.dataLen,
+				},
+				del: r.kind == kindDelete,
+			}
+		})
+		if dropped > 0 {
+			rs.DamagedSegments++
+			rs.DroppedBytes += dropped
+			// The abandoned suffix is dead weight; truncate it so future
+			// appends to this disk cannot resurrect half-records, and clamp
+			// the durable watermark with it.
+			seg.data = seg.data[:len(seg.data)-dropped]
+			if seg.synced > len(seg.data) {
+				seg.synced = len(seg.data)
+			}
+		}
+	}
+	for name, w := range best {
+		if w.del {
+			continue
+		}
+		s.idx[name] = w.e
+		s.stats.bytesLive += uint64(w.e.size)
+	}
+	rs.Live = len(s.idx)
+	// Everything that survived the scan is considered durable: the store
+	// only ever reports a Put as committed after a sync, and recovery is
+	// itself the durability re-baseline.
+	disk.syncLocked()
+	if n := len(disk.segs); n > 0 {
+		s.active = disk.segs[n-1]
+	}
+	rs.Elapsed = time.Since(start)
+	s.recover = rs
+	return s, rs, nil
+}
+
+// Disk returns the device under the store, for crash tests and experiments.
+func (s *Store) Disk() *Disk { return s.disk }
+
+// Put implements the blob-store surface. The data is copied into the open
+// commit batch before Put blocks, so the caller may reuse the slice
+// immediately (same aliasing contract as MemStore). Put returns only after
+// the record — and every record batched with it — is synced and indexed.
+func (s *Store) Put(name string, data []byte) error {
+	if len(name) == 0 || len(name) > maxNameLen {
+		return fmt.Errorf("logstore: invalid name length %d", len(name))
+	}
+	if len(data) > maxDataLen {
+		return fmt.Errorf("logstore: blob of %d bytes exceeds record limit", len(data))
+	}
+	return s.commit(kindPut, name, data)
+}
+
+// Delete implements the blob-store surface: it appends a tombstone so the
+// deletion survives recovery, then drops the name from the index. Deleting
+// a missing name is an error wrapping the configured sentinel.
+func (s *Store) Delete(name string) error {
+	return s.commit(kindDelete, name, nil)
+}
+
+// commit stages one record into the open batch and sees it through a group
+// commit, either as leader or as a waiting follower.
+func (s *Store) commit(kind byte, name string, data []byte) error {
+	s.mu.Lock()
+	if kind == kindDelete {
+		if _, ok := s.idx[name]; !ok {
+			s.mu.Unlock()
+			return fmt.Errorf("%w: %q", s.cfg.notFound(), name)
+		}
+	}
+	gen := s.nextGen
+	s.nextGen++
+	b := s.open
+	if b == nil {
+		b = newBatch()
+		s.open = b
+	}
+	p := &pendingRec{
+		name:    name,
+		kind:    kind,
+		gen:     gen,
+		size:    recordSize(len(name), len(data)),
+		dataLen: len(data),
+	}
+	b.buf = appendRecord(b.buf, kind, gen, name, data)
+	b.recs = append(b.recs, p)
+	switch {
+	case kind == kindPut:
+		s.stats.puts++
+		s.stats.userBytes += uint64(len(data))
+	default:
+		s.stats.deletes++
+	}
+
+	if s.committing {
+		// A leader exists. Wait for this batch to become durable, or accept
+		// the leadership token if the retiring leader hands it to us.
+		s.mu.Unlock()
+		select {
+		case <-b.done:
+			return nil
+		case <-b.takeover:
+			s.mu.Lock()
+			s.lead(b, false)
+			return nil
+		}
+	}
+
+	// No commit in flight: become leader for this batch. Only the initial
+	// leader observes the configured commit window — a handed-off leader's
+	// batch already accumulated during the previous commit.
+	s.committing = true
+	s.lead(b, true)
+	return nil
+}
+
+// lead runs group commits starting with batch b until no staged work
+// remains, then either retires or hands leadership to a waiter of the next
+// batch. Called with s.mu held; returns with it released. When fresh is
+// true the leader lingers for the commit window before detaching b.
+func (s *Store) lead(b *batch, fresh bool) {
+	if fresh && s.cfg.CommitWindow > 0 && len(b.buf) < s.cfg.commitBytes() {
+		s.mu.Unlock()
+		time.Sleep(s.cfg.CommitWindow)
+		s.mu.Lock()
+	}
+	// Detach: Puts arriving from here on start the next batch.
+	if s.open == b {
+		s.open = nil
+	}
+	s.appendBatchLocked(b)
+	s.mu.Unlock()
+
+	// The one device flush the whole batch shares. Slept off-lock so the
+	// next batch fills while this one syncs — that overlap, not the timer
+	// window, is what coalesces bursts from the write-behind workers.
+	if s.cfg.SyncDelay > 0 {
+		time.Sleep(s.cfg.SyncDelay)
+	}
+
+	s.mu.Lock()
+	s.disk.mu.Lock()
+	s.disk.syncLocked()
+	s.disk.mu.Unlock()
+	s.applyLocked(b)
+	close(b.done)
+
+	next := s.open
+	if next == nil || len(next.recs) == 0 {
+		s.committing = false
+		s.maybeCompactLocked()
+		s.mu.Unlock()
+		return
+	}
+	// Hand the baton to one waiter of the next batch instead of committing
+	// it ourselves — our own caller's Put must return now that its batch is
+	// durable. Every staged record has exactly one goroutine blocked in
+	// commit(), so the token is always consumed.
+	s.maybeCompactLocked()
+	s.mu.Unlock()
+	next.takeover <- struct{}{}
+}
+
+// appendBatchLocked copies a detached batch into the active segment chain,
+// rolling to fresh segments as the size bound requires, and stamps each
+// pending record with its final location. Caller holds s.mu.
+func (s *Store) appendBatchLocked(b *batch) {
+	s.disk.mu.Lock()
+	defer s.disk.mu.Unlock()
+	segSize := s.cfg.segmentSize()
+	off := 0
+	for _, p := range b.recs {
+		if s.active == nil || (len(s.active.data) > segHdrLen && len(s.active.data)+p.size > segSize) {
+			s.active = s.disk.addSegmentLocked()
+			s.stats.bytesAppended += segHdrLen
+		}
+		seg := s.active
+		recStart := len(seg.data)
+		seg.data = append(seg.data, b.buf[off:off+p.size]...)
+		off += p.size
+		p.seg = seg
+		p.dataOff = recStart + recFrameLen + recMetaLen + len(p.name)
+		s.stats.bytesAppended += uint64(p.size)
+	}
+}
+
+// applyLocked updates the index and stats for a durable batch. Caller holds
+// s.mu. Records apply in staging order; within one batch that is also
+// generation order, so last-writer-wins falls out naturally.
+func (s *Store) applyLocked(b *batch) {
+	for _, p := range b.recs {
+		old, existed := s.idx[p.name]
+		if existed {
+			s.stats.bytesLive -= uint64(old.size)
+		}
+		if p.kind == kindDelete {
+			delete(s.idx, p.name)
+			// The tombstone itself is dead weight the moment it applies;
+			// it only matters to recovery until compaction drops it.
+			continue
+		}
+		s.idx[p.name] = idxEntry{
+			seg:     p.seg,
+			gen:     p.gen,
+			size:    p.size,
+			dataOff: p.dataOff,
+			dataLen: p.dataLen,
+		}
+		s.stats.bytesLive += uint64(p.size)
+	}
+	s.stats.commits++
+	s.stats.batchRecords += uint64(len(b.recs))
+}
+
+// Get implements the blob-store surface, returning a copy of the newest
+// committed generation. Reads of in-flight (staged, unsynced) generations
+// are invisible: Get serves the index, and the index only advances at
+// commit time.
+func (s *Store) Get(name string) ([]byte, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.idx[name]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", s.cfg.notFound(), name)
+	}
+	s.stats.gets++
+	out := make([]byte, e.dataLen)
+	copy(out, e.seg.data[e.dataOff:e.dataOff+e.dataLen])
+	return out, nil
+}
+
+// List implements the blob-store surface: all live names, sorted.
+func (s *Store) List() ([]string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	names := make([]string, 0, len(s.idx))
+	for name := range s.idx {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+// Len reports the number of live names.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.idx)
+}
+
+// Generation reports the newest committed generation for a name, for tests
+// that assert recovery kept or dropped specific writes.
+func (s *Store) Generation(name string) (uint64, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.idx[name]
+	return e.gen, ok
+}

@@ -1,0 +1,381 @@
+package logstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func testConfig() Config {
+	return Config{SegmentSize: 1 << 12, DisableAutoCompact: true}
+}
+
+func TestPutGetRoundtrip(t *testing.T) {
+	s := New(testConfig())
+	if err := s.Put("a", []byte("alpha")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	got, err := s.Get("a")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got) != "alpha" {
+		t.Fatalf("Get = %q, want alpha", got)
+	}
+}
+
+func TestPutReplaceKeepsNewest(t *testing.T) {
+	s := New(testConfig())
+	for i := 0; i < 5; i++ {
+		if err := s.Put("x", []byte(fmt.Sprintf("gen-%d", i))); err != nil {
+			t.Fatalf("Put %d: %v", i, err)
+		}
+	}
+	got, err := s.Get("x")
+	if err != nil {
+		t.Fatalf("Get: %v", err)
+	}
+	if string(got) != "gen-4" {
+		t.Fatalf("Get = %q, want gen-4", got)
+	}
+	if s.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", s.Len())
+	}
+}
+
+func TestDeleteAndSentinel(t *testing.T) {
+	sentinel := errors.New("custom missing")
+	s := New(Config{NotFound: sentinel})
+	if err := s.Delete("ghost"); !errors.Is(err, sentinel) {
+		t.Fatalf("Delete missing = %v, want wrap of sentinel", err)
+	}
+	if _, err := s.Get("ghost"); !errors.Is(err, sentinel) {
+		t.Fatalf("Get missing = %v, want wrap of sentinel", err)
+	}
+	if err := s.Put("a", []byte("v")); err != nil {
+		t.Fatalf("Put: %v", err)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatalf("Delete: %v", err)
+	}
+	if _, err := s.Get("a"); !errors.Is(err, sentinel) {
+		t.Fatalf("Get after Delete = %v, want sentinel", err)
+	}
+	// The default sentinel applies when none is configured.
+	d := New(Config{})
+	if err := d.Delete("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("default Delete missing = %v, want ErrNotFound", err)
+	}
+}
+
+func TestSegmentRollingAndList(t *testing.T) {
+	s := New(testConfig()) // 4 KiB segments
+	blob := bytes.Repeat([]byte{0xAB}, 1024)
+	var want []string
+	for i := 0; i < 20; i++ {
+		name := fmt.Sprintf("blob-%02d", i)
+		want = append(want, name)
+		if err := s.Put(name, blob); err != nil {
+			t.Fatalf("Put %s: %v", name, err)
+		}
+	}
+	if got := s.Disk().Segments(); got < 5 {
+		t.Fatalf("Segments = %d, want rolling to at least 5", got)
+	}
+	names, err := s.List()
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(names) != len(want) {
+		t.Fatalf("List len = %d, want %d", len(names), len(want))
+	}
+	for i, n := range names {
+		if n != want[i] {
+			t.Fatalf("List[%d] = %q, want %q (sorted)", i, n, want[i])
+		}
+	}
+}
+
+func TestOversizedRecordGetsOwnSegment(t *testing.T) {
+	s := New(Config{SegmentSize: 256, DisableAutoCompact: true})
+	big := bytes.Repeat([]byte{1}, 4096)
+	if err := s.Put("big", big); err != nil {
+		t.Fatalf("Put oversized: %v", err)
+	}
+	got, err := s.Get("big")
+	if err != nil || !bytes.Equal(got, big) {
+		t.Fatalf("Get oversized mismatch (err=%v)", err)
+	}
+}
+
+func TestRecoveryByGenerationNotScanOrder(t *testing.T) {
+	// Compaction copies old generations into segments that sit after the
+	// active segment's newer records in disk order; recovery must let the
+	// generation decide, not the scan position.
+	s := New(Config{SegmentSize: 512, DisableAutoCompact: true})
+	for i := 0; i < 8; i++ {
+		if err := s.Put("victim", bytes.Repeat([]byte{byte(i)}, 200)); err != nil {
+			t.Fatalf("Put: %v", err)
+		}
+		if err := s.Put(fmt.Sprintf("other-%d", i), bytes.Repeat([]byte{0xEE}, 200)); err != nil {
+			t.Fatalf("Put other: %v", err)
+		}
+	}
+	s.Compact()
+	// One more write after compaction lands in a fresh active segment.
+	final := bytes.Repeat([]byte{0x77}, 200)
+	if err := s.Put("victim", final); err != nil {
+		t.Fatalf("Put final: %v", err)
+	}
+	re, rs, err := Open(s.Disk(), Config{DisableAutoCompact: true})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if rs.DroppedBytes != 0 || rs.DamagedSegments != 0 {
+		t.Fatalf("clean reopen reported damage: %+v", rs)
+	}
+	got, err := re.Get("victim")
+	if err != nil || !bytes.Equal(got, final) {
+		t.Fatalf("recovered victim = %x err=%v, want newest generation", got[:4], err)
+	}
+	if re.Len() != 9 {
+		t.Fatalf("recovered Len = %d, want 9", re.Len())
+	}
+}
+
+func TestTombstoneSurvivesRecovery(t *testing.T) {
+	s := New(testConfig())
+	if err := s.Put("doomed", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("kept", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Delete("doomed"); err != nil {
+		t.Fatal(err)
+	}
+	re, _, err := Open(s.Disk(), testConfig())
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if _, err := re.Get("doomed"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted name resurrected: %v", err)
+	}
+	if _, err := re.Get("kept"); err != nil {
+		t.Fatalf("kept name lost: %v", err)
+	}
+}
+
+func TestPutAliasingContract(t *testing.T) {
+	s := New(testConfig())
+	buf := []byte("original")
+	if err := s.Put("a", buf); err != nil {
+		t.Fatal(err)
+	}
+	copy(buf, "SCRIBBLE")
+	got, err := s.Get("a")
+	if err != nil || string(got) != "original" {
+		t.Fatalf("Put aliased caller buffer: got %q err=%v", got, err)
+	}
+	got[0] = 'X'
+	again, _ := s.Get("a")
+	if string(again) != "original" {
+		t.Fatalf("Get returned an aliased slice: %q", again)
+	}
+}
+
+func TestGroupCommitCoalesces(t *testing.T) {
+	// With a modeled sync cost, concurrent writers must share commits: the
+	// commit count has to land well below the put count.
+	s := New(Config{SyncDelay: 200 * time.Microsecond})
+	const writers, rounds = 16, 8
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			blob := bytes.Repeat([]byte{byte(w)}, 128)
+			for r := 0; r < rounds; r++ {
+				if err := s.Put(fmt.Sprintf("w%02d", w), blob); err != nil {
+					t.Errorf("Put: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := s.Stats()
+	if st.Puts != writers*rounds {
+		t.Fatalf("Puts = %d, want %d", st.Puts, writers*rounds)
+	}
+	if st.Commits >= st.Puts {
+		t.Fatalf("no coalescing: %d commits for %d puts", st.Commits, st.Puts)
+	}
+	if st.CoalesceRatio() < 2 {
+		t.Fatalf("coalesce ratio %.2f, want >= 2 with %d concurrent writers", st.CoalesceRatio(), writers)
+	}
+	// Everything must still be individually durable and correct.
+	for w := 0; w < writers; w++ {
+		got, err := s.Get(fmt.Sprintf("w%02d", w))
+		if err != nil || len(got) != 128 || got[0] != byte(w) {
+			t.Fatalf("writer %d blob wrong after concurrent commit (err=%v)", w, err)
+		}
+	}
+}
+
+func TestCommitWindowBatchesSequentialBursts(t *testing.T) {
+	s := New(Config{CommitWindow: 2 * time.Millisecond})
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			<-start
+			s.Put(fmt.Sprintf("n%d", w), []byte("v")) //nolint:errcheck
+		}(w)
+	}
+	close(start)
+	wg.Wait()
+	st := s.Stats()
+	if st.Commits >= 8 {
+		t.Fatalf("commit window did not batch: %d commits for 8 puts", st.Commits)
+	}
+}
+
+func TestCompactionDropsDeadBytes(t *testing.T) {
+	s := New(Config{SegmentSize: 1 << 12, DisableAutoCompact: true})
+	blob := bytes.Repeat([]byte{0xCC}, 512)
+	for gen := 0; gen < 10; gen++ {
+		for i := 0; i < 8; i++ {
+			if err := s.Put(fmt.Sprintf("n%d", i), blob); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := s.Delete("n7"); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	if before.CompactionDebt == 0 {
+		t.Fatal("expected compaction debt before compaction")
+	}
+	reclaimed := s.Compact()
+	if reclaimed <= 0 {
+		t.Fatalf("Compact reclaimed %d, want > 0", reclaimed)
+	}
+	after := s.Stats()
+	if after.CompactionDebt != 0 {
+		t.Fatalf("debt after full compaction = %d, want 0", after.CompactionDebt)
+	}
+	if after.BytesOnDisk >= before.BytesOnDisk {
+		t.Fatalf("disk footprint did not shrink: %d -> %d", before.BytesOnDisk, after.BytesOnDisk)
+	}
+	// Data intact, deleted name still gone.
+	for i := 0; i < 7; i++ {
+		got, err := s.Get(fmt.Sprintf("n%d", i))
+		if err != nil || !bytes.Equal(got, blob) {
+			t.Fatalf("n%d damaged by compaction (err=%v)", i, err)
+		}
+	}
+	if _, err := s.Get("n7"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("deleted name resurrected by compaction: %v", err)
+	}
+	// And the compacted log must still recover.
+	re, rs, err := Open(s.Disk(), Config{})
+	if err != nil || rs.DroppedBytes != 0 {
+		t.Fatalf("post-compaction reopen: err=%v stats=%+v", err, rs)
+	}
+	if re.Len() != 7 {
+		t.Fatalf("post-compaction recovered Len = %d, want 7", re.Len())
+	}
+}
+
+func TestAutoCompactionTriggers(t *testing.T) {
+	s := New(Config{SegmentSize: 1 << 10, CompactMinSegments: 2, CompactMinDead: 0.3})
+	blob := bytes.Repeat([]byte{0xDD}, 256)
+	for gen := 0; gen < 30; gen++ {
+		for i := 0; i < 4; i++ {
+			if err := s.Put(fmt.Sprintf("n%d", i), blob); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := s.Stats()
+	if st.Compactions == 0 {
+		t.Fatalf("auto-compaction never ran: %+v", st)
+	}
+	for i := 0; i < 4; i++ {
+		if got, err := s.Get(fmt.Sprintf("n%d", i)); err != nil || !bytes.Equal(got, blob) {
+			t.Fatalf("n%d damaged (err=%v)", i, err)
+		}
+	}
+}
+
+func TestConcurrentMixedOps(t *testing.T) {
+	// Race-detector workout: concurrent Put/Get/List/Stats/Compact.
+	s := New(Config{SegmentSize: 1 << 12, SyncDelay: 50 * time.Microsecond,
+		CompactMinSegments: 2, CompactMinDead: 0.3})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			blob := bytes.Repeat([]byte{byte(w)}, 300)
+			name := fmt.Sprintf("w%d", w)
+			for r := 0; r < 40; r++ {
+				if err := s.Put(name, blob); err != nil {
+					t.Errorf("Put: %v", err)
+				}
+				if got, err := s.Get(name); err != nil || got[0] != byte(w) {
+					t.Errorf("Get: %v", err)
+				}
+				if _, err := s.List(); err != nil {
+					t.Errorf("List: %v", err)
+				}
+				_ = s.Stats()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", s.Len())
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	s := New(testConfig())
+	if err := s.Put("a", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("a", make([]byte, 200)); err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.UserBytes != 300 {
+		t.Fatalf("UserBytes = %d, want 300", st.UserBytes)
+	}
+	if st.BytesAppended <= st.UserBytes {
+		t.Fatalf("BytesAppended = %d, should exceed user bytes (framing)", st.BytesAppended)
+	}
+	if st.WriteAmplification() <= 1 {
+		t.Fatalf("WriteAmplification = %.2f, want > 1", st.WriteAmplification())
+	}
+	wantLive := uint64(recordSize(1, 200))
+	if st.BytesLive != wantLive {
+		t.Fatalf("BytesLive = %d, want %d (only newest generation live)", st.BytesLive, wantLive)
+	}
+}
+
+func TestPutBounds(t *testing.T) {
+	s := New(testConfig())
+	if err := s.Put("", []byte("v")); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := s.Put(string(make([]byte, maxNameLen+1)), []byte("v")); err == nil {
+		t.Fatal("oversized name accepted")
+	}
+}

@@ -1,0 +1,311 @@
+package logstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync"
+)
+
+// On-disk format. A segment is a bounded append-only byte region:
+//
+//	segment := header record*
+//	header  := "XSEG" ∥ u16 version ∥ u64 segment-id          (14 bytes)
+//	record  := u32 crc ∥ u32 bodyLen ∥ body
+//	body    := u8 kind ∥ u64 generation ∥ u16 nameLen ∥ name ∥ data
+//
+// All integers are big-endian. The CRC (IEEE CRC32) covers bodyLen and the
+// body, so a record whose length field was torn fails the checksum just like
+// one whose payload was. Records never span segments: a record that does not
+// fit in the active segment seals it and opens a new one, so every record can
+// be recovered from its segment alone.
+const (
+	segMagic   = "XSEG"
+	segVersion = 1
+	segHdrLen  = 4 + 2 + 8
+
+	recFrameLen = 4 + 4         // crc + bodyLen
+	recMetaLen  = 1 + 8 + 2     // kind + generation + nameLen
+	recMinLen   = recFrameLen + recMetaLen
+
+	kindPut    = 1
+	kindDelete = 2
+
+	// maxNameLen / maxDataLen bound a single record. They exist so the
+	// recovery scanner can reject a damaged length field without attempting
+	// an absurd allocation, and so Put fails loudly instead of writing a
+	// record recovery would refuse.
+	maxNameLen = 1 << 12
+	maxDataLen = 64 << 20
+)
+
+// recordSize returns the encoded size of a record carrying name and dataLen
+// payload bytes.
+func recordSize(nameLen, dataLen int) int {
+	return recMinLen + nameLen + dataLen
+}
+
+// appendSegmentHeader appends a segment header for segment id to dst.
+func appendSegmentHeader(dst []byte, id uint64) []byte {
+	dst = append(dst, segMagic...)
+	dst = binary.BigEndian.AppendUint16(dst, segVersion)
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	return dst
+}
+
+// appendRecord encodes one record to dst and returns the extended slice.
+// The caller guarantees name/data are within the max bounds.
+func appendRecord(dst []byte, kind byte, gen uint64, name string, data []byte) []byte {
+	bodyLen := recMetaLen + len(name) + len(data)
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint32(dst, 0) // crc, patched below
+	dst = binary.BigEndian.AppendUint32(dst, uint32(bodyLen))
+	dst = append(dst, kind)
+	dst = binary.BigEndian.AppendUint64(dst, gen)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(name)))
+	dst = append(dst, name...)
+	dst = append(dst, data...)
+	crc := crc32.ChecksumIEEE(dst[start+4:])
+	binary.BigEndian.PutUint32(dst[start:start+4], crc)
+	return dst
+}
+
+// rec is one parsed record, with offsets relative to its segment start.
+type rec struct {
+	kind    byte
+	gen     uint64
+	name    string
+	off     int // record start (the CRC word)
+	size    int // full framed size
+	dataOff int // payload start
+	dataLen int
+}
+
+// parseRecord decodes the record starting at off in data. It returns the
+// record and true on success; false means the bytes at off are not a whole,
+// well-formed record — torn tail, damaged frame, or plain garbage. It never
+// panics on arbitrary input (fuzzed by FuzzWALRecordParse).
+func parseRecord(data []byte, off int) (rec, bool) {
+	if off < 0 || off > len(data)-recFrameLen {
+		return rec{}, false
+	}
+	crc := binary.BigEndian.Uint32(data[off:])
+	bodyLen := int(binary.BigEndian.Uint32(data[off+4:]))
+	if bodyLen < recMetaLen || bodyLen > recMetaLen+maxNameLen+maxDataLen {
+		return rec{}, false
+	}
+	end := off + recFrameLen + bodyLen
+	if end > len(data) || end < off {
+		return rec{}, false
+	}
+	if crc32.ChecksumIEEE(data[off+4:end]) != crc {
+		return rec{}, false
+	}
+	body := data[off+recFrameLen : end]
+	kind := body[0]
+	if kind != kindPut && kind != kindDelete {
+		return rec{}, false
+	}
+	gen := binary.BigEndian.Uint64(body[1:])
+	nameLen := int(binary.BigEndian.Uint16(body[9:]))
+	if nameLen > maxNameLen || recMetaLen+nameLen > bodyLen {
+		return rec{}, false
+	}
+	name := string(body[recMetaLen : recMetaLen+nameLen])
+	return rec{
+		kind:    kind,
+		gen:     gen,
+		name:    name,
+		off:     off,
+		size:    recFrameLen + bodyLen,
+		dataOff: off + recFrameLen + recMetaLen + nameLen,
+		dataLen: bodyLen - recMetaLen - nameLen,
+	}, true
+}
+
+// scanSegment walks every well-formed record in a segment body, calling emit
+// for each. It returns the number of bytes abandoned after the last good
+// record. Scanning stops at the first byte position that does not parse as a
+// record: past damage, record boundaries cannot be trusted, so the remainder
+// of the segment is dropped rather than resynchronized (the durability
+// argument for this is in DESIGN.md — damage only ever occurs at the global
+// log tail in the crash model, and mid-log damage is surfaced via recovery
+// stats while envelope authentication backstops integrity).
+func scanSegment(data []byte, emit func(rec)) (dropped int) {
+	off := segHdrLen
+	for off < len(data) {
+		r, ok := parseRecord(data, off)
+		if !ok {
+			return len(data) - off
+		}
+		emit(r)
+		off += r.size
+	}
+	return 0
+}
+
+// parseSegmentHeader validates a segment header and returns the segment id.
+func parseSegmentHeader(data []byte) (uint64, error) {
+	if len(data) < segHdrLen {
+		return 0, fmt.Errorf("logstore: segment shorter than header (%d bytes)", len(data))
+	}
+	if string(data[:4]) != segMagic {
+		return 0, fmt.Errorf("logstore: bad segment magic %q", data[:4])
+	}
+	if v := binary.BigEndian.Uint16(data[4:]); v != segVersion {
+		return 0, fmt.Errorf("logstore: unsupported segment version %d", v)
+	}
+	return binary.BigEndian.Uint64(data[6:]), nil
+}
+
+// diskSegment is one segment region on the modeled device. synced is the
+// durable watermark: bytes past it are lost by Crash().
+type diskSegment struct {
+	id     uint64
+	data   []byte
+	synced int
+}
+
+// Disk models the dom0 block device under the log: an ordered list of
+// segment regions with per-segment durable watermarks. It exists as its own
+// type so crash-consistency tests can tear the byte stream at arbitrary
+// points — mid-record, across a segment boundary, or by dropping the tail
+// segment — exactly like the PR-3 fault injector tears blob writes.
+//
+// A Disk must be attached to at most one live Store. The mutating test hooks
+// (Crash, TruncateTail, DropTailSegment, Corrupt) are for quiesced disks
+// only: detach or close the owning store first.
+type Disk struct {
+	mu        sync.Mutex
+	segs      []*diskSegment
+	nextSegID uint64
+}
+
+// NewDisk creates an empty device.
+func NewDisk() *Disk { return &Disk{} }
+
+// Segments reports how many segment regions exist.
+func (d *Disk) Segments() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.segs)
+}
+
+// SegmentBytes reports each segment's current length in order.
+func (d *Disk) SegmentBytes() []int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]int, len(d.segs))
+	for i, s := range d.segs {
+		out[i] = len(s.data)
+	}
+	return out
+}
+
+// Bytes reports the total bytes across all segments.
+func (d *Disk) Bytes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.bytesLocked()
+}
+
+func (d *Disk) bytesLocked() int {
+	n := 0
+	for _, s := range d.segs {
+		n += len(s.data)
+	}
+	return n
+}
+
+// SyncedBytes reports the total durable bytes across all segments.
+func (d *Disk) SyncedBytes() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := 0
+	for _, s := range d.segs {
+		n += s.synced
+	}
+	return n
+}
+
+// Crash discards everything past the durable watermarks, modeling power
+// loss: each segment is truncated to its synced prefix and empty segments
+// are removed. The store that was writing this disk must be discarded; call
+// Open to recover.
+func (d *Disk) Crash() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	kept := d.segs[:0]
+	for _, s := range d.segs {
+		s.data = s.data[:s.synced]
+		if len(s.data) > 0 {
+			kept = append(kept, s)
+		}
+	}
+	d.segs = kept
+}
+
+// TruncateTail removes the last n bytes of the global byte stream, spanning
+// segment boundaries: a small n tears the final record mid-body, a larger n
+// erases the tail segment entirely and tears into the one before it.
+// Segments truncated to zero are removed.
+func (d *Disk) TruncateTail(n int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for i := len(d.segs) - 1; i >= 0 && n > 0; i-- {
+		s := d.segs[i]
+		cut := n
+		if cut > len(s.data) {
+			cut = len(s.data)
+		}
+		s.data = s.data[:len(s.data)-cut]
+		if s.synced > len(s.data) {
+			s.synced = len(s.data)
+		}
+		n -= cut
+		if len(s.data) == 0 {
+			d.segs = d.segs[:i]
+		}
+	}
+}
+
+// DropTailSegment removes the final segment region wholesale — the
+// "truncated tail segment" crash case where the filesystem lost the last
+// extent.
+func (d *Disk) DropTailSegment() {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(d.segs) > 0 {
+		d.segs = d.segs[:len(d.segs)-1]
+	}
+}
+
+// Corrupt flips one bit at global byte offset off, modeling silent media
+// damage inside the log body.
+func (d *Disk) Corrupt(off int) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	for _, s := range d.segs {
+		if off < len(s.data) {
+			s.data[off] ^= 0x40
+			return
+		}
+		off -= len(s.data)
+	}
+}
+
+// addSegment opens a fresh segment region and returns it. Caller holds d.mu.
+func (d *Disk) addSegmentLocked() *diskSegment {
+	s := &diskSegment{id: d.nextSegID}
+	s.data = appendSegmentHeader(nil, s.id)
+	d.nextSegID++
+	d.segs = append(d.segs, s)
+	return s
+}
+
+// syncLocked marks every written byte durable. Caller holds d.mu.
+func (d *Disk) syncLocked() {
+	for _, s := range d.segs {
+		s.synced = len(s.data)
+	}
+}

@@ -1,0 +1,126 @@
+package logstore
+
+import "xvtpm/internal/metrics"
+
+// statsInner is the store's internal tally, mutated under Store.mu.
+type statsInner struct {
+	puts           uint64
+	gets           uint64
+	deletes        uint64
+	commits        uint64 // group commits, i.e. syncs
+	batchRecords   uint64 // records carried by those commits
+	bytesAppended  uint64 // log bytes written, compaction rewrites included
+	userBytes      uint64 // payload bytes callers handed to Put
+	bytesLive      uint64 // framed bytes of index-reachable records
+	bytesReclaimed uint64
+	compactions    uint64
+}
+
+// Stats is a consistent snapshot of the store's counters and levels.
+type Stats struct {
+	// Puts, Gets, Deletes count caller operations.
+	Puts, Gets, Deletes uint64
+	// Commits counts group commits — one sync each. BatchRecords is the
+	// total records those commits carried; BatchRecords/Commits is the
+	// coalesce ratio.
+	Commits, BatchRecords uint64
+	// BytesAppended is every byte written to the log, including segment
+	// headers and compaction rewrites. UserBytes is the payload bytes the
+	// callers supplied; BytesAppended/UserBytes is write amplification.
+	BytesAppended, UserBytes uint64
+	// BytesLive is the framed size of all index-reachable records;
+	// BytesOnDisk is the full device footprint. CompactionDebt is the dead
+	// weight between them (superseded generations + tombstones).
+	BytesLive, BytesOnDisk, CompactionDebt uint64
+	// Segments is the current segment-region count.
+	Segments int
+	// Compactions and BytesReclaimed tally compaction work.
+	Compactions, BytesReclaimed uint64
+	// Recover is what Open found when this store was last recovered.
+	Recover RecoverStats
+}
+
+// CoalesceRatio reports mean records per group commit — 1.0 means the store
+// degraded to one sync per Put, the flat-store cost.
+func (st Stats) CoalesceRatio() float64 {
+	if st.Commits == 0 {
+		return 0
+	}
+	return float64(st.BatchRecords) / float64(st.Commits)
+}
+
+// WriteAmplification reports log bytes written per user payload byte.
+func (st Stats) WriteAmplification() float64 {
+	if st.UserBytes == 0 {
+		return 0
+	}
+	return float64(st.BytesAppended) / float64(st.UserBytes)
+}
+
+// Stats snapshots the store.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Puts:           s.stats.puts,
+		Gets:           s.stats.gets,
+		Deletes:        s.stats.deletes,
+		Commits:        s.stats.commits,
+		BatchRecords:   s.stats.batchRecords,
+		BytesAppended:  s.stats.bytesAppended,
+		UserBytes:      s.stats.userBytes,
+		BytesLive:      s.stats.bytesLive,
+		BytesReclaimed: s.stats.bytesReclaimed,
+		Compactions:    s.stats.compactions,
+		Recover:        s.recover,
+	}
+	s.disk.mu.Lock()
+	st.Segments = len(s.disk.segs)
+	onDisk := uint64(s.disk.bytesLocked())
+	s.disk.mu.Unlock()
+	st.BytesOnDisk = onDisk
+	headers := uint64(st.Segments * segHdrLen)
+	if onDisk > st.BytesLive+headers {
+		st.CompactionDebt = onDisk - st.BytesLive - headers
+	}
+	return st
+}
+
+// RegisterMetrics exposes the store's counters and levels on reg under the
+// xvtpm_store_* namespace. Values are read live at exposition time.
+func (s *Store) RegisterMetrics(reg *metrics.Registry) error {
+	type gaugeDef struct {
+		name string
+		help string
+		fn   func(Stats) float64
+	}
+	defs := []gaugeDef{
+		{"xvtpm_store_puts_total", "Blob Put operations accepted by the log store.",
+			func(st Stats) float64 { return float64(st.Puts) }},
+		{"xvtpm_store_commits_total", "Group commits (device syncs) performed.",
+			func(st Stats) float64 { return float64(st.Commits) }},
+		{"xvtpm_store_coalesce_ratio", "Mean records per group commit.",
+			func(st Stats) float64 { return st.CoalesceRatio() }},
+		{"xvtpm_store_bytes_appended_total", "Log bytes written, including compaction rewrites.",
+			func(st Stats) float64 { return float64(st.BytesAppended) }},
+		{"xvtpm_store_bytes_live", "Framed bytes of index-reachable records.",
+			func(st Stats) float64 { return float64(st.BytesLive) }},
+		{"xvtpm_store_bytes_on_disk", "Total device footprint across segments.",
+			func(st Stats) float64 { return float64(st.BytesOnDisk) }},
+		{"xvtpm_store_compaction_debt_bytes", "Dead bytes awaiting compaction.",
+			func(st Stats) float64 { return float64(st.CompactionDebt) }},
+		{"xvtpm_store_segments", "Current segment count.",
+			func(st Stats) float64 { return float64(st.Segments) }},
+		{"xvtpm_store_compactions_total", "Compaction passes completed.",
+			func(st Stats) float64 { return float64(st.Compactions) }},
+		{"xvtpm_store_write_amplification", "Log bytes written per user payload byte.",
+			func(st Stats) float64 { return st.WriteAmplification() }},
+	}
+	for _, d := range defs {
+		d := d
+		if err := reg.RegisterGaugeFunc(d.name, d.help, func() float64 { return d.fn(s.Stats()) }); err != nil {
+			return err
+		}
+	}
+	return nil
+}

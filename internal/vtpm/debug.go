@@ -5,7 +5,9 @@ import (
 	"net/http"
 	"strconv"
 
+	"xvtpm/internal/faults"
 	"xvtpm/internal/metrics"
+	"xvtpm/internal/store/logstore"
 	"xvtpm/internal/trace"
 )
 
@@ -29,12 +31,69 @@ type DebugInstance struct {
 	Spans         []trace.Span             `json:"spans,omitempty"`
 }
 
+// StoreDebug is the persistence-backend section of a DebugReport, present
+// when the manager writes through the log-structured store (possibly under
+// fault-injection wrappers).
+type StoreDebug struct {
+	Backend            string  `json:"backend"`
+	Segments           int     `json:"segments"`
+	Commits            uint64  `json:"commits"`
+	CoalesceRatio      float64 `json:"coalesce_ratio"`
+	BytesAppended      uint64  `json:"bytes_appended"`
+	BytesLive          uint64  `json:"bytes_live"`
+	BytesOnDisk        uint64  `json:"bytes_on_disk"`
+	CompactionDebt     uint64  `json:"compaction_debt"`
+	Compactions        uint64  `json:"compactions"`
+	WriteAmplification float64 `json:"write_amplification"`
+}
+
 // DebugReport is the full /debug/vtpm document.
 type DebugReport struct {
 	Dispatch   DispatchStats    `json:"dispatch"`
 	Checkpoint CheckpointStats  `json:"checkpoint"`
+	Store      *StoreDebug      `json:"store,omitempty"`
 	Health     []InstanceHealth `json:"health"`
 	Instances  []DebugInstance  `json:"instances"`
+}
+
+// UnwrapLogStore digs through wrapper stores (anything exposing the
+// faults.Store-shaped Inner accessor) to the log-structured backend, if one
+// is at the bottom of the stack.
+func UnwrapLogStore(s Store) (*logstore.Store, bool) {
+	var cur any = s
+	for cur != nil {
+		if ls, ok := cur.(*logstore.Store); ok {
+			return ls, true
+		}
+		u, ok := cur.(interface{ Inner() faults.BlobStore })
+		if !ok {
+			return nil, false
+		}
+		cur = u.Inner()
+	}
+	return nil, false
+}
+
+// StoreDebug snapshots the log store's counters, or returns nil when the
+// manager persists through a flat backend.
+func (m *Manager) StoreDebug() *StoreDebug {
+	ls, ok := UnwrapLogStore(m.store)
+	if !ok {
+		return nil
+	}
+	st := ls.Stats()
+	return &StoreDebug{
+		Backend:            "log",
+		Segments:           st.Segments,
+		Commits:            st.Commits,
+		CoalesceRatio:      st.CoalesceRatio(),
+		BytesAppended:      st.BytesAppended,
+		BytesLive:          st.BytesLive,
+		BytesOnDisk:        st.BytesOnDisk,
+		CompactionDebt:     st.CompactionDebt,
+		Compactions:        st.Compactions,
+		WriteAmplification: st.WriteAmplification(),
+	}
 }
 
 // DebugReport assembles the introspection document. withSpans additionally
@@ -44,6 +103,7 @@ func (m *Manager) DebugReport(withSpans bool) DebugReport {
 	rep := DebugReport{
 		Dispatch:   m.DispatchStats(),
 		Checkpoint: m.CheckpointStats(),
+		Store:      m.StoreDebug(),
 		Health:     m.HealthAll(),
 	}
 	for _, s := range m.InstanceStatsAll() {

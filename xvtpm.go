@@ -32,6 +32,7 @@ import (
 
 	"xvtpm/internal/core"
 	"xvtpm/internal/metrics"
+	"xvtpm/internal/store/logstore"
 	"xvtpm/internal/tpm"
 	"xvtpm/internal/vtpm"
 	"xvtpm/internal/xen"
@@ -53,6 +54,29 @@ func (m Mode) String() string {
 		return "improved"
 	}
 	return "baseline"
+}
+
+// StoreBackend selects which built-in persistence backend NewHost
+// constructs when HostConfig.Store is nil.
+type StoreBackend int
+
+// Built-in persistence backends.
+const (
+	// StoreFlat is the seed behaviour: a flat in-memory blob store paying
+	// one write per dirty instance.
+	StoreFlat StoreBackend = iota
+	// StoreLog is the segmented append-only log store: checkpoint Puts from
+	// concurrent write-behind workers coalesce into group commits, one sync
+	// per commit window. See internal/store/logstore.
+	StoreLog
+)
+
+// String implements fmt.Stringer.
+func (b StoreBackend) String() string {
+	if b == StoreLog {
+		return "log"
+	}
+	return "flat"
 }
 
 // Re-exported types so example code needs only this package and
@@ -101,9 +125,18 @@ type HostConfig struct {
 	// window; zero means the vtpm package defaults.
 	MaxDirtyCommands int
 	MaxDirtyInterval time.Duration
-	// Store overrides the manager's state store. Nil means a fresh
-	// vtpm.NewMemStore. Fault-injection runs pass a faults.Store here.
+	// Store overrides the manager's state store. Nil means NewHost builds
+	// the backend StoreBackend selects. Fault-injection runs pass a
+	// faults.Store here (wrapping either backend).
 	Store vtpm.Store
+	// StoreBackend selects the built-in persistence backend when Store is
+	// nil: StoreFlat (default, one in-memory blob per name) or StoreLog
+	// (segmented append-only log with cross-instance group commit).
+	StoreBackend StoreBackend
+	// LogStore tunes the StoreLog backend; the zero value takes the
+	// logstore defaults. The NotFound sentinel is always forced to
+	// vtpm.ErrNoState so the manager's missing-blob handling works.
+	LogStore logstore.Config
 	// Retry bounds the manager's store-I/O retry loop; zero fields mean the
 	// vtpm package defaults. See vtpm.RetryPolicy.
 	Retry vtpm.RetryPolicy
@@ -261,7 +294,16 @@ func NewHost(cfg HostConfig) (*Host, error) {
 
 	store := cfg.Store
 	if store == nil {
-		store = vtpm.NewMemStore()
+		switch cfg.StoreBackend {
+		case StoreFlat:
+			store = vtpm.NewMemStore()
+		case StoreLog:
+			lcfg := cfg.LogStore
+			lcfg.NotFound = vtpm.ErrNoState
+			store = logstore.New(lcfg)
+		default:
+			return nil, fmt.Errorf("xvtpm: unknown store backend %d", cfg.StoreBackend)
+		}
 	}
 	h := &Host{
 		Name:      cfg.Name,
@@ -320,8 +362,16 @@ func NewHost(cfg HostConfig) (*Host, error) {
 // latency and ring batch size), for tooling like vtpmctl top.
 func (h *Host) TransportMetrics() *vtpm.TransportMetrics { return h.transport }
 
+// LogStore returns the log-structured store backing this host, unwrapping
+// fault-injection layers, or false when the host persists through a flat
+// backend.
+func (h *Host) LogStore() (*logstore.Store, bool) {
+	return vtpm.UnwrapLogStore(h.Store)
+}
+
 // RegisterMetrics exposes the host's instruments — the manager's
-// dispatch/checkpoint/health metrics and, in improved mode, the guard's
+// dispatch/checkpoint/health metrics, the store's group-commit counters
+// when the log backend is in use, and, in improved mode, the guard's
 // admission metrics — in reg for /metrics exposition.
 func (h *Host) RegisterMetrics(reg *metrics.Registry) error {
 	if err := h.Manager.RegisterMetrics(reg); err != nil {
@@ -329,6 +379,11 @@ func (h *Host) RegisterMetrics(reg *metrics.Registry) error {
 	}
 	if err := h.transport.Register(reg); err != nil {
 		return err
+	}
+	if ls, ok := h.LogStore(); ok {
+		if err := ls.RegisterMetrics(reg); err != nil {
+			return err
+		}
 	}
 	if ig, ok := h.ImprovedGuard(); ok {
 		return ig.RegisterMetrics(reg)
