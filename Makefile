@@ -35,8 +35,8 @@ bench-smoke:
 # Benchmark-regression gate: run the fixed hot-path suite and compare against
 # the committed baseline. Fails (exit 1, printed table) on >15% ns/op
 # regression or any allocs/op growth. Regenerate the baseline on the same
-# machine with `go run ./cmd/benchrunner -bench -out BENCH_7.json`.
-BENCH_BASELINE ?= BENCH_7.json
+# machine with `go run ./cmd/benchrunner -bench -out BENCH_8.json`.
+BENCH_BASELINE ?= BENCH_8.json
 bench-gate:
 	$(GO) run ./cmd/benchrunner -check $(BENCH_BASELINE)
 
@@ -65,7 +65,7 @@ cover:
 # CHAOS_SEED=<seed> make chaos.
 CHAOS_SEED ?=
 chaos:
-	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -v -run TestChaosStorm -count=1 . \
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -v -run 'TestChaosStorm|TestClusterChaosStorm' -count=1 . ./internal/cluster \
 		|| { echo "chaos storm FAILED — replay with CHAOS_SEED=<seed from log above> make chaos"; exit 1; }
 
 ci: vet lint build test race bench-smoke chaos

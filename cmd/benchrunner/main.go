@@ -3,13 +3,13 @@
 // extensions (E9 flood control, E10 recovery, E11 concurrent dispatch,
 // E12 checkpoint policy, E13 fault storm, E14 observability overhead,
 // E15 transport pipeline, E16 per-profile sweep, E17 log-structured
-// checkpoint store),
+// checkpoint store, E18 federation drain/evacuation/fault-storm),
 // printed as aligned text tables and series. It also hosts the CI
 // benchmark-regression gate (-bench / -check).
 //
 // Usage:
 //
-//	benchrunner [-exp all|E1|E2|...|E17] [-bits 512] [-quick]
+//	benchrunner [-exp all|E1|E2|...|E18] [-bits 512] [-quick]
 //	benchrunner -bench [-out BENCH.json]
 //	benchrunner -check BENCH_baseline.json [-tolerance 0.15]
 //
@@ -73,7 +73,7 @@ func runBenchCheck(cfg experiments.Config, baselinePath string, tolerance float6
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, or one of E1..E17")
+	exp := flag.String("exp", "all", "experiment to run: all, or one of E1..E18")
 	bits := flag.Int("bits", 512, "RSA modulus size for all TPM keys")
 	quick := flag.Bool("quick", false, "reduced repetitions (smoke run)")
 	bench := flag.Bool("bench", false, "run the benchmark-gate suite and emit JSON instead of experiments")
@@ -117,8 +117,9 @@ func main() {
 		"E15": func() error { _, err := experiments.E15Transport(cfg); return err },
 		"E16": func() error { _, err := experiments.E16ProfileSweep(cfg); return err },
 		"E17": func() error { _, err := experiments.E17LogStore(cfg); return err },
+		"E18": func() error { _, err := experiments.E18Federation(cfg); return err },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
 
 	want := strings.ToUpper(*exp)
 	if want == "ALL" {
@@ -133,7 +134,7 @@ func main() {
 	}
 	run, ok := runners[want]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all or E1..E17)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all or E1..E18)\n", *exp)
 		os.Exit(2)
 	}
 	if err := run(); err != nil {

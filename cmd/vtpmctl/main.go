@@ -5,13 +5,18 @@
 //
 // Usage:
 //
-//	vtpmctl [-mode improved] [-bits 512] [-store flat|log] [-script "cmd; cmd; ..."]
+//	vtpmctl [-mode improved] [-bits 512] [-store flat|log] [-cluster N] [-script "cmd; cmd; ..."]
 //
 // Commands: help, create <name> [profile], list, extend <name> <pcr> <text>,
 // suspend/resume <name>, ratelimit <name> <n>, anchor, verify-audit,
 // pcrread <name> <pcr>, random <name> <n>, deny <name> <group>,
 // allow <name> <group>, audit [n], top [--profile 1.2|2.0],
 // spans <name> [n], checkpoint <name>, destroy <name>, quit.
+//
+// With -cluster N the console boots an N-member federation instead and
+// exposes its operational surface: placement, fenced migration, drain,
+// condemnation and evacuation, the ownership table, and migration/blackout
+// statistics (see cluster.go).
 package main
 
 import (
@@ -467,16 +472,49 @@ func (c *console) handle(line string) bool {
 	return true
 }
 
+// runLoop drives a console handler from a semicolon-separated script, or
+// interactively from stdin when script is empty.
+func runLoop(handle func(string) bool, out *bufio.Writer, script string) {
+	if script != "" {
+		for _, line := range strings.Split(script, ";") {
+			fmt.Fprintf(out, "> %s\n", strings.TrimSpace(line))
+			if !handle(line) {
+				break
+			}
+			out.Flush()
+		}
+		return
+	}
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Fprint(out, "> ")
+	out.Flush()
+	for sc.Scan() {
+		if !handle(sc.Text()) {
+			break
+		}
+		fmt.Fprint(out, "> ")
+		out.Flush()
+	}
+}
+
 func main() {
 	modeFlag := flag.String("mode", "improved", "access-control guard: baseline or improved")
 	bits := flag.Int("bits", 512, "RSA modulus size")
 	storeFlag := flag.String("store", "flat", "persistence backend: flat or log")
 	script := flag.String("script", "", "semicolon-separated commands to run instead of stdin")
+	clusterN := flag.Int("cluster", 0, "boot an N-member federation instead of a single host")
 	flag.Parse()
 
 	mode := xvtpm.ModeImproved
 	if *modeFlag == "baseline" {
 		mode = xvtpm.ModeBaseline
+	}
+	if *clusterN > 0 {
+		if err := runCluster(*clusterN, *bits, mode, *script); err != nil {
+			fmt.Fprintf(os.Stderr, "boot: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 	backend := xvtpm.StoreFlat
 	if *storeFlag == "log" {
@@ -494,25 +532,5 @@ func main() {
 	c := &console{host: host, guests: make(map[string]*xvtpm.Guest), out: bufio.NewWriter(os.Stdout)}
 	defer c.out.Flush()
 	c.printf("vtpmctl: host up (%s mode). Type 'help'.\n", mode)
-
-	if *script != "" {
-		for _, line := range strings.Split(*script, ";") {
-			c.printf("> %s\n", strings.TrimSpace(line))
-			if !c.handle(line) {
-				break
-			}
-			c.out.Flush()
-		}
-		return
-	}
-	sc := bufio.NewScanner(os.Stdin)
-	c.printf("> ")
-	c.out.Flush()
-	for sc.Scan() {
-		if !c.handle(sc.Text()) {
-			break
-		}
-		c.printf("> ")
-		c.out.Flush()
-	}
+	runLoop(c.handle, c.out, *script)
 }

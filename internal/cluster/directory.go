@@ -1,0 +1,210 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"xvtpm/internal/vtpm"
+)
+
+// The placement directory is the cluster's single source of truth for
+// instance ownership: one entry per guest key mapping to the owning host,
+// the instance's local ID there, and a generation-fenced epoch. Every
+// ownership transition — registration, a two-phase move, a failure-driven
+// reassignment — bumps the epoch, and every epoch-checked write (see
+// fencedStore) must present the current epoch, so a host acting on a stale
+// view of ownership is rejected rather than trusted.
+
+// PlacementState is one directory entry's ownership phase.
+type PlacementState int
+
+const (
+	// Owned: exactly one host holds the instance.
+	Owned PlacementState = iota
+	// Moving: a two-phase handoff is open; the source still holds the
+	// fenced instance and the destination is activating its copy.
+	Moving
+)
+
+// String implements fmt.Stringer.
+func (s PlacementState) String() string {
+	if s == Moving {
+		return "moving"
+	}
+	return "owned"
+}
+
+// Placement is one directory entry.
+type Placement struct {
+	// Host owns the instance (the move source while Moving).
+	Host string
+	// Dest is the move destination; empty unless Moving.
+	Dest string
+	// LocalID is the instance's ID on Host. It switches to the
+	// destination's local ID only at CommitMove.
+	LocalID vtpm.InstanceID
+	// Epoch is the ownership generation: bumped by every transition, echoed
+	// in every checkpoint header, checked on every bound write.
+	Epoch uint64
+	// State is the ownership phase.
+	State PlacementState
+}
+
+// Directory is the fenced placement map. All methods are safe for
+// concurrent use; per-key handoff serialization is the caller's job (the
+// cluster holds a per-record lock across a whole two-phase move).
+type Directory struct {
+	mu      sync.Mutex
+	entries map[string]Placement
+}
+
+// NewDirectory creates an empty directory.
+func NewDirectory() *Directory {
+	return &Directory{entries: make(map[string]Placement)}
+}
+
+// Register enters a freshly created instance at epoch 1.
+func (d *Directory) Register(key, host string, id vtpm.InstanceID) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.entries[key]; ok {
+		return 0, fmt.Errorf("cluster: key %q already placed", key)
+	}
+	d.entries[key] = Placement{Host: host, LocalID: id, Epoch: 1, State: Owned}
+	return 1, nil
+}
+
+// Lookup returns the entry for key.
+func (d *Directory) Lookup(key string) (Placement, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.entries[key]
+	return p, ok
+}
+
+// BeginMove opens a two-phase handoff src → dst: the epoch bumps and the
+// entry enters Moving. Fails unless src owns the key outright (a concurrent
+// move or reassignment loses the race here, deterministically).
+func (d *Directory) BeginMove(key, src, dst string) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.entries[key]
+	if !ok {
+		return 0, fmt.Errorf("cluster: key %q not placed", key)
+	}
+	if p.State != Owned || p.Host != src {
+		return 0, fmt.Errorf("cluster: key %q is %s by %q, not owned by %q", key, p.State, p.Host, src)
+	}
+	if dst == src || dst == "" {
+		return 0, fmt.Errorf("cluster: bad move destination %q for key %q", dst, key)
+	}
+	p.Epoch++
+	p.State = Moving
+	p.Dest = dst
+	d.entries[key] = p
+	return p.Epoch, nil
+}
+
+// CommitMove completes a handoff: dst owns the key at the move epoch under
+// its own local ID. Fails unless the entry is still Moving to dst at
+// exactly that epoch — a commit racing an abort (or a reassignment) loses.
+func (d *Directory) CommitMove(key, dst string, id vtpm.InstanceID, epoch uint64) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.entries[key]
+	if !ok {
+		return fmt.Errorf("cluster: key %q not placed", key)
+	}
+	if p.State != Moving || p.Dest != dst || p.Epoch != epoch {
+		return fmt.Errorf("cluster: key %q cannot commit to %q at epoch %d (%s by %q→%q at %d)",
+			key, dst, epoch, p.State, p.Host, p.Dest, p.Epoch)
+	}
+	d.entries[key] = Placement{Host: dst, LocalID: id, Epoch: epoch, State: Owned}
+	return nil
+}
+
+// AbortMove rolls an open handoff back to the source at a fresh epoch (so a
+// straggling write from the abandoned destination, stamped with the move
+// epoch, is rejected from then on). Returns the post-abort epoch.
+func (d *Directory) AbortMove(key string, epoch uint64) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.entries[key]
+	if !ok {
+		return 0, fmt.Errorf("cluster: key %q not placed", key)
+	}
+	if p.State != Moving || p.Epoch != epoch {
+		return 0, fmt.Errorf("cluster: key %q cannot abort at epoch %d (%s at %d)", key, epoch, p.State, p.Epoch)
+	}
+	p.Epoch++
+	p.State = Owned
+	p.Dest = ""
+	d.entries[key] = p
+	return p.Epoch, nil
+}
+
+// Reassign forcibly re-homes a key — the failure-driven evacuation path. It
+// succeeds from any state (the dead host cannot be asked to cooperate) and
+// bumps the epoch past whatever the zombie last held.
+func (d *Directory) Reassign(key, host string, id vtpm.InstanceID) (uint64, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.entries[key]
+	if !ok {
+		return 0, fmt.Errorf("cluster: key %q not placed", key)
+	}
+	p.Epoch++
+	d.entries[key] = Placement{Host: host, LocalID: id, Epoch: p.Epoch, State: Owned}
+	return p.Epoch, nil
+}
+
+// Remove drops a key (guest destroyed).
+func (d *Directory) Remove(key string) {
+	d.mu.Lock()
+	delete(d.entries, key)
+	d.mu.Unlock()
+}
+
+// AllowWrite is the durable fence: may host write key's state at epoch? True
+// only for the current epoch, and only for the owner — or, mid-move, for
+// either end of the open handoff (the source flushes its final checkpoint,
+// the destination lands its first). Any stale epoch, and any host outside
+// the current transition, is a zombie.
+func (d *Directory) AllowWrite(key, host string, epoch uint64) bool {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	p, ok := d.entries[key]
+	if !ok || p.Epoch != epoch {
+		return false
+	}
+	switch p.State {
+	case Owned:
+		return p.Host == host
+	case Moving:
+		return p.Host == host || p.Dest == host
+	}
+	return false
+}
+
+// Owners returns each host's keys (move sources count as owners), sorted,
+// for drain planning and operator tooling.
+func (d *Directory) Owners() map[string][]string {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make(map[string][]string)
+	for key, p := range d.entries {
+		out[p.Host] = append(out[p.Host], key)
+	}
+	for _, keys := range out {
+		sort.Strings(keys)
+	}
+	return out
+}
+
+// Len returns the number of placed keys.
+func (d *Directory) Len() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.entries)
+}

@@ -1,0 +1,136 @@
+package cluster
+
+import (
+	"testing"
+
+	"xvtpm/internal/vtpm"
+)
+
+// FuzzPlacementDirectoryOps drives the placement directory through arbitrary
+// op sequences and checks the fencing invariants that the whole federation
+// design leans on:
+//
+//   - epochs are strictly monotonic per key across every transition
+//     (register, begin/commit/abort, reassign) — a re-registered key restarts
+//     its history;
+//   - an Owned entry has no destination; a Moving entry has a destination
+//     distinct from its source and from "";
+//   - AllowWrite admits only the current epoch, and only the owner (plus the
+//     destination while a move is open) — never a third host, never a stale
+//     or future epoch;
+//   - a committed move lands exactly the destination as owner at the move
+//     epoch; an aborted move returns to the source at a strictly later one.
+func FuzzPlacementDirectoryOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5})
+	f.Add([]byte{0, 0x11, 1, 0x12, 2, 0x12, 1, 0x21, 3, 0x21})
+	f.Add([]byte{0, 0xff, 4, 0xff, 5, 0x01, 0, 0x01, 1, 0x01, 2, 0x01})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d := NewDirectory()
+		hosts := []string{"h0", "h1", "h2", "h3"}
+		keys := []string{"a", "b", "c"}
+		// lastEpoch tracks the highest epoch ever observed per key while the
+		// key stays placed; any transition must move strictly past it.
+		lastEpoch := make(map[string]uint64)
+		// openEpoch remembers each key's move epoch while Moving.
+		openEpoch := make(map[string]uint64)
+
+		check := func(key string) {
+			p, ok := d.Lookup(key)
+			if !ok {
+				return
+			}
+			if last := lastEpoch[key]; p.Epoch < last {
+				t.Fatalf("key %q epoch regressed: %d after %d", key, p.Epoch, last)
+			}
+			lastEpoch[key] = p.Epoch
+			switch p.State {
+			case Owned:
+				if p.Dest != "" {
+					t.Fatalf("key %q owned with leftover dest %q", key, p.Dest)
+				}
+			case Moving:
+				if p.Dest == "" || p.Dest == p.Host {
+					t.Fatalf("key %q moving with bad dest %q (host %q)", key, p.Dest, p.Host)
+				}
+			default:
+				t.Fatalf("key %q in unknown state %d", key, p.State)
+			}
+			// The fence: exactly the expected host set writes at exactly the
+			// current epoch.
+			for _, h := range hosts {
+				want := p.Host == h || (p.State == Moving && p.Dest == h)
+				if got := d.AllowWrite(key, h, p.Epoch); got != want {
+					t.Fatalf("key %q AllowWrite(%q, %d) = %v, want %v (state %s %q→%q)",
+						key, h, p.Epoch, got, want, p.State, p.Host, p.Dest)
+				}
+				if d.AllowWrite(key, h, p.Epoch-1) {
+					t.Fatalf("key %q admits stale epoch %d for %q", key, p.Epoch-1, h)
+				}
+				if d.AllowWrite(key, h, p.Epoch+1) {
+					t.Fatalf("key %q admits future epoch %d for %q", key, p.Epoch+1, h)
+				}
+			}
+		}
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i]%6, data[i+1]
+			key := keys[int(arg)%len(keys)]
+			host := hosts[int(arg>>4)%len(hosts)]
+			switch op {
+			case 0:
+				if _, err := d.Register(key, host, vtpm.InstanceID(arg)); err == nil {
+					// A fresh registration legally restarts the epoch history.
+					delete(lastEpoch, key)
+					delete(openEpoch, key)
+				}
+			case 1:
+				p, _ := d.Lookup(key)
+				if e, err := d.BeginMove(key, p.Host, host); err == nil {
+					openEpoch[key] = e
+					if e != p.Epoch+1 {
+						t.Fatalf("key %q BeginMove epoch %d, want %d", key, e, p.Epoch+1)
+					}
+				}
+			case 2:
+				e := openEpoch[key]
+				if err := d.CommitMove(key, host, vtpm.InstanceID(arg), e); err == nil {
+					p, _ := d.Lookup(key)
+					if p.Host != host || p.State != Owned || p.Epoch != e {
+						t.Fatalf("key %q after commit: %+v, want %q owned at %d", key, p, host, e)
+					}
+					delete(openEpoch, key)
+				}
+			case 3:
+				e := openEpoch[key]
+				if ne, err := d.AbortMove(key, e); err == nil {
+					if ne <= e {
+						t.Fatalf("key %q abort epoch %d not past move epoch %d", key, ne, e)
+					}
+					delete(openEpoch, key)
+				}
+			case 4:
+				prev, placed := d.Lookup(key)
+				if e, err := d.Reassign(key, host, vtpm.InstanceID(arg)); err == nil {
+					if !placed || e != prev.Epoch+1 {
+						t.Fatalf("key %q Reassign epoch %d (was placed=%v at %d)", key, e, placed, prev.Epoch)
+					}
+					delete(openEpoch, key)
+				}
+			case 5:
+				d.Remove(key)
+				delete(lastEpoch, key)
+				delete(openEpoch, key)
+			}
+			check(key)
+		}
+
+		// Owners must account for every placed key exactly once.
+		total := 0
+		for _, ks := range d.Owners() {
+			total += len(ks)
+		}
+		if total != d.Len() {
+			t.Fatalf("Owners lists %d keys, directory holds %d", total, d.Len())
+		}
+	})
+}

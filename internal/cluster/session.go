@@ -1,0 +1,227 @@
+package cluster
+
+import (
+	"crypto/sha1"
+	"errors"
+	"fmt"
+	"time"
+
+	"xvtpm"
+	"xvtpm/internal/tpm"
+	"xvtpm/internal/vtpm"
+)
+
+// Session is a guest-side command handle that survives ownership moves: it
+// resolves the guest's current owner per call, follows fence redirects, and
+// keeps Extend exactly-once across handoffs.
+//
+// The protocol exploits what the fence guarantees: a fence rejection (or a
+// rejection before the frontend accepted the command) happened *before*
+// execution, so retrying is always safe. Every other failure — a frontend
+// that closed mid-flight, a torn connection — is ambiguous: the command may
+// have executed with its response lost. For idempotent reads (GetRandom,
+// PCRRead) the session retries blindly. For Extend, the one guest-visible
+// mutation in the workload, the session reconciles: it tracks the expected
+// PCR chain value, re-reads the register on the current owner, and either
+// observes its extend landed (chain advanced to exactly the expected value)
+// or proves it did not (chain unchanged) and retries. A chain at any third
+// value means another writer touched the register — the session is built
+// for the one-writer-per-PCR discipline the experiments use, and reports
+// that as corruption rather than guessing.
+//
+// Sessions drive TPM 1.2 guests (the workload profile of the federation
+// experiments); GetRandom also supports 2.0 guests.
+type Session struct {
+	c   *Cluster
+	key string
+
+	// OpDeadline bounds one logical operation including all redirects and
+	// retries across handoffs. Zero means 30s.
+	OpDeadline time.Duration
+
+	// Redirects counts fence redirects followed; Reconciled counts
+	// ambiguous Extends proven landed by the chain re-read; Retried counts
+	// all retried attempts.
+	Redirects  uint64
+	Reconciled uint64
+	Retried    uint64
+
+	shadow map[uint32][tpm.DigestSize]byte
+}
+
+// Session opens a command handle for one guest key.
+func (c *Cluster) Session(key string) *Session {
+	return &Session{c: c, key: key, shadow: make(map[uint32][tpm.DigestSize]byte)}
+}
+
+// errSessionChain reports a PCR chain at a value neither pre- nor
+// post-extend — a second writer, or a lost/duplicated command.
+var errSessionChain = errors.New("cluster: PCR chain diverged")
+
+func (s *Session) deadline() time.Time {
+	d := s.OpDeadline
+	if d <= 0 {
+		d = 30 * time.Second
+	}
+	return time.Now().Add(d)
+}
+
+// resolve returns the guest's current live handle.
+func (s *Session) resolve() (*xvtpm.Guest, error) {
+	_, g, err := s.c.Owner(s.key)
+	return g, err
+}
+
+// fenceRejected reports whether err is a fence redirect — a rejection the
+// manager issued before the guard or engine ran, proving the command never
+// executed.
+func fenceRejected(err error) bool {
+	return tpm.IsTPMError(err, vtpm.RCInstanceMoved) || errors.Is(err, vtpm.ErrFenced)
+}
+
+func (s *Session) backoff() { time.Sleep(200 * time.Microsecond) }
+
+// GetRandom draws n random bytes, retrying blindly across handoffs (the
+// command has no guest-visible state, so at-least-once is exactly-once).
+func (s *Session) GetRandom(n int) ([]byte, error) {
+	dl := s.deadline()
+	var lastErr error
+	for time.Now().Before(dl) {
+		g, err := s.resolve()
+		if err != nil {
+			return nil, err
+		}
+		var out []byte
+		if g.TPM2 != nil {
+			out, err = g.TPM2.GetRandom(n)
+		} else {
+			out, err = g.TPM.GetRandom(n)
+		}
+		if err == nil {
+			return out, nil
+		}
+		if fenceRejected(err) {
+			s.Redirects++
+		}
+		s.Retried++
+		lastErr = err
+		s.backoff()
+	}
+	return nil, fmt.Errorf("cluster: GetRandom on %q deadline exhausted: %w", s.key, lastErr)
+}
+
+// PCRRead reads one PCR on the current owner, retrying across handoffs.
+func (s *Session) PCRRead(pcr uint32) ([tpm.DigestSize]byte, error) {
+	dl := s.deadline()
+	var zero [tpm.DigestSize]byte
+	var lastErr error
+	for time.Now().Before(dl) {
+		g, err := s.resolve()
+		if err != nil {
+			return zero, err
+		}
+		if g.TPM == nil {
+			return zero, fmt.Errorf("cluster: session %q: PCRRead needs a 1.2 guest", s.key)
+		}
+		v, err := g.TPM.PCRRead(pcr)
+		if err == nil {
+			return v, nil
+		}
+		if fenceRejected(err) {
+			s.Redirects++
+		}
+		s.Retried++
+		lastErr = err
+		s.backoff()
+	}
+	return zero, fmt.Errorf("cluster: PCRRead on %q deadline exhausted: %w", s.key, lastErr)
+}
+
+// chain computes the TPM extend function: SHA1(old ∥ digest).
+func chain(old, digest [tpm.DigestSize]byte) [tpm.DigestSize]byte {
+	h := sha1.New()
+	h.Write(old[:])
+	h.Write(digest[:])
+	var out [tpm.DigestSize]byte
+	copy(out[:], h.Sum(nil))
+	return out
+}
+
+// Extend extends one PCR exactly once across handoffs and returns the new
+// register value. The session must be the register's only writer.
+func (s *Session) Extend(pcr uint32, digest [tpm.DigestSize]byte) ([tpm.DigestSize]byte, error) {
+	var zero [tpm.DigestSize]byte
+	prev, ok := s.shadow[pcr]
+	if !ok {
+		v, err := s.PCRRead(pcr)
+		if err != nil {
+			return zero, err
+		}
+		prev = v
+	}
+	want := chain(prev, digest)
+	dl := s.deadline()
+	var lastErr error
+	for time.Now().Before(dl) {
+		g, err := s.resolve()
+		if err != nil {
+			return zero, err
+		}
+		if g.TPM == nil {
+			return zero, fmt.Errorf("cluster: session %q: Extend needs a 1.2 guest", s.key)
+		}
+		v, err := g.TPM.Extend(pcr, digest)
+		if err == nil {
+			if v != want {
+				return zero, fmt.Errorf("%w: key %q PCR %d extended to unexpected value", errSessionChain, s.key, pcr)
+			}
+			s.shadow[pcr] = want
+			return want, nil
+		}
+		lastErr = err
+		s.Retried++
+		if fenceRejected(err) {
+			// Provably not executed: the fence rejects before the guard and
+			// engine run. Retry against the new owner.
+			s.Redirects++
+			s.backoff()
+			continue
+		}
+		// Ambiguous: the command may have executed with its response lost
+		// (frontend closed mid-flight during a handoff). Reconcile against
+		// the chain on the then-current owner.
+		cur, rerr := s.PCRRead(pcr)
+		if rerr != nil {
+			return zero, fmt.Errorf("cluster: Extend on %q unreconcilable: %w", s.key, errors.Join(err, rerr))
+		}
+		switch cur {
+		case want:
+			// It landed; the response was lost in the handoff.
+			s.Reconciled++
+			s.shadow[pcr] = want
+			return want, nil
+		case prev:
+			// It never executed; retry.
+			s.backoff()
+			continue
+		default:
+			return zero, fmt.Errorf("%w: key %q PCR %d at a third value after ambiguous extend", errSessionChain, s.key, pcr)
+		}
+	}
+	return zero, fmt.Errorf("cluster: Extend on %q deadline exhausted: %w", s.key, lastErr)
+}
+
+// Verify confirms the guest's PCR chain matches the session's shadow — the
+// end-of-run no-lost-no-double check.
+func (s *Session) Verify() error {
+	for pcr, want := range s.shadow {
+		got, err := s.PCRRead(pcr)
+		if err != nil {
+			return err
+		}
+		if got != want {
+			return fmt.Errorf("%w: key %q PCR %d final value mismatch", errSessionChain, s.key, pcr)
+		}
+	}
+	return nil
+}

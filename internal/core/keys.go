@@ -36,6 +36,13 @@ type PlatformKeys struct {
 	sealedMaster []byte
 	bindBlob     []byte // bind key wrapped under the hardware SRK
 	bindPub      *rsa.PublicKey
+
+	// fedMaster, when set, replaces the host-local master for *state-envelope*
+	// key derivation: a cluster-wide secret delivered wrapped to this host's
+	// migration bind key and unwrapped inside the hardware TPM (JoinFederation).
+	// With it, any member host can open any member's committed checkpoints —
+	// the failure-driven evacuation path — while channel keys stay host-local.
+	fedMaster []byte
 }
 
 // SECURITY note: the unsealed master lives in the manager's Go heap, which
@@ -154,11 +161,40 @@ func deriveBytes(secret []byte, label string, extra ...[]byte) []byte {
 	return h.Sum(nil)
 }
 
+// JoinFederation installs a cluster-wide state-key master. wrapped is the
+// federation secret OAEP-encrypted to this host's migration bind key
+// (tpm.BindEncrypt against MigrationPub); it is unwrapped by TPM_UnBind
+// inside the hardware TPM, so only a host whose platform booted clean — the
+// bind key's private half lives wrapped under the hardware SRK — can join.
+// Must be called before the host protects any instance state: envelopes
+// sealed under the host-local master beforehand become unopenable once the
+// derivation switches to the federation master.
+func (pk *PlatformKeys) JoinFederation(wrapped []byte) error {
+	secret, err := pk.UnbindMigrationKek(wrapped)
+	if err != nil {
+		return fmt.Errorf("core: unwrapping federation master: %w", err)
+	}
+	if len(secret) < 16 {
+		return fmt.Errorf("core: federation master too short (%d bytes)", len(secret))
+	}
+	pk.fedMaster = secret
+	return nil
+}
+
+// stateSecret is the root of state-envelope key derivation: the federation
+// master once joined, the host-local master otherwise.
+func (pk *PlatformKeys) stateSecret() []byte {
+	if pk.fedMaster != nil {
+		return pk.fedMaster
+	}
+	return pk.master
+}
+
 // InstanceKey derives the state-envelope key for one instance.
 func (pk *PlatformKeys) InstanceKey(id vtpm.InstanceID) []byte {
 	var b [4]byte
 	binary.BigEndian.PutUint32(b[:], uint32(id))
-	return deriveBytes(pk.master, "instance-state", b[:])
+	return deriveBytes(pk.stateSecret(), "instance-state", b[:])
 }
 
 // ChannelKeyFor derives the command-channel key for one (instance,

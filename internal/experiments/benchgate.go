@@ -20,6 +20,7 @@ import (
 	"time"
 
 	"xvtpm"
+	"xvtpm/internal/cluster"
 	"xvtpm/internal/core"
 	"xvtpm/internal/metrics"
 	"xvtpm/internal/store/logstore"
@@ -480,7 +481,142 @@ func RunBenchSuite(cfg Config, names ...string) (*BenchReport, error) {
 		}
 	}
 
+	// Federation rows: the cluster package's three operational paths
+	// (DESIGN.md §12) as wall-clock figures — ns/op is elapsed time over
+	// instances moved or revived, so the gate catches a serialization or
+	// extra-flush regression in the handoff pipeline.
+
+	if wanted("DrainThroughput") {
+		// Mass drain: a 256-guest fleet off one host through the bounded
+		// worker pipeline; ns/op is the per-instance move cost at 16 workers.
+		c, err := newBenchCluster(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("DrainThroughput: %w", err)
+		}
+		const fleet = 256
+		if _, err := e18CreateFleet(c, "h0", fleet, 16); err != nil {
+			c.Close() //nolint:errcheck // constructor failure path
+			return nil, fmt.Errorf("DrainThroughput: %w", err)
+		}
+		ds, err := c.Drain("h0", 16)
+		if err == nil && (ds.Failed > 0 || ds.Moved != fleet) {
+			err = fmt.Errorf("moved %d, failed %d of %d", ds.Moved, ds.Failed, fleet)
+		}
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("DrainThroughput: %w", err)
+		}
+		add("DrainThroughput", testing.BenchmarkResult{N: ds.Moved, T: ds.Elapsed}, 0)
+	}
+
+	if wanted("MigrateBlackoutP99") {
+		// The guest-visible pause of one fenced handoff: one guest
+		// ping-ponged between two hosts with a live session extending
+		// throughout; ns/op is the blackout p99 across the moves. The row
+		// is ceiling-gated (see blackoutCeiling), not baseline-gated: a
+		// tail statistic over a few dozen moves is too noisy for a
+		// relative tolerance.
+		c, err := newBenchCluster(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("MigrateBlackoutP99: %w", err)
+		}
+		err = func() error {
+			if _, err := c.CreateGuestOn("h0", xvtpm.GuestConfig{
+				Name: "bench", Kernel: []byte("bk"), Pages: 16,
+			}); err != nil {
+				return err
+			}
+			s := c.Session("bench")
+			var stop atomic.Bool
+			done := make(chan error, 1)
+			go func() {
+				var digest [tpm.DigestSize]byte
+				for !stop.Load() {
+					digest[0]++
+					if _, err := s.Extend(8, digest); err != nil {
+						done <- err
+						return
+					}
+				}
+				done <- s.Verify()
+			}()
+			const moves = 30
+			for i := 0; i < moves; i++ {
+				dst := "h1"
+				if i%2 == 1 {
+					dst = "h0"
+				}
+				if err := c.Migrate("bench", dst); err != nil {
+					stop.Store(true)
+					<-done
+					return err
+				}
+			}
+			stop.Store(true)
+			return <-done
+		}()
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("MigrateBlackoutP99: %w", err)
+		}
+		p99 := c.ClusterStats().Blackout.Quantile(0.99)
+		add("MigrateBlackoutP99", testing.BenchmarkResult{N: 1, T: p99}, 0)
+	}
+
+	if wanted("EvacuateDeadHost") {
+		// Failure-driven evacuation: a condemned host's 128 guests revived
+		// from committed checkpoints on the survivor; ns/op is the
+		// per-instance revival cost at 16 workers.
+		c, err := newBenchCluster(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("EvacuateDeadHost: %w", err)
+		}
+		const fleet = 128
+		var es cluster.EvacStats
+		err = func() error {
+			if _, err := e18CreateFleet(c, "h1", fleet, 16); err != nil {
+				return err
+			}
+			h1, _ := c.Member("h1")
+			if err := h1.Host.Manager.CheckpointAll(); err != nil {
+				return err
+			}
+			if err := c.Condemn("h1"); err != nil {
+				return err
+			}
+			var eerr error
+			es, eerr = c.Evacuate("h1", 16)
+			if eerr == nil && (es.Failed > 0 || es.Revived != fleet) {
+				eerr = fmt.Errorf("revived %d, failed %d of %d", es.Revived, es.Failed, fleet)
+			}
+			return eerr
+		}()
+		if cerr := c.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("EvacuateDeadHost: %w", err)
+		}
+		add("EvacuateDeadHost", testing.BenchmarkResult{N: es.Revived, T: es.Elapsed}, 0)
+	}
+
 	return rep, nil
+}
+
+// newBenchCluster builds the two-host federation the gate's cluster rows
+// run against.
+func newBenchCluster(cfg Config) (*cluster.Cluster, error) {
+	return cluster.New(cluster.Config{
+		Hosts:     2,
+		Mode:      xvtpm.ModeImproved,
+		RSABits:   cfg.bits(),
+		Seed:      []byte("benchgate-cluster"),
+		Dom0Pages: 1 << 17,
+	})
 }
 
 // guestProfileBench builds an improved-mode host, creates one guest of the
@@ -626,6 +762,43 @@ func ratioGated(name string) bool {
 	return name == benchLockstepName || name == benchPipelinedName
 }
 
+// The blackout row is a p99 over a few dozen millisecond-scale moves —
+// effectively the max of the sample, and on this class of machine a single
+// GC pause or scheduler stall shifts it 2×. An absolute tolerance against
+// a committed baseline would flap on every noisy run, so CompareBench
+// exempts it (like the throughput rows) and instead gates the current
+// run's value against an absolute ceiling an order of magnitude above the
+// quiet-machine measurement (~1-2ms): a regression that fences the whole
+// host, loses the live-session overlap, or adds O(fleet) work to the
+// handoff blows through the ceiling; scheduler noise does not.
+const (
+	benchBlackoutName   = "MigrateBlackoutP99"
+	blackoutCeiling     = 50 * time.Millisecond
+	blackoutCeilingGate = "MigrateBlackoutCeiling"
+	ceilingGatedNote    = "ceiling-gated (see " + blackoutCeilingGate + ")"
+)
+
+// ceilingGated reports whether a row is exempt from the absolute ns/op
+// tolerance because it is covered by an absolute-ceiling gate instead.
+func ceilingGated(name string) bool {
+	return name == benchBlackoutName
+}
+
+// rowTolerance widens the ns/op tolerance for the wall-clock federation
+// rows: each is a macro-benchmark over dozens of real migrations (worker
+// scheduling, checkpoint flushes, a full two-phase handoff per op), and
+// their run-to-run spread on this class of machine is ±20% — inside the
+// default 15% an honest run flaps. Doubling the tolerance keeps the gate's
+// job (catching gross operational-path regressions) without the flapping;
+// allocs stay gated at the normal allowance.
+func rowTolerance(name string, tolerance float64) float64 {
+	switch name {
+	case "DrainThroughput", "EvacuateDeadHost":
+		return 2 * tolerance
+	}
+	return tolerance
+}
+
 // CompareBench evaluates current against baseline with the given ns/op
 // tolerance (0 means DefaultBenchTolerance). ok is false when any baseline
 // benchmark is missing, slower than tolerated, or allocates more.
@@ -655,15 +828,18 @@ func CompareBench(base, cur *BenchReport, tolerance float64) (deltas []BenchDelt
 			if rel := b.AllocsPerOp * allocNoiseRel; rel > allocAllowance {
 				allocAllowance = rel
 			}
+			tol := rowTolerance(b.Name, tolerance)
 			switch {
-			case d.NsRatio > tolerance && !ratioGated(b.Name):
+			case d.NsRatio > tol && !ratioGated(b.Name) && !ceilingGated(b.Name):
 				d.Fail = true
-				d.Reason = fmt.Sprintf("ns/op +%.1f%% (tolerance %.0f%%)", d.NsRatio*100, tolerance*100)
+				d.Reason = fmt.Sprintf("ns/op +%.1f%% (tolerance %.0f%%)", d.NsRatio*100, tol*100)
 			case c.AllocsPerOp > b.AllocsPerOp+allocAllowance:
 				d.Fail = true
 				d.Reason = fmt.Sprintf("allocs/op %.1f → %.1f", b.AllocsPerOp, c.AllocsPerOp)
 			case ratioGated(b.Name):
 				d.Reason = ratioGatedNote
+			case ceilingGated(b.Name):
+				d.Reason = ceilingGatedNote
 			}
 		}
 		if d.Fail {
@@ -700,6 +876,21 @@ func CompareBench(base, cur *BenchReport, tolerance float64) (deltas []BenchDelt
 		} else {
 			d.Reason = fmt.Sprintf("depth-8 sustains %.2fx the lockstep rate (floor %.1fx)",
 				ratio, pipelineSpeedupMin)
+		}
+		deltas = append(deltas, d)
+	}
+	// The blackout ceiling gate: the current run's per-move blackout p99
+	// must stay under the absolute ceiling, whatever the baseline says.
+	if bo, hasBo := byName[benchBlackoutName]; hasBo {
+		d := BenchDelta{Name: blackoutCeilingGate, Synthetic: true}
+		if bo.NsPerOp > float64(blackoutCeiling) {
+			d.Fail = true
+			d.Reason = fmt.Sprintf("blackout p99 %.1fms over the %v ceiling",
+				bo.NsPerOp/1e6, blackoutCeiling)
+			ok = false
+		} else {
+			d.Reason = fmt.Sprintf("blackout p99 %.2fms under the %v ceiling",
+				bo.NsPerOp/1e6, blackoutCeiling)
 		}
 		deltas = append(deltas, d)
 	}

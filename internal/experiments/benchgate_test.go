@@ -143,6 +143,49 @@ func TestCompareBenchPipelineRatioGate(t *testing.T) {
 	}
 }
 
+// TestCompareBenchBlackoutCeilingGate covers the blackout row: relative
+// ns/op drift is exempt (a p99 over a few dozen moves is max-like noise),
+// and the synthetic MigrateBlackoutCeiling row fails only when the current
+// run's p99 crosses the absolute ceiling.
+func TestCompareBenchBlackoutCeilingGate(t *testing.T) {
+	base := gateReport(
+		BenchResult{Name: benchBlackoutName, NsPerOp: 1.0e6},
+	)
+	// 3x the baseline but far under the ceiling: must pass.
+	cur := gateReport(
+		BenchResult{Name: benchBlackoutName, NsPerOp: 3.0e6},
+	)
+	deltas, ok := CompareBench(base, cur, DefaultBenchTolerance)
+	if !ok {
+		t.Fatalf("ceiling-gated row failed on relative drift: %+v", deltas)
+	}
+	if len(deltas) != 2 {
+		t.Fatalf("got %d deltas, want row + synthetic ceiling: %+v", len(deltas), deltas)
+	}
+	syn := deltas[1]
+	if !syn.Synthetic || syn.Name != blackoutCeilingGate || syn.Fail {
+		t.Fatalf("synthetic ceiling row wrong: %+v", syn)
+	}
+	var buf bytes.Buffer
+	RenderBenchDeltas(&buf, deltas)
+	if out := buf.String(); !strings.Contains(out, blackoutCeilingGate) || !strings.Contains(out, ceilingGatedNote) {
+		t.Fatalf("rendered table missing ceiling-gate rows:\n%s", out)
+	}
+
+	// Over the ceiling: the synthetic row alone must fail the gate.
+	cur = gateReport(
+		BenchResult{Name: benchBlackoutName, NsPerOp: float64(blackoutCeiling) * 2},
+	)
+	deltas, ok = CompareBench(base, cur, DefaultBenchTolerance)
+	if ok {
+		t.Fatalf("blackout over the ceiling passed: %+v", deltas)
+	}
+	syn = deltas[len(deltas)-1]
+	if !syn.Synthetic || !syn.Fail || !strings.Contains(syn.Reason, "ceiling") {
+		t.Fatalf("ceiling failure not on the synthetic row: %+v", deltas)
+	}
+}
+
 func TestBenchReportRoundTrip(t *testing.T) {
 	rep := gateReport(
 		BenchResult{Name: "DispatchGetRandom", NsPerOp: 1234.5, AllocsPerOp: 3, P95Ns: 2048},
@@ -190,5 +233,24 @@ func TestRunBenchSuiteSubset(t *testing.T) {
 	// Self-comparison always passes.
 	if _, ok := CompareBench(rep, rep, 0); !ok {
 		t.Fatal("report failed the gate against itself")
+	}
+}
+
+// TestRunBenchSuiteClusterRows exercises the federation gate rows end to
+// end: each must produce a positive per-instance figure with no allocs
+// accounting (wall-clock rows).
+func TestRunBenchSuiteClusterRows(t *testing.T) {
+	rep, err := RunBenchSuite(Config{RSABits: 512, Quick: true},
+		"DrainThroughput", "MigrateBlackoutP99", "EvacuateDeadHost")
+	if err != nil {
+		t.Fatalf("RunBenchSuite: %v", err)
+	}
+	if len(rep.Results) != 3 {
+		t.Fatalf("got %d results, want 3: %+v", len(rep.Results), rep.Results)
+	}
+	for _, r := range rep.Results {
+		if r.NsPerOp <= 0 {
+			t.Fatalf("%s reported %v ns/op", r.Name, r.NsPerOp)
+		}
 	}
 }

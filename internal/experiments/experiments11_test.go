@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestE18FederationShape(t *testing.T) {
+	var buf bytes.Buffer
+	rep, err := E18Federation(quickCfg(&buf))
+	if err != nil {
+		t.Fatalf("E18: %v", err)
+	}
+	if rep.DrainMoved != rep.Guests || rep.DrainFailed != 0 {
+		t.Fatalf("drain moved %d / failed %d, want all %d moved", rep.DrainMoved, rep.DrainFailed, rep.Guests)
+	}
+	if rep.DrainRate <= 0 {
+		t.Fatalf("drain rate not reported: %.0f", rep.DrainRate)
+	}
+	wholeDrain := time.Duration(rep.DrainSecs * float64(time.Second))
+	if rep.BlackoutP99 <= 0 || rep.BlackoutP99 >= wholeDrain {
+		t.Fatalf("blackout p99 %v outside (0, whole-drain %v) — the pause must be per instance", rep.BlackoutP99, wholeDrain)
+	}
+	if rep.SessionExtends == 0 {
+		t.Fatal("sessions recorded no extends — the drain was not under live load")
+	}
+	if rep.ChainFailures != 0 {
+		t.Fatalf("%d session chains broke", rep.ChainFailures)
+	}
+	if rep.EvacRevived != rep.EvacRequested || rep.EvacRequested == 0 {
+		t.Fatalf("evacuation revived %d of %d", rep.EvacRevived, rep.EvacRequested)
+	}
+	if rep.DigestMismatches != 0 {
+		t.Fatalf("%d committed digests lost in evacuation", rep.DigestMismatches)
+	}
+	if rep.ZombieFenceRejects == 0 {
+		t.Fatal("zombie dispatches were not fence-rejected")
+	}
+	if rep.StormStarted == 0 || rep.StormStarted != rep.StormCommitted+rep.StormAborted {
+		t.Fatalf("storm accounting: %d started, %d committed, %d aborted",
+			rep.StormStarted, rep.StormCommitted, rep.StormAborted)
+	}
+	if rep.OwnershipViolations != 0 {
+		t.Fatalf("%d ownership violations after the storm", rep.OwnershipViolations)
+	}
+	out := buf.String()
+	for _, want := range []string{"E18", "drain h0", "blackout", "evacuate dead h1", "zombie", "fault storm", "ownership audit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

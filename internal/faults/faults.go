@@ -126,6 +126,11 @@ const (
 	OpNotify
 	// OpFrame is a ring frame dequeue.
 	OpFrame
+	// OpTransfer is one cross-host migration transfer leg — the copy of a
+	// guest's domain and vTPM images between hosts. The cluster's fenced
+	// handoff consults it per attempt, so a fault storm tears migrations
+	// mid-flight without touching the store or ring schedules.
+	OpTransfer
 	numOps
 )
 
@@ -144,6 +149,8 @@ func (o Op) String() string {
 		return "notify"
 	case OpFrame:
 		return "frame"
+	case OpTransfer:
+		return "transfer"
 	}
 	return fmt.Sprintf("op(%d)", int(o))
 }

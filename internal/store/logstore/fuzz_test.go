@@ -20,9 +20,9 @@ func FuzzWALRecordParse(f *testing.F) {
 	good = appendRecord(good, kindDelete, 2, "vtpm-00000001.state", nil)
 	good = appendRecord(good, kindPut, 3, "x", nil)
 	f.Add(good)
-	f.Add(good[:len(good)-7])           // torn tail
-	f.Add(appendSegmentHeader(nil, 0))  // empty segment
-	f.Add([]byte{})                     // no header at all
+	f.Add(good[:len(good)-7])            // torn tail
+	f.Add(appendSegmentHeader(nil, 0))   // empty segment
+	f.Add([]byte{})                      // no header at all
 	f.Add([]byte("XSEG\x00\x01garbage")) // header then noise
 	torn := append([]byte(nil), good...)
 	torn[segHdrLen+2] ^= 0x10 // corrupt first record's length field

@@ -24,8 +24,8 @@ const (
 	segVersion = 1
 	segHdrLen  = 4 + 2 + 8
 
-	recFrameLen = 4 + 4         // crc + bodyLen
-	recMetaLen  = 1 + 8 + 2     // kind + generation + nameLen
+	recFrameLen = 4 + 4     // crc + bodyLen
+	recMetaLen  = 1 + 8 + 2 // kind + generation + nameLen
 	recMinLen   = recFrameLen + recMetaLen
 
 	kindPut    = 1

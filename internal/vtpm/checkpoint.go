@@ -326,13 +326,13 @@ func (m *Manager) persistPending(inst *instance, force bool) error {
 	var err error
 	if pa, ok := m.guard.(StateProtectorAppend); ok {
 		inst.blobBuf, err = pa.ProtectStateAppend(info,
-			appendCheckpointHeader(inst.blobBuf[:0], info.Profile), inst.stateBuf)
+			appendCheckpointHeader(inst.blobBuf[:0], info.Profile, info.Epoch), inst.stateBuf)
 		blob = inst.blobBuf
 	} else {
 		var env []byte
 		env, err = m.guard.ProtectState(info, inst.stateBuf)
 		if err == nil {
-			blob = append(appendCheckpointHeader(make([]byte, 0, ckptHdrLen+len(env)), info.Profile), env...)
+			blob = append(appendCheckpointHeader(make([]byte, 0, ckptHdrLen+len(env)), info.Profile, info.Epoch), env...)
 		}
 	}
 	if err != nil {

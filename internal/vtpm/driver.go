@@ -31,6 +31,7 @@ const (
 	RCGuardChannel   uint32 = 0x00000F02 // channel authentication/replay failure
 	RCGuardThrottled uint32 = 0x00000F03 // instance over its command rate limit
 	RCInstanceFailed uint32 = 0x00000F04 // instance quarantined after persistence failure
+	RCInstanceMoved  uint32 = 0x00000F05 // instance fenced: ownership moved, retry at the new owner
 )
 
 // driverWaitPoll is how long the split-driver service loops block on the
@@ -496,6 +497,10 @@ func (b *Backend) handleAppend(dev *backendDevice, dst, payload []byte) []byte {
 			code = RCGuardThrottled
 		case errors.Is(err, ErrQuarantined), errors.Is(err, ErrInstancePanic):
 			code = RCInstanceFailed
+		case errors.Is(err, ErrFenced):
+			// Fence rejections happen before guard and engine run, so the
+			// guest may safely re-issue the command at the new owner.
+			code = RCInstanceMoved
 		}
 		return append(append(dst, payloadRaw), tpm.ErrorResponse(code)...)
 	}

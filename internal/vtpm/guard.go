@@ -35,6 +35,13 @@ type InstanceInfo struct {
 	// 2.0). Guards key admission decisions on it so a 1.2 ordinal and a 2.0
 	// command code with the same numeric value are never conflated.
 	Profile tpm.Profile
+	// Epoch is the instance's ownership generation in a federated cluster:
+	// it is bumped on every ownership transition (migration, evacuation,
+	// rollback) by the placement directory and travels with every checkpoint
+	// header and migration image, so a store or a directory can reject the
+	// late writes of a fenced former owner. Zero on single-host managers
+	// that never federate.
+	Epoch uint64
 }
 
 // ResponseFinisher post-processes one response: encoding it for the wire and

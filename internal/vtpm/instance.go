@@ -44,6 +44,12 @@ type instance struct {
 
 	attached bool
 
+	// fence, when non-nil, rejects every dispatch with a redirect to the
+	// instance's new owner — set for the source half of a federated
+	// ownership handoff (see fence.go). Lock-free so the Dispatch fast path
+	// pays one atomic load.
+	fence fencePtr
+
 	// ck is the instance's write-behind checkpoint pipeline state; see
 	// checkpoint.go for the machinery and DESIGN.md for the durability
 	// contract.

@@ -133,6 +133,11 @@ type Manager struct {
 	ckptBytes     metrics.Counter
 	ckptLag       *metrics.Recorder
 
+	// fenceRejects counts dispatches refused by instance fences (see
+	// fence.go) — each one a command provably not executed, redirected to
+	// the instance's new owner.
+	fenceRejects metrics.Counter
+
 	// Health counters and population gauges (see health.go).
 	ckptRetries          metrics.Counter
 	healthDegradations   metrics.Counter
@@ -535,6 +540,16 @@ func (m *Manager) Dispatch(claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest
 	if inst == nil {
 		return nil, fmt.Errorf("%w: dom%d has no vTPM", ErrNoInstance, claimedFrom)
 	}
+	// A fenced instance has (or is having) its ownership moved to another
+	// host: refuse with the redirect before the guard or engine see the
+	// command, so a fence rejection guarantees non-execution and the caller
+	// may retry against the new owner.
+	if fe := inst.fence.Load(); fe != nil {
+		m.fenceRejects.Inc()
+		health := inst.health.current()
+		m.observeDispatch(inst, claimedFrom, 0, health, false, true, start, 0, time.Since(start), 0)
+		return nil, fe
+	}
 	// A quarantined instance is fenced: its dirty state is preserved for
 	// supervised recovery, but no new commands may widen the gap between
 	// engine and store. The refusal is the observable failure the health
@@ -714,14 +729,14 @@ func (m *Manager) ReviveInstance(id InstanceID) error {
 	if err != nil {
 		return err
 	}
-	// The plaintext profile header rides outside the guard envelope: strip
-	// and remember it, then recover the envelope with the bare ID (after a
-	// restart the binding table is empty).
-	declared, envelope, err := UnwrapCheckpoint(blob)
+	// The plaintext profile+epoch header rides outside the guard envelope:
+	// strip and remember it, then recover the envelope with the bare ID
+	// (after a restart the binding table is empty).
+	declared, epoch, envelope, err := UnwrapCheckpointEpoch(blob)
 	if err != nil {
 		return faults.Corrupt(fmt.Errorf("vtpm: checkpoint header of instance %d: %w", id, err))
 	}
-	info := InstanceInfo{ID: id, Profile: declared}
+	info := InstanceInfo{ID: id, Profile: declared, Epoch: epoch}
 	state, err := m.guard.RecoverState(info, envelope)
 	if err != nil {
 		return faults.Corrupt(fmt.Errorf("vtpm: state envelope of instance %d: %w", id, err))

@@ -25,8 +25,14 @@ var (
 // the restored engine's own state magic is cross-checked against the
 // declaration so a tampered tag cannot smuggle state across profiles.
 type InstanceImage struct {
-	Launch        xen.LaunchDigest
-	Profile       tpm.Profile
+	Launch  xen.LaunchDigest
+	Profile tpm.Profile
+	// Epoch is the ownership generation the instance travels at. The export
+	// copies the source instance's current epoch; a federated handoff
+	// overwrites it with the epoch the placement directory assigned to the
+	// move, so the destination's first checkpoint already carries the fenced
+	// generation.
+	Epoch         uint64
 	StateEnvelope []byte
 }
 
@@ -59,6 +65,7 @@ func (m *Manager) ExportInstance(id InstanceID, destEK *rsa.PublicKey) (*Instanc
 	return &InstanceImage{
 		Launch:        inst.info.BoundLaunch,
 		Profile:       inst.info.Profile,
+		Epoch:         inst.info.Epoch,
 		StateEnvelope: env,
 	}, nil
 }
@@ -92,7 +99,7 @@ func (m *Manager) ImportInstance(img *InstanceImage) (InstanceID, error) {
 	m.regMu.Lock()
 	id := m.nextID
 	m.nextID++
-	inst := m.newInstance(InstanceInfo{ID: id, BoundLaunch: img.Launch, Profile: declared}, eng)
+	inst := m.newInstance(InstanceInfo{ID: id, BoundLaunch: img.Launch, Profile: declared, Epoch: img.Epoch}, eng)
 	m.instances[id] = inst
 	m.regMu.Unlock()
 	if err := m.checkpointInstance(inst, true); err != nil {
@@ -172,14 +179,16 @@ func unmarshalDomainImage(b []byte) (*xen.DomainImage, error) {
 	return img, nil
 }
 
-// marshalInstanceImage serializes an InstanceImage. The profile byte rides
-// in plaintext between the launch digest and the envelope, mirroring the
-// checkpoint header's stance: the receiver must know the profile before it
-// can open anything.
+// marshalInstanceImage serializes an InstanceImage. The profile byte and
+// ownership epoch ride in plaintext between the launch digest and the
+// envelope, mirroring the checkpoint header's stance: the receiver must know
+// the profile before it can open anything, and the epoch is routing
+// metadata, not a secret.
 func marshalInstanceImage(img *InstanceImage) []byte {
 	w := tpm.NewWriter()
 	w.Raw(img.Launch[:])
 	w.U8(byte(img.Profile))
+	w.U64(img.Epoch)
 	w.B32(img.StateEnvelope)
 	return w.Bytes()
 }
@@ -190,6 +199,7 @@ func unmarshalInstanceImage(b []byte) (*InstanceImage, error) {
 	r := tpm.NewReader(b)
 	copy(img.Launch[:], r.Raw(len(img.Launch)))
 	img.Profile = tpm.Profile(r.U8())
+	img.Epoch = r.U64()
 	img.StateEnvelope = r.B32()
 	if err := r.Err(); err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadImage, err)
@@ -199,6 +209,14 @@ func unmarshalInstanceImage(b []byte) (*InstanceImage, error) {
 	}
 	return img, nil
 }
+
+// EncodeInstanceImage exposes the image's wire form for transports outside
+// SendMigration/ReceiveMigration — the cluster's fenced transfer leg ships
+// exactly these bytes between hosts.
+func EncodeInstanceImage(img *InstanceImage) []byte { return marshalInstanceImage(img) }
+
+// DecodeInstanceImage reverses EncodeInstanceImage.
+func DecodeInstanceImage(b []byte) (*InstanceImage, error) { return unmarshalInstanceImage(b) }
 
 // SendMigration drives the source side of the migration protocol: receive
 // the destination's endorsement key offer, then ship the domain image and

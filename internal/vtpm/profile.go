@@ -1,6 +1,7 @@
 package vtpm
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 
@@ -26,19 +27,23 @@ var (
 	ErrProfileMismatch = errors.New("vtpm: TPM profile mismatch")
 )
 
-// Checkpoint header: magic ∥ version ∥ profile, prepended in plaintext to
-// every stored instance blob.
+// Checkpoint header: magic ∥ version ∥ profile ∥ epoch, prepended in
+// plaintext to every stored instance blob. Version 2 added the 8-byte
+// ownership epoch (federation fencing, DESIGN.md §12); version-1 blobs —
+// profile but no epoch — still parse and declare epoch 0.
 const (
-	ckptMagic   = "XCKP"
-	ckptVersion = 1
-	ckptHdrLen  = len(ckptMagic) + 2
+	ckptMagic    = "XCKP"
+	ckptVersion1 = 1
+	ckptVersion  = 2
+	ckptV1HdrLen = len(ckptMagic) + 2
+	ckptHdrLen   = len(ckptMagic) + 2 + 8
 )
 
-// appendCheckpointHeader appends the plaintext profile header to dst.
-func appendCheckpointHeader(dst []byte, p tpm.Profile) []byte {
+// appendCheckpointHeader appends the plaintext profile+epoch header to dst.
+func appendCheckpointHeader(dst []byte, p tpm.Profile, epoch uint64) []byte {
 	dst = append(dst, ckptMagic...)
 	dst = append(dst, ckptVersion, byte(p))
-	return dst
+	return binary.BigEndian.AppendUint64(dst, epoch)
 }
 
 // UnwrapCheckpoint splits a stored instance blob into its declared profile
@@ -48,17 +53,33 @@ func appendCheckpointHeader(dst []byte, p tpm.Profile) []byte {
 // blobs out-of-band — the migration receiver, the attack harness's
 // state-theft scenario, offline tooling — must strip the same header.
 func UnwrapCheckpoint(blob []byte) (tpm.Profile, []byte, error) {
-	if len(blob) < ckptHdrLen || string(blob[:len(ckptMagic)]) != ckptMagic {
-		return tpm.Profile12, blob, nil // legacy headerless blob
+	p, _, env, err := UnwrapCheckpointEpoch(blob)
+	return p, env, err
+}
+
+// UnwrapCheckpointEpoch is UnwrapCheckpoint also returning the ownership
+// epoch the blob was committed at. Headerless and version-1 blobs declare
+// epoch 0, the never-federated generation.
+func UnwrapCheckpointEpoch(blob []byte) (tpm.Profile, uint64, []byte, error) {
+	if len(blob) < ckptV1HdrLen || string(blob[:len(ckptMagic)]) != ckptMagic {
+		return tpm.Profile12, 0, blob, nil // legacy headerless blob
 	}
-	if blob[len(ckptMagic)] != ckptVersion {
-		return tpm.AnyProfile, nil, fmt.Errorf("%w: checkpoint header version %d", ErrBadEnvelope, blob[len(ckptMagic)])
+	version := blob[len(ckptMagic)]
+	if version != ckptVersion1 && version != ckptVersion {
+		return tpm.AnyProfile, 0, nil, fmt.Errorf("%w: checkpoint header version %d", ErrBadEnvelope, version)
 	}
 	p := tpm.Profile(blob[len(ckptMagic)+1])
 	if p != tpm.Profile12 && p != tpm.Profile20 {
-		return tpm.AnyProfile, nil, fmt.Errorf("%w: checkpoint header declares profile %d", ErrBadEnvelope, uint8(p))
+		return tpm.AnyProfile, 0, nil, fmt.Errorf("%w: checkpoint header declares profile %d", ErrBadEnvelope, uint8(p))
 	}
-	return p, blob[ckptHdrLen:], nil
+	if version == ckptVersion1 {
+		return p, 0, blob[ckptV1HdrLen:], nil
+	}
+	if len(blob) < ckptHdrLen {
+		return tpm.AnyProfile, 0, nil, fmt.Errorf("%w: checkpoint header truncated at %d bytes", ErrBadEnvelope, len(blob))
+	}
+	epoch := binary.BigEndian.Uint64(blob[len(ckptMagic)+2 : ckptHdrLen])
+	return p, epoch, blob[ckptHdrLen:], nil
 }
 
 // restoreDeclaredEngine revives an engine from opened (plaintext) state and

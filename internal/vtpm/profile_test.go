@@ -102,7 +102,7 @@ func TestCheckpointRestoreCrossProfileRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	blob := appendCheckpointHeader(nil, tpm.Profile12)
+	blob := appendCheckpointHeader(nil, tpm.Profile12, 0)
 	blob = append(blob, eng2.SaveState()...)
 	profile, envelope, err := UnwrapCheckpoint(blob)
 	if err != nil {

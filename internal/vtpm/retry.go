@@ -62,6 +62,40 @@ func (p RetryPolicy) resolve() RetryPolicy {
 	return p
 }
 
+// Do runs one operation under the policy: bounded attempts, exponential
+// backoff with full jitter, an overall deadline, and immediate failure on
+// non-transient errors (faults.Classify). fn receives the 1-based attempt
+// number so callers can count retries. Exported for bounded-retry callers
+// outside the manager — the cluster's migration transfer leg retries through
+// exactly this policy.
+func (p RetryPolicy) Do(op string, fn func(attempt int) error) error {
+	pol := p.resolve()
+	deadline := time.Now().Add(pol.Deadline)
+	backoff := pol.BaseBackoff
+	var err error
+	for attempt := 1; ; attempt++ {
+		err = fn(attempt)
+		if err == nil {
+			return nil
+		}
+		if faults.Classify(err) != faults.ClassTransient {
+			return err
+		}
+		if attempt >= pol.MaxAttempts {
+			return fmt.Errorf("vtpm: %s failed after %d attempts: %w", op, attempt, err)
+		}
+		sleep := time.Duration(rand.Int63n(int64(backoff) + 1)) //nolint:gosec // jitter, not crypto
+		if time.Now().Add(sleep).After(deadline) {
+			return fmt.Errorf("vtpm: %s deadline exhausted after %d attempts: %w", op, attempt, err)
+		}
+		time.Sleep(sleep)
+		backoff *= 2
+		if backoff > pol.MaxBackoff {
+			backoff = pol.MaxBackoff
+		}
+	}
+}
+
 // retryStore runs one store operation under the manager's retry policy,
 // attributing retries to inst (nil for manager-wide sweeps). It returns
 // nil as soon as an attempt succeeds; otherwise the last error, which the

@@ -15,10 +15,11 @@ func (s *Store) TxnStart(caller xen.DomID) TxnID {
 	s.nextTxn++
 	id := s.nextTxn
 	s.txns[id] = &txn{
-		owner:   caller,
-		root:    s.root.clone(),
-		baseGen: s.gen,
-		touched: make(map[string]struct{}),
+		owner:     caller,
+		root:      s.root.clone(),
+		baseGen:   s.gen,
+		touched:   make(map[string]struct{}),
+		ownedSeen: make(map[xen.DomID]int),
 	}
 	return id
 }
@@ -54,42 +55,145 @@ func (s *Store) TxnCommit(caller xen.DomID, id TxnID) error {
 	}
 	delete(s.txns, id)
 	// Conflict check: every touched path must be unchanged in the live tree
-	// since baseGen. A path counts as changed if its closest existing node
-	// has a newer generation (covers removals, which bump the parent).
+	// since baseGen, at per-node granularity — a node counts as changed when
+	// its value, perms, or direct child set changed (creations and removals
+	// stamp the parent). Writes in unrelated subtrees never conflict.
 	for path := range t.touched {
-		if s.newestGenAlong(path) > t.baseGen {
+		if s.pathChanged(path, t.baseGen) {
 			return fmt.Errorf("%w: %s", ErrConflict, path)
 		}
 	}
-	s.root = t.root
+	// Replay the transaction's mutations onto the live tree. Swapping in the
+	// transaction's snapshot wholesale would silently drop every node created
+	// concurrently on paths this transaction never looked at — a lost update
+	// the conflict check above cannot see. The ops were permission-checked
+	// against the snapshot when issued, and the conflict check just proved
+	// the paths they touch are unchanged, so replay applies them directly;
+	// quota is re-validated in a dry pass first so a failure leaves the live
+	// tree untouched.
+	if err := s.replayQuotaLocked(t); err != nil {
+		return err
+	}
 	s.gen++
-	for path := range t.touched {
-		if parts, err := split(path); err == nil {
-			s.markGen(parts)
-		}
-		s.fireLocked(path)
+	for _, op := range t.ops {
+		s.replayLocked(op)
+	}
+	for _, op := range t.ops {
+		s.fireLocked(op.path)
 	}
 	return nil
 }
 
-// newestGenAlong returns the generation of the deepest existing node on the
-// path in the live tree.
-func (s *Store) newestGenAlong(path string) uint64 {
+// replayQuotaLocked dry-runs a transaction's writes against the live tree,
+// counting the nodes each unprivileged domain would create, and rejects the
+// commit if any would exceed the quota.
+func (s *Store) replayQuotaLocked(t *txn) error {
+	if s.nodeQuota <= 0 {
+		return nil
+	}
+	needed := make(map[xen.DomID]int)
+	virtual := make(map[string]struct{})
+	for _, op := range t.ops {
+		if op.kind != opWrite || op.caller == xen.Dom0 {
+			continue
+		}
+		n := s.root
+		missing := false
+		prefix := ""
+		for _, p := range op.parts {
+			prefix += "/" + p
+			if !missing {
+				if child, ok := n.children[p]; ok {
+					n = child
+					continue
+				}
+				missing = true
+			}
+			if _, ok := virtual[prefix]; !ok {
+				virtual[prefix] = struct{}{}
+				needed[op.caller]++
+			}
+		}
+	}
+	for dom, k := range needed {
+		if s.owned[dom]+k > s.nodeQuota {
+			return fmt.Errorf("%w: dom%d at %d nodes", ErrQuota, dom, s.owned[dom])
+		}
+	}
+	return nil
+}
+
+// replayLocked applies one recorded transaction op to the live tree,
+// stamping the current store generation and the owned-node counters like the
+// non-transactional paths do. Permission and quota checks already happened —
+// at record time against the transaction's view, and in the commit's dry
+// quota pass against the live tree — so replay cannot fail.
+func (s *Store) replayLocked(op txnOp) {
+	switch op.kind {
+	case opWrite:
+		n := s.root
+		var createdParent *node
+		for _, p := range op.parts {
+			child, ok := n.children[p]
+			if !ok {
+				child = &node{
+					children: make(map[string]*node),
+					perms:    Perms{Owner: op.caller, Default: n.perms.Default},
+				}
+				if n.children == nil {
+					n.children = make(map[string]*node)
+				}
+				n.children[p] = child
+				s.owned[op.caller]++
+				if createdParent == nil {
+					createdParent = n
+				}
+			}
+			n = child
+		}
+		n.value = append([]byte(nil), op.value...)
+		n.gen = s.gen
+		if createdParent != nil {
+			createdParent.gen = s.gen
+		}
+	case opRemove:
+		parent, n, err := lookup(s.root, op.parts)
+		if err == nil {
+			adjustOwned(s.owned, n, -1)
+			delete(parent.children, op.parts[len(op.parts)-1])
+			parent.gen = s.gen
+		}
+	case opSetPerms:
+		if _, n, err := lookup(s.root, op.parts); err == nil {
+			if n.perms.Owner != op.perms.Owner {
+				s.owned[n.perms.Owner]--
+				s.owned[op.perms.Owner]++
+			}
+			n.perms = op.perms.clone()
+			n.gen = s.gen
+		}
+	}
+}
+
+// pathChanged reports whether the node a path names changed in the live
+// tree since baseGen. If the path walks off the tree, the verdict is the
+// deepest existing node's: its child-set generation covers the name having
+// been created or removed underneath it since; siblings deeper down, and
+// every unrelated subtree, stay invisible.
+func (s *Store) pathChanged(path string, baseGen uint64) bool {
 	parts, err := split(path)
 	if err != nil {
-		return s.gen
+		return true
 	}
 	n := s.root
-	g := n.gen
 	for _, p := range parts {
 		child, ok := n.children[p]
 		if !ok {
-			return g
+			return n.gen > baseGen
 		}
 		n = child
-		g = n.gen
 	}
-	return g
+	return n.gen > baseGen
 }
 
 // WithTxn runs fn inside a transaction, retrying on ErrConflict up to

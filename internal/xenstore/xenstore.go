@@ -111,12 +111,17 @@ func (n *node) clone() *node {
 
 // Store is one host's XenStore.
 type Store struct {
-	mu        sync.Mutex
-	root      *node
-	gen       uint64
-	txns      map[TxnID]*txn
-	nextTxn   TxnID
-	watches   map[*Watch]struct{}
+	mu      sync.Mutex
+	root    *node
+	gen     uint64
+	txns    map[TxnID]*txn
+	nextTxn TxnID
+	watches map[*Watch]struct{}
+	// owned tracks live nodes per owning domain incrementally, so quota
+	// checks stay O(1) instead of walking the whole tree on every write —
+	// at fleet scale (thousands of guest domains, each with its own
+	// handshake nodes) the walk was quadratic across a mass creation.
+	owned     map[xen.DomID]int
 	nodeQuota int
 }
 
@@ -126,14 +131,44 @@ type TxnID uint32
 // NoTxn is the TxnID meaning "operate directly on the store".
 const NoTxn TxnID = 0
 
-// txn is an open transaction: a private copy of the tree plus the set of
-// paths it touched, for conflict detection at commit.
+// txn is an open transaction: a private copy of the tree the owner mutates
+// in isolation, the set of paths it touched (reads and writes alike, for
+// conflict detection at commit), and the ordered log of its mutations.
+// Commit replays the log onto the live tree rather than swapping trees, so
+// nodes created concurrently on paths the transaction never touched
+// survive — the real store's semantics, and the property mass guest
+// creation depends on.
 type txn struct {
 	owner   xen.DomID
 	root    *node
 	baseGen uint64
 	touched map[string]struct{}
+	ops     []txnOp
+	// ownedSeen carries per-domain owned-node counts as this transaction's
+	// view evolves, seeded lazily from the store's live counters; it keeps
+	// in-transaction quota checks O(1).
+	ownedSeen map[xen.DomID]int
 }
+
+// txnOp is one recorded mutation, validated against the transaction's view
+// when it was issued. caller is the domain that issued it (node creations
+// replay under its ownership).
+type txnOp struct {
+	kind   opKind
+	caller xen.DomID
+	path   string
+	parts  []string
+	value  []byte
+	perms  Perms
+}
+
+type opKind int
+
+const (
+	opWrite opKind = iota
+	opRemove
+	opSetPerms
+)
 
 // New creates an empty store whose root is owned by dom0 and world-readable,
 // as on a real host.
@@ -145,6 +180,7 @@ func New() *Store {
 		},
 		txns:      make(map[TxnID]*txn),
 		watches:   make(map[*Watch]struct{}),
+		owned:     map[xen.DomID]int{xen.Dom0: 1}, // the root
 		nodeQuota: DefaultNodeQuota,
 	}
 }
@@ -156,23 +192,33 @@ func (s *Store) SetNodeQuota(n int) {
 	s.mu.Unlock()
 }
 
-// countOwned walks a tree counting the nodes a domain owns.
-func countOwned(n *node, dom xen.DomID) int {
-	total := 0
-	if n.perms.Owner == dom {
-		total++
-	}
+// adjustOwned walks a subtree adding delta to each node's owner counter in
+// the given counter map.
+func adjustOwned(counts map[xen.DomID]int, n *node, delta int) {
+	counts[n.perms.Owner] += delta
 	for _, c := range n.children {
-		total += countOwned(c, dom)
+		adjustOwned(counts, c, delta)
 	}
-	return total
+}
+
+// txnOwnedAdjust mirrors adjustOwned onto a transaction's lazily-seeded
+// view of the counters.
+func (s *Store) txnOwnedAdjust(t *txn, n *node, delta int) {
+	o := n.perms.Owner
+	if _, ok := t.ownedSeen[o]; !ok {
+		t.ownedSeen[o] = s.owned[o]
+	}
+	t.ownedSeen[o] += delta
+	for _, c := range n.children {
+		s.txnOwnedAdjust(t, c, delta)
+	}
 }
 
 // OwnedNodes reports how many nodes a domain currently owns (live tree).
 func (s *Store) OwnedNodes(dom xen.DomID) int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return countOwned(s.root, dom)
+	return s.owned[dom]
 }
 
 // split validates a path and returns its components. The root is "/".
@@ -292,11 +338,11 @@ func (s *Store) Write(caller xen.DomID, id TxnID, path string, value []byte) err
 		s.mu.Unlock()
 		return err
 	}
-	// Quota check for unprivileged creators: count once per write, against
-	// the tree the write lands in.
-	owned := -1
+	// Quota check for unprivileged creators, O(1) against the incremental
+	// counters (the transaction's lazily-seeded view when inside one).
 	n := root
 	created := false
+	var createdParent *node
 	for i, p := range parts {
 		child, ok := n.children[p]
 		if !ok {
@@ -305,13 +351,15 @@ func (s *Store) Write(caller xen.DomID, id TxnID, path string, value []byte) err
 				return fmt.Errorf("%w: dom%d create under %s", ErrPerm, caller, "/"+strings.Join(parts[:i], "/"))
 			}
 			if caller != xen.Dom0 && s.nodeQuota > 0 {
-				if owned < 0 {
-					owned = countOwned(root, caller)
+				cnt := s.owned[caller]
+				if t != nil {
+					if seen, ok := t.ownedSeen[caller]; ok {
+						cnt = seen
+					}
 				}
-				owned++
-				if owned > s.nodeQuota {
+				if cnt >= s.nodeQuota {
 					s.mu.Unlock()
-					return fmt.Errorf("%w: dom%d at %d nodes", ErrQuota, caller, owned-1)
+					return fmt.Errorf("%w: dom%d at %d nodes", ErrQuota, caller, cnt)
 				}
 			}
 			child = &node{
@@ -322,6 +370,17 @@ func (s *Store) Write(caller xen.DomID, id TxnID, path string, value []byte) err
 				n.children = make(map[string]*node)
 			}
 			n.children[p] = child
+			if t != nil {
+				if _, ok := t.ownedSeen[caller]; !ok {
+					t.ownedSeen[caller] = s.owned[caller]
+				}
+				t.ownedSeen[caller]++
+			} else {
+				s.owned[caller]++
+			}
+			if !created {
+				createdParent = n
+			}
 			created = true
 		}
 		n = child
@@ -333,28 +392,22 @@ func (s *Store) Write(caller xen.DomID, id TxnID, path string, value []byte) err
 	n.value = append([]byte(nil), value...)
 	if t != nil {
 		t.touched[path] = struct{}{}
+		t.ops = append(t.ops, txnOp{kind: opWrite, caller: caller, path: path, parts: parts, value: append([]byte(nil), value...)})
 		s.mu.Unlock()
 		return nil
 	}
 	s.gen++
-	s.markGen(parts)
+	// A write modifies the written node; creating it also modifies the
+	// deepest pre-existing ancestor (its child set changed) — per-node
+	// granularity, like real xenstored, so unrelated subtrees never
+	// conflict with each other's transactions.
+	n.gen = s.gen
+	if createdParent != nil {
+		createdParent.gen = s.gen
+	}
 	s.fireLocked(path)
 	s.mu.Unlock()
 	return nil
-}
-
-// markGen stamps the store generation onto every node along the path.
-func (s *Store) markGen(parts []string) {
-	n := s.root
-	n.gen = s.gen
-	for _, p := range parts {
-		child, ok := n.children[p]
-		if !ok {
-			return
-		}
-		n = child
-		n.gen = s.gen
-	}
 }
 
 // Remove deletes a node and its subtree. Only the owner or dom0 may remove.
@@ -383,12 +436,15 @@ func (s *Store) Remove(caller xen.DomID, id TxnID, path string) error {
 	}
 	delete(parent.children, parts[len(parts)-1])
 	if t != nil {
+		s.txnOwnedAdjust(t, n, -1)
 		t.touched[path] = struct{}{}
+		t.ops = append(t.ops, txnOp{kind: opRemove, caller: caller, path: path, parts: parts})
 		s.mu.Unlock()
 		return nil
 	}
+	adjustOwned(s.owned, n, -1)
 	s.gen++
-	s.markGen(parts[:len(parts)-1])
+	parent.gen = s.gen // the parent's child set changed
 	s.fireLocked(path)
 	s.mu.Unlock()
 	return nil
@@ -437,14 +493,30 @@ func (s *Store) SetPerms(caller xen.DomID, id TxnID, path string, perms Perms) e
 		s.mu.Unlock()
 		return fmt.Errorf("%w: dom%d setperms %s", ErrPerm, caller, path)
 	}
+	prevOwner := n.perms.Owner
 	n.perms = perms.clone()
 	if t != nil {
+		if prevOwner != perms.Owner {
+			if _, ok := t.ownedSeen[prevOwner]; !ok {
+				t.ownedSeen[prevOwner] = s.owned[prevOwner]
+			}
+			if _, ok := t.ownedSeen[perms.Owner]; !ok {
+				t.ownedSeen[perms.Owner] = s.owned[perms.Owner]
+			}
+			t.ownedSeen[prevOwner]--
+			t.ownedSeen[perms.Owner]++
+		}
 		t.touched[path] = struct{}{}
+		t.ops = append(t.ops, txnOp{kind: opSetPerms, caller: caller, path: path, parts: parts, perms: perms.clone()})
 		s.mu.Unlock()
 		return nil
 	}
+	if prevOwner != perms.Owner {
+		s.owned[prevOwner]--
+		s.owned[perms.Owner]++
+	}
 	s.gen++
-	s.markGen(parts)
+	n.gen = s.gen
 	s.fireLocked(path)
 	s.mu.Unlock()
 	return nil

@@ -400,3 +400,62 @@ func TestReadReturnsCopy(t *testing.T) {
 		t.Fatal("Read leaks internal buffer")
 	}
 }
+
+// A transaction commit must merge its mutations into the live tree, not
+// swap its snapshot in wholesale: a node created concurrently on a path the
+// transaction never touched has to survive the commit. (This is the shape
+// of mass guest creation — every creator writes its own /local/domain/N
+// while device handshakes commit transactions all around it.)
+func TestTxnCommitPreservesConcurrentCreations(t *testing.T) {
+	s := New()
+	// Both parties' parents pre-exist, as /local/domain does on a live host;
+	// conflicts are per-node, so only same-parent child churn could collide.
+	if err := s.Write(dom0, noTxn, "/local/domain/1/name", []byte("seed")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Write(dom0, noTxn, "/txn/only", nil); err != nil {
+		t.Fatal(err)
+	}
+	id := s.TxnStart(dom0)
+	if err := s.Write(dom0, id, "/txn/only/key", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Outside the transaction, after its snapshot: a brand-new subtree.
+	if err := s.Write(dom0, noTxn, "/local/domain/7/name", []byte("guest")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TxnCommit(dom0, id); err != nil {
+		t.Fatalf("commit conflicted on an untouched path: %v", err)
+	}
+	if v, err := s.Read(dom0, noTxn, "/local/domain/7/name"); err != nil || string(v) != "guest" {
+		t.Fatalf("concurrent creation lost by commit: %v %q", err, v)
+	}
+	if v, err := s.Read(dom0, noTxn, "/txn/only/key"); err != nil || string(v) != "x" {
+		t.Fatalf("transaction write missing after commit: %v %q", err, v)
+	}
+}
+
+// Removals and permission changes recorded in a transaction must land on the
+// live tree too, and only the transaction's own mutations may fire watches.
+func TestTxnCommitReplaysRemoveAndSetPerms(t *testing.T) {
+	s := New()
+	s.Write(dom0, noTxn, "/a/b", []byte("1"))
+	s.Write(dom0, noTxn, "/a/c", []byte("2"))
+	id := s.TxnStart(dom0)
+	if err := s.Remove(dom0, id, "/a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPerms(dom0, id, "/a/c", Perms{Owner: 5, Default: PermNone}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.TxnCommit(dom0, id); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Read(dom0, noTxn, "/a/b"); !errors.Is(err, ErrNoEnt) {
+		t.Fatalf("removed node survives commit: %v", err)
+	}
+	p, err := s.GetPerms(dom0, noTxn, "/a/c")
+	if err != nil || p.Owner != 5 {
+		t.Fatalf("perms not replayed: %v %+v", err, p)
+	}
+}

@@ -26,7 +26,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"net"
 	"sync"
 	"time"
 
@@ -625,33 +624,17 @@ func (h *Host) ResumeGuest(handle string) (*Guest, error) {
 // SendGuest drives the source side of live migration over conn: detach the
 // device, suspend and save the domain, and ship domain plus vTPM state
 // (guard-protected) to the peer. On success the source copies are destroyed.
+// The trust-the-wire protocol driver: for verified or fenced migration use
+// Migrate or internal/cluster.
 func (h *Host) SendGuest(conn io.ReadWriter, g *Guest) error {
-	g.Frontend.Close()
-	if err := h.Backend.DetachDevice(g.Dom.ID()); err != nil && !errors.Is(err, vtpm.ErrNotConnected) {
-		return err
-	}
-	if err := h.Manager.UnbindInstance(g.Instance); err != nil {
-		return err
-	}
-	domImg, err := h.HV.SaveDomain(xen.Dom0, g.Dom.ID())
+	domImg, err := h.BeginMigration(g)
 	if err != nil {
 		return err
 	}
-	domImg.SrcHost = h.Name
 	if err := vtpm.SendMigration(conn, h.Manager, domImg, g.Instance); err != nil {
 		return err
 	}
-	if err := h.Manager.DestroyInstance(g.Instance); err != nil {
-		return err
-	}
-	h.mu.Lock()
-	delete(h.guests, g.Dom.ID())
-	h.mu.Unlock()
-	if err := h.HV.DestroyDomain(xen.Dom0, g.Dom.ID()); err != nil {
-		return err
-	}
-	h.XS.Remove(xen.Dom0, xenstore.NoTxn, fmt.Sprintf("/local/domain/%d", g.Dom.ID())) //nolint:errcheck // best effort
-	return nil
+	return h.FinishMigration(g)
 }
 
 // ReceiveGuest drives the destination side of live migration over conn and
@@ -667,27 +650,4 @@ func (h *Host) ReceiveGuest(conn io.ReadWriter) (*Guest, error) {
 		return nil, err
 	}
 	return h.attachGuest(dom, inst)
-}
-
-// Migrate moves a guest between two in-process hosts over an internal pipe.
-// For an interceptable channel (the migration attack experiments), use
-// SendGuest/ReceiveGuest with your own conn.
-func Migrate(src *Host, g *Guest, dst *Host) (*Guest, error) {
-	c1, c2 := net.Pipe()
-	defer c1.Close()
-	defer c2.Close()
-	type recvResult struct {
-		g   *Guest
-		err error
-	}
-	done := make(chan recvResult, 1)
-	go func() {
-		ng, err := dst.ReceiveGuest(c2)
-		done <- recvResult{ng, err}
-	}()
-	if err := src.SendGuest(c1, g); err != nil {
-		return nil, err
-	}
-	r := <-done
-	return r.g, r.err
 }
