@@ -4,7 +4,7 @@ GO ?= go
 # globally. Offline environments fall back to go vet with a warning.
 STATICCHECK := honnef.co/go/tools/cmd/staticcheck@2025.1
 
-.PHONY: all build vet test race bench bench-smoke bench-gate chaos lint cover ci clean
+.PHONY: all build vet test race bench bench-smoke bench-gate capacity-smoke capacity-gate chaos lint cover ci clean
 
 all: build
 
@@ -34,11 +34,27 @@ bench-smoke:
 
 # Benchmark-regression gate: run the fixed hot-path suite and compare against
 # the committed baseline. Fails (exit 1, printed table) on >15% ns/op
-# regression or any allocs/op growth. Regenerate the baseline on the same
-# machine with `go run ./cmd/benchrunner -bench -out BENCH_8.json`.
-BENCH_BASELINE ?= BENCH_8.json
+# regression or any allocs/op growth. "auto" resolves the highest-numbered
+# committed BENCH_<n>.json, so baseline bumps stop editing this file.
+# Regenerate on the same machine with
+# `go run ./cmd/benchrunner -bench -out BENCH_<n+1>.json`.
+BENCH_BASELINE ?= auto
 bench-gate:
 	$(GO) run ./cmd/benchrunner -check $(BENCH_BASELINE)
+
+# PR-time capacity shape check: re-run the deterministic modeled load sweep
+# and fail on structural violations (goodput above offered, missing knee,
+# inverted percentiles, dropped arrivals). No baseline comparison — that is
+# the nightly capacity workflow's job (capacity-gate below).
+capacity-smoke:
+	$(GO) run ./cmd/benchrunner -capacity-smoke
+
+# Authoritative capacity gate: compare only the deterministic Capacity* rows
+# against the committed baseline. Machine-independent (modeled virtual time),
+# so unlike bench-gate it is exact everywhere — the nightly workflow runs it
+# without continue-on-error.
+capacity-gate:
+	$(GO) run ./cmd/benchrunner -capacity-check $(BENCH_BASELINE)
 
 # staticcheck when the module cache / network can supply it, go vet otherwise
 # (this repo must build with zero installs, so lint degrades gracefully).
@@ -68,7 +84,7 @@ chaos:
 	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -race -v -run 'TestChaosStorm|TestClusterChaosStorm' -count=1 . ./internal/cluster \
 		|| { echo "chaos storm FAILED — replay with CHAOS_SEED=<seed from log above> make chaos"; exit 1; }
 
-ci: vet lint build test race bench-smoke chaos
+ci: vet lint build test race bench-smoke capacity-smoke chaos
 
 clean:
 	$(GO) clean ./...

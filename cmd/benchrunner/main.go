@@ -3,21 +3,32 @@
 // extensions (E9 flood control, E10 recovery, E11 concurrent dispatch,
 // E12 checkpoint policy, E13 fault storm, E14 observability overhead,
 // E15 transport pipeline, E16 per-profile sweep, E17 log-structured
-// checkpoint store, E18 federation drain/evacuation/fault-storm),
-// printed as aligned text tables and series. It also hosts the CI
-// benchmark-regression gate (-bench / -check).
+// checkpoint store, E18 federation drain/evacuation/fault-storm, E19
+// open-loop capacity sweep), printed as aligned text tables and series.
+// It also hosts the CI benchmark-regression gate (-bench / -check) and
+// the capacity gate (-capacity-check / -capacity-smoke).
 //
 // Usage:
 //
-//	benchrunner [-exp all|E1|E2|...|E18] [-bits 512] [-quick]
+//	benchrunner [-exp all|E1|E2|...|E19] [-bits 512] [-quick]
 //	benchrunner -bench [-out BENCH.json]
-//	benchrunner -check BENCH_baseline.json [-tolerance 0.15]
+//	benchrunner -check BENCH_baseline.json|auto [-tolerance 0.15]
+//	benchrunner -capacity-check BENCH_baseline.json|auto
+//	benchrunner -capacity-smoke
 //
 // With -bench the gate's benchmark suite runs and its results print as JSON
 // (to -out when given, else stdout). With -check the suite runs and is
 // compared against the given baseline file: any benchmark regressing more
 // than the tolerance in ns/op, or growing its allocs/op, prints a failure
-// table and exits 1 — the CI benchmark-regression gate.
+// table and exits 1 — the CI benchmark-regression gate. The baseline "auto"
+// resolves the highest-numbered committed BENCH_<n>.json, so baseline bumps
+// stop editing Makefile and workflows.
+//
+// -capacity-check compares only the deterministic Capacity* rows (modeled
+// virtual-time sweep; identical numbers on every machine) — the nightly
+// capacity workflow runs it authoritatively. -capacity-smoke re-runs the
+// modeled sweep and checks structural invariants without a baseline — the
+// cheap PR-time shape check inside `make ci`.
 //
 // Absolute numbers are those of this Go reproduction on the local machine;
 // the claims under test are the relative shapes (baseline vs improved),
@@ -32,6 +43,20 @@ import (
 
 	"xvtpm/internal/experiments"
 )
+
+// resolveBaseline expands the "auto" baseline to the highest-numbered
+// committed BENCH_<n>.json in the working directory.
+func resolveBaseline(path string) (string, error) {
+	if path != "auto" {
+		return path, nil
+	}
+	resolved, err := experiments.LatestBaseline(".")
+	if err != nil {
+		return "", err
+	}
+	fmt.Printf("baseline auto -> %s\n", resolved)
+	return resolved, nil
+}
 
 // runBenchSuite handles -bench/-out: run the suite, emit JSON.
 func runBenchSuite(cfg experiments.Config, out string) error {
@@ -52,14 +77,33 @@ func runBenchSuite(cfg experiments.Config, out string) error {
 	return rep.WriteJSON(w)
 }
 
-// runBenchCheck handles -check: run the suite, compare, exit non-zero on
-// regression via the returned error.
-func runBenchCheck(cfg experiments.Config, baselinePath string, tolerance float64) error {
+// runBenchCheck handles -check and -capacity-check: run the suite (or just
+// the capacity rows), compare, exit non-zero on regression via the
+// returned error.
+func runBenchCheck(cfg experiments.Config, baselinePath string, tolerance float64, names ...string) error {
+	baselinePath, err := resolveBaseline(baselinePath)
+	if err != nil {
+		return err
+	}
 	base, err := experiments.ReadBenchReport(baselinePath)
 	if err != nil {
 		return fmt.Errorf("loading baseline: %w", err)
 	}
-	cur, err := experiments.RunBenchSuite(cfg)
+	if len(names) > 0 {
+		// Restrict the baseline to the requested rows so the missing-row
+		// failure mode stays scoped to them.
+		kept := base.Results[:0]
+		for _, r := range base.Results {
+			for _, n := range names {
+				if r.Name == n {
+					kept = append(kept, r)
+					break
+				}
+			}
+		}
+		base.Results = kept
+	}
+	cur, err := experiments.RunBenchSuite(cfg, names...)
 	if err != nil {
 		return err
 	}
@@ -73,23 +117,30 @@ func runBenchCheck(cfg experiments.Config, baselinePath string, tolerance float6
 }
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: all, or one of E1..E18")
+	exp := flag.String("exp", "all", "experiment to run: all, or one of E1..E19")
 	bits := flag.Int("bits", 512, "RSA modulus size for all TPM keys")
 	quick := flag.Bool("quick", false, "reduced repetitions (smoke run)")
 	bench := flag.Bool("bench", false, "run the benchmark-gate suite and emit JSON instead of experiments")
 	out := flag.String("out", "", "with -bench: write the JSON report to this file")
-	check := flag.String("check", "", "run the gate suite and compare against this baseline JSON; exit 1 on regression")
+	check := flag.String("check", "", "run the gate suite and compare against this baseline JSON (or 'auto'); exit 1 on regression")
+	capCheck := flag.String("capacity-check", "", "compare only the deterministic Capacity* rows against this baseline JSON (or 'auto')")
+	capSmoke := flag.Bool("capacity-smoke", false, "run the modeled capacity sweep and check structural invariants (no baseline)")
 	tolerance := flag.Float64("tolerance", experiments.DefaultBenchTolerance,
 		"with -check: relative ns/op regression that fails the gate")
 	flag.Parse()
 
 	cfg := experiments.Config{RSABits: *bits, Quick: *quick, Out: os.Stdout}
 
-	if *bench || *check != "" {
+	if *bench || *check != "" || *capCheck != "" || *capSmoke {
 		var err error
-		if *check != "" {
+		switch {
+		case *capSmoke:
+			err = experiments.CapacitySmoke(os.Stdout)
+		case *capCheck != "":
+			err = runBenchCheck(cfg, *capCheck, *tolerance, experiments.CapacityRowNames...)
+		case *check != "":
 			err = runBenchCheck(cfg, *check, *tolerance)
-		} else {
+		default:
 			err = runBenchSuite(cfg, *out)
 		}
 		if err != nil {
@@ -118,8 +169,9 @@ func main() {
 		"E16": func() error { _, err := experiments.E16ProfileSweep(cfg); return err },
 		"E17": func() error { _, err := experiments.E17LogStore(cfg); return err },
 		"E18": func() error { _, err := experiments.E18Federation(cfg); return err },
+		"E19": func() error { _, err := experiments.E19RateSweep(cfg); return err },
 	}
-	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18"}
+	order := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E11", "E12", "E13", "E14", "E15", "E16", "E17", "E18", "E19"}
 
 	want := strings.ToUpper(*exp)
 	if want == "ALL" {
@@ -134,7 +186,7 @@ func main() {
 	}
 	run, ok := runners[want]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all or E1..E18)\n", *exp)
+		fmt.Fprintf(os.Stderr, "unknown experiment %q (want all or E1..E19)\n", *exp)
 		os.Exit(2)
 	}
 	if err := run(); err != nil {

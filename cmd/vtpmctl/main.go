@@ -11,7 +11,9 @@
 // suspend/resume <name>, ratelimit <name> <n>, anchor, verify-audit,
 // pcrread <name> <pcr>, random <name> <n>, deny <name> <group>,
 // allow <name> <group>, audit [n], top [--profile 1.2|2.0],
-// spans <name> [n], checkpoint <name>, destroy <name>, quit.
+// load <offered-cps> <duration> [slots] (open-loop load with CO-safe
+// latency into dedicated load sessions), spans <name> [n],
+// checkpoint <name>, destroy <name>, quit.
 //
 // With -cluster N the console boots an N-member federation instead and
 // exposes its operational surface: placement, fenced migration, drain,
@@ -27,17 +29,22 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"xvtpm"
 	"xvtpm/internal/core"
+	"xvtpm/internal/loadgen"
 	"xvtpm/internal/metrics"
 	"xvtpm/internal/tpm"
+	"xvtpm/internal/workload"
 )
 
 type console struct {
 	host   *xvtpm.Host
 	guests map[string]*xvtpm.Guest
 	out    *bufio.Writer
+	// lastLoad is the most recent `load` run's report; `top` renders it.
+	lastLoad *loadgen.Report
 }
 
 func (c *console) printf(format string, args ...interface{}) {
@@ -85,6 +92,73 @@ func (c *console) policyRule(name, groupName string, effect core.Effect) {
 	c.printf("%s %s for %s (rule prepended, %d rules total)\n", effect, group, name, ig.Policy().Len())
 }
 
+// runLoad is the console's open-loop load command: dedicated load slots
+// are opened (3:1 across the profiles when the host defaults to 1.2), a
+// simulated 10k-guest fleet offers traffic at the requested rate, and the
+// CO-safe report prints. `top` keeps showing the last run.
+func (c *console) runLoad(offered float64, dur time.Duration, nSlots int) {
+	var slots []loadgen.Slot
+	var opened []*xvtpm.LoadSlot
+	defer func() {
+		for _, ls := range opened {
+			if err := c.host.CloseLoadSlot(ls); err != nil {
+				c.printf("load: closing slot: %v\n", err)
+			}
+		}
+	}()
+	for i := 0; i < nSlots; i++ {
+		profile := tpm.AnyProfile
+		if i%4 == 3 {
+			profile = tpm.Profile20
+		}
+		ls, err := c.host.OpenLoadSlot(fmt.Sprintf("ctl-load-%d", i), profile)
+		if err != nil {
+			c.printf("load: opening slot %d: %v\n", i, err)
+			return
+		}
+		opened = append(opened, ls)
+		if ls.Profile == tpm.Profile20 {
+			cli := ls.TPM2
+			ctr := 0
+			step := func(op workload.Op) error {
+				switch op {
+				case workload.OpExtend:
+					ctr++
+					return cli.Extend(10+ctr%6, []byte("ctl-load-event"))
+				case workload.OpQuote:
+					_, _, err := cli.Quote([]byte("ctl-load-nonce"), []int{0, 1, 10})
+					return err
+				default:
+					_, err := cli.GetRandom(32)
+					return err
+				}
+			}
+			slots = append(slots, loadgen.Slot{Step: step, Mix: loadgen.Mix20})
+		} else {
+			runner, err := workload.Prepare(ls.TPM, 9000+i, 0)
+			if err != nil {
+				c.printf("load: preparing slot %d: %v\n", i, err)
+				return
+			}
+			slots = append(slots, loadgen.Slot{Step: runner.Step, Mix: loadgen.Mix12})
+		}
+	}
+	rep, err := loadgen.Run(loadgen.Config{
+		Guests: 10_000, Offered: offered, Duration: dur, Seed: 23, Slots: slots,
+	})
+	if err != nil {
+		c.printf("load: %v\n", err)
+		return
+	}
+	c.lastLoad = rep
+	c.printf("load: %d simulated guests on %d slots for %v\n", rep.Guests, rep.Slots, dur)
+	c.printf("  %s\n", rep)
+	for _, st := range rep.PerOp {
+		c.printf("  %-9s %7d ops  %5.1f%% in SLO (%v)  p99 %v\n",
+			st.Op, st.Count, 100*st.Attained, st.SLO, st.P99)
+	}
+}
+
 func (c *console) handle(line string) bool {
 	fields := strings.Fields(line)
 	if len(fields) == 0 {
@@ -95,7 +169,7 @@ func (c *console) handle(line string) bool {
 		c.printf("commands: create <name> [1.2|2.0] | list | extend <name> <pcr> <text> | pcrread <name> <pcr>\n")
 		c.printf("          random <name> <n> | deny <name> <group> | allow <name> <group>\n")
 		c.printf("          audit [n] | anchor | verify-audit | ratelimit <name> <n> | stats\n")
-		c.printf("          top [--profile 1.2|2.0] | spans <name> [n]\n")
+		c.printf("          load <offered-cps> <duration> [slots] | top [--profile 1.2|2.0] | spans <name> [n]\n")
 		c.printf("          suspend <name> | resume <name> | checkpoint <name> | destroy <name> | quit\n")
 	case "create":
 		if len(fields) != 2 && len(fields) != 3 {
@@ -250,6 +324,29 @@ func (c *console) handle(line string) bool {
 		for _, r := range recs {
 			c.printf("  #%-4d inst=%-3d ordinal=%#-6x %-5s %s\n", r.Seq, r.Instance, r.Ordinal, r.Decision, r.Reason)
 		}
+	case "load":
+		if len(fields) < 3 || len(fields) > 4 {
+			c.printf("usage: load <offered-cps> <duration> [slots]\n")
+			break
+		}
+		offered, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil || offered <= 0 {
+			c.printf("load: bad offered rate %q\n", fields[1])
+			break
+		}
+		dur, err := time.ParseDuration(fields[2])
+		if err != nil || dur <= 0 {
+			c.printf("load: bad duration %q\n", fields[2])
+			break
+		}
+		nSlots := 4
+		if len(fields) == 4 {
+			if nSlots, err = strconv.Atoi(fields[3]); err != nil || nSlots <= 0 {
+				c.printf("load: bad slot count %q\n", fields[3])
+				break
+			}
+		}
+		c.runLoad(offered, dur, nSlots)
 	case "top":
 		topFilter := tpm.AnyProfile
 		if len(fields) == 3 && fields[1] == "--profile" {
@@ -291,6 +388,13 @@ func (c *console) handle(line string) bool {
 		}
 		c.printf("transport: %d ring drains, %.2f frames/drain, %d doorbells sent, %d suppressed\n",
 			batch.Count, meanBatch, ec.SentNotifies(), ec.SuppressedNotifies())
+		if open, cmds := c.host.Manager.LoadSessionStats(); c.lastLoad != nil || cmds > 0 {
+			c.printf("load:      %d sessions open, %d session commands", open, cmds)
+			if c.lastLoad != nil {
+				c.printf("; last run: %s", c.lastLoad)
+			}
+			c.printf("\n")
+		}
 		rows := make([][]string, 0, 8)
 		for _, s := range c.host.Manager.InstanceStatsAll() {
 			if topFilter != tpm.AnyProfile && s.Profile != topFilter {

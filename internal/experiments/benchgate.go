@@ -15,6 +15,7 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -96,6 +97,38 @@ func ReadBenchReport(path string) (*BenchReport, error) {
 		return nil, err
 	}
 	return ParseBenchReport(data)
+}
+
+// LatestBaseline resolves the highest-numbered BENCH_<n>.json in dir, so
+// Makefile and CI reference "auto" instead of hard-coding the current
+// baseline and editing two files on every bump.
+func LatestBaseline(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		var n int
+		if _, err := fmt.Sscanf(name, "BENCH_%d.json", &n); err != nil {
+			continue
+		}
+		// Reject partial matches like BENCH_9.json.bak: re-render and compare.
+		if fmt.Sprintf("BENCH_%d.json", n) != name {
+			continue
+		}
+		if n > bestN {
+			bestN, best = n, name
+		}
+	}
+	if bestN < 0 {
+		return "", fmt.Errorf("experiments: no BENCH_<n>.json baseline in %s", dir)
+	}
+	return filepath.Join(dir, best), nil
 }
 
 // benchCmd builds a raw marshaled TPM command (baseline-guard framing).
@@ -602,6 +635,27 @@ func RunBenchSuite(cfg Config, names ...string) (*BenchReport, error) {
 			return nil, fmt.Errorf("EvacuateDeadHost: %w", err)
 		}
 		add("EvacuateDeadHost", testing.BenchmarkResult{N: es.Revived, T: es.Elapsed}, 0)
+	}
+
+	// Deterministic capacity rows (see capacitygate.go): appended when any
+	// of them is wanted, computed in one sweep.
+	capWanted := false
+	for _, n := range CapacityRowNames {
+		if wanted(n) {
+			capWanted = true
+			break
+		}
+	}
+	if capWanted {
+		capRows, err := CapacityRows()
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range capRows {
+			if wanted(row.Name) {
+				rep.Results = append(rep.Results, row)
+			}
+		}
 	}
 
 	return rep, nil

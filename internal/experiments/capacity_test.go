@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"xvtpm/internal/workload"
+)
+
+func TestE19RateSweepShape(t *testing.T) {
+	var buf bytes.Buffer
+	rep, err := E19RateSweep(quickCfg(&buf))
+	if err != nil {
+		t.Fatalf("E19: %v", err)
+	}
+	if rep.Capacity <= 0 {
+		t.Fatalf("calibration capacity %v", rep.Capacity)
+	}
+	if len(rep.Points) < 5 {
+		t.Fatalf("sweep has %d rates, want >= 5", len(rep.Points))
+	}
+	last := rep.Points[len(rep.Points)-1]
+	if last.Offered <= rep.Capacity {
+		t.Fatalf("ladder top %.0f does not cross calibrated capacity %.0f", last.Offered, rep.Capacity)
+	}
+	for i, p := range rep.Points {
+		if p.Goodput > p.Offered*1.05 {
+			t.Fatalf("rate %d: goodput %.0f exceeds offered %.0f", i, p.Goodput, p.Offered)
+		}
+		if p.P999 < p.P99 {
+			t.Fatalf("rate %d: p999 %v < p99 %v", i, p.P999, p.P99)
+		}
+	}
+	if rep.Saturated == nil || len(rep.Saturated.PerOp) == 0 {
+		t.Fatal("no per-op SLO table at saturation")
+	}
+	for _, st := range rep.Saturated.PerOp {
+		if st.SLO == 0 || st.Attained < 0 || st.Attained > 1 {
+			t.Fatalf("per-op stats malformed: %+v", st)
+		}
+	}
+	if rep.ServiceEst[workload.OpQuote] <= rep.ServiceEst[workload.OpGetRandom] {
+		t.Fatalf("service probe inverted: quote %v <= getrandom %v",
+			rep.ServiceEst[workload.OpQuote], rep.ServiceEst[workload.OpGetRandom])
+	}
+	out := buf.String()
+	for _, want := range []string{"E19", "goodput vs offered", "SLO attainment", "bottleneck"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCapacityRowsDeterministic(t *testing.T) {
+	a, err := CapacityRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := CapacityRows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(CapacityRowNames) {
+		t.Fatalf("got %d rows, want %d", len(a), len(CapacityRowNames))
+	}
+	for i := range a {
+		if a[i].Name != CapacityRowNames[i] {
+			t.Fatalf("row %d named %q, want %q", i, a[i].Name, CapacityRowNames[i])
+		}
+		if a[i].NsPerOp <= 0 {
+			t.Fatalf("row %s non-positive: %v", a[i].Name, a[i].NsPerOp)
+		}
+		if a[i] != b[i] {
+			t.Fatalf("capacity rows not deterministic: %+v vs %+v", a[i], b[i])
+		}
+	}
+}
+
+func TestCapacitySmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := CapacitySmoke(&buf); err != nil {
+		t.Fatalf("smoke: %v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "capacity smoke ok") {
+		t.Fatalf("smoke output:\n%s", buf.String())
+	}
+}
+
+func TestLatestBaseline(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"BENCH_2.json", "BENCH_10.json", "BENCH_9.json", "BENCH_x.json", "BENCH_3.json.bak", "notes.txt"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("{}"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := LatestBaseline(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != filepath.Join(dir, "BENCH_10.json") {
+		t.Fatalf("latest baseline %q", got)
+	}
+	if _, err := LatestBaseline(t.TempDir()); err == nil {
+		t.Fatal("empty dir produced a baseline")
+	}
+}
+
+func TestLatestBaselineFindsCommitted(t *testing.T) {
+	// Run from the package dir; the committed baselines live two levels up.
+	got, err := LatestBaseline(filepath.Join("..", ".."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(filepath.Base(got), "BENCH_") {
+		t.Fatalf("resolved %q", got)
+	}
+}

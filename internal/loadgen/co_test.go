@@ -1,0 +1,99 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+
+	"xvtpm/internal/workload"
+)
+
+// TestCoordinatedOmissionStall is the harness's correctness anchor: on a
+// deterministic virtual clock, freeze every server for a 300ms window
+// while arrivals keep coming, and check that
+//
+//  1. the open-loop digest (latency from *intended* send time) surfaces
+//     the stall — requests scheduled early in the window wait nearly the
+//     whole 300ms, so the tail must reach it, and
+//  2. the closed-loop digest over the *same completions* (latency from
+//     actual send time, what a generator that politely waits for the
+//     server would record) hides the stall almost entirely.
+//
+// This is the coordinated-omission failure mode: a blocked generator
+// stops sampling exactly when the system is at its worst.
+func TestCoordinatedOmissionStall(t *testing.T) {
+	service := map[workload.Op]time.Duration{workload.OpGetRandom: 100 * time.Microsecond}
+	mix := workload.Mix{workload.OpGetRandom: 1}
+	const stallFor = 300 * time.Millisecond
+	cfg := ModelConfig{
+		Guests: 2000, Offered: 5000, Duration: time.Second, Seed: 1,
+		Servers: 2, Service: service, Mix: mix,
+		StallAt: 200 * time.Millisecond, StallFor: stallFor,
+		SLO: map[workload.Op]time.Duration{workload.OpGetRandom: 2 * time.Millisecond},
+	}
+	rep, err := RunModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// ~5000/s offered for 1s with a 300ms outage: ~1500 arrivals land in
+	// the window. That is ~30% of all samples, so even p99 of the
+	// open-loop digest must sit deep inside the stall.
+	if rep.Max < stallFor-10*time.Millisecond {
+		t.Fatalf("open-loop max %v does not span the %v stall", rep.Max, stallFor)
+	}
+	if rep.P99 < 100*time.Millisecond {
+		t.Fatalf("open-loop p99 %v does not surface the stall", rep.P99)
+	}
+
+	// The same completions timed from actual send: the stall collapses
+	// to queue-free service times. An order of magnitude under-report.
+	if rep.ClosedP99 > rep.P99/10 {
+		t.Fatalf("closed-loop p99 %v not an under-report of open-loop p99 %v", rep.ClosedP99, rep.P99)
+	}
+	if rep.ClosedP999 > 5*time.Millisecond {
+		t.Fatalf("closed-loop p999 %v should look healthy (that is the bug it demonstrates)", rep.ClosedP999)
+	}
+
+	// Goodput accounting must see the outage too.
+	if frac := rep.SLOFraction(); frac > 0.9 {
+		t.Fatalf("SLO fraction %.3f ignores a 30%% outage", frac)
+	}
+
+	// And the whole scenario is a fixed point: identical on every run.
+	rep2, err := RunModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.P99 != rep2.P99 || rep.ClosedP99 != rep2.ClosedP99 || rep.Completed != rep2.Completed {
+		t.Fatalf("stall scenario not deterministic")
+	}
+}
+
+// TestLiveRunFoldsLatenessIn drives the wall-clock runner with a stepper
+// that blocks once for a long beat: every arrival scheduled during the
+// block must record a latency that includes its schedule slip, not just
+// its own service time.
+func TestLiveRunFoldsLatenessIn(t *testing.T) {
+	const block = 150 * time.Millisecond
+	first := true
+	step := func(op workload.Op) error {
+		if first {
+			first = false
+			time.Sleep(block)
+		}
+		return nil
+	}
+	rep, err := Run(Config{
+		Guests: 200, Offered: 2000, Duration: 200 * time.Millisecond, Seed: 5,
+		Slots: []Slot{{Step: step, Mix: workload.Mix{workload.OpGetRandom: 1}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Max < block/2 {
+		t.Fatalf("blocked stepper invisible in open-loop latency: max %v", rep.Max)
+	}
+	if rep.LatenessMax < block/2 {
+		t.Fatalf("schedule slip not recorded: lateness max %v", rep.LatenessMax)
+	}
+}

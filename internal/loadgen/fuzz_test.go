@@ -1,0 +1,32 @@
+package loadgen
+
+import "testing"
+
+// FuzzLoadgenTraceParse hammers the scenario/trace decoder: any input
+// either fails cleanly or parses to a Scenario whose canonical rendering
+// is a fixed point (parse → String → parse → String is stable). Scenarios
+// ride in CI baselines and vtpmctl arguments, so the decoder must never
+// panic and never round-trip lossily.
+func FuzzLoadgenTraceParse(f *testing.F) {
+	f.Add(sampleScenario)
+	f.Add("guests 100\nseed 1\n")
+	f.Add("stall 200ms 100ms\nmix getrandom:1\n")
+	f.Add("trace 0s 0 extend\ntrace 5µs 1 quote\n")
+	f.Add("rates 0.5 1 2\nservers 8\njitter 0.3\n")
+	f.Add("# only a comment\n\n")
+	f.Add("offered 1e6\nduration 30s\nskew 1e4\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		s, err := ParseScenario(src)
+		if err != nil {
+			return
+		}
+		text := s.String()
+		s2, err := ParseScenario(text)
+		if err != nil {
+			t.Fatalf("canonical form rejected: %v\n%q", err, text)
+		}
+		if again := s2.String(); again != text {
+			t.Fatalf("canonical form unstable:\n%q\n%q", text, again)
+		}
+	})
+}

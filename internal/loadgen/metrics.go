@@ -1,0 +1,88 @@
+package loadgen
+
+import (
+	"time"
+
+	"xvtpm/internal/metrics"
+)
+
+// Metrics is the harness's Prometheus surface: live per-command
+// observations during a run plus end-of-run gauges, all under the
+// loadgen_* prefix.
+type Metrics struct {
+	Latency  *metrics.Histogram // open-loop latency (intended send → done)
+	Lateness *metrics.Histogram // schedule slip (intended → actual send)
+
+	Offered   *metrics.Counter // arrivals issued
+	Completed *metrics.Counter
+	Errors    *metrics.Counter
+	SLOMiss   *metrics.Counter
+
+	OfferedCPS *metrics.Gauge // last run's configured rate
+	GoodputCPS *metrics.Gauge // last run's goodput
+}
+
+// NewMetrics builds unregistered instruments (tests use them bare).
+func NewMetrics() *Metrics {
+	return &Metrics{
+		Latency:    metrics.NewHistogram(nil),
+		Lateness:   metrics.NewHistogram(nil),
+		Offered:    &metrics.Counter{},
+		Completed:  &metrics.Counter{},
+		Errors:     &metrics.Counter{},
+		SLOMiss:    &metrics.Counter{},
+		OfferedCPS: &metrics.Gauge{},
+		GoodputCPS: &metrics.Gauge{},
+	}
+}
+
+// Register installs the loadgen_* rows on a registry.
+func (m *Metrics) Register(reg *metrics.Registry) error {
+	for _, row := range []struct {
+		name, help string
+		install    func(string, string) error
+	}{
+		{"loadgen_latency_seconds", "Open-loop command latency from intended send time (CO-safe).",
+			func(n, h string) error { return reg.RegisterHistogram(n, h, m.Latency) }},
+		{"loadgen_lateness_seconds", "Generator schedule slip: actual minus intended send time.",
+			func(n, h string) error { return reg.RegisterHistogram(n, h, m.Lateness) }},
+		{"loadgen_offered_total", "Commands the open-loop schedule issued.",
+			func(n, h string) error { return reg.RegisterCounter(n, h, m.Offered) }},
+		{"loadgen_completed_total", "Commands that returned a response.",
+			func(n, h string) error { return reg.RegisterCounter(n, h, m.Completed) }},
+		{"loadgen_errors_total", "Commands that returned a non-success response.",
+			func(n, h string) error { return reg.RegisterCounter(n, h, m.Errors) }},
+		{"loadgen_slo_miss_total", "Commands completing over their per-op SLO.",
+			func(n, h string) error { return reg.RegisterCounter(n, h, m.SLOMiss) }},
+		{"loadgen_offered_cps", "Configured offered rate of the last run (commands/sec).",
+			func(n, h string) error { return reg.RegisterGauge(n, h, m.OfferedCPS) }},
+		{"loadgen_goodput_cps", "Goodput of the last run (within-SLO completions/sec).",
+			func(n, h string) error { return reg.RegisterGauge(n, h, m.GoodputCPS) }},
+	} {
+		if err := row.install(row.name, row.help); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// observe records one completion (called from slot workers; everything
+// underneath is atomic).
+func (m *Metrics) observe(lat, late time.Duration, err error, withinSLO bool) {
+	m.Offered.Inc()
+	m.Completed.Inc()
+	m.Latency.Record(lat)
+	m.Lateness.Record(late)
+	if err != nil {
+		m.Errors.Inc()
+	}
+	if !withinSLO {
+		m.SLOMiss.Inc()
+	}
+}
+
+// observeReport publishes end-of-run gauges.
+func (m *Metrics) observeReport(r *Report) {
+	m.OfferedCPS.Set(int64(r.Offered))
+	m.GoodputCPS.Set(int64(r.Goodput))
+}

@@ -1,0 +1,135 @@
+package loadgen
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"xvtpm/internal/workload"
+)
+
+var testService = map[workload.Op]time.Duration{
+	workload.OpGetRandom: 10 * time.Microsecond,
+	workload.OpExtend:    10 * time.Microsecond,
+	workload.OpSeal:      50 * time.Microsecond,
+	workload.OpQuote:     100 * time.Microsecond,
+}
+
+func TestModelUnderSaturationKeepsUp(t *testing.T) {
+	cap := ModelCapacity(4, Mix12, testService)
+	rep, err := RunModel(ModelConfig{
+		Guests: 20000, Offered: 0.5 * cap, Duration: 500 * time.Millisecond,
+		Seed: 9, Servers: 4, Service: testService,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goodput < 0.97*rep.Offered {
+		t.Fatalf("under-saturated goodput %.0f vs offered %.0f", rep.Goodput, rep.Offered)
+	}
+	if frac := rep.SLOFraction(); frac < 0.99 {
+		t.Fatalf("SLO fraction %.3f under light load", frac)
+	}
+}
+
+func TestModelOverSaturationCapsThroughput(t *testing.T) {
+	cap := ModelCapacity(4, Mix12, testService)
+	rep, err := RunModel(ModelConfig{
+		Guests: 20000, Offered: 1.5 * cap, Duration: 500 * time.Millisecond,
+		Seed: 9, Servers: 4, Service: testService,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput > 1.05*cap {
+		t.Fatalf("throughput %.0f exceeds modeled capacity %.0f", rep.Throughput, cap)
+	}
+	if rep.Goodput >= kneeGoodputFrac*rep.Offered {
+		t.Fatalf("over-saturated run kept up: goodput %.0f offered %.0f", rep.Goodput, rep.Offered)
+	}
+	if rep.P999 < rep.P99 {
+		t.Fatalf("p999 %v < p99 %v", rep.P999, rep.P99)
+	}
+	// Elapsed stretches past the horizon: the backlog drains after the
+	// last arrival.
+	if rep.Elapsed <= rep.Horizon {
+		t.Fatalf("saturated elapsed %v did not exceed horizon %v", rep.Elapsed, rep.Horizon)
+	}
+}
+
+func TestModelDeterministic(t *testing.T) {
+	cfg := ModelConfig{
+		Guests: 5000, Offered: 60000, Duration: 300 * time.Millisecond,
+		Seed: 42, Servers: 4, Service: testService, ServiceJitter: 0.2,
+	}
+	a, err := RunModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunModel(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *aSum(a) != *aSum(b) {
+		t.Fatalf("model not deterministic:\n%+v\n%+v", aSum(a), aSum(b))
+	}
+}
+
+type modelSum struct {
+	Scheduled, Completed, WithinSLO int64
+	P50, P99, P999, Max             time.Duration
+	Goodput                         float64
+}
+
+func aSum(r *Report) *modelSum {
+	return &modelSum{r.Scheduled, r.Completed, r.WithinSLO, r.P50, r.P99, r.P999, r.Max, r.Goodput}
+}
+
+func TestModelSweepFindsKnee(t *testing.T) {
+	cap := ModelCapacity(4, Mix12, testService)
+	var points []SweepPoint
+	for _, mult := range []float64{0.5, 0.75, 0.9, 1.1, 1.3} {
+		rep, err := RunModel(ModelConfig{
+			Guests: 10000, Offered: mult * cap, Duration: 400 * time.Millisecond,
+			Seed: 9, Servers: 4, Service: testService,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		points = append(points, SweepPoint{
+			Offered: rep.Offered, Throughput: rep.Throughput, Goodput: rep.Goodput,
+			P99: rep.P99, P999: rep.P999, SLOFrac: rep.SLOFraction(),
+		})
+	}
+	knee, ok := FindKnee(points)
+	if !ok {
+		t.Fatalf("sweep across the capacity did not find a knee: %+v", points)
+	}
+	if math.Abs(knee-cap) > 0.35*cap {
+		t.Fatalf("knee %.0f too far from modeled capacity %.0f", knee, cap)
+	}
+}
+
+func TestModelTraceReplay(t *testing.T) {
+	trace := []TraceEvent{
+		{At: 0, Guest: 0, Op: workload.OpExtend},
+		{At: 5 * time.Microsecond, Guest: 1, Op: workload.OpQuote},
+		{At: 10 * time.Microsecond, Guest: 0, Op: workload.OpGetRandom},
+	}
+	rep, err := RunModel(ModelConfig{
+		Trace: trace, Guests: 2, Duration: time.Second, Servers: 1, Service: testService,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Completed != 3 {
+		t.Fatalf("trace replay completed %d of 3", rep.Completed)
+	}
+	// Single server, FIFO: the GetRandom at t=10µs waits behind the
+	// 100µs quote that started at t=10µs... the quote started at 10µs
+	// (after extend's 10µs), so GetRandom completes at 120µs: open-loop
+	// latency 110µs.
+	if rep.Max < 100*time.Microsecond {
+		t.Fatalf("queueing not reflected in open-loop latency: max %v", rep.Max)
+	}
+}

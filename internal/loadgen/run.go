@@ -1,0 +1,131 @@
+package loadgen
+
+import (
+	"errors"
+	"sync"
+	"time"
+
+	"xvtpm/internal/workload"
+)
+
+// Stepper executes one operation on a slot's real backing (a load session
+// client or a guest TPM client) and returns the command error, if any.
+type Stepper func(op workload.Op) error
+
+// Slot is one real execution lane: simulated guests are dealt across
+// slots, and each slot replays its guests' merged arrival stream through
+// Step. The slot's Mix is the op profile of the guests homed on it (how
+// 1.2 and 2.0 fleets coexist: give their slots different mixes).
+type Slot struct {
+	Step Stepper
+	Mix  workload.Mix
+}
+
+// Config parameterizes a live (wall-clock) open-loop run.
+type Config struct {
+	Guests   int           // simulated guests
+	Offered  float64       // aggregate arrival rate, commands/sec
+	Duration time.Duration // schedule horizon
+	Seed     int64
+	Alpha    float64 // Pareto shape for per-guest rates (default 1.1)
+	MaxSkew  float64 // max/min per-guest rate ratio bound (default 1000)
+	Slots    []Slot
+	SLO      map[workload.Op]time.Duration // nil = DefaultSLO
+	// MaxEvents bounds the schedule (default 2e6): an over-ambitious
+	// offered×duration product truncates the horizon instead of
+	// building an unbounded schedule.
+	MaxEvents int64
+	// Metrics, when set, receives per-command observations live (the
+	// Prometheus rows); the Report is produced either way.
+	Metrics *Metrics
+}
+
+func (c *Config) defaults() error {
+	if c.Guests <= 0 || c.Offered <= 0 || c.Duration <= 0 {
+		return errors.New("loadgen: Guests, Offered and Duration must be positive")
+	}
+	if len(c.Slots) == 0 {
+		return errors.New("loadgen: need at least one slot")
+	}
+	if c.MaxEvents <= 0 {
+		c.MaxEvents = 2_000_000
+	}
+	if want := c.Offered * c.Duration.Seconds(); want > float64(c.MaxEvents) {
+		c.Duration = time.Duration(float64(c.MaxEvents) / c.Offered * 1e9)
+	}
+	return nil
+}
+
+// Run offers load to the slots on the wall clock. Each slot worker walks
+// its schedule: it waits until an arrival's intended send time, issues the
+// op, and records completion − *intended* send time — if the worker (or the
+// system behind it) falls behind, the lateness lands in the recorded
+// latency rather than stretching the schedule (open loop, CO-safe).
+func Run(cfg Config) (*Report, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	rates := rateTable(cfg.Guests, cfg.Seed, cfg.Alpha, cfg.MaxSkew, cfg.Offered)
+	parts := partition(cfg.Guests, len(cfg.Slots))
+	slo := cfg.SLO
+	if slo == nil {
+		slo = DefaultSLO
+	}
+
+	cols := make([]*collector, len(cfg.Slots))
+	scheds := make([]*schedule, len(cfg.Slots))
+	for i, slot := range cfg.Slots {
+		cols[i] = newCollector()
+		scheds[i] = newSchedule(parts[i], rates, slot.Mix, cfg.Seed+int64(i)*1009, cfg.Duration)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	for i := range cfg.Slots {
+		wg.Add(1)
+		go func(slot Slot, sched *schedule, col *collector) {
+			defer wg.Done()
+			for {
+				ev, ok := sched.next()
+				if !ok {
+					return
+				}
+				intended := start.Add(time.Duration(ev.at))
+				if wait := time.Until(intended); wait > 0 {
+					time.Sleep(wait)
+				}
+				late := time.Since(intended)
+				if late < 0 {
+					late = 0
+				}
+				err := slot.Step(ev.op)
+				lat := time.Since(intended) // includes lateness: CO-safe
+				col.record(ev.op, lat, late, err)
+				if m := cfg.Metrics; m != nil {
+					m.observe(lat, late, err, lat <= sloFor(slo, ev.op))
+				}
+			}
+		}(cfg.Slots[i], scheds[i], cols[i])
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	merged := newCollector()
+	var scheduled int64
+	for i, col := range cols {
+		merged.merge(col)
+		scheduled += scheds[i].emitted
+	}
+	rep := merged.report(cfg.Guests, len(cfg.Slots), cfg.Offered, cfg.Duration, elapsed, scheduled, slo)
+	if cfg.Metrics != nil {
+		cfg.Metrics.observeReport(rep)
+	}
+	return rep, nil
+}
+
+func sloFor(slo map[workload.Op]time.Duration, op workload.Op) time.Duration {
+	if d := slo[op]; d != 0 {
+		return d
+	}
+	return DefaultSLO[op]
+}

@@ -1,0 +1,71 @@
+package vtpm
+
+import (
+	"errors"
+	"testing"
+
+	"xvtpm/internal/tpm"
+)
+
+func TestLoadSessionDispatchPath(t *testing.T) {
+	hv, xs, mgr, _ := newTestRig(t, &passGuard{})
+	dom := mkGuestDom(t, hv, xs, "loadslot")
+	inst, err := mgr.CreateInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mgr.BindInstance(inst, dom); err != nil {
+		t.Fatal(err)
+	}
+	sess, err := mgr.OpenLoadSession(inst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.Instance() != inst || sess.Domain() != dom.ID() {
+		t.Fatalf("session identity wrong: %v/%v", sess.Instance(), sess.Domain())
+	}
+
+	// A full client rides the session as its transport: framing, auth
+	// sessions and response checking all pass through Manager.Dispatch.
+	cli := tpm.NewClient(sess, nil)
+	if _, err := cli.GetRandom(16); err != nil {
+		t.Fatalf("GetRandom over load session: %v", err)
+	}
+	var digest [20]byte
+	digest[0] = 0xAB
+	if _, err := cli.Extend(10, digest); err != nil {
+		t.Fatalf("Extend over load session: %v", err)
+	}
+
+	open, cmds := mgr.LoadSessionStats()
+	if open != 1 {
+		t.Fatalf("open sessions %d, want 1", open)
+	}
+	if cmds < 2 {
+		t.Fatalf("load commands %d, want >= 2", cmds)
+	}
+	if st := mgr.DispatchStats(); st.Commands < 2 {
+		t.Fatalf("dispatch path not exercised: %+v", st)
+	}
+
+	sess.Close()
+	sess.Close() // idempotent
+	if open, _ := mgr.LoadSessionStats(); open != 0 {
+		t.Fatalf("open sessions %d after close", open)
+	}
+	if _, err := sess.Transmit([]byte{0, 0}); !errors.Is(err, ErrBadChannel) {
+		t.Fatalf("closed session transmit: %v", err)
+	}
+}
+
+func TestLoadSessionRequiresBoundInstance(t *testing.T) {
+	_, _, mgr, _ := newTestRig(t, &passGuard{})
+	inst, err := mgr.CreateInstance()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mgr.OpenLoadSession(inst); err == nil {
+		t.Fatal("unbound instance admitted a load session")
+	}
+}

@@ -151,6 +151,11 @@ type Manager struct {
 	// (see observe.go).
 	tel telemetry
 
+	// Synthetic open-loop session accounting (see loadsession.go):
+	// currently open load sessions and commands dispatched through them.
+	loadSessions int64
+	loadCommands uint64
+
 	// tapMu guards taps: observers of dispatched ring payloads. A
 	// compromised dom0 component sits exactly here, which is how the replay
 	// attacker captures traffic to re-inject.

@@ -240,6 +240,18 @@ func (m *Manager) RegisterMetrics(reg *metrics.Registry) error {
 	if err := reg.RegisterGauge("xvtpm_health_quarantined_now", "Instances currently Quarantined.", &m.healthQuarantinedNow); err != nil {
 		return err
 	}
+	if err := reg.RegisterGaugeFunc("xvtpm_load_sessions", "Open synthetic open-loop load sessions.", func() float64 {
+		open, _ := m.LoadSessionStats()
+		return float64(open)
+	}); err != nil {
+		return err
+	}
+	if err := reg.RegisterGaugeFunc("xvtpm_load_commands_total", "Commands dispatched through load sessions.", func() float64 {
+		_, cmds := m.LoadSessionStats()
+		return float64(cmds)
+	}); err != nil {
+		return err
+	}
 	return reg.RegisterGaugeFunc("xvtpm_instances", "Live vTPM instances.", func() float64 {
 		m.regMu.RLock()
 		n := len(m.instances)

@@ -560,6 +560,72 @@ func (h *Host) Guests() []*Guest {
 	return out
 }
 
+// LoadSlot is one dedicated open-loop execution lane for the load
+// harness: a synthetic domain with a bound vTPM instance whose only
+// client is a manager load session (see vtpm.LoadSession for why it must
+// be the only one — the improved channel's anti-replay window is per
+// instance). The matching profile's client speaks over the session, so
+// auth-heavy ops (Seal, Quote) work exactly as they do for real guests.
+type LoadSlot struct {
+	Dom      *xen.Domain
+	Instance vtpm.InstanceID
+	Session  *vtpm.LoadSession
+	Profile  tpm.Profile
+	TPM      *tpm.Client  // 1.2 slots
+	TPM2     *tpm.Client2 // 2.0 slots
+}
+
+// OpenLoadSlot builds a load slot: domain created and measured, instance
+// bound to its launch identity, default guest policy granted (improved
+// mode), synthetic session admitted. No ring, frontend or backend — the
+// slot loads the guard + dispatch + engine path itself.
+func (h *Host) OpenLoadSlot(name string, profile tpm.Profile) (*LoadSlot, error) {
+	dom, err := h.HV.CreateDomain(xen.DomainConfig{Name: name, Kernel: []byte("loadgen-" + name)})
+	if err != nil {
+		return nil, err
+	}
+	if profile == tpm.AnyProfile {
+		profile = h.profile
+	}
+	inst, err := h.Manager.CreateInstanceProfile(profile)
+	if err != nil {
+		return nil, err
+	}
+	if err := h.Manager.BindInstance(inst, dom); err != nil {
+		return nil, err
+	}
+	if ig, ok := h.ImprovedGuard(); ok {
+		ig.Policy().Append(core.DefaultGuestPolicy(dom.Launch(), inst)...)
+	}
+	sess, err := h.Manager.OpenLoadSession(inst)
+	if err != nil {
+		return nil, err
+	}
+	info, err := h.Manager.InstanceInfo(inst)
+	if err != nil {
+		return nil, err
+	}
+	slot := &LoadSlot{Dom: dom, Instance: inst, Session: sess, Profile: info.Profile}
+	if info.Profile == tpm.Profile20 {
+		slot.TPM2 = tpm.NewClient2(sess, nil)
+	} else {
+		slot.TPM = tpm.NewClient(sess, nil)
+	}
+	return slot, nil
+}
+
+// CloseLoadSlot retires a load slot: session, instance and domain.
+func (h *Host) CloseLoadSlot(s *LoadSlot) error {
+	s.Session.Close()
+	if err := h.Manager.UnbindInstance(s.Instance); err != nil && !errors.Is(err, vtpm.ErrUnbound) {
+		return err
+	}
+	if err := h.Manager.DestroyInstance(s.Instance); err != nil {
+		return err
+	}
+	return h.HV.DestroyDomain(xen.Dom0, s.Dom.ID())
+}
+
 // suspendedGuest is a locally parked guest: its domain image plus its
 // still-registered (unbound) vTPM instance.
 type suspendedGuest struct {
