@@ -187,8 +187,13 @@ func E19RateSweep(cfg Config) (*E19Report, error) {
 		if r.Errors > 0 {
 			return nil, fmt.Errorf("E19 at %.0f cps: %d command errors", offered, r.Errors)
 		}
+		realized := offered
+		if r.Horizon > 0 {
+			realized = float64(r.Scheduled) / r.Horizon.Seconds()
+		}
 		rep.Points = append(rep.Points, loadgen.SweepPoint{
-			Offered: offered, Throughput: r.Throughput, Goodput: r.Goodput,
+			Offered: offered, Realized: realized,
+			Throughput: r.Throughput, Goodput: r.Goodput,
 			P99: r.P99, P999: r.P999, SLOFrac: r.SLOFraction(),
 		})
 		lastRep = r

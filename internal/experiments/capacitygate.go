@@ -21,16 +21,19 @@ import (
 // CapacityScenarioText is the committed stable subset: reduced fleet,
 // fixed seed, modeled per-op service times shaped like the measured
 // dispatch path (cheap symmetric ops vs RSA-backed seal/quote).
-const CapacityScenarioText = `# deterministic capacity-gate scenario (modeled; see DESIGN.md §13)
+const CapacityScenarioText = `# deterministic capacity-gate scenario (modeled; see DESIGN.md §13-14)
 guests 20000
 seed 9
 duration 250ms
 alpha 1.1
 skew 1000
 servers 4
+signworkers 4
 jitter 0.2
+signbatch 200µs 32
 mix extend:40 getrandom:35 seal:15 quote:10
 service extend:5µs getrandom:6µs seal:60µs quote:130µs
+signcost quote:115µs
 slo extend:2ms getrandom:2ms seal:10ms quote:25ms
 rates 0.5 0.75 0.9 1.1 1.3
 `
@@ -57,8 +60,13 @@ func capacitySweep() (*loadgen.Scenario, []loadgen.SweepPoint, []*loadgen.Report
 		if err != nil {
 			return nil, nil, nil, fmt.Errorf("capacity model at %.0f cps: %w", rate, err)
 		}
+		realized := rate
+		if rep.Horizon > 0 {
+			realized = float64(rep.Scheduled) / rep.Horizon.Seconds()
+		}
 		points = append(points, loadgen.SweepPoint{
-			Offered: rate, Throughput: rep.Throughput, Goodput: rep.Goodput,
+			Offered: rate, Realized: realized,
+			Throughput: rep.Throughput, Goodput: rep.Goodput,
 			P99: rep.P99, P999: rep.P999, SLOFrac: rep.SLOFraction(),
 		})
 		reps = append(reps, rep)
@@ -108,8 +116,17 @@ func CapacitySmoke(out io.Writer) error {
 	}
 	var problems []string
 	for i, p := range points {
-		if p.Goodput > p.Offered*1.001 {
-			problems = append(problems, fmt.Sprintf("rate %d: goodput %.0f exceeds offered %.0f", i, p.Goodput, p.Offered))
+		// The schedule's realized arrival rate, not the nominal one: the
+		// deterministic per-guest schedule can emit a few tenths of a
+		// percent off the requested rate, and goodput legitimately tracks
+		// what actually arrived. Goodput above realized arrivals means
+		// double-counted completions or a shrunken elapsed denominator.
+		realized := p.Offered
+		if reps[i].Horizon > 0 {
+			realized = float64(reps[i].Scheduled) / reps[i].Horizon.Seconds()
+		}
+		if p.Goodput > realized*1.001 {
+			problems = append(problems, fmt.Sprintf("rate %d: goodput %.0f exceeds realized arrival rate %.0f", i, p.Goodput, realized))
 		}
 		if p.Goodput > p.Throughput+0.5 {
 			problems = append(problems, fmt.Sprintf("rate %d: goodput %.0f exceeds throughput %.0f", i, p.Goodput, p.Throughput))

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestE20SignPoolShape(t *testing.T) {
+	var buf bytes.Buffer
+	rep, err := E20SignPool(quickCfg(&buf))
+	if err != nil {
+		t.Fatalf("E20: %v", err)
+	}
+	if rep.KneeRatio < 1.5 {
+		t.Fatalf("pooled knee only %.2fx the inline knee (floor 1.5x)", rep.KneeRatio)
+	}
+	if rep.QuoteBusyShare >= rep.ExtendRandomBusyShare {
+		t.Fatalf("quote busy share %.3f not below extend+getrandom %.3f",
+			rep.QuoteBusyShare, rep.ExtendRandomBusyShare)
+	}
+	if rep.QuoteBusyShare >= rep.QuoteBusyShareInline {
+		t.Fatalf("pooling did not reduce quote busy share: %.3f vs inline %.3f",
+			rep.QuoteBusyShare, rep.QuoteBusyShareInline)
+	}
+	if rep.EquivalenceFailures != 0 {
+		t.Fatalf("%d quotes failed verification", rep.EquivalenceFailures)
+	}
+	if rep.QuotesBatched == 0 || rep.QuotesVerified == 0 {
+		t.Fatalf("verified %d quotes, %d batched — batching untested", rep.QuotesVerified, rep.QuotesBatched)
+	}
+	if rep.InlineQuoteUs <= 0 || rep.PooledQuoteUs <= 0 || rep.BatchedQuoteUs <= 0 {
+		t.Fatalf("missing quote-cost measurements: inline %.0f pooled %.0f batched %.0f",
+			rep.InlineQuoteUs, rep.PooledQuoteUs, rep.BatchedQuoteUs)
+	}
+	if rep.CreateNoPoolSecs <= 0 || rep.CreatePoolSecs < 0 || rep.FleetN == 0 {
+		t.Fatalf("fleet-create phase did not run: %d instances, %.3fs/%.3fs",
+			rep.FleetN, rep.CreateNoPoolSecs, rep.CreatePoolSecs)
+	}
+	out := buf.String()
+	for _, want := range []string{"E20", "modeled knee", "quote busy share", "batched streams", "attestation", "fleet create"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -224,7 +224,14 @@ func (c *collector) report(guests, slots int, offered float64, horizon, elapsed 
 
 // SweepPoint is one offered-load step of a rate sweep.
 type SweepPoint struct {
-	Offered    float64
+	Offered float64
+	// Realized is the arrival rate the schedule actually emitted
+	// (Scheduled/Horizon). The seeded Poisson streams carry a frozen
+	// fluctuation around Offered that does not shrink with reruns — at
+	// small schedules it reaches several percent — so accounting sanity
+	// checks (goodput cannot exceed arrivals) must compare against
+	// Realized, not Offered. 0 means unknown (treat as Offered).
+	Realized   float64
 	Throughput float64
 	Goodput    float64
 	P99        time.Duration

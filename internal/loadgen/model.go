@@ -2,6 +2,7 @@ package loadgen
 
 import (
 	"errors"
+	"sort"
 	"time"
 
 	"xvtpm/internal/workload"
@@ -26,6 +27,23 @@ type ModelConfig struct {
 	// ServiceJitter widens each service time by a deterministic
 	// ±fraction (0.2 = ±20%), so tails are not artificially flat.
 	ServiceJitter float64
+
+	// Sign-pool modeling. When SignWorkers > 0, an op with a SignCost
+	// entry pays only its prep share (service − sign cost) on the
+	// dispatch lane; the private-key operation is handed to one of
+	// SignWorkers dedicated sign lanes, mirroring the deferred-execution
+	// split in vtpm dispatch. With a positive SignBatchWindow, jobs of
+	// the same op that become ready within the window share one modeled
+	// signature (the Merkle-batched quote path); a batch seals when the
+	// window expires or SignBatchMax jobs have joined, whichever is
+	// first. The model batches across the whole fleet — an idealization
+	// of the real pool's per-key grouping that the skewed fleets used by
+	// the capacity scenarios (a few hot guests dominating the quote
+	// stream) approach in practice.
+	SignWorkers     int
+	SignCost        map[workload.Op]time.Duration
+	SignBatchWindow time.Duration
+	SignBatchMax    int
 
 	// StallAt/StallFor freeze every server for a window — the scenario
 	// the coordinated-omission test exercises: an open-loop recorder
@@ -120,6 +138,16 @@ func RunModel(cfg ModelConfig) (*Report, error) {
 		}
 		svcNs[op] = int64(d)
 	}
+	signNs := make([]int64, opCount)
+	signEnabled := cfg.SignWorkers > 0 && len(cfg.SignCost) > 0
+	if signEnabled {
+		for op, d := range cfg.SignCost {
+			if int(op) < len(signNs) && d > 0 {
+				signNs[op] = int64(d)
+			}
+		}
+	}
+	var signJobs []signJob
 
 	free := make([]int64, cfg.Servers) // per-server next-free virtual time
 	stallStart, stallEnd := int64(cfg.StallAt), int64(cfg.StallAt+cfg.StallFor)
@@ -154,6 +182,21 @@ func RunModel(cfg ModelConfig) (*Report, error) {
 				svc = 1
 			}
 		}
+		if signEnabled && signNs[ev.op] > 0 {
+			// Deferred execution: the dispatch lane pays prep only and
+			// frees up; the signature completes on a sign lane (second
+			// pass below), which is when the response — and the
+			// latency — lands.
+			prep := svc - signNs[ev.op]
+			if prep < 1 {
+				prep = 1
+			}
+			free[srv] = start + prep
+			signJobs = append(signJobs, signJob{
+				ready: start + prep, at: ev.at, start: start, op: ev.op,
+			})
+			continue
+		}
 		done := start + svc
 		free[srv] = done
 		if done > lastDone {
@@ -166,11 +209,79 @@ func RunModel(cfg ModelConfig) (*Report, error) {
 		col.closed = append(col.closed, done-start)
 	}
 
+	if len(signJobs) > 0 {
+		if d := runSignLanes(signJobs, cfg.SignWorkers, signNs, int64(cfg.SignBatchWindow), cfg.SignBatchMax, col); d > lastDone {
+			lastDone = d
+		}
+	}
+
 	elapsed := cfg.Duration
 	if v := time.Duration(lastDone); v > elapsed {
 		elapsed = v
 	}
 	return col.report(cfg.Guests, cfg.Servers, cfg.Offered, cfg.Duration, elapsed, sched.emitted, slo), nil
+}
+
+// signJob is one deferred private-key operation waiting for a sign lane.
+type signJob struct {
+	ready int64 // prep done on the dispatch lane, digest enqueued
+	at    int64 // intended arrival (open-loop latency anchor)
+	start int64 // actual dispatch start (closed-loop anchor)
+	op    workload.Op
+}
+
+// runSignLanes drains the deferred sign jobs through the modeled sign
+// pool: jobs of the same op that become ready within the batch window
+// share one signature; each member's completion is the batch's. Returns
+// the last completion time.
+func runSignLanes(jobs []signJob, workers int, signNs []int64, window int64, batchMax int, col *collector) int64 {
+	sort.SliceStable(jobs, func(i, j int) bool { return jobs[i].ready < jobs[j].ready })
+	if batchMax <= 0 {
+		batchMax = 16
+	}
+	lanes := make([]int64, workers)
+	var lastDone int64
+	for i := 0; i < len(jobs); {
+		// Batch membership: same op, ready before the leader's window
+		// expires, capped at batchMax (which also seals the batch early).
+		j := i + 1
+		if window > 0 {
+			deadline := jobs[i].ready + window
+			for j < len(jobs) && j-i < batchMax && jobs[j].op == jobs[i].op && jobs[j].ready <= deadline {
+				j++
+			}
+		}
+		sealAt := jobs[i].ready
+		if window > 0 {
+			if j-i >= batchMax {
+				sealAt = jobs[j-1].ready
+			} else {
+				sealAt = jobs[i].ready + window
+			}
+		}
+		lane := 0
+		for l := 1; l < len(lanes); l++ {
+			if lanes[l] < lanes[lane] {
+				lane = l
+			}
+		}
+		begin := sealAt
+		if lanes[lane] > begin {
+			begin = lanes[lane]
+		}
+		done := begin + signNs[jobs[i].op] // one signature covers the batch
+		lanes[lane] = done
+		if done > lastDone {
+			lastDone = done
+		}
+		for k := i; k < j; k++ {
+			jb := jobs[k]
+			col.record(jb.op, time.Duration(done-jb.at), time.Duration(jb.start-jb.at), nil)
+			col.closed = append(col.closed, done-jb.start)
+		}
+		i = j
+	}
+	return lastDone
 }
 
 // ModelCapacity is the modeled queue's theoretical throughput ceiling for
@@ -203,4 +314,55 @@ func ModelCapacity(servers int, mix workload.Mix, service map[workload.Op]time.D
 		return 0
 	}
 	return float64(servers) * wsum / tsum
+}
+
+// ModelCapacitySign is ModelCapacity for a run with a modeled sign pool:
+// dispatch lanes pay only the prep share (service − sign cost) of
+// offloaded ops, and the sign lanes bound those ops separately. The sign
+// bound is the unbatched one — batching only raises it — so the returned
+// ceiling (the tighter of the two) is safe to anchor sweep ladders on.
+func ModelCapacitySign(servers, signWorkers int, mix workload.Mix, service, signCost map[workload.Op]time.Duration) float64 {
+	if signWorkers <= 0 || len(signCost) == 0 {
+		return ModelCapacity(servers, mix, service)
+	}
+	if servers <= 0 {
+		servers = 4
+	}
+	if mix == nil {
+		mix = Mix12
+	}
+	if service == nil {
+		service = defaultService
+	}
+	var wsum, prepSum, signSum float64
+	for _, op := range workload.AllOps {
+		w := float64(mix[op])
+		if w <= 0 {
+			continue
+		}
+		d := service[op]
+		if d == 0 {
+			d = defaultService[op]
+		}
+		prep := d.Seconds()
+		if sc := signCost[op]; sc > 0 {
+			prep -= sc.Seconds()
+			if prep <= 0 {
+				prep = 1e-9 // mirrors the 1ns floor in RunModel
+			}
+			signSum += w * sc.Seconds()
+		}
+		wsum += w
+		prepSum += w * prep
+	}
+	if prepSum == 0 {
+		return 0
+	}
+	cap := float64(servers) * wsum / prepSum
+	if signSum > 0 {
+		if sc := float64(signWorkers) * wsum / signSum; sc < cap {
+			cap = sc
+		}
+	}
+	return cap
 }

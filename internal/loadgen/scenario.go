@@ -23,10 +23,13 @@ import (
 //	alpha 1.1             Pareto shape of per-guest rates
 //	skew 1000             max/min per-guest rate bound
 //	servers 4             modeled dispatch lanes
+//	signworkers 4         modeled sign-pool lanes (0 = signing stays inline)
 //	jitter 0.2            ± service-time jitter fraction
 //	stall 200ms 100ms     freeze all servers at t=200ms for 100ms
+//	signbatch 200µs 32    sign-pool batch window and max batch size
 //	mix extend:40 getrandom:35 seal:15 quote:10
 //	service extend:5µs getrandom:6µs seal:60µs quote:130µs
+//	signcost quote:115µs  private-key share of service, offloaded to sign lanes
 //	slo extend:2ms getrandom:2ms seal:10ms quote:25ms
 //	rates 0.5 0.75 0.9 1.1 1.3   sweep ladder, × modeled capacity
 //	trace 100µs 3 extend         explicit arrival (repeatable; replaces
@@ -42,11 +45,17 @@ type Scenario struct {
 	Jitter   float64
 	StallAt  time.Duration
 	StallFor time.Duration
-	Mix      workload.Mix
-	Service  map[workload.Op]time.Duration
-	SLO      map[workload.Op]time.Duration
-	Rates    []float64
-	Trace    []TraceEvent
+
+	SignWorkers     int
+	SignBatchWindow time.Duration
+	SignBatchMax    int
+	SignCost        map[workload.Op]time.Duration
+
+	Mix     workload.Mix
+	Service map[workload.Op]time.Duration
+	SLO     map[workload.Op]time.Duration
+	Rates   []float64
+	Trace   []TraceEvent
 }
 
 // opNames maps lowercase directive tokens to ops (and back, via AllOps).
@@ -164,6 +173,22 @@ func ParseScenario(src string) (*Scenario, error) {
 					err = fmt.Errorf("negative servers")
 				}
 			}
+		case "signworkers":
+			if err = need(1); err == nil {
+				s.SignWorkers, err = strconv.Atoi(args[0])
+				if err == nil && s.SignWorkers < 0 {
+					err = fmt.Errorf("negative signworkers")
+				}
+			}
+		case "signbatch":
+			if err = need(2); err == nil {
+				if s.SignBatchWindow, err = parseDur(args[0]); err == nil {
+					s.SignBatchMax, err = strconv.Atoi(args[1])
+					if err == nil && s.SignBatchMax < 0 {
+						err = fmt.Errorf("negative batch max")
+					}
+				}
+			}
 		case "jitter":
 			if err = need(1); err == nil {
 				s.Jitter, err = parseFiniteFloat(args[0])
@@ -189,7 +214,7 @@ func ParseScenario(src string) (*Scenario, error) {
 					s.Mix[op] = int(w)
 				}
 			}
-		case "service", "slo":
+		case "service", "slo", "signcost":
 			var tbl map[workload.Op]int64
 			tbl, err = parseOpTable(args, func(v string) (int64, error) {
 				d, e := parseDur(v)
@@ -200,9 +225,12 @@ func ParseScenario(src string) (*Scenario, error) {
 				for op, d := range tbl {
 					m[op] = time.Duration(d)
 				}
-				if key == "service" {
+				switch key {
+				case "service":
 					s.Service = m
-				} else {
+				case "signcost":
+					s.SignCost = m
+				default:
 					s.SLO = m
 				}
 			}
@@ -286,11 +314,17 @@ func (s *Scenario) String() string {
 	if s.Servers != 0 {
 		fmt.Fprintf(&b, "servers %d\n", s.Servers)
 	}
+	if s.SignWorkers != 0 {
+		fmt.Fprintf(&b, "signworkers %d\n", s.SignWorkers)
+	}
 	if s.Jitter != 0 {
 		fmt.Fprintf(&b, "jitter %s\n", fmtFloat(s.Jitter))
 	}
 	if s.StallAt != 0 || s.StallFor != 0 {
 		fmt.Fprintf(&b, "stall %s %s\n", s.StallAt, s.StallFor)
+	}
+	if s.SignBatchWindow != 0 || s.SignBatchMax != 0 {
+		fmt.Fprintf(&b, "signbatch %s %d\n", s.SignBatchWindow, s.SignBatchMax)
 	}
 	writeOpTable(&b, "mix", func(op workload.Op) (string, bool) {
 		w, ok := s.Mix[op]
@@ -298,6 +332,10 @@ func (s *Scenario) String() string {
 	})
 	writeOpTable(&b, "service", func(op workload.Op) (string, bool) {
 		d, ok := s.Service[op]
+		return d.String(), ok
+	})
+	writeOpTable(&b, "signcost", func(op workload.Op) (string, bool) {
+		d, ok := s.SignCost[op]
 		return d.String(), ok
 	})
 	writeOpTable(&b, "slo", func(op workload.Op) (string, bool) {
@@ -317,9 +355,11 @@ func (s *Scenario) String() string {
 	return b.String()
 }
 
-// Capacity is the modeled throughput ceiling for the scenario's mix.
+// Capacity is the modeled throughput ceiling for the scenario's mix;
+// with a sign pool configured, dispatch lanes are charged prep only and
+// the sign lanes impose their own (unbatched) bound.
 func (s *Scenario) Capacity() float64 {
-	return ModelCapacity(s.Servers, s.Mix, s.Service)
+	return ModelCapacitySign(s.Servers, s.SignWorkers, s.Mix, s.Service, s.SignCost)
 }
 
 // ModelConfig builds the modeled-run config at one offered rate (sweeps
@@ -330,6 +370,8 @@ func (s *Scenario) ModelConfig(offered float64) ModelConfig {
 		Seed: s.Seed, Alpha: s.Alpha, MaxSkew: s.MaxSkew, Mix: s.Mix,
 		Servers: s.Servers, Service: s.Service, ServiceJitter: s.Jitter,
 		StallAt: s.StallAt, StallFor: s.StallFor, SLO: s.SLO,
+		SignWorkers: s.SignWorkers, SignCost: s.SignCost,
+		SignBatchWindow: s.SignBatchWindow, SignBatchMax: s.SignBatchMax,
 		Trace: s.Trace,
 	}
 }

@@ -2,6 +2,9 @@ package tpm
 
 import (
 	"bytes"
+	"crypto"
+	"crypto/rsa"
+	"crypto/sha256"
 	"testing"
 )
 
@@ -87,5 +90,47 @@ func FuzzUnmarshalPublicKey(f *testing.F) {
 		if err == nil && (pub.N.Sign() <= 0 || pub.E == 0) {
 			t.Fatal("accepted degenerate key")
 		}
+	})
+}
+
+// FuzzBatchedQuoteParse hammers the XBQ1 inclusion-proof decoder with
+// arbitrary bytes: it must reject malformed blobs with an error — never
+// panic, never accept a blob whose re-encoding differs — and the verifier
+// built on it must stay total.
+func FuzzBatchedQuoteParse(f *testing.F) {
+	key, err := rsa.GenerateKey(newDRBG([]byte("fuzz-batch-key")), 512)
+	if err != nil {
+		f.Fatal(err)
+	}
+	digests := [][]byte{
+		sha1Sum([]byte("fuzz-a")), sha1Sum([]byte("fuzz-b")),
+		sha1Sum([]byte("fuzz-c")), sha1Sum([]byte("fuzz-d")),
+		sha1Sum([]byte("fuzz-e")),
+	}
+	blobs, err := signBatch(newDRBG([]byte("fuzz-batch-rng")), key, crypto.SHA1, digests)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, b := range blobs {
+		f.Add(b)
+	}
+	f.Add([]byte(batchedQuoteMagic))
+	f.Add([]byte{})
+	f.Add([]byte("XBQ0junk"))
+	trunc := append([]byte(nil), blobs[0]...)
+	f.Add(trunc[:len(trunc)/2])
+	f.Fuzz(func(t *testing.T, blob []byte) {
+		p, err := ParseBatchedQuote(blob)
+		if err == nil {
+			// Accepted blobs must re-encode canonically.
+			reenc := encodeBatchedQuote(p.HashLen, p.Count, p.Index, p.Siblings, p.RootSig)
+			if !bytes.Equal(reenc, blob) {
+				t.Fatalf("non-canonical accept: %x re-encodes to %x", blob, reenc)
+			}
+		}
+		// The verifier must be total on arbitrary input for both banks.
+		_ = VerifyBatchedQuote(&key.PublicKey, digests[0], blob)
+		d2 := sha256.Sum256([]byte("fuzz-2"))
+		_ = VerifyBatchedQuote2(&key.PublicKey, d2[:], blob)
 	})
 }

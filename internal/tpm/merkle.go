@@ -1,0 +1,283 @@
+package tpm
+
+import (
+	"crypto"
+	"crypto/rsa"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Merkle-batched quote signatures.
+//
+// Under attestation storms many Quote commands against the same signing key
+// are in flight at once, and one RSA private-key operation per quote is the
+// capacity ceiling E19 measured. Batching amortizes it: within a commit
+// window the signing pool collects N pending quote digests, builds a Merkle
+// tree over them, and performs one RSA signature over the root. Each quote
+// response then carries, in place of the plain signature, a self-describing
+// blob holding the leaf's inclusion proof and the shared root signature.
+//
+// Blob wire format (magic "XBQ1"):
+//
+//	magic    [4]byte   "XBQ1"
+//	hashLen  u8        tree hash size: 20 (SHA-1, TPM 1.2) or 32 (SHA-256, 2.0)
+//	count    u32       number of leaves in the batch (≥ 2)
+//	index    u32       this response's leaf index
+//	nsib     u8        number of audit-path entries
+//	entries  nsib × ( dir u8 (1 = sibling on the left) ∥ sibling hash )
+//	rootSig  B32       RSASSA-PKCS1-v1_5 signature over the root
+//
+// Leaf and interior hashes are domain-separated (0x00 prefix for leaves,
+// 0x01 for interior nodes) so a quote digest can never be replayed as an
+// interior node or vice versa, and each leaf binds its (count, index)
+// position — leaf = H(0x00 ∥ count ∥ index ∥ digest) — so every header
+// field of the blob is covered by the root signature. A batch of one never
+// produces an XBQ1 blob — the pool emits the plain signature — so verifiers
+// accept both forms through VerifyBatchedQuote without negotiating.
+
+// batchedQuoteMagic prefixes every batched-signature blob.
+var batchedQuoteMagic = []byte("XBQ1")
+
+// Merkle domain-separation prefixes.
+var (
+	merkleLeafSep = []byte{0x00}
+	merkleNodeSep = []byte{0x01}
+)
+
+// Structural bounds for ParseBatchedQuote. maxMerkleDepth bounds the audit
+// path (2^32 leaves is far above any batch the pool forms); maxRootSigLen
+// bounds the signature field so a hostile length prefix cannot force a large
+// allocation.
+const (
+	maxMerkleDepth = 32
+	maxRootSigLen  = 1 << 13
+)
+
+// ErrBadBatchedQuote reports a malformed XBQ1 blob.
+var ErrBadBatchedQuote = errors.New("tpm: malformed batched quote signature")
+
+// MerkleSibling is one audit-path entry of an inclusion proof.
+type MerkleSibling struct {
+	// Left reports whether the sibling sits to the left of the running hash.
+	Left bool
+	// Hash is the sibling subtree hash (tree-hash sized).
+	Hash []byte
+}
+
+// BatchedQuoteProof is a parsed XBQ1 blob: the inclusion proof for one quote
+// digest plus the signature over the batch's Merkle root.
+type BatchedQuoteProof struct {
+	// HashLen is the tree hash size in bytes (20 for SHA-1, 32 for SHA-256).
+	HashLen int
+	// Count is the number of leaves in the batch.
+	Count uint32
+	// Index is this proof's leaf position, bound into the leaf hash along
+	// with Count so the header is covered by the root signature.
+	Index uint32
+	// Siblings is the audit path from leaf to root.
+	Siblings []MerkleSibling
+	// RootSig is the RSASSA-PKCS1-v1_5 signature over the root.
+	RootSig []byte
+}
+
+// IsBatchedQuote reports whether sig carries the XBQ1 batched-signature
+// magic (as opposed to being a plain RSASSA signature).
+func IsBatchedQuote(sig []byte) bool {
+	return len(sig) >= len(batchedQuoteMagic) && string(sig[:len(batchedQuoteMagic)]) == string(batchedQuoteMagic)
+}
+
+// ParseBatchedQuote decodes an XBQ1 blob, validating every structural bound.
+// It is the decoder FuzzBatchedQuoteParse drives.
+func ParseBatchedQuote(sig []byte) (*BatchedQuoteProof, error) {
+	if !IsBatchedQuote(sig) {
+		return nil, fmt.Errorf("%w: missing magic", ErrBadBatchedQuote)
+	}
+	r := NewReader(sig[len(batchedQuoteMagic):])
+	hashLen := int(r.U8())
+	count := r.U32()
+	index := r.U32()
+	nsib := int(r.U8())
+	if r.Err() != nil {
+		return nil, fmt.Errorf("%w: truncated header", ErrBadBatchedQuote)
+	}
+	if hashLen != DigestSize && hashLen != 32 {
+		return nil, fmt.Errorf("%w: tree hash size %d", ErrBadBatchedQuote, hashLen)
+	}
+	if count < 2 {
+		return nil, fmt.Errorf("%w: batch of %d", ErrBadBatchedQuote, count)
+	}
+	if index >= count {
+		return nil, fmt.Errorf("%w: leaf %d of %d", ErrBadBatchedQuote, index, count)
+	}
+	if nsib > maxMerkleDepth {
+		return nil, fmt.Errorf("%w: audit path depth %d", ErrBadBatchedQuote, nsib)
+	}
+	p := &BatchedQuoteProof{HashLen: hashLen, Count: count, Index: index}
+	for i := 0; i < nsib; i++ {
+		dir := r.U8()
+		h := r.Raw(hashLen)
+		if r.Err() != nil {
+			return nil, fmt.Errorf("%w: truncated audit path", ErrBadBatchedQuote)
+		}
+		if dir > 1 {
+			return nil, fmt.Errorf("%w: direction byte %#x", ErrBadBatchedQuote, dir)
+		}
+		p.Siblings = append(p.Siblings, MerkleSibling{Left: dir == 1, Hash: append([]byte(nil), h...)})
+	}
+	rootSig := r.B32()
+	if r.Err() != nil || len(rootSig) == 0 || len(rootSig) > maxRootSigLen {
+		return nil, fmt.Errorf("%w: bad root signature field", ErrBadBatchedQuote)
+	}
+	if r.Remaining() != 0 {
+		return nil, fmt.Errorf("%w: %d trailing bytes", ErrBadBatchedQuote, r.Remaining())
+	}
+	p.RootSig = append([]byte(nil), rootSig...)
+	return p, nil
+}
+
+// encodeBatchedQuote serializes one leaf's XBQ1 blob.
+func encodeBatchedQuote(hashLen int, count, index uint32, path []MerkleSibling, rootSig []byte) []byte {
+	w := NewWriterBuf(make([]byte, 0, len(batchedQuoteMagic)+10+len(path)*(1+hashLen)+4+len(rootSig)))
+	w.Raw(batchedQuoteMagic)
+	w.U8(byte(hashLen))
+	w.U32(count)
+	w.U32(index)
+	w.U8(byte(len(path)))
+	for _, s := range path {
+		dir := byte(0)
+		if s.Left {
+			dir = 1
+		}
+		w.U8(dir)
+		w.Raw(s.Hash)
+	}
+	w.B32(rootSig)
+	return w.Bytes()
+}
+
+// merkleLeafHash computes H(0x00 ∥ count ∥ index ∥ digest), binding the
+// leaf's position and the batch population into the tree.
+func merkleLeafHash(alg crypto.Hash, count, index uint32, digest []byte) []byte {
+	var pos [8]byte
+	be32(pos[:4], count)
+	be32(pos[4:], index)
+	h := alg.New()
+	h.Write(merkleLeafSep)
+	h.Write(pos[:])
+	h.Write(digest)
+	return h.Sum(nil)
+}
+
+// be32 writes v big-endian into b[:4].
+func be32(b []byte, v uint32) {
+	b[0] = byte(v >> 24)
+	b[1] = byte(v >> 16)
+	b[2] = byte(v >> 8)
+	b[3] = byte(v)
+}
+
+// merkleNodeHash computes H(0x01 ∥ left ∥ right).
+func merkleNodeHash(alg crypto.Hash, left, right []byte) []byte {
+	h := alg.New()
+	h.Write(merkleNodeSep)
+	h.Write(left)
+	h.Write(right)
+	return h.Sum(nil)
+}
+
+// merkleBatch builds the tree over the given to-be-signed digests and
+// returns the root plus each leaf's audit path. Odd tail nodes are promoted
+// to the next level unhashed (no duplication), so their audit paths are
+// simply one entry shorter.
+func merkleBatch(alg crypto.Hash, digests [][]byte) (root []byte, paths [][]MerkleSibling) {
+	n := len(digests)
+	paths = make([][]MerkleSibling, n)
+	level := make([][]byte, n)
+	for i, d := range digests {
+		level[i] = merkleLeafHash(alg, uint32(n), uint32(i), d)
+	}
+	// pos[i] tracks leaf i's node index in the current level.
+	pos := make([]int, n)
+	for i := range pos {
+		pos[i] = i
+	}
+	for len(level) > 1 {
+		for i := range pos {
+			j := pos[i]
+			sib := j ^ 1
+			if sib < len(level) {
+				paths[i] = append(paths[i], MerkleSibling{Left: j&1 == 1, Hash: level[sib]})
+			}
+			pos[i] = j / 2
+		}
+		next := make([][]byte, 0, (len(level)+1)/2)
+		for j := 0; j+1 < len(level); j += 2 {
+			next = append(next, merkleNodeHash(alg, level[j], level[j+1]))
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	return level[0], paths
+}
+
+// Root folds a quote digest through the audit path, reproducing the batch
+// root the signature covers.
+func (p *BatchedQuoteProof) Root(alg crypto.Hash, digest []byte) []byte {
+	h := merkleLeafHash(alg, p.Count, p.Index, digest)
+	for _, s := range p.Siblings {
+		if s.Left {
+			h = merkleNodeHash(alg, s.Hash, h)
+		} else {
+			h = merkleNodeHash(alg, h, s.Hash)
+		}
+	}
+	return h
+}
+
+// signBatch performs one RSA signature covering every digest in the batch
+// (all against the same key and hash) and returns the per-leaf XBQ1 blobs.
+func signBatch(rng io.Reader, priv *rsa.PrivateKey, alg crypto.Hash, digests [][]byte) ([][]byte, error) {
+	root, paths := merkleBatch(alg, digests)
+	rootSig, err := rsa.SignPKCS1v15(rng, priv, alg, root)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]byte, len(digests))
+	for i := range digests {
+		out[i] = encodeBatchedQuote(alg.Size(), uint32(len(digests)), uint32(i), paths[i], rootSig)
+	}
+	return out, nil
+}
+
+// VerifyBatchedQuote verifies a TPM 1.2 quote signature over a
+// QuoteInfoDigest that may be either a plain RSASSA-SHA1 signature or an
+// XBQ1 batched blob. Exported for verifiers (internal/attest), which accept
+// both forms with no prior negotiation.
+func VerifyBatchedQuote(pub *rsa.PublicKey, digest, sig []byte) error {
+	return verifyBatched(pub, crypto.SHA1, digest, sig)
+}
+
+// VerifyBatchedQuote2 is the TPM 2.0 twin: the digest is the SHA-256 of the
+// TPMS_ATTEST structure, and batched trees hash with SHA-256.
+func VerifyBatchedQuote2(pub *rsa.PublicKey, digest, sig []byte) error {
+	return verifyBatched(pub, crypto.SHA256, digest, sig)
+}
+
+// verifyBatched dispatches on the XBQ1 magic: plain signatures verify
+// directly over the digest, batched blobs verify over the recomputed root.
+func verifyBatched(pub *rsa.PublicKey, alg crypto.Hash, digest, sig []byte) error {
+	if !IsBatchedQuote(sig) {
+		return rsa.VerifyPKCS1v15(pub, alg, digest, sig)
+	}
+	p, err := ParseBatchedQuote(sig)
+	if err != nil {
+		return err
+	}
+	if p.HashLen != alg.Size() {
+		return fmt.Errorf("%w: tree hash size %d, verifier expects %d", ErrBadBatchedQuote, p.HashLen, alg.Size())
+	}
+	return rsa.VerifyPKCS1v15(pub, alg, p.Root(alg, digest), p.RootSig)
+}

@@ -1,7 +1,25 @@
 package tpm
 
+import (
+	"crypto"
+	"crypto/rsa"
+)
+
 // Signing and attestation ordinals: Sign, Quote, MakeIdentity,
 // ActivateIdentity.
+
+// submitSign enqueues one RSASSA-SHA1 job on the attached signing pool with
+// a freshly forked per-job entropy stream. Caller holds t.mu and has
+// checked t.signer != nil.
+func (t *TPM) submitSign(key *rsa.PrivateKey, digest []byte, batch bool) *SignTicket {
+	return t.signer.Submit(SignRequest{
+		Key:    key,
+		Hash:   crypto.SHA1,
+		Digest: digest,
+		Rng:    t.forkSignRng(),
+		Batch:  batch,
+	})
+}
 
 func init() {
 	register(OrdSign, cmdSign)
@@ -68,12 +86,17 @@ func cmdCertifyKey(ctx *cmdContext) (*Writer, uint32) {
 	info.U16(target.usage)
 	info.U16(target.scheme)
 	info.B32(pubBytes)
-	sig, err := signSHA1(t.keyRng, certKey.priv, CertifyInfoDigest(target.usage, target.scheme, pubBytes, antiReplay))
+	digest := CertifyInfoDigest(target.usage, target.scheme, pubBytes, antiReplay)
+	w := NewWriter()
+	w.B32(info.Bytes())
+	if t.signer != nil {
+		ctx.deferred = t.submitSign(certKey.priv, digest, false)
+		return w, RCSuccess // trailing sig field appended by Pending
+	}
+	sig, err := signSHA1(t.keyRng, certKey.priv, digest)
 	if err != nil {
 		return nil, RCFail
 	}
-	w := NewWriter()
-	w.B32(info.Bytes())
 	w.B32(sig)
 	return w, RCSuccess
 }
@@ -117,6 +140,12 @@ func cmdSign(ctx *cmdContext) (*Writer, uint32) {
 	if rc := ctx.verifyAuth(0, key.usageAuth[:]); rc != RCSuccess {
 		return nil, rc
 	}
+	if t.signer != nil {
+		// Snapshot the digest: area views the command buffer, which the
+		// caller may reuse once ExecuteDeferred returns.
+		ctx.deferred = t.submitSign(key.priv, append([]byte(nil), area...), false)
+		return nil, RCSuccess // response is exactly the deferred B32 sig
+	}
 	sig, err := signSHA1(t.keyRng, key.priv, area)
 	if err != nil {
 		return nil, RCFail
@@ -158,10 +187,6 @@ func cmdQuote(ctx *cmdContext) (*Writer, uint32) {
 		vals = append(vals, t.pcrs[i])
 	}
 	composite := CompositeHash(sel, vals)
-	sig, err := signSHA1(t.keyRng, key.priv, QuoteInfoDigest(composite, external))
-	if err != nil {
-		return nil, RCFail
-	}
 	compBlob := NewWriter()
 	sel.Marshal(compBlob)
 	compBlob.U32(uint32(len(vals) * DigestSize))
@@ -170,6 +195,18 @@ func cmdQuote(ctx *cmdContext) (*Writer, uint32) {
 	}
 	w := NewWriter()
 	w.B32(compBlob.Bytes())
+	if t.signer != nil {
+		// Quote digests are batch-eligible: concurrent quotes against the
+		// same AIK within the pool's window share one Merkle-root signature,
+		// and the response carries an XBQ1 inclusion-proof blob instead of a
+		// plain signature (verifiers accept both via VerifyBatchedQuote).
+		ctx.deferred = t.submitSign(key.priv, QuoteInfoDigest(composite, external), true)
+		return w, RCSuccess // trailing sig field appended by Pending
+	}
+	sig, err := signSHA1(t.keyRng, key.priv, QuoteInfoDigest(composite, external))
+	if err != nil {
+		return nil, RCFail
+	}
 	w.B32(sig)
 	return w, RCSuccess
 }

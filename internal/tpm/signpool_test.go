@@ -1,0 +1,460 @@
+package tpm
+
+import (
+	"bytes"
+	"crypto"
+	"crypto/rsa"
+	"crypto/sha1"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+// poolTPM builds an owned 1.2 engine whose signatures run through a signing
+// pool, plus a client over it. The pool is closed with the test.
+func poolTPM(t testing.TB, seed string, cfg SignPoolConfig) (*TPM, *Client, *SignPool) {
+	t.Helper()
+	pool := NewSignPool(cfg)
+	t.Cleanup(pool.Close)
+	eng, err := New(Config{RSABits: testBits, Seed: []byte(seed), Signer: pool})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	cli := NewClient(DirectTransport{TPM: eng}, newDRBG([]byte("client-"+seed)))
+	if err := cli.Startup(STClear); err != nil {
+		t.Fatalf("Startup: %v", err)
+	}
+	if _, err := cli.TakeOwnership(ownerAuth, srkAuth); err != nil {
+		t.Fatalf("TakeOwnership: %v", err)
+	}
+	return eng, cli, pool
+}
+
+// loadSigningKey creates and loads a signing key, returning its handle and
+// public key.
+func loadSigningKey(t testing.TB, cli *Client) (uint32, []byte) {
+	t.Helper()
+	blob, err := cli.CreateWrapKey(KHSRK, srkAuth, keyAuth, KeyParams{
+		Usage: KeyUsageSigning, Scheme: SSRSASSAPKCS1v15SHA1, Bits: testBits,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cli.LoadKey2(KHSRK, srkAuth, blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pubRSA, err := cli.GetPubKey(h, keyAuth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, MarshalPublicKey(pubRSA)
+}
+
+func TestMerkleBatchRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 3, 4, 5, 7, 8, 9, 16, 33} {
+		digests := make([][]byte, n)
+		for i := range digests {
+			digests[i] = sha1Sum([]byte(fmt.Sprintf("digest-%d-%d", n, i)))
+		}
+		root, paths := merkleBatch(crypto.SHA1, digests)
+		for i, d := range digests {
+			p := BatchedQuoteProof{HashLen: DigestSize, Count: uint32(n), Index: uint32(i), Siblings: paths[i]}
+			if got := p.Root(crypto.SHA1, d); !bytes.Equal(got, root) {
+				t.Fatalf("n=%d leaf %d: folded root %x, want %x", n, i, got, root)
+			}
+			// A different digest must not fold to the root.
+			if got := p.Root(crypto.SHA1, sha1Sum([]byte("other"))); bytes.Equal(got, root) {
+				t.Fatalf("n=%d leaf %d: wrong digest folded to the root", n, i)
+			}
+		}
+	}
+}
+
+func TestBatchedQuoteParseRoundTrip(t *testing.T) {
+	digests := [][]byte{sha1Sum([]byte("a")), sha1Sum([]byte("b")), sha1Sum([]byte("c"))}
+	blobs, err := signBatch(newDRBG([]byte("rng")), testSignKey(t), crypto.SHA1, digests)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, blob := range blobs {
+		if !IsBatchedQuote(blob) {
+			t.Fatalf("blob %d: missing magic", i)
+		}
+		p, err := ParseBatchedQuote(blob)
+		if err != nil {
+			t.Fatalf("blob %d: %v", i, err)
+		}
+		if p.Count != 3 || p.Index != uint32(i) || p.HashLen != DigestSize {
+			t.Fatalf("blob %d: parsed %+v", i, p)
+		}
+		reenc := encodeBatchedQuote(p.HashLen, p.Count, p.Index, p.Siblings, p.RootSig)
+		if !bytes.Equal(reenc, blob) {
+			t.Fatalf("blob %d: re-encode differs", i)
+		}
+	}
+}
+
+// testSignKey returns a deterministic RSA key for codec tests.
+func testSignKey(t testing.TB) *rsa.PrivateKey {
+	t.Helper()
+	key, err := rsa.GenerateKey(newDRBG([]byte("codec-key")), testBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return key
+}
+
+// TestBatchedVsSingleQuoteEquivalence is the equivalence matrix: the same
+// PCR state quoted through an inline engine, a pooled (single-sign) engine,
+// and a pooled+batched engine must all verify under VerifyBatchedQuote; and
+// every tampered form of the batched blob must be rejected.
+func TestBatchedVsSingleQuoteEquivalence(t *testing.T) {
+	var nonce [NonceSize]byte
+	copy(nonce[:], sha1Sum([]byte("equivalence-nonce")))
+	sel := NewPCRSelection(0, 1)
+
+	type result struct {
+		name string
+		pub  []byte
+		q    *QuoteResult
+	}
+	var results []result
+
+	// Inline (no pool): the seed path.
+	{
+		_, cli := newOwnedTPM(t, "equiv")
+		h, pub := loadSigningKey(t, cli)
+		cli.Extend(0, sha1.Sum([]byte("bios")))
+		cli.Extend(1, sha1.Sum([]byte("loader")))
+		q, err := cli.Quote(h, keyAuth, nonce, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		results = append(results, result{"inline", pub, q})
+	}
+	// Pooled, no batching window: deferred single signs.
+	{
+		_, cli, _ := poolTPM(t, "equiv", SignPoolConfig{Workers: 2})
+		h, pub := loadSigningKey(t, cli)
+		cli.Extend(0, sha1.Sum([]byte("bios")))
+		cli.Extend(1, sha1.Sum([]byte("loader")))
+		q, err := cli.Quote(h, keyAuth, nonce, sel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if IsBatchedQuote(q.Signature) {
+			t.Fatal("single pooled quote produced a batched blob")
+		}
+		results = append(results, result{"pooled", pub, q})
+	}
+	// Pooled with a batching window, concurrent quotes (distinct nonces, so
+	// distinct digests) → XBQ1 blobs.
+	const nBatch = 6
+	var batched []*QuoteResult
+	var batchedNonces [nBatch][NonceSize]byte
+	var batchedPub []byte
+	{
+		eng, cli, _ := poolTPM(t, "equiv", SignPoolConfig{Workers: 2, BatchWindow: 30 * time.Millisecond, BatchMax: 8})
+		h, pub := loadSigningKey(t, cli)
+		batchedPub = pub
+		cli.Extend(0, sha1.Sum([]byte("bios")))
+		cli.Extend(1, sha1.Sum([]byte("loader")))
+		qs := make([]*QuoteResult, nBatch)
+		errs := make([]error, nBatch)
+		var wg sync.WaitGroup
+		for i := 0; i < nBatch; i++ {
+			copy(batchedNonces[i][:], sha1Sum([]byte(fmt.Sprintf("cq-nonce-%d", i))))
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				c := NewClient(DirectTransport{TPM: eng}, newDRBG([]byte(fmt.Sprintf("qc-%d", i))))
+				qs[i], errs[i] = c.Quote(h, keyAuth, batchedNonces[i], sel)
+			}(i)
+		}
+		wg.Wait()
+		sawBatch := false
+		for i := 0; i < nBatch; i++ {
+			if errs[i] != nil {
+				t.Fatalf("concurrent quote %d: %v", i, errs[i])
+			}
+			if IsBatchedQuote(qs[i].Signature) {
+				sawBatch = true
+			}
+			batched = append(batched, qs[i])
+		}
+		if !sawBatch {
+			t.Fatal("no quote came back Merkle-batched despite the 30ms window")
+		}
+	}
+
+	// Same PCR state → every form verifies, and every form fails under a
+	// wrong nonce.
+	var wrongNonce [NonceSize]byte
+	for _, r := range results {
+		pub, err := UnmarshalPublicKey(r.pub)
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSel, vals, err := ParseQuoteComposite(r.q.Composite)
+		if err != nil {
+			t.Fatalf("%s: %v", r.name, err)
+		}
+		digest := QuoteInfoDigest(CompositeHash(gotSel, vals), nonce)
+		if err := VerifyBatchedQuote(pub, digest, r.q.Signature); err != nil {
+			t.Fatalf("%s: quote did not verify: %v", r.name, err)
+		}
+		bad := QuoteInfoDigest(CompositeHash(gotSel, vals), wrongNonce)
+		if err := VerifyBatchedQuote(pub, bad, r.q.Signature); err == nil {
+			t.Fatalf("%s: quote verified under the wrong nonce", r.name)
+		}
+	}
+
+	// Every batched quote verifies under its own nonce and fails under any
+	// other member's nonce (distinct digests).
+	pub, err := UnmarshalPublicKey(batchedPub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	digests := make([][]byte, nBatch)
+	victimIdx := -1
+	for i, q := range batched {
+		gotSel, vals, err := ParseQuoteComposite(q.Composite)
+		if err != nil {
+			t.Fatalf("batched %d: %v", i, err)
+		}
+		digests[i] = QuoteInfoDigest(CompositeHash(gotSel, vals), batchedNonces[i])
+		if err := VerifyBatchedQuote(pub, digests[i], q.Signature); err != nil {
+			t.Fatalf("batched %d did not verify: %v", i, err)
+		}
+		if victimIdx < 0 && IsBatchedQuote(q.Signature) {
+			victimIdx = i
+		}
+	}
+	victim := batched[victimIdx]
+
+	// Tamper matrix over a genuinely batched blob: every flipped byte of the
+	// header, proof region, and root signature must fail (reject or parse
+	// error) — count and index are bound into the leaf hash, so nothing
+	// tampered may verify.
+	for i := len(batchedQuoteMagic); i < len(victim.Signature); i++ {
+		mut := append([]byte(nil), victim.Signature...)
+		mut[i] ^= 0x01
+		if err := VerifyBatchedQuote(pub, digests[victimIdx], mut); err == nil {
+			t.Fatalf("tampered byte %d of %d still verified", i, len(mut))
+		}
+	}
+	// Cross-quote substitution: another batch member's proof must not verify
+	// this member's digest.
+	for j, other := range batched {
+		if j == victimIdx || !IsBatchedQuote(other.Signature) {
+			continue
+		}
+		if err := VerifyBatchedQuote(pub, digests[victimIdx], other.Signature); err == nil {
+			t.Fatal("another leaf's inclusion proof verified this digest")
+		}
+		break
+	}
+}
+
+// TestDeferredSignAndCertifyMatchInline checks the non-quote signing
+// ordinals through the pool: pooled Sign and CertifyKey must verify under
+// the same helpers the inline path satisfies, and pooled signatures are
+// deterministic for a fixed key and digest (RSASSA-PKCS1-v1_5 does not
+// depend on the rng). Keys cannot be compared across engines even with
+// equal seeds: rsa.GenerateKey's MaybeReadByte defense makes keygen
+// consume a nondeterministic number of DRBG bytes.
+func TestDeferredSignAndCertifyMatchInline(t *testing.T) {
+	_, cliB, _ := poolTPM(t, "defer-sig", SignPoolConfig{Workers: 1})
+	hB, pubB := loadSigningKey(t, cliB)
+
+	var digest [DigestSize]byte
+	copy(digest[:], sha1Sum([]byte("to-sign")))
+	sigB, err := cliB.Sign(hB, keyAuth, digest)
+	if err != nil {
+		t.Fatalf("pooled Sign: %v", err)
+	}
+	sig2, err := cliB.Sign(hB, keyAuth, digest)
+	if err != nil {
+		t.Fatalf("pooled Sign (repeat): %v", err)
+	}
+	if !bytes.Equal(sigB, sig2) {
+		t.Fatal("pooled Sign is not deterministic for a fixed key and digest")
+	}
+	pub, err := UnmarshalPublicKey(pubB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySHA1(pub, digest[:], sigB); err != nil {
+		t.Fatalf("pooled Sign verify: %v", err)
+	}
+
+	var antiReplay [NonceSize]byte
+	copy(antiReplay[:], sha1Sum([]byte("certify-nonce")))
+	ck, err := cliB.CertifyKey(hB, keyAuth, hB, keyAuth, antiReplay)
+	if err != nil {
+		t.Fatalf("pooled CertifyKey: %v", err)
+	}
+	if err := VerifySHA1(pub, CertifyInfoDigest(ck.Usage, ck.Scheme, ck.PubKey, antiReplay), ck.Signature); err != nil {
+		t.Fatalf("pooled CertifyKey verify: %v", err)
+	}
+}
+
+// TestTPM2DeferredQuoteVerifies drives the 2.0 twin through the pool, both
+// single and batched, and checks VerifyQuote2 accepts both forms.
+func TestTPM2DeferredQuoteVerifies(t *testing.T) {
+	pool := NewSignPool(SignPoolConfig{Workers: 2, BatchWindow: 30 * time.Millisecond, BatchMax: 8})
+	t.Cleanup(pool.Close)
+	eng, err := New2(Config{RSABits: 512, Seed: []byte("tpm2-pool"), Signer: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient2(DirectTransport{TPM: eng}, nil)
+	if err := c.Startup(TPM2SUClear); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Extend(3, []byte("evidence")); err != nil {
+		t.Fatal(err)
+	}
+	pub, err := c.ReadPublic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 5
+	type out struct {
+		quoted, sig []byte
+		err         error
+	}
+	outs := make([]out, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cc := NewClient2(DirectTransport{TPM: eng}, nil)
+			q, s, err := cc.Quote([]byte(fmt.Sprintf("nonce-%d", i)), []int{3})
+			outs[i] = out{q, s, err}
+		}(i)
+	}
+	wg.Wait()
+	sawBatch := false
+	for i, o := range outs {
+		if o.err != nil {
+			t.Fatalf("quote %d: %v", i, o.err)
+		}
+		if IsBatchedQuote(o.sig) {
+			sawBatch = true
+		}
+		if err := VerifyQuote2(pub, o.quoted, o.sig); err != nil {
+			t.Fatalf("quote %d verify: %v", i, err)
+		}
+		// Tampered attest must fail for both forms.
+		bad := append([]byte(nil), o.quoted...)
+		bad[len(bad)-1] ^= 1
+		if err := VerifyQuote2(pub, bad, o.sig); err == nil {
+			t.Fatalf("quote %d: tampered attest verified", i)
+		}
+	}
+	if !sawBatch {
+		t.Fatal("no 2.0 quote came back Merkle-batched despite the window")
+	}
+}
+
+// TestSignPoolShutdownDrains submits jobs (including an open batch group)
+// and closes the pool: every ticket must complete with a valid signature —
+// shutdown loses no responses.
+func TestSignPoolShutdownDrains(t *testing.T) {
+	key := testSignKey(t)
+	pool := NewSignPool(SignPoolConfig{Workers: 2, BatchWindow: time.Hour, BatchMax: 64})
+	var tickets []*SignTicket
+	var digests [][]byte
+	for i := 0; i < 20; i++ {
+		d := sha1Sum([]byte(fmt.Sprintf("drain-%d", i)))
+		digests = append(digests, d)
+		tickets = append(tickets, pool.Submit(SignRequest{
+			Key: key, Hash: crypto.SHA1, Digest: d, Batch: i%2 == 0,
+		}))
+	}
+	// The hour-long window means the batch group is still open: Close must
+	// seal and drain it.
+	pool.Close()
+	for i, tk := range tickets {
+		res := tk.Wait()
+		if res.Err != nil {
+			t.Fatalf("ticket %d: %v", i, res.Err)
+		}
+		if err := VerifyBatchedQuote(&key.PublicKey, digests[i], res.Sig); err != nil {
+			t.Fatalf("ticket %d: drained signature invalid: %v", i, err)
+		}
+	}
+	st := pool.Stats()
+	if st.Completed != st.Submitted || st.Completed != 20 {
+		t.Fatalf("stats: %+v", st)
+	}
+	// Submissions after Close fail fast with the sentinel, losing nothing.
+	tk := pool.Submit(SignRequest{Key: key, Hash: crypto.SHA1, Digest: digests[0], Batch: true})
+	if res := tk.Wait(); !errors.Is(res.Err, ErrSignPoolClosed) {
+		t.Fatalf("post-close submit: err = %v, want ErrSignPoolClosed", res.Err)
+	}
+}
+
+func TestKeyPool(t *testing.T) {
+	pool := NewKeyPool(KeyPoolConfig{Bits: testBits, Size: 4, Seed: []byte("kp")})
+	defer pool.Close()
+	// Wrong modulus size always misses.
+	if _, ok := pool.Get(1024); ok {
+		t.Fatal("pool served a key of the wrong size")
+	}
+	// The filler replenishes: repeated gets eventually hit.
+	deadline := time.Now().Add(10 * time.Second)
+	hits := 0
+	for hits < 6 && time.Now().Before(deadline) {
+		if k, ok := pool.Get(testBits); ok {
+			if err := k.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			hits++
+		} else {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	if hits < 6 {
+		t.Fatalf("only %d pool hits before deadline", hits)
+	}
+	st := pool.Stats()
+	if st.Generated < 6 || st.Hits != 6 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestKeyPoolServesEngineCreation checks the engine integration points: EK
+// from the pool at New, and generateRSA (TakeOwnership's SRK) from the pool.
+func TestKeyPoolServesEngineCreation(t *testing.T) {
+	pool := NewKeyPool(KeyPoolConfig{Bits: testBits, Size: 8, Seed: []byte("kp-engine")})
+	defer pool.Close()
+	// Give the filler a head start so the creations below actually hit.
+	deadline := time.Now().Add(10 * time.Second)
+	for pool.Stats().Buffered < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	eng, err := New(Config{RSABits: testBits, Seed: []byte("kp-eng"), KeyPool: pool})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cli := NewClient(DirectTransport{TPM: eng}, newDRBG([]byte("kp-cli")))
+	if err := cli.Startup(STClear); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cli.TakeOwnership(ownerAuth, srkAuth); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Stats().Hits < 2 {
+		t.Fatalf("engine creation + ownership hit the pool %d times, want ≥ 2", pool.Stats().Hits)
+	}
+	// The pooled-key engine is fully functional end to end.
+	if _, err := cli.GetRandom(8); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -20,6 +20,16 @@ type Config struct {
 	// vTPM manager's key pool to take RSA generation off the instance
 	// creation path (an optimization measured in experiment E3).
 	EK *rsa.PrivateKey
+	// Signer, when non-nil, offloads RSA private-key operations (Quote,
+	// Sign, CertifyKey and the 2.0 Quote twin) to a shared worker pool: the
+	// engine snapshots the to-be-signed digest under its mutex, enqueues a
+	// job, and completes the response outside the lock (ExecuteDeferred).
+	// Nil keeps the seed behavior: signatures computed inline.
+	Signer *SignPool
+	// KeyPool, when non-nil, supplies pre-generated RSA keys for the EK and
+	// the key-creation ordinals, taking multi-ms keygen off the create path.
+	// Misses fall back to the instance's own key DRBG.
+	KeyPool *KeyPool
 }
 
 // DefaultRSABits is the modulus size used when Config.RSABits is zero.
@@ -66,6 +76,8 @@ type TPM struct {
 	rng     *drbg
 	keyRng  *drbg // key-generation entropy, forked from the seed
 	rsaBits int
+	signer  *SignPool // nil: signatures computed inline under mu
+	keyPool *KeyPool  // nil: keys generated inline from keyRng
 
 	started    bool
 	testResult uint32
@@ -153,9 +165,16 @@ func New(cfg Config) (*TPM, error) {
 		nextHandle:    0x01000000,
 		nextSession:   0x02000000,
 	}
-	if cfg.EK != nil {
+	t.signer = cfg.Signer
+	t.keyPool = cfg.KeyPool
+	switch {
+	case cfg.EK != nil:
 		t.ek = cfg.EK
-	} else {
+	default:
+		if k, ok := t.keyPool.Get(bits); ok {
+			t.ek = k
+			break
+		}
 		ek, err := rsa.GenerateKey(t.keyRng, bits)
 		if err != nil {
 			return nil, fmt.Errorf("tpm: generating EK: %w", err)
@@ -163,6 +182,16 @@ func New(cfg Config) (*TPM, error) {
 		t.ek = ek
 	}
 	return t, nil
+}
+
+// AttachPools attaches (or detaches, with nils) the shared signing and
+// key-generation pools. The manager calls it after restoring an engine from
+// a checkpoint or migration image, where no Config is in play.
+func (t *TPM) AttachPools(signer *SignPool, keys *KeyPool) {
+	t.mu.Lock()
+	t.signer = signer
+	t.keyPool = keys
+	t.mu.Unlock()
 }
 
 // EKPub returns the endorsement public key (what ReadPubek reports).
@@ -230,9 +259,25 @@ func (t *TPM) randBytes(n int) []byte {
 	return b
 }
 
-// generateRSA creates an RSA key from the instance's key-generation DRBG.
+// generateRSA creates an RSA key, preferring the shared pre-generation pool
+// and falling back to the instance's key-generation DRBG.
 func generateRSA(t *TPM, bits int) (*rsa.PrivateKey, error) {
+	if k, ok := t.keyPool.Get(bits); ok {
+		return k, nil
+	}
 	return rsa.GenerateKey(t.keyRng, bits)
+}
+
+// forkSignRng derives an independent DRBG stream for one signing-pool job.
+// The shared keyRng cannot be handed to pool workers — it is the engine's
+// deterministic key stream and its reads must stay ordered by command
+// execution — so each job gets a stream forked from a single in-lock draw.
+// (RSASSA-PKCS1-v1_5 output does not depend on the rng; the fork only feeds
+// blinding.) Caller holds t.mu.
+func (t *TPM) forkSignRng() *drbg {
+	var seed [32]byte
+	t.keyRng.Read(seed[:]) //nolint:errcheck // drbg.Read cannot fail
+	return newDRBG(seed[:])
 }
 
 // randNonce draws a fresh 20-byte nonce.

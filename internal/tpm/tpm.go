@@ -27,6 +27,10 @@ type cmdContext struct {
 	params  *Reader // positioned at the first parameter, auth trailers removed
 	body    []byte  // raw parameter bytes (digest input)
 	auths   []*authBlock
+	// deferred, when a handler sets it, is the signing-pool ticket whose
+	// signature the response's final B32 field is waiting on; the handler's
+	// returned writer holds every response parameter before it.
+	deferred *SignTicket
 }
 
 // respWriter returns the per-TPM scratch response-parameter writer, reset.
@@ -45,21 +49,35 @@ type handler func(ctx *cmdContext) (*Writer, uint32)
 
 // Execute runs one marshaled command and returns the marshaled response.
 // It never returns an error: protocol failures become TPM return codes, as
-// on hardware.
+// on hardware. When a handler defers its signature to the signing pool,
+// Execute blocks for it — callers wanting the overlap use ExecuteDeferred.
 func (t *TPM) Execute(cmd []byte) []byte {
+	resp, pending := t.ExecuteDeferred(cmd)
+	if pending != nil {
+		return pending.Wait()
+	}
+	return resp
+}
+
+// ExecuteDeferred runs one marshaled command under the engine mutex. When
+// the handler offloaded its signature to the signing pool the response is
+// returned as a Pending (resp == nil) whose Wait completes outside the
+// mutex; otherwise the finished response is returned directly with
+// pending == nil.
+func (t *TPM) ExecuteDeferred(cmd []byte) (resp []byte, pending *Pending) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.commandCount++
 	tag, ordinal, body, auths, rc := t.parseCommand(cmd)
 	if rc != RCSuccess {
-		return errorResponse(rc)
+		return errorResponse(rc), nil
 	}
 	if !t.started && ordinal != OrdStartup {
-		return errorResponse(RCInvalidPostInit)
+		return errorResponse(RCInvalidPostInit), nil
 	}
 	h, ok := dispatch[ordinal]
 	if !ok {
-		return errorResponse(RCBadOrdinal)
+		return errorResponse(RCBadOrdinal), nil
 	}
 	t.paramRd.Reset(body)
 	ctx := &t.execCtx
@@ -77,9 +95,12 @@ func (t *TPM) Execute(cmd []byte) []byte {
 		for _, a := range auths {
 			delete(t.sessions, a.handle)
 		}
-		return errorResponse(rc)
+		return errorResponse(rc), nil
 	}
-	return t.buildResponse(ctx, out)
+	if ctx.deferred == nil {
+		return t.buildResponse(ctx, out), nil
+	}
+	return nil, t.prepareDeferred(ctx, out)
 }
 
 // parseCommand validates framing and splits off authorization trailers.

@@ -33,6 +33,8 @@ type TPM2 struct {
 	rng     *drbg
 	keyRng  *drbg
 	rsaBits int
+	signer  *SignPool // nil: signatures computed inline under mu
+	keyPool *KeyPool  // nil: keys generated inline from keyRng
 
 	started    bool
 	testResult uint32
@@ -90,9 +92,16 @@ func New2(cfg Config) (*TPM2, error) {
 		sessions:    make(map[uint32]*session2),
 		nextSession: tpm2SessionBase,
 	}
-	if cfg.EK != nil {
+	t.signer = cfg.Signer
+	t.keyPool = cfg.KeyPool
+	switch {
+	case cfg.EK != nil:
 		t.ek = cfg.EK
-	} else {
+	default:
+		if k, ok := t.keyPool.Get(bits); ok {
+			t.ek = k
+			break
+		}
 		ek, err := rsa.GenerateKey(t.keyRng, bits)
 		if err != nil {
 			return nil, fmt.Errorf("tpm2: generating EK: %w", err)
@@ -100,6 +109,15 @@ func New2(cfg Config) (*TPM2, error) {
 		t.ek = ek
 	}
 	return t, nil
+}
+
+// AttachPools attaches (or detaches, with nils) the shared signing and
+// key-generation pools, as the 1.2 engine's method does.
+func (t *TPM2) AttachPools(signer *SignPool, keys *KeyPool) {
+	t.mu.Lock()
+	t.signer = signer
+	t.keyPool = keys
+	t.mu.Unlock()
 }
 
 // Profile implements Engine.
@@ -182,6 +200,9 @@ type cmd2Context struct {
 	hbuf    [8]uint32 // backing array for handles: no per-command allocation
 	abuf    [3]*authSession2
 	asbuf   [3]authSession2
+	// deferred, when a handler sets it, is the signing-pool ticket whose
+	// signature the response's final B16 field is waiting on.
+	deferred *SignTicket
 }
 
 // handler2 processes one command code, returning the response parameter
@@ -209,8 +230,21 @@ func register2(cc uint32, nHandles int, needsAuth bool, h handler2) {
 
 // Execute runs one marshaled TPM 2.0 command and returns the marshaled
 // response. It never returns an error: protocol failures become 2.0 return
-// codes, as on hardware.
+// codes, as on hardware. When TPM2_Quote defers its signature to the
+// signing pool, Execute blocks for it — callers wanting the overlap use
+// ExecuteDeferred.
 func (t *TPM2) Execute(cmd []byte) []byte {
+	resp, pending := t.ExecuteDeferred(cmd)
+	if pending != nil {
+		return pending.Wait()
+	}
+	return resp
+}
+
+// ExecuteDeferred runs one marshaled 2.0 command under the engine mutex,
+// returning a Pending (resp == nil) when the handler offloaded its signature
+// to the signing pool — the 2.0 twin of the 1.2 engine's ExecuteDeferred.
+func (t *TPM2) ExecuteDeferred(cmd []byte) (resp []byte, pending *Pending) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.commandCount++
@@ -220,17 +254,17 @@ func (t *TPM2) Execute(cmd []byte) []byte {
 	size := r.U32()
 	cc := r.U32()
 	if r.Err() != nil || int(size) != len(cmd) {
-		return tpm2ErrorResponse(TPM2RCCommandSize)
+		return tpm2ErrorResponse2v(TPM2RCCommandSize)
 	}
 	if tag != TPM2STNoSessions && tag != TPM2STSessions {
-		return tpm2ErrorResponse(TPM2RCBadTag)
+		return tpm2ErrorResponse2v(TPM2RCBadTag)
 	}
 	info, ok := dispatch2[cc]
 	if !ok {
-		return tpm2ErrorResponse(TPM2RCCommandCode)
+		return tpm2ErrorResponse2v(TPM2RCCommandCode)
 	}
 	if !t.started && cc != TPM2CCStartup {
-		return tpm2ErrorResponse(TPM2RCInitialize)
+		return tpm2ErrorResponse2v(TPM2RCInitialize)
 	}
 
 	ctx := cmd2Context{t: t, tag: tag, cc: cc}
@@ -239,19 +273,19 @@ func (t *TPM2) Execute(cmd []byte) []byte {
 		ctx.handles = append(ctx.handles, r.U32())
 	}
 	if r.Err() != nil {
-		return tpm2ErrorResponse(TPM2RCCommandSize)
+		return tpm2ErrorResponse2v(TPM2RCCommandSize)
 	}
 
 	if tag == TPM2STSessions {
 		authSize := r.U32()
 		if r.Err() != nil || int(authSize) > r.Remaining() {
-			return tpm2ErrorResponse(TPM2RCCommandSize)
+			return tpm2ErrorResponse2v(TPM2RCCommandSize)
 		}
 		area := NewReader(r.Raw(int(authSize)))
 		n := 0
 		for area.Remaining() > 0 {
 			if n >= len(ctx.asbuf) {
-				return tpm2ErrorResponse(TPM2RCS(TPM2RCValue, n+1))
+				return tpm2ErrorResponse2v(TPM2RCS(TPM2RCValue, n+1))
 			}
 			a := &ctx.asbuf[n]
 			a.handle = area.U32()
@@ -260,16 +294,16 @@ func (t *TPM2) Execute(cmd []byte) []byte {
 			a.auth = area.B16()
 			a.sess, a.secret = nil, nil
 			if area.Err() != nil {
-				return tpm2ErrorResponse(TPM2RCS(TPM2RCSize, n+1))
+				return tpm2ErrorResponse2v(TPM2RCS(TPM2RCSize, n+1))
 			}
 			ctx.auths = append(ctx.abuf[:n], a)
 			n++
 		}
 		if n == 0 {
-			return tpm2ErrorResponse(TPM2RCAuthMissing)
+			return tpm2ErrorResponse2v(TPM2RCAuthMissing)
 		}
 	} else if info.needsAuth {
-		return tpm2ErrorResponse(TPM2RCAuthMissing)
+		return tpm2ErrorResponse2v(TPM2RCAuthMissing)
 	}
 
 	ctx.body = r.Rest()
@@ -278,7 +312,7 @@ func (t *TPM2) Execute(cmd []byte) []byte {
 
 	if info.needsAuth {
 		if rc := t.verifyAuth2(&ctx); rc != TPM2RCSuccess {
-			return tpm2ErrorResponse(rc)
+			return tpm2ErrorResponse2v(rc)
 		}
 	}
 
@@ -292,9 +326,12 @@ func (t *TPM2) Execute(cmd []byte) []byte {
 				delete(t.sessions, a.handle)
 			}
 		}
-		return tpm2ErrorResponse(rc)
+		return tpm2ErrorResponse2v(rc)
 	}
-	return t.buildResponse2(&ctx, out, respHandle, hasHandle)
+	if ctx.deferred == nil {
+		return t.buildResponse2(&ctx, out, respHandle, hasHandle), nil
+	}
+	return nil, t.prepareDeferred2(&ctx, out, respHandle, hasHandle)
 }
 
 // tpm2ErrorResponse builds a minimal 2.0 failure response.
@@ -304,6 +341,12 @@ func tpm2ErrorResponse(rc uint32) []byte {
 	w.U32(10)
 	w.U32(rc)
 	return w.Bytes()
+}
+
+// tpm2ErrorResponse2v is tpm2ErrorResponse in ExecuteDeferred's two-value
+// return shape.
+func tpm2ErrorResponse2v(rc uint32) ([]byte, *Pending) {
+	return tpm2ErrorResponse(rc), nil
 }
 
 // ErrorResponse2 builds a minimal 2.0 failure response for a return code.
@@ -473,11 +516,126 @@ func (t *TPM2) buildResponse2(ctx *cmd2Context, out *Writer, respHandle uint32, 
 	return w.Bytes()
 }
 
+// deferredAuth2 is one 2.0 response-auth entry captured in phase 1.
+type deferredAuth2 struct {
+	handle      uint32
+	alg         uint16
+	secret      []byte
+	nonceCaller []byte
+	newNonce    []byte // non-nil marks an HMAC session
+	attrs       byte
+}
+
+// prepareDeferred2 performs the locked half of a deferred 2.0 response:
+// copies the handler's response-parameter prefix, pre-rolls nonceTPM for
+// every HMAC session (in buildResponse2's order), and captures the MAC
+// inputs. The Pending's build closure then mirrors buildResponse2's byte
+// layout with the signature appended as the final B16 field. Caller holds
+// t.mu.
+func (t *TPM2) prepareDeferred2(ctx *cmd2Context, out *Writer, respHandle uint32, hasHandle bool) *Pending {
+	var prefix []byte
+	if out != nil {
+		prefix = append([]byte(nil), out.Bytes()...)
+	}
+	sessTag := ctx.tag == TPM2STSessions
+	auths := make([]deferredAuth2, len(ctx.auths))
+	for i, a := range ctx.auths {
+		c := deferredAuth2{handle: a.handle, attrs: a.attrs}
+		if a.sess != nil {
+			c.alg = a.sess.alg
+			// nonceCaller views the command buffer, which the caller may
+			// reuse once ExecuteDeferred returns; the secret may alias entity
+			// state. Copy both.
+			c.secret = append([]byte(nil), a.secret...)
+			c.nonceCaller = append([]byte(nil), a.nonceCaller...)
+			c.newNonce = t.randBytes2(len(a.sess.nonceTPM))
+			if a.attrs&TPM2SAContinueSession != 0 {
+				a.sess.nonceTPM = c.newNonce
+			} else {
+				delete(t.sessions, a.handle)
+			}
+		}
+		auths[i] = c
+	}
+	tag, cc := ctx.tag, ctx.cc
+	build := func(sig []byte) []byte {
+		body := NewWriterBuf(make([]byte, 0, len(prefix)+2+len(sig)))
+		body.Raw(prefix)
+		body.B16(sig)
+		outBody := body.Bytes()
+		var trailer []byte
+		if sessTag {
+			tw := NewWriter()
+			for _, c := range auths {
+				if c.newNonce != nil {
+					rp := NewWriter()
+					rp.U32(TPM2RCSuccess).U32(cc).Raw(outBody)
+					rpHash := tpm2Sum(c.alg, rp.Bytes())
+					mac := tpm2HMAC(c.alg, c.secret, rpHash, c.newNonce, c.nonceCaller, []byte{c.attrs})
+					tw.B16(c.newNonce)
+					tw.U8(c.attrs)
+					tw.B16(mac)
+				} else {
+					tw.U16(0)
+					tw.U8(c.attrs)
+					tw.U16(0)
+				}
+			}
+			trailer = tw.Bytes()
+		}
+		size := 10
+		if hasHandle {
+			size += 4
+		}
+		if sessTag {
+			size += 4 + len(outBody) + len(trailer)
+		} else {
+			size += len(outBody)
+		}
+		w := NewWriterBuf(make([]byte, 0, size))
+		w.U16(tag)
+		w.U32(uint32(size))
+		w.U32(TPM2RCSuccess)
+		if hasHandle {
+			w.U32(respHandle)
+		}
+		if sessTag {
+			w.U32(uint32(len(outBody)))
+		}
+		w.Raw(outBody)
+		w.Raw(trailer)
+		return w.Bytes()
+	}
+	fail := func(err error) []byte {
+		// Failed commands terminate their sessions; the optimistic roll
+		// above already happened, so tear them down under the lock.
+		t.mu.Lock()
+		for _, c := range auths {
+			if c.newNonce != nil {
+				delete(t.sessions, c.handle)
+			}
+		}
+		t.mu.Unlock()
+		return tpm2ErrorResponse(TPM2RCFailure)
+	}
+	return &Pending{ticket: ctx.deferred, build: build, fail: fail}
+}
+
 // respWriter returns the per-TPM scratch response-parameter writer, reset.
 func (ctx *cmd2Context) respWriter() *Writer {
 	w := &ctx.t.respW
 	w.Reset()
 	return w
+}
+
+// forkSignRng2 derives an independent DRBG stream for one signing-pool job,
+// as the 1.2 engine's forkSignRng does: the engine's own DRBGs must never be
+// read off-lock, and RSASSA output does not depend on the rng (blinding
+// only). Caller holds t.mu.
+func (t *TPM2) forkSignRng2() *drbg {
+	var seed [32]byte
+	t.keyRng.Read(seed[:]) //nolint:errcheck // drbg.Read cannot fail
+	return newDRBG(seed[:])
 }
 
 // randBytes2 draws n bytes from the DRBG.

@@ -1,7 +1,6 @@
 package tpm
 
 import (
-	"crypto"
 	"crypto/rsa"
 	"crypto/sha256"
 	"errors"
@@ -88,9 +87,11 @@ func ParseAttest2(quoted []byte) (*Attest2, error) {
 	return a, nil
 }
 
-// VerifyQuote2 checks an RSASSA-PKCS1-v1_5/SHA-256 signature over a raw
-// TPMS_ATTEST, the scheme TPM2_Quote signs with.
+// VerifyQuote2 checks a TPM2_Quote signature over a raw TPMS_ATTEST: either
+// a plain RSASSA-PKCS1-v1_5/SHA-256 signature or an XBQ1 Merkle-batched
+// blob (one root signature shared by a signing-pool batch, plus this
+// quote's inclusion proof).
 func VerifyQuote2(pub *rsa.PublicKey, quoted, sig []byte) error {
 	digest := sha256.Sum256(quoted)
-	return rsa.VerifyPKCS1v15(pub, crypto.SHA256, digest[:], sig)
+	return VerifyBatchedQuote2(pub, digest[:], sig)
 }

@@ -471,6 +471,23 @@ func cmd2Quote(ctx *cmd2Context) (*Writer, uint32, bool, uint32) {
 	quoted := att.Bytes()
 
 	digest := sha256.Sum256(quoted)
+	if t.signer != nil {
+		// Deferred: the signature becomes the response's final B16 field,
+		// appended by Pending once the pool delivers it. Quote digests are
+		// batch-eligible (Merkle-batched against this EK, SHA-256 tree).
+		ctx.deferred = t.signer.Submit(SignRequest{
+			Key:    t.ek,
+			Hash:   crypto.SHA256,
+			Digest: append([]byte(nil), digest[:]...),
+			Rng:    t.forkSignRng2(),
+			Batch:  true,
+		})
+		out := ctx.respWriter()
+		out.B16(quoted)
+		out.U16(TPM2AlgRSASSA)
+		out.U16(schemeHash)
+		return out, 0, false, TPM2RCSuccess
+	}
 	sig, err := rsa.SignPKCS1v15(t.rng, t.ek, crypto.SHA256, digest[:])
 	if err != nil {
 		return nil, 0, false, TPM2RCFailure

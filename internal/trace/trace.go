@@ -47,6 +47,10 @@ type Span struct {
 	// guard refusals and quarantine fences.
 	Mutated bool `json:"mutated,omitempty"`
 	Denied  bool `json:"denied,omitempty"`
+	// SignErr marks a dispatch whose deferred signature failed in the
+	// signing pool — the guest saw a TPM failure code; the cause is here
+	// and in the manager's sign-error counter.
+	SignErr bool `json:"sign_err,omitempty"`
 	// Start is when the manager accepted the payload.
 	Start time.Time `json:"start"`
 	// The phase breakdown: QueueWait is time blocked on write-behind
@@ -56,11 +60,14 @@ type Span struct {
 	// a degraded instance).
 	QueueWait time.Duration `json:"queue_wait_ns"`
 	Execute   time.Duration `json:"execute_ns"`
-	Flush     time.Duration `json:"flush_ns"`
+	// SignWait is time spent off-lane waiting for a pooled signature (the
+	// instance lock is released for it, so it is not part of Execute).
+	SignWait time.Duration `json:"sign_wait_ns,omitempty"`
+	Flush    time.Duration `json:"flush_ns"`
 }
 
 // Total is the span's end-to-end dispatch time.
-func (s Span) Total() time.Duration { return s.QueueWait + s.Execute + s.Flush }
+func (s Span) Total() time.Duration { return s.QueueWait + s.Execute + s.SignWait + s.Flush }
 
 // Ring is a bounded buffer of the most recent spans of one instance.
 // The zero value is unusable; obtain rings from a Tracer.

@@ -51,6 +51,7 @@ type StoreDebug struct {
 type DebugReport struct {
 	Dispatch   DispatchStats    `json:"dispatch"`
 	Checkpoint CheckpointStats  `json:"checkpoint"`
+	Sign       *SignDebug       `json:"sign,omitempty"`
 	Store      *StoreDebug      `json:"store,omitempty"`
 	Health     []InstanceHealth `json:"health"`
 	Instances  []DebugInstance  `json:"instances"`
@@ -103,6 +104,7 @@ func (m *Manager) DebugReport(withSpans bool) DebugReport {
 	rep := DebugReport{
 		Dispatch:   m.DispatchStats(),
 		Checkpoint: m.CheckpointStats(),
+		Sign:       m.SignDebug(),
 		Store:      m.StoreDebug(),
 		Health:     m.HealthAll(),
 	}

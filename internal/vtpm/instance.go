@@ -84,8 +84,14 @@ type instance struct {
 
 // newInstance builds an instance record with its checkpoint pipeline state
 // and observability instruments initialized. All creation paths (create,
-// revive, import) go through here.
+// revive, import) go through here, so this is also where every engine —
+// including ones restored from checkpoints or migration images, which
+// bypass tpm.Config — is attached to the manager's shared signing and
+// key-generation pools.
 func (m *Manager) newInstance(info InstanceInfo, eng tpm.Engine) *instance {
+	if pa, ok := eng.(tpm.PoolAttacher); ok {
+		pa.AttachPools(m.signPool, m.keyPool)
+	}
 	inst := &instance{
 		info:  info,
 		eng:   eng,

@@ -1,8 +1,6 @@
 package vtpm
 
 import (
-	"crypto/rand"
-	"crypto/rsa"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -39,10 +37,25 @@ type ManagerConfig struct {
 	// Seed, when non-nil, makes instance creation deterministic (instance i
 	// gets a seed derived from Seed and its ID).
 	Seed []byte
-	// EKPoolSize, when positive, pre-generates endorsement keys in the
-	// background so instance creation is not gated on RSA generation — the
-	// manager-side optimization measured in experiment E3.
+	// EKPoolSize, when positive, pre-generates RSA keys in the background so
+	// instance creation (and the key-creation ordinals) are not gated on RSA
+	// generation — the manager-side optimization measured in experiments E3
+	// and E20. The pool is a tpm.KeyPool shared by every instance; with a
+	// manager Seed set it runs sequence-deterministic.
 	EKPoolSize int
+	// SignWorkers sizes the shared RSA signing pool that takes Quote, Sign
+	// and CertifyKey private-key operations off the per-instance dispatch
+	// lane (engine ExecuteDeferred). Zero means tpm.DefaultSignWorkers — the
+	// pool is on by default; negative disables it (signatures computed
+	// inline under the instance lock, the pre-pool behaviour).
+	SignWorkers int
+	// SignBatchWindow, when positive, batches concurrent Quote digests
+	// against the same key within the window under one Merkle-root signature
+	// (XBQ1 blobs; see internal/tpm/merkle.go). Zero disables batching.
+	SignBatchWindow time.Duration
+	// SignBatchMax seals a quote batch early at this population. Zero means
+	// tpm.DefaultSignBatchMax when SignBatchWindow is positive.
+	SignBatchMax int
 	// Checkpoint selects when mutated state is persisted: synchronously on
 	// every mutating command (CheckpointEager, the default and the stock
 	// manager's behaviour), coalesced by a background worker within the
@@ -113,7 +126,11 @@ type Manager struct {
 	nextID    InstanceID
 	seedCtr   uint64
 
-	ekPool    chan *rsa.PrivateKey
+	// Shared RSA pools (see internal/tpm): signPool runs private-key
+	// operations off the dispatch lanes, keyPool pre-generates keys for
+	// instance creation. Either may be nil (disabled).
+	signPool  *tpm.SignPool
+	keyPool   *tpm.KeyPool
 	stop      chan struct{}
 	closeOnce sync.Once
 
@@ -137,6 +154,11 @@ type Manager struct {
 	// fence.go) — each one a command provably not executed, redirected to
 	// the instance's new owner.
 	fenceRejects metrics.Counter
+
+	// signErrors counts dispatches whose deferred signature failed in the
+	// pool; the guest saw a TPM failure code, the cause lands here and in
+	// the span.
+	signErrors metrics.Counter
 
 	// Health counters and population gauges (see health.go).
 	ckptRetries          metrics.Counter
@@ -218,29 +240,25 @@ func NewManager(hv *xen.Hypervisor, store Store, arena *xen.Arena, guard Guard, 
 		m.maxDirtyInterval = cfg.MaxDirtyInterval
 	}
 	if cfg.EKPoolSize > 0 {
-		m.ekPool = make(chan *rsa.PrivateKey, cfg.EKPoolSize)
-		go m.fillEKPool()
+		bits := cfg.RSABits
+		if bits == 0 {
+			bits = tpm.DefaultRSABits
+		}
+		var poolSeed []byte
+		if cfg.Seed != nil {
+			poolSeed = append(append([]byte(nil), cfg.Seed...), []byte("|keypool")...)
+		}
+		m.keyPool = tpm.NewKeyPool(tpm.KeyPoolConfig{Bits: bits, Size: cfg.EKPoolSize, Seed: poolSeed})
+	}
+	if cfg.SignWorkers >= 0 {
+		m.signPool = tpm.NewSignPool(tpm.SignPoolConfig{
+			Workers:     cfg.SignWorkers, // 0 resolves to tpm.DefaultSignWorkers
+			BatchWindow: cfg.SignBatchWindow,
+			BatchMax:    cfg.SignBatchMax,
+			Observe:     m.observeSign,
+		})
 	}
 	return m
-}
-
-// fillEKPool keeps the endorsement-key pool topped up in the background.
-func (m *Manager) fillEKPool() {
-	bits := m.cfg.RSABits
-	if bits == 0 {
-		bits = tpm.DefaultRSABits
-	}
-	for {
-		key, err := rsa.GenerateKey(rand.Reader, bits)
-		if err != nil {
-			return
-		}
-		select {
-		case m.ekPool <- key:
-		case <-m.stop:
-			return
-		}
-	}
 }
 
 // Close stops the manager's background work, first draining every
@@ -254,6 +272,14 @@ func (m *Manager) Close() error {
 	var errs []error
 	m.closeOnce.Do(func() {
 		close(m.stop)
+		// Drain the signing pool first: every in-flight deferred response
+		// completes (no guest exchange is lost), later submissions fail fast.
+		if m.signPool != nil {
+			m.signPool.Close()
+		}
+		if m.keyPool != nil {
+			m.keyPool.Close()
+		}
 		if m.ckptPolicy != CheckpointWriteback {
 			return
 		}
@@ -277,18 +303,12 @@ func (m *Manager) Close() error {
 	return errors.Join(errs...)
 }
 
-// pooledEK returns a pre-generated EK if one is ready.
-func (m *Manager) pooledEK() *rsa.PrivateKey {
-	if m.ekPool == nil {
-		return nil
-	}
-	select {
-	case k := <-m.ekPool:
-		return k
-	default:
-		return nil
-	}
-}
+// SignPool exposes the shared signing pool (nil when disabled), for
+// introspection and tests.
+func (m *Manager) SignPool() *tpm.SignPool { return m.signPool }
+
+// KeyPool exposes the shared key-generation pool (nil when disabled).
+func (m *Manager) KeyPool() *tpm.KeyPool { return m.keyPool }
 
 // Guard returns the manager's access-control guard.
 func (m *Manager) Guard() Guard { return m.guard }
@@ -345,7 +365,7 @@ func (m *Manager) CreateInstanceProfile(p tpm.Profile) (InstanceID, error) {
 	seed := m.instanceSeedLocked()
 	m.regMu.Unlock()
 
-	eng, err := tpm.NewEngine(p, tpm.Config{RSABits: m.cfg.RSABits, Seed: seed, EK: m.pooledEK()})
+	eng, err := tpm.NewEngine(p, tpm.Config{RSABits: m.cfg.RSABits, Seed: seed, Signer: m.signPool, KeyPool: m.keyPool})
 	if err != nil {
 		return 0, fmt.Errorf("vtpm: creating instance %d: %w", id, err)
 	}
@@ -569,10 +589,13 @@ func (m *Manager) Dispatch(claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest
 	queueWait := time.Since(start)
 
 	execStart := time.Now()
-	out, ordinal, mutated, err := m.dispatchInstance(inst, claimedFrom, claimedLaunch, payload)
-	execute := time.Since(execStart)
+	out, ordinal, mutated, signWait, signErr, err := m.dispatchInstance(inst, claimedFrom, claimedLaunch, payload)
+	execute := time.Since(execStart) - signWait
+	if execute < 0 {
+		execute = 0
+	}
 	if err != nil {
-		m.observeDispatch(inst, claimedFrom, ordinal, health, mutated, true, start, queueWait, execute, 0)
+		m.observeDispatchSign(inst, claimedFrom, ordinal, health, mutated, true, start, queueWait, execute, 0, signWait, signErr)
 		return nil, err
 	}
 	// Persistence of the mutation is policy-dependent — except for a
@@ -585,11 +608,11 @@ func (m *Manager) Dispatch(claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest
 		cerr := m.checkpointInstance(inst, false)
 		flush = time.Since(flushStart)
 		if cerr != nil {
-			m.observeDispatch(inst, claimedFrom, ordinal, health, mutated, true, start, queueWait, execute, flush)
+			m.observeDispatchSign(inst, claimedFrom, ordinal, health, mutated, true, start, queueWait, execute, flush, signWait, signErr)
 			return nil, cerr
 		}
 	}
-	m.observeDispatch(inst, claimedFrom, ordinal, health, mutated, false, start, queueWait, execute, flush)
+	m.observeDispatchSign(inst, claimedFrom, ordinal, health, mutated, false, start, queueWait, execute, flush, signWait, signErr)
 	return out, nil
 }
 
@@ -599,11 +622,28 @@ func (m *Manager) Dispatch(claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest
 // recovered, recorded, and the instance quarantined, so one poisoned
 // command or corrupted engine takes down only its own instance, never the
 // manager or its siblings.
-func (m *Manager) dispatchInstance(inst *instance, claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest, payload []byte) (out []byte, ordinal uint32, mutated bool, err error) {
+//
+// Signing ordinals with the pool attached execute in two phases: the
+// engine's locked phase returns a tpm.Pending, the instance lock is
+// released while the pool computes the signature (other commands — from
+// this guest or its siblings on the same instance — dispatch in the gap),
+// and the lock is retaken to record the exchange and finish the response.
+// signWait is the off-lane portion, reported separately so the execute
+// histogram keeps measuring lane occupancy.
+func (m *Manager) dispatchInstance(inst *instance, claimedFrom xen.DomID, claimedLaunch xen.LaunchDigest, payload []byte) (out []byte, ordinal uint32, mutated bool, signWait time.Duration, signErr bool, err error) {
+	locked := true
 	inst.mu.Lock()
-	defer inst.mu.Unlock()
+	defer func() {
+		if locked {
+			inst.mu.Unlock()
+		}
+	}()
 	defer func() {
 		if p := recover(); p != nil {
+			if !locked {
+				inst.mu.Lock()
+				locked = true
+			}
 			perr := fmt.Errorf("%w: dispatch: %v", ErrInstancePanic, p)
 			m.healthPanics.Inc()
 			m.notePanic(inst, perr)
@@ -612,13 +652,36 @@ func (m *Manager) dispatchInstance(inst *instance, claimedFrom xen.DomID, claime
 	}()
 	cmd, finish, err := m.guard.AdmitCommand(inst.info, claimedFrom, claimedLaunch, payload)
 	if err != nil {
-		return nil, 0, false, err
+		return nil, 0, false, 0, false, err
 	}
 	ordinal = ordinalOf(cmd)
 	execStart := time.Now()
-	resp := inst.eng.Execute(cmd)
+	var resp []byte
+	if de, ok := inst.eng.(tpm.DeferredExecutor); ok {
+		var pending *tpm.Pending
+		resp, pending = de.ExecuteDeferred(cmd)
+		if pending != nil {
+			// The engine finished its locked phase; release the lane while
+			// the signature is computed off-path.
+			inst.mu.Unlock()
+			locked = false
+			waitStart := time.Now()
+			resp = pending.Wait()
+			signWait = time.Since(waitStart)
+			inst.mu.Lock()
+			locked = true
+			if serr := pending.Err(); serr != nil {
+				signErr = true
+				m.signErrors.Inc()
+			}
+		}
+	} else {
+		resp = inst.eng.Execute(cmd)
+	}
 	// The engine work is done on the guest's behalf: charge it to the
 	// guest's CPU account, as the hypervisor's scheduler accounting would.
+	// For deferred commands that includes the signing time — the pool
+	// workers ran for this guest.
 	if dom, derr := m.hv.Domain(claimedFrom); derr == nil {
 		dom.ChargeCPU(time.Since(execStart).Nanoseconds())
 	}
@@ -634,9 +697,9 @@ func (m *Manager) dispatchInstance(inst *instance, claimedFrom xen.DomID, claime
 		m.bus.Zeroize(inst.exchange)
 	}
 	if err != nil {
-		return nil, ordinal, mutated, err
+		return nil, ordinal, mutated, signWait, signErr, err
 	}
-	return out, ordinal, mutated, nil
+	return out, ordinal, mutated, signWait, signErr, nil
 }
 
 // recordExchangeLocked copies the plaintext command and response into the

@@ -31,8 +31,21 @@ type telemetry struct {
 	flush     *metrics.Histogram // synchronous checkpoint on the dispatch path
 	persist   *metrics.Histogram // full persist pass (worker or barrier)
 
+	// Signing-pool instruments (see internal/tpm/signpool.go): per-job RSA
+	// time and queue wait (fed by the pool's Observe hook), per-dispatch
+	// off-lane signature wait, and the batch-population distribution
+	// (recorded as a duration whose nanosecond count is the batch size).
+	signTime  *metrics.Histogram
+	signQueue *metrics.Histogram
+	signWait  *metrics.Histogram
+	signBatch *metrics.Histogram
+
 	tracer *trace.Tracer
 }
+
+// signBatchBounds buckets batch populations (the "duration" recorded is the
+// batch size in nanosecond units).
+var signBatchBounds = []int64{1, 2, 4, 8, 16, 32, 64}
 
 func newTelemetry(cfg ManagerConfig) telemetry {
 	return telemetry{
@@ -41,6 +54,10 @@ func newTelemetry(cfg ManagerConfig) telemetry {
 		execute:   metrics.NewHistogram(nil),
 		flush:     metrics.NewHistogram(nil),
 		persist:   metrics.NewHistogram(nil),
+		signTime:  metrics.NewHistogram(nil),
+		signQueue: metrics.NewHistogram(nil),
+		signWait:  metrics.NewHistogram(nil),
+		signBatch: metrics.NewHistogram(signBatchBounds),
 		tracer: trace.New(trace.Config{
 			Depth:      cfg.TraceDepth,
 			SampleRate: cfg.TraceSampleRate,
@@ -55,20 +72,33 @@ func newTelemetry(cfg ManagerConfig) telemetry {
 func (m *Manager) observeDispatch(inst *instance, from xen.DomID, ordinal uint32,
 	health HealthState, mutated, failed bool,
 	start time.Time, queueWait, execute, flush time.Duration) {
+	m.observeDispatchSign(inst, from, ordinal, health, mutated, failed, start, queueWait, execute, flush, 0, false)
+}
+
+// observeDispatchSign is observeDispatch for dispatches that may have spent
+// time off-lane waiting for a pooled signature: signWait is that portion
+// (not lane occupancy, so not part of execute), signErr marks a pool
+// failure the guest saw as a TPM failure code.
+func (m *Manager) observeDispatchSign(inst *instance, from xen.DomID, ordinal uint32,
+	health HealthState, mutated, failed bool,
+	start time.Time, queueWait, execute, flush, signWait time.Duration, signErr bool) {
 	m.tel.commands.Inc()
 	if failed {
 		m.tel.failures.Inc()
 	}
-	m.tel.dispatch.Record(queueWait + execute + flush)
+	m.tel.dispatch.Record(queueWait + execute + signWait + flush)
 	m.tel.queueWait.Record(queueWait)
 	m.tel.execute.Record(execute)
 	m.tel.flush.Record(flush)
+	if signWait > 0 {
+		m.tel.signWait.Record(signWait)
+	}
 	inst.dispatches.Inc()
 	if failed {
 		inst.failures.Inc()
 	}
 	if inst.lat != nil {
-		inst.lat.Record(queueWait + execute + flush)
+		inst.lat.Record(queueWait + execute + signWait + flush)
 	}
 	if inst.spans != nil && m.tel.tracer.Sample() {
 		inst.spans.Record(trace.Span{
@@ -78,12 +108,22 @@ func (m *Manager) observeDispatch(inst *instance, from xen.DomID, ordinal uint32
 			Health:    uint8(health),
 			Mutated:   mutated,
 			Denied:    failed,
+			SignErr:   signErr,
 			Start:     start,
 			QueueWait: queueWait,
 			Execute:   execute,
+			SignWait:  signWait,
 			Flush:     flush,
 		})
 	}
+}
+
+// observeSign is the signing pool's Observe hook: one call per completed
+// RSA job (a batch counts once), from pool worker goroutines.
+func (m *Manager) observeSign(ev tpm.SignEvent) {
+	m.tel.signTime.Record(ev.SignTime)
+	m.tel.signQueue.Record(ev.QueueWait)
+	m.tel.signBatch.Record(time.Duration(ev.BatchSize))
 }
 
 // DispatchStats is a point-in-time digest of the manager's dispatch-path
@@ -100,6 +140,61 @@ type DispatchStats struct {
 	Execute   metrics.HistogramSummary
 	Flush     metrics.HistogramSummary
 	Persist   metrics.HistogramSummary
+}
+
+// SignDebug is the signing-pool section of introspection documents: pool
+// counters plus the manager-side latency digests.
+type SignDebug struct {
+	// Workers is the pool's worker count.
+	Workers int `json:"workers"`
+	// QueueDepth and InFlight are point-in-time gauges.
+	QueueDepth int64 `json:"queue_depth"`
+	InFlight   int64 `json:"in_flight"`
+	// Submitted/Completed/Errors count individual signatures.
+	Submitted uint64 `json:"submitted"`
+	Completed uint64 `json:"completed"`
+	Errors    uint64 `json:"errors"`
+	// SingleSigns and BatchSigns count RSA private-key operations by kind;
+	// BatchedQuotes counts signatures delivered from batches. The
+	// amortization ratio is BatchedQuotes/BatchSigns.
+	SingleSigns   uint64 `json:"single_signs"`
+	BatchSigns    uint64 `json:"batch_signs"`
+	BatchedQuotes uint64 `json:"batched_quotes"`
+	// DispatchErrors counts dispatches that surfaced a pool failure to the
+	// guest (the xvtpm_sign_errors_total counter).
+	DispatchErrors uint64 `json:"dispatch_errors"`
+	// SignTime digests per-job RSA time, QueueWait per-job pool wait,
+	// Wait the per-dispatch off-lane signature wait, and BatchSize the
+	// batch-population distribution (nanosecond counts are populations).
+	SignTime  metrics.HistogramSummary `json:"sign_time"`
+	QueueWait metrics.HistogramSummary `json:"queue_wait"`
+	Wait      metrics.HistogramSummary `json:"wait"`
+	BatchSize metrics.HistogramSummary `json:"batch_size"`
+}
+
+// SignDebug snapshots the signing-pool instruments, or returns nil when the
+// pool is disabled.
+func (m *Manager) SignDebug() *SignDebug {
+	if m.signPool == nil {
+		return nil
+	}
+	st := m.signPool.Stats()
+	return &SignDebug{
+		Workers:        st.Workers,
+		QueueDepth:     st.QueueDepth,
+		InFlight:       st.InFlight,
+		Submitted:      st.Submitted,
+		Completed:      st.Completed,
+		Errors:         st.Errors,
+		SingleSigns:    st.SingleSigns,
+		BatchSigns:     st.BatchSigns,
+		BatchedQuotes:  st.BatchedQuotes,
+		DispatchErrors: m.signErrors.Load(),
+		SignTime:       m.tel.signTime.Summarize(),
+		QueueWait:      m.tel.signQueue.Summarize(),
+		Wait:           m.tel.signWait.Summarize(),
+		BatchSize:      m.tel.signBatch.Summarize(),
+	}
 }
 
 // DispatchStats snapshots the dispatch-path histograms.
@@ -209,6 +304,10 @@ func (m *Manager) RegisterMetrics(reg *metrics.Registry) error {
 		{"xvtpm_dispatch_execute_seconds", "Locked dispatch section: guard admission, engine execution, response finishing.", m.tel.execute},
 		{"xvtpm_dispatch_flush_seconds", "Synchronous checkpoint time paid on the dispatch path (eager policy or degraded instance).", m.tel.flush},
 		{"xvtpm_checkpoint_persist_seconds", "Full persist pass duration (background worker or flush barrier).", m.tel.persist},
+		{"xvtpm_sign_seconds", "RSA private-key operation time per signing-pool job (batches count once).", m.tel.signTime},
+		{"xvtpm_sign_queue_wait_seconds", "Time signing jobs waited in the pool before a worker picked them up.", m.tel.signQueue},
+		{"xvtpm_sign_wait_seconds", "Off-lane time dispatches spent waiting for a pooled signature.", m.tel.signWait},
+		{"xvtpm_sign_batch_size", "Signing-job batch population (bucket bounds are populations, not seconds).", m.tel.signBatch},
 	} {
 		if err := reg.RegisterHistogram(hr.name, hr.help, hr.h); err != nil {
 			return err
@@ -229,6 +328,7 @@ func (m *Manager) RegisterMetrics(reg *metrics.Registry) error {
 		{"xvtpm_health_degradations_total", "Healthy-to-Degraded transitions.", &m.healthDegradations},
 		{"xvtpm_health_quarantines_total", "Transitions into Quarantined.", &m.healthQuarantines},
 		{"xvtpm_health_panics_total", "Contained dispatch/worker panics.", &m.healthPanics},
+		{"xvtpm_sign_errors_total", "Dispatches whose deferred signature failed in the signing pool.", &m.signErrors},
 	} {
 		if err := reg.RegisterCounter(cr.name, cr.help, cr.c); err != nil {
 			return err
@@ -251,6 +351,31 @@ func (m *Manager) RegisterMetrics(reg *metrics.Registry) error {
 		return float64(cmds)
 	}); err != nil {
 		return err
+	}
+	type gaugeReg struct {
+		name, help string
+		fn         func() float64
+	}
+	for _, gr := range []gaugeReg{
+		{"xvtpm_sign_queue_depth", "Signing jobs waiting in the pool queue.", func() float64 {
+			return float64(m.signPool.Stats().QueueDepth)
+		}},
+		{"xvtpm_sign_inflight", "Signing jobs being computed right now.", func() float64 {
+			return float64(m.signPool.Stats().InFlight)
+		}},
+		{"xvtpm_sign_single_total", "Individual RSA signatures computed by the pool.", func() float64 {
+			return float64(m.signPool.Stats().SingleSigns)
+		}},
+		{"xvtpm_sign_batches_total", "Merkle batch signatures computed by the pool.", func() float64 {
+			return float64(m.signPool.Stats().BatchSigns)
+		}},
+		{"xvtpm_sign_batched_quotes_total", "Quote signatures delivered from Merkle batches.", func() float64 {
+			return float64(m.signPool.Stats().BatchedQuotes)
+		}},
+	} {
+		if err := reg.RegisterGaugeFunc(gr.name, gr.help, gr.fn); err != nil {
+			return err
+		}
 	}
 	return reg.RegisterGaugeFunc("xvtpm_instances", "Live vTPM instances.", func() float64 {
 		m.regMu.RLock()
